@@ -1,0 +1,1 @@
+bench/ablation.ml: Bench_util Checker Db Deps Fault Index Isolation List Polygraph Printf Prune Scheduler Stats Targeted

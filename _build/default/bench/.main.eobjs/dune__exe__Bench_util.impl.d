@@ -1,0 +1,1 @@
+bench/bench_util.ml: Db Distribution Fault Gc Gt_gen Isolation List Mt_gen Printf Scheduler Stats Stdlib String

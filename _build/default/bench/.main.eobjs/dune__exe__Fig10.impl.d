@@ -1,0 +1,1 @@
+bench/fig10.ml: Bench_util Checker Cobra List Printf Scheduler Stats

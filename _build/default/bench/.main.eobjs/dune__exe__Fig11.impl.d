@@ -1,0 +1,1 @@
+bench/fig11.ml: Bench_util Isolation List Printf Scheduler

@@ -1,0 +1,1 @@
+bench/fig13.ml: Append_gen Bench_util Checker Db Distribution Elle Fault Isolation List Mt_gen Printf Scheduler Stats

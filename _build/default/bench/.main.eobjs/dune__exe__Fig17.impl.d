@@ -1,0 +1,1 @@
+bench/fig17.ml: Bench_util Checker Isolation List Polysi Printf Scheduler Stats

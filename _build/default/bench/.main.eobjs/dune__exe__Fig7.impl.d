@@ -1,0 +1,1 @@
+bench/fig7.ml: Bench_util Checker Cobra Distribution List Option Printf Scheduler

@@ -1,0 +1,1 @@
+bench/fig8.ml: Bench_util Checker Distribution Isolation List Option Polysi Printf Scheduler

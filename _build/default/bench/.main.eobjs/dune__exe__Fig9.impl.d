@@ -1,0 +1,1 @@
+bench/fig9.ml: Bench_util List Lwt_checker Lwt_gen Option Porcupine Printf

@@ -1,0 +1,1 @@
+bench/kernels.ml: Analyze Bechamel Bench_util Benchmark Checker Cobra Dbcop Hashtbl Instance Isolation List Lwt_checker Lwt_gen Measure Polysi Printf Scheduler Staged Test Time Toolkit

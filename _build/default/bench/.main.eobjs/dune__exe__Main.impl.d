@@ -1,0 +1,1 @@
+bench/main.ml: Ablation Array Fig10 Fig11 Fig13 Fig17 Fig7 Fig8 Fig9 Kernels List Printf Sys Table2

@@ -1,0 +1,1 @@
+bench/table2.ml: Bench_util Checker Db Endtoend Fault Format Isolation List Lwt_checker Lwt_gen Option Printf Spec Stats Targeted

@@ -1,0 +1,62 @@
+(* Shared helpers for the benchmark harness: history generation through
+   the engine, timing, and paper-style table printing. *)
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let subsection title = Printf.printf "\n--- %s ---\n" title
+
+(* Aligned table printing. *)
+let print_table ~header rows =
+  let all = header :: rows in
+  let cols = List.length header in
+  let width c =
+    List.fold_left (fun w row -> Stdlib.max w (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init cols width in
+  let print_row row =
+    List.iteri
+      (fun c cell -> Printf.printf "%-*s  " (List.nth widths c) cell)
+      row;
+    print_newline ()
+  in
+  print_row header;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row rows
+
+let ms t = Printf.sprintf "%.2f" (1000.0 *. t)
+let mb bytes = Printf.sprintf "%.1f" (bytes /. 1_048_576.0)
+let pct x = Printf.sprintf "%.1f" (100.0 *. x)
+
+(* Median-of-k timing of a single function. *)
+let time_median ?(repeat = 3) f =
+  let samples = Stats.time_repeat ~warmup:1 ~repeat f in
+  Stats.median samples
+
+(* Generate an MT history through the engine at a given level. *)
+let mt_history ?(level = Isolation.Serializable) ?(dist = Distribution.Uniform)
+    ?(sessions = 10) ?(keys = 500) ~txns ~seed () =
+  let spec =
+    Mt_gen.generate
+      { Mt_gen.num_sessions = sessions; num_txns = txns; num_keys = keys; dist; seed }
+  in
+  let db = { Db.level; fault = Fault.No_fault; num_keys = keys; seed } in
+  Scheduler.run ~params:{ Scheduler.default_params with seed } ~db ~spec ()
+
+let gt_history ?(level = Isolation.Serializable) ?(dist = Distribution.Uniform)
+    ?(sessions = 10) ?(keys = 500) ?(ops = 10) ~txns ~seed () =
+  let spec =
+    Gt_gen.generate
+      { Gt_gen.num_sessions = sessions; num_txns = txns; num_keys = keys;
+        ops_per_txn = ops; dist; seed }
+  in
+  let db = { Db.level; fault = Fault.No_fault; num_keys = keys; seed } in
+  Scheduler.run ~params:{ Scheduler.default_params with seed } ~db ~spec ()
+
+(* Allocation (bytes) during [f] — the memory metric of Figures 10d-f/17. *)
+let alloc_during f =
+  let a0 = Gc.allocated_bytes () in
+  let r = f () in
+  (r, Gc.allocated_bytes () -. a0)
+
+let verdict_str b = if b then "pass" else "VIOLATION"

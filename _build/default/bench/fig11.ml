@@ -1,0 +1,43 @@
+(* Figure 11: abort rates of GT vs MT workloads — (a) across #sessions and
+   (b) across skew (transactions per hot object).  Run on the engine at
+   SER (SSI) and SI, as in the paper's PostgreSQL setup. *)
+
+let rates ~level ~sessions ~keys ~txns ~seed =
+  let mt =
+    Bench_util.mt_history ~level ~sessions ~keys ~txns ~seed ()
+  in
+  let gt =
+    (* The paper uses a moderate GT size of 20 ops/txn here. *)
+    Bench_util.gt_history ~level ~sessions ~keys ~txns ~ops:20 ~seed ()
+  in
+  (Scheduler.abort_rate mt, Scheduler.abort_rate gt)
+
+let header = [ "config"; "MT abort %"; "GT abort %" ]
+
+let run () =
+  Bench_util.section "Figure 11: abort rates, GT vs MT workloads";
+
+  List.iter
+    (fun (level, lname) ->
+      Bench_util.subsection
+        (Printf.sprintf "(a) #sessions at %s (1500 txns, 60 keys)" lname);
+      Bench_util.print_table ~header
+        (List.map
+           (fun sessions ->
+             let mt, gt = rates ~level ~sessions ~keys:60 ~txns:1500 ~seed:501 in
+             [ Printf.sprintf "%d sessions" sessions;
+               Bench_util.pct mt; Bench_util.pct gt ])
+           [ 2; 4; 8; 16; 32 ]);
+
+      Bench_util.subsection
+        (Printf.sprintf
+           "(b) skew at %s (1500 txns, 10 sessions; fewer objects = more txns per object)"
+           lname);
+      Bench_util.print_table
+        ~header:[ "txns/object"; "MT abort %"; "GT abort %" ]
+        (List.map
+           (fun keys ->
+             let mt, gt = rates ~level ~sessions:10 ~keys ~txns:1500 ~seed:502 in
+             [ string_of_int (1500 / keys); Bench_util.pct mt; Bench_util.pct gt ])
+           [ 300; 150; 75; 30; 15 ]))
+    [ (Isolation.Serializable, "SER"); (Isolation.Snapshot, "SI") ]

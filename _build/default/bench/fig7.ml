@@ -1,0 +1,68 @@
+(* Figure 7: verification performance on SER mini-transaction histories —
+   MTC-SER vs Cobra, across (a) object-access distributions, (b) #objects,
+   (c) #sessions, (d) #txns. *)
+
+let verify_pair (r : Scheduler.result) =
+  let h = r.Scheduler.history in
+  let mtc = Bench_util.time_median (fun () -> Checker.check_ser h) in
+  let cobra_res = ref None in
+  let cobra =
+    Bench_util.time_median (fun () -> cobra_res := Some (Cobra.check h))
+  in
+  let stats = (Option.get !cobra_res).Cobra.stats in
+  (mtc, cobra, stats)
+
+let row label r =
+  let mtc, cobra, stats = verify_pair r in
+  [
+    label;
+    Bench_util.ms mtc;
+    Bench_util.ms cobra;
+    Printf.sprintf "%.1fx" (cobra /. mtc);
+    string_of_int stats.Cobra.constraints_total;
+    string_of_int stats.Cobra.constraints_pruned;
+  ]
+
+let header = [ "config"; "MTC-SER (ms)"; "Cobra (ms)"; "speedup"; "constraints"; "pruned" ]
+
+let run () =
+  Bench_util.section "Figure 7: SER verification, MTC-SER vs Cobra (MT histories)";
+
+  Bench_util.subsection "(a) object-access distribution (3000 txns, 600 keys)";
+  Bench_util.print_table ~header
+    (List.map
+       (fun dist ->
+         let r =
+           Bench_util.mt_history ~dist ~keys:600 ~txns:3000 ~seed:101 ()
+         in
+         row (Distribution.kind_name dist) r)
+       Distribution.all_kinds);
+
+  Bench_util.subsection "(b) #objects (3000 txns, zipfian)";
+  Bench_util.print_table ~header
+    (List.map
+       (fun keys ->
+         let r =
+           Bench_util.mt_history ~dist:(Distribution.Zipfian 0.99) ~keys
+             ~txns:3000 ~seed:102 ()
+         in
+         row (Printf.sprintf "%d objects" keys) r)
+       [ 1600; 800; 400; 200 ]);
+
+  Bench_util.subsection "(c) #sessions (3000 txns, 600 keys, uniform)";
+  Bench_util.print_table ~header
+    (List.map
+       (fun sessions ->
+         let r =
+           Bench_util.mt_history ~sessions ~keys:600 ~txns:3000 ~seed:103 ()
+         in
+         row (Printf.sprintf "%d sessions" sessions) r)
+       [ 4; 8; 16; 32 ]);
+
+  Bench_util.subsection "(d) #txns (600 keys, uniform)";
+  Bench_util.print_table ~header
+    (List.map
+       (fun txns ->
+         let r = Bench_util.mt_history ~keys:600 ~txns ~seed:104 () in
+         row (Printf.sprintf "%d txns" txns) r)
+       [ 1000; 2000; 4000; 8000 ])

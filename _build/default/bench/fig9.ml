@@ -1,0 +1,49 @@
+(* Figure 9: SSER (linearizability) verification on synthetic LWT
+   histories — MTC-SSER (VL-LWT) vs Porcupine, across (a) the percentage
+   of concurrent sessions and (b) #txns. *)
+
+let row label params =
+  let h = Lwt_gen.generate params in
+  let mtc = Bench_util.time_median (fun () -> Lwt_checker.check h) in
+  let porc_res = ref None in
+  let porc =
+    Bench_util.time_median ~repeat:1 (fun () ->
+        porc_res := Some (Porcupine.check h))
+  in
+  let states = (Option.get !porc_res).Porcupine.visited_states in
+  [
+    label;
+    Bench_util.ms mtc;
+    Bench_util.ms porc;
+    Printf.sprintf "%.0fx" (porc /. mtc);
+    string_of_int states;
+  ]
+
+let header =
+  [ "config"; "MTC-SSER (ms)"; "Porcupine (ms)"; "speedup"; "porc states" ]
+
+let run () =
+  Bench_util.section
+    "Figure 9: SSER verification on LWT histories, MTC-SSER vs Porcupine";
+
+  Bench_util.subsection "(a) % concurrent sessions (24 sessions x 400 txns, 4 keys)";
+  Bench_util.print_table ~header
+    (List.map
+       (fun pct ->
+         row
+           (Printf.sprintf "%d%% concurrent" (int_of_float (100.0 *. pct)))
+           { Lwt_gen.num_sessions = 24; txns_per_session = 400; num_keys = 4;
+             concurrent_pct = pct; read_pct = 0.3; seed = 301;
+             inject = Lwt_gen.No_injection })
+       [ 0.0; 0.25; 0.5; 0.75; 1.0 ]);
+
+  Bench_util.subsection "(b) #txns (24 sessions, 4 keys, 50% concurrent)";
+  Bench_util.print_table ~header
+    (List.map
+       (fun per_session ->
+         row
+           (Printf.sprintf "%d txns" (24 * per_session))
+           { Lwt_gen.num_sessions = 24; txns_per_session = per_session;
+             num_keys = 4; concurrent_pct = 0.5; read_pct = 0.3; seed = 302;
+             inject = Lwt_gen.No_injection })
+       [ 100; 200; 400; 800 ])

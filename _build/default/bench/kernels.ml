@@ -1,0 +1,59 @@
+(* Bechamel micro-benchmarks of the verification kernels on a fixed
+   2000-transaction history: the per-call cost of each checker, measured
+   with OLS over monotonic-clock samples. *)
+
+open Bechamel
+open Toolkit
+
+let make_tests () =
+  let r =
+    Bench_util.mt_history ~level:Isolation.Serializable ~keys:300 ~txns:2000
+      ~seed:901 ()
+  in
+  let h = r.Scheduler.history in
+  let lwt_h =
+    Lwt_gen.generate
+      { Lwt_gen.num_sessions = 16; txns_per_session = 125; num_keys = 4;
+        concurrent_pct = 0.5; read_pct = 0.2; seed = 902;
+        inject = Lwt_gen.No_injection }
+  in
+  Test.make_grouped ~name:"kernels" ~fmt:"%s/%s"
+    [
+      Test.make ~name:"mtc-ser" (Staged.stage (fun () -> Checker.check_ser h));
+      Test.make ~name:"mtc-si" (Staged.stage (fun () -> Checker.check_si h));
+      Test.make ~name:"mtc-sser"
+        (Staged.stage (fun () -> Checker.check_sser h));
+      Test.make ~name:"vl-lwt" (Staged.stage (fun () -> Lwt_checker.check lwt_h));
+      Test.make ~name:"cobra" (Staged.stage (fun () -> Cobra.check h));
+      Test.make ~name:"polysi" (Staged.stage (fun () -> Polysi.check h));
+      Test.make ~name:"dbcop" (Staged.stage (fun () -> Dbcop.check h));
+    ]
+
+let run () =
+  Bench_util.section
+    "Verification kernels (Bechamel OLS, 2000-txn MT history / 2000-event LWT history)";
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instances = [ Instance.monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~kde:None
+      ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances (make_tests ()) in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some (t :: _) -> t
+        | _ -> nan
+      in
+      rows := (name, ns) :: !rows)
+    results;
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) !rows in
+  Bench_util.print_table ~header:[ "kernel"; "time per run (ms)" ]
+    (List.map
+       (fun (name, ns) -> [ name; Printf.sprintf "%.3f" (ns /. 1e6) ])
+       rows)

@@ -1,0 +1,47 @@
+(* The benchmark harness: one section per table/figure of the paper's
+   evaluation (see DESIGN.md's per-experiment index).
+
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe -- --only fig7  # one experiment
+     dune exec bench/main.exe -- --list       # list experiment names *)
+
+let experiments =
+  [
+    ("fig7", "SER verification: MTC-SER vs Cobra", Fig7.run);
+    ("fig8", "SI verification: MTC-SI vs PolySI", Fig8.run);
+    ("fig9", "SSER/LIN verification: MTC-SSER vs Porcupine", Fig9.run);
+    ("fig10", "end-to-end SER: time + memory", Fig10.run);
+    ("fig11", "abort rates: GT vs MT", Fig11.run);
+    ("table2", "rediscovered bugs (+ figures 12/18 counterexamples)",
+     fun () -> Table2.run ());
+    ("fig13", "detection effectiveness + end-to-end time vs Elle (fig 14)",
+     Fig13.run);
+    ("fig17", "end-to-end SI: time + memory", Fig17.run);
+    ("ablation", "design-choice ablations (RT encoding, divergence screen, pruning)",
+     Ablation.run);
+    ("kernels", "bechamel microbenchmarks of the verification kernels",
+     Kernels.run);
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | [ "--list" ] ->
+      List.iter
+        (fun (name, descr, _) -> Printf.printf "%-8s %s\n" name descr)
+        experiments
+  | [ "--only"; name ] -> (
+      match List.find_opt (fun (n, _, _) -> n = name) experiments with
+      | Some (_, _, run) -> run ()
+      | None ->
+          Printf.eprintf "unknown experiment %S; try --list\n" name;
+          exit 1)
+  | [] ->
+      Printf.printf
+        "MTC benchmark harness — reproducing the paper's evaluation.\n\
+         Shapes (who wins, trends), not absolute numbers, are the target;\n\
+         see EXPERIMENTS.md for the paper-vs-measured comparison.\n";
+      List.iter (fun (_, _, run) -> run ()) experiments
+  | _ ->
+      Printf.eprintf "usage: main.exe [--list | --only <experiment>]\n";
+      exit 1

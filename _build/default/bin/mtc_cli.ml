@@ -1,0 +1,330 @@
+(* The mtc command-line tool: black-box isolation checking from the shell.
+
+     mtc check file.hist --level si        verify a recorded history
+     mtc run --level ser --txns 2000       generate + execute + verify
+     mtc hunt --fault lost-update          stress a faulty engine until a bug
+     mtc anomalies                         print the Figure 5 catalogue *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Shared argument converters. *)
+
+(* Strong levels run MTC's main algorithms; weak ones the Weak_checker
+   extension. *)
+type any_level = Strong of Checker.level | Weak of Weak_checker.level
+
+let any_level_name = function
+  | Strong l -> Checker.level_name l
+  | Weak l -> Weak_checker.level_name l
+
+let any_level_of_string s =
+  match Checker.level_of_string s with
+  | Some l -> Some (Strong l)
+  | None -> (
+      match String.lowercase_ascii s with
+      | "rc" | "read-committed" -> Some (Weak Weak_checker.Read_committed)
+      | "ra" | "read-atomic" -> Some (Weak Weak_checker.Read_atomic)
+      | "cc" | "causal" -> Some (Weak Weak_checker.Causal)
+      | _ -> None)
+
+let level_conv =
+  let parse s =
+    match any_level_of_string s with
+    | Some l -> Ok l
+    | None ->
+        Error
+          (`Msg (Printf.sprintf "unknown level %S (si|ser|sser|rc|ra|causal)" s))
+  in
+  Arg.conv (parse, fun ppf l -> Format.pp_print_string ppf (any_level_name l))
+
+(* Unified verification: Ok () or a rendered report. *)
+let verify_any ?(skew = 0) level h =
+  match level with
+  | Strong l -> (
+      match Checker.check ~skew l h with
+      | Checker.Pass -> Ok ()
+      | Checker.Fail v -> Error (Report.render h l v))
+  | Weak l -> (
+      match Weak_checker.check l h with
+      | Weak_checker.Pass -> Ok ()
+      | Weak_checker.Fail v ->
+          Error
+            (Format.asprintf "%s violation: %a@."
+               (Weak_checker.level_name l)
+               Weak_checker.pp_violation v))
+
+let dist_conv =
+  let parse s =
+    match Distribution.kind_of_string s with
+    | Some d -> Ok d
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf
+                "unknown distribution %S (uniform|zipfian|hotspot|exponential)"
+                s))
+  in
+  Arg.conv (parse, fun ppf d -> Format.pp_print_string ppf (Distribution.kind_name d))
+
+let level_arg =
+  Arg.(value & opt level_conv (Strong Checker.SI)
+       & info [ "level"; "l" ] ~docv:"LEVEL"
+           ~doc:"Isolation level to verify: si, ser, sser, rc, ra or causal.")
+
+let txns_arg =
+  Arg.(value & opt int 1000 & info [ "txns"; "n" ] ~docv:"N"
+         ~doc:"Number of transactions to generate.")
+
+let keys_arg =
+  Arg.(value & opt int 100 & info [ "keys"; "k" ] ~docv:"K"
+         ~doc:"Number of objects in the key space.")
+
+let sessions_arg =
+  Arg.(value & opt int 10 & info [ "sessions"; "s" ] ~docv:"S"
+         ~doc:"Number of client sessions.")
+
+let dist_arg =
+  Arg.(value & opt dist_conv Distribution.Uniform & info [ "dist"; "d" ]
+         ~docv:"DIST" ~doc:"Object-access distribution.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED"
+         ~doc:"Random seed (runs are deterministic per seed).")
+
+let fault_arg =
+  Arg.(value & opt string "none" & info [ "fault" ] ~docv:"FAULT"
+         ~doc:"Injected engine bug: none, lost-update, aborted-read, \
+               causality-violation, write-skew or long-fork.")
+
+let fault_p_arg =
+  Arg.(value & opt float 0.1 & info [ "fault-p" ] ~docv:"P"
+         ~doc:"Trigger probability of the injected fault.")
+
+let skew_arg =
+  Arg.(value & opt int 0 & info [ "skew" ] ~docv:"TICKS"
+         ~doc:"Clock-skew tolerance for SSER checking: real-time edges are \
+               only derived from gaps larger than $(docv).")
+
+let gt_arg =
+  Arg.(value & flag & info [ "gt" ]
+         ~doc:"Generate general transactions (Cobra-style) instead of \
+               mini-transactions.")
+
+let ops_arg =
+  Arg.(value & opt int 10 & info [ "ops" ] ~docv:"OPS"
+         ~doc:"Operations per transaction for --gt workloads.")
+
+let engine_level level =
+  (* Run the engine at the mechanism matching the checked level. *)
+  match level with
+  | Strong Checker.SI -> Isolation.Snapshot
+  | Strong Checker.SER -> Isolation.Serializable
+  | Strong Checker.SSER -> Isolation.Strict_serializable
+  | Weak Weak_checker.Read_committed -> Isolation.Read_committed
+  | Weak (Weak_checker.Read_atomic | Weak_checker.Causal) -> Isolation.Snapshot
+
+let parse_fault name p =
+  match Fault.of_string ~p name with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "unknown fault %S" name)
+
+let make_spec ~gt ~txns ~keys ~sessions ~dist ~ops ~seed =
+  if gt then
+    Gt_gen.generate
+      { Gt_gen.num_sessions = sessions; num_txns = txns; num_keys = keys;
+        ops_per_txn = ops; dist; seed }
+  else
+    Mt_gen.generate
+      { Mt_gen.num_sessions = sessions; num_txns = txns; num_keys = keys;
+        dist; seed }
+
+(* ------------------------------------------------------------------ *)
+(* mtc check *)
+
+let check_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"HISTORY"
+           ~doc:"History file produced by 'mtc run -o' (mtc-history v1 format).")
+  in
+  let run file level skew =
+    match Codec.load file with
+    | Error e ->
+        Printf.eprintf "cannot load %s: %s\n" file e;
+        exit 2
+    | Ok h -> (
+        Printf.printf "%s\n" (History.stats h);
+        match verify_any ~skew level h with
+        | Ok () ->
+            Printf.printf "%s: PASS\n" (any_level_name level);
+            exit 0
+        | Error report ->
+            print_string report;
+            exit 1)
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Verify a recorded history against an isolation level.")
+    Term.(const run $ file_arg $ level_arg $ skew_arg)
+
+(* ------------------------------------------------------------------ *)
+(* mtc run *)
+
+let run_cmd =
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Also save the observed history to $(docv).")
+  in
+  let run level txns keys sessions dist seed fault fault_p gt ops out =
+    match parse_fault fault fault_p with
+    | Error e ->
+        Printf.eprintf "%s\n" e;
+        exit 2
+    | Ok fault ->
+        let spec = make_spec ~gt ~txns ~keys ~sessions ~dist ~ops ~seed in
+        let db = { Db.level = engine_level level; fault; num_keys = keys; seed } in
+        let verify (r : Scheduler.result) =
+          match verify_any level r.Scheduler.history with
+          | Ok () -> Endtoend.V_pass
+          | Error report -> Endtoend.V_fail report
+        in
+        let m = Endtoend.measure ~db ~spec ~verify () in
+        Format.printf "%a@." Endtoend.pp_measurement m;
+        (match out with
+        | Some path ->
+            let r =
+              Scheduler.run ~params:{ Scheduler.default_params with seed } ~db
+                ~spec ()
+            in
+            Codec.save path r.Scheduler.history;
+            Printf.printf "history saved to %s\n" path
+        | None -> ());
+        (match m.Endtoend.verdict with
+        | Endtoend.V_pass -> exit 0
+        | Endtoend.V_fail report ->
+            print_string report;
+            exit 1)
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Generate a workload, execute it on the simulated engine, and \
+             verify the observed history end-to-end.")
+    Term.(const run $ level_arg $ txns_arg $ keys_arg $ sessions_arg
+          $ dist_arg $ seed_arg $ fault_arg $ fault_p_arg $ gt_arg $ ops_arg
+          $ out_arg)
+
+(* ------------------------------------------------------------------ *)
+(* mtc hunt *)
+
+let hunt_cmd =
+  let trials_arg =
+    Arg.(value & opt int 25 & info [ "trials" ] ~docv:"T"
+           ~doc:"Maximum number of histories to try.")
+  in
+  let run level txns keys sessions dist seed fault fault_p trials =
+    match parse_fault fault fault_p with
+    | Error e ->
+        Printf.eprintf "%s\n" e;
+        exit 2
+    | Ok fault ->
+        let committed = ref 0 in
+        let rec go trial =
+          if trial > trials then begin
+            Printf.printf "no violation in %d histories (%d committed txns)\n"
+              trials !committed;
+            exit 0
+          end
+          else begin
+            let spec =
+              make_spec ~gt:false ~txns ~keys ~sessions ~dist ~ops:0
+                ~seed:(seed + trial)
+            in
+            let db =
+              { Db.level = engine_level level; fault; num_keys = keys;
+                seed = seed + trial }
+            in
+            let r =
+              Scheduler.run
+                ~params:{ Scheduler.default_params with seed = seed + trial }
+                ~db ~spec ()
+            in
+            committed := !committed + r.Scheduler.committed;
+            match verify_any level r.Scheduler.history with
+            | Ok () -> go (trial + 1)
+            | Error report ->
+                Printf.printf
+                  "violation found after %d histories (%d committed txns):\n"
+                  trial !committed;
+                print_string report;
+                exit 1
+          end
+        in
+        go 1
+  in
+  Cmd.v
+    (Cmd.info "hunt"
+       ~doc:"Stress the engine with freshly seeded workloads until the \
+             checker finds an isolation violation.")
+    Term.(const run $ level_arg $ txns_arg $ keys_arg $ sessions_arg
+          $ dist_arg $ seed_arg $ fault_arg $ fault_p_arg $ trials_arg)
+
+(* ------------------------------------------------------------------ *)
+(* mtc graph *)
+
+let graph_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"HISTORY"
+           ~doc:"History file to render.")
+  in
+  let violation_arg =
+    Arg.(value & flag & info [ "violation" ]
+           ~doc:"Render only the counterexample of the --level check \
+                 instead of the whole dependency graph.")
+  in
+  let strong_of = function
+    | Strong l -> l
+    | Weak _ -> Checker.SI
+  in
+  let run file level violation_only =
+    match Codec.load file with
+    | Error e ->
+        Printf.eprintf "cannot load %s: %s\n" file e;
+        exit 2
+    | Ok h ->
+        if violation_only then (
+          match Checker.check (strong_of level) h with
+          | Checker.Pass ->
+              Printf.eprintf "history passes %s: nothing to render\n"
+                (any_level_name level);
+              exit 0
+          | Checker.Fail v -> print_string (Viz.dot_of_violation h v))
+        else print_string (Viz.dot_of_history h)
+  in
+  Cmd.v
+    (Cmd.info "graph"
+       ~doc:"Emit the dependency graph (or a counterexample) as Graphviz \
+             dot on stdout.")
+    Term.(const run $ file_arg $ level_arg $ violation_arg)
+
+(* ------------------------------------------------------------------ *)
+(* mtc anomalies *)
+
+let anomalies_cmd =
+  let run () =
+    List.iter
+      (fun kind ->
+        Format.printf "%-26s %s@." (Anomaly.name kind)
+          (Anomaly.description kind))
+      Anomaly.all
+  in
+  Cmd.v
+    (Cmd.info "anomalies"
+       ~doc:"List the 14 isolation anomalies of the MT catalogue.")
+    Term.(const run $ const ())
+
+let () =
+  let doc = "black-box database isolation checking via mini-transactions" in
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "mtc" ~version:"1.0.0" ~doc)
+          [ check_cmd; run_cmd; hunt_cmd; graph_cmd; anomalies_cmd ]))

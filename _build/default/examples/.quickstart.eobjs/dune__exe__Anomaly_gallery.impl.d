@@ -1,0 +1,1 @@
+examples/anomaly_gallery.ml: Anomaly Array Checker Format History List Txn

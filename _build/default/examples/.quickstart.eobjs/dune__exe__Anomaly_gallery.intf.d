@@ -1,0 +1,1 @@
+examples/anomaly_gallery.mli:

@@ -1,0 +1,1 @@
+examples/bank_audit.ml: Array Checker Db Fault Format History Isolation List Report Rng Scheduler Spec

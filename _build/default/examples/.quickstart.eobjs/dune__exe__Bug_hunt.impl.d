@@ -1,0 +1,1 @@
+examples/bug_hunt.ml: Checker Db Distribution Endtoend Fault Format Isolation Mt_gen

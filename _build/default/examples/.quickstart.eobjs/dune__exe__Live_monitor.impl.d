@@ -1,0 +1,1 @@
+examples/live_monitor.ml: Array Checker Db Distribution Fault Format History Isolation List Mt_gen Online Printf Report Scheduler Txn

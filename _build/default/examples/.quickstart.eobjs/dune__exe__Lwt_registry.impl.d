@@ -1,0 +1,1 @@
+examples/lwt_registry.ml: Array Format Lwt Lwt_checker Lwt_gen Porcupine

@@ -1,0 +1,1 @@
+examples/lwt_registry.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Builder Checker Codec Db Fault Filename Format History Isolation List Mt_gen Report Scheduler Sys

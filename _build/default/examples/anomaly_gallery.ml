@@ -1,0 +1,26 @@
+(* The gallery of paper Figure 5 / Table I: all 14 isolation anomalies as
+   mini-transaction histories, with each checker's verdict.
+
+     dune exec examples/anomaly_gallery.exe *)
+
+let () =
+  Format.printf
+    "The 14 isolation anomalies captured by mini-transactions.@.%s@."
+    "(x = x0, y = x1; T0 is the implicit initial transaction)";
+  List.iter
+    (fun kind ->
+      Format.printf "@.%s — %s@." (Anomaly.name kind) (Anomaly.description kind);
+      let h = Anomaly.history kind in
+      Array.iter
+        (fun (t : Txn.t) ->
+          if t.Txn.id <> History.init_id then Format.printf "  %a@." Txn.pp t)
+        h.History.txns;
+      Format.printf "  verdicts:";
+      List.iter
+        (fun level ->
+          Format.printf " %s=%s"
+            (Checker.level_name level)
+            (if Checker.passes (Checker.check level h) then "pass" else "FAIL"))
+        [ Checker.SSER; Checker.SER; Checker.SI ];
+      Format.printf "@.")
+    Anomaly.all

@@ -1,0 +1,49 @@
+(* Live isolation monitoring: the Online checker consumes transactions as
+   they commit (IsoVista's "checking-as-a-service" mode) and raises the
+   alarm at the exact transaction where the stream turns inconsistent —
+   here against an engine whose lost-update protection fails rarely and
+   intermittently (p = 2%).
+
+     dune exec examples/live_monitor.exe *)
+
+let () =
+  let keys = 12 in
+  print_endline
+    "Monitoring a snapshot-isolation engine with a rare lost-update bug...";
+  let spec =
+    Mt_gen.generate
+      { Mt_gen.num_sessions = 8; num_txns = 2000; num_keys = keys;
+        dist = Distribution.Uniform; seed = 21 }
+  in
+  let db =
+    { Db.level = Isolation.Snapshot; fault = Fault.Lost_update 0.02;
+      num_keys = keys; seed = 21 }
+  in
+  let history = (Scheduler.run ~db ~spec ()).Scheduler.history in
+  (* The commit-ordered stream a monitoring proxy would observe. *)
+  let stream =
+    Array.to_list history.History.txns
+    |> List.filter (fun (t : Txn.t) -> t.Txn.id <> History.init_id)
+    |> List.sort (fun (a : Txn.t) b -> compare a.Txn.commit_ts b.Txn.commit_ts)
+  in
+  let monitor = Online.create ~level:Checker.SI ~num_keys:keys () in
+  let alarm = ref None in
+  List.iter
+    (fun txn ->
+      if !alarm = None then
+        match Online.add_txn monitor txn with
+        | Online.Ok_so_far -> ()
+        | Online.Violation v -> alarm := Some v)
+    stream;
+  (match !alarm with
+  | Some v ->
+      Printf.printf
+        "ALARM after %d streamed transactions (of %d total):\n%s"
+        (Online.txns_seen monitor)
+        (List.length stream)
+        (Report.render history Checker.SI v)
+  | None ->
+      print_endline "stream completed with no alarm (fault never triggered)");
+  (* The batch checker agrees, post hoc. *)
+  Printf.printf "batch verdict for the full history: %s\n"
+    (Format.asprintf "%a" Checker.pp_outcome (Checker.check_si history))

@@ -1,0 +1,64 @@
+(* Lightweight transactions: a service registry where nodes claim
+   leadership with insert-if-not-exists and hand it over with
+   compare-and-set — the Cassandra/etcd-style usage of paper Section II-F.
+
+   VL-LWT (Algorithm 2) verifies linearizability of the observed events in
+   linear time; we also show the Cassandra-2.0.1-style bug where a CAS
+   reported as failed was actually applied, and compare against the
+   Porcupine baseline.
+
+     dune exec examples/lwt_registry.exe *)
+
+let show name (h : Lwt.t) =
+  Format.printf "@.== %s (%d events, %d keys) ==@." name
+    (Array.length h.Lwt.events) h.Lwt.num_keys;
+  (match Lwt_checker.check h with
+  | Ok () -> print_endline "  VL-LWT    : linearizable"
+  | Error reason ->
+      Format.printf "  VL-LWT    : NOT linearizable — %a@." Lwt_checker.pp_reason
+        reason);
+  let porc = Porcupine.check h in
+  Format.printf "  Porcupine : %s (%d search states)@."
+    (if porc.Porcupine.linearizable then "linearizable" else "NOT linearizable")
+    porc.Porcupine.visited_states
+
+let () =
+  (* A handcrafted leadership handover on one lease key. *)
+  let ev id session op start finish = { Lwt.id; session; op; start; finish } in
+  let handover =
+    Lwt.make ~num_keys:1 ~num_sessions:3
+      [
+        ev 0 1 (Lwt.Insert { key = 0; value = 100 }) 0 2;  (* node-1 claims *)
+        ev 1 2 (Lwt.Rw { key = 0; expected = 100; new_value = 200 }) 5 9;
+        ev 2 3 (Lwt.Read { key = 0; value = 200 }) 10 12;  (* observer *)
+        ev 3 1 (Lwt.Rw { key = 0; expected = 200; new_value = 300 }) 11 15;
+      ]
+  in
+  show "handcrafted leadership handover" handover;
+
+  (* A large synthetic run: many nodes CASing leases concurrently. *)
+  let busy =
+    Lwt_gen.generate
+      { Lwt_gen.num_sessions = 12; txns_per_session = 500; num_keys = 8;
+        concurrent_pct = 0.6; read_pct = 0.3; seed = 99;
+        inject = Lwt_gen.No_injection }
+  in
+  show "healthy registry under load" busy;
+
+  (* The Cassandra 2.0.1 bug: a failed CAS that was actually applied. *)
+  let phantom =
+    Lwt_gen.generate
+      { Lwt_gen.num_sessions = 12; txns_per_session = 500; num_keys = 8;
+        concurrent_pct = 0.6; read_pct = 0.3; seed = 99;
+        inject = Lwt_gen.Phantom_write }
+  in
+  show "registry with a phantom write (Cassandra-2.0.1-style bug)" phantom;
+
+  (* Split brain: two nodes both won the same CAS. *)
+  let split =
+    Lwt_gen.generate
+      { Lwt_gen.num_sessions = 12; txns_per_session = 200; num_keys = 4;
+        concurrent_pct = 0.6; read_pct = 0.2; seed = 7;
+        inject = Lwt_gen.Split_brain }
+  in
+  show "registry with a split brain" split

@@ -1,0 +1,1 @@
+lib/baselines/cobra.ml: Acyclicity Format Index Int_check List Lit Polygraph Printf Prune Solver String Unix

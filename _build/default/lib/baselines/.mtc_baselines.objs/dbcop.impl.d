@@ -1,0 +1,1 @@
+lib/baselines/dbcop.ml: Array Format Hashtbl History Index Int_check List String Txn

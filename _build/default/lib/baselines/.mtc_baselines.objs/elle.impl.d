@@ -1,0 +1,1 @@
+lib/baselines/elle.ml: Array Checker Cycle Digraph Elle_log Format Hashtbl History Index Int_check List Op Printf Txn

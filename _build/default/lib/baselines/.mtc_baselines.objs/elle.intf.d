@@ -1,0 +1,1 @@
+lib/baselines/elle.mli: Checker Elle_log History

@@ -1,0 +1,1 @@
+lib/baselines/polygraph.ml: Array Hashtbl History Index Int_check List Op Printf Txn Unix

@@ -1,0 +1,1 @@
+lib/baselines/polygraph.mli: History Index Int_check Op

@@ -1,0 +1,1 @@
+lib/baselines/polysi.mli: History

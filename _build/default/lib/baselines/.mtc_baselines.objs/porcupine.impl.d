@@ -1,0 +1,1 @@
+lib/baselines/porcupine.ml: Array Hashtbl List Lwt Stdlib String

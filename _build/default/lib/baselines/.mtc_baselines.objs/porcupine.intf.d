@@ -1,0 +1,1 @@
+lib/baselines/porcupine.mli: Lwt

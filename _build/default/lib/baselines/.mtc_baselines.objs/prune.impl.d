@@ -1,0 +1,1 @@
+lib/baselines/prune.ml: Array Digraph List Polygraph Reach Unix

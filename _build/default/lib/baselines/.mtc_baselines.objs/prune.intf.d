@@ -1,0 +1,1 @@
+lib/baselines/prune.mli: Polygraph

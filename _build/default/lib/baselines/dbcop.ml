@@ -1,0 +1,87 @@
+type result = {
+  serializable : bool;
+  states : int;
+  gave_up : bool;
+  invalid : string option;
+}
+
+exception Budget
+
+let check ?(max_states = 2_000_000) (h : History.t) =
+  let fail_invalid msg =
+    { serializable = false; states = 0; gave_up = false; invalid = Some msg }
+  in
+  match (History.validate h, Int_check.check (Index.build h)) with
+  | Error msg, _ -> fail_invalid msg
+  | Ok (), Error v ->
+      (* G1-style violations: no serialization exists. *)
+      {
+        serializable = false;
+        states = 0;
+        gave_up = false;
+        invalid =
+          Some (Format.asprintf "screen: %a" Int_check.pp_violation v);
+      }
+  | Ok (), Ok () ->
+      let sessions =
+        Array.init h.History.num_sessions (fun i ->
+            History.session_chain h (i + 1)
+            |> List.map (History.txn h)
+            |> Array.of_list)
+      in
+      let k = Array.length sessions in
+      let store = Array.make h.History.num_keys 0 in
+      let visited : (string, unit) Hashtbl.t = Hashtbl.create 4096 in
+      let states = ref 0 in
+      let frontier = Array.make k 0 in
+      let key_of () =
+        String.concat "," (Array.to_list (Array.map string_of_int frontier))
+      in
+      let applicable (t : Txn.t) =
+        List.for_all (fun (key, v) -> store.(key) = v) (Txn.external_reads t)
+      in
+      let apply (t : Txn.t) =
+        let undo =
+          List.map (fun (key, v) -> (key, store.(key), v)) (Txn.final_writes t)
+        in
+        List.iter (fun (key, _, v) -> store.(key) <- v) undo;
+        undo
+      in
+      let unapply undo =
+        List.iter (fun (key, old, _) -> store.(key) <- old) undo
+      in
+      let total = Array.fold_left (fun n s -> n + Array.length s) 0 sessions in
+      let rec search scheduled =
+        if scheduled = total then true
+        else begin
+          let key = key_of () in
+          if Hashtbl.mem visited key then false
+          else begin
+            Hashtbl.replace visited key ();
+            incr states;
+            if !states > max_states then raise Budget;
+            let rec try_session i =
+              if i >= k then false
+              else
+                let pos = frontier.(i) in
+                if pos < Array.length sessions.(i) && applicable sessions.(i).(pos)
+                then begin
+                  let undo = apply sessions.(i).(pos) in
+                  frontier.(i) <- pos + 1;
+                  let ok = search (scheduled + 1) in
+                  frontier.(i) <- pos;
+                  unapply undo;
+                  ok || try_session (i + 1)
+                end
+                else try_session (i + 1)
+            in
+            try_session 0
+          end
+        end
+      in
+      (try
+         let ok = search 0 in
+         { serializable = ok; states = !states; gave_up = false; invalid = None }
+       with Budget ->
+         { serializable = false; states = !states; gave_up = true;
+           invalid = None })

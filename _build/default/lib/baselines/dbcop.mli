@@ -1,0 +1,25 @@
+(** A dbcop-style serializability checker (Biswas & Enea, OOPSLA'19): an
+    enumerative search over session frontiers instead of solvers or the
+    MTC dependency analysis — the third checker family the paper's related
+    work discusses ("less efficient than Cobra and PolySI").
+
+    A state is the vector of per-session prefix lengths; a session's next
+    committed transaction can be scheduled when each of its external reads
+    matches the current store.  On {e mini-transaction histories} the
+    applied *set* determines the store (every write is an RMW extending a
+    unique version chain), so memoizing frontier vectors is sound and the
+    search is polynomial for a fixed number of sessions — the
+    fixed-parameter tractability result dbcop builds on.
+
+    Inputs must be MT histories with unique values; anything else is
+    rejected as [invalid]. *)
+
+type result = {
+  serializable : bool;
+  states : int;  (** memoized frontier states explored *)
+  gave_up : bool;  (** state budget exhausted (reported non-serializable) *)
+  invalid : string option;  (** input rejected before searching *)
+}
+
+val check : ?max_states:int -> History.t -> result
+(** [max_states] defaults to 2 million. *)

@@ -1,0 +1,41 @@
+(** Polygraphs (Papadimitriou 1979): the known dependency edges of a
+    history plus, for every unordered pair of writers of an object, a
+    binary constraint choosing between the two possible version orders and
+    the anti-dependency edges each induces.
+
+    Both the Cobra and PolySI baselines build this structure and then
+    reduce isolation checking to constrained acyclicity (paper
+    Sections V-B / VI).  Known edges are SO and WR (the latter determined
+    by unique values); WW is entirely constraint-driven — unlike MTC, the
+    baselines do not exploit the RMW pattern. *)
+
+type edge_kind = Dep | Anti
+
+type choice = (edge_kind * int * int) list
+(** Edges (over dense committed-transaction vertices) installed by one
+    side of a constraint. *)
+
+type constr = {
+  key : Op.key;
+  w1 : int;  (** vertex of the first writer *)
+  w2 : int;
+  if_w1_first : choice;  (** WW(w1,w2) plus induced anti-dependencies *)
+  if_w2_first : choice;
+}
+
+type t = {
+  idx : Index.t;
+  known : (edge_kind * int * int) list;  (** SO and WR edges *)
+  constraints : constr list;
+  construct_s : float;  (** wall-clock spent building *)
+}
+
+type failure =
+  | Screen of Int_check.violation
+  | Unresolved of string
+
+val build : History.t -> (t, failure) result
+(** Runs the INT screen first (Cobra's G1 checks), then constructs the
+    polygraph.  O(known edges + Σ_x |WriteTx_x|²). *)
+
+val num_constraints : t -> int

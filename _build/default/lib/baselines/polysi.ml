@@ -1,0 +1,124 @@
+type stats = {
+  constraints_total : int;
+  constraints_pruned : int;
+  construct_s : float;
+  prune_s : float;
+  encode_s : float;
+  solve_s : float;
+  sat_decisions : int;
+  sat_conflicts : int;
+}
+
+type result = { si : bool; reason : string; stats : stats }
+
+let total_s s = s.construct_s +. s.prune_s +. s.encode_s +. s.solve_s
+let nonsolver_s s = s.construct_s +. s.prune_s +. s.encode_s
+
+let empty_stats =
+  {
+    constraints_total = 0;
+    constraints_pruned = 0;
+    construct_s = 0.0;
+    prune_s = 0.0;
+    encode_s = 0.0;
+    solve_s = 0.0;
+    sat_decisions = 0;
+    sat_conflicts = 0;
+  }
+
+(* Product vertices: T_d = 2v, T_r = 2v + 1. *)
+let product_edges (kind, u, v) =
+  match kind with
+  | Polygraph.Dep -> [ ((2 * u), 2 * v); ((2 * u) + 1, 2 * v) ]
+  | Polygraph.Anti -> [ ((2 * u), (2 * v) + 1) ]
+
+let check h =
+  match Polygraph.build h with
+  | Error (Polygraph.Screen v) ->
+      {
+        si = false;
+        reason = Format.asprintf "G1 screen: %a" Int_check.pp_violation v;
+        stats = empty_stats;
+      }
+  | Error (Polygraph.Unresolved msg) ->
+      { si = false; reason = msg; stats = empty_stats }
+  | Ok pg -> (
+      let n = Index.num_vertices pg.Polygraph.idx in
+      let pr = Prune.run ~n pg ~use_anti:false in
+      let stats =
+        {
+          empty_stats with
+          constraints_total = Polygraph.num_constraints pg;
+          constraints_pruned = pr.Prune.decided;
+          construct_s = pg.Polygraph.construct_s;
+          prune_s = pr.Prune.prune_s;
+        }
+      in
+      match pr.Prune.contradiction with
+      | Some (w1, w2) ->
+          {
+            si = false;
+            reason =
+              Printf.sprintf
+                "writers %d and %d are ordered both ways by dependency edges"
+                w1 w2;
+            stats;
+          }
+      | None -> (
+          let t0 = Unix.gettimeofday () in
+          let acyc = Acyclicity.create ~n:(2 * n) in
+          let fixed_cycle =
+            match
+              Acyclicity.add_fixed_batch acyc
+                (List.concat_map product_edges pr.Prune.fixed)
+            with
+            | Ok () -> None
+            | Error path -> Some path
+          in
+          match fixed_cycle with
+          | Some path ->
+              {
+                si = false;
+                reason =
+                  Printf.sprintf
+                    "known edges form an SI-forbidden cycle through [%s]"
+                    (String.concat ","
+                       (List.map (fun v -> string_of_int (v / 2)) path));
+                stats = { stats with encode_s = Unix.gettimeofday () -. t0 };
+              }
+          | None ->
+              let nvars = List.length pr.Prune.undecided in
+              let solver =
+                Solver.create ~theory:(Acyclicity.theory acyc) ~nvars ()
+              in
+              List.iteri
+                (fun i (c : Polygraph.constr) ->
+                  let edges choice = List.concat_map product_edges choice in
+                  Acyclicity.attach acyc (Lit.make i true)
+                    (edges c.Polygraph.if_w1_first);
+                  Acyclicity.attach acyc (Lit.make i false)
+                    (edges c.Polygraph.if_w2_first))
+                pr.Prune.undecided;
+              let encode_s = Unix.gettimeofday () -. t0 in
+              let t1 = Unix.gettimeofday () in
+              let outcome = Solver.solve solver in
+              let solve_s = Unix.gettimeofday () -. t1 in
+              let stats =
+                {
+                  stats with
+                  encode_s;
+                  solve_s;
+                  sat_decisions = Solver.num_decisions solver;
+                  sat_conflicts = Solver.num_conflicts solver;
+                }
+              in
+              (match outcome with
+              | Solver.Sat ->
+                  { si = true; reason = "SI-compatible version order found"; stats }
+              | Solver.Unsat ->
+                  {
+                    si = false;
+                    reason =
+                      "every version order closes an SI-forbidden cycle";
+                    stats;
+                  })))

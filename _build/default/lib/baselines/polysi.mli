@@ -1,0 +1,30 @@
+(** The PolySI baseline (Huang et al., VLDB'23): snapshot-isolation
+    checking of general histories via the polygraph and
+    SAT-modulo-acyclicity — the tool MTC-SI is compared against
+    (Figures 8 and 17).
+
+    SI forbids dependency-graph cycles without two adjacent
+    anti-dependency edges.  We encode this with a product construction:
+    each transaction [T] becomes two vertices [T_d] (reached via a
+    dependency) and [T_r] (reached via an anti-dependency); a dependency
+    edge [T -> S] yields [T_d -> S_d] and [T_r -> S_d], an
+    anti-dependency only [T_d -> S_r].  Product cycles are exactly the
+    SI-forbidden cycles (no two consecutive anti-dependencies). *)
+
+type stats = {
+  constraints_total : int;
+  constraints_pruned : int;
+  construct_s : float;
+  prune_s : float;
+  encode_s : float;
+  solve_s : float;
+  sat_decisions : int;
+  sat_conflicts : int;
+}
+
+type result = { si : bool; reason : string; stats : stats }
+
+val check : History.t -> result
+
+val total_s : stats -> float
+val nonsolver_s : stats -> float

@@ -1,0 +1,89 @@
+type result = { linearizable : bool; visited_states : int }
+
+(* Wing–Gong search for one object.
+
+   A state is (set of linearized events, register value); from each state,
+   any un-linearized event may be linearized next provided (a) no other
+   un-linearized event finished before it started (real-time minimality)
+   and (b) the register semantics accept it.  Memoizing the states keeps
+   chains cheap; concurrency windows of width w cost up to 2^w states. *)
+
+exception Budget_exhausted
+
+let check_key ~budget ~visited_counter (events : Lwt.event array) =
+  let n = Array.length events in
+  if n = 0 then true
+  else begin
+    (* Histories arrive ordered by invocation (start) time — the checker
+       has no access to the hidden linearization order. *)
+    let events = Array.copy events in
+    Array.sort
+      (fun (a : Lwt.event) b -> compare (a.start, a.finish) (b.start, b.finish))
+      events;
+    let words = (n + 62) / 63 in
+    let none_value = min_int in
+    (* Visited (bitset, value) pairs. *)
+    let visited : (string * int, unit) Hashtbl.t = Hashtbl.create 4096 in
+    let key_of bits value =
+      (String.concat "," (List.map string_of_int (Array.to_list bits)), value)
+    in
+    let bit_test bits i = bits.(i / 63) land (1 lsl (i mod 63)) <> 0 in
+    let bit_set bits i =
+      let b = Array.copy bits in
+      b.(i / 63) <- b.(i / 63) lor (1 lsl (i mod 63));
+      b
+    in
+    let apply value (e : Lwt.event) =
+      match e.op with
+      | Lwt.Insert { value = v; _ } -> if value = none_value then Some v else None
+      | Lwt.Rw { expected; new_value; _ } ->
+          if value = expected then Some new_value else None
+      | Lwt.Read { value = v; _ } -> if value = v then Some value else None
+    in
+    let rec search bits value count =
+      if count = n then true
+      else begin
+        let k = key_of bits value in
+        if Hashtbl.mem visited k then false
+        else begin
+          Hashtbl.replace visited k ();
+          incr visited_counter;
+          if !visited_counter > budget then raise Budget_exhausted;
+          (* Real-time frontier: an event is a candidate iff it is not yet
+             linearized and no other un-linearized event finished before it
+             started. *)
+          let min_finish = ref max_int in
+          for i = 0 to n - 1 do
+            if not (bit_test bits i) then
+              min_finish := Stdlib.min !min_finish events.(i).Lwt.finish
+          done;
+          let rec try_candidates i =
+            if i >= n then false
+            else if
+              (not (bit_test bits i)) && events.(i).Lwt.start <= !min_finish
+            then
+              match apply value events.(i) with
+              | Some value' ->
+                  search (bit_set bits i) value' (count + 1)
+                  || try_candidates (i + 1)
+              | None -> try_candidates (i + 1)
+            else try_candidates (i + 1)
+          in
+          try_candidates 0
+        end
+      end
+    in
+    search (Array.make words 0) none_value 0
+  end
+
+let check ?(max_states = 20_000_000) (h : Lwt.t) =
+  let visited_counter = ref 0 in
+  try
+    let ok = ref true in
+    for k = 0 to h.Lwt.num_keys - 1 do
+      if !ok then
+        ok := check_key ~budget:max_states ~visited_counter (Lwt.restrict h k)
+    done;
+    { linearizable = !ok; visited_states = !visited_counter }
+  with Budget_exhausted ->
+    { linearizable = false; visited_states = !visited_counter }

@@ -1,0 +1,20 @@
+(** The Porcupine baseline (Athalye): a general linearizability checker in
+    the Wing–Gong / Lowe style with memoization and P-compositionality
+    (per-object partitioning) — what MTC-SSER is compared against on
+    lightweight-transaction histories (Figure 9).
+
+    Unlike VL-LWT's linear-time chain construction, the search explores
+    linearization orders among real-time-concurrent operations and
+    memoizes (linearized-set, state) pairs, so its cost grows with the
+    concurrency window — the behaviour the paper's experiment exhibits. *)
+
+type result = {
+  linearizable : bool;
+  visited_states : int;  (** memoized search states across all keys *)
+}
+
+val check : ?max_states:int -> Lwt.t -> result
+(** [max_states] (default 20 million, across keys) bounds the search; on
+    exhaustion the checker gives up and reports non-linearizable — noted
+    in EXPERIMENTS.md as Porcupine's practical memory/time cap (the paper
+    makes the same observation about limited checking resources). *)

@@ -1,0 +1,21 @@
+(** Cobra-style constraint pruning (paper Section V-B): a polygraph
+    constraint whose two writers are already ordered by known edges can be
+    decided without the solver — and its induced edges join the known
+    graph, possibly deciding further constraints (run to fixpoint).
+
+    [use_anti] controls which known edges feed the reachability oracle:
+    Cobra (SER) prunes over all edges, PolySI (SI) only over dependency
+    edges (an anti-dependency path alone does not force a version
+    order under SI). *)
+
+type outcome = {
+  fixed : (Polygraph.edge_kind * int * int) list;
+      (** known edges plus all edges of decided constraints *)
+  undecided : Polygraph.constr list;
+  decided : int;
+  contradiction : (int * int) option;
+      (** writer pair ordered both ways by known edges: a violation *)
+  prune_s : float;
+}
+
+val run : n:int -> Polygraph.t -> use_anti:bool -> outcome

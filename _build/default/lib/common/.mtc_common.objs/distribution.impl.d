@@ -1,0 +1,1 @@
+lib/common/distribution.ml: Array Rng Stdlib

@@ -1,0 +1,1 @@
+lib/common/distribution.mli: Rng

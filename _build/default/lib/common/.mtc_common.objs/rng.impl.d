@@ -1,0 +1,1 @@
+lib/common/rng.ml: Array Int64 List Stdlib

@@ -1,0 +1,1 @@
+lib/common/rng.mli:

@@ -1,0 +1,1 @@
+lib/common/stats.ml: Array Format Gc Stdlib Unix

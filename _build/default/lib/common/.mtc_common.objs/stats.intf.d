@@ -1,0 +1,1 @@
+lib/common/stats.mli: Format

@@ -1,0 +1,73 @@
+type kind =
+  | Uniform
+  | Zipfian of float
+  | Hotspot of float * float
+  | Exponential of float
+
+type t = { kind : kind; n : int; zipf_cdf : float array }
+
+let default_zipf_theta = 0.99
+
+(* Precompute the zipfian CDF once; sampling is then a binary search.
+   For the key-space sizes used in the benchmarks (<= 10^5) this is both
+   exact and fast, avoiding the rejection loop of the YCSB generator. *)
+let zipf_cdf theta n =
+  let w = Array.init n (fun i -> 1.0 /. ((float_of_int (i + 1)) ** theta)) in
+  let total = Array.fold_left ( +. ) 0.0 w in
+  let acc = ref 0.0 in
+  Array.map
+    (fun x ->
+      acc := !acc +. (x /. total);
+      !acc)
+    w
+
+let make kind ~n =
+  if n <= 0 then invalid_arg "Distribution.make: n must be positive";
+  let zipf_cdf =
+    match kind with
+    | Zipfian theta -> zipf_cdf theta n
+    | Uniform | Hotspot _ | Exponential _ -> [||]
+  in
+  { kind; n; zipf_cdf }
+
+let kind t = t.kind
+let size t = t.n
+
+let search_cdf cdf u =
+  (* Smallest index with cdf.(i) >= u. *)
+  let lo = ref 0 and hi = ref (Array.length cdf - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cdf.(mid) >= u then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let sample t rng =
+  match t.kind with
+  | Uniform -> Rng.int rng t.n
+  | Zipfian _ -> search_cdf t.zipf_cdf (Rng.float rng 1.0)
+  | Hotspot (hot_fraction, hot_prob) ->
+      let hot_n = Stdlib.max 1 (int_of_float (hot_fraction *. float_of_int t.n)) in
+      if Rng.chance rng hot_prob then Rng.int rng hot_n
+      else if hot_n >= t.n then Rng.int rng t.n
+      else hot_n + Rng.int rng (t.n - hot_n)
+  | Exponential rate ->
+      let x = Rng.exponential rng rate in
+      let i = int_of_float (x *. float_of_int t.n /. 5.0) in
+      if i >= t.n then t.n - 1 else i
+
+let all_kinds =
+  [ Uniform; Zipfian default_zipf_theta; Hotspot (0.2, 0.8); Exponential 1.0 ]
+
+let kind_name = function
+  | Uniform -> "uniform"
+  | Zipfian _ -> "zipfian"
+  | Hotspot _ -> "hotspot"
+  | Exponential _ -> "exponential"
+
+let kind_of_string = function
+  | "uniform" -> Some Uniform
+  | "zipfian" -> Some (Zipfian default_zipf_theta)
+  | "hotspot" -> Some (Hotspot (0.2, 0.8))
+  | "exponential" -> Some (Exponential 1.0)
+  | _ -> None

@@ -1,0 +1,35 @@
+(** Object-access distributions for workload generation.
+
+    The paper's MT workload generator is parameterized by an
+    object-access distribution controlling workload skewness
+    (Section V-A1): uniform, zipfian, hotspot and exponential. *)
+
+type kind =
+  | Uniform
+  | Zipfian of float  (** skew exponent [theta]; the paper uses ~0.99 *)
+  | Hotspot of float * float
+      (** [Hotspot (hot_fraction, hot_prob)]: a [hot_fraction] of the key
+          space receives [hot_prob] of the accesses *)
+  | Exponential of float
+      (** decay rate; small keys are exponentially more popular *)
+
+type t
+
+val make : kind -> n:int -> t
+(** [make kind ~n] prepares a sampler over keys [0 .. n-1].
+    Requires [n > 0]. *)
+
+val kind : t -> kind
+val size : t -> int
+
+val sample : t -> Rng.t -> int
+(** Draw one key. *)
+
+val default_zipf_theta : float
+(** 0.99, the YCSB default used throughout the evaluation. *)
+
+val all_kinds : kind list
+(** The four kinds evaluated in Figures 7a/8a, with default parameters. *)
+
+val kind_name : kind -> string
+val kind_of_string : string -> kind option

@@ -1,0 +1,1 @@
+lib/core/anomaly.ml: Builder Checker List Txn

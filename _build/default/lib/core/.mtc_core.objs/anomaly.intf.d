@@ -1,0 +1,1 @@
+lib/core/anomaly.mli: Checker History

@@ -1,0 +1,1 @@
+lib/core/checker.ml: Cycle Deps Digraph Divergence Format History Index Int_check List Op Stdlib String Txn

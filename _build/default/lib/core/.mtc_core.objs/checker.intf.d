@@ -1,0 +1,1 @@
+lib/core/checker.mli: Deps Divergence Format History Int_check Txn

@@ -1,0 +1,1 @@
+lib/core/deps.ml: Array Digraph Format Hashtbl History Index List Op Txn

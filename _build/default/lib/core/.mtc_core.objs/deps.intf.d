@@ -1,0 +1,1 @@
+lib/core/deps.mli: Digraph Format Index Op Txn

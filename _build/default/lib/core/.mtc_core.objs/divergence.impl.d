@@ -1,0 +1,1 @@
+lib/core/divergence.ml: Array Format Hashtbl Index List Op Txn

@@ -1,0 +1,1 @@
+lib/core/divergence.mli: Format Index Op Txn

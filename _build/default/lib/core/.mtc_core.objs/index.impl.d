@@ -1,0 +1,1 @@
+lib/core/index.ml: Array Hashtbl History List Op Printf Txn

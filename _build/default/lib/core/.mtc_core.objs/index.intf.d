@@ -1,0 +1,1 @@
+lib/core/index.mli: Hashtbl History Op Txn

@@ -1,0 +1,1 @@
+lib/core/int_check.ml: Array Format Hashtbl Index List Op Txn

@@ -1,0 +1,1 @@
+lib/core/int_check.mli: Format Index Op Txn

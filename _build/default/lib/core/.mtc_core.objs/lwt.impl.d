@@ -1,0 +1,1 @@
+lib/core/lwt.ml: Array Format Hashtbl List Op Printf

@@ -1,0 +1,1 @@
+lib/core/lwt.mli: Format Op

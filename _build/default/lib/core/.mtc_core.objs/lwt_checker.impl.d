@@ -1,0 +1,1 @@
+lib/core/lwt_checker.ml: Array Format Hashtbl List Lwt Op Result Stdlib

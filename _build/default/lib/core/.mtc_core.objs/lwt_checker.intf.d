@@ -1,0 +1,1 @@
+lib/core/lwt_checker.mli: Format Lwt Op

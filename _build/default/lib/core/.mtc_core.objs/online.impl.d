@@ -1,0 +1,1 @@
+lib/core/online.ml: Array Checker Deps Divergence Hashtbl History Index Int_check List Op Option Pearce_kelly Printf Stdlib Txn

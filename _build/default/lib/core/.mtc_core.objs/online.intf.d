@@ -1,0 +1,1 @@
+lib/core/online.mli: Checker Txn

@@ -1,0 +1,1 @@
+lib/core/oracle.ml: Array Checker Cycle Deps Format Hashtbl History Index Int_check List Op Printf Topo Txn

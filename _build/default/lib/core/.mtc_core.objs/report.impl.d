@@ -1,0 +1,1 @@
+lib/core/report.ml: Anomaly Array Buffer Checker Deps Divergence Format History Int_check List Printf Txn

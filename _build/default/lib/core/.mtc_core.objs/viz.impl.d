@@ -1,0 +1,1 @@
+lib/core/viz.ml: Array Buffer Checker Deps Digraph Divergence History Index List Op Printf Stdlib String Txn

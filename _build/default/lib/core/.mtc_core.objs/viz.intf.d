@@ -1,0 +1,1 @@
+lib/core/viz.mli: Checker History

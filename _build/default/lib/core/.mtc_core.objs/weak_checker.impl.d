@@ -1,0 +1,1 @@
+lib/core/weak_checker.ml: Array Bytes Char Cycle Deps Digraph Format Hashtbl History Index Int_check List Op Printf Reach Txn

@@ -1,0 +1,1 @@
+lib/core/weak_checker.mli: Deps Format History Int_check Op Txn

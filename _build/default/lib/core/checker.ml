@@ -1,0 +1,120 @@
+type level = SSER | SER | SI
+
+let level_name = function SSER -> "SSER" | SER -> "SER" | SI -> "SI"
+
+let level_of_string s =
+  match String.uppercase_ascii s with
+  | "SSER" -> Some SSER
+  | "SER" -> Some SER
+  | "SI" -> Some SI
+  | _ -> None
+
+type violation =
+  | Intra of Int_check.violation
+  | Diverged of Divergence.instance
+  | Cyclic of (Txn.id * Deps.dep * Txn.id) list
+  | Malformed of string
+
+type outcome = Pass | Fail of violation
+
+let pp_violation ppf = function
+  | Intra v -> Int_check.pp_violation ppf v
+  | Diverged i -> Divergence.pp_instance ppf i
+  | Cyclic cycle ->
+      Format.fprintf ppf "@[<h>cycle:";
+      List.iter
+        (fun (a, dep, b) ->
+          Format.fprintf ppf " T%d -%a-> T%d;" a Deps.pp_dep dep b)
+        cycle;
+      Format.fprintf ppf "@]"
+  | Malformed msg -> Format.fprintf ppf "malformed history: %s" msg
+
+let pp_outcome ppf = function
+  | Pass -> Format.pp_print_string ppf "PASS"
+  | Fail v -> Format.fprintf ppf "FAIL (%a)" pp_violation v
+
+let passes = function Pass -> true | Fail _ -> false
+
+(* The SI composition ((SO ∪ WR ∪ WW) ; RW?): an edge per dependency edge,
+   plus one per dependency edge extended by a following anti-dependency.
+   The middle vertex is kept in the label so cycles expand back to
+   dependency-level counterexamples. *)
+type si_label =
+  | Dep of Deps.dep
+  | Comp of Deps.dep * int * Op.key  (* dep into mid, then RW(key) out *)
+
+let si_compose (d : Deps.t) =
+  let g' = Digraph.create d.num_txn_vertices in
+  List.iter
+    (fun (u, lab, v) ->
+      Digraph.add_edge g' u v (Dep lab);
+      List.iter
+        (fun (k, w) -> Digraph.add_edge g' u w (Comp (lab, v, k)))
+        (Deps.rw_succ d v))
+    (Deps.dep_edges d);
+  g'
+
+let expand_si_cycle cycle =
+  List.concat_map
+    (fun (u, lab, w) ->
+      match lab with
+      | Dep dep -> [ (u, dep, w) ]
+      | Comp (dep, mid, k) -> [ (u, dep, mid); (mid, Deps.RW k, w) ])
+    cycle
+
+let check ?(rt_mode = Deps.Rt_sweep) ?(skew = 0) level h =
+  match History.unique_values h with
+  | Error msg -> Fail (Malformed msg)
+  | Ok () -> (
+      let idx = Index.build h in
+      match Int_check.check idx with
+      | Error v -> Fail (Intra v)
+      | Ok () -> (
+          let acyclic_or_fail d g =
+            match Cycle.find g with
+            | None -> Pass
+            | Some cycle -> Fail (Cyclic (Deps.to_txn_cycle d cycle))
+          in
+          match level with
+          | SER -> (
+              match Deps.build ~rt:Deps.No_rt idx with
+              | Error e -> Fail (Malformed (Format.asprintf "%a" Deps.pp_error e))
+              | Ok d -> acyclic_or_fail d d.graph)
+          | SSER -> (
+              match Deps.build ~skew ~rt:rt_mode idx with
+              | Error e -> Fail (Malformed (Format.asprintf "%a" Deps.pp_error e))
+              | Ok d -> acyclic_or_fail d d.graph)
+          | SI -> (
+              match Divergence.find idx with
+              | Some inst -> Fail (Diverged inst)
+              | None -> (
+                  match Deps.build ~rt:Deps.No_rt idx with
+                  | Error e ->
+                      Fail (Malformed (Format.asprintf "%a" Deps.pp_error e))
+                  | Ok d -> (
+                      match Cycle.find (si_compose d) with
+                      | None -> Pass
+                      | Some cycle ->
+                          Fail
+                            (Cyclic
+                               (Deps.to_txn_cycle d (expand_si_cycle cycle))))))))
+
+let check_sser ?rt_mode ?skew h = check ?rt_mode ?skew SSER h
+let check_ser h = check SER h
+let check_si h = check SI h
+
+(* The initial transaction is not a mini-transaction issued by any client:
+   positions count real MTs, so id 0 is skipped unless it is all there is. *)
+let min_position ids =
+  match List.filter (fun t -> t > 0) ids with
+  | [] -> if ids = [] then None else Some 0
+  | real -> Some (List.fold_left Stdlib.min Stdlib.max_int real)
+
+let ce_position = function
+  | Intra v -> Some v.Int_check.txn
+  | Diverged i ->
+      let r1, _ = i.Divergence.reader1 and r2, _ = i.Divergence.reader2 in
+      min_position [ i.Divergence.writer; r1; r2 ]
+  | Cyclic cycle ->
+      min_position (List.concat_map (fun (a, _, b) -> [ a; b ]) cycle)
+  | Malformed _ -> None

@@ -1,0 +1,173 @@
+type dep = RT | SO | WR of Op.key | WW of Op.key | RW of Op.key | Rt_chain
+
+let dep_name = function
+  | RT -> "RT"
+  | SO -> "SO"
+  | WR _ -> "WR"
+  | WW _ -> "WW"
+  | RW _ -> "RW"
+  | Rt_chain -> "rt*"
+
+let pp_dep ppf = function
+  | RT -> Format.pp_print_string ppf "RT"
+  | SO -> Format.pp_print_string ppf "SO"
+  | WR k -> Format.fprintf ppf "WR(x%d)" k
+  | WW k -> Format.fprintf ppf "WW(x%d)" k
+  | RW k -> Format.fprintf ppf "RW(x%d)" k
+  | Rt_chain -> Format.pp_print_string ppf "rt*"
+
+type rt_mode = No_rt | Rt_naive | Rt_sweep
+
+type t = { idx : Index.t; graph : dep Digraph.t; num_txn_vertices : int }
+
+type error = Unresolved_read of { txn : Txn.id; key : Op.key; value : Op.value }
+
+let pp_error ppf (Unresolved_read { txn; key; value }) =
+  Format.fprintf ppf
+    "read of %d on x%d in T%d is not attributable to a committed final write"
+    value key txn
+
+let build ?(skew = 0) ~rt (idx : Index.t) =
+  let m = Index.num_vertices idx in
+  let size = match rt with Rt_sweep -> 2 * m | No_rt | Rt_naive -> m in
+  let g = Digraph.create size in
+  (* SO edges (lines 6-7). *)
+  List.iter
+    (fun (a, b) ->
+      Digraph.add_edge g (Index.vertex idx a) (Index.vertex idx b) SO)
+    (History.so_pairs idx.history);
+  (* WR edges, and WW by the RMW inference (lines 8-11).  While adding
+     them, group readers and overwriters per (writer vertex, key) so the RW
+     edges (lines 14-15) can be composed in one pass. *)
+  let readers : (int * Op.key, int list ref) Hashtbl.t = Hashtbl.create (4 * m) in
+  let overwriters : (int * Op.key, int list ref) Hashtbl.t = Hashtbl.create m in
+  let push tbl key v =
+    match Hashtbl.find_opt tbl key with
+    | Some r -> r := v :: !r
+    | None -> Hashtbl.replace tbl key (ref [ v ])
+  in
+  let error = ref None in
+  Array.iteri
+    (fun sv (s : Txn.t) ->
+      List.iter
+        (fun (k, v) ->
+          match Index.writer_of idx k v with
+          | Index.Final w when w <> s.id ->
+              let wv = Index.vertex idx w in
+              Digraph.add_edge g wv sv (WR k);
+              push readers (wv, k) sv;
+              if Txn.writes_key s k then begin
+                Digraph.add_edge g wv sv (WW k);
+                push overwriters (wv, k) sv
+              end
+          | Index.Final _ | Index.Intermediate _ | Index.Aborted _
+          | Index.Nobody ->
+              if !error = None then
+                error := Some (Unresolved_read { txn = s.id; key = k; value = v }))
+        (Txn.external_reads s))
+    idx.committed;
+  match !error with
+  | Some e -> Error e
+  | None ->
+      (* RW edges: T' -WR(x)-> T and T' -WW(x)-> S give T -RW(x)-> S. *)
+      Hashtbl.iter
+        (fun (wv, k) rs ->
+          match Hashtbl.find_opt overwriters (wv, k) with
+          | None -> ()
+          | Some ws ->
+              List.iter
+                (fun t ->
+                  List.iter
+                    (fun s -> if t <> s then Digraph.add_edge g t s (RW k))
+                    !ws)
+                !rs)
+        readers;
+      (* RT edges for SSER. *)
+      (match rt with
+      | No_rt -> ()
+      | Rt_naive ->
+          for i = 0 to m - 1 do
+            for j = 0 to m - 1 do
+              if i <> j then begin
+                let a = Index.txn_of_vertex idx i
+                and b = Index.txn_of_vertex idx j in
+                (* commit + skew cannot overflow (logical clocks are
+                     small); start - skew would underflow on the initial
+                     transaction's min_int timestamps. *)
+                if a.commit_ts + skew < b.start_ts then
+                  Digraph.add_edge g i j RT
+              end
+            done
+          done
+      | Rt_sweep ->
+          (* Helper vertex m + r stands for "every transaction among the
+             r+1 earliest commits has finished".  Binary search start
+             times against the sorted commit times. *)
+          let by_commit = Array.init m (fun v -> v) in
+          Array.sort
+            (fun a b ->
+              compare (Index.txn_of_vertex idx a).Txn.commit_ts
+                (Index.txn_of_vertex idx b).Txn.commit_ts)
+            by_commit;
+          let commits =
+            Array.map (fun v -> (Index.txn_of_vertex idx v).Txn.commit_ts) by_commit
+          in
+          for r = 0 to m - 1 do
+            Digraph.add_edge g by_commit.(r) (m + r) Rt_chain;
+            if r + 1 < m then Digraph.add_edge g (m + r) (m + r + 1) Rt_chain
+          done;
+          for sv = 0 to m - 1 do
+            let start = (Index.txn_of_vertex idx sv).Txn.start_ts in
+            (* Largest r with commits.(r) < start. *)
+            let lo = ref 0 and hi = ref (m - 1) and best = ref (-1) in
+            while !lo <= !hi do
+              let mid = (!lo + !hi) / 2 in
+              if commits.(mid) + skew < start then begin
+                best := mid;
+                lo := mid + 1
+              end
+              else hi := mid - 1
+            done;
+            if !best >= 0 then Digraph.add_edge g (m + !best) sv Rt_chain
+          done);
+      Ok { idx; graph = g; num_txn_vertices = m }
+
+let to_txn_cycle t cycle =
+  let is_helper v = v >= t.num_txn_vertices in
+  (* Rotate so the cycle starts at a transaction vertex. *)
+  let rec rotate seen = function
+    | [] -> []
+    | ((u, _, _) :: _) as c when not (is_helper u) -> c
+    | e :: rest when seen < List.length cycle -> rotate (seen + 1) (rest @ [ e ])
+    | c -> c
+  in
+  let cycle = rotate 0 cycle in
+  let txn_id v = (Index.txn_of_vertex t.idx v).Txn.id in
+  let rec contract = function
+    | [] -> []
+    | (u, Rt_chain, v) :: rest when is_helper v ->
+        (* Walk the helper run until it re-enters a transaction vertex. *)
+        let rec skip = function
+          | (_, _, w) :: rest' when is_helper w -> skip rest'
+          | (_, _, w) :: rest' -> (w, rest')
+          | [] -> failwith "Deps.to_txn_cycle: dangling helper run"
+        in
+        let exit_vertex, rest' = skip rest in
+        (txn_id u, RT, txn_id exit_vertex) :: contract rest'
+    | (u, lab, v) :: rest -> (txn_id u, lab, txn_id v) :: contract rest
+  in
+  contract cycle
+
+let dep_edges t =
+  Digraph.fold_edges t.graph
+    (fun acc u lab v ->
+      match lab with
+      | SO | WR _ | WW _ -> (u, lab, v) :: acc
+      | RT | RW _ | Rt_chain -> acc)
+    []
+  |> List.rev
+
+let rw_succ t v =
+  List.filter_map
+    (fun (w, lab) -> match lab with RW k -> Some (k, w) | _ -> None)
+    (Digraph.succ t.graph v)

@@ -1,0 +1,63 @@
+(** The (nearly unique) dependency graph of a mini-transaction history —
+    the optimized BUILDDEPENDENCY of paper Algorithm 1 / Section IV-C.
+
+    Unique values make WR fully determined; the RMW pattern makes each WW
+    edge the direct successor relation along an object's version chain
+    (inferred from WR, lines 10–11); the transitive closure of WW is *not*
+    computed (Theorems 1–2 show acyclicity is preserved); RW is composed
+    from WR and WW (lines 14–15).
+
+    For SSER, the real-time relation can be materialized in two ways:
+    - [Rt_naive]: one edge per ordered pair, Θ(n²) as analyzed in the
+      paper (Section IV-D);
+    - [Rt_sweep]: an O(n log n) encoding through a chain of helper
+      vertices sorted by commit time — [T -RT-> S] iff the graph has a
+      path [T -> h_i -> ... -> h_j -> S] of [Rt_chain] edges.  Cycles are
+      mapped back to RT edges by {!to_txn_cycle}. *)
+
+type dep =
+  | RT
+  | SO
+  | WR of Op.key
+  | WW of Op.key
+  | RW of Op.key
+  | Rt_chain  (** internal helper-chain edges of the sweep encoding *)
+
+val dep_name : dep -> string
+val pp_dep : Format.formatter -> dep -> unit
+
+type rt_mode = No_rt | Rt_naive | Rt_sweep
+
+type t = {
+  idx : Index.t;
+  graph : dep Digraph.t;
+  num_txn_vertices : int;  (** vertices [>= num_txn_vertices] are helpers *)
+}
+
+type error = Unresolved_read of { txn : Txn.id; key : Op.key; value : Op.value }
+
+val pp_error : Format.formatter -> error -> unit
+
+val build : ?skew:int -> rt:rt_mode -> Index.t -> (t, error) result
+(** Fails only if some external read cannot be attributed to the final
+    write of a committed transaction — which the INT screen
+    ({!Int_check.check}) rules out beforehand.
+
+    [skew] (default 0) relaxes the real-time order for SSER: an RT edge
+    [T -> S] is added only when [T.commit_ts + skew < S.start_ts].  This
+    is the paper's future-work concern about collecting wall-clock
+    timestamps under clock skew — tolerating a bounded skew trades a few
+    missed RT edges (weaker check, no false positives) for robustness
+    against drifting client clocks. *)
+
+val to_txn_cycle :
+  t -> (int * dep * int) list -> (Txn.id * dep * Txn.id) list
+(** Convert a vertex-level cycle into a transaction-level one, contracting
+    maximal runs of [Rt_chain] helper edges into single [RT] edges. *)
+
+val dep_edges : t -> (int * dep * int) list
+(** The SO/WR/WW edges (no RT, no RW) — the left operand of the SI
+    composition. *)
+
+val rw_succ : t -> int -> (Op.key * int) list
+(** RW successors of a vertex. *)

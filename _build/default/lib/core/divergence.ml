@@ -1,0 +1,54 @@
+type instance = {
+  key : Op.key;
+  writer : Txn.id;
+  reader1 : Txn.id * Op.value;
+  reader2 : Txn.id * Op.value;
+}
+
+let pp_instance ppf { key; writer; reader1 = r1, v1; reader2 = r2, v2 } =
+  Format.fprintf ppf
+    "DIVERGENCE on x%d: T%d and T%d both read from T%d and wrote %d / %d" key
+    r1 r2 writer v1 v2
+
+(* A committed transaction S "diverges" on x if it has an external read
+   R(x, v) and a final write W(x, _): it extends the version chain of the
+   writer of v.  Two extenders of the same (x, v) form the pattern. *)
+let scan (idx : Index.t) ~all =
+  let first_extender : (Op.key * Op.value, Txn.id * Op.value) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let found = ref [] in
+  let exception Hit in
+  (try
+     Array.iter
+       (fun (s : Txn.t) ->
+         List.iter
+           (fun (k, v) ->
+             match Txn.write_of s k with
+             | None -> ()
+             | Some v_new -> (
+                 match Hashtbl.find_opt first_extender (k, v) with
+                 | None -> Hashtbl.replace first_extender (k, v) (s.id, v_new)
+                 | Some (other, v_other) ->
+                     let writer =
+                       match Index.writer_of idx k v with
+                       | Index.Final w -> w
+                       | Index.Intermediate w | Index.Aborted w -> w
+                       | Index.Nobody -> -1
+                     in
+                     found :=
+                       {
+                         key = k;
+                         writer;
+                         reader1 = (other, v_other);
+                         reader2 = (s.id, v_new);
+                       }
+                       :: !found;
+                     if not all then raise Hit))
+           (Txn.external_reads s))
+       idx.committed
+   with Hit -> ());
+  List.rev !found
+
+let find idx = match scan idx ~all:false with [] -> None | i :: _ -> Some i
+let find_all idx = scan idx ~all:true

@@ -1,0 +1,22 @@
+(** The DIVERGENCE pattern (paper Definition 10 and Figure 3): two
+    transactions read the same value of an object from the same writer and
+    then both write (different, by unique values) values to it.  Any history
+    containing this pattern violates SI (Lemma 1) — CHECKSI screens for it
+    before building the dependency graph. *)
+
+type instance = {
+  key : Op.key;
+  writer : Txn.id;  (** the transaction both readers read from *)
+  reader1 : Txn.id * Op.value;  (** first diverging reader and its write *)
+  reader2 : Txn.id * Op.value;
+}
+
+val pp_instance : Format.formatter -> instance -> unit
+
+val find : Index.t -> instance option
+(** First instance found, scanning committed transactions in id order.
+    O(n) using a [(key, read value) -> writing reader] table. *)
+
+val find_all : Index.t -> instance list
+(** Every diverging pair (an object read by [k] diverging writers yields
+    [k-1] instances against the first one). *)

@@ -1,0 +1,65 @@
+type t = {
+  history : History.t;
+  committed : Txn.t array;
+  vertex_of_txn : int array;
+  final_writer : (Op.key * Op.value, Txn.id) Hashtbl.t;
+  intermediate_writer : (Op.key * Op.value, Txn.id) Hashtbl.t;
+  aborted_writer : (Op.key * Op.value, Txn.id) Hashtbl.t;
+}
+
+let build (h : History.t) =
+  let n = History.num_txns h in
+  let committed =
+    Array.of_list (History.committed h)
+  in
+  let vertex_of_txn = Array.make n (-1) in
+  Array.iteri (fun i (t : Txn.t) -> vertex_of_txn.(t.id) <- i) committed;
+  let final_writer = Hashtbl.create (4 * n) in
+  let intermediate_writer = Hashtbl.create 16 in
+  let aborted_writer = Hashtbl.create 16 in
+  Array.iter
+    (fun (t : Txn.t) ->
+      match t.status with
+      | Txn.Committed ->
+          List.iter
+            (fun (k, v) -> Hashtbl.replace final_writer (k, v) t.id)
+            (Txn.final_writes t);
+          List.iter
+            (fun (k, v) -> Hashtbl.replace intermediate_writer (k, v) t.id)
+            (Txn.intermediate_writes t)
+      | Txn.Aborted ->
+          Array.iter
+            (fun op ->
+              match op with
+              | Op.Write (k, v) -> Hashtbl.replace aborted_writer (k, v) t.id
+              | Op.Read _ -> ())
+            t.ops)
+    h.txns;
+  { history = h; committed; vertex_of_txn; final_writer; intermediate_writer;
+    aborted_writer }
+
+let num_vertices t = Array.length t.committed
+
+let txn_of_vertex t v = t.committed.(v)
+
+let vertex t id =
+  let v = t.vertex_of_txn.(id) in
+  if v < 0 then invalid_arg (Printf.sprintf "Index.vertex: T%d is aborted" id);
+  v
+
+type writer =
+  | Final of Txn.id
+  | Intermediate of Txn.id
+  | Aborted of Txn.id
+  | Nobody
+
+let writer_of t k v =
+  match Hashtbl.find_opt t.final_writer (k, v) with
+  | Some id -> Final id
+  | None -> (
+      match Hashtbl.find_opt t.intermediate_writer (k, v) with
+      | Some id -> Intermediate id
+      | None -> (
+          match Hashtbl.find_opt t.aborted_writer (k, v) with
+          | Some id -> Aborted id
+          | None -> Nobody))

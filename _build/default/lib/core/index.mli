@@ -1,0 +1,34 @@
+(** A shared index over a history: dense vertex numbering of committed
+    transactions and write-value lookup tables.  Because every write on an
+    object assigns a unique value (Definition 9), the tables resolve each
+    read to the transaction that produced its value — the basis of the
+    deterministic WR relation (paper Section IV-A). *)
+
+type t = private {
+  history : History.t;
+  committed : Txn.t array;  (** committed transactions in id order *)
+  vertex_of_txn : int array;  (** txn id -> dense vertex, or -1 if aborted *)
+  final_writer : (Op.key * Op.value, Txn.id) Hashtbl.t;
+      (** committed transactions' last writes: [T |- W(x,v)] *)
+  intermediate_writer : (Op.key * Op.value, Txn.id) Hashtbl.t;
+      (** committed transactions' overwritten internal writes *)
+  aborted_writer : (Op.key * Op.value, Txn.id) Hashtbl.t;
+      (** any write of an aborted transaction *)
+}
+
+val build : History.t -> t
+
+val num_vertices : t -> int
+val txn_of_vertex : t -> int -> Txn.t
+val vertex : t -> Txn.id -> int
+(** @raise Invalid_argument on an aborted transaction. *)
+
+type writer =
+  | Final of Txn.id
+  | Intermediate of Txn.id
+  | Aborted of Txn.id
+  | Nobody
+
+val writer_of : t -> Op.key -> Op.value -> writer
+(** Who produced value [v] of object [x]?  [Final] writers are the only
+    legitimate sources under the INT axiom + committed visibility. *)

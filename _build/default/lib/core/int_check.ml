@@ -1,0 +1,106 @@
+type kind =
+  | Thin_air_read
+  | Aborted_read of Txn.id
+  | Future_read
+  | Not_my_last_write
+  | Not_my_own_write
+  | Intermediate_read of Txn.id
+  | Non_repeatable_reads
+
+type violation = { txn : Txn.id; op_index : int; kind : kind }
+
+let kind_name = function
+  | Thin_air_read -> "ThinAirRead"
+  | Aborted_read _ -> "AbortedRead"
+  | Future_read -> "FutureRead"
+  | Not_my_last_write -> "NotMyLastWrite"
+  | Not_my_own_write -> "NotMyOwnWrite"
+  | Intermediate_read _ -> "IntermediateRead"
+  | Non_repeatable_reads -> "NonRepeatableReads"
+
+let pp_violation ppf { txn; op_index; kind } =
+  Format.fprintf ppf "%s at T%d op#%d" (kind_name kind) txn op_index;
+  match kind with
+  | Aborted_read w -> Format.fprintf ppf " (writer T%d, aborted)" w
+  | Intermediate_read w -> Format.fprintf ppf " (intermediate write of T%d)" w
+  | Thin_air_read | Future_read | Not_my_last_write | Not_my_own_write
+  | Non_repeatable_reads ->
+      ()
+
+type last_access = Last_write of Op.value | Last_read of Op.value
+
+(* Classify a read that disagrees with the in-transaction state.  [later]
+   tells whether the observed value is produced by a write of the same
+   transaction occurring after the read. *)
+let classify_internal ~prior ~observed_is_earlier_own_write ~observed_is_later_own_write
+    =
+  if observed_is_later_own_write then Future_read
+  else
+    match prior with
+    | Last_write _ ->
+        if observed_is_earlier_own_write then Not_my_last_write
+        else Not_my_own_write
+    | Last_read _ -> Non_repeatable_reads
+
+let check_txn_with ~resolve (t : Txn.t) =
+  let violations = ref [] in
+  let state : (Op.key, last_access) Hashtbl.t = Hashtbl.create 4 in
+  (* Positions of the transaction's own writes, per (key, value). *)
+  let own_write_pos : (Op.key * Op.value, int) Hashtbl.t = Hashtbl.create 4 in
+  Array.iteri
+    (fun i op ->
+      match op with
+      | Op.Write (k, v) ->
+          if not (Hashtbl.mem own_write_pos (k, v)) then
+            Hashtbl.replace own_write_pos (k, v) i
+      | Op.Read _ -> ())
+    t.ops;
+  Array.iteri
+    (fun i op ->
+      match op with
+      | Op.Write (k, v) -> Hashtbl.replace state k (Last_write v)
+      | Op.Read (k, v) -> (
+          let record kind = violations := { txn = t.id; op_index = i; kind } :: !violations in
+          (match Hashtbl.find_opt state k with
+          | Some (Last_write v' | Last_read v') when v' = v -> ()
+          | Some prior ->
+              let own_pos = Hashtbl.find_opt own_write_pos (k, v) in
+              record
+                (classify_internal ~prior
+                   ~observed_is_earlier_own_write:
+                     (match own_pos with Some p -> p < i | None -> false)
+                   ~observed_is_later_own_write:
+                     (match own_pos with Some p -> p > i | None -> false))
+          | None -> (
+              (* External read: resolve the writer via unique values. *)
+              match resolve k v with
+              | Index.Final w when w <> t.id -> ()
+              | Index.Final _ ->
+                  (* Our own final write, read before it happened. *)
+                  record Future_read
+              | Index.Intermediate w ->
+                  if w = t.id then record Future_read
+                  else record (Intermediate_read w)
+              | Index.Aborted w -> record (Aborted_read w)
+              | Index.Nobody -> record Thin_air_read));
+          Hashtbl.replace state k (Last_read v)))
+    t.ops;
+  List.rev !violations
+
+let check_txn (idx : Index.t) t =
+  check_txn_with ~resolve:(Index.writer_of idx) t
+
+let check_all (idx : Index.t) =
+  Array.fold_left
+    (fun acc t -> acc @ check_txn idx t)
+    [] idx.committed
+
+let check idx =
+  let exception Hit of violation in
+  try
+    Array.iter
+      (fun t ->
+        match check_txn idx t with v :: _ -> raise (Hit v) | [] -> ())
+      idx.committed;
+    Ok ()
+  with Hit v -> Error v

@@ -1,0 +1,171 @@
+type reason =
+  | No_insert of Op.key
+  | Multiple_inserts of { key : Op.key; count : int }
+  | No_successor of { key : Op.key; value : Op.value; remaining : int }
+  | Duplicate_successor of {
+      key : Op.key;
+      value : Op.value;
+      event1 : int;
+      event2 : int;
+    }
+  | Stale_read of { key : Op.key; event : int; value : Op.value }
+  | Real_time_violation of { key : Op.key; event : int }
+
+let pp_reason ppf = function
+  | No_insert k -> Format.fprintf ppf "x%d: no insert-if-not-exists" k
+  | Multiple_inserts { key; count } ->
+      Format.fprintf ppf "x%d: %d inserts succeeded" key count
+  | No_successor { key; value; remaining } ->
+      Format.fprintf ppf
+        "x%d: chain stuck at value %d with %d unconsumed R&W events" key value
+        remaining
+  | Duplicate_successor { key; value; event1; event2 } ->
+      Format.fprintf ppf "x%d: E%d and E%d both CAS'd from value %d" key
+        event1 event2 value
+  | Stale_read { key; event; value } ->
+      Format.fprintf ppf "x%d: E%d read value %d, never current" key event
+        value
+  | Real_time_violation { key; event } ->
+      Format.fprintf ppf
+        "x%d: E%d starts after a later chain transaction finishes" key event
+
+(* Step 1 of Algorithm 2: the unique version chain. *)
+let build_chain (events : Lwt.event array) k =
+  let inserts = ref [] and rws = ref [] and reads = ref [] in
+  Array.iter
+    (fun (e : Lwt.event) ->
+      match e.op with
+      | Lwt.Insert _ -> inserts := e :: !inserts
+      | Lwt.Rw _ -> rws := e :: !rws
+      | Lwt.Read _ -> reads := e :: !reads)
+    events;
+  match !inserts with
+  | [] -> Error (No_insert k)
+  | _ :: _ :: _ as l -> Error (Multiple_inserts { key = k; count = List.length l })
+  | [ insert ] -> (
+      let next : (Op.value, Lwt.event) Hashtbl.t = Hashtbl.create 64 in
+      let dup = ref None in
+      List.iter
+        (fun (e : Lwt.event) ->
+          match e.op with
+          | Lwt.Rw { expected; _ } -> (
+              match Hashtbl.find_opt next expected with
+              | Some other ->
+                  if !dup = None then
+                    dup :=
+                      Some
+                        (Duplicate_successor
+                           {
+                             key = k;
+                             value = expected;
+                             event1 = other.Lwt.id;
+                             event2 = e.Lwt.id;
+                           })
+              | None -> Hashtbl.replace next expected e)
+          | Lwt.Insert _ | Lwt.Read _ -> ())
+        !rws;
+      match !dup with
+      | Some r -> Error r
+      | None ->
+          let v0 =
+            match insert.Lwt.op with
+            | Lwt.Insert { value; _ } -> value
+            | Lwt.Rw _ | Lwt.Read _ -> assert false
+          in
+          let rec walk acc v consumed =
+            match Hashtbl.find_opt next v with
+            | Some e ->
+                let v' =
+                  match e.Lwt.op with
+                  | Lwt.Rw { new_value; _ } -> new_value
+                  | Lwt.Insert _ | Lwt.Read _ -> assert false
+                in
+                walk (e :: acc) v' (consumed + 1)
+            | None ->
+                let total = List.length !rws in
+                if consumed < total then
+                  Error
+                    (No_successor
+                       { key = k; value = v; remaining = total - consumed })
+                else Ok (List.rev acc, v)
+          in
+          Result.map
+            (fun (chain, final_value) -> (chain, final_value, !reads))
+            (walk [ insert ] v0 0))
+
+(* Step 2, generalized to plain reads: walk the chain keeping the earliest
+   feasible linearization point [tau]; each writer, then each read of the
+   value it installed (earliest finish first), must fit its interval. *)
+let check_real_time k (chain : Lwt.event list) (reads : Lwt.event list) =
+  let value_installed_by (e : Lwt.event) =
+    match e.op with
+    | Lwt.Insert { value; _ } -> value
+    | Lwt.Rw { new_value; _ } -> new_value
+    | Lwt.Read _ -> assert false
+  in
+  let reads_of : (Op.value, Lwt.event list ref) Hashtbl.t = Hashtbl.create 64 in
+  let chain_values = Hashtbl.create 64 in
+  List.iter (fun e -> Hashtbl.replace chain_values (value_installed_by e) ()) chain;
+  let stale = ref None in
+  List.iter
+    (fun (e : Lwt.event) ->
+      match e.Lwt.op with
+      | Lwt.Read { value; _ } ->
+          if Hashtbl.mem chain_values value then
+            match Hashtbl.find_opt reads_of value with
+            | Some r -> r := e :: !r
+            | None -> Hashtbl.replace reads_of value (ref [ e ])
+          else if !stale = None then
+            stale := Some (Stale_read { key = k; event = e.Lwt.id; value })
+      | Lwt.Insert _ | Lwt.Rw _ -> ())
+    reads;
+  match !stale with
+  | Some r -> Error r
+  | None -> (
+      let tau = ref min_int in
+      let place (e : Lwt.event) =
+        tau := Stdlib.max !tau e.start;
+        if !tau > e.finish then
+          Some (Real_time_violation { key = k; event = e.id })
+        else None
+      in
+      let exception Bad of reason in
+      try
+        List.iter
+          (fun (w : Lwt.event) ->
+            (match place w with Some r -> raise (Bad r) | None -> ());
+            let group =
+              match Hashtbl.find_opt reads_of (value_installed_by w) with
+              | Some r ->
+                  List.sort
+                    (fun (a : Lwt.event) b -> compare a.finish b.finish)
+                    !r
+              | None -> []
+            in
+            List.iter
+              (fun r ->
+                match place r with Some x -> raise (Bad x) | None -> ())
+              group)
+          chain;
+        Ok ()
+      with Bad r -> Error r)
+
+let check_key (h : Lwt.t) k =
+  let events = Lwt.restrict h k in
+  if Array.length events = 0 then Ok ()
+  else
+    match build_chain events k with
+    | Error r -> Error r
+    | Ok (chain, _final, reads) -> check_real_time k chain reads
+
+let check (h : Lwt.t) =
+  let rec go k =
+    if k >= h.num_keys then Ok ()
+    else match check_key h k with Ok () -> go (k + 1) | Error _ as e -> e
+  in
+  go 0
+
+let chain (h : Lwt.t) k =
+  match build_chain (Lwt.restrict h k) k with
+  | Error r -> Error r
+  | Ok (c, _, _) -> Ok c

@@ -1,0 +1,371 @@
+(* Growable Pearce–Kelly graph with labelled edges: the PK structure has a
+   fixed capacity, so on overflow the (acyclic) edges are replayed into a
+   doubled instance. *)
+module Grow = struct
+  type t = {
+    mutable pk : Pearce_kelly.t;
+    mutable capacity : int;
+    mutable edges : (int * int) list;  (** for rebuilds *)
+    labels : (int * int, Deps.dep) Hashtbl.t;
+  }
+
+  let create () =
+    {
+      pk = Pearce_kelly.create 64;
+      capacity = 64;
+      edges = [];
+      labels = Hashtbl.create 256;
+    }
+
+  let ensure t needed =
+    if needed > t.capacity then begin
+      let capacity = ref t.capacity in
+      while needed > !capacity do
+        capacity := 2 * !capacity
+      done;
+      let pk = Pearce_kelly.create !capacity in
+      List.iter
+        (fun (u, v) ->
+          match Pearce_kelly.add_edge pk u v with
+          | Ok () -> ()
+          | Error _ -> assert false (* was acyclic before the grow *))
+        t.edges;
+      t.pk <- pk;
+      t.capacity <- !capacity
+    end
+
+  (* [Error path]: vertex path [v; ...; u] for the rejected edge u -> v. *)
+  let add_edge t u v lab =
+    ensure t (1 + Stdlib.max u v);
+    if not (Hashtbl.mem t.labels (u, v)) then Hashtbl.replace t.labels (u, v) lab;
+    match Pearce_kelly.add_edge t.pk u v with
+    | Ok () ->
+        t.edges <- (u, v) :: t.edges;
+        Ok ()
+    | Error path -> Error path
+
+  let label t u v =
+    match Hashtbl.find_opt t.labels (u, v) with
+    | Some l -> l
+    | None -> Deps.Rt_chain
+end
+
+type t = {
+  level : Checker.level;
+  skew : int;
+  graph : Grow.t;
+  mutable next_vertex : int;
+  vertex_txn : (int, Txn.id) Hashtbl.t;  (** helpers absent *)
+  txn_vertex : (Txn.id, int) Hashtbl.t;  (** base vertex (SI: the d-vertex) *)
+  final_writer : (Op.key * Op.value, Txn.id) Hashtbl.t;
+  intermediate_writer : (Op.key * Op.value, Txn.id) Hashtbl.t;
+  aborted_writer : (Op.key * Op.value, Txn.id) Hashtbl.t;
+  readers : (Op.key * Op.value, Txn.id list ref) Hashtbl.t;
+  overwriters : (Op.key * Op.value, Txn.id list ref) Hashtbl.t;
+  extender : (Op.key * Op.value, Txn.id * Op.value) Hashtbl.t;
+  session_last : (int, Txn.id) Hashtbl.t;
+  seen_ids : (Txn.id, unit) Hashtbl.t;
+  (* SSER stream state *)
+  mutable commits : (int * int) list;  (** (commit_ts, helper vertex), newest first *)
+  mutable commits_arr : (int * int) array;  (** oldest first, rebuilt lazily *)
+  mutable commits_dirty : bool;
+  mutable last_commit : int;
+  mutable count : int;
+  mutable poisoned : Checker.violation option;
+}
+
+type step = Ok_so_far | Violation of Checker.violation
+
+let txns_seen t = t.count
+
+let vertices_per_txn level = match level with Checker.SI -> 2 | _ -> 1
+
+let alloc_vertices t (txn : Txn.t) =
+  let base = t.next_vertex in
+  let n = vertices_per_txn t.level in
+  t.next_vertex <- base + n;
+  Hashtbl.replace t.txn_vertex txn.Txn.id base;
+  Hashtbl.replace t.vertex_txn base txn.Txn.id;
+  if n = 2 then Hashtbl.replace t.vertex_txn (base + 1) txn.Txn.id;
+  base
+
+let create ?(skew = 0) ~level ~num_keys () =
+  let t =
+    {
+      level;
+      skew;
+      graph = Grow.create ();
+      next_vertex = 0;
+      vertex_txn = Hashtbl.create 256;
+      txn_vertex = Hashtbl.create 256;
+      final_writer = Hashtbl.create 1024;
+      intermediate_writer = Hashtbl.create 64;
+      aborted_writer = Hashtbl.create 64;
+      readers = Hashtbl.create 1024;
+      overwriters = Hashtbl.create 256;
+      extender = Hashtbl.create 256;
+      session_last = Hashtbl.create 16;
+      seen_ids = Hashtbl.create 1024;
+      commits = [];
+      commits_arr = [||];
+      commits_dirty = false;
+      last_commit = min_int;
+      count = 0;
+      poisoned = None;
+    }
+  in
+  let init = History.init_txn ~num_keys in
+  Hashtbl.replace t.seen_ids init.Txn.id ();
+  List.iter
+    (fun (k, v) -> Hashtbl.replace t.final_writer (k, v) init.Txn.id)
+    (Txn.final_writes init);
+  ignore (alloc_vertices t init);
+  t
+
+let resolve t k v =
+  match Hashtbl.find_opt t.final_writer (k, v) with
+  | Some id -> Index.Final id
+  | None -> (
+      match Hashtbl.find_opt t.intermediate_writer (k, v) with
+      | Some id -> Index.Intermediate id
+      | None -> (
+          match Hashtbl.find_opt t.aborted_writer (k, v) with
+          | Some id -> Index.Aborted id
+          | None -> Index.Nobody))
+
+let push tbl key v =
+  match Hashtbl.find_opt tbl key with
+  | Some r -> r := v :: !r
+  | None -> Hashtbl.replace tbl key (ref [ v ])
+
+let list_of tbl key =
+  match Hashtbl.find_opt tbl key with Some r -> !r | None -> []
+
+(* Product encoding for SI over base vertices: dep edges fan out of both
+   the d- and r-vertex into the target's d-vertex; anti edges go
+   d-to-r (see Polysi for the correctness argument). *)
+let encoded_edges level (u, v, lab) =
+  match (level, lab) with
+  | Checker.SI, (Deps.SO | Deps.WR _ | Deps.WW _) ->
+      [ (u, v, lab); (u + 1, v, lab) ]
+  | Checker.SI, Deps.RW _ -> [ (u, v + 1, lab) ]
+  | Checker.SI, (Deps.RT | Deps.Rt_chain) -> []
+  | _, lab -> [ (u, v, lab) ]
+
+(* Map a rejected edge u -> v with PK path [v; ...; u] back to a
+   transaction-level cycle.  Helper vertices and intra-product steps are
+   dropped; the edge labels come from the label table. *)
+let cycle_of_path t u path =
+  let full = u :: path in
+  let txn_of vtx = Hashtbl.find_opt t.vertex_txn vtx in
+  let rec build acc = function
+    | a :: (b :: _ as rest) ->
+        let edge =
+          match (txn_of a, txn_of b) with
+          | Some ta, Some tb when ta <> tb ->
+              Some (ta, Grow.label t.graph a b, tb)
+          | _ -> None
+        in
+        build (match edge with Some e -> e :: acc | None -> acc) rest
+    | [ last ] ->
+        (* close the cycle back to u *)
+        let edge =
+          match (txn_of last, txn_of u) with
+          | Some ta, Some tb when ta <> tb ->
+              Some (ta, Grow.label t.graph last u, tb)
+          | _ -> None
+        in
+        List.rev (match edge with Some e -> e :: acc | None -> acc)
+    | [] -> List.rev acc
+  in
+  (* Runs through helpers collapse; label gaps as RT when endpoints
+     differ but no direct label exists — Grow.label falls back to
+     Rt_chain, rendered as RT for reporting. *)
+  List.map
+    (fun (a, lab, b) ->
+      ((a, (match lab with Deps.Rt_chain -> Deps.RT | l -> l), b)))
+    (build [] full)
+
+let poison t v =
+  t.poisoned <- Some v;
+  Violation v
+
+exception Cycle_found of Checker.violation
+
+let add_all_edges t base_u base_v lab =
+  List.iter
+    (fun (u, v, l) ->
+      match Grow.add_edge t.graph u v l with
+      | Ok () -> ()
+      | Error path ->
+          raise (Cycle_found (Checker.Cyclic (cycle_of_path t u path))))
+    (encoded_edges t.level (base_u, base_v, lab))
+
+let add_raw_edge t u v lab =
+  match Grow.add_edge t.graph u v lab with
+  | Ok () -> ()
+  | Error path ->
+      raise (Cycle_found (Checker.Cyclic (cycle_of_path t u path)))
+
+let divergence_screen t (txn : Txn.t) =
+  List.fold_left
+    (fun acc (k, v) ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+          if Txn.writes_key txn k then (
+            match Hashtbl.find_opt t.extender (k, v) with
+            | Some (other, other_value) ->
+                Some
+                  (Checker.Diverged
+                     {
+                       Divergence.key = k;
+                       writer =
+                         (match resolve t k v with
+                         | Index.Final w -> w
+                         | Index.Intermediate w | Index.Aborted w -> w
+                         | Index.Nobody -> -1);
+                       reader1 = (other, other_value);
+                       reader2 =
+                         ( txn.Txn.id,
+                           Option.value (Txn.write_of txn k) ~default:0 );
+                     })
+            | None ->
+                Hashtbl.replace t.extender (k, v)
+                  (txn.Txn.id, Option.value (Txn.write_of txn k) ~default:0);
+                None)
+          else None)
+    None (Txn.external_reads txn)
+
+let feed_committed t (txn : Txn.t) =
+  let vtx = alloc_vertices t txn in
+  (* Session order. *)
+  let prev =
+    match Hashtbl.find_opt t.session_last txn.Txn.session with
+    | Some p -> p
+    | None -> History.init_id
+  in
+  add_all_edges t (Hashtbl.find t.txn_vertex prev) vtx Deps.SO;
+  Hashtbl.replace t.session_last txn.Txn.session txn.Txn.id;
+  (* WR / WW / RW. *)
+  List.iter
+    (fun (k, v) ->
+      match resolve t k v with
+      | Index.Final w when w <> txn.Txn.id ->
+          let wv = Hashtbl.find t.txn_vertex w in
+          add_all_edges t wv vtx (Deps.WR k);
+          List.iter
+            (fun o ->
+              if o <> txn.Txn.id then
+                add_all_edges t vtx (Hashtbl.find t.txn_vertex o) (Deps.RW k))
+            (list_of t.overwriters (k, v));
+          if Txn.writes_key txn k then begin
+            add_all_edges t wv vtx (Deps.WW k);
+            List.iter
+              (fun r ->
+                if r <> txn.Txn.id then
+                  add_all_edges t (Hashtbl.find t.txn_vertex r) vtx (Deps.RW k))
+              (list_of t.readers (k, v));
+            push t.overwriters (k, v) txn.Txn.id
+          end;
+          push t.readers (k, v) txn.Txn.id
+      | _ -> () (* excluded by the screen *))
+    (Txn.external_reads txn);
+  (* Record writes for future resolution. *)
+  List.iter
+    (fun (k, v) -> Hashtbl.replace t.final_writer (k, v) txn.Txn.id)
+    (Txn.final_writes txn);
+  List.iter
+    (fun (k, v) -> Hashtbl.replace t.intermediate_writer (k, v) txn.Txn.id)
+    (Txn.intermediate_writes txn);
+  (* SSER: real-time edges through the helper chain. *)
+  if t.level = Checker.SSER then begin
+    if t.commits_dirty then begin
+      t.commits_arr <- Array.of_list (List.rev t.commits);
+      t.commits_dirty <- false
+    end;
+    let arr = t.commits_arr in
+    let lo = ref 0 and hi = ref (Array.length arr - 1) and best = ref (-1) in
+    while !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      if fst arr.(mid) + t.skew < txn.Txn.start_ts then begin
+        best := mid;
+        lo := mid + 1
+      end
+      else hi := mid - 1
+    done;
+    if !best >= 0 then add_raw_edge t (snd arr.(!best)) vtx Deps.Rt_chain;
+    let h = t.next_vertex in
+    t.next_vertex <- h + 1;
+    add_raw_edge t vtx h Deps.Rt_chain;
+    (match t.commits with
+    | (_, prev_h) :: _ -> add_raw_edge t prev_h h Deps.Rt_chain
+    | [] -> ());
+    t.commits <- (txn.Txn.commit_ts, h) :: t.commits;
+    t.commits_dirty <- true;
+    t.last_commit <- txn.Txn.commit_ts
+  end
+
+let add_txn t (txn : Txn.t) =
+  match t.poisoned with
+  | Some v -> Violation v
+  | None -> (
+      if Hashtbl.mem t.seen_ids txn.Txn.id || txn.Txn.id <= 0 then
+        invalid_arg
+          (Printf.sprintf "Online.add_txn: transaction id %d invalid or reused"
+             txn.Txn.id);
+      if
+        t.level = Checker.SSER
+        && txn.Txn.status = Txn.Committed
+        && txn.Txn.commit_ts < t.last_commit
+      then
+        invalid_arg "Online.add_txn: SSER streams must arrive in commit order";
+      Hashtbl.replace t.seen_ids txn.Txn.id ();
+      t.count <- t.count + 1;
+      match txn.Txn.status with
+      | Txn.Aborted ->
+          Array.iter
+            (fun op ->
+              match op with
+              | Op.Write (k, v) ->
+                  Hashtbl.replace t.aborted_writer (k, v) txn.Txn.id
+              | Op.Read _ -> ())
+            txn.Txn.ops;
+          Ok_so_far
+      | Txn.Committed -> (
+          let dup =
+            List.find_opt
+              (fun (k, v) -> resolve t k v <> Index.Nobody)
+              (Txn.final_writes txn @ Txn.intermediate_writes txn)
+          in
+          match dup with
+          | Some (k, v) ->
+              poison t
+                (Checker.Malformed
+                   (Printf.sprintf "duplicate write of %d to x%d by T%d" v k
+                      txn.Txn.id))
+          | None -> (
+              match Int_check.check_txn_with ~resolve:(resolve t) txn with
+              | viol :: _ -> poison t (Checker.Intra viol)
+              | [] -> (
+                  match
+                    if t.level = Checker.SI then divergence_screen t txn
+                    else None
+                  with
+                  | Some v -> poison t v
+                  | None -> (
+                      try
+                        feed_committed t txn;
+                        Ok_so_far
+                      with Cycle_found v -> poison t v)))))
+
+let check_stream ?skew ~level ~num_keys txns =
+  let t = create ?skew ~level ~num_keys () in
+  let rec go n = function
+    | [] -> Ok n
+    | txn :: rest -> (
+        match add_txn t txn with
+        | Ok_so_far -> go (n + 1) rest
+        | Violation v -> Error v)
+  in
+  go 0 txns

@@ -1,0 +1,47 @@
+(** Online (incremental) isolation checking — the "checking-as-a-service"
+    mode of the authors' IsoVista system (paper Section VII): transactions
+    stream in as they commit, the dependency graph is maintained
+    incrementally (Pearce–Kelly topological order), and the first
+    violating transaction is flagged the moment it arrives.
+
+    Because MT histories have (nearly) unique dependency graphs, feeding a
+    committed transaction means adding a constant number of edges:
+    - WR from the writer of each value read;
+    - WW from that writer when the reader overwrites (the RMW inference);
+    - RW from the version's earlier readers to the new overwriter, and
+      from the new reader to the version's existing overwriters.
+
+    For SI the edges go into the two-vertex product encoding (cycles =
+    SI-forbidden cycles, see {!Polysi}), and the DIVERGENCE screen runs on
+    the fly.  For SSER, transactions must be fed in commit order (the
+    natural stream order) and real-time edges attach through the same
+    helper-chain sweep as the batch checker.
+
+    Aborted transactions should be fed too ({!add_txn} records their
+    writes so ABORTEDREAD is diagnosed precisely). *)
+
+type t
+
+val create :
+  ?skew:int -> level:Checker.level -> num_keys:int -> unit -> t
+(** A fresh stream checker; the initial transaction is implicit. *)
+
+type step =
+  | Ok_so_far
+  | Violation of Checker.violation
+      (** the stream violates the level; the checker is poisoned — further
+          {!add_txn} calls keep returning this violation *)
+
+val add_txn : t -> Txn.t -> step
+(** Feed the next transaction (committed or aborted).  Transaction ids
+    must be fresh and positive; for SSER, commit timestamps must be
+    non-decreasing across calls.
+    @raise Invalid_argument on id reuse or out-of-order SSER commits. *)
+
+val txns_seen : t -> int
+
+val check_stream :
+  ?skew:int -> level:Checker.level -> num_keys:int -> Txn.t list ->
+  (int, Checker.violation) result
+(** Convenience: feed a whole list; [Ok n] = all [n] accepted, or the
+    violation at the first offending transaction. *)

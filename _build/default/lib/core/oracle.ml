@@ -1,0 +1,76 @@
+let replay (h : History.t) order =
+  let store = Array.make h.History.num_keys 0 in
+  let expected =
+    History.committed h
+    |> List.filter_map (fun (t : Txn.t) ->
+           if t.Txn.id = History.init_id then None else Some t.Txn.id)
+    |> List.sort_uniq compare
+  in
+  if List.sort compare order <> expected then
+    Error "schedule is not a permutation of the committed transactions"
+  else begin
+    let exception Mismatch of string in
+    try
+      List.iter
+        (fun id ->
+          let t = History.txn h id in
+          let local : (Op.key, Op.value) Hashtbl.t = Hashtbl.create 4 in
+          Array.iteri
+            (fun i op ->
+              match op with
+              | Op.Write (k, v) -> Hashtbl.replace local k v
+              | Op.Read (k, v) ->
+                  let current =
+                    match Hashtbl.find_opt local k with
+                    | Some own -> own
+                    | None -> store.(k)
+                  in
+                  if current <> v then
+                    raise
+                      (Mismatch
+                         (Printf.sprintf
+                            "T%d op#%d read x%d=%d but the store holds %d" id
+                            i k v current)))
+            t.Txn.ops;
+          Hashtbl.iter (fun k v -> store.(k) <- v) local)
+        order;
+      Ok ()
+    with Mismatch m -> Error m
+  end
+
+let certificate ?(rt_mode = Deps.Rt_sweep) level (h : History.t) =
+  match History.unique_values h with
+  | Error msg -> Error (Checker.Malformed msg)
+  | Ok () -> (
+      let idx = Index.build h in
+      match Int_check.check idx with
+      | Error v -> Error (Checker.Intra v)
+      | Ok () -> (
+          let rt =
+            match level with
+            | Checker.SSER -> rt_mode
+            | Checker.SER -> Deps.No_rt
+            | Checker.SI ->
+                invalid_arg
+                  "Oracle.certificate: SI has no serial-order witness"
+          in
+          match Deps.build ~rt idx with
+          | Error e ->
+              Error (Checker.Malformed (Format.asprintf "%a" Deps.pp_error e))
+          | Ok d -> (
+              match Topo.sort d.Deps.graph with
+              | None -> (
+                  match Cycle.find d.Deps.graph with
+                  | Some cycle ->
+                      Error (Checker.Cyclic (Deps.to_txn_cycle d cycle))
+                  | None -> assert false)
+              | Some vertices ->
+                  Ok
+                    (List.filter_map
+                       (fun v ->
+                         if v >= d.Deps.num_txn_vertices then None
+                         else
+                           let t = Index.txn_of_vertex idx v in
+                           if t.Txn.id = History.init_id then None
+                           else Some t.Txn.id)
+                       vertices))))

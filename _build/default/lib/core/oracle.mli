@@ -1,0 +1,28 @@
+(** Sequential replay oracle and serialization certificates.
+
+    When CHECKSER / CHECKSSER accept a history, the dependency graph is
+    acyclic and any topological order is a witness serial schedule.
+    {!certificate} extracts one; {!replay} validates any proposed schedule
+    by executing the transactions one at a time against an in-memory
+    sequential store and comparing every read with what the client
+    actually observed.
+
+    Together they turn the checker's "PASS" into an independently
+    verifiable artifact — and give the test suite a completeness oracle
+    that exercises the whole pipeline. *)
+
+val replay : History.t -> Txn.id list -> (unit, string) result
+(** [replay h order] executes the committed transactions in [order]
+    (which must be exactly the committed non-initial transactions of [h],
+    each once) against a sequential store initialized to 0.  Reads first
+    see the transaction's own earlier writes, then the store.  [Error]
+    describes the first mismatch. *)
+
+val certificate :
+  ?rt_mode:Deps.rt_mode -> Checker.level -> History.t ->
+  (Txn.id list, Checker.violation) result
+(** A serial schedule witnessing SER (or SSER, where it is additionally
+    consistent with real time): any topological order of the acyclic
+    dependency graph.  The result always {!replay}s successfully.
+    @raise Invalid_argument at SI: snapshot isolation is not witnessed by
+    a single serial order. *)

@@ -1,0 +1,79 @@
+let edge_style = function
+  | Deps.SO -> "color=gray50, style=solid, label=\"SO\""
+  | Deps.RT -> "color=gray80, style=dotted, label=\"RT\""
+  | Deps.WR k -> Printf.sprintf "color=darkgreen, label=\"WR(x%d)\"" k
+  | Deps.WW k -> Printf.sprintf "color=blue, label=\"WW(x%d)\"" k
+  | Deps.RW k -> Printf.sprintf "color=red, style=dashed, label=\"RW(x%d)\"" k
+  | Deps.Rt_chain -> "color=gray90, style=dotted"
+
+let txn_label (t : Txn.t) =
+  if t.Txn.id = History.init_id then "T0 (init)"
+  else
+    let ops =
+      Array.to_list t.Txn.ops
+      |> List.map Op.to_string
+      |> String.concat "\\n"
+    in
+    Printf.sprintf "T%d\\n%s" t.Txn.id ops
+
+let dot_of_history ?(max_txns = 60) (h : History.t) =
+  let idx = Index.build h in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "digraph history {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n";
+  let shown = Stdlib.min max_txns (Index.num_vertices idx) in
+  for v = 0 to shown - 1 do
+    let t = Index.txn_of_vertex idx v in
+    Buffer.add_string buf
+      (Printf.sprintf "  t%d [label=\"%s\"];\n" t.Txn.id (txn_label t))
+  done;
+  (match Deps.build ~rt:Deps.No_rt idx with
+  | Error _ -> ()
+  | Ok d ->
+      Digraph.iter_edges d.Deps.graph (fun u lab v ->
+          if u < shown && v < shown then
+            let a = (Index.txn_of_vertex idx u).Txn.id in
+            let b = (Index.txn_of_vertex idx v).Txn.id in
+            Buffer.add_string buf
+              (Printf.sprintf "  t%d -> t%d [%s];\n" a b (edge_style lab))));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let dot_of_violation (h : History.t) (v : Checker.violation) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph violation {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n";
+  let node id =
+    Buffer.add_string buf
+      (Printf.sprintf "  t%d [label=\"%s\"];\n" id
+         (txn_label (History.txn h id)))
+  in
+  (match v with
+  | Checker.Cyclic cycle ->
+      let ids =
+        List.concat_map (fun (a, _, b) -> [ a; b ]) cycle
+        |> List.sort_uniq compare
+      in
+      List.iter node ids;
+      List.iter
+        (fun (a, lab, b) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  t%d -> t%d [%s, penwidth=2];\n" a b
+               (edge_style lab)))
+        cycle
+  | Checker.Diverged i ->
+      let r1, v1 = i.Divergence.reader1 and r2, v2 = i.Divergence.reader2 in
+      List.iter node (List.sort_uniq compare [ i.Divergence.writer; r1; r2 ]);
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  t%d -> t%d [color=blue, label=\"WW(x%d):=%d\", penwidth=2];\n"
+           i.Divergence.writer r1 i.Divergence.key v1);
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  t%d -> t%d [color=blue, label=\"WW(x%d):=%d\", penwidth=2];\n"
+           i.Divergence.writer r2 i.Divergence.key v2)
+  | Checker.Intra { txn; _ } -> node txn
+  | Checker.Malformed msg ->
+      Buffer.add_string buf
+        (Printf.sprintf "  m [shape=plaintext, label=\"%s\"];\n"
+           (String.map (fun c -> if c = '"' then '\'' else c) msg)));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,13 @@
+(** Graphviz export of dependency graphs and counterexamples — the kind of
+    visual the paper's Figures 1/12/18 show (and that the IsoVista system
+    the authors integrate MTC into renders as a service). *)
+
+val dot_of_history : ?max_txns:int -> History.t -> string
+(** The dependency graph (SO solid grey, WR green, WW blue, RW red dashed)
+    of the first [max_txns] committed transactions (default 60 — dot
+    output for huge histories is unreadable anyway). *)
+
+val dot_of_violation : History.t -> Checker.violation -> string
+(** Only the transactions involved in the violation, with the cycle edges
+    highlighted; each node is labelled with the transaction's operations
+    (compact, because they are mini-transactions). *)

@@ -1,0 +1,1 @@
+lib/db/db.ml: Fault Hashtbl Isolation List Locking Mvcc Op Rng Txn

@@ -1,0 +1,1 @@
+lib/db/db.mli: Fault Isolation Op Txn

@@ -1,0 +1,1 @@
+lib/db/fault.ml: List Option

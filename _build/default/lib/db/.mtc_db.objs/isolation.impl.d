@@ -1,0 +1,1 @@
+lib/db/isolation.ml: Checker

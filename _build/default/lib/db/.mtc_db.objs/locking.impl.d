@@ -1,0 +1,1 @@
+lib/db/locking.ml: Array Hashtbl List Op Txn

@@ -1,0 +1,1 @@
+lib/db/locking.mli: Op Txn

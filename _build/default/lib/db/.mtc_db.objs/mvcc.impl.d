@@ -1,0 +1,1 @@
+lib/db/mvcc.ml: Array Op Txn

@@ -1,0 +1,1 @@
+lib/db/mvcc.mli: Op Txn

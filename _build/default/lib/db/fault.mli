@@ -1,0 +1,28 @@
+(** Fault-injection modes replicating the production isolation bugs that
+    MTC rediscovers (paper Table II / Figures 12 and 18).  Each mode
+    corrupts exactly the engine rule whose violation produced the real
+    bug, with a configurable trigger probability.
+
+    | mode | replicates | corrupted rule |
+    |---|---|---|
+    | [Lost_update p]       | MariaDB Galera 10.7.3 [41]  | first-committer-wins skipped |
+    | [Aborted_read p]      | MongoDB 4.2.6 [42]          | aborted writes leak to readers |
+    | [Causality_violation p] | Dgraph 1.1.1 [43]         | reads may use a stale version |
+    | [Write_skew p]        | PostgreSQL 12.3 [44]        | SSI dangerous-structure check skipped |
+    | [Long_fork p]         | PostgreSQL 11.8 [8]         | commit visibility lags on one replica |
+*)
+
+type mode =
+  | No_fault
+  | Lost_update of float
+  | Aborted_read of float
+  | Causality_violation of float
+  | Write_skew of float
+  | Long_fork of float
+
+val name : mode -> string
+val probability : mode -> float
+val of_string : ?p:float -> string -> mode option
+
+val all_named : (string * (float -> mode)) list
+(** Constructors by name, for the CLI. *)

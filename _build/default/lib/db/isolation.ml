@@ -1,0 +1,19 @@
+type level = Read_committed | Snapshot | Serializable | Strict_serializable
+
+let name = function
+  | Read_committed -> "read-committed"
+  | Snapshot -> "snapshot"
+  | Serializable -> "serializable"
+  | Strict_serializable -> "strict-serializable"
+
+let of_string = function
+  | "read-committed" | "rc" -> Some Read_committed
+  | "snapshot" | "si" -> Some Snapshot
+  | "serializable" | "ser" -> Some Serializable
+  | "strict-serializable" | "sser" -> Some Strict_serializable
+  | _ -> None
+
+let claimed_level = function
+  | Read_committed | Snapshot -> Checker.SI
+  | Serializable -> Checker.SER
+  | Strict_serializable -> Checker.SSER

@@ -1,0 +1,75 @@
+type entry = { txn : Txn.id; age : int }
+
+type lock = { mutable writer : entry option; mutable readers : entry list }
+
+type t = {
+  locks : lock array;
+  by_txn : (Txn.id, (Op.key * [ `Shared | `Exclusive ]) list ref) Hashtbl.t;
+}
+
+let create ~num_keys =
+  {
+    locks = Array.init num_keys (fun _ -> { writer = None; readers = [] });
+    by_txn = Hashtbl.create 64;
+  }
+
+type outcome = Granted | Blocked | Granted_wounding of Txn.id list
+
+let record t txn key kind =
+  match Hashtbl.find_opt t.by_txn txn with
+  | Some r -> if not (List.mem (key, kind) !r) then r := (key, kind) :: !r
+  | None -> Hashtbl.replace t.by_txn txn (ref [ (key, kind) ])
+
+let release_all t ~txn =
+  match Hashtbl.find_opt t.by_txn txn with
+  | None -> ()
+  | Some r ->
+      List.iter
+        (fun (key, _) ->
+          let l = t.locks.(key) in
+          (match l.writer with
+          | Some e when e.txn = txn -> l.writer <- None
+          | Some _ | None -> ());
+          l.readers <- List.filter (fun e -> e.txn <> txn) l.readers)
+        !r;
+      Hashtbl.remove t.by_txn txn
+
+let held t ~txn =
+  match Hashtbl.find_opt t.by_txn txn with Some r -> !r | None -> []
+
+let acquire t ~kind ~key ~txn ~age =
+  let l = t.locks.(key) in
+  let conflicts =
+    match kind with
+    | `Shared -> (
+        match l.writer with
+        | Some e when e.txn <> txn -> [ e ]
+        | Some _ | None -> [])
+    | `Exclusive ->
+        let ws =
+          match l.writer with
+          | Some e when e.txn <> txn -> [ e ]
+          | Some _ | None -> []
+        in
+        ws @ List.filter (fun e -> e.txn <> txn) l.readers
+  in
+  let grant () =
+    (match kind with
+    | `Shared ->
+        if not (List.exists (fun e -> e.txn = txn) l.readers) then
+          l.readers <- { txn; age } :: l.readers
+    | `Exclusive -> l.writer <- Some { txn; age });
+    record t txn key kind
+  in
+  if conflicts = [] then begin
+    grant ();
+    Granted
+  end
+  else if List.for_all (fun e -> age < e.age) conflicts then begin
+    (* Wound every younger conflicting holder, then take the lock. *)
+    let victims = List.sort_uniq compare (List.map (fun e -> e.txn) conflicts) in
+    List.iter (fun v -> release_all t ~txn:v) victims;
+    grant ();
+    Granted_wounding victims
+  end
+  else Blocked

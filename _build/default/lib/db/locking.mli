@@ -1,0 +1,27 @@
+(** Strict two-phase locking with wound-wait deadlock avoidance, the
+    engine behind the [Strict_serializable] level.
+
+    Wound-wait: a requester older than a conflicting holder "wounds"
+    (forces the abort of) the holder and proceeds; a younger requester
+    waits.  Age is the transaction's start time, so the scheme is
+    deadlock-free and starvation-free. *)
+
+type t
+
+val create : num_keys:int -> t
+
+type outcome =
+  | Granted
+  | Blocked  (** a conflicting older transaction holds the lock *)
+  | Granted_wounding of Txn.id list
+      (** granted after wounding these younger holders; the caller must
+          doom them (their locks are already released) *)
+
+val acquire :
+  t -> kind:[ `Shared | `Exclusive ] -> key:Op.key -> txn:Txn.id -> age:int ->
+  outcome
+
+val release_all : t -> txn:Txn.id -> unit
+
+val held : t -> txn:Txn.id -> (Op.key * [ `Shared | `Exclusive ]) list
+(** For tests and debugging. *)

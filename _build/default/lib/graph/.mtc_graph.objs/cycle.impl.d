@@ -1,0 +1,1 @@
+lib/graph/cycle.ml: Array Digraph List Queue

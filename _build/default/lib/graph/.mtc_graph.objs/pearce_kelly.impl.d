@@ -1,0 +1,1 @@
+lib/graph/pearce_kelly.ml: Array Hashtbl List

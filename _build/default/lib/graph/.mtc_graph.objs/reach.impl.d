@@ -1,0 +1,1 @@
+lib/graph/reach.ml: Array Bytes Char Digraph List Queue Scc

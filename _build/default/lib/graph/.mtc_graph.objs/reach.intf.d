@@ -1,0 +1,1 @@
+lib/graph/reach.mli: Bytes Digraph

@@ -1,0 +1,1 @@
+lib/graph/scc.ml: Array Digraph List Stack Stdlib

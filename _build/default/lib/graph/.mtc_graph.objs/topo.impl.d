@@ -1,0 +1,1 @@
+lib/graph/topo.ml: Array Digraph List Queue

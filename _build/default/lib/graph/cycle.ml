@@ -1,0 +1,92 @@
+(* Iterative three-colour DFS with an explicit stack (histories can have
+   hundreds of thousands of transactions, so no native recursion).  When a
+   back edge (u -> v with v grey) is found, walking the parent chain from u
+   up to v yields a simple cycle. *)
+
+type colour = White | Grey | Black
+
+let find (type lab) (g : lab Digraph.t) =
+  let n = Digraph.n g in
+  let colour = Array.make n White in
+  let parent = Array.make n (-1) in
+  let parent_lab : lab option array = Array.make n None in
+  let exception Found of (int * lab * int) list in
+  let build_cycle u lab v =
+    (* u -lab-> v closes the cycle; walk parents from u back to v. *)
+    let rec walk acc w =
+      if w = v then acc
+      else
+        match parent_lab.(w) with
+        | Some l -> walk ((parent.(w), l, w) :: acc) parent.(w)
+        | None -> acc
+    in
+    walk [ (u, lab, v) ] u
+  in
+  let visit root =
+    let stack = ref [ (root, ref (Digraph.succ g root)) ] in
+    colour.(root) <- Grey;
+    while !stack <> [] do
+      match !stack with
+      | [] -> ()
+      | (u, rest) :: tail -> (
+          match !rest with
+          | [] ->
+              colour.(u) <- Black;
+              stack := tail
+          | (v, lab) :: more -> (
+              rest := more;
+              match colour.(v) with
+              | Black -> ()
+              | Grey -> raise (Found (build_cycle u lab v))
+              | White ->
+                  colour.(v) <- Grey;
+                  parent.(v) <- u;
+                  parent_lab.(v) <- Some lab;
+                  stack := (v, ref (Digraph.succ g v)) :: !stack))
+    done
+  in
+  try
+    for u = 0 to n - 1 do
+      if colour.(u) = White then visit u
+    done;
+    None
+  with Found cycle -> Some cycle
+
+let is_acyclic g = find g = None
+
+let shortest_through (type lab) (g : lab Digraph.t) v =
+  let n = Digraph.n g in
+  let parent = Array.make n (-1) in
+  let parent_lab : lab option array = Array.make n None in
+  let visited = Array.make n false in
+  let q = Queue.create () in
+  let exception Found of (int * lab * int) in
+  (* BFS outwards from [v]; the first edge returning to [v] closes a
+     shortest cycle through it. *)
+  let relax u =
+    List.iter
+      (fun (w, lab) ->
+        if w = v then raise (Found (u, lab, v))
+        else if not visited.(w) then begin
+          visited.(w) <- true;
+          parent.(w) <- u;
+          parent_lab.(w) <- Some lab;
+          Queue.add w q
+        end)
+      (Digraph.succ g u)
+  in
+  try
+    relax v;
+    while not (Queue.is_empty q) do
+      relax (Queue.pop q)
+    done;
+    None
+  with Found ((u, _, _) as last) ->
+    let rec walk acc w =
+      if w = v then acc
+      else
+        match parent_lab.(w) with
+        | Some l -> walk ((parent.(w), l, w) :: acc) parent.(w)
+        | None -> acc
+    in
+    Some (walk [ last ] u)

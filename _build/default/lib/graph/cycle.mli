@@ -1,0 +1,16 @@
+(** Cycle detection with witness extraction.
+
+    The checkers report isolation violations as concrete dependency cycles
+    (paper Step 4 of Figure 2), so beyond a boolean answer we extract the
+    edge sequence of some cycle. *)
+
+val find : 'lab Digraph.t -> (int * 'lab * int) list option
+(** [find g] is [None] if [g] is acyclic, otherwise [Some edges] where
+    [edges = [(v0,l0,v1); (v1,l1,v2); ...; (vk,lk,v0)]] is a simple cycle.
+    Iterative DFS; O(V + E). *)
+
+val is_acyclic : 'lab Digraph.t -> bool
+
+val shortest_through : 'lab Digraph.t -> int -> (int * 'lab * int) list option
+(** [shortest_through g v] is a shortest cycle passing through [v]
+    (BFS from [v] back to [v]), used to produce compact counterexamples. *)

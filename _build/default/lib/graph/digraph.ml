@@ -1,0 +1,41 @@
+type 'lab t = {
+  adj : (int * 'lab) list array;  (** reversed insertion order *)
+  mutable edge_count : int;
+}
+
+let create n = { adj = Array.make n []; edge_count = 0 }
+
+let n g = Array.length g.adj
+let num_edges g = g.edge_count
+
+let add_edge g u v lab =
+  g.adj.(u) <- (v, lab) :: g.adj.(u);
+  g.edge_count <- g.edge_count + 1
+
+let mem_edge g u v = List.exists (fun (w, _) -> w = v) g.adj.(u)
+
+let succ g u = List.rev g.adj.(u)
+
+let succ_vertices g u = List.rev_map fst g.adj.(u)
+
+let iter_edges g f =
+  Array.iteri (fun u l -> List.iter (fun (v, lab) -> f u lab v) (List.rev l)) g.adj
+
+let fold_edges g f init =
+  let acc = ref init in
+  iter_edges g (fun u lab v -> acc := f !acc u lab v);
+  !acc
+
+let edges g = fold_edges g (fun acc u lab v -> (u, lab, v) :: acc) [] |> List.rev
+
+let map_labels f g =
+  let g' = create (n g) in
+  iter_edges g (fun u lab v -> add_edge g' u v (f lab));
+  g'
+
+let transpose g =
+  let g' = create (n g) in
+  iter_edges g (fun u lab v -> add_edge g' v u lab);
+  g'
+
+let out_degree g u = List.length g.adj.(u)

@@ -1,0 +1,105 @@
+type t = {
+  fwd : (int, unit) Hashtbl.t array;  (** successor sets *)
+  bwd : (int, unit) Hashtbl.t array;  (** predecessor sets *)
+  ord : int array;  (** vertex -> topological index (a permutation) *)
+}
+
+let create n =
+  {
+    fwd = Array.init n (fun _ -> Hashtbl.create 4);
+    bwd = Array.init n (fun _ -> Hashtbl.create 4);
+    ord = Array.init n (fun i -> i);
+  }
+
+let n t = Array.length t.ord
+
+let mem_edge t u v = Hashtbl.mem t.fwd.(u) v
+
+let remove_edge t u v =
+  Hashtbl.remove t.fwd.(u) v;
+  Hashtbl.remove t.bwd.(v) u
+
+let order_index t v = t.ord.(v)
+
+(* Forward DFS from [v] visiting only vertices with ord <= ub.  Returns
+   either the visited set or, if [target] is reached, the path to it. *)
+let dfs_forward t v ~ub ~target =
+  let visited = Hashtbl.create 16 in
+  let parent = Hashtbl.create 16 in
+  let exception Hit in
+  let rec go u =
+    if u = target then raise Hit;
+    Hashtbl.replace visited u ();
+    Hashtbl.iter
+      (fun w () ->
+        if t.ord.(w) <= ub && not (Hashtbl.mem visited w) then begin
+          Hashtbl.replace parent w u;
+          if w = target then raise Hit else go w
+        end)
+      t.fwd.(u)
+  in
+  try
+    go v;
+    Ok visited
+  with Hit ->
+    let rec path acc u = if u = v then u :: acc else path (u :: acc) (Hashtbl.find parent u) in
+    Error (path [] target)
+
+let dfs_backward t u ~lb =
+  let visited = Hashtbl.create 16 in
+  let rec go x =
+    Hashtbl.replace visited x ();
+    Hashtbl.iter
+      (fun w () ->
+        if t.ord.(w) >= lb && not (Hashtbl.mem visited w) then go w)
+      t.bwd.(x)
+  in
+  go u;
+  visited
+
+let add_edge t u v =
+  if u = v then Error [ u ]
+  else if mem_edge t u v then Ok ()
+  else if t.ord.(u) < t.ord.(v) then begin
+    (* Already consistent with the order: just record. *)
+    Hashtbl.replace t.fwd.(u) v ();
+    Hashtbl.replace t.bwd.(v) u ();
+    Ok ()
+  end
+  else
+    (* Affected region: ord in [ord(v), ord(u)]. *)
+    match dfs_forward t v ~ub:t.ord.(u) ~target:u with
+    | Error path -> Error path
+    | Ok delta_f ->
+        let delta_b = dfs_backward t u ~lb:t.ord.(v) in
+        (* Reorder: vertices of delta_b take the smallest indices of the
+           combined pool, then vertices of delta_f — each group keeping its
+           internal relative order. *)
+        let to_sorted_list visited =
+          Hashtbl.fold (fun w () acc -> w :: acc) visited []
+          |> List.sort (fun a b -> compare t.ord.(a) t.ord.(b))
+        in
+        let bs = to_sorted_list delta_b in
+        let fs = to_sorted_list delta_f in
+        let pool =
+          List.sort compare (List.map (fun w -> t.ord.(w)) (bs @ fs))
+        in
+        List.iteri
+          (fun i w -> t.ord.(w) <- List.nth pool i)
+          (bs @ fs);
+        Hashtbl.replace t.fwd.(u) v ();
+        Hashtbl.replace t.bwd.(v) u ();
+        Ok ()
+
+let check_invariant t =
+  let ok = ref true in
+  Array.iteri
+    (fun u succs ->
+      Hashtbl.iter (fun v () -> if t.ord.(u) >= t.ord.(v) then ok := false) succs)
+    t.fwd;
+  (* ord must be a permutation. *)
+  let seen = Array.make (n t) false in
+  Array.iter
+    (fun i -> if i < 0 || i >= n t || seen.(i) then ok := false else seen.(i) <- true)
+    t.ord;
+  !ok

@@ -1,0 +1,33 @@
+(** Incremental topological order maintenance (Pearce & Kelly, 2006).
+
+    Supports online edge insertion into a DAG in amortized sub-linear time,
+    reporting a cycle witness when an insertion would create one.  This is
+    the engine behind the SAT acyclicity theory (our MonoSAT-lite): the
+    Cobra/PolySI baselines assert dependency edges one by one as the solver
+    assigns edge literals. *)
+
+type t
+
+val create : int -> t
+(** [create n]: empty DAG on [0 .. n-1], initial order is the identity. *)
+
+val n : t -> int
+
+val add_edge : t -> int -> int -> (unit, int list) result
+(** [add_edge t u v] inserts [u -> v].  [Error path] means the edge closes a
+    cycle; [path] is a vertex path [v; ...; u] along existing edges, so the
+    full cycle is [u -> v -> ... -> u].  The structure is unchanged on
+    error.  Self-edges always fail with [Error [u]]. *)
+
+val mem_edge : t -> int -> int -> bool
+
+val remove_edge : t -> int -> int -> unit
+(** Remove an edge if present.  The maintained order stays valid: deleting
+    edges never invalidates a topological order, so removal is O(1) —
+    which is what makes the structure usable under SAT backtracking. *)
+
+val order_index : t -> int -> int
+(** Current topological index of a vertex. *)
+
+val check_invariant : t -> bool
+(** For tests: every recorded edge goes forward in the maintained order. *)

@@ -1,0 +1,18 @@
+(** Reachability queries, used by the Cobra-style constraint pruning
+    (decide a polygraph constraint when known edges already order the two
+    writes) and by counterexample minimization. *)
+
+val reachable : _ Digraph.t -> int -> int -> bool
+(** [reachable g u v]: is there a path [u ->* v]?  BFS, O(V + E). *)
+
+val from : _ Digraph.t -> int -> bool array
+(** Characteristic vector of vertices reachable from the source
+    (the source itself is reachable). *)
+
+val closure_matrix : _ Digraph.t -> Bytes.t array
+(** Dense transitive-closure bitmap: bit [v] of row [u] iff [u ->* v]
+    ([u ->* u] always set).  O(V·E / 8) space-efficient rows; intended for
+    graphs up to a few thousand vertices (polygraph pruning). *)
+
+val bit : Bytes.t -> int -> bool
+(** Test bit [v] in a closure row. *)

@@ -1,0 +1,72 @@
+(* Iterative Tarjan.  [low] doubles as the index array; [on_stack] tracks
+   stack membership. *)
+
+let component_ids (g : _ Digraph.t) =
+  let n = Digraph.n g in
+  let index = Array.make n (-1) in
+  let low = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let comp = Array.make n (-1) in
+  let stack = Stack.create () in
+  let next_index = ref 0 in
+  let next_comp = ref 0 in
+  let visit root =
+    let call = ref [ (root, ref (Digraph.succ_vertices g root)) ] in
+    index.(root) <- !next_index;
+    low.(root) <- !next_index;
+    incr next_index;
+    Stack.push root stack;
+    on_stack.(root) <- true;
+    while !call <> [] do
+      match !call with
+      | [] -> ()
+      | (u, rest) :: tail -> (
+          match !rest with
+          | v :: more ->
+              rest := more;
+              if index.(v) = -1 then begin
+                index.(v) <- !next_index;
+                low.(v) <- !next_index;
+                incr next_index;
+                Stack.push v stack;
+                on_stack.(v) <- true;
+                call := (v, ref (Digraph.succ_vertices g v)) :: !call
+              end
+              else if on_stack.(v) then low.(u) <- Stdlib.min low.(u) index.(v)
+          | [] ->
+              if low.(u) = index.(u) then begin
+                let continue = ref true in
+                while !continue do
+                  let w = Stack.pop stack in
+                  on_stack.(w) <- false;
+                  comp.(w) <- !next_comp;
+                  if w = u then continue := false
+                done;
+                incr next_comp
+              end;
+              call := tail;
+              (match tail with
+              | (p, _) :: _ -> low.(p) <- Stdlib.min low.(p) low.(u)
+              | [] -> ()))
+    done
+  in
+  for v = 0 to n - 1 do
+    if index.(v) = -1 then visit v
+  done;
+  (comp, !next_comp)
+
+let components g =
+  let comp, k = component_ids g in
+  let buckets = Array.make k [] in
+  for v = Digraph.n g - 1 downto 0 do
+    buckets.(comp.(v)) <- v :: buckets.(comp.(v))
+  done;
+  Array.to_list buckets
+
+let nontrivial g =
+  components g
+  |> List.filter (fun c ->
+         match c with
+         | [] -> false
+         | [ v ] -> List.mem v (Digraph.succ_vertices g v)
+         | _ :: _ :: _ -> true)

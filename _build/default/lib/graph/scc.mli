@@ -1,0 +1,12 @@
+(** Strongly connected components (Tarjan, iterative). *)
+
+val components : _ Digraph.t -> int list list
+(** SCCs in reverse topological order of the condensation. *)
+
+val component_ids : _ Digraph.t -> int array * int
+(** [component_ids g = (comp, k)]: [comp.(v)] is the component index of [v]
+    (indices [0 .. k-1], numbered in reverse topological order). *)
+
+val nontrivial : _ Digraph.t -> int list list
+(** Components that contain a cycle: size >= 2, or a single vertex with a
+    self-loop. *)

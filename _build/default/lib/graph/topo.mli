@@ -1,0 +1,9 @@
+(** Topological sorting (Kahn's algorithm). *)
+
+val sort : _ Digraph.t -> int list option
+(** [sort g] is [Some order] (a topological order of all vertices) iff [g]
+    is acyclic, [None] otherwise.  O(V + E). *)
+
+val is_order : _ Digraph.t -> int array -> bool
+(** [is_order g pos] checks that [pos.(u) < pos.(v)] for every edge
+    [u -> v] — an oracle used to cross-check incremental maintenance. *)

@@ -1,0 +1,1 @@
+lib/history/builder.ml: History List Op Option Txn

@@ -1,0 +1,1 @@
+lib/history/builder.mli: History Op Txn

@@ -1,0 +1,1 @@
+lib/history/codec.ml: Array Buffer Fun History In_channel List Op Option Printf String Txn

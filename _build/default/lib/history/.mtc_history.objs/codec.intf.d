@@ -1,0 +1,1 @@
+lib/history/codec.mli: History

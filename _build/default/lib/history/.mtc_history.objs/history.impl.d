@@ -1,0 +1,1 @@
+lib/history/history.ml: Array Format Hashtbl List Mini Op Printf Txn

@@ -1,0 +1,1 @@
+lib/history/mini.ml: Array Hashtbl Op Txn

@@ -1,0 +1,1 @@
+lib/history/mini.mli: Txn

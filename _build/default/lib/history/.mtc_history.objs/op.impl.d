@@ -1,0 +1,1 @@
+lib/history/op.ml: Format Scanf Stdlib

@@ -1,0 +1,1 @@
+lib/history/txn.ml: Array Format Hashtbl List Op Option

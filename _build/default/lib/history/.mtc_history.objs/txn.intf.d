@@ -1,0 +1,1 @@
+lib/history/txn.mli: Format Op

@@ -1,0 +1,29 @@
+let r k v = Op.Read (k, v)
+let w k v = Op.Write (k, v)
+
+type spec = {
+  status : Txn.status;
+  start : int option;
+  commit : int option;
+  session : int;
+  ops : Op.t list;
+}
+
+let txn ?(status = Txn.Committed) ?start ?commit ~session ops =
+  { status; start; commit; session; ops }
+
+let history ~keys ~sessions ?(rt = `Overlap) specs =
+  let make_txn i spec =
+    let id = i + 1 in
+    let default_start, default_commit =
+      match rt with
+      | `Overlap -> (0, 1)
+      | `Sequential -> (2 * id, (2 * id) + 1)
+    in
+    Txn.make ~id ~session:spec.session ~status:spec.status
+      ~start_ts:(Option.value spec.start ~default:default_start)
+      ~commit_ts:(Option.value spec.commit ~default:default_commit)
+      spec.ops
+  in
+  History.make ~num_keys:keys ~num_sessions:sessions
+    (List.mapi make_txn specs)

@@ -1,0 +1,41 @@
+(** A compact DSL for constructing histories in tests, examples and the
+    anomaly catalogue.
+
+    {[
+      let h =
+        Builder.(
+          history ~keys:2 ~sessions:2
+            [
+              txn ~session:1 [ r 0 0; w 0 1 ];
+              txn ~session:2 [ r 0 1; w 0 2 ];
+            ])
+    ]}
+
+    Transaction ids are assigned in list order starting from 1 (id 0 is the
+    initial transaction added by {!History.make}). *)
+
+val r : Op.key -> Op.value -> Op.t
+val w : Op.key -> Op.value -> Op.t
+
+type spec
+
+val txn :
+  ?status:Txn.status ->
+  ?start:int ->
+  ?commit:int ->
+  session:int ->
+  Op.t list ->
+  spec
+
+val history :
+  keys:int ->
+  sessions:int ->
+  ?rt:[ `Sequential | `Overlap ] ->
+  spec list ->
+  History.t
+(** [rt] controls default timestamps for specs without explicit
+    [start]/[commit]:
+    - [`Overlap] (default): all transactions are pairwise concurrent
+      (no RT edges), so SSER coincides with SER;
+    - [`Sequential]: list order is the real-time order (each transaction
+      finishes before the next starts). *)

@@ -1,0 +1,101 @@
+let to_string (h : History.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "mtc-history v1\n";
+  Buffer.add_string buf (Printf.sprintf "keys %d\n" h.num_keys);
+  Buffer.add_string buf (Printf.sprintf "sessions %d\n" h.num_sessions);
+  Array.iter
+    (fun (t : Txn.t) ->
+      if t.id <> History.init_id then begin
+        Buffer.add_string buf
+          (Printf.sprintf "txn %d %d %s %d %d" t.id t.session
+             (match t.status with Txn.Committed -> "C" | Txn.Aborted -> "A")
+             t.start_ts t.commit_ts);
+        Array.iter
+          (fun op ->
+            Buffer.add_char buf ' ';
+            Buffer.add_string buf (Op.to_string op))
+          t.ops;
+        Buffer.add_char buf '\n'
+      end)
+    h.txns;
+  Buffer.contents buf
+
+let of_string s =
+  let lines =
+    String.split_on_char '\n' s
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && not (String.length l > 0 && l.[0] = '#'))
+  in
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  match lines with
+  | header :: rest when header = "mtc-history v1" -> (
+      let parse_kv name line =
+        match String.split_on_char ' ' line with
+        | [ k; v ] when k = name -> int_of_string_opt v
+        | _ -> None
+      in
+      match rest with
+      | keys_line :: sessions_line :: txn_lines -> (
+          match
+            (parse_kv "keys" keys_line, parse_kv "sessions" sessions_line)
+          with
+          | Some num_keys, Some num_sessions -> (
+              let parse_txn line =
+                match String.split_on_char ' ' line with
+                | "txn" :: id :: session :: status :: start :: commit :: ops ->
+                    let ( let* ) = Option.bind in
+                    let* id = int_of_string_opt id in
+                    let* session = int_of_string_opt session in
+                    let* status =
+                      match status with
+                      | "C" -> Some Txn.Committed
+                      | "A" -> Some Txn.Aborted
+                      | _ -> None
+                    in
+                    let* start_ts = int_of_string_opt start in
+                    let* commit_ts = int_of_string_opt commit in
+                    let* ops =
+                      List.fold_right
+                        (fun op_s acc ->
+                          let* acc = acc in
+                          let* op = Op.of_string op_s in
+                          Some (op :: acc))
+                        ops (Some [])
+                    in
+                    Some
+                      (Txn.make ~id ~session ~status ~start_ts ~commit_ts ops)
+                | _ -> None
+              in
+              let txns =
+                List.fold_right
+                  (fun line acc ->
+                    match acc with
+                    | Error _ -> acc
+                    | Ok ts -> (
+                        match parse_txn line with
+                        | Some t -> Ok (t :: ts)
+                        | None -> Error line))
+                  txn_lines (Ok [])
+              in
+              match txns with
+              | Error line -> fail "unparseable txn line: %S" line
+              | Ok txns -> (
+                  try Ok (History.make ~num_keys ~num_sessions txns)
+                  with Invalid_argument m -> Error m))
+          | _ -> fail "bad keys/sessions header")
+      | _ -> fail "truncated header")
+  | _ -> fail "missing magic line 'mtc-history v1'"
+
+let save path h =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string h))
+
+let load path =
+  try
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> of_string (In_channel.input_all ic))
+  with Sys_error m -> Error m

@@ -1,0 +1,23 @@
+(** Plain-text serialization of histories (one transaction per line),
+    so that histories can be archived, diffed, and re-checked from the
+    command line:
+
+    {v
+    mtc-history v1
+    keys 4
+    sessions 2
+    txn 1 1 C 2 3 R(x0)=0 W(x0):=101
+    txn 2 2 A 2 4 R(x1)=0
+    v}
+
+    Fields of a [txn] line: id, session, status (C/A), start_ts,
+    commit_ts, then the operations in program order.  The initial
+    transaction is implicit and not serialized. *)
+
+val to_string : History.t -> string
+val of_string : string -> (History.t, string) result
+
+val save : string -> History.t -> unit
+(** [save path h] writes [to_string h] to [path]. *)
+
+val load : string -> (History.t, string) result

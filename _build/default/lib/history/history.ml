@@ -1,0 +1,118 @@
+type t = { txns : Txn.t array; num_sessions : int; num_keys : int }
+
+let init_id = 0
+
+let init_txn ~num_keys =
+  let ops = List.init num_keys (fun k -> Op.Write (k, 0)) in
+  Txn.make ~id:init_id ~session:0 ~start_ts:min_int ~commit_ts:min_int ops
+
+let make ~num_keys ~num_sessions txns =
+  let all = Array.of_list (init_txn ~num_keys :: txns) in
+  Array.iteri
+    (fun i (t : Txn.t) ->
+      if t.id <> i then
+        invalid_arg
+          (Printf.sprintf "History.make: txn at position %d has id %d" i t.id);
+      if i > 0 && (t.session < 1 || t.session > num_sessions) then
+        invalid_arg
+          (Printf.sprintf "History.make: T%d has session %d out of [1,%d]" t.id
+             t.session num_sessions);
+      Array.iter
+        (fun op ->
+          let k = Op.key op in
+          if k < 0 || k >= num_keys then
+            invalid_arg
+              (Printf.sprintf "History.make: T%d accesses key %d out of [0,%d)"
+                 t.id k num_keys))
+        t.ops)
+    all;
+  { txns = all; num_sessions; num_keys }
+
+let txn h id = h.txns.(id)
+let num_txns h = Array.length h.txns
+
+let committed h =
+  Array.to_list h.txns |> List.filter Txn.is_committed
+
+let committed_count h =
+  Array.fold_left (fun n t -> if Txn.is_committed t then n + 1 else n) 0 h.txns
+
+let session_chain h s =
+  Array.to_list h.txns
+  |> List.filter (fun (t : Txn.t) -> t.session = s && Txn.is_committed t)
+  |> List.map (fun (t : Txn.t) -> t.id)
+
+let so_pairs h =
+  let acc = ref [] in
+  for s = 1 to h.num_sessions do
+    match session_chain h s with
+    | [] -> ()
+    | first :: _ as chain ->
+        acc := (init_id, first) :: !acc;
+        let rec link = function
+          | a :: (b :: _ as rest) ->
+              acc := (a, b) :: !acc;
+              link rest
+          | [ _ ] | [] -> ()
+        in
+        link chain
+  done;
+  List.rev !acc
+
+let rt_before h t1 t2 =
+  let a = h.txns.(t1) and b = h.txns.(t2) in
+  a.commit_ts < b.start_ts
+
+let unique_values h =
+  let seen = Hashtbl.create 1024 in
+  let exception Dup of string in
+  try
+    Array.iter
+      (fun (t : Txn.t) ->
+        Array.iter
+          (fun op ->
+            match op with
+            | Op.Write (k, v) -> (
+                match Hashtbl.find_opt seen (k, v) with
+                | Some other when other <> t.id ->
+                    raise
+                      (Dup
+                         (Printf.sprintf
+                            "writes of value %d to key %d by both T%d and T%d"
+                            v k other t.id))
+                | Some _ | None -> Hashtbl.replace seen (k, v) t.id)
+            | Op.Read _ -> ())
+          t.ops)
+      h.txns;
+    Ok ()
+  with Dup msg -> Error msg
+
+let all_mini h =
+  let exception Bad of int in
+  try
+    Array.iter
+      (fun (t : Txn.t) ->
+        if t.id <> init_id && not (Mini.is_mini t) then raise (Bad t.id))
+      h.txns;
+    Ok ()
+  with Bad id -> Error (Printf.sprintf "T%d is not a mini-transaction" id)
+
+let validate h =
+  match unique_values h with Error _ as e -> e | Ok () -> all_mini h
+
+let stats h =
+  let ops =
+    Array.fold_left (fun n (t : Txn.t) -> n + Array.length t.ops) 0 h.txns
+  in
+  Printf.sprintf "%d txns (%d committed) / %d sessions / %d keys / %d ops"
+    (num_txns h - 1)
+    (committed_count h - 1)
+    h.num_sessions h.num_keys ops
+
+let pp ppf h =
+  Format.fprintf ppf "@[<v>history: %s" (stats h);
+  Array.iter
+    (fun t ->
+      if (t : Txn.t).id <> init_id then Format.fprintf ppf "@,%a" Txn.pp t)
+    h.txns;
+  Format.fprintf ppf "@]"

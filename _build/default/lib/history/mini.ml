@@ -1,0 +1,50 @@
+type shape = R | RW | RR | RRW_fst | RRW_snd | RRWW | RWRW
+
+let all_shapes = [ R; RW; RR; RRW_fst; RRW_snd; RRWW; RWRW ]
+
+let shape_name = function
+  | R -> "r"
+  | RW -> "rw"
+  | RR -> "rr"
+  | RRW_fst -> "rrw1"
+  | RRW_snd -> "rrw2"
+  | RRWW -> "rrww"
+  | RWRW -> "rwrw"
+
+let num_keys_of_shape = function
+  | R | RW -> 1
+  | RR | RRW_fst | RRW_snd | RRWW | RWRW -> 2
+
+let is_mini (t : Txn.t) =
+  let reads =
+    Array.fold_left (fun n op -> if Op.is_read op then n + 1 else n) 0 t.ops
+  in
+  let writes = Array.length t.ops - reads in
+  reads >= 1 && reads <= 2 && writes <= 2
+  &&
+  let read_keys = Hashtbl.create 4 in
+  Array.for_all
+    (fun op ->
+      match op with
+      | Op.Read (k, _) ->
+          Hashtbl.replace read_keys k ();
+          true
+      | Op.Write (k, _) -> Hashtbl.mem read_keys k)
+    t.ops
+
+let shape_of (t : Txn.t) =
+  if not (is_mini t) then None
+  else
+    match Array.to_list t.ops with
+    | [ Op.Read _ ] -> Some R
+    | [ Op.Read (x, _); Op.Write (x', _) ] when x = x' -> Some RW
+    | [ Op.Read (x, _); Op.Read (y, _) ] when x <> y -> Some RR
+    | [ Op.Read (x, _); Op.Read (y, _); Op.Write (k, _) ] when x <> y ->
+        if k = x then Some RRW_fst else if k = y then Some RRW_snd else None
+    | [ Op.Read (x, _); Op.Read (y, _); Op.Write (k1, _); Op.Write (k2, _) ]
+      when x <> y && k1 = x && k2 = y ->
+        Some RRWW
+    | [ Op.Read (x, _); Op.Write (x', _); Op.Read (y, _); Op.Write (y', _) ]
+      when x = x' && y = y' && x <> y ->
+        Some RWRW
+    | _ -> None

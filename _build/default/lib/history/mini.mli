@@ -1,0 +1,29 @@
+(** The mini-transaction predicate and shape taxonomy (paper Definition 8).
+
+    A mini-transaction contains one or two reads and at most two writes,
+    and each write is (not necessarily immediately) preceded by a read of
+    the same object — the read-modify-write pattern that makes the WW
+    dependency inferable from WR. *)
+
+type shape =
+  | R  (** R(x) *)
+  | RW  (** R(x) W(x) — the read-modify-write pair *)
+  | RR  (** R(x) R(y) *)
+  | RRW_fst  (** R(x) R(y) W(x) *)
+  | RRW_snd  (** R(x) R(y) W(y) *)
+  | RRWW  (** R(x) R(y) W(x) W(y) — needed for WRITESKEW (Fig. 5n) *)
+  | RWRW  (** R(x) W(x) R(y) W(y) *)
+
+val all_shapes : shape list
+val shape_name : shape -> string
+
+val num_keys_of_shape : shape -> int
+(** 1 or 2 distinct objects. *)
+
+val is_mini : Txn.t -> bool
+(** Does the transaction satisfy Definition 8? *)
+
+val shape_of : Txn.t -> shape option
+(** The canonical shape of a mini-transaction, if it matches one of the
+    seven templates above (reads/writes of the same objects in template
+    order). *)

@@ -1,0 +1,24 @@
+type key = int
+type value = int
+
+type t = Read of key * value | Write of key * value
+
+let key = function Read (k, _) | Write (k, _) -> k
+let value = function Read (_, v) | Write (_, v) -> v
+let is_read = function Read _ -> true | Write _ -> false
+let is_write = function Write _ -> true | Read _ -> false
+
+let pp ppf = function
+  | Read (k, v) -> Format.fprintf ppf "R(x%d)=%d" k v
+  | Write (k, v) -> Format.fprintf ppf "W(x%d):=%d" k v
+
+let to_string op = Format.asprintf "%a" pp op
+
+let of_string s =
+  try Scanf.sscanf s "R(x%d)=%d" (fun k v -> Some (Read (k, v)))
+  with Scanf.Scan_failure _ | Failure _ | End_of_file -> (
+    try Scanf.sscanf s "W(x%d):=%d" (fun k v -> Some (Write (k, v)))
+    with Scanf.Scan_failure _ | Failure _ | End_of_file -> None)
+
+let equal a b = a = b
+let compare = Stdlib.compare

@@ -1,0 +1,29 @@
+(** Read and write operations on a key-value store (paper Section II-B).
+
+    Keys and values are integers.  Following the common practice in
+    black-box isolation checking, every write in a history is expected to
+    assign a value unique for its object; [History.validate] enforces
+    this. *)
+
+type key = int
+type value = int
+
+type t =
+  | Read of key * value  (** [Read (x, v)]: read [x], observed value [v] *)
+  | Write of key * value  (** [Write (x, v)]: write value [v] to [x] *)
+
+val key : t -> key
+val value : t -> value
+val is_read : t -> bool
+val is_write : t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Prints [R(x3)=17] / [W(x3):=18]. *)
+
+val to_string : t -> string
+
+val of_string : string -> t option
+(** Parses the [pp] format back. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int

@@ -1,0 +1,91 @@
+type id = int
+
+type status = Committed | Aborted
+
+type t = {
+  id : id;
+  session : int;
+  ops : Op.t array;
+  status : status;
+  start_ts : int;
+  commit_ts : int;
+}
+
+let make ~id ~session ?(status = Committed) ?start_ts ?commit_ts ops =
+  let start_ts = Option.value start_ts ~default:id in
+  let commit_ts = Option.value commit_ts ~default:start_ts in
+  { id; session; ops = Array.of_list ops; status; start_ts; commit_ts }
+
+let is_committed t = t.status = Committed
+
+(* Fold over ops keeping per-key first-external-read and last-write, in
+   first-occurrence order.  These three projections are what the paper's
+   [|-] judgements denote. *)
+
+let external_reads t =
+  let written = Hashtbl.create 4 in
+  let seen = Hashtbl.create 4 in
+  let acc = ref [] in
+  Array.iter
+    (fun op ->
+      match op with
+      | Op.Write (k, _) -> Hashtbl.replace written k ()
+      | Op.Read (k, v) ->
+          if (not (Hashtbl.mem written k)) && not (Hashtbl.mem seen k) then begin
+            Hashtbl.replace seen k ();
+            acc := (k, v) :: !acc
+          end)
+    t.ops;
+  List.rev !acc
+
+let final_writes t =
+  let last = Hashtbl.create 4 in
+  let order = ref [] in
+  Array.iter
+    (fun op ->
+      match op with
+      | Op.Write (k, v) ->
+          if not (Hashtbl.mem last k) then order := k :: !order;
+          Hashtbl.replace last k v
+      | Op.Read _ -> ())
+    t.ops;
+  List.rev_map (fun k -> (k, Hashtbl.find last k)) !order
+
+let intermediate_writes t =
+  let final = Hashtbl.create 4 in
+  List.iter (fun (k, v) -> Hashtbl.replace final k v) (final_writes t);
+  let acc = ref [] in
+  Array.iter
+    (fun op ->
+      match op with
+      | Op.Write (k, v) when Hashtbl.find final k <> v -> acc := (k, v) :: !acc
+      | Op.Write _ | Op.Read _ -> ())
+    t.ops;
+  List.rev !acc
+
+let read_of t k = List.assoc_opt k (external_reads t)
+let write_of t k = List.assoc_opt k (final_writes t)
+let reads_key t k = read_of t k <> None
+let writes_key t k = write_of t k <> None
+
+let keys t =
+  let seen = Hashtbl.create 4 in
+  let acc = ref [] in
+  Array.iter
+    (fun op ->
+      let k = Op.key op in
+      if not (Hashtbl.mem seen k) then begin
+        Hashtbl.replace seen k ();
+        acc := k :: !acc
+      end)
+    t.ops;
+  List.rev !acc
+
+let pp ppf t =
+  let status = match t.status with Committed -> "C" | Aborted -> "A" in
+  Format.fprintf ppf "T%d[s%d,%s,%d..%d: %a]" t.id t.session status t.start_ts
+    t.commit_ts
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf " ") Op.pp)
+    (Array.to_list t.ops)
+
+let pp_brief ppf t = Format.fprintf ppf "T%d" t.id

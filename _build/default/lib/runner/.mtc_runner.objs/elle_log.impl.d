@@ -1,0 +1,1 @@
+lib/runner/elle_log.ml: Format List Op String

@@ -1,0 +1,1 @@
+lib/runner/endtoend.ml: Anomaly Checker Db Format Gc Option Report Scheduler Spec Stats

@@ -1,0 +1,1 @@
+lib/runner/endtoend.mli: Checker Db Format Scheduler Spec

@@ -1,0 +1,1 @@
+lib/runner/intern.ml: Hashtbl

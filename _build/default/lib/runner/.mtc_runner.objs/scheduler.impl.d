@@ -1,0 +1,1 @@
+lib/runner/scheduler.ml: Array Db Elle_log History Intern Isolation List Rng Spec Txn

@@ -1,0 +1,1 @@
+lib/runner/scheduler.mli: Db Elle_log History Spec

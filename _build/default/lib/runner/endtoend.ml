@@ -1,0 +1,98 @@
+type verdict = V_pass | V_fail of string
+
+type measurement = {
+  spec_name : string;
+  gen_s : float;
+  verify_s : float;
+  verify_alloc_bytes : float;
+  committed : int;
+  attempts : int;
+  abort_rate : float;
+  verdict : verdict;
+}
+
+let pp_measurement ppf m =
+  Format.fprintf ppf
+    "%s: gen=%.3fs verify=%.4fs alloc=%.1fMB committed=%d attempts=%d \
+     abort-rate=%.1f%% %s"
+    m.spec_name m.gen_s m.verify_s
+    (m.verify_alloc_bytes /. 1_048_576.0)
+    m.committed m.attempts (100.0 *. m.abort_rate)
+    (match m.verdict with V_pass -> "PASS" | V_fail r -> "FAIL: " ^ r)
+
+let measure ?sched ~db ~spec ~verify () =
+  let result, gen_s =
+    Stats.time_it (fun () -> Scheduler.run ?params:sched ~db ~spec ())
+  in
+  let alloc0 = Gc.allocated_bytes () in
+  let verdict, verify_s = Stats.time_it (fun () -> verify result) in
+  let verify_alloc_bytes = Gc.allocated_bytes () -. alloc0 in
+  {
+    spec_name = spec.Spec.name;
+    gen_s;
+    verify_s;
+    verify_alloc_bytes;
+    committed = result.Scheduler.committed;
+    attempts = result.Scheduler.attempts;
+    abort_rate = Scheduler.abort_rate result;
+    verdict;
+  }
+
+let mtc_verify level (r : Scheduler.result) =
+  match Checker.check level r.Scheduler.history with
+  | Checker.Pass -> V_pass
+  | Checker.Fail v ->
+      V_fail (Report.render r.Scheduler.history level v)
+
+type hunt_outcome = {
+  violation : string option;
+  anomaly : string option;
+  ce_position : int option;
+  trials : int;
+  committed_total : int;
+  hunt_gen_s : float;
+  hunt_verify_s : float;
+}
+
+let hunt ?(sched_seed = 7) ~db ~make_spec ~level ~max_trials () =
+  let gen_s = ref 0.0 and verify_s = ref 0.0 in
+  let committed_total = ref 0 in
+  let rec go trial =
+    if trial > max_trials then
+      {
+        violation = None;
+        anomaly = None;
+        ce_position = None;
+        trials = max_trials;
+        committed_total = !committed_total;
+        hunt_gen_s = !gen_s;
+        hunt_verify_s = !verify_s;
+      }
+    else
+      let spec = make_spec ~seed:trial in
+      let db = { db with Db.seed = db.Db.seed + trial } in
+      let sched = { Scheduler.default_params with seed = sched_seed + trial } in
+      let result, g =
+        Stats.time_it (fun () -> Scheduler.run ~params:sched ~db ~spec ())
+      in
+      gen_s := !gen_s +. g;
+      committed_total := !committed_total + result.Scheduler.committed;
+      let outcome, v =
+        Stats.time_it (fun () -> Checker.check level result.Scheduler.history)
+      in
+      verify_s := !verify_s +. v;
+      match outcome with
+      | Checker.Pass -> go (trial + 1)
+      | Checker.Fail viol ->
+          {
+            violation =
+              Some (Report.render result.Scheduler.history level viol);
+            anomaly = Option.map Anomaly.name (Report.classify viol);
+            ce_position = Checker.ce_position viol;
+            trials = trial;
+            committed_total = !committed_total;
+            hunt_gen_s = !gen_s;
+            hunt_verify_s = !verify_s;
+          }
+  in
+  go 1

@@ -1,0 +1,52 @@
+(** End-to-end checking pipeline: generate → execute → verify, with the
+    per-phase time and memory accounting reported in the paper's
+    evaluation (Figures 10, 14, 17 and Table II). *)
+
+type verdict = V_pass | V_fail of string
+
+type measurement = {
+  spec_name : string;
+  gen_s : float;  (** history generation (workload execution) time *)
+  verify_s : float;  (** history verification time *)
+  verify_alloc_bytes : float;
+      (** bytes allocated by the verifier — the memory metric *)
+  committed : int;
+  attempts : int;
+  abort_rate : float;
+  verdict : verdict;
+}
+
+val pp_measurement : Format.formatter -> measurement -> unit
+
+val measure :
+  ?sched:Scheduler.params ->
+  db:Db.config ->
+  spec:Spec.t ->
+  verify:(Scheduler.result -> verdict) ->
+  unit ->
+  measurement
+
+val mtc_verify : Checker.level -> Scheduler.result -> verdict
+(** Plug MTC's own checker into {!measure}. *)
+
+type hunt_outcome = {
+  violation : string option;  (** rendered counterexample, if found *)
+  anomaly : string option;  (** {!Report.classify}'s anomaly name *)
+  ce_position : int option;  (** Table II's "CE position" *)
+  trials : int;
+  committed_total : int;
+  hunt_gen_s : float;
+  hunt_verify_s : float;
+}
+
+val hunt :
+  ?sched_seed:int ->
+  db:Db.config ->
+  make_spec:(seed:int -> Spec.t) ->
+  level:Checker.level ->
+  max_trials:int ->
+  unit ->
+  hunt_outcome
+(** Run freshly-seeded workloads against a (possibly fault-injected)
+    engine until the checker reports a violation or [max_trials] histories
+    pass. *)

@@ -1,0 +1,16 @@
+type t = { mutable next : int; table : (int, int list) Hashtbl.t }
+
+let empty_id = 0
+
+let create () =
+  let table = Hashtbl.create 1024 in
+  Hashtbl.replace table empty_id [];
+  { next = 1; table }
+
+let put t l =
+  let id = t.next in
+  t.next <- id + 1;
+  Hashtbl.replace t.table id l;
+  id
+
+let get t id = Hashtbl.find t.table id

@@ -1,0 +1,21 @@
+(** Interning of list values.
+
+    The engine stores integer register values; list-append workloads
+    (Elle) need list-valued objects.  The runner interns each list as a
+    fresh integer id, so an append is executed as a read-modify-write of
+    the register while Elle sees genuine lists.  Id 0 is the empty list
+    (the initial value every register starts with). *)
+
+type t
+
+val create : unit -> t
+
+val empty_id : int
+(** 0 — the id of the empty list. *)
+
+val put : t -> int list -> int
+(** Intern a list, returning a fresh id ([> 0]) — lists are never
+    deduplicated since appended elements are unique. *)
+
+val get : t -> int -> int list
+(** @raise Not_found on an unknown id. *)

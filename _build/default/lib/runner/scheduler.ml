@@ -1,0 +1,189 @@
+type params = { seed : int; max_attempts : int }
+
+let default_params = { seed = 7; max_attempts = 64 }
+
+type result = {
+  history : History.t;
+  db_stats : Db.stats;
+  attempts : int;
+  committed : int;
+  gave_up : int;
+  ticks : int;
+  elle : Elle_log.t option;
+}
+
+let abort_rate r =
+  if r.attempts = 0 then 0.0
+  else float_of_int (r.attempts - r.committed) /. float_of_int r.attempts
+
+type attempt = {
+  handle : Db.handle;
+  program : Spec.prog_txn;
+  mutable remaining : Spec.prog_op list;
+  mutable number : int;  (** attempt number for this transaction *)
+  mutable elle_ops : Elle_log.aop list;  (** reversed *)
+}
+
+type phase = Idle | Running of attempt
+
+type session_state = {
+  id : int;  (** 1-based session id *)
+  mutable todo : Spec.prog_txn list;
+  mutable phase : phase;
+}
+
+let has_appends (spec : Spec.t) =
+  Array.exists
+    (List.exists (List.exists (function Spec.Pappend _ -> true | _ -> false)))
+    spec.sessions
+
+let run ?(params = default_params) ~(db : Db.config) ~(spec : Spec.t) () =
+  let append_mode = has_appends spec in
+  if append_mode && db.Db.level = Isolation.Strict_serializable then
+    invalid_arg "Scheduler.run: append workloads unsupported under 2PL";
+  let engine = Db.create db in
+  let rng = Rng.create params.seed in
+  let intern = Intern.create () in
+  let value_counter = Array.make (Spec.num_sessions spec + 1) 0 in
+  let fresh_value s =
+    value_counter.(s) <- value_counter.(s) + 1;
+    (s * 10_000_000) + value_counter.(s)
+  in
+  let recorded : Txn.t list ref = ref [] in
+  let elle_txns : Elle_log.txn list ref = ref [] in
+  let attempts = ref 0 in
+  let committed = ref 0 in
+  let gave_up = ref 0 in
+  let record (a : attempt) (status : Txn.status) ~commit_ts =
+    let h = a.handle in
+    recorded :=
+      Txn.make ~id:(Db.handle_id h) ~session:(Db.handle_session h) ~status
+        ~start_ts:(Db.handle_start h) ~commit_ts (Db.handle_ops h)
+      :: !recorded;
+    if append_mode then
+      elle_txns :=
+        {
+          Elle_log.id = Db.handle_id h;
+          session = Db.handle_session h;
+          ops = List.rev a.elle_ops;
+          status =
+            (match status with
+            | Txn.Committed -> Elle_log.Committed
+            | Txn.Aborted -> Elle_log.Aborted);
+        }
+        :: !elle_txns
+  in
+  let sessions =
+    Array.mapi
+      (fun i todo -> { id = i + 1; todo; phase = Idle })
+      spec.Spec.sessions
+  in
+  let begin_attempt s program number =
+    incr attempts;
+    let handle = Db.begin_txn engine ~session:s.id in
+    s.phase <-
+      Running { handle; program; remaining = program; number; elle_ops = [] }
+  in
+  (* The session aborted (doomed or commit-rejected): record the attempt
+     and either retry the same program or give up. *)
+  let handle_abort s (a : attempt) ~already_finished =
+    if not already_finished then Db.abort engine a.handle;
+    record a Txn.Aborted ~commit_ts:(Db.now engine);
+    if a.number >= params.max_attempts then begin
+      incr gave_up;
+      s.phase <- Idle
+    end
+    else begin_attempt s a.program (a.number + 1)
+  in
+  let step s =
+    match s.phase with
+    | Idle -> (
+        match s.todo with
+        | [] -> ()
+        | program :: rest ->
+            s.todo <- rest;
+            begin_attempt s program 1)
+    | Running a -> (
+        match a.remaining with
+        | [] -> (
+            match Db.commit engine a.handle with
+            | Db.Committed ts ->
+                incr committed;
+                record a Txn.Committed ~commit_ts:ts;
+                s.phase <- Idle
+            | Db.Rejected _ -> handle_abort s a ~already_finished:true)
+        | op :: rest -> (
+            match op with
+            | Spec.Pread k -> (
+                match Db.read engine a.handle k with
+                | Db.Rvalue v ->
+                    if append_mode then
+                      a.elle_ops <-
+                        Elle_log.Read_list (k, Intern.get intern v)
+                        :: a.elle_ops;
+                    a.remaining <- rest
+                | Db.Rblocked -> ()
+                | Db.Rdoomed -> handle_abort s a ~already_finished:false)
+            | Spec.Pwrite k -> (
+                let v = fresh_value s.id in
+                match Db.write engine a.handle k v with
+                | Db.Wok -> a.remaining <- rest
+                | Db.Wblocked -> ()
+                | Db.Wdoomed -> handle_abort s a ~already_finished:false)
+            | Spec.Pappend k -> (
+                (* Executed as a read-modify-write over interned lists. *)
+                match Db.read engine a.handle k with
+                | Db.Rblocked -> ()
+                | Db.Rdoomed -> handle_abort s a ~already_finished:false
+                | Db.Rvalue list_id -> (
+                    let element = fresh_value s.id in
+                    let new_id =
+                      Intern.put intern (Intern.get intern list_id @ [ element ])
+                    in
+                    match Db.write engine a.handle k new_id with
+                    | Db.Wok ->
+                        a.elle_ops <-
+                          Elle_log.Append (k, element) :: a.elle_ops;
+                        a.remaining <- rest
+                    | Db.Wblocked | Db.Wdoomed ->
+                        handle_abort s a ~already_finished:false))))
+  in
+  let unfinished () =
+    Array.exists
+      (fun s -> s.phase <> Idle || s.todo <> [])
+      sessions
+  in
+  let live = Array.to_list sessions in
+  let safety = ref (Spec.num_ops spec * params.max_attempts * 20 + 100_000) in
+  while unfinished () do
+    decr safety;
+    if !safety <= 0 then failwith "Scheduler.run: no progress (livelock?)";
+    let candidates =
+      List.filter (fun s -> s.phase <> Idle || s.todo <> []) live
+    in
+    step (Rng.pick rng (Array.of_list candidates))
+  done;
+  let txns =
+    List.sort (fun (a : Txn.t) b -> compare a.id b.id) !recorded
+  in
+  let history =
+    History.make ~num_keys:spec.Spec.num_keys
+      ~num_sessions:(Spec.num_sessions spec) txns
+  in
+  {
+    history;
+    db_stats = Db.stats engine;
+    attempts = !attempts;
+    committed = !committed;
+    gave_up = !gave_up;
+    ticks = Db.now engine;
+    elle =
+      (if append_mode then
+         Some
+           {
+             Elle_log.txns = List.rev !elle_txns;
+             num_keys = spec.Spec.num_keys;
+             num_sessions = Spec.num_sessions spec;
+           }
+       else None);
+  }

@@ -1,0 +1,34 @@
+(** The client harness: executes a workload specification against the
+    simulated engine under a randomized operation-level interleaving
+    (paper Figure 2, steps 1–3).
+
+    Each session is a state machine; every scheduler step advances one
+    randomly chosen session by one operation (begin / read / write /
+    commit).  Aborted transactions are retried with fresh write values up
+    to [max_attempts]; lock-blocked operations simply retry when the
+    session is next scheduled (wound-wait guarantees global progress).
+    All attempts, committed and aborted, are recorded — the combined log
+    is the history handed to the checkers. *)
+
+type params = { seed : int; max_attempts : int }
+
+val default_params : params  (** seed 7, 64 attempts *)
+
+type result = {
+  history : History.t;
+  db_stats : Db.stats;
+  attempts : int;  (** total transaction attempts (>= committed) *)
+  committed : int;
+  gave_up : int;  (** transactions dropped after [max_attempts] *)
+  ticks : int;  (** final logical clock *)
+  elle : Elle_log.t option;
+      (** client-level append log, when the spec contains appends *)
+}
+
+val abort_rate : result -> float
+(** aborted attempts / total attempts — the metric of Figure 11. *)
+
+val run : ?params:params -> db:Db.config -> spec:Spec.t -> unit -> result
+(** @raise Invalid_argument if the spec contains appends and the config
+    level is [Strict_serializable] (appends need two engine calls and are
+    only supported on the non-blocking levels). *)

@@ -1,0 +1,1 @@
+lib/sat/acyclicity.ml: Array Hashtbl List Lit Pearce_kelly Solver

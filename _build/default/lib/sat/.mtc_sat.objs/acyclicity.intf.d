@@ -1,0 +1,1 @@
+lib/sat/acyclicity.mli: Lit Solver

@@ -1,0 +1,138 @@
+(* The theory graph is maintained as a Pearce–Kelly incremental
+   topological order: asserting an edge literal inserts edges (amortized
+   cheap), and backtracking removes them in O(1) per edge — deleting edges
+   never invalidates a topological order.  A rejected insertion yields the
+   vertex path of the would-be cycle, whose supporting literals become the
+   conflict clause. *)
+
+type t = {
+  n : int;
+  pk : Pearce_kelly.t;
+  (* (u, v) -> stack of supports; [None] = fixed edge.  An edge lives in
+     [pk] while its support stack is non-empty and the PK insertion
+     succeeded. *)
+  supports : (int * int, Lit.t option list ref) Hashtbl.t;
+  attached : (Lit.t, (int * int) list) Hashtbl.t;
+  (* fixed adjacency for the pruning oracle *)
+  fixed_succ : int list array;
+}
+
+let create ~n =
+  {
+    n;
+    pk = Pearce_kelly.create n;
+    supports = Hashtbl.create 1024;
+    attached = Hashtbl.create 256;
+    fixed_succ = Array.make n [];
+  }
+
+let support_stack t u v =
+  match Hashtbl.find_opt t.supports (u, v) with
+  | Some r -> r
+  | None ->
+      let r = ref [] in
+      Hashtbl.replace t.supports (u, v) r;
+      r
+
+(* Literals justifying the PK cycle path [v; ...; u] (closed by the new
+   edge u -> v).  Fixed support is preferred: it contributes no literal. *)
+let path_lits t path =
+  let rec pairs = function
+    | a :: (b :: _ as rest) -> (a, b) :: pairs rest
+    | [ _ ] | [] -> []
+  in
+  List.filter_map
+    (fun (a, b) ->
+      match Hashtbl.find_opt t.supports (a, b) with
+      | Some { contents = stack } ->
+          if List.mem None stack then None
+          else (match stack with l :: _ -> l | [] -> None)
+      | None -> None)
+    (pairs path)
+
+let add_fixed t u v =
+  match Pearce_kelly.add_edge t.pk u v with
+  | Ok () ->
+      let stack = support_stack t u v in
+      stack := None :: !stack;
+      t.fixed_succ.(u) <- v :: t.fixed_succ.(u);
+      Ok ()
+  | Error path -> Error path
+
+let add_fixed_batch t edges =
+  let result = ref (Ok ()) in
+  List.iter
+    (fun (u, v) ->
+      if !result = Ok () && not (Pearce_kelly.mem_edge t.pk u v) then
+        match add_fixed t u v with
+        | Ok () -> ()
+        | Error path -> result := Error path)
+    edges;
+  !result
+
+let attach t lit edges =
+  let existing =
+    match Hashtbl.find_opt t.attached lit with Some e -> e | None -> []
+  in
+  Hashtbl.replace t.attached lit (existing @ edges)
+
+let on_assign t lit =
+  match Hashtbl.find_opt t.attached lit with
+  | None -> None
+  | Some edges ->
+      let conflict = ref None in
+      List.iter
+        (fun (u, v) ->
+          let stack = support_stack t u v in
+          let already_present = !stack <> [] && Pearce_kelly.mem_edge t.pk u v in
+          stack := Some lit :: !stack;
+          if (not already_present) && !conflict = None then
+            match Pearce_kelly.add_edge t.pk u v with
+            | Ok () -> ()
+            | Error path ->
+                (* Cycle: u -> v -> ... -> u. *)
+                let lits = List.sort_uniq compare (path_lits t path) in
+                conflict :=
+                  Some (lit :: List.filter (fun l -> l <> lit) lits))
+        edges;
+      !conflict
+
+let on_unassign t lit =
+  match Hashtbl.find_opt t.attached lit with
+  | None -> ()
+  | Some edges ->
+      List.iter
+        (fun (u, v) ->
+          let stack = support_stack t u v in
+          (match !stack with
+          | Some l :: rest when l = lit -> stack := rest
+          | _ ->
+              (* Same literal attached to a duplicate edge entry: remove
+                 the first matching support. *)
+              let rec remove = function
+                | [] -> []
+                | Some l :: rest when l = lit -> rest
+                | s :: rest -> s :: remove rest
+              in
+              stack := remove !stack);
+          if !stack = [] then Pearce_kelly.remove_edge t.pk u v)
+        (List.rev edges)
+
+let theory t =
+  { Solver.on_assign = on_assign t; on_unassign = on_unassign t }
+
+let reaches t src dst =
+  if src = dst then true
+  else begin
+    let visited = Array.make t.n false in
+    let rec go u =
+      u = dst
+      || (not visited.(u))
+         && begin
+              visited.(u) <- true;
+              List.exists go t.fixed_succ.(u)
+            end
+    in
+    visited.(src) <- true;
+    List.exists go t.fixed_succ.(src)
+  end

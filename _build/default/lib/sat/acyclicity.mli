@@ -1,0 +1,36 @@
+(** SAT-modulo-acyclicity: the graph theory behind MonoSAT-lite.
+
+    Literals are attached to sets of directed edges; an edge exists while
+    any attached literal is true (fixed edges always exist).  Whenever an
+    assignment would close a cycle, the theory reports the attached
+    literals along that cycle as a conflict, which the CDCL core turns
+    into a learned clause.  Backtracking removes edges in LIFO order.
+
+    The Cobra and PolySI baselines use one variable per polygraph
+    constraint: the positive literal installs one edge set, the negative
+    literal the other (paper Section V-B). *)
+
+type t
+
+val create : n:int -> t
+(** Vertices [0 .. n-1]. *)
+
+val add_fixed : t -> int -> int -> (unit, int list) result
+(** A permanent (known) edge.  [Error path] if it already closes a cycle
+    of fixed edges ([path] as in {!Pearce_kelly.add_edge}). *)
+
+val add_fixed_batch : t -> (int * int) list -> (unit, int list) result
+(** Install many fixed edges (deduplicated) with a single O(V+E)
+    acyclicity check at the end — [Error cycle_vertices] if the combined
+    fixed graph is cyclic.  Much faster than repeated {!add_fixed} when
+    loading a large known graph. *)
+
+val attach : t -> Lit.t -> (int * int) list -> unit
+(** Edges installed while [lit] is true.  Call before solving. *)
+
+val theory : t -> Solver.theory
+(** The hooks to pass to {!Solver.create}. *)
+
+val reaches : t -> int -> int -> bool
+(** Reachability over fixed edges only — used by the baselines' constraint
+    pruning. *)

@@ -1,0 +1,10 @@
+type var = int
+type t = int
+
+let make v positive = (2 * v) + if positive then 0 else 1
+let var l = l lsr 1
+let sign l = l land 1 = 0
+let neg l = l lxor 1
+
+let pp ppf l =
+  Format.fprintf ppf "%s%d" (if sign l then "+" else "-") (var l)

@@ -1,0 +1,16 @@
+(** Literals encoded as integers: [2*var] for the positive literal,
+    [2*var + 1] for the negative one. *)
+
+type var = int
+type t = int
+
+val make : var -> bool -> t
+(** [make v true] is the positive literal of [v]. *)
+
+val var : t -> var
+
+val sign : t -> bool
+(** [true] for a positive literal. *)
+
+val neg : t -> t
+val pp : Format.formatter -> t -> unit

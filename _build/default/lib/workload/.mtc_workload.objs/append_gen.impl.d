@@ -1,0 +1,1 @@
+lib/workload/append_gen.ml: Array Distribution List Printf Rng Spec

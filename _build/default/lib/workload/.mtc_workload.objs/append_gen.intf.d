@@ -1,0 +1,1 @@
+lib/workload/append_gen.mli: Distribution Spec

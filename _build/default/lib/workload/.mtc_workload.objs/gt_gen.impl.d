@@ -1,0 +1,1 @@
+lib/workload/gt_gen.ml: Array Distribution List Printf Rng Spec

@@ -1,0 +1,1 @@
+lib/workload/gt_gen.mli: Distribution Spec

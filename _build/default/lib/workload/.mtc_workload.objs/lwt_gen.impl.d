@@ -1,0 +1,1 @@
+lib/workload/lwt_gen.ml: Hashtbl List Lwt Op Rng Stdlib

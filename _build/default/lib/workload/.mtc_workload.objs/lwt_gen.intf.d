@@ -1,0 +1,1 @@
+lib/workload/lwt_gen.mli: Lwt

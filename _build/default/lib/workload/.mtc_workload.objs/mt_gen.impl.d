@@ -1,0 +1,1 @@
+lib/workload/mt_gen.ml: Array Distribution List Mini Printf Rng Spec

@@ -1,0 +1,1 @@
+lib/workload/mt_gen.mli: Distribution Mini Spec

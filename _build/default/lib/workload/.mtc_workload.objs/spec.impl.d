@@ -1,0 +1,1 @@
+lib/workload/spec.ml: Array Format Hashtbl List Op

@@ -1,0 +1,1 @@
+lib/workload/spec.mli: Format Op

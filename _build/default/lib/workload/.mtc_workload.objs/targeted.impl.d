@@ -1,0 +1,1 @@
+lib/workload/targeted.ml: Array Distribution List Mt_gen Printf Rng Spec Stdlib

@@ -1,0 +1,1 @@
+lib/workload/targeted.mli: Spec

@@ -1,0 +1,47 @@
+type params = {
+  num_sessions : int;
+  num_txns : int;
+  num_keys : int;
+  max_txn_len : int;
+  registers : bool;
+  dist : Distribution.kind;
+  seed : int;
+}
+
+let default =
+  {
+    num_sessions = 10;
+    num_txns = 1000;
+    num_keys = 10;
+    max_txn_len = 4;
+    registers = false;
+    dist = Distribution.Exponential 1.0;
+    seed = 42;
+  }
+
+let generate p =
+  if p.num_sessions <= 0 then invalid_arg "Append_gen.generate: no sessions";
+  if p.max_txn_len <= 0 then invalid_arg "Append_gen.generate: empty txns";
+  let rng = Rng.create p.seed in
+  let dist = Distribution.make p.dist ~n:p.num_keys in
+  let sessions = Array.make p.num_sessions [] in
+  let make_txn () =
+    let len = 1 + Rng.int rng p.max_txn_len in
+    List.init len (fun _ ->
+        let k = Distribution.sample dist rng in
+        if Rng.bool rng then Spec.Pread k
+        else if p.registers then Spec.Pwrite k
+        else Spec.Pappend k)
+  in
+  for i = 0 to p.num_txns - 1 do
+    let s = i mod p.num_sessions in
+    sessions.(s) <- make_txn () :: sessions.(s)
+  done;
+  {
+    Spec.name =
+      Printf.sprintf "%s-s%d-t%d-k%d-l%d"
+        (if p.registers then "wr" else "append")
+        p.num_sessions p.num_txns p.num_keys p.max_txn_len;
+    num_keys = p.num_keys;
+    sessions = Array.map List.rev sessions;
+  }

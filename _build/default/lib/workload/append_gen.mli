@@ -1,0 +1,26 @@
+(** Elle-style list-append workloads (paper Section V-F2): transactions of
+    up to [max_txn_len] operations, each a list append or a list read on a
+    random key.  Appends are executed by the runner as read-modify-writes
+    over interned list values ({!Intern} in [mtc.runner]); the Elle
+    baseline sees the resulting lists and infers write-write orders from
+    them.
+
+    Also generates "wr-register" workloads (plain reads/writes of
+    registers) — Elle's weaker mode — by setting [registers = true]:
+    appends are replaced by blind register writes. *)
+
+type params = {
+  num_sessions : int;
+  num_txns : int;
+  num_keys : int;
+  max_txn_len : int;
+  registers : bool;
+  dist : Distribution.kind;
+  seed : int;
+}
+
+val default : params
+(** 10 sessions × 1000 txns on 10 keys, max length 4, list-append mode,
+    exponential access distribution (the Fig. 13 setup). *)
+
+val generate : params -> Spec.t

@@ -1,0 +1,62 @@
+type params = {
+  num_sessions : int;
+  num_txns : int;
+  num_keys : int;
+  ops_per_txn : int;
+  dist : Distribution.kind;
+  seed : int;
+}
+
+let default =
+  {
+    num_sessions = 10;
+    num_txns = 1000;
+    num_keys = 100;
+    ops_per_txn = 10;
+    dist = Distribution.Uniform;
+    seed = 42;
+  }
+
+type flavour = Read_only | Write_only | Rmw
+
+let sample_flavour rng =
+  let x = Rng.int rng 100 in
+  if x < 20 then Read_only else if x < 60 then Write_only else Rmw
+
+let make_txn p dist rng =
+  let open Spec in
+  match sample_flavour rng with
+  | Read_only ->
+      List.init p.ops_per_txn (fun _ -> Pread (Distribution.sample dist rng))
+  | Write_only ->
+      List.init p.ops_per_txn (fun _ -> Pwrite (Distribution.sample dist rng))
+  | Rmw ->
+      (* Pairs R(k); W(k); odd op budgets end with a single read. *)
+      let rec build n acc =
+        if n >= p.ops_per_txn then List.rev acc
+        else if n = p.ops_per_txn - 1 then
+          List.rev (Pread (Distribution.sample dist rng) :: acc)
+        else
+          let k = Distribution.sample dist rng in
+          build (n + 2) (Pwrite k :: Pread k :: acc)
+      in
+      build 0 []
+
+let generate p =
+  if p.num_sessions <= 0 then invalid_arg "Gt_gen.generate: no sessions";
+  if p.ops_per_txn <= 0 then invalid_arg "Gt_gen.generate: empty transactions";
+  let rng = Rng.create p.seed in
+  let dist = Distribution.make p.dist ~n:p.num_keys in
+  let sessions = Array.make p.num_sessions [] in
+  for i = 0 to p.num_txns - 1 do
+    let s = i mod p.num_sessions in
+    sessions.(s) <- make_txn p dist rng :: sessions.(s)
+  done;
+  {
+    Spec.name =
+      Printf.sprintf "gt-%s-s%d-t%d-k%d-o%d"
+        (Distribution.kind_name p.dist)
+        p.num_sessions p.num_txns p.num_keys p.ops_per_txn;
+    num_keys = p.num_keys;
+    sessions = Array.map List.rev sessions;
+  }

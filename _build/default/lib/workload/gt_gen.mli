@@ -1,0 +1,19 @@
+(** The general-transaction (GT) workload generator, following Cobra's
+    (paper Section V-A1): configurable #objects, #txns and #ops/txn; each
+    workload is 20% read-only, 40% write-only (blind writes) and 40%
+    read-modify-write transactions, uniformly distributed across
+    sessions. *)
+
+type params = {
+  num_sessions : int;
+  num_txns : int;
+  num_keys : int;
+  ops_per_txn : int;
+  dist : Distribution.kind;
+  seed : int;
+}
+
+val default : params
+(** 10 sessions × 1000 txns, 10 ops/txn, 100 keys, uniform. *)
+
+val generate : params -> Spec.t

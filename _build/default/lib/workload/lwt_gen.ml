@@ -1,0 +1,142 @@
+type injection = No_injection | Rt_violation | Phantom_write | Split_brain
+
+type params = {
+  num_sessions : int;
+  txns_per_session : int;
+  num_keys : int;
+  concurrent_pct : float;
+  read_pct : float;
+  seed : int;
+  inject : injection;
+}
+
+let default =
+  {
+    num_sessions = 16;
+    txns_per_session = 250;
+    num_keys = 4;
+    concurrent_pct = 0.5;
+    read_pct = 0.0;
+    seed = 42;
+    inject = No_injection;
+  }
+
+(* Events in generation order are the intended linearization; event [i]
+   linearizes at time 10*i + 5.  A session's successive events are
+   [num_sessions] slots apart, so a half-width below 5*num_sessions keeps
+   each session internally sequential. *)
+let generate p =
+  if p.num_sessions <= 0 then invalid_arg "Lwt_gen.generate: no sessions";
+  let rng = Rng.create p.seed in
+  let total = p.num_sessions * p.txns_per_session in
+  let concurrent_sessions =
+    int_of_float (ceil (p.concurrent_pct *. float_of_int p.num_sessions))
+  in
+  let current : (Op.key, Op.value) Hashtbl.t = Hashtbl.create 16 in
+  let counter = ref 0 in
+  let fresh k =
+    incr counter;
+    (k * 1_000_000) + !counter
+  in
+  let events = ref [] in
+  for i = 0 to total - 1 do
+    let session = (i mod p.num_sessions) + 1 in
+    let k =
+      (* Touch every key early so each has its insert. *)
+      if i < p.num_keys then i else Rng.int rng p.num_keys
+    in
+    let lin = (10 * i) + 5 in
+    let wide = session <= concurrent_sessions in
+    let spread =
+      if wide then 2 + Rng.int rng (Stdlib.max 1 ((4 * p.num_sessions) - 2))
+      else 1 + Rng.int rng 2
+    in
+    let op =
+      match Hashtbl.find_opt current k with
+      | None ->
+          let v = fresh k in
+          Hashtbl.replace current k v;
+          Lwt.Insert { key = k; value = v }
+      | Some v when Rng.chance rng p.read_pct ->
+          (* A failed CAS: observes the current value, writes nothing. *)
+          Lwt.Read { key = k; value = v }
+      | Some v ->
+          let v' = fresh k in
+          Hashtbl.replace current k v';
+          Lwt.Rw { key = k; expected = v; new_value = v' }
+    in
+    events :=
+      { Lwt.id = i; session; op; start = lin - spread; finish = lin + spread }
+      :: !events
+  done;
+  let events = List.rev !events in
+  let events =
+    match p.inject with
+    | No_injection -> events
+    | Rt_violation -> (
+        (* Pick two chain neighbours on key 0 and push the later one
+           entirely before the earlier one's start. *)
+        let on_key0 =
+          List.filter (fun e -> Lwt.key_of_event e = 0) events
+        in
+        match on_key0 with
+        | a :: b :: _ ->
+            List.map
+              (fun (e : Lwt.event) ->
+                if e.id = b.Lwt.id then
+                  { e with start = a.Lwt.start - 10; finish = a.Lwt.start - 5 }
+                else e)
+              events
+        | _ -> events)
+    | Phantom_write -> (
+        (* Drop a mid-chain CAS: its write took effect (the successor
+           consumed its value) but the client was told it failed, so the
+           client log records only a plain read of the prior value. *)
+        let victims =
+          List.filter
+            (fun (e : Lwt.event) ->
+              match e.op with Lwt.Rw _ -> true | _ -> false)
+            events
+        in
+        match victims with
+        | [] -> events
+        | _ ->
+            let victim = List.nth victims (List.length victims / 2) in
+            List.map
+              (fun (e : Lwt.event) ->
+                if e.id = victim.Lwt.id then
+                  match e.op with
+                  | Lwt.Rw { key; expected; _ } ->
+                      { e with op = Lwt.Read { key; value = expected } }
+                  | _ -> e
+                else e)
+              events)
+    | Split_brain -> (
+        (* Duplicate a CAS under a different session: both consumed the
+           same expected value. *)
+        let victims =
+          List.filter
+            (fun (e : Lwt.event) ->
+              match e.op with Lwt.Rw _ -> true | _ -> false)
+            events
+        in
+        match victims with
+        | [] -> events
+        | _ -> (
+            let v = List.nth victims (List.length victims / 2) in
+            match v.Lwt.op with
+            | Lwt.Rw { key; expected; _ } ->
+                let dup =
+                  {
+                    Lwt.id = total;
+                    session = (v.Lwt.session mod p.num_sessions) + 1;
+                    op =
+                      Lwt.Rw { key; expected; new_value = fresh key };
+                    start = v.Lwt.start + 1;
+                    finish = v.Lwt.finish + 1;
+                  }
+                in
+                events @ [ dup ]
+            | _ -> events))
+  in
+  Lwt.make ~num_keys:p.num_keys ~num_sessions:p.num_sessions events

@@ -1,0 +1,39 @@
+(** Synthetic lightweight-transaction history generator (paper
+    Section V-A2): for databases supporting LWTs, workload parameters
+    cannot predictably control history concurrency, so SSER checkers are
+    benchmarked on parametric synthetic histories instead.
+
+    The generator lays out a valid linearization (one version chain per
+    object) and then chooses start/finish intervals around each event's
+    linearization point.  Sessions designated "concurrent" receive wide,
+    heavily overlapping intervals; the rest receive tight ones — the
+    [concurrent_pct] knob of Figure 9a.
+
+    Violations can be injected for testing and for replaying the Cassandra
+    2.0.1 ABORTEDREAD bug (Table II):
+    - [Rt_violation]: two chain neighbours are reordered in real time
+      (Figure 4b);
+    - [Phantom_write]: a CAS reported as failed to its client was actually
+      applied — the visible chain has a gap;
+    - [Split_brain]: two CAS operations both consumed the same value. *)
+
+type injection = No_injection | Rt_violation | Phantom_write | Split_brain
+
+type params = {
+  num_sessions : int;
+  txns_per_session : int;
+  num_keys : int;
+  concurrent_pct : float;  (** fraction of sessions issuing concurrently *)
+  read_pct : float;
+      (** fraction of plain reads (failed CAS) among the events; reads of
+          the same value commute, which is what makes the Porcupine
+          baseline's search branch under concurrency *)
+  seed : int;
+  inject : injection;
+}
+
+val default : params
+(** 16 sessions × 250 txns on 4 keys, 50% concurrent, no reads, no
+    injection. *)
+
+val generate : params -> Lwt.t

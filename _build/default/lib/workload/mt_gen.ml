@@ -1,0 +1,93 @@
+type params = {
+  num_sessions : int;
+  num_txns : int;
+  num_keys : int;
+  dist : Distribution.kind;
+  seed : int;
+}
+
+let default =
+  {
+    num_sessions = 10;
+    num_txns = 1000;
+    num_keys = 100;
+    dist = Distribution.Uniform;
+    seed = 42;
+  }
+
+let shape_weights =
+  [
+    (Mini.R, 10);
+    (Mini.RW, 25);
+    (Mini.RR, 10);
+    (Mini.RRW_fst, 10);
+    (Mini.RRW_snd, 10);
+    (Mini.RRWW, 15);
+    (Mini.RWRW, 20);
+  ]
+
+let total_weight = List.fold_left (fun acc (_, w) -> acc + w) 0 shape_weights
+
+let sample_shape rng =
+  let x = Rng.int rng total_weight in
+  let rec pick acc = function
+    | [ (s, _) ] -> s
+    | (s, w) :: rest -> if x < acc + w then s else pick (acc + w) rest
+    | [] -> assert false
+  in
+  pick 0 shape_weights
+
+(* Two distinct keys from the distribution (retry on collision; with one
+   key in the space, fall back to a single-key shape). *)
+let sample_two_keys dist rng =
+  let x = Distribution.sample dist rng in
+  let rec draw tries =
+    let y = Distribution.sample dist rng in
+    if y <> x then Some (x, y) else if tries = 0 then None else draw (tries - 1)
+  in
+  match draw 16 with
+  | Some pair -> pair
+  | None -> (x, (x + 1) mod Distribution.size dist)
+
+let ops_of_shape shape dist rng =
+  let open Spec in
+  match shape with
+  | Mini.R -> [ Pread (Distribution.sample dist rng) ]
+  | Mini.RW ->
+      let k = Distribution.sample dist rng in
+      [ Pread k; Pwrite k ]
+  | Mini.RR ->
+      let x, y = sample_two_keys dist rng in
+      [ Pread x; Pread y ]
+  | Mini.RRW_fst ->
+      let x, y = sample_two_keys dist rng in
+      [ Pread x; Pread y; Pwrite x ]
+  | Mini.RRW_snd ->
+      let x, y = sample_two_keys dist rng in
+      [ Pread x; Pread y; Pwrite y ]
+  | Mini.RRWW ->
+      let x, y = sample_two_keys dist rng in
+      [ Pread x; Pread y; Pwrite x; Pwrite y ]
+  | Mini.RWRW ->
+      let x, y = sample_two_keys dist rng in
+      [ Pread x; Pwrite x; Pread y; Pwrite y ]
+
+let generate p =
+  if p.num_sessions <= 0 then invalid_arg "Mt_gen.generate: no sessions";
+  let rng = Rng.create p.seed in
+  let dist = Distribution.make p.dist ~n:p.num_keys in
+  let sessions = Array.make p.num_sessions [] in
+  for i = 0 to p.num_txns - 1 do
+    let s = i mod p.num_sessions in
+    let txn = ops_of_shape (sample_shape rng) dist rng in
+    assert (Spec.is_mini_op_list txn);
+    sessions.(s) <- txn :: sessions.(s)
+  done;
+  {
+    Spec.name =
+      Printf.sprintf "mt-%s-s%d-t%d-k%d"
+        (Distribution.kind_name p.dist)
+        p.num_sessions p.num_txns p.num_keys;
+    num_keys = p.num_keys;
+    sessions = Array.map List.rev sessions;
+  }

@@ -1,0 +1,24 @@
+(** The MT workload generator (paper Section V-A1).
+
+    Parameters: number of sessions, transactions (total, distributed
+    uniformly across sessions), objects, and the object-access
+    distribution controlling skewness.  Every generated transaction is a
+    mini-transaction (Definition 8): one of the seven shapes of
+    {!Mini.shape}, with keys drawn from the distribution. *)
+
+type params = {
+  num_sessions : int;
+  num_txns : int;  (** total, spread uniformly over sessions *)
+  num_keys : int;
+  dist : Distribution.kind;
+  seed : int;
+}
+
+val default : params
+(** 10 sessions × 1000 txns over 100 keys, uniform. *)
+
+val generate : params -> Spec.t
+
+val shape_weights : (Mini.shape * int) list
+(** The sampling weights (read-modify-write shapes dominate so that the
+    version chains grow and anomalies have material to appear in). *)

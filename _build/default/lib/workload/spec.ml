@@ -1,0 +1,42 @@
+type prog_op = Pread of Op.key | Pwrite of Op.key | Pappend of Op.key
+
+type prog_txn = prog_op list
+
+type t = {
+  name : string;
+  num_keys : int;
+  sessions : prog_txn list array;
+}
+
+let num_sessions t = Array.length t.sessions
+
+let num_txns t =
+  Array.fold_left (fun n txns -> n + List.length txns) 0 t.sessions
+
+let num_ops t =
+  Array.fold_left
+    (fun n txns ->
+      List.fold_left (fun n txn -> n + List.length txn) n txns)
+    0 t.sessions
+
+let is_mini_op_list ops =
+  let reads =
+    List.length (List.filter (function Pread _ -> true | _ -> false) ops)
+  in
+  let writes = List.length ops - reads in
+  reads >= 1 && reads <= 2 && writes <= 2
+  &&
+  let read_keys = Hashtbl.create 4 in
+  List.for_all
+    (fun op ->
+      match op with
+      | Pread k ->
+          Hashtbl.replace read_keys k ();
+          true
+      | Pwrite k -> Hashtbl.mem read_keys k
+      | Pappend _ -> false)
+    ops
+
+let pp ppf t =
+  Format.fprintf ppf "%s: %d sessions, %d txns, %d ops, %d keys" t.name
+    (num_sessions t) (num_txns t) (num_ops t) t.num_keys

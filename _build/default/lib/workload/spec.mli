@@ -1,0 +1,29 @@
+(** Workload specifications: per-session programs of abstract transactions.
+
+    Operations name only keys; write values are assigned at execution time
+    by the runner (session id ⊕ counter), so that every attempt — including
+    retries after aborts — writes fresh unique values, as required by
+    Definition 9 and common checker practice (paper Section II-A). *)
+
+type prog_op =
+  | Pread of Op.key
+  | Pwrite of Op.key  (** value chosen by the runner *)
+  | Pappend of Op.key  (** list-append (Elle workloads); runner-managed *)
+
+type prog_txn = prog_op list
+
+type t = {
+  name : string;
+  num_keys : int;
+  sessions : prog_txn list array;  (** index [s-1] holds session [s] *)
+}
+
+val num_sessions : t -> int
+val num_txns : t -> int
+val num_ops : t -> int
+
+val is_mini_op_list : prog_txn -> bool
+(** Shape check (Definition 8) at the program level. *)
+
+val pp : Format.formatter -> t -> unit
+(** Summary line. *)

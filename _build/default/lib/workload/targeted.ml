@@ -1,0 +1,49 @@
+let contended ?(sessions = 10) ~keys ~txns ~seed () =
+  Mt_gen.generate
+    { Mt_gen.num_sessions = sessions; num_txns = txns; num_keys = keys;
+      dist = Distribution.Uniform; seed }
+
+let observers ?(sessions = 8) ~keys ~txns ~seed () =
+  if keys < 2 then invalid_arg "Targeted.observers: need at least two keys";
+  let writers = Stdlib.max 1 (sessions / 2) in
+  if keys < writers then
+    invalid_arg "Targeted.observers: need a key per writer session";
+  let rng = Rng.create seed in
+  let arr = Array.make sessions [] in
+  for i = 0 to txns - 1 do
+    let s = i mod sessions in
+    let txn =
+      if s < writers then [ Spec.Pread s; Spec.Pwrite s ]
+      else
+        let x = Rng.int rng keys in
+        let y = (x + 1 + Rng.int rng (keys - 1)) mod keys in
+        [ Spec.Pread x; Spec.Pread y ]
+    in
+    arr.(s) <- txn :: arr.(s)
+  done;
+  {
+    Spec.name = Printf.sprintf "observers-s%d-t%d-k%d" sessions txns keys;
+    num_keys = keys;
+    sessions = Array.map List.rev arr;
+  }
+
+let write_skew ?(sessions = 8) ~keys ~txns ~seed () =
+  if keys < 2 || keys mod 2 <> 0 then
+    invalid_arg "Targeted.write_skew: need an even number of keys >= 2";
+  let rng = Rng.create seed in
+  let arr = Array.make sessions [] in
+  for i = 0 to txns - 1 do
+    let s = i mod sessions in
+    let pair = Rng.int rng (keys / 2) in
+    let x = 2 * pair and y = (2 * pair) + 1 in
+    let txn =
+      if Rng.bool rng then [ Spec.Pread x; Spec.Pread y; Spec.Pwrite x ]
+      else [ Spec.Pread x; Spec.Pread y; Spec.Pwrite y ]
+    in
+    arr.(s) <- txn :: arr.(s)
+  done;
+  {
+    Spec.name = Printf.sprintf "write-skew-s%d-t%d-k%d" sessions txns keys;
+    num_keys = keys;
+    sessions = Array.map List.rev arr;
+  }

@@ -1,0 +1,27 @@
+(** Anomaly-targeted MT workload shapes.
+
+    The paper's future work proposes guiding the generator to cover the
+    Figure 5 anomalies.  These templates bias the randomized workload
+    toward a specific anomaly family while remaining pure MT workloads:
+
+    - {!contended}: read-modify-write chains over a shared key space —
+      surfaces LOSTUPDATE / ABORTEDREAD-style bugs fastest;
+    - {!observers}: writer sessions own disjoint keys (so no write-write
+      contention is possible) while reader sessions sample key pairs —
+      only visibility anomalies (LONGFORK, CAUSALITYVIOLATION,
+      NONMONOTONICREAD, FRACTUREDREAD) can appear;
+    - {!write_skew}: every transaction reads a key pair and writes one of
+      the two — the Figure 5n / Figure 12b dangerous-structure shape. *)
+
+val contended :
+  ?sessions:int -> keys:int -> txns:int -> seed:int -> unit -> Spec.t
+
+val observers :
+  ?sessions:int -> keys:int -> txns:int -> seed:int -> unit -> Spec.t
+(** Requires [keys >= 2] and at least as many keys as writer sessions
+    (half of [sessions], default 8). *)
+
+val write_skew :
+  ?sessions:int -> keys:int -> txns:int -> seed:int -> unit -> Spec.t
+(** Requires an even [keys >= 2]; transactions target pairs
+    [(2i, 2i+1)]. *)

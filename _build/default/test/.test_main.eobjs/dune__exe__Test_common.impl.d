@@ -1,0 +1,1 @@
+test/test_common.ml: Alcotest Array Distribution List Printf Rng Stats

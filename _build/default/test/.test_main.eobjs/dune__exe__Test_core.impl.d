@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Anomaly Builder Checker Db Deps Digraph Divergence Fault Index Int_check Isolation List Mt_gen Option Printf Report Scheduler String Txn

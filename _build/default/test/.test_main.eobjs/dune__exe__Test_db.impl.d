@@ -1,0 +1,1 @@
+test/test_db.ml: Alcotest Db Fault Isolation List Locking Mvcc

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Cycle Digraph List Pearce_kelly Reach Rng Scc Topo

@@ -1,0 +1,1 @@
+test/test_history.ml: Alcotest Array Builder Codec Filename History List Mini Op Result Sys Txn

@@ -1,0 +1,1 @@
+test/test_lwt.ml: Alcotest Array Format List Lwt Lwt_checker Lwt_gen Porcupine Printf

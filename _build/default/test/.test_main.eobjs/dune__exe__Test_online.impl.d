@@ -1,0 +1,1 @@
+test/test_online.ml: Alcotest Array Checker Db Deps Fault History Int_check Isolation List Mt_gen Online Op Printf Scheduler Txn

@@ -1,0 +1,1 @@
+test/test_oracle.ml: Alcotest Anomaly Builder Checker Db Deps Fault Format Hashtbl History Isolation List Mt_gen Oracle Result Scheduler Txn

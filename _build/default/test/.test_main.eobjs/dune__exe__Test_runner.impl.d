@@ -1,0 +1,1 @@
+test/test_runner.ml: Alcotest Append_gen Array Checker Cobra Codec Db Elle_log Endtoend Fault Gt_gen Hashtbl History Intern Isolation List Mt_gen Option Scheduler Txn

@@ -1,0 +1,1 @@
+test/test_sat.ml: Acyclicity Alcotest List Lit Result Rng Solver

@@ -1,0 +1,1 @@
+test/test_weak.ml: Alcotest Anomaly Builder Checker Db Fault Format History Isolation List Mt_gen Op Printf Scheduler Targeted Txn Weak_checker

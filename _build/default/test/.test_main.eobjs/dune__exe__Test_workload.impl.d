@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Append_gen Array Distribution Gt_gen List Mt_gen Spec

@@ -1,0 +1,230 @@
+(* Tests for mtc.common: Rng, Distribution, Stats. *)
+
+let check = Alcotest.check
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let test_rng_deterministic () =
+  let a = Rng.create 123 and b = Rng.create 123 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  checkb "different seeds diverge" true (Rng.bits64 a <> Rng.bits64 b)
+
+let test_rng_int_bounds () =
+  let r = Rng.create 7 in
+  for _ = 1 to 10_000 do
+    let x = Rng.int r 17 in
+    checkb "in [0,17)" true (x >= 0 && x < 17)
+  done
+
+let test_rng_int_covers () =
+  let r = Rng.create 9 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 1000 do
+    seen.(Rng.int r 5) <- true
+  done;
+  Array.iteri (fun i s -> checkb (Printf.sprintf "hit %d" i) true s) seen
+
+let test_rng_int_in () =
+  let r = Rng.create 11 in
+  for _ = 1 to 1000 do
+    let x = Rng.int_in r (-5) 5 in
+    checkb "in [-5,5]" true (x >= -5 && x <= 5)
+  done
+
+let test_rng_float_bounds () =
+  let r = Rng.create 13 in
+  for _ = 1 to 1000 do
+    let x = Rng.float r 3.0 in
+    checkb "in [0,3)" true (x >= 0.0 && x < 3.0)
+  done
+
+let test_rng_chance_extremes () =
+  let r = Rng.create 17 in
+  for _ = 1 to 100 do
+    checkb "p=0 never" false (Rng.chance r 0.0)
+  done;
+  for _ = 1 to 100 do
+    checkb "p=1 always" true (Rng.chance r 1.0)
+  done
+
+let test_rng_chance_rate () =
+  let r = Rng.create 19 in
+  let hits = ref 0 in
+  for _ = 1 to 10_000 do
+    if Rng.chance r 0.3 then incr hits
+  done;
+  checkb "about 30%" true (!hits > 2700 && !hits < 3300)
+
+let test_rng_shuffle_permutation () =
+  let r = Rng.create 23 in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check (Alcotest.array Alcotest.int) "still a permutation"
+    (Array.init 50 (fun i -> i))
+    sorted
+
+let test_rng_split_independent () =
+  let a = Rng.create 31 in
+  let b = Rng.split a in
+  checkb "split streams differ" true (Rng.bits64 a <> Rng.bits64 b)
+
+let test_rng_pick_singleton () =
+  let r = Rng.create 37 in
+  checki "only element" 42 (Rng.pick r [| 42 |]);
+  checki "only list element" 42 (Rng.pick_list r [ 42 ])
+
+let test_rng_pick_empty () =
+  let r = Rng.create 37 in
+  Alcotest.check_raises "empty array"
+    (Invalid_argument "Rng.pick: empty array") (fun () ->
+      ignore (Rng.pick r [||]))
+
+let test_rng_exponential_positive () =
+  let r = Rng.create 41 in
+  for _ = 1 to 1000 do
+    checkb "positive" true (Rng.exponential r 2.0 >= 0.0)
+  done
+
+let test_rng_never_negative () =
+  (* Regression: Int64 truncation used to produce negative values. *)
+  let r = Rng.create 0 in
+  for _ = 1 to 100_000 do
+    checkb "nonneg" true (Rng.int r max_int >= 0)
+  done
+
+(* --- distributions --- *)
+
+let histogram kind n draws =
+  let d = Distribution.make kind ~n in
+  let r = Rng.create 99 in
+  let h = Array.make n 0 in
+  for _ = 1 to draws do
+    let k = Distribution.sample d r in
+    h.(k) <- h.(k) + 1
+  done;
+  h
+
+let test_dist_uniform_flat () =
+  let h = histogram Distribution.Uniform 10 100_000 in
+  Array.iter
+    (fun c -> checkb "roughly 10k each" true (c > 8_000 && c < 12_000))
+    h
+
+let test_dist_in_range () =
+  List.iter
+    (fun kind ->
+      let d = Distribution.make kind ~n:7 in
+      let r = Rng.create 3 in
+      for _ = 1 to 5_000 do
+        let k = Distribution.sample d r in
+        checkb (Distribution.kind_name kind) true (k >= 0 && k < 7)
+      done)
+    Distribution.all_kinds
+
+let test_dist_zipf_skew () =
+  let h = histogram (Distribution.Zipfian 0.99) 100 100_000 in
+  checkb "key 0 hottest" true (h.(0) > h.(50));
+  checkb "head heavy" true (h.(0) + h.(1) + h.(2) > 100_000 / 5)
+
+let test_dist_hotspot () =
+  (* 20% of keys get 80% of accesses. *)
+  let h = histogram (Distribution.Hotspot (0.2, 0.8)) 10 100_000 in
+  let hot = h.(0) + h.(1) in
+  checkb "hot keys get ~80%" true (hot > 70_000 && hot < 90_000)
+
+let test_dist_exponential_skew () =
+  let h = histogram (Distribution.Exponential 1.0) 10 100_000 in
+  checkb "low keys hotter" true (h.(0) > h.(9))
+
+let test_dist_single_key () =
+  let d = Distribution.make (Distribution.Zipfian 0.99) ~n:1 in
+  let r = Rng.create 5 in
+  for _ = 1 to 100 do
+    checki "only key 0" 0 (Distribution.sample d r)
+  done
+
+let test_dist_names_roundtrip () =
+  List.iter
+    (fun kind ->
+      let name = Distribution.kind_name kind in
+      match Distribution.kind_of_string name with
+      | Some k ->
+          check Alcotest.string "name roundtrip" name (Distribution.kind_name k)
+      | None -> Alcotest.fail ("no parse for " ^ name))
+    Distribution.all_kinds
+
+(* --- stats --- *)
+
+let test_stats_mean () =
+  check (Alcotest.float 1e-9) "mean" 2.0 (Stats.mean [| 1.0; 2.0; 3.0 |])
+
+let test_stats_median_odd () =
+  check (Alcotest.float 1e-9) "median odd" 2.0 (Stats.median [| 3.0; 1.0; 2.0 |])
+
+let test_stats_median_even () =
+  check (Alcotest.float 1e-9) "median even" 2.5
+    (Stats.median [| 4.0; 1.0; 2.0; 3.0 |])
+
+let test_stats_stddev () =
+  check (Alcotest.float 1e-9) "sd of constant" 0.0
+    (Stats.stddev [| 5.0; 5.0; 5.0 |]);
+  check (Alcotest.float 1e-6) "sd" 1.0 (Stats.stddev [| 1.0; 2.0; 3.0 |])
+
+let test_stats_percentile () =
+  let xs = Array.init 100 (fun i -> float_of_int (i + 1)) in
+  check (Alcotest.float 1e-9) "p50" 50.0 (Stats.percentile xs 50.0);
+  check (Alcotest.float 1e-9) "p100" 100.0 (Stats.percentile xs 100.0)
+
+let test_stats_minmax () =
+  check (Alcotest.float 1e-9) "min" 1.0 (Stats.min [| 3.0; 1.0; 2.0 |]);
+  check (Alcotest.float 1e-9) "max" 3.0 (Stats.max [| 3.0; 1.0; 2.0 |])
+
+let test_stats_summary () =
+  let s = Stats.summarize [| 1.0; 2.0; 3.0; 4.0 |] in
+  checki "n" 4 s.Stats.n;
+  check (Alcotest.float 1e-9) "mean" 2.5 s.Stats.mean
+
+let test_time_repeat () =
+  let xs = Stats.time_repeat ~warmup:0 ~repeat:3 (fun () -> ()) in
+  checki "three samples" 3 (Array.length xs);
+  Array.iter (fun x -> checkb "nonneg time" true (x >= 0.0)) xs
+
+let suite =
+  [
+    ("rng deterministic", `Quick, test_rng_deterministic);
+    ("rng seeds differ", `Quick, test_rng_seeds_differ);
+    ("rng int bounds", `Quick, test_rng_int_bounds);
+    ("rng int covers range", `Quick, test_rng_int_covers);
+    ("rng int_in bounds", `Quick, test_rng_int_in);
+    ("rng float bounds", `Quick, test_rng_float_bounds);
+    ("rng chance extremes", `Quick, test_rng_chance_extremes);
+    ("rng chance rate", `Quick, test_rng_chance_rate);
+    ("rng shuffle is a permutation", `Quick, test_rng_shuffle_permutation);
+    ("rng split independent", `Quick, test_rng_split_independent);
+    ("rng pick singleton", `Quick, test_rng_pick_singleton);
+    ("rng pick empty raises", `Quick, test_rng_pick_empty);
+    ("rng exponential positive", `Quick, test_rng_exponential_positive);
+    ("rng never negative (regression)", `Quick, test_rng_never_negative);
+    ("distribution uniform flat", `Quick, test_dist_uniform_flat);
+    ("distribution samples in range", `Quick, test_dist_in_range);
+    ("distribution zipfian skewed", `Quick, test_dist_zipf_skew);
+    ("distribution hotspot 80/20", `Quick, test_dist_hotspot);
+    ("distribution exponential skewed", `Quick, test_dist_exponential_skew);
+    ("distribution single key", `Quick, test_dist_single_key);
+    ("distribution names roundtrip", `Quick, test_dist_names_roundtrip);
+    ("stats mean", `Quick, test_stats_mean);
+    ("stats median odd", `Quick, test_stats_median_odd);
+    ("stats median even", `Quick, test_stats_median_even);
+    ("stats stddev", `Quick, test_stats_stddev);
+    ("stats percentile", `Quick, test_stats_percentile);
+    ("stats min max", `Quick, test_stats_minmax);
+    ("stats summarize", `Quick, test_stats_summary);
+    ("stats time_repeat", `Quick, test_time_repeat);
+  ]

@@ -1,0 +1,295 @@
+(* Tests for mtc.db: Mvcc, Locking, and the Db engine semantics. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* --- Mvcc --- *)
+
+let test_mvcc_initial () =
+  let s = Mvcc.create ~num_keys:2 in
+  let v = Mvcc.visible_at s ~key:0 ~replica:0 ~ts:100 in
+  checki "initial value" 0 v.Mvcc.value;
+  checki "initial writer" 0 v.Mvcc.writer
+
+let test_mvcc_snapshot_visibility () =
+  let s = Mvcc.create ~num_keys:1 in
+  Mvcc.install s ~key:0 ~value:7 ~writer:1 ~commit_ts:10 ~lag:None;
+  checki "before" 0 (Mvcc.visible_at s ~key:0 ~replica:0 ~ts:9).Mvcc.value;
+  checki "after" 7 (Mvcc.visible_at s ~key:0 ~replica:0 ~ts:10).Mvcc.value
+
+let test_mvcc_replica_lag () =
+  let s = Mvcc.create ~num_keys:1 in
+  Mvcc.install s ~key:0 ~value:7 ~writer:1 ~commit_ts:10 ~lag:(Some (1, 50));
+  checki "replica 0 sees it" 7 (Mvcc.visible_at s ~key:0 ~replica:0 ~ts:20).Mvcc.value;
+  checki "replica 1 lags" 0 (Mvcc.visible_at s ~key:0 ~replica:1 ~ts:20).Mvcc.value;
+  checki "replica 1 catches up" 7
+    (Mvcc.visible_at s ~key:0 ~replica:1 ~ts:50).Mvcc.value
+
+let test_mvcc_newer_than () =
+  let s = Mvcc.create ~num_keys:1 in
+  checkb "initially no" false (Mvcc.newer_than s ~key:0 ~ts:0);
+  Mvcc.install s ~key:0 ~value:1 ~writer:1 ~commit_ts:5 ~lag:None;
+  checkb "newer exists" true (Mvcc.newer_than s ~key:0 ~ts:4);
+  checkb "not newer" false (Mvcc.newer_than s ~key:0 ~ts:5)
+
+let test_mvcc_predecessor () =
+  let s = Mvcc.create ~num_keys:1 in
+  Mvcc.install s ~key:0 ~value:1 ~writer:1 ~commit_ts:5 ~lag:None;
+  let latest = Mvcc.visible_at s ~key:0 ~replica:0 ~ts:10 in
+  match Mvcc.predecessor s ~key:0 latest with
+  | Some p -> checki "initial version" 0 p.Mvcc.value
+  | None -> Alcotest.fail "predecessor missing"
+
+let test_mvcc_writers_after () =
+  let s = Mvcc.create ~num_keys:1 in
+  Mvcc.install s ~key:0 ~value:1 ~writer:1 ~commit_ts:5 ~lag:None;
+  Mvcc.install s ~key:0 ~value:2 ~writer:2 ~commit_ts:8 ~lag:None;
+  Alcotest.check
+    (Alcotest.list Alcotest.int)
+    "both writers" [ 1; 2 ]
+    (List.sort compare (Mvcc.newest_writer_after s ~key:0 ~ts:4));
+  checki "one writer" 1
+    (List.length (Mvcc.newest_writer_after s ~key:0 ~ts:6))
+
+(* --- Locking --- *)
+
+let test_lock_shared_shared () =
+  let l = Locking.create ~num_keys:1 in
+  checkb "s1" true (Locking.acquire l ~kind:`Shared ~key:0 ~txn:1 ~age:1 = Locking.Granted);
+  checkb "s2 compatible" true
+    (Locking.acquire l ~kind:`Shared ~key:0 ~txn:2 ~age:2 = Locking.Granted)
+
+let test_lock_exclusive_blocks_younger () =
+  let l = Locking.create ~num_keys:1 in
+  ignore (Locking.acquire l ~kind:`Exclusive ~key:0 ~txn:1 ~age:1);
+  checkb "younger blocked" true
+    (Locking.acquire l ~kind:`Shared ~key:0 ~txn:2 ~age:2 = Locking.Blocked)
+
+let test_lock_wound_wait () =
+  let l = Locking.create ~num_keys:1 in
+  ignore (Locking.acquire l ~kind:`Exclusive ~key:0 ~txn:2 ~age:5);
+  match Locking.acquire l ~kind:`Exclusive ~key:0 ~txn:1 ~age:1 with
+  | Locking.Granted_wounding [ 2 ] ->
+      checkb "victim's locks gone" true (Locking.held l ~txn:2 = [])
+  | _ -> Alcotest.fail "older requester should wound"
+
+let test_lock_upgrade () =
+  let l = Locking.create ~num_keys:1 in
+  ignore (Locking.acquire l ~kind:`Shared ~key:0 ~txn:1 ~age:1);
+  checkb "self upgrade" true
+    (Locking.acquire l ~kind:`Exclusive ~key:0 ~txn:1 ~age:1 = Locking.Granted)
+
+let test_lock_release_all () =
+  let l = Locking.create ~num_keys:2 in
+  ignore (Locking.acquire l ~kind:`Exclusive ~key:0 ~txn:1 ~age:1);
+  ignore (Locking.acquire l ~kind:`Shared ~key:1 ~txn:1 ~age:1);
+  checki "held two" 2 (List.length (Locking.held l ~txn:1));
+  Locking.release_all l ~txn:1;
+  checkb "free for others" true
+    (Locking.acquire l ~kind:`Exclusive ~key:0 ~txn:2 ~age:9 = Locking.Granted)
+
+let test_lock_wound_multiple_readers () =
+  let l = Locking.create ~num_keys:1 in
+  ignore (Locking.acquire l ~kind:`Shared ~key:0 ~txn:2 ~age:5);
+  ignore (Locking.acquire l ~kind:`Shared ~key:0 ~txn:3 ~age:6);
+  match Locking.acquire l ~kind:`Exclusive ~key:0 ~txn:1 ~age:1 with
+  | Locking.Granted_wounding victims ->
+      Alcotest.check (Alcotest.list Alcotest.int) "both wounded" [ 2; 3 ]
+        (List.sort compare victims)
+  | _ -> Alcotest.fail "expected wounding"
+
+let test_lock_mixed_ages_blocks () =
+  (* One conflicting holder older, one younger: must block (cannot wound
+     the older one). *)
+  let l = Locking.create ~num_keys:1 in
+  ignore (Locking.acquire l ~kind:`Shared ~key:0 ~txn:1 ~age:1);
+  ignore (Locking.acquire l ~kind:`Shared ~key:0 ~txn:3 ~age:9);
+  checkb "blocked" true
+    (Locking.acquire l ~kind:`Exclusive ~key:0 ~txn:2 ~age:5 = Locking.Blocked)
+
+(* --- Db engine semantics --- *)
+
+let si_db ?(fault = Fault.No_fault) () =
+  Db.create { Db.level = Isolation.Snapshot; fault; num_keys = 4; seed = 1 }
+
+let read_value db h k =
+  match Db.read db h k with
+  | Db.Rvalue v -> v
+  | _ -> Alcotest.fail "read failed"
+
+let test_db_snapshot_reads () =
+  let db = si_db () in
+  let t1 = Db.begin_txn db ~session:1 in
+  ignore (Db.write db t1 0 100);
+  (match Db.commit db t1 with
+  | Db.Committed _ -> ()
+  | Db.Rejected _ -> Alcotest.fail "commit failed");
+  let t2 = Db.begin_txn db ~session:2 in
+  checki "sees committed" 100 (read_value db t2 0)
+
+let test_db_snapshot_ignores_later_commits () =
+  let db = si_db () in
+  let t2 = Db.begin_txn db ~session:2 in
+  let t1 = Db.begin_txn db ~session:1 in
+  ignore (Db.write db t1 0 100);
+  ignore (Db.commit db t1);
+  (* t2's snapshot predates t1's commit. *)
+  checki "snapshot isolation" 0 (read_value db t2 0)
+
+let test_db_read_own_writes () =
+  let db = si_db () in
+  let t = Db.begin_txn db ~session:1 in
+  ignore (Db.write db t 0 42);
+  checki "own write visible" 42 (read_value db t 0)
+
+let test_db_first_committer_wins () =
+  let db = si_db () in
+  let t1 = Db.begin_txn db ~session:1 in
+  let t2 = Db.begin_txn db ~session:2 in
+  ignore (Db.read db t1 0);
+  ignore (Db.read db t2 0);
+  ignore (Db.write db t1 0 101);
+  ignore (Db.write db t2 0 102);
+  (match Db.commit db t1 with
+  | Db.Committed _ -> ()
+  | Db.Rejected _ -> Alcotest.fail "first commit must win");
+  match Db.commit db t2 with
+  | Db.Rejected Db.Ww_conflict -> ()
+  | _ -> Alcotest.fail "second committer must lose"
+
+let test_db_lost_update_fault_disables_fcw () =
+  let db = si_db ~fault:(Fault.Lost_update 1.0) () in
+  let t1 = Db.begin_txn db ~session:1 in
+  let t2 = Db.begin_txn db ~session:2 in
+  ignore (Db.read db t1 0);
+  ignore (Db.read db t2 0);
+  ignore (Db.write db t1 0 101);
+  ignore (Db.write db t2 0 102);
+  ignore (Db.commit db t1);
+  match Db.commit db t2 with
+  | Db.Committed _ -> ()
+  | Db.Rejected _ -> Alcotest.fail "fault should allow the lost update"
+
+let test_db_ssi_blocks_write_skew () =
+  let db =
+    Db.create
+      { Db.level = Isolation.Serializable; fault = Fault.No_fault; num_keys = 4; seed = 1 }
+  in
+  let t1 = Db.begin_txn db ~session:1 in
+  let t2 = Db.begin_txn db ~session:2 in
+  ignore (Db.read db t1 0);
+  ignore (Db.read db t1 1);
+  ignore (Db.read db t2 0);
+  ignore (Db.read db t2 1);
+  ignore (Db.write db t1 0 101);
+  ignore (Db.write db t2 1 202);
+  let r1 = Db.commit db t1 in
+  let r2 = Db.commit db t2 in
+  let committed r = match r with Db.Committed _ -> true | _ -> false in
+  checkb "at most one commits" false (committed r1 && committed r2)
+
+let test_db_aborted_read_fault_leaks () =
+  let db = si_db ~fault:(Fault.Aborted_read 1.0) () in
+  let t1 = Db.begin_txn db ~session:1 in
+  ignore (Db.read db t1 0);
+  ignore (Db.write db t1 0 777);
+  Db.abort db t1;
+  let t2 = Db.begin_txn db ~session:2 in
+  checki "leaked write visible" 777 (read_value db t2 0)
+
+let test_db_sser_blocks_conflicting_write () =
+  let db =
+    Db.create
+      { Db.level = Isolation.Strict_serializable; fault = Fault.No_fault;
+        num_keys = 4; seed = 1 }
+  in
+  let t1 = Db.begin_txn db ~session:1 in
+  ignore (Db.read db t1 0);
+  let t2 = Db.begin_txn db ~session:2 in
+  (* Younger writer conflicts with older reader: must wait. *)
+  match Db.write db t2 0 5 with
+  | Db.Wblocked -> ()
+  | _ -> Alcotest.fail "younger writer should block"
+
+let test_db_sser_wound () =
+  let db =
+    Db.create
+      { Db.level = Isolation.Strict_serializable; fault = Fault.No_fault;
+        num_keys = 4; seed = 1 }
+  in
+  let t1 = Db.begin_txn db ~session:1 in
+  let t2 = Db.begin_txn db ~session:2 in
+  (* Younger t2 takes the lock first, older t1 wounds it. *)
+  (match Db.write db t2 0 5 with
+  | Db.Wok -> ()
+  | _ -> Alcotest.fail "free lock");
+  (match Db.write db t1 0 6 with
+  | Db.Wok -> ()
+  | _ -> Alcotest.fail "older must wound and proceed");
+  match Db.read db t2 1 with
+  | Db.Rdoomed -> Db.abort db t2
+  | _ -> Alcotest.fail "victim must observe its doom"
+
+let test_db_stats_counting () =
+  let db = si_db () in
+  let t1 = Db.begin_txn db ~session:1 in
+  ignore (Db.read db t1 0);
+  ignore (Db.write db t1 0 1);
+  ignore (Db.commit db t1);
+  let t2 = Db.begin_txn db ~session:2 in
+  Db.abort db t2;
+  let s = Db.stats db in
+  checki "commits" 1 s.Db.commits;
+  checki "user aborts" 1 s.Db.aborts_user;
+  checki "total aborts" 1 (Db.total_aborts s)
+
+let test_db_clock_monotone () =
+  let db = si_db () in
+  let c0 = Db.now db in
+  let t = Db.begin_txn db ~session:1 in
+  ignore (Db.read db t 0);
+  checkb "clock advances" true (Db.now db > c0)
+
+let test_db_read_committed_allows_lost_update () =
+  let db =
+    Db.create
+      { Db.level = Isolation.Read_committed; fault = Fault.No_fault;
+        num_keys = 4; seed = 1 }
+  in
+  let t1 = Db.begin_txn db ~session:1 in
+  let t2 = Db.begin_txn db ~session:2 in
+  ignore (Db.read db t1 0);
+  ignore (Db.read db t2 0);
+  ignore (Db.write db t1 0 101);
+  ignore (Db.write db t2 0 102);
+  let ok r = match r with Db.Committed _ -> true | _ -> false in
+  checkb "both commit under RC" true (ok (Db.commit db t1) && ok (Db.commit db t2))
+
+let suite =
+  [
+    ("mvcc: initial version", `Quick, test_mvcc_initial);
+    ("mvcc: snapshot visibility", `Quick, test_mvcc_snapshot_visibility);
+    ("mvcc: replica lag", `Quick, test_mvcc_replica_lag);
+    ("mvcc: newer_than", `Quick, test_mvcc_newer_than);
+    ("mvcc: predecessor", `Quick, test_mvcc_predecessor);
+    ("mvcc: writers after ts", `Quick, test_mvcc_writers_after);
+    ("lock: shared/shared compatible", `Quick, test_lock_shared_shared);
+    ("lock: exclusive blocks younger", `Quick, test_lock_exclusive_blocks_younger);
+    ("lock: wound-wait", `Quick, test_lock_wound_wait);
+    ("lock: self upgrade", `Quick, test_lock_upgrade);
+    ("lock: release_all", `Quick, test_lock_release_all);
+    ("lock: wound multiple readers", `Quick, test_lock_wound_multiple_readers);
+    ("lock: mixed ages block", `Quick, test_lock_mixed_ages_blocks);
+    ("db: committed writes visible", `Quick, test_db_snapshot_reads);
+    ("db: snapshot ignores later commits", `Quick, test_db_snapshot_ignores_later_commits);
+    ("db: read own writes", `Quick, test_db_read_own_writes);
+    ("db: first committer wins", `Quick, test_db_first_committer_wins);
+    ("db: lost-update fault disables FCW", `Quick, test_db_lost_update_fault_disables_fcw);
+    ("db: SSI blocks write skew", `Quick, test_db_ssi_blocks_write_skew);
+    ("db: aborted-read fault leaks writes", `Quick, test_db_aborted_read_fault_leaks);
+    ("db: 2PL blocks conflicting writes", `Quick, test_db_sser_blocks_conflicting_write);
+    ("db: 2PL wound-wait dooms victim", `Quick, test_db_sser_wound);
+    ("db: stats counting", `Quick, test_db_stats_counting);
+    ("db: clock monotone", `Quick, test_db_clock_monotone);
+    ("db: read committed allows lost update", `Quick, test_db_read_committed_allows_lost_update);
+  ]

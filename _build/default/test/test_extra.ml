@@ -1,0 +1,344 @@
+(* Additional coverage: Viz, Targeted workloads, and checker edge cases
+   beyond the main suites. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let contains s needle =
+  let nl = String.length needle and sl = String.length s in
+  let rec go i = i + nl <= sl && (String.sub s i nl = needle || go (i + 1)) in
+  go 0
+
+open Builder
+
+(* --- Viz --- *)
+
+let test_viz_history_dot () =
+  let h =
+    history ~keys:1 ~sessions:2
+      [ txn ~session:1 [ r 0 0; w 0 1 ]; txn ~session:2 [ r 0 1 ] ]
+  in
+  let dot = Viz.dot_of_history h in
+  checkb "digraph" true (contains dot "digraph history");
+  checkb "t1 node" true (contains dot "t1 [label=\"T1");
+  checkb "WR edge" true (contains dot "WR(x0)");
+  checkb "WW edge" true (contains dot "WW(x0)");
+  checkb "SO edge" true (contains dot "SO")
+
+let test_viz_history_truncates () =
+  let txns = List.init 100 (fun i -> txn ~session:1 [ r 0 i; w 0 (i + 1) ]) in
+  let dot = Viz.dot_of_history ~max_txns:5 (history ~keys:1 ~sessions:1 txns) in
+  checkb "t4 shown" true (contains dot "t4 [");
+  checkb "t99 hidden" false (contains dot "t99 [")
+
+let test_viz_violation_cycle () =
+  let h = Anomaly.history Anomaly.Write_skew in
+  match Checker.check_ser h with
+  | Checker.Fail v ->
+      let dot = Viz.dot_of_violation h v in
+      checkb "RW edges highlighted" true (contains dot "RW(x");
+      checkb "penwidth" true (contains dot "penwidth=2")
+  | Checker.Pass -> Alcotest.fail "write skew passed"
+
+let test_viz_violation_divergence () =
+  let h = Anomaly.history Anomaly.Lost_update in
+  match Checker.check_si h with
+  | Checker.Fail v ->
+      let dot = Viz.dot_of_violation h v in
+      checkb "both WW branches" true (contains dot "WW(x0)");
+      checkb "init node" true (contains dot "T0 (init)")
+  | Checker.Pass -> Alcotest.fail "lost update passed"
+
+(* --- Targeted workloads --- *)
+
+let run_spec ?(fault = Fault.No_fault) ?(level = Isolation.Snapshot) spec seed =
+  let db = { Db.level; fault; num_keys = spec.Spec.num_keys; seed } in
+  Scheduler.run ~params:{ Scheduler.default_params with seed } ~db ~spec ()
+
+let test_targeted_all_mini () =
+  List.iter
+    (fun spec ->
+      Array.iter
+        (List.iter (fun t ->
+             checkb spec.Spec.name true (Spec.is_mini_op_list t)))
+        spec.Spec.sessions)
+    [
+      Targeted.contended ~keys:10 ~txns:200 ~seed:1 ();
+      Targeted.observers ~keys:8 ~txns:200 ~seed:1 ();
+      Targeted.write_skew ~keys:8 ~txns:200 ~seed:1 ();
+    ]
+
+let test_targeted_observers_no_ww_contention () =
+  (* Writers own disjoint keys, so even a lost-update fault cannot create
+     divergence: any SI violation must be visibility-shaped. *)
+  let spec = Targeted.observers ~keys:8 ~txns:500 ~seed:3 () in
+  let r = run_spec ~fault:(Fault.Lost_update 1.0) spec 3 in
+  checkb "no divergence possible" true
+    (Divergence.find (Index.build r.Scheduler.history) = None)
+
+let test_targeted_write_skew_under_si () =
+  (* Pure SI engine + write-skew spec: SER violated, SI upheld. *)
+  let spec = Targeted.write_skew ~keys:4 ~txns:800 ~seed:5 () in
+  let r = run_spec spec 5 in
+  let h = r.Scheduler.history in
+  checkb "SI holds" true (Checker.passes (Checker.check_si h));
+  checkb "SER broken by write skew" false (Checker.passes (Checker.check_ser h))
+
+let test_targeted_validation () =
+  checkb "odd keys rejected" true
+    (try
+       ignore (Targeted.write_skew ~keys:3 ~txns:10 ~seed:1 ());
+       false
+     with Invalid_argument _ -> true);
+  checkb "too few keys for observers" true
+    (try
+       ignore (Targeted.observers ~sessions:8 ~keys:2 ~txns:10 ~seed:1 ());
+       false
+     with Invalid_argument _ -> true)
+
+(* --- checker edge cases --- *)
+
+let test_checker_read_only_history () =
+  let h =
+    history ~keys:2 ~sessions:3
+      [
+        txn ~session:1 [ r 0 0; r 1 0 ];
+        txn ~session:2 [ r 1 0 ];
+        txn ~session:3 [ r 0 0 ];
+      ]
+  in
+  List.iter
+    (fun level -> checkb "read-only passes" true (Checker.passes (Checker.check level h)))
+    [ Checker.SSER; Checker.SER; Checker.SI ]
+
+let test_checker_long_chain_linear () =
+  (* A 5000-txn RMW chain must verify quickly and pass. *)
+  let txns = List.init 5000 (fun i -> txn ~session:1 [ r 0 i; w 0 (i + 1) ]) in
+  let h = history ~keys:1 ~sessions:1 txns in
+  let _, t = Stats.time_it (fun () -> Checker.check_ser h) in
+  checkb "passes" true (Checker.passes (Checker.check_ser h));
+  checkb "fast (<2s)" true (t < 2.0)
+
+let test_checker_sser_equal_timestamps () =
+  (* start == other's commit: not "finished before started", so no RT
+     edge; both orders acceptable. *)
+  let h =
+    history ~keys:1 ~sessions:2
+      [
+        txn ~session:1 ~start:0 ~commit:5 [ r 0 0; w 0 1 ];
+        txn ~session:2 ~start:5 ~commit:9 [ r 0 0 ];
+      ]
+  in
+  checkb "boundary overlap ok" true (Checker.passes (Checker.check_sser h))
+
+let test_checker_rw_only_cycle_across_keys () =
+  (* Three-way write skew: cycle of three RW edges. *)
+  let h =
+    history ~keys:3 ~sessions:3
+      [
+        txn ~session:1 [ r 0 0; r 1 0; w 0 1 ];
+        txn ~session:2 [ r 1 0; r 2 0; w 1 2 ];
+        txn ~session:3 [ r 2 0; r 0 0; w 2 3 ];
+      ]
+  in
+  checkb "SI holds (adjacent RWs)" true (Checker.passes (Checker.check_si h));
+  checkb "SER broken" false (Checker.passes (Checker.check_ser h))
+
+let test_checker_si_composed_cycle_no_divergence () =
+  (* CausalityViolation has no divergence yet fails SI via the composed
+     graph — the path Algorithm 1 takes when line 2's screen passes. *)
+  let h = Anomaly.history Anomaly.Causality_violation in
+  checkb "no divergence" true (Divergence.find (Index.build h) = None);
+  match Checker.check_si h with
+  | Checker.Fail (Checker.Cyclic _) -> ()
+  | _ -> Alcotest.fail "expected a composed-graph cycle"
+
+let test_checker_aborted_txns_not_in_deps () =
+  (* An aborted transaction's writes constrain nothing if nobody read
+     them. *)
+  let h =
+    history ~keys:1 ~sessions:2
+      [
+        txn ~session:1 ~status:Txn.Aborted [ r 0 0; w 0 99 ];
+        txn ~session:2 [ r 0 0; w 0 1 ];
+      ]
+  in
+  List.iter
+    (fun level -> checkb "aborted ignored" true (Checker.passes (Checker.check level h)))
+    [ Checker.SSER; Checker.SER; Checker.SI ]
+
+let test_checker_double_write_intermediate_chain () =
+  (* T1 writes x twice; only the final value extends the chain. *)
+  let h =
+    history ~keys:1 ~sessions:2
+      [
+        txn ~session:1 [ r 0 0; w 0 1; w 0 2 ];
+        txn ~session:2 [ r 0 2; w 0 3 ];
+      ]
+  in
+  checkb "chain through final write" true (Checker.passes (Checker.check_si h))
+
+let test_report_summary () =
+  let h = Anomaly.history Anomaly.Lost_update in
+  let s =
+    Report.summary h
+      [ (Checker.SI, Checker.check_si h); (Checker.SER, Checker.check_ser h) ]
+  in
+  checkb "mentions SI" true (contains s "SI");
+  checkb "mentions FAIL" true (contains s "FAIL")
+
+let test_scheduler_give_up_counted () =
+  (* One key, many sessions, tiny attempt budget: some transactions are
+     dropped and accounting stays consistent. *)
+  let spec =
+    Mt_gen.generate
+      { Mt_gen.num_sessions = 16; num_txns = 400; num_keys = 1;
+        dist = Distribution.Uniform; seed = 8 }
+  in
+  let db =
+    { Db.level = Isolation.Snapshot; fault = Fault.No_fault; num_keys = 1;
+      seed = 8 }
+  in
+  let r =
+    Scheduler.run ~params:{ Scheduler.seed = 8; max_attempts = 2 } ~db ~spec ()
+  in
+  checkb "some gave up" true (r.Scheduler.gave_up > 0);
+  checki "committed + gave_up = planned" 400
+    (r.Scheduler.committed + r.Scheduler.gave_up);
+  checkb "history still valid" true
+    (History.unique_values r.Scheduler.history = Ok ())
+
+let test_lwt_reads_do_not_break_determinism () =
+  let p = { Lwt_gen.default with read_pct = 0.4; txns_per_session = 30 } in
+  let a = Lwt_gen.generate p and b = Lwt_gen.generate p in
+  checkb "deterministic with reads" true (a.Lwt.events = b.Lwt.events);
+  checkb "valid" true (Lwt_checker.check a = Ok ())
+
+(* --- finer INT-screen classification --- *)
+
+let int_kind ops =
+  let h = history ~keys:2 ~sessions:1 [ txn ~session:1 ops ] in
+  match Int_check.check (Index.build h) with
+  | Ok () -> None
+  | Error v -> Some (Int_check.kind_name v.Int_check.kind)
+
+let test_int_future_read_after_access () =
+  (* Prior access exists, observed value is an own later write. *)
+  Alcotest.check
+    Alcotest.(option string)
+    "future" (Some "FutureRead")
+    (int_kind [ r 0 0; r 0 5; w 0 5 ])
+
+let test_int_repeatable_with_write_between () =
+  (* Read, own write, read of the write: INT-consistent. *)
+  Alcotest.check
+    Alcotest.(option string)
+    "clean" None
+    (int_kind [ r 0 0; w 0 3; r 0 3 ])
+
+let test_int_not_my_last_write_middle_read () =
+  Alcotest.check
+    Alcotest.(option string)
+    "nmlw" (Some "NotMyLastWrite")
+    (int_kind [ r 0 0; w 0 1; r 0 1; w 0 2; r 0 1 ])
+
+let test_int_two_keys_independent () =
+  Alcotest.check
+    Alcotest.(option string)
+    "clean" None
+    (int_kind [ r 0 0; w 0 1; r 1 0; w 1 2; r 0 1; r 1 2 ])
+
+(* --- codec robustness --- *)
+
+let test_codec_negative_timestamps () =
+  let h =
+    history ~keys:1 ~sessions:1
+      [ txn ~session:1 ~start:(-50) ~commit:(-10) [ r 0 0 ] ]
+  in
+  match Codec.of_string (Codec.to_string h) with
+  | Ok h' ->
+      Alcotest.check Alcotest.int "start preserved" (-50)
+        (History.txn h' 1).Txn.start_ts
+  | Error e -> Alcotest.fail e
+
+let test_codec_comments_and_blanks () =
+  let s =
+    "mtc-history v1\n\nkeys 1\n# a comment\nsessions 1\n\ntxn 1 1 C 0 1 R(x0)=0\n"
+  in
+  match Codec.of_string s with
+  | Ok h -> Alcotest.check Alcotest.int "one txn" 2 (History.num_txns h)
+  | Error e -> Alcotest.fail e
+
+let test_codec_rejects_gap_in_ids () =
+  let s = "mtc-history v1\nkeys 1\nsessions 1\ntxn 2 1 C 0 1 R(x0)=0\n" in
+  checkb "gap rejected" true (Result.is_error (Codec.of_string s))
+
+(* --- divergence corner cases --- *)
+
+let test_divergence_same_session () =
+  (* Two diverging writers can even share a session (a retry bug). *)
+  let h =
+    history ~keys:1 ~sessions:1
+      [ txn ~session:1 [ r 0 0; w 0 1 ]; txn ~session:1 [ r 0 0; w 0 2 ] ]
+  in
+  checkb "found" true (Divergence.find (Index.build h) <> None);
+  (* ... and is also an SO ∪ RW cycle, so SER rejects it too. *)
+  checkb "SER rejects" false (Checker.passes (Checker.check_ser h))
+
+let test_divergence_after_chain () =
+  (* Divergence deep in a chain, not at the initial version. *)
+  let h =
+    history ~keys:1 ~sessions:3
+      [
+        txn ~session:1 [ r 0 0; w 0 1 ];
+        txn ~session:2 [ r 0 1; w 0 2 ];
+        txn ~session:3 [ r 0 1; w 0 3 ];
+      ]
+  in
+  match Divergence.find (Index.build h) with
+  | Some i -> Alcotest.check Alcotest.int "writer is T1" 1 i.Divergence.writer
+  | None -> Alcotest.fail "missed"
+
+(* --- scheduler + elle under SER --- *)
+
+let test_elle_append_on_ser_engine () =
+  let spec = Append_gen.generate { Append_gen.default with num_txns = 200; seed = 11 } in
+  let db =
+    { Db.level = Isolation.Serializable; fault = Fault.No_fault; num_keys = 10;
+      seed = 11 }
+  in
+  let r = Scheduler.run ~db ~spec () in
+  let log = Option.get r.Scheduler.elle in
+  checkb "elle SER clean" true (Elle.check_append ~level:Checker.SER log).Elle.ok
+
+let suite =
+  [
+    ("int: future read after prior access", `Quick, test_int_future_read_after_access);
+    ("int: write-read-back clean", `Quick, test_int_repeatable_with_write_between);
+    ("int: not-my-last-write with middle read", `Quick, test_int_not_my_last_write_middle_read);
+    ("int: two keys independent", `Quick, test_int_two_keys_independent);
+    ("codec: negative timestamps", `Quick, test_codec_negative_timestamps);
+    ("codec: comments and blank lines", `Quick, test_codec_comments_and_blanks);
+    ("codec: id gap rejected", `Quick, test_codec_rejects_gap_in_ids);
+    ("divergence: same session", `Quick, test_divergence_same_session);
+    ("divergence: deep in chain", `Quick, test_divergence_after_chain);
+    ("elle: append log on SER engine", `Quick, test_elle_append_on_ser_engine);
+    ("viz: history dot", `Quick, test_viz_history_dot);
+    ("viz: truncation", `Quick, test_viz_history_truncates);
+    ("viz: cycle violation dot", `Quick, test_viz_violation_cycle);
+    ("viz: divergence dot", `Quick, test_viz_violation_divergence);
+    ("targeted: all mini", `Quick, test_targeted_all_mini);
+    ("targeted: observers immune to divergence", `Quick, test_targeted_observers_no_ww_contention);
+    ("targeted: write skew under SI", `Quick, test_targeted_write_skew_under_si);
+    ("targeted: parameter validation", `Quick, test_targeted_validation);
+    ("checker: read-only history", `Quick, test_checker_read_only_history);
+    ("checker: 5000-txn chain is fast", `Quick, test_checker_long_chain_linear);
+    ("checker: SSER boundary timestamps", `Quick, test_checker_sser_equal_timestamps);
+    ("checker: 3-way write skew", `Quick, test_checker_rw_only_cycle_across_keys);
+    ("checker: SI composed cycle w/o divergence", `Quick, test_checker_si_composed_cycle_no_divergence);
+    ("checker: unread aborted writes ignored", `Quick, test_checker_aborted_txns_not_in_deps);
+    ("checker: intermediate write chain", `Quick, test_checker_double_write_intermediate_chain);
+    ("report: summary", `Quick, test_report_summary);
+    ("scheduler: give-up accounting", `Quick, test_scheduler_give_up_counted);
+    ("lwt_gen: reads deterministic", `Quick, test_lwt_reads_do_not_break_determinism);
+  ]

@@ -1,0 +1,347 @@
+(* Tests for mtc.history: Op, Txn, History, Mini, Builder, Codec. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+let kv = Alcotest.(list (pair int int))
+
+(* --- Op --- *)
+
+let test_op_accessors () =
+  checki "key" 3 (Op.key (Op.Read (3, 7)));
+  checki "value" 7 (Op.value (Op.Write (3, 7)));
+  checkb "is_read" true (Op.is_read (Op.Read (0, 0)));
+  checkb "is_write" true (Op.is_write (Op.Write (0, 0)))
+
+let test_op_string_roundtrip () =
+  List.iter
+    (fun op ->
+      match Op.of_string (Op.to_string op) with
+      | Some op' -> checkb "roundtrip" true (Op.equal op op')
+      | None -> Alcotest.fail "parse failed")
+    [ Op.Read (0, 0); Op.Write (12, -3); Op.Read (5, 1_000_000) ]
+
+let test_op_parse_garbage () =
+  checkb "garbage" true (Op.of_string "hello" = None);
+  checkb "partial" true (Op.of_string "R(x" = None)
+
+(* --- Txn --- *)
+
+let rw_txn =
+  Txn.make ~id:1 ~session:1
+    [ Op.Read (0, 5); Op.Write (0, 6); Op.Read (1, 7); Op.Write (1, 8) ]
+
+let test_txn_external_reads () =
+  Alcotest.check kv "both reads external" [ (0, 5); (1, 7) ]
+    (Txn.external_reads rw_txn)
+
+let test_txn_read_after_write_not_external () =
+  let t = Txn.make ~id:1 ~session:1 [ Op.Write (0, 1); Op.Read (0, 1) ] in
+  Alcotest.check kv "no external reads" [] (Txn.external_reads t)
+
+let test_txn_first_read_wins () =
+  let t = Txn.make ~id:1 ~session:1 [ Op.Read (0, 1); Op.Read (0, 2) ] in
+  Alcotest.check kv "first read" [ (0, 1) ] (Txn.external_reads t)
+
+let test_txn_final_writes () =
+  let t =
+    Txn.make ~id:1 ~session:1
+      [ Op.Write (0, 1); Op.Write (0, 2); Op.Write (1, 3) ]
+  in
+  Alcotest.check kv "last write per key" [ (0, 2); (1, 3) ] (Txn.final_writes t)
+
+let test_txn_intermediate_writes () =
+  let t =
+    Txn.make ~id:1 ~session:1
+      [ Op.Write (0, 1); Op.Write (0, 2); Op.Write (1, 3) ]
+  in
+  Alcotest.check kv "overwritten" [ (0, 1) ] (Txn.intermediate_writes t)
+
+let test_txn_predicates () =
+  checkb "reads 0" true (Txn.reads_key rw_txn 0);
+  checkb "writes 1" true (Txn.writes_key rw_txn 1);
+  checkb "no key 9" false (Txn.reads_key rw_txn 9);
+  Alcotest.check Alcotest.(option int) "read_of" (Some 7) (Txn.read_of rw_txn 1);
+  Alcotest.check Alcotest.(option int) "write_of" (Some 6) (Txn.write_of rw_txn 0)
+
+let test_txn_keys_order () =
+  Alcotest.check (Alcotest.list Alcotest.int) "first occurrence order" [ 0; 1 ]
+    (Txn.keys rw_txn)
+
+let test_txn_default_timestamps () =
+  let t = Txn.make ~id:9 ~session:1 [] in
+  checki "start defaults to id" 9 t.Txn.start_ts;
+  checki "commit defaults to start" 9 t.Txn.commit_ts
+
+(* --- Mini --- *)
+
+let mk ops = Txn.make ~id:1 ~session:1 ops
+
+let test_mini_accepts_shapes () =
+  List.iter
+    (fun (name, ops) -> checkb name true (Mini.is_mini (mk ops)))
+    [
+      ("r", [ Op.Read (0, 1) ]);
+      ("rw", [ Op.Read (0, 1); Op.Write (0, 2) ]);
+      ("rr", [ Op.Read (0, 1); Op.Read (1, 2) ]);
+      ("rrw", [ Op.Read (0, 1); Op.Read (1, 2); Op.Write (0, 3) ]);
+      ( "rrww",
+        [ Op.Read (0, 1); Op.Read (1, 2); Op.Write (0, 3); Op.Write (1, 4) ] );
+      ( "rwrw",
+        [ Op.Read (0, 1); Op.Write (0, 2); Op.Read (1, 3); Op.Write (1, 4) ] );
+      (* double write to one read key is still a mini-transaction *)
+      ("rww", [ Op.Read (0, 1); Op.Write (0, 2); Op.Write (0, 3) ]);
+    ]
+
+let test_mini_rejects () =
+  List.iter
+    (fun (name, ops) -> checkb name false (Mini.is_mini (mk ops)))
+    [
+      ("empty", []);
+      ("blind write", [ Op.Write (0, 1) ]);
+      ("write then read wrong key", [ Op.Read (1, 0); Op.Write (0, 1) ]);
+      ("three reads", [ Op.Read (0, 0); Op.Read (1, 0); Op.Read (2, 0) ]);
+      ( "three writes",
+        [
+          Op.Read (0, 0);
+          Op.Write (0, 1);
+          Op.Write (0, 2);
+          Op.Write (0, 3);
+        ] );
+    ]
+
+let test_mini_shape_of () =
+  let shape ops = Mini.shape_of (mk ops) in
+  checkb "rw" true (shape [ Op.Read (0, 1); Op.Write (0, 2) ] = Some Mini.RW);
+  checkb "rrww" true
+    (shape [ Op.Read (0, 1); Op.Read (1, 2); Op.Write (0, 3); Op.Write (1, 4) ]
+    = Some Mini.RRWW);
+  checkb "rwrw" true
+    (shape [ Op.Read (0, 1); Op.Write (0, 2); Op.Read (1, 3); Op.Write (1, 4) ]
+    = Some Mini.RWRW);
+  checkb "non-template" true
+    (shape [ Op.Read (0, 1); Op.Write (0, 2); Op.Write (0, 3) ] = None)
+
+let test_mini_shape_keys () =
+  List.iter
+    (fun s ->
+      let k = Mini.num_keys_of_shape s in
+      checkb (Mini.shape_name s) true (k = 1 || k = 2))
+    Mini.all_shapes
+
+(* --- History --- *)
+
+let test_history_init_txn () =
+  let h = Builder.(history ~keys:3 ~sessions:1 [ txn ~session:1 [ r 0 0 ] ]) in
+  let init = History.txn h History.init_id in
+  checki "init writes all keys" 3 (Array.length init.Txn.ops);
+  checkb "init committed" true (Txn.is_committed init)
+
+let test_history_counts () =
+  let h =
+    Builder.(
+      history ~keys:2 ~sessions:2
+        [
+          txn ~session:1 [ r 0 0 ];
+          txn ~session:2 ~status:Txn.Aborted [ r 1 0 ];
+        ])
+  in
+  checki "num_txns includes init" 3 (History.num_txns h);
+  checki "committed includes init" 2 (History.committed_count h)
+
+let test_history_session_chain () =
+  let h =
+    Builder.(
+      history ~keys:1 ~sessions:2
+        [
+          txn ~session:1 [ r 0 0 ];
+          txn ~session:2 [ r 0 0 ];
+          txn ~session:1 ~status:Txn.Aborted [ r 0 0 ];
+          txn ~session:1 [ r 0 0 ];
+        ])
+  in
+  Alcotest.check (Alcotest.list Alcotest.int) "committed chain skips aborted"
+    [ 1; 4 ] (History.session_chain h 1)
+
+let test_history_so_pairs () =
+  let h =
+    Builder.(
+      history ~keys:1 ~sessions:2
+        [ txn ~session:1 [ r 0 0 ]; txn ~session:1 [ r 0 0 ]; txn ~session:2 [ r 0 0 ] ])
+  in
+  let so = History.so_pairs h in
+  checkb "init->1" true (List.mem (0, 1) so);
+  checkb "1->2" true (List.mem (1, 2) so);
+  checkb "init->3" true (List.mem (0, 3) so);
+  checkb "no 2->3" false (List.mem (2, 3) so)
+
+let test_history_rt () =
+  let h =
+    Builder.(
+      history ~keys:1 ~sessions:1
+        [
+          txn ~session:1 ~start:10 ~commit:20 [ r 0 0 ];
+          txn ~session:1 ~start:25 ~commit:30 [ r 0 0 ];
+          txn ~session:1 ~start:15 ~commit:40 [ r 0 0 ];
+        ])
+  in
+  checkb "1 before 2" true (History.rt_before h 1 2);
+  checkb "1 not before 3" false (History.rt_before h 1 3);
+  checkb "2 not before 1" false (History.rt_before h 2 1)
+
+let test_history_unique_values_ok () =
+  let h =
+    Builder.(
+      history ~keys:1 ~sessions:2
+        [ txn ~session:1 [ r 0 0; w 0 1 ]; txn ~session:2 [ r 0 1; w 0 2 ] ])
+  in
+  checkb "unique ok" true (History.unique_values h = Ok ())
+
+let test_history_unique_values_dup () =
+  let h =
+    Builder.(
+      history ~keys:1 ~sessions:2
+        [ txn ~session:1 [ r 0 0; w 0 1 ]; txn ~session:2 [ r 0 0; w 0 1 ] ])
+  in
+  checkb "duplicate detected" true (Result.is_error (History.unique_values h))
+
+let test_history_dup_across_aborted () =
+  (* Uniqueness also covers aborted transactions' writes. *)
+  let h =
+    Builder.(
+      history ~keys:1 ~sessions:2
+        [
+          txn ~session:1 ~status:Txn.Aborted [ r 0 0; w 0 1 ];
+          txn ~session:2 [ r 0 0; w 0 1 ];
+        ])
+  in
+  checkb "dup with aborted detected" true
+    (Result.is_error (History.unique_values h))
+
+let test_history_all_mini () =
+  let good =
+    Builder.(history ~keys:1 ~sessions:1 [ txn ~session:1 [ r 0 0; w 0 1 ] ])
+  in
+  checkb "mini ok" true (History.all_mini good = Ok ());
+  let bad =
+    Builder.(history ~keys:1 ~sessions:1 [ txn ~session:1 [ w 0 1 ] ])
+  in
+  checkb "blind write rejected" true (Result.is_error (History.all_mini bad))
+
+let test_history_make_bad_session () =
+  Alcotest.check_raises "session out of range"
+    (Invalid_argument "History.make: T1 has session 5 out of [1,2]") (fun () ->
+      ignore
+        (History.make ~num_keys:1 ~num_sessions:2
+           [ Txn.make ~id:1 ~session:5 [ Op.Read (0, 0) ] ]))
+
+let test_history_make_bad_key () =
+  checkb "key out of range" true
+    (try
+       ignore
+         (History.make ~num_keys:1 ~num_sessions:1
+            [ Txn.make ~id:1 ~session:1 [ Op.Read (5, 0) ] ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_history_make_bad_id () =
+  checkb "wrong id" true
+    (try
+       ignore
+         (History.make ~num_keys:1 ~num_sessions:1
+            [ Txn.make ~id:7 ~session:1 [ Op.Read (0, 0) ] ]);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Builder --- *)
+
+let test_builder_overlap_default () =
+  let h =
+    Builder.(
+      history ~keys:1 ~sessions:2
+        [ txn ~session:1 [ r 0 0 ]; txn ~session:2 [ r 0 0 ] ])
+  in
+  checkb "no RT between overlap txns" false (History.rt_before h 1 2);
+  checkb "nor reverse" false (History.rt_before h 2 1)
+
+let test_builder_sequential () =
+  let h =
+    Builder.(
+      history ~keys:1 ~sessions:2 ~rt:`Sequential
+        [ txn ~session:1 [ r 0 0 ]; txn ~session:2 [ r 0 0 ] ])
+  in
+  checkb "list order is RT" true (History.rt_before h 1 2)
+
+(* --- Codec --- *)
+
+let sample_history =
+  Builder.(
+    history ~keys:2 ~sessions:2
+      [
+        txn ~session:1 ~start:3 ~commit:9 [ r 0 0; w 0 1 ];
+        txn ~session:2 ~status:Txn.Aborted ~start:4 ~commit:5 [ r 1 0 ];
+      ])
+
+let test_codec_roundtrip () =
+  match Codec.of_string (Codec.to_string sample_history) with
+  | Ok h' ->
+      checks "same serialization" (Codec.to_string sample_history)
+        (Codec.to_string h');
+      checki "keys" sample_history.History.num_keys h'.History.num_keys;
+      checki "txns" (History.num_txns sample_history) (History.num_txns h')
+  | Error e -> Alcotest.fail e
+
+let test_codec_bad_magic () =
+  checkb "bad magic" true (Result.is_error (Codec.of_string "nonsense"))
+
+let test_codec_bad_txn_line () =
+  let s = "mtc-history v1\nkeys 1\nsessions 1\ntxn x y z\n" in
+  checkb "bad line" true (Result.is_error (Codec.of_string s))
+
+let test_codec_file_roundtrip () =
+  let path = Filename.temp_file "mtc_test" ".hist" in
+  Codec.save path sample_history;
+  (match Codec.load path with
+  | Ok h' ->
+      checks "file roundtrip" (Codec.to_string sample_history)
+        (Codec.to_string h')
+  | Error e -> Alcotest.fail e);
+  Sys.remove path
+
+let suite =
+  [
+    ("op accessors", `Quick, test_op_accessors);
+    ("op string roundtrip", `Quick, test_op_string_roundtrip);
+    ("op parse garbage", `Quick, test_op_parse_garbage);
+    ("txn external reads", `Quick, test_txn_external_reads);
+    ("txn read-after-write not external", `Quick, test_txn_read_after_write_not_external);
+    ("txn first read wins", `Quick, test_txn_first_read_wins);
+    ("txn final writes", `Quick, test_txn_final_writes);
+    ("txn intermediate writes", `Quick, test_txn_intermediate_writes);
+    ("txn predicates", `Quick, test_txn_predicates);
+    ("txn keys order", `Quick, test_txn_keys_order);
+    ("txn default timestamps", `Quick, test_txn_default_timestamps);
+    ("mini accepts the seven shapes", `Quick, test_mini_accepts_shapes);
+    ("mini rejects non-MTs", `Quick, test_mini_rejects);
+    ("mini shape_of", `Quick, test_mini_shape_of);
+    ("mini shapes have 1-2 keys", `Quick, test_mini_shape_keys);
+    ("history init transaction", `Quick, test_history_init_txn);
+    ("history counts", `Quick, test_history_counts);
+    ("history session chain skips aborted", `Quick, test_history_session_chain);
+    ("history so_pairs", `Quick, test_history_so_pairs);
+    ("history real-time order", `Quick, test_history_rt);
+    ("history unique values ok", `Quick, test_history_unique_values_ok);
+    ("history duplicate values", `Quick, test_history_unique_values_dup);
+    ("history duplicate across aborted", `Quick, test_history_dup_across_aborted);
+    ("history all_mini", `Quick, test_history_all_mini);
+    ("history rejects bad session", `Quick, test_history_make_bad_session);
+    ("history rejects bad key", `Quick, test_history_make_bad_key);
+    ("history rejects bad id", `Quick, test_history_make_bad_id);
+    ("builder overlap default", `Quick, test_builder_overlap_default);
+    ("builder sequential rt", `Quick, test_builder_sequential);
+    ("codec roundtrip", `Quick, test_codec_roundtrip);
+    ("codec bad magic", `Quick, test_codec_bad_magic);
+    ("codec bad txn line", `Quick, test_codec_bad_txn_line);
+    ("codec file roundtrip", `Quick, test_codec_file_roundtrip);
+  ]

@@ -1,0 +1,247 @@
+(* Tests for Lwt histories, the VL-LWT checker (paper Algorithm 2) and the
+   synthetic LWT generator. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let ev id session op start finish = { Lwt.id; session; op; start; finish }
+let insert k v = Lwt.Insert { key = k; value = v }
+let rw k e n = Lwt.Rw { key = k; expected = e; new_value = n }
+let rd k v = Lwt.Read { key = k; value = v }
+
+let make events = Lwt.make ~num_keys:2 ~num_sessions:4 events
+
+let ok h = Lwt_checker.check h = Ok ()
+
+(* Figure 4a: a linearizable history of R&W operations. *)
+let test_fig4a_linearizable () =
+  let h =
+    make
+      [
+        ev 0 1 (insert 0 100) 0 1;
+        ev 1 1 (rw 0 100 101) 2 6;
+        ev 2 2 (rw 0 101 102) 5 9;
+      ]
+  in
+  checkb "linearizable" true (ok h)
+
+(* Figure 4b: O1:R&W(x,0,1) starts after O2:R&W(x,1,2) finishes. *)
+let test_fig4b_not_linearizable () =
+  let h =
+    make
+      [
+        ev 0 1 (insert 0 100) 0 1;
+        ev 1 1 (rw 0 100 101) 10 12;  (* consumes 100, but starts late *)
+        ev 2 2 (rw 0 101 102) 3 5;  (* finished before its predecessor began *)
+      ]
+  in
+  match Lwt_checker.check h with
+  | Error (Lwt_checker.Real_time_violation _) -> ()
+  | Error r ->
+      Alcotest.failf "wrong reason: %s"
+        (Format.asprintf "%a" Lwt_checker.pp_reason r)
+  | Ok () -> Alcotest.fail "figure 4b accepted"
+
+let test_no_insert () =
+  let h = make [ ev 0 1 (rw 0 1 2) 0 1 ] in
+  checkb "no insert" true (Lwt_checker.check h = Error (Lwt_checker.No_insert 0))
+
+let test_multiple_inserts () =
+  let h = make [ ev 0 1 (insert 0 1) 0 1; ev 1 2 (insert 0 2) 2 3 ] in
+  match Lwt_checker.check h with
+  | Error (Lwt_checker.Multiple_inserts { count = 2; _ }) -> ()
+  | _ -> Alcotest.fail "expected multiple-inserts"
+
+let test_broken_chain () =
+  (* E1 consumes a value nobody wrote. *)
+  let h = make [ ev 0 1 (insert 0 1) 0 1; ev 1 1 (rw 0 99 100) 2 3 ] in
+  match Lwt_checker.check h with
+  | Error (Lwt_checker.No_successor { remaining = 1; _ }) -> ()
+  | _ -> Alcotest.fail "expected broken chain"
+
+let test_duplicate_cas () =
+  let h =
+    make
+      [
+        ev 0 1 (insert 0 1) 0 1;
+        ev 1 1 (rw 0 1 2) 2 3;
+        ev 2 2 (rw 0 1 3) 2 4;
+      ]
+  in
+  match Lwt_checker.check h with
+  | Error (Lwt_checker.Duplicate_successor _) -> ()
+  | _ -> Alcotest.fail "expected duplicate successor"
+
+let test_reads_ok () =
+  let h =
+    make
+      [
+        ev 0 1 (insert 0 1) 0 1;
+        ev 1 1 (rw 0 1 2) 4 6;
+        ev 2 2 (rd 0 1) 2 3;  (* reads first value before the CAS *)
+        ev 3 3 (rd 0 2) 7 9;  (* reads second value after *)
+      ]
+  in
+  checkb "reads fit" true (ok h)
+
+let test_read_stale_value () =
+  let h = make [ ev 0 1 (insert 0 1) 0 1; ev 1 1 (rd 0 77) 2 3 ] in
+  match Lwt_checker.check h with
+  | Error (Lwt_checker.Stale_read { value = 77; _ }) -> ()
+  | _ -> Alcotest.fail "expected stale read"
+
+let test_read_too_late () =
+  (* Read of the overwritten value that starts after the overwriter (and
+     everything else) finished cannot linearize. *)
+  let h =
+    make
+      [
+        ev 0 1 (insert 0 1) 0 1;
+        ev 1 1 (rw 0 1 2) 2 3;
+        ev 2 2 (rd 0 1) 10 12;
+      ]
+  in
+  match Lwt_checker.check h with
+  | Error (Lwt_checker.Real_time_violation _) -> ()
+  | _ -> Alcotest.fail "expected a real-time violation"
+
+let test_concurrent_read_of_old_value () =
+  (* The read overlaps the CAS: may linearize before it. *)
+  let h =
+    make
+      [
+        ev 0 1 (insert 0 1) 0 1;
+        ev 1 1 (rw 0 1 2) 4 8;
+        ev 2 2 (rd 0 1) 5 9;
+      ]
+  in
+  checkb "overlapping read ok" true (ok h)
+
+let test_per_key_independence () =
+  (* A violation on key 1 is found even when key 0 is clean. *)
+  let h =
+    make
+      [
+        ev 0 1 (insert 0 1) 0 1;
+        ev 1 1 (insert 1 50) 2 3;
+        ev 2 2 (rw 1 99 100) 4 5;
+      ]
+  in
+  match Lwt_checker.check h with
+  | Error (Lwt_checker.No_successor { key = 1; _ }) -> ()
+  | _ -> Alcotest.fail "expected failure on key 1"
+
+let test_chain_extraction () =
+  let h =
+    make
+      [
+        ev 0 1 (insert 0 1) 0 1;
+        ev 1 1 (rw 0 1 2) 2 3;
+        ev 2 2 (rw 0 2 3) 4 5;
+      ]
+  in
+  match Lwt_checker.chain h 0 with
+  | Ok chain ->
+      Alcotest.check (Alcotest.list Alcotest.int) "chain order" [ 0; 1; 2 ]
+        (List.map (fun (e : Lwt.event) -> e.Lwt.id) chain)
+  | Error _ -> Alcotest.fail "chain failed"
+
+let test_empty_key_ok () =
+  checkb "empty history fine" true (ok (make []))
+
+let test_make_rejects_duplicates () =
+  checkb "dup id" true
+    (try
+       ignore (make [ ev 0 1 (insert 0 1) 0 1; ev 0 1 (insert 1 2) 0 1 ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_make_rejects_backwards_interval () =
+  checkb "finish < start" true
+    (try
+       ignore (make [ ev 0 1 (insert 0 1) 5 2 ]);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- generator --- *)
+
+let test_gen_valid_by_construction () =
+  List.iter
+    (fun pct ->
+      let h =
+        Lwt_gen.generate
+          { Lwt_gen.default with concurrent_pct = pct; txns_per_session = 60 }
+      in
+      checkb (Printf.sprintf "pct %.1f valid" pct) true (ok h))
+    [ 0.0; 0.25; 0.5; 1.0 ]
+
+let test_gen_event_count () =
+  let p = { Lwt_gen.default with num_sessions = 4; txns_per_session = 25 } in
+  let h = Lwt_gen.generate p in
+  checki "4*25 events" 100 (Array.length h.Lwt.events)
+
+let test_gen_injections_detected () =
+  List.iter
+    (fun (inj, name) ->
+      let h =
+        Lwt_gen.generate
+          { Lwt_gen.default with txns_per_session = 40; inject = inj }
+      in
+      checkb name false (ok h))
+    [
+      (Lwt_gen.Rt_violation, "rt violation");
+      (Lwt_gen.Phantom_write, "phantom write");
+      (Lwt_gen.Split_brain, "split brain");
+    ]
+
+let test_gen_deterministic () =
+  let p = { Lwt_gen.default with txns_per_session = 20 } in
+  let a = Lwt_gen.generate p and b = Lwt_gen.generate p in
+  checkb "same events" true (a.Lwt.events = b.Lwt.events)
+
+(* --- agreement with Porcupine on both valid and broken histories --- *)
+
+let test_agree_with_porcupine () =
+  List.iter
+    (fun inj ->
+      List.iter
+        (fun seed ->
+          let h =
+            Lwt_gen.generate
+              {
+                Lwt_gen.default with
+                num_sessions = 6;
+                txns_per_session = 30;
+                seed;
+                inject = inj;
+              }
+          in
+          let vl = ok h in
+          let porc = (Porcupine.check h).Porcupine.linearizable in
+          checkb (Printf.sprintf "seed %d" seed) true (vl = porc))
+        [ 1; 2; 3 ])
+    [ Lwt_gen.No_injection; Lwt_gen.Rt_violation; Lwt_gen.Phantom_write ]
+
+let suite =
+  [
+    ("figure 4a linearizable", `Quick, test_fig4a_linearizable);
+    ("figure 4b not linearizable", `Quick, test_fig4b_not_linearizable);
+    ("no insert", `Quick, test_no_insert);
+    ("multiple inserts", `Quick, test_multiple_inserts);
+    ("broken chain", `Quick, test_broken_chain);
+    ("duplicate CAS", `Quick, test_duplicate_cas);
+    ("plain reads fit the chain", `Quick, test_reads_ok);
+    ("stale read detected", `Quick, test_read_stale_value);
+    ("read placed too late", `Quick, test_read_too_late);
+    ("concurrent read of old value", `Quick, test_concurrent_read_of_old_value);
+    ("per-key independence", `Quick, test_per_key_independence);
+    ("chain extraction", `Quick, test_chain_extraction);
+    ("empty history", `Quick, test_empty_key_ok);
+    ("make rejects duplicate ids", `Quick, test_make_rejects_duplicates);
+    ("make rejects backwards intervals", `Quick, test_make_rejects_backwards_interval);
+    ("generator produces valid histories", `Quick, test_gen_valid_by_construction);
+    ("generator event count", `Quick, test_gen_event_count);
+    ("generator injections detected", `Quick, test_gen_injections_detected);
+    ("generator deterministic", `Quick, test_gen_deterministic);
+    ("VL-LWT agrees with Porcupine", `Quick, test_agree_with_porcupine);
+  ]

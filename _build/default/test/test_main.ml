@@ -1,0 +1,19 @@
+let () =
+  Alcotest.run "mtc"
+    [
+      ("common", Test_common.suite);
+      ("graph", Test_graph.suite);
+      ("history", Test_history.suite);
+      ("core", Test_core.suite);
+      ("weak", Test_weak.suite);
+      ("lwt", Test_lwt.suite);
+      ("sat", Test_sat.suite);
+      ("db", Test_db.suite);
+      ("workload", Test_workload.suite);
+      ("runner", Test_runner.suite);
+      ("baselines", Test_baselines.suite);
+      ("oracle", Test_oracle.suite);
+      ("online", Test_online.suite);
+      ("extra", Test_extra.suite);
+      ("properties", Test_properties.suite);
+    ]

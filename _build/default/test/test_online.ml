@@ -1,0 +1,180 @@
+(* Tests for the Online (streaming) checker: agreement with the batch
+   checker on engine histories fed in commit order, early detection, and
+   the poisoned-state contract. *)
+
+let checkb = Alcotest.check Alcotest.bool
+
+(* A history's transactions in commit order (aborted attempts included,
+   ordered by their abort time), as a monitoring proxy would see them. *)
+let stream_of (h : History.t) =
+  Array.to_list h.History.txns
+  |> List.filter (fun (t : Txn.t) -> t.Txn.id <> History.init_id)
+  |> List.sort (fun (a : Txn.t) b -> compare a.Txn.commit_ts b.Txn.commit_ts)
+
+let engine_history ~level ~fault ~seed =
+  let spec =
+    Mt_gen.generate { Mt_gen.default with num_txns = 250; num_keys = 10; seed }
+  in
+  let db = { Db.level; fault; num_keys = 10; seed } in
+  (Scheduler.run ~params:{ Scheduler.default_params with seed } ~db ~spec ())
+    .Scheduler.history
+
+let agree level h =
+  let batch = Checker.passes (Checker.check level h) in
+  let online =
+    match
+      Online.check_stream ~level ~num_keys:h.History.num_keys (stream_of h)
+    with
+    | Ok _ -> true
+    | Error _ -> false
+  in
+  batch = online
+
+let test_online_agrees_clean () =
+  List.iter
+    (fun (engine, level) ->
+      for seed = 1 to 4 do
+        checkb
+          (Printf.sprintf "%s seed %d" (Checker.level_name level) seed)
+          true
+          (agree level (engine_history ~level:engine ~fault:Fault.No_fault ~seed))
+      done)
+    [
+      (Isolation.Snapshot, Checker.SI);
+      (Isolation.Serializable, Checker.SER);
+      (Isolation.Strict_serializable, Checker.SSER);
+      (Isolation.Snapshot, Checker.SER);
+    ]
+
+let test_online_agrees_faulty () =
+  List.iter
+    (fun (fault, level) ->
+      for seed = 1 to 4 do
+        checkb
+          (Printf.sprintf "%s seed %d" (Checker.level_name level) seed)
+          true
+          (agree level
+             (engine_history ~level:Isolation.Snapshot ~fault ~seed))
+      done)
+    [
+      (Fault.Lost_update 0.2, Checker.SI);
+      (Fault.Aborted_read 0.2, Checker.SI);
+      (Fault.Causality_violation 0.1, Checker.SI);
+      (Fault.Lost_update 0.2, Checker.SER);
+    ]
+
+let test_online_detects_at_offender () =
+  (* The violation fires exactly when the second diverging writer
+     arrives. *)
+  let t1 = Txn.make ~id:1 ~session:1 [ Op.Read (0, 0); Op.Write (0, 1) ] in
+  let t2 = Txn.make ~id:2 ~session:2 [ Op.Read (0, 0); Op.Write (0, 2) ] in
+  let o = Online.create ~level:Checker.SI ~num_keys:1 () in
+  checkb "first writer fine" true (Online.add_txn o t1 = Online.Ok_so_far);
+  (match Online.add_txn o t2 with
+  | Online.Violation (Checker.Diverged _) -> ()
+  | _ -> Alcotest.fail "expected divergence at T2");
+  (* poisoned: same violation returned, txn not consumed *)
+  let t3 = Txn.make ~id:3 ~session:1 [ Op.Read (0, 1) ] in
+  match Online.add_txn o t3 with
+  | Online.Violation (Checker.Diverged _) -> ()
+  | _ -> Alcotest.fail "poisoned checker must keep failing"
+
+let test_online_write_skew_cycle () =
+  let t1 =
+    Txn.make ~id:1 ~session:1
+      [ Op.Read (0, 0); Op.Read (1, 0); Op.Write (0, 1) ]
+  in
+  let t2 =
+    Txn.make ~id:2 ~session:2
+      [ Op.Read (0, 0); Op.Read (1, 0); Op.Write (1, 2) ]
+  in
+  (match Online.check_stream ~level:Checker.SER ~num_keys:2 [ t1; t2 ] with
+  | Error (Checker.Cyclic cycle) ->
+      checkb "RW edges in cycle" true
+        (List.exists (fun (_, d, _) -> match d with Deps.RW _ -> true | _ -> false) cycle)
+  | _ -> Alcotest.fail "write skew must cycle at SER");
+  (* and at SI the same stream passes *)
+  checkb "SI passes write skew" true
+    (Online.check_stream ~level:Checker.SI ~num_keys:2 [ t1; t2 ] = Ok 2)
+
+let test_online_sser_rt () =
+  let t1 =
+    Txn.make ~id:1 ~session:1 ~start_ts:0 ~commit_ts:10
+      [ Op.Read (0, 0); Op.Write (0, 1) ]
+  in
+  let t2 =
+    Txn.make ~id:2 ~session:2 ~start_ts:20 ~commit_ts:30 [ Op.Read (0, 0) ]
+  in
+  (match Online.check_stream ~level:Checker.SSER ~num_keys:1 [ t1; t2 ] with
+  | Error (Checker.Cyclic _) -> ()
+  | _ -> Alcotest.fail "stale read after commit must fail SSER");
+  (* skew tolerance covers small drift *)
+  let t2' = Txn.make ~id:2 ~session:2 ~start_ts:12 ~commit_ts:30 [ Op.Read (0, 0) ] in
+  checkb "with skew" true
+    (Online.check_stream ~skew:5 ~level:Checker.SSER ~num_keys:1 [ t1; t2' ]
+    = Ok 2)
+
+let test_online_sser_order_enforced () =
+  let t1 = Txn.make ~id:1 ~session:1 ~start_ts:0 ~commit_ts:50 [ Op.Read (0, 0) ] in
+  let t2 = Txn.make ~id:2 ~session:2 ~start_ts:0 ~commit_ts:10 [ Op.Read (0, 0) ] in
+  checkb "out of order rejected" true
+    (try
+       ignore (Online.check_stream ~level:Checker.SSER ~num_keys:1 [ t1; t2 ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_online_id_reuse_rejected () =
+  let t1 = Txn.make ~id:1 ~session:1 [ Op.Read (0, 0) ] in
+  let o = Online.create ~level:Checker.SER ~num_keys:1 () in
+  ignore (Online.add_txn o t1);
+  checkb "reuse rejected" true
+    (try
+       ignore (Online.add_txn o t1);
+       false
+     with Invalid_argument _ -> true)
+
+let test_online_aborted_read_diagnosed () =
+  let t1 =
+    Txn.make ~id:1 ~session:1 ~status:Txn.Aborted
+      [ Op.Read (0, 0); Op.Write (0, 9) ]
+  in
+  let t2 = Txn.make ~id:2 ~session:2 [ Op.Read (0, 9) ] in
+  match Online.check_stream ~level:Checker.SI ~num_keys:1 [ t1; t2 ] with
+  | Error (Checker.Intra { kind = Int_check.Aborted_read 1; _ }) -> ()
+  | _ -> Alcotest.fail "expected AbortedRead pointing at T1"
+
+let test_online_duplicate_value () =
+  let t1 = Txn.make ~id:1 ~session:1 [ Op.Read (0, 0); Op.Write (0, 7) ] in
+  let t2 = Txn.make ~id:2 ~session:2 [ Op.Read (0, 7); Op.Write (0, 7) ] in
+  match Online.check_stream ~level:Checker.SI ~num_keys:1 [ t1; t2 ] with
+  | Error (Checker.Malformed _) -> ()
+  | _ -> Alcotest.fail "duplicate value must be rejected"
+
+let test_online_grows_past_capacity () =
+  (* More than the initial 64-vertex capacity. *)
+  let txns =
+    List.init 500 (fun i ->
+        Txn.make ~id:(i + 1) ~session:1 [ Op.Read (0, i); Op.Write (0, i + 1) ])
+  in
+  checkb "long chain accepted" true
+    (Online.check_stream ~level:Checker.SER ~num_keys:1 txns = Ok 500)
+
+let test_online_counts () =
+  let o = Online.create ~level:Checker.SER ~num_keys:1 () in
+  ignore (Online.add_txn o (Txn.make ~id:1 ~session:1 [ Op.Read (0, 0) ]));
+  Alcotest.check Alcotest.int "one seen" 1 (Online.txns_seen o)
+
+let suite =
+  [
+    ("agrees with batch on clean engines", `Quick, test_online_agrees_clean);
+    ("agrees with batch on faulty engines", `Quick, test_online_agrees_faulty);
+    ("divergence flagged at the offender", `Quick, test_online_detects_at_offender);
+    ("write-skew cycle at SER, pass at SI", `Quick, test_online_write_skew_cycle);
+    ("SSER real-time edge + skew", `Quick, test_online_sser_rt);
+    ("SSER stream order enforced", `Quick, test_online_sser_order_enforced);
+    ("transaction id reuse rejected", `Quick, test_online_id_reuse_rejected);
+    ("aborted read diagnosed", `Quick, test_online_aborted_read_diagnosed);
+    ("duplicate value rejected", `Quick, test_online_duplicate_value);
+    ("grows past initial capacity", `Quick, test_online_grows_past_capacity);
+    ("txns_seen", `Quick, test_online_counts);
+  ]

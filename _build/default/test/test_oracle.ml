@@ -1,0 +1,195 @@
+(* Tests for Oracle (serialization certificates + sequential replay) and
+   the clock-skew-tolerant SSER checking. *)
+
+let checkb = Alcotest.check Alcotest.bool
+
+open Builder
+
+let engine_history ?(level = Isolation.Serializable) ~seed () =
+  let spec =
+    Mt_gen.generate { Mt_gen.default with num_txns = 300; num_keys = 10; seed }
+  in
+  let db = { Db.level; fault = Fault.No_fault; num_keys = 10; seed } in
+  (Scheduler.run ~params:{ Scheduler.default_params with seed } ~db ~spec ())
+    .Scheduler.history
+
+(* --- replay --- *)
+
+let test_replay_accepts_valid_order () =
+  let h =
+    history ~keys:1 ~sessions:2
+      [ txn ~session:1 [ r 0 0; w 0 1 ]; txn ~session:2 [ r 0 1; w 0 2 ] ]
+  in
+  checkb "1;2 ok" true (Oracle.replay h [ 1; 2 ] = Ok ());
+  checkb "2;1 fails" true (Result.is_error (Oracle.replay h [ 2; 1 ]))
+
+let test_replay_rejects_non_permutation () =
+  let h = history ~keys:1 ~sessions:1 [ txn ~session:1 [ r 0 0 ] ] in
+  checkb "missing txn" true (Result.is_error (Oracle.replay h []));
+  checkb "duplicated" true (Result.is_error (Oracle.replay h [ 1; 1 ]))
+
+let test_replay_own_writes () =
+  let h =
+    history ~keys:1 ~sessions:1 [ txn ~session:1 [ r 0 0; w 0 1; r 0 1 ] ]
+  in
+  checkb "own write visible in replay" true (Oracle.replay h [ 1 ] = Ok ())
+
+let test_replay_skips_aborted () =
+  let h =
+    history ~keys:1 ~sessions:2
+      [
+        txn ~session:1 ~status:Txn.Aborted [ r 0 0; w 0 9 ];
+        txn ~session:2 [ r 0 0; w 0 1 ];
+      ]
+  in
+  checkb "aborted not replayed" true (Oracle.replay h [ 2 ] = Ok ())
+
+(* --- certificate --- *)
+
+let test_certificate_replays_engine_histories () =
+  (* The central completeness oracle: for any accepted history the
+     extracted serial order must replay exactly. *)
+  for seed = 1 to 6 do
+    let h = engine_history ~seed () in
+    match Oracle.certificate Checker.SER h with
+    | Ok order ->
+        (match Oracle.replay h order with
+        | Ok () -> ()
+        | Error m -> Alcotest.failf "seed %d: replay failed: %s" seed m)
+    | Error v ->
+        Alcotest.failf "seed %d: SER engine history rejected: %s" seed
+          (Format.asprintf "%a" Checker.pp_violation v)
+  done
+
+let test_certificate_sser_respects_rt () =
+  for seed = 1 to 3 do
+    let h = engine_history ~level:Isolation.Strict_serializable ~seed () in
+    match Oracle.certificate Checker.SSER h with
+    | Ok order ->
+        checkb "replays" true (Oracle.replay h order = Ok ());
+        (* Real-time consistency: if A finished before B started, A must
+           precede B in the schedule. *)
+        let pos = Hashtbl.create 64 in
+        List.iteri (fun i id -> Hashtbl.replace pos id i) order;
+        List.iter
+          (fun a ->
+            List.iter
+              (fun b ->
+                if a <> b && History.rt_before h a b then
+                  checkb "rt respected" true
+                    (Hashtbl.find pos a < Hashtbl.find pos b))
+              order)
+          order
+    | Error _ -> Alcotest.fail "SSER engine history rejected"
+  done
+
+let test_certificate_fails_on_violation () =
+  match Oracle.certificate Checker.SER (Anomaly.history Anomaly.Write_skew) with
+  | Error (Checker.Cyclic _) -> ()
+  | _ -> Alcotest.fail "write skew must yield a cycle, not a certificate"
+
+let test_certificate_si_unsupported () =
+  checkb "invalid_arg at SI" true
+    (try
+       ignore (Oracle.certificate Checker.SI (Anomaly.history Anomaly.Write_skew));
+       false
+     with Invalid_argument _ -> true)
+
+let test_certificate_agrees_with_checker () =
+  (* certificate succeeds iff check_ser passes. *)
+  List.iter
+    (fun kind ->
+      let h = Anomaly.history kind in
+      let cert_ok = Result.is_ok (Oracle.certificate Checker.SER h) in
+      let check_ok = Checker.passes (Checker.check_ser h) in
+      checkb (Anomaly.name kind) check_ok cert_ok)
+    Anomaly.all
+
+(* --- clock skew --- *)
+
+let skewed_history delta =
+  (* Logically sequential: T1 then T2 (T2 reads T1's write), but T2's
+     client clock reports a start [delta] ticks before T1's commit. *)
+  history ~keys:1 ~sessions:2
+    [
+      txn ~session:1 ~start:0 ~commit:100 [ r 0 0; w 0 1 ];
+      txn ~session:2 ~start:(100 - delta) ~commit:200 [ r 0 1 ];
+    ]
+
+let test_skew_tolerance_basic () =
+  (* With honest clocks there is nothing to tolerate. *)
+  checkb "no skew" true (Checker.passes (Checker.check_sser (skewed_history 0)))
+
+let test_skew_false_positive_without_tolerance () =
+  (* T2 starts (per its drifted clock) before T1 commits, yet reads T1's
+     write: fine for SSER (they overlap), and fine with tolerance.  The
+     dangerous direction: T1 -RT-> T2 recorded but T2's read of the
+     *initial* value — build that: *)
+  let h =
+    history ~keys:1 ~sessions:2
+      [
+        txn ~session:1 ~start:0 ~commit:100 [ r 0 0; w 0 1 ];
+        (* T2 genuinely overlapped T1 but its drifted clock reports a
+           start just after T1's commit. *)
+        txn ~session:2 ~start:103 ~commit:200 [ r 0 0 ];
+      ]
+  in
+  checkb "strict check reports violation" false
+    (Checker.passes (Checker.check_sser ~skew:0 h));
+  checkb "5-tick tolerance accepts" true
+    (Checker.passes (Checker.check_sser ~skew:5 h));
+  checkb "naive mode agrees" true
+    (Checker.passes (Checker.check_sser ~rt_mode:Deps.Rt_naive ~skew:5 h))
+
+let test_skew_does_not_mask_real_violations () =
+  (* A stale read across a gap far larger than the skew bound stays a
+     violation. *)
+  let h =
+    history ~keys:1 ~sessions:2
+      [
+        txn ~session:1 ~start:0 ~commit:100 [ r 0 0; w 0 1 ];
+        txn ~session:2 ~start:1000 ~commit:1100 [ r 0 0 ];
+      ]
+  in
+  checkb "still caught with skew 5" false
+    (Checker.passes (Checker.check_sser ~skew:5 h))
+
+let test_skew_monotone () =
+  (* Growing tolerance only weakens the check. *)
+  for seed = 1 to 3 do
+    let h =
+      (let spec =
+         Mt_gen.generate
+           { Mt_gen.default with num_txns = 200; num_keys = 8; seed }
+       in
+       let db =
+         { Db.level = Isolation.Snapshot; fault = Fault.No_fault; num_keys = 8;
+           seed }
+       in
+       (Scheduler.run ~db ~spec ()).Scheduler.history)
+    in
+    let p0 = Checker.passes (Checker.check_sser ~skew:0 h) in
+    let p10 = Checker.passes (Checker.check_sser ~skew:10 h) in
+    let p1000 = Checker.passes (Checker.check_sser ~skew:1_000_000 h) in
+    checkb "skew 0 => skew 10" true ((not p0) || p10);
+    checkb "skew 10 => skew huge" true ((not p10) || p1000);
+    (* With skew beyond the history duration, SSER degenerates to SER. *)
+    checkb "huge skew = SER" (Checker.passes (Checker.check_ser h)) p1000
+  done
+
+let suite =
+  [
+    ("replay: valid and invalid orders", `Quick, test_replay_accepts_valid_order);
+    ("replay: permutation required", `Quick, test_replay_rejects_non_permutation);
+    ("replay: own writes", `Quick, test_replay_own_writes);
+    ("replay: aborted excluded", `Quick, test_replay_skips_aborted);
+    ("certificate: engine histories replay", `Quick, test_certificate_replays_engine_histories);
+    ("certificate: SSER respects real time", `Quick, test_certificate_sser_respects_rt);
+    ("certificate: violation yields cycle", `Quick, test_certificate_fails_on_violation);
+    ("certificate: SI unsupported", `Quick, test_certificate_si_unsupported);
+    ("certificate: agrees with checker", `Quick, test_certificate_agrees_with_checker);
+    ("skew: zero-skew baseline", `Quick, test_skew_tolerance_basic);
+    ("skew: tolerance removes drift false positive", `Quick, test_skew_false_positive_without_tolerance);
+    ("skew: real violations still caught", `Quick, test_skew_does_not_mask_real_violations);
+    ("skew: monotone weakening to SER", `Quick, test_skew_monotone);
+  ]

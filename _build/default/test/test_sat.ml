@@ -1,0 +1,239 @@
+(* Tests for mtc.sat: Lit, Solver (CDCL) and the acyclicity theory. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let pos v = Lit.make v true
+let neg v = Lit.make v false
+
+(* --- Lit --- *)
+
+let test_lit_encoding () =
+  checki "var" 3 (Lit.var (pos 3));
+  checki "var of neg" 3 (Lit.var (neg 3));
+  checkb "sign pos" true (Lit.sign (pos 3));
+  checkb "sign neg" false (Lit.sign (neg 3));
+  checkb "double negation" true (Lit.neg (Lit.neg (pos 5)) = pos 5)
+
+(* --- plain SAT --- *)
+
+let solve_clauses nvars clauses =
+  let s = Solver.create ~nvars () in
+  List.iter (Solver.add_clause s) clauses;
+  Solver.solve s
+
+let test_sat_trivial () =
+  checkb "empty instance" true (solve_clauses 1 [] = Solver.Sat)
+
+let test_sat_unit () =
+  let s = Solver.create ~nvars:1 () in
+  Solver.add_clause s [ pos 0 ];
+  checkb "sat" true (Solver.solve s = Solver.Sat);
+  checkb "model" true (Solver.value s 0)
+
+let test_sat_contradiction () =
+  checkb "x and not x" true
+    (solve_clauses 1 [ [ pos 0 ]; [ neg 0 ] ] = Solver.Unsat)
+
+let test_sat_empty_clause () =
+  checkb "empty clause" true (solve_clauses 1 [ [] ] = Solver.Unsat)
+
+let test_sat_implication_chain () =
+  (* x0 ∧ (x0→x1) ∧ ... ∧ (x9→unsat) *)
+  let n = 10 in
+  let clauses =
+    [ pos 0 ]
+    :: List.init (n - 1) (fun i -> [ neg i; pos (i + 1) ])
+    @ [ [ neg (n - 1) ] ]
+  in
+  checkb "chain unsat" true (solve_clauses n clauses = Solver.Unsat)
+
+let test_sat_pigeonhole_3_2 () =
+  (* 3 pigeons in 2 holes: classic small UNSAT needing real search. *)
+  let v p h = (2 * p) + h in
+  let clauses =
+    (* each pigeon somewhere *)
+    List.init 3 (fun p -> [ pos (v p 0); pos (v p 1) ])
+    @ (* no two pigeons share a hole *)
+    List.concat_map
+      (fun h ->
+        [ [ neg (v 0 h); neg (v 1 h) ];
+          [ neg (v 0 h); neg (v 2 h) ];
+          [ neg (v 1 h); neg (v 2 h) ] ])
+      [ 0; 1 ]
+  in
+  checkb "php(3,2) unsat" true (solve_clauses 6 clauses = Solver.Unsat)
+
+let test_sat_model_satisfies () =
+  (* Random 3-SAT at low density must be SAT with a genuine model. *)
+  let rng = Rng.create 2024 in
+  for _ = 1 to 20 do
+    let nvars = 20 in
+    let clauses =
+      List.init 40 (fun _ ->
+          List.init 3 (fun _ -> Lit.make (Rng.int rng nvars) (Rng.bool rng)))
+    in
+    let s = Solver.create ~nvars () in
+    List.iter (Solver.add_clause s) clauses;
+    match Solver.solve s with
+    | Solver.Sat ->
+        List.iter
+          (fun c ->
+            checkb "clause satisfied" true
+              (List.exists
+                 (fun l -> Solver.value s (Lit.var l) = Lit.sign l)
+                 c))
+          clauses
+    | Solver.Unsat -> ()  (* allowed, checked against brute force below *)
+  done
+
+let brute_force nvars clauses =
+  let rec go assignment v =
+    if v = nvars then
+      List.for_all
+        (List.exists (fun l ->
+             if Lit.sign l then List.nth assignment (Lit.var l)
+             else not (List.nth assignment (Lit.var l))))
+        clauses
+    else go (assignment @ [ true ]) (v + 1) || go (assignment @ [ false ]) (v + 1)
+  in
+  go [] 0
+
+let test_sat_vs_brute_force () =
+  let rng = Rng.create 555 in
+  for _ = 1 to 60 do
+    let nvars = 2 + Rng.int rng 7 in
+    let nclauses = 1 + Rng.int rng 25 in
+    let clauses =
+      List.init nclauses (fun _ ->
+          List.init
+            (1 + Rng.int rng 3)
+            (fun _ -> Lit.make (Rng.int rng nvars) (Rng.bool rng)))
+    in
+    let expected = brute_force nvars clauses in
+    let got = solve_clauses nvars clauses = Solver.Sat in
+    if got <> expected then
+      Alcotest.failf "solver disagrees with brute force (nvars=%d)" nvars
+  done
+
+(* --- acyclicity theory --- *)
+
+let test_acyc_fixed_cycle_rejected () =
+  let a = Acyclicity.create ~n:3 in
+  checkb "ok" true (Acyclicity.add_fixed a 0 1 = Ok ());
+  checkb "ok" true (Acyclicity.add_fixed a 1 2 = Ok ());
+  match Acyclicity.add_fixed a 2 0 with
+  | Error path -> checkb "path ends at 2" true (List.rev path |> List.hd = 2)
+  | Ok () -> Alcotest.fail "fixed cycle accepted"
+
+let test_acyc_reaches () =
+  let a = Acyclicity.create ~n:4 in
+  ignore (Acyclicity.add_fixed a 0 1);
+  ignore (Acyclicity.add_fixed a 1 2);
+  checkb "0 reaches 2" true (Acyclicity.reaches a 0 2);
+  checkb "2 not 0" false (Acyclicity.reaches a 2 0)
+
+(* One variable choosing between edge (0->1) and edge (1->0), with fixed
+   edge 1->0 already present: the solver must set the variable false. *)
+let test_acyc_forces_choice () =
+  let a = Acyclicity.create ~n:2 in
+  ignore (Acyclicity.add_fixed a 1 0);
+  let s = Solver.create ~theory:(Acyclicity.theory a) ~nvars:1 () in
+  Acyclicity.attach a (pos 0) [ (0, 1) ];
+  checkb "sat" true (Solver.solve s = Solver.Sat);
+  checkb "variable forced false" false (Solver.value s 0)
+
+let test_acyc_unsat_both_ways () =
+  (* x true adds 0->1, x false adds... another var closes the other side;
+     both polarities cycle => unsat. *)
+  let a = Acyclicity.create ~n:2 in
+  ignore (Acyclicity.add_fixed a 0 1);
+  ignore (Acyclicity.add_fixed a 1 0 |> Result.is_error |> fun e ->
+          if not e then failwith "should have failed");
+  ()
+
+let test_acyc_tournament_sat () =
+  (* Order 4 vertices freely: variables x_{ij} pick directions; always
+     satisfiable (any linear order works). *)
+  let n = 4 in
+  let a = Acyclicity.create ~n in
+  let pairs = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      pairs := (i, j) :: !pairs
+    done
+  done;
+  let s = Solver.create ~theory:(Acyclicity.theory a) ~nvars:(List.length !pairs) () in
+  List.iteri
+    (fun idx (i, j) ->
+      Acyclicity.attach a (pos idx) [ (i, j) ];
+      Acyclicity.attach a (neg idx) [ (j, i) ])
+    !pairs;
+  checkb "tournament orderable" true (Solver.solve s = Solver.Sat)
+
+let test_acyc_forced_cycle_unsat () =
+  (* Fixed path 0->1->2 plus a variable whose both polarities close a
+     cycle: x true adds 2->0, x false adds 2->0 too. *)
+  let a = Acyclicity.create ~n:3 in
+  ignore (Acyclicity.add_fixed a 0 1);
+  ignore (Acyclicity.add_fixed a 1 2);
+  let s = Solver.create ~theory:(Acyclicity.theory a) ~nvars:1 () in
+  Acyclicity.attach a (pos 0) [ (2, 0) ];
+  Acyclicity.attach a (neg 0) [ (2, 0) ];
+  checkb "unsat" true (Solver.solve s = Solver.Unsat)
+
+let test_acyc_clauses_and_theory () =
+  (* Clauses force x0; x0's edges close a cycle with x1's edges unless x1
+     is false. *)
+  let a = Acyclicity.create ~n:2 in
+  let s = Solver.create ~theory:(Acyclicity.theory a) ~nvars:2 () in
+  Acyclicity.attach a (pos 0) [ (0, 1) ];
+  Acyclicity.attach a (pos 1) [ (1, 0) ];
+  Solver.add_clause s [ pos 0 ];
+  checkb "sat" true (Solver.solve s = Solver.Sat);
+  checkb "x0 true" true (Solver.value s 0);
+  checkb "x1 false" false (Solver.value s 1)
+
+let test_acyc_random_orderings () =
+  (* Random DAG directions: embed a hidden order, ask the solver to
+     recover any acyclic orientation of random pairs (always SAT). *)
+  let rng = Rng.create 31337 in
+  for _ = 1 to 10 do
+    let n = 8 in
+    let a = Acyclicity.create ~n in
+    let m = 16 in
+    let pairs =
+      List.init m (fun _ ->
+          let i = Rng.int rng n in
+          let j = (i + 1 + Rng.int rng (n - 1)) mod n in
+          (i, j))
+    in
+    let s = Solver.create ~theory:(Acyclicity.theory a) ~nvars:m () in
+    List.iteri
+      (fun idx (i, j) ->
+        Acyclicity.attach a (pos idx) [ (i, j) ];
+        Acyclicity.attach a (neg idx) [ (j, i) ])
+      pairs;
+    checkb "orientable" true (Solver.solve s = Solver.Sat)
+  done
+
+let suite =
+  [
+    ("lit encoding", `Quick, test_lit_encoding);
+    ("sat: trivial", `Quick, test_sat_trivial);
+    ("sat: unit clause", `Quick, test_sat_unit);
+    ("sat: contradiction", `Quick, test_sat_contradiction);
+    ("sat: empty clause", `Quick, test_sat_empty_clause);
+    ("sat: implication chain", `Quick, test_sat_implication_chain);
+    ("sat: pigeonhole 3/2", `Quick, test_sat_pigeonhole_3_2);
+    ("sat: models satisfy clauses", `Quick, test_sat_model_satisfies);
+    ("sat: agrees with brute force", `Quick, test_sat_vs_brute_force);
+    ("acyclicity: fixed cycle rejected", `Quick, test_acyc_fixed_cycle_rejected);
+    ("acyclicity: reaches", `Quick, test_acyc_reaches);
+    ("acyclicity: theory forces choice", `Quick, test_acyc_forces_choice);
+    ("acyclicity: fixed contradiction", `Quick, test_acyc_unsat_both_ways);
+    ("acyclicity: tournament satisfiable", `Quick, test_acyc_tournament_sat);
+    ("acyclicity: forced cycle unsat", `Quick, test_acyc_forced_cycle_unsat);
+    ("acyclicity: clauses + theory", `Quick, test_acyc_clauses_and_theory);
+    ("acyclicity: random orientations", `Quick, test_acyc_random_orderings);
+  ]

@@ -1,0 +1,166 @@
+(* Tests for mtc.workload: Spec, Mt_gen, Gt_gen, Append_gen. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let test_spec_counts () =
+  let spec =
+    {
+      Spec.name = "t";
+      num_keys = 2;
+      sessions = [| [ [ Spec.Pread 0 ]; [ Spec.Pread 1; Spec.Pwrite 1 ] ]; [] |];
+    }
+  in
+  checki "sessions" 2 (Spec.num_sessions spec);
+  checki "txns" 2 (Spec.num_txns spec);
+  checki "ops" 3 (Spec.num_ops spec)
+
+let test_spec_mini_predicate () =
+  checkb "rw is mini" true (Spec.is_mini_op_list [ Spec.Pread 0; Spec.Pwrite 0 ]);
+  checkb "blind write not" false (Spec.is_mini_op_list [ Spec.Pwrite 0 ]);
+  checkb "append not" false (Spec.is_mini_op_list [ Spec.Pread 0; Spec.Pappend 0 ])
+
+let test_mt_gen_all_mini () =
+  List.iter
+    (fun dist ->
+      let spec =
+        Mt_gen.generate
+          { Mt_gen.default with num_txns = 500; dist; num_keys = 17; seed = 5 }
+      in
+      Array.iter
+        (List.iter (fun txn ->
+             checkb (Distribution.kind_name dist) true
+               (Spec.is_mini_op_list txn)))
+        spec.Spec.sessions)
+    Distribution.all_kinds
+
+let test_mt_gen_txn_count () =
+  let spec = Mt_gen.generate { Mt_gen.default with num_txns = 123 } in
+  checki "exact count" 123 (Spec.num_txns spec)
+
+let test_mt_gen_even_spread () =
+  let spec =
+    Mt_gen.generate { Mt_gen.default with num_txns = 100; num_sessions = 10 }
+  in
+  Array.iter
+    (fun txns -> checki "10 per session" 10 (List.length txns))
+    spec.Spec.sessions
+
+let test_mt_gen_keys_in_range () =
+  let spec = Mt_gen.generate { Mt_gen.default with num_keys = 5; num_txns = 300 } in
+  Array.iter
+    (List.iter
+       (List.iter (fun op ->
+            let k =
+              match op with
+              | Spec.Pread k | Spec.Pwrite k | Spec.Pappend k -> k
+            in
+            checkb "in range" true (k >= 0 && k < 5))))
+    spec.Spec.sessions
+
+let test_mt_gen_deterministic () =
+  let a = Mt_gen.generate Mt_gen.default in
+  let b = Mt_gen.generate Mt_gen.default in
+  checkb "same spec" true (a.Spec.sessions = b.Spec.sessions)
+
+let test_mt_gen_single_key_space () =
+  (* Two-key shapes must degrade gracefully with one key. *)
+  let spec = Mt_gen.generate { Mt_gen.default with num_keys = 1; num_txns = 200 } in
+  Array.iter
+    (List.iter (fun txn -> checkb "still mini" true (Spec.is_mini_op_list txn)))
+    spec.Spec.sessions
+
+let test_mt_gen_ops_bounded () =
+  let spec = Mt_gen.generate { Mt_gen.default with num_txns = 300 } in
+  Array.iter
+    (List.iter (fun txn ->
+         checkb "at most 4 ops" true (List.length txn <= 4)))
+    spec.Spec.sessions
+
+let test_gt_gen_flavours () =
+  let spec =
+    Gt_gen.generate { Gt_gen.default with num_txns = 2000; ops_per_txn = 10 }
+  in
+  let ro = ref 0 and wo = ref 0 and rmw = ref 0 in
+  Array.iter
+    (List.iter (fun txn ->
+         let reads =
+           List.length (List.filter (function Spec.Pread _ -> true | _ -> false) txn)
+         in
+         let writes = List.length txn - reads in
+         if writes = 0 then incr ro
+         else if reads = 0 then incr wo
+         else incr rmw))
+    spec.Spec.sessions;
+  checkb "~20% read-only" true (!ro > 300 && !ro < 500);
+  checkb "~40% write-only" true (!wo > 650 && !wo < 950);
+  checkb "~40% rmw" true (!rmw > 650 && !rmw < 950)
+
+let test_gt_gen_op_count () =
+  let spec =
+    Gt_gen.generate { Gt_gen.default with num_txns = 100; ops_per_txn = 8 }
+  in
+  Array.iter
+    (List.iter (fun txn -> checki "8 ops" 8 (List.length txn)))
+    spec.Spec.sessions
+
+let test_gt_gen_rmw_pairs () =
+  let spec =
+    Gt_gen.generate { Gt_gen.default with num_txns = 500; ops_per_txn = 6; seed = 2 }
+  in
+  (* RMW transactions write only keys they previously read. *)
+  Array.iter
+    (List.iter (fun txn ->
+         let reads = List.filter_map (function Spec.Pread k -> Some k | _ -> None) txn in
+         let writes = List.filter_map (function Spec.Pwrite k -> Some k | _ -> None) txn in
+         if reads <> [] && writes <> [] then
+           List.iter
+             (fun k -> checkb "write follows read" true (List.mem k reads))
+             writes))
+    spec.Spec.sessions
+
+let test_append_gen_modes () =
+  let ap = Append_gen.generate { Append_gen.default with num_txns = 200 } in
+  let has_append =
+    Array.exists
+      (List.exists (List.exists (function Spec.Pappend _ -> true | _ -> false)))
+      ap.Spec.sessions
+  in
+  checkb "append mode has appends" true has_append;
+  let wr =
+    Append_gen.generate { Append_gen.default with num_txns = 200; registers = true }
+  in
+  let has_append_wr =
+    Array.exists
+      (List.exists (List.exists (function Spec.Pappend _ -> true | _ -> false)))
+      wr.Spec.sessions
+  in
+  checkb "register mode has none" false has_append_wr
+
+let test_append_gen_len_bounded () =
+  let spec =
+    Append_gen.generate { Append_gen.default with num_txns = 300; max_txn_len = 7 }
+  in
+  Array.iter
+    (List.iter (fun txn ->
+         let l = List.length txn in
+         checkb "1..7 ops" true (l >= 1 && l <= 7)))
+    spec.Spec.sessions
+
+let suite =
+  [
+    ("spec counts", `Quick, test_spec_counts);
+    ("spec mini predicate", `Quick, test_spec_mini_predicate);
+    ("mt_gen: every txn is mini (all distributions)", `Quick, test_mt_gen_all_mini);
+    ("mt_gen: exact txn count", `Quick, test_mt_gen_txn_count);
+    ("mt_gen: even spread", `Quick, test_mt_gen_even_spread);
+    ("mt_gen: keys in range", `Quick, test_mt_gen_keys_in_range);
+    ("mt_gen: deterministic", `Quick, test_mt_gen_deterministic);
+    ("mt_gen: one-key space", `Quick, test_mt_gen_single_key_space);
+    ("mt_gen: at most 4 ops", `Quick, test_mt_gen_ops_bounded);
+    ("gt_gen: 20/40/40 flavour mix", `Quick, test_gt_gen_flavours);
+    ("gt_gen: ops per txn", `Quick, test_gt_gen_op_count);
+    ("gt_gen: rmw writes follow reads", `Quick, test_gt_gen_rmw_pairs);
+    ("append_gen: modes", `Quick, test_append_gen_modes);
+    ("append_gen: length bounded", `Quick, test_append_gen_len_bounded);
+  ]
