@@ -18,7 +18,7 @@ let run () =
     "(1) SSER real-time encoding: naive pairwise vs helper-chain sweep";
   Bench_util.print_table
     ~header:[ "#txns"; "naive RT (ms)"; "sweep RT (ms)"; "speedup" ]
-    (List.map
+    (Bench_util.par_map
        (fun txns ->
          let r =
            Bench_util.mt_history ~level:Isolation.Strict_serializable
@@ -35,14 +35,16 @@ let run () =
          in
          [ string_of_int txns; Bench_util.ms naive; Bench_util.ms sweep;
            Printf.sprintf "%.0fx" (naive /. sweep) ])
-       [ 500; 1000; 2000; 4000 ]);
+       (Bench_util.sweep (List.map Bench_util.scale [ 500; 1000; 2000; 4000 ])));
 
   Bench_util.subsection
     "(2) CHECKSI divergence screen vs full composed-graph check (divergent history)";
   (* A lost-update-prone engine: the screen finds the violation without
      building the composed graph. *)
   let r =
-    let spec = Targeted.contended ~keys:40 ~txns:4000 ~seed:602 () in
+    let spec =
+      Targeted.contended ~keys:40 ~txns:(Bench_util.scale 4000) ~seed:602 ()
+    in
     let db =
       { Db.level = Isolation.Snapshot; fault = Fault.Lost_update 0.05;
         num_keys = 40; seed = 602 }
@@ -64,7 +66,9 @@ let run () =
     ];
 
   Bench_util.subsection "(3) Cobra constraint pruning on vs off (MT history)";
-  let r = Bench_util.mt_history ~keys:300 ~txns:2000 ~seed:603 () in
+  let r =
+    Bench_util.mt_history ~keys:300 ~txns:(Bench_util.scale 2000) ~seed:603 ()
+  in
   let h = r.Scheduler.history in
   (match Polygraph.build h with
   | Error _ -> print_endline "  (history rejected by the G1 screen)"

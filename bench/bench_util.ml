@@ -1,13 +1,59 @@
 (* Shared helpers for the benchmark harness: history generation through
-   the engine, timing, and paper-style table printing. *)
+   the engine, timing, paper-style table printing, parallel sweeps, and
+   machine-readable (JSON) result capture. *)
+
+(* --- global harness switches (set by main.ml from the command line) --- *)
+
+(* Worker pool for parallel config sweeps (main.exe -- -j N). *)
+let pool : Pool.t option ref = ref None
+
+(* Smoke mode (main.exe -- --smoke): one tiny config per experiment, so
+   `dune build @bench-smoke` can gate PRs in seconds. *)
+let smoke = ref false
+
+let jobs () = match !pool with Some p -> Pool.size p | None -> 1
+
+(* Map over a sweep's config points, concurrently when a pool is set.
+   Rows are pure (printing happens after the map), so this is safe for
+   every sweep built as [print_table (par_map row configs)]. *)
+let par_map f xs =
+  match !pool with
+  | Some p when Pool.size p > 1 -> Pool.map_list p f xs
+  | _ -> List.map f xs
+
+(* Sweep shrinkers for --smoke: keep the first config point only, and
+   scale raw transaction counts down. *)
+let sweep l = if !smoke then [ List.hd l ] else l
+let scale n = if !smoke then Stdlib.max 50 (n / 20) else n
+
+(* --- table printing + capture --- *)
+
+type recorded_table = {
+  rt_section : string;
+  rt_header : string list;
+  rt_rows : string list list;
+}
+
+let recorded : recorded_table list ref = ref []
+let current_section = ref ""
+
+let begin_experiment () =
+  recorded := [];
+  current_section := ""
 
 let section title =
+  current_section := "";
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
-let subsection title = Printf.printf "\n--- %s ---\n" title
+let subsection title =
+  current_section := title;
+  Printf.printf "\n--- %s ---\n" title
 
 (* Aligned table printing. *)
 let print_table ~header rows =
+  recorded :=
+    { rt_section = !current_section; rt_header = header; rt_rows = rows }
+    :: !recorded;
   let all = header :: rows in
   let cols = List.length header in
   let width c =
@@ -23,6 +69,56 @@ let print_table ~header rows =
   print_row header;
   print_row (List.map (fun w -> String.make w '-') widths);
   List.iter print_row rows
+
+(* One JSON object per experiment (JSONL): every table the experiment
+   printed, cells as strings, so future PRs can diff BENCH_*.json instead
+   of scraping stdout. *)
+let experiment_json ~name ~elapsed_s =
+  let buf = Buffer.create 1024 in
+  let str s =
+    Buffer.add_char buf '"';
+    String.iter
+      (fun ch ->
+        match ch with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"'
+  in
+  let list f l =
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char buf ',';
+        f x)
+      l;
+    Buffer.add_char buf ']'
+  in
+  Buffer.add_string buf "{\"experiment\":";
+  str name;
+  Buffer.add_string buf (Printf.sprintf ",\"elapsed_s\":%.6f" elapsed_s);
+  Buffer.add_string buf (Printf.sprintf ",\"jobs\":%d" (jobs ()));
+  Buffer.add_string buf (Printf.sprintf ",\"smoke\":%b" !smoke);
+  Buffer.add_string buf ",\"tables\":";
+  list
+    (fun t ->
+      Buffer.add_string buf "{\"section\":";
+      str t.rt_section;
+      Buffer.add_string buf ",\"header\":";
+      list str t.rt_header;
+      Buffer.add_string buf ",\"rows\":";
+      list (list str) t.rt_rows;
+      Buffer.add_char buf '}')
+    (List.rev !recorded);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+(* --- formatting helpers --- *)
 
 let ms t = Printf.sprintf "%.2f" (1000.0 *. t)
 let mb bytes = Printf.sprintf "%.1f" (bytes /. 1_048_576.0)

@@ -53,32 +53,35 @@ let run () =
 
   Bench_util.subsection "(a)+(d) #txns sweep (100 keys, 10 sessions, GT: 8 ops/txn)";
   Bench_util.print_table ~header
-    (List.concat_map
-       (fun txns ->
-         let label = Printf.sprintf "%d txns" txns in
-         [
-           mtc_row label ~keys:100 ~txns ~sessions:10 ~seed:401;
-           cobra_row label ~keys:100 ~txns ~sessions:10 ~ops:8 ~seed:401;
-         ])
-       [ 250; 500; 1000; 2000 ]);
+    (List.concat
+       (Bench_util.par_map
+          (fun txns ->
+            let label = Printf.sprintf "%d txns" txns in
+            [
+              mtc_row label ~keys:100 ~txns ~sessions:10 ~seed:401;
+              cobra_row label ~keys:100 ~txns ~sessions:10 ~ops:8 ~seed:401;
+            ])
+          (Bench_util.sweep (List.map Bench_util.scale [ 250; 500; 1000; 2000 ]))));
 
+  let txns1k = Bench_util.scale 1000 in
   Bench_util.subsection "(b)+(e) #ops/txn sweep for GT (100 keys, 1000 txns; MT fixed at <=4)";
   Bench_util.print_table ~header
-    (mtc_row "(<=4 ops)" ~keys:100 ~txns:1000 ~sessions:10 ~seed:402
-    :: List.map
+    (mtc_row "(<=4 ops)" ~keys:100 ~txns:txns1k ~sessions:10 ~seed:402
+    :: Bench_util.par_map
          (fun ops ->
            cobra_row
              (Printf.sprintf "%d ops/txn" ops)
-             ~keys:100 ~txns:1000 ~sessions:10 ~ops ~seed:402)
-         [ 4; 8; 16 ]);
+             ~keys:100 ~txns:txns1k ~sessions:10 ~ops ~seed:402)
+         (Bench_util.sweep [ 4; 8; 16 ]));
 
   Bench_util.subsection "(c)+(f) #objects sweep (1000 txns, 10 sessions, GT: 8 ops/txn)";
   Bench_util.print_table ~header
-    (List.concat_map
-       (fun keys ->
-         let label = Printf.sprintf "%d objects" keys in
-         [
-           mtc_row label ~keys ~txns:1000 ~sessions:10 ~seed:403;
-           cobra_row label ~keys ~txns:1000 ~sessions:10 ~ops:8 ~seed:403;
-         ])
-       [ 400; 200; 100; 50 ])
+    (List.concat
+       (Bench_util.par_map
+          (fun keys ->
+            let label = Printf.sprintf "%d objects" keys in
+            [
+              mtc_row label ~keys ~txns:txns1k ~sessions:10 ~seed:403;
+              cobra_row label ~keys ~txns:txns1k ~sessions:10 ~ops:8 ~seed:403;
+            ])
+          (Bench_util.sweep [ 400; 200; 100; 50 ])))

@@ -17,17 +17,18 @@ let header = [ "config"; "MT abort %"; "GT abort %" ]
 let run () =
   Bench_util.section "Figure 11: abort rates, GT vs MT workloads";
 
+  let txns = Bench_util.scale 1500 in
   List.iter
     (fun (level, lname) ->
       Bench_util.subsection
         (Printf.sprintf "(a) #sessions at %s (1500 txns, 60 keys)" lname);
       Bench_util.print_table ~header
-        (List.map
+        (Bench_util.par_map
            (fun sessions ->
-             let mt, gt = rates ~level ~sessions ~keys:60 ~txns:1500 ~seed:501 in
+             let mt, gt = rates ~level ~sessions ~keys:60 ~txns ~seed:501 in
              [ Printf.sprintf "%d sessions" sessions;
                Bench_util.pct mt; Bench_util.pct gt ])
-           [ 2; 4; 8; 16; 32 ]);
+           (Bench_util.sweep [ 2; 4; 8; 16; 32 ]));
 
       Bench_util.subsection
         (Printf.sprintf
@@ -35,9 +36,9 @@ let run () =
            lname);
       Bench_util.print_table
         ~header:[ "txns/object"; "MT abort %"; "GT abort %" ]
-        (List.map
+        (Bench_util.par_map
            (fun keys ->
-             let mt, gt = rates ~level ~sessions:10 ~keys ~txns:1500 ~seed:502 in
-             [ string_of_int (1500 / keys); Bench_util.pct mt; Bench_util.pct gt ])
-           [ 300; 150; 75; 30; 15 ]))
+             let mt, gt = rates ~level ~sessions:10 ~keys ~txns ~seed:502 in
+             [ string_of_int (txns / keys); Bench_util.pct mt; Bench_util.pct gt ])
+           (Bench_util.sweep [ 300; 150; 75; 30; 15 ])))
     [ (Isolation.Serializable, "SER"); (Isolation.Snapshot, "SI") ]

@@ -12,8 +12,8 @@
 
 type outcome = { detected : int; trials : int; gen_s : float; verify_s : float }
 
-let trials_per_config = 10
-let txns_per_trial = 400
+let trials_per_config () = if !Bench_util.smoke then 2 else 10
+let txns_per_trial () = if !Bench_util.smoke then 100 else 400
 
 let run_trial ~db ~spec ~check ~seed =
   let db = { db with Db.seed = db.Db.seed + (1000 * seed) } in
@@ -25,8 +25,9 @@ let run_trial ~db ~spec ~check ~seed =
   (found, gen_s, verify_s)
 
 let run_config ~db ~make_spec ~check =
+  let trials = trials_per_config () in
   let detected = ref 0 and gen = ref 0.0 and verify = ref 0.0 in
-  for seed = 1 to trials_per_config do
+  for seed = 1 to trials do
     let found, g, v = run_trial ~db ~spec:(make_spec ~seed) ~check ~seed in
     if found then incr detected;
     gen := !gen +. g;
@@ -34,25 +35,25 @@ let run_config ~db ~make_spec ~check =
   done;
   {
     detected = !detected;
-    trials = trials_per_config;
-    gen_s = !gen /. float_of_int trials_per_config;
-    verify_s = !verify /. float_of_int trials_per_config;
+    trials;
+    gen_s = !gen /. float_of_int trials;
+    verify_s = !verify /. float_of_int trials;
   }
 
 let mini_spec ~seed =
   Mt_gen.generate
-    { Mt_gen.num_sessions = 10; num_txns = txns_per_trial; num_keys = 10;
+    { Mt_gen.num_sessions = 10; num_txns = txns_per_trial (); num_keys = 10;
       dist = Distribution.Exponential 1.0; seed }
 
 let append_spec ~len ~seed =
   Append_gen.generate
-    { Append_gen.num_sessions = 10; num_txns = txns_per_trial; num_keys = 10;
+    { Append_gen.num_sessions = 10; num_txns = txns_per_trial (); num_keys = 10;
       max_txn_len = len; registers = false;
       dist = Distribution.Exponential 1.0; seed }
 
 let wr_spec ~len ~seed =
   Append_gen.generate
-    { Append_gen.num_sessions = 10; num_txns = txns_per_trial; num_keys = 10;
+    { Append_gen.num_sessions = 10; num_txns = txns_per_trial (); num_keys = 10;
       max_txn_len = len; registers = true;
       dist = Distribution.Exponential 1.0; seed }
 
@@ -67,12 +68,12 @@ let check_elle_append level (r : Scheduler.result) =
 let check_elle_wr level (r : Scheduler.result) =
   not (Elle.check_registers ~level r.Scheduler.history).Elle.ok
 
-let lens = [ 2; 4; 8; 16 ]
+let lens () = Bench_util.sweep [ 2; 4; 8; 16 ]
 
 let run_engine ~engine_name ~db ~level =
   Bench_util.subsection
     (Printf.sprintf "%s: detections out of %d trials (%d committed txns each)"
-       engine_name trials_per_config txns_per_trial);
+       engine_name (trials_per_config ()) (txns_per_trial ()));
   let configs =
     ("mini (MTC, len<=4)", (fun ~seed -> mini_spec ~seed), check_mtc level)
     :: List.map
@@ -80,16 +81,18 @@ let run_engine ~engine_name ~db ~level =
            ( Printf.sprintf "append len<=%d (Elle)" len,
              (fun ~seed -> append_spec ~len ~seed),
              check_elle_append level ))
-         lens
+         (lens ())
     @ List.map
         (fun len ->
           ( Printf.sprintf "wr len<=%d (Elle)" len,
             (fun ~seed -> wr_spec ~len ~seed),
             check_elle_wr level ))
-        lens
+        (lens ())
   in
+  (* Each config is an independent (seeded) batch of trials: fan the
+     configs out over the bench pool. *)
   let results =
-    List.map
+    Bench_util.par_map
       (fun (name, make_spec, check) ->
         (name, run_config ~db ~make_spec ~check))
       configs

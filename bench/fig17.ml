@@ -51,11 +51,12 @@ let run () =
     "Figure 17: end-to-end SI checking, MTC-SI (MT) vs PolySI (GT)";
   Bench_util.subsection "#txns sweep (100 keys, 10 sessions, GT: 8 ops/txn)";
   Bench_util.print_table ~header
-    (List.concat_map
-       (fun txns ->
-         let label = Printf.sprintf "%d txns" txns in
-         [
-           mtc_row label ~keys:100 ~txns ~seed:171;
-           polysi_row label ~keys:100 ~txns ~seed:171;
-         ])
-       [ 250; 500; 1000 ])
+    (List.concat
+       (Bench_util.par_map
+          (fun txns ->
+            let label = Printf.sprintf "%d txns" txns in
+            [
+              mtc_row label ~keys:100 ~txns ~seed:171;
+              polysi_row label ~keys:100 ~txns ~seed:171;
+            ])
+          (Bench_util.sweep (List.map Bench_util.scale [ 250; 500; 1000 ]))))

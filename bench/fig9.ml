@@ -26,24 +26,25 @@ let run () =
   Bench_util.section
     "Figure 9: SSER verification on LWT histories, MTC-SSER vs Porcupine";
 
+  let per_session = Bench_util.scale 400 in
   Bench_util.subsection "(a) % concurrent sessions (24 sessions x 400 txns, 4 keys)";
   Bench_util.print_table ~header
-    (List.map
+    (Bench_util.par_map
        (fun pct ->
          row
            (Printf.sprintf "%d%% concurrent" (int_of_float (100.0 *. pct)))
-           { Lwt_gen.num_sessions = 24; txns_per_session = 400; num_keys = 4;
-             concurrent_pct = pct; read_pct = 0.3; seed = 301;
+           { Lwt_gen.num_sessions = 24; txns_per_session = per_session;
+             num_keys = 4; concurrent_pct = pct; read_pct = 0.3; seed = 301;
              inject = Lwt_gen.No_injection })
-       [ 0.0; 0.25; 0.5; 0.75; 1.0 ]);
+       (Bench_util.sweep [ 0.0; 0.25; 0.5; 0.75; 1.0 ]));
 
   Bench_util.subsection "(b) #txns (24 sessions, 4 keys, 50% concurrent)";
   Bench_util.print_table ~header
-    (List.map
+    (Bench_util.par_map
        (fun per_session ->
          row
            (Printf.sprintf "%d txns" (24 * per_session))
            { Lwt_gen.num_sessions = 24; txns_per_session = per_session;
              num_keys = 4; concurrent_pct = 0.5; read_pct = 0.3; seed = 302;
              inject = Lwt_gen.No_injection })
-       [ 100; 200; 400; 800 ])
+       (Bench_util.sweep (List.map Bench_util.scale [ 100; 200; 400; 800 ])))

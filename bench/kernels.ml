@@ -1,33 +1,134 @@
 (* Bechamel micro-benchmarks of the verification kernels on a fixed
    2000-transaction history: the per-call cost of each checker, measured
-   with OLS over monotonic-clock samples. *)
+   with OLS over monotonic-clock samples.  Also isolates the cycle kernel
+   (list-based DFS vs frozen-CSR DFS) and the pool dispatch overhead. *)
 
 open Bechamel
 open Toolkit
 
+(* The seed's list-based three-colour DFS, kept verbatim as the baseline
+   for the cycle/{list,csr} comparison (Cycle.find now routes through a
+   CSR snapshot). *)
+let list_dfs_find (type lab) (g : lab Digraph.t) =
+  let n = Digraph.n g in
+  let colour = Array.make n 0 (* 0 white, 1 grey, 2 black *) in
+  let parent = Array.make n (-1) in
+  let parent_lab : lab option array = Array.make n None in
+  let exception Found of (int * lab * int) list in
+  let build_cycle u lab v =
+    let rec walk acc w =
+      if w = v then acc
+      else
+        match parent_lab.(w) with
+        | Some l -> walk ((parent.(w), l, w) :: acc) parent.(w)
+        | None -> acc
+    in
+    walk [ (u, lab, v) ] u
+  in
+  let visit root =
+    let stack = ref [ (root, ref (Digraph.succ g root)) ] in
+    colour.(root) <- 1;
+    while !stack <> [] do
+      match !stack with
+      | [] -> ()
+      | (u, rest) :: tail -> (
+          match !rest with
+          | [] ->
+              colour.(u) <- 2;
+              stack := tail
+          | (v, lab) :: more -> (
+              rest := more;
+              match colour.(v) with
+              | 2 -> ()
+              | 1 -> raise (Found (build_cycle u lab v))
+              | _ ->
+                  colour.(v) <- 1;
+                  parent.(v) <- u;
+                  parent_lab.(v) <- Some lab;
+                  stack := (v, ref (Digraph.succ g v)) :: !stack))
+    done
+  in
+  try
+    for u = 0 to n - 1 do
+      if colour.(u) = 0 then visit u
+    done;
+    None
+  with Found cycle -> Some cycle
+
+(* A small CPU-bound task for measuring pool dispatch cost relative to
+   useful work. *)
+let spin_task seed =
+  let x = ref seed in
+  for _ = 1 to 20_000 do
+    x := (!x * 1103515245) + 12345
+  done;
+  !x
+
 let make_tests () =
+  let txns = Bench_util.scale 2000 in
+  let keys = Stdlib.max 15 (Bench_util.scale 300) in
   let r =
-    Bench_util.mt_history ~level:Isolation.Serializable ~keys:300 ~txns:2000
-      ~seed:901 ()
+    Bench_util.mt_history ~level:Isolation.Serializable ~keys ~txns ~seed:901 ()
   in
   let h = r.Scheduler.history in
   let lwt_h =
     Lwt_gen.generate
-      { Lwt_gen.num_sessions = 16; txns_per_session = 125; num_keys = 4;
-        concurrent_pct = 0.5; read_pct = 0.2; seed = 902;
+      { Lwt_gen.num_sessions = 16;
+        txns_per_session = Bench_util.scale 2000 / 16;
+        num_keys = 4; concurrent_pct = 0.5; read_pct = 0.2; seed = 902;
         inject = Lwt_gen.No_injection }
   in
+  let deps =
+    let idx = Index.build h in
+    match Deps.build ~rt:Deps.No_rt idx with
+    | Ok d -> d
+    | Error _ -> failwith "kernels: unexpected unresolved read"
+  in
+  let frozen = Deps.freeze deps in
   Test.make_grouped ~name:"kernels" ~fmt:"%s/%s"
-    [
-      Test.make ~name:"mtc-ser" (Staged.stage (fun () -> Checker.check_ser h));
-      Test.make ~name:"mtc-si" (Staged.stage (fun () -> Checker.check_si h));
-      Test.make ~name:"mtc-sser"
-        (Staged.stage (fun () -> Checker.check_sser h));
-      Test.make ~name:"vl-lwt" (Staged.stage (fun () -> Lwt_checker.check lwt_h));
-      Test.make ~name:"cobra" (Staged.stage (fun () -> Cobra.check h));
-      Test.make ~name:"polysi" (Staged.stage (fun () -> Polysi.check h));
-      Test.make ~name:"dbcop" (Staged.stage (fun () -> Dbcop.check h));
-    ]
+    ([
+       Test.make ~name:"mtc-ser" (Staged.stage (fun () -> Checker.check_ser h));
+       Test.make ~name:"mtc-si" (Staged.stage (fun () -> Checker.check_si h));
+       Test.make ~name:"mtc-sser"
+         (Staged.stage (fun () -> Checker.check_sser h));
+       Test.make ~name:"vl-lwt"
+         (Staged.stage (fun () -> Lwt_checker.check lwt_h));
+       Test.make ~name:"cobra" (Staged.stage (fun () -> Cobra.check h));
+       Test.make ~name:"polysi" (Staged.stage (fun () -> Polysi.check h));
+     ]
+    @ (if !Bench_util.smoke then
+         [] (* dbcop's search dominates even tiny histories; full runs only *)
+       else [ Test.make ~name:"dbcop" (Staged.stage (fun () -> Dbcop.check h)) ])
+    @ [
+       (* Cycle kernel in isolation, on the dependency graph of [h]:
+          the seed's list DFS, the flat CSR DFS on a pre-frozen graph,
+          and freeze + DFS (what a cold Checker call pays). *)
+       Test.make ~name:"cycle-list"
+         (Staged.stage (fun () -> list_dfs_find deps.Deps.graph));
+       Test.make ~name:"cycle-csr"
+         (Staged.stage (fun () -> Cycle.find_csr frozen));
+       Test.make ~name:"cycle-freeze-csr"
+         (Staged.stage (fun () ->
+              Cycle.find_csr (Csr.of_digraph deps.Deps.graph)));
+     ])
+
+(* Pool dispatch overhead, measured separately: each pool exists only
+   around its own timing run, because idle domains make every minor GC a
+   multi-domain stop-the-world and would skew the single-domain kernels
+   above. *)
+let pool_rows () =
+  let inputs = Array.init 64 (fun i -> i) in
+  List.map
+    (fun size ->
+      Pool.with_pool ~size (fun p ->
+          ignore (Pool.map p spin_task inputs) (* warm-up *);
+          let t =
+            Bench_util.time_median ~repeat:9 (fun () ->
+                ignore (Pool.map p spin_task inputs))
+          in
+          [ Printf.sprintf "pool-map-j%d" size;
+            Printf.sprintf "%.3f" (1000.0 *. t) ]))
+    (if !Bench_util.smoke then [ 1 ] else [ 1; 2; 4 ])
 
 let run () =
   Bench_util.section
@@ -37,8 +138,9 @@ let run () =
   in
   let instances = [ Instance.monotonic_clock ] in
   let cfg =
-    Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~kde:None
-      ~stabilize:false ()
+    let limit = if !Bench_util.smoke then 20 else 200 in
+    let quota = Time.second (if !Bench_util.smoke then 0.1 else 1.0) in
+    Benchmark.cfg ~limit ~quota ~kde:None ~stabilize:false ()
   in
   let raw = Benchmark.all cfg instances (make_tests ()) in
   let results = Analyze.all ols Instance.monotonic_clock raw in
@@ -56,4 +158,7 @@ let run () =
   Bench_util.print_table ~header:[ "kernel"; "time per run (ms)" ]
     (List.map
        (fun (name, ns) -> [ name; Printf.sprintf "%.3f" (ns /. 1e6) ])
-       rows)
+       rows);
+  Bench_util.subsection
+    "pool dispatch (Pool.map of 64 spin tasks, median of 9)";
+  Bench_util.print_table ~header:[ "pool"; "time per map (ms)" ] (pool_rows ())

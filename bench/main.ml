@@ -1,9 +1,12 @@
 (* The benchmark harness: one section per table/figure of the paper's
    evaluation (see DESIGN.md's per-experiment index).
 
-     dune exec bench/main.exe                 # everything
-     dune exec bench/main.exe -- --only fig7  # one experiment
-     dune exec bench/main.exe -- --list       # list experiment names *)
+     dune exec bench/main.exe                   # everything
+     dune exec bench/main.exe -- --only fig7    # one experiment
+     dune exec bench/main.exe -- --list         # list experiment names
+     dune exec bench/main.exe -- -j 8           # parallel config sweeps
+     dune exec bench/main.exe -- --json out.jsonl   # machine-readable copy
+     dune exec bench/main.exe -- --smoke        # tiny config per experiment *)
 
 let experiments =
   [
@@ -23,25 +26,87 @@ let experiments =
      Kernels.run);
   ]
 
+let usage () =
+  Printf.eprintf
+    "usage: main.exe [--list] [--only <experiment>] [-j N] [--json FILE] \
+     [--smoke]\n";
+  exit 1
+
+type opts = {
+  mutable only : string option;
+  mutable jobs : int;
+  mutable json : string option;
+  mutable list_only : bool;
+}
+
+let parse_args args =
+  let o = { only = None; jobs = 1; json = None; list_only = false } in
+  let rec go = function
+    | [] -> o
+    | "--list" :: rest ->
+        o.list_only <- true;
+        go rest
+    | "--only" :: name :: rest ->
+        o.only <- Some name;
+        go rest
+    | ("-j" | "--jobs") :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n >= 0 ->
+            o.jobs <- (if n = 0 then Pool.default_size () else n);
+            go rest
+        | _ -> usage ())
+    | "--json" :: file :: rest ->
+        o.json <- Some file;
+        go rest
+    | "--smoke" :: rest ->
+        Bench_util.smoke := true;
+        go rest
+    | _ -> usage ()
+  in
+  go args
+
+let run_one ~json_oc (name, _, run) =
+  Bench_util.begin_experiment ();
+  let (), elapsed = Stats.time_it run in
+  match json_oc with
+  | None -> ()
+  | Some oc ->
+      output_string oc (Bench_util.experiment_json ~name ~elapsed_s:elapsed);
+      flush oc
+
 let () =
-  let args = Array.to_list Sys.argv |> List.tl in
-  match args with
-  | [ "--list" ] ->
-      List.iter
-        (fun (name, descr, _) -> Printf.printf "%-8s %s\n" name descr)
-        experiments
-  | [ "--only"; name ] -> (
-      match List.find_opt (fun (n, _, _) -> n = name) experiments with
-      | Some (_, _, run) -> run ()
+  let o = parse_args (List.tl (Array.to_list Sys.argv)) in
+  if o.list_only then
+    List.iter
+      (fun (name, descr, _) -> Printf.printf "%-8s %s\n" name descr)
+      experiments
+  else begin
+    if o.jobs > 1 then Bench_util.pool := Some (Pool.create ~size:o.jobs ());
+    let json_oc =
+      Option.map
+        (fun file ->
+          try open_out file
+          with Sys_error msg ->
+            Printf.eprintf "cannot open --json file: %s\n" msg;
+            exit 1)
+        o.json
+    in
+    let selected =
+      match o.only with
+      | Some name -> (
+          match List.find_opt (fun (n, _, _) -> n = name) experiments with
+          | Some e -> [ e ]
+          | None ->
+              Printf.eprintf "unknown experiment %S; try --list\n" name;
+              exit 1)
       | None ->
-          Printf.eprintf "unknown experiment %S; try --list\n" name;
-          exit 1)
-  | [] ->
-      Printf.printf
-        "MTC benchmark harness — reproducing the paper's evaluation.\n\
-         Shapes (who wins, trends), not absolute numbers, are the target;\n\
-         see EXPERIMENTS.md for the paper-vs-measured comparison.\n";
-      List.iter (fun (_, _, run) -> run ()) experiments
-  | _ ->
-      Printf.eprintf "usage: main.exe [--list | --only <experiment>]\n";
-      exit 1
+          Printf.printf
+            "MTC benchmark harness — reproducing the paper's evaluation.\n\
+             Shapes (who wins, trends), not absolute numbers, are the target;\n\
+             see EXPERIMENTS.md for the paper-vs-measured comparison.\n";
+          experiments
+    in
+    List.iter (run_one ~json_oc) selected;
+    Option.iter close_out json_oc;
+    Option.iter Pool.shutdown !Bench_util.pool
+  end

@@ -29,7 +29,7 @@ let bugs =
       b_database = "MariaDB-Galera-10.7.3 (sim)";
       b_db_level = Isolation.Snapshot;
       b_fault = Fault.Lost_update 0.05;
-      b_spec = (fun ~seed -> contended_spec ~keys:20 ~txns:800 ~seed);
+      b_spec = (fun ~seed -> contended_spec ~keys:20 ~txns:(Bench_util.scale 800) ~seed);
     };
     {
       b_level = Checker.SI;
@@ -37,7 +37,7 @@ let bugs =
       b_database = "MongoDB-4.2.6 (sim)";
       b_db_level = Isolation.Snapshot;
       b_fault = Fault.Aborted_read 0.1;
-      b_spec = (fun ~seed -> contended_spec ~keys:15 ~txns:800 ~seed);
+      b_spec = (fun ~seed -> contended_spec ~keys:15 ~txns:(Bench_util.scale 800) ~seed);
     };
     {
       b_level = Checker.SI;
@@ -45,7 +45,7 @@ let bugs =
       b_database = "Dgraph-1.1.1 (sim)";
       b_db_level = Isolation.Snapshot;
       b_fault = Fault.Causality_violation 0.05;
-      b_spec = (fun ~seed -> observer_spec ~keys:8 ~txns:1200 ~seed);
+      b_spec = (fun ~seed -> observer_spec ~keys:8 ~txns:(Bench_util.scale 1200) ~seed);
     };
     {
       b_level = Checker.SER;
@@ -53,7 +53,7 @@ let bugs =
       b_database = "PostgreSQL-12.3 (sim)";
       b_db_level = Isolation.Serializable;
       b_fault = Fault.Write_skew 0.3;
-      b_spec = (fun ~seed -> write_skew_spec ~keys:8 ~txns:1000 ~seed);
+      b_spec = (fun ~seed -> write_skew_spec ~keys:8 ~txns:(Bench_util.scale 1000) ~seed);
     };
     {
       b_level = Checker.SER;
@@ -61,7 +61,7 @@ let bugs =
       b_database = "PostgreSQL-11.8 (sim)";
       b_db_level = Isolation.Serializable;
       b_fault = Fault.Long_fork 0.2;
-      b_spec = (fun ~seed -> observer_spec ~keys:8 ~txns:1200 ~seed);
+      b_spec = (fun ~seed -> observer_spec ~keys:8 ~txns:(Bench_util.scale 1200) ~seed);
     };
   ]
 
@@ -73,13 +73,18 @@ let hunt_bug b =
     s
   in
   let db = { db with Db.num_keys = (make_spec ~seed:1).Spec.num_keys } in
-  Endtoend.hunt ~db ~make_spec ~level:b.b_level ~max_trials:20 ()
+  let max_trials = if !Bench_util.smoke then 4 else 20 in
+  (* The hunt itself fans trials out over the bench parallelism degree;
+     verdict and CE position are jobs-invariant. *)
+  Endtoend.hunt ~jobs:(Bench_util.jobs ()) ~db ~make_spec ~level:b.b_level
+    ~max_trials ()
 
 (* The Cassandra LWT bug goes through the synthetic LWT generator and
    VL-LWT (linearizability = SSER for LWTs). *)
 let hunt_cassandra () =
   let params =
-    { Lwt_gen.num_sessions = 10; txns_per_session = 80; num_keys = 4;
+    { Lwt_gen.num_sessions = 10; txns_per_session = Bench_util.scale 80;
+      num_keys = 4;
       concurrent_pct = 0.3; read_pct = 0.1; seed = 11;
       inject = Lwt_gen.Phantom_write }
   in

@@ -111,6 +111,15 @@ let gt_arg =
          ~doc:"Generate general transactions (Cobra-style) instead of \
                mini-transactions.")
 
+let jobs_arg =
+  Arg.(value & opt int 0 & info [ "jobs"; "j" ] ~docv:"N"
+         ~doc:"Parallelism degree: fan independent trials out over $(docv) \
+               domains.  0 (the default) means auto — the MTC_JOBS \
+               environment variable if set, otherwise the recommended \
+               domain count.  Verdicts are identical for every value.")
+
+let resolve_jobs j = if j <= 0 then Pool.default_size () else j
+
 let ops_arg =
   Arg.(value & opt int 10 & info [ "ops" ] ~docv:"OPS"
          ~doc:"Operations per transaction for --gt workloads.")
@@ -220,52 +229,82 @@ let hunt_cmd =
     Arg.(value & opt int 25 & info [ "trials" ] ~docv:"T"
            ~doc:"Maximum number of histories to try.")
   in
-  let run level txns keys sessions dist seed fault fault_p trials =
+  let run level txns keys sessions dist seed fault fault_p trials jobs =
     match parse_fault fault fault_p with
     | Error e ->
         Printf.eprintf "%s\n" e;
         exit 2
-    | Ok fault ->
-        let committed = ref 0 in
-        let rec go trial =
-          if trial > trials then begin
-            Printf.printf "no violation in %d histories (%d committed txns)\n"
-              trials !committed;
-            exit 0
-          end
-          else begin
-            let spec =
+    | Ok fault -> (
+        match level with
+        | Strong l ->
+            (* Strong levels go through Endtoend.hunt, which fans the
+               independent trials out over -j domains. *)
+            let make_spec ~seed:trial =
               make_spec ~gt:false ~txns ~keys ~sessions ~dist ~ops:0
                 ~seed:(seed + trial)
             in
             let db =
-              { Db.level = engine_level level; fault; num_keys = keys;
-                seed = seed + trial }
+              { Db.level = engine_level level; fault; num_keys = keys; seed }
             in
-            let r =
-              Scheduler.run
-                ~params:{ Scheduler.default_params with seed = seed + trial }
-                ~db ~spec ()
+            let h =
+              Endtoend.hunt ~sched_seed:seed ~jobs:(resolve_jobs jobs) ~db
+                ~make_spec ~level:l ~max_trials:trials ()
             in
-            committed := !committed + r.Scheduler.committed;
-            match verify_any level r.Scheduler.history with
-            | Ok () -> go (trial + 1)
-            | Error report ->
+            (match h.Endtoend.violation with
+            | None ->
+                Printf.printf
+                  "no violation in %d histories (%d committed txns)\n"
+                  h.Endtoend.trials h.Endtoend.committed_total;
+                exit 0
+            | Some report ->
                 Printf.printf
                   "violation found after %d histories (%d committed txns):\n"
-                  trial !committed;
+                  h.Endtoend.trials h.Endtoend.committed_total;
                 print_string report;
-                exit 1
-          end
-        in
-        go 1
+                exit 1)
+        | Weak _ ->
+            let committed = ref 0 in
+            let rec go trial =
+              if trial > trials then begin
+                Printf.printf
+                  "no violation in %d histories (%d committed txns)\n" trials
+                  !committed;
+                exit 0
+              end
+              else begin
+                let spec =
+                  make_spec ~gt:false ~txns ~keys ~sessions ~dist ~ops:0
+                    ~seed:(seed + trial)
+                in
+                let db =
+                  { Db.level = engine_level level; fault; num_keys = keys;
+                    seed = seed + trial }
+                in
+                let r =
+                  Scheduler.run
+                    ~params:{ Scheduler.default_params with seed = seed + trial }
+                    ~db ~spec ()
+                in
+                committed := !committed + r.Scheduler.committed;
+                match verify_any level r.Scheduler.history with
+                | Ok () -> go (trial + 1)
+                | Error report ->
+                    Printf.printf
+                      "violation found after %d histories (%d committed txns):\n"
+                      trial !committed;
+                    print_string report;
+                    exit 1
+              end
+            in
+            go 1)
   in
   Cmd.v
     (Cmd.info "hunt"
        ~doc:"Stress the engine with freshly seeded workloads until the \
              checker finds an isolation violation.")
     Term.(const run $ level_arg $ txns_arg $ keys_arg $ sessions_arg
-          $ dist_arg $ seed_arg $ fault_arg $ fault_p_arg $ trials_arg)
+          $ dist_arg $ seed_arg $ fault_arg $ fault_p_arg $ trials_arg
+          $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* mtc graph *)

@@ -1,0 +1,149 @@
+(* Work-stealing-lite: one shared atomic index per job, workers pull the
+   next index until the range is exhausted.  The pool owner participates
+   in every job, so [size - 1] domains serve a parallelism degree of
+   [size] and a size-1 pool costs nothing beyond the record. *)
+
+type job = {
+  run_index : int -> unit;  (* never raises: wraps the user function *)
+  count : int;
+  next : int Atomic.t;
+  completed : int Atomic.t;
+}
+
+type t = {
+  pool_size : int;
+  mutex : Mutex.t;
+  work_ready : Condition.t;  (* new job posted, or shutdown *)
+  work_done : Condition.t;  (* last index of the current job finished *)
+  mutable job : job option;
+  mutable generation : int;  (* bumped per job; workers track the last seen *)
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let default_size () =
+  match Sys.getenv_opt "MTC_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | Some _ | None -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let size t = t.pool_size
+
+(* Pull indices until the job is drained; whoever finishes the last index
+   wakes the submitter.  [run_index] must not raise (map wraps the user
+   function), so a worker can never die with the job half-claimed. *)
+let execute t job =
+  let continue = ref true in
+  while !continue do
+    let i = Atomic.fetch_and_add job.next 1 in
+    if i >= job.count then continue := false
+    else begin
+      job.run_index i;
+      if Atomic.fetch_and_add job.completed 1 + 1 = job.count then begin
+        Mutex.lock t.mutex;
+        Condition.broadcast t.work_done;
+        Mutex.unlock t.mutex
+      end
+    end
+  done
+
+let worker t =
+  let last_gen = ref 0 in
+  let continue = ref true in
+  while !continue do
+    Mutex.lock t.mutex;
+    while (not t.stop) && (t.job = None || t.generation = !last_gen) do
+      Condition.wait t.work_ready t.mutex
+    done;
+    if t.stop then begin
+      Mutex.unlock t.mutex;
+      continue := false
+    end
+    else begin
+      let gen = t.generation in
+      let job = Option.get t.job in
+      Mutex.unlock t.mutex;
+      last_gen := gen;
+      execute t job
+    end
+  done
+
+let create ?size () =
+  let size = match size with Some s -> s | None -> default_size () in
+  if size < 1 then invalid_arg "Pool.create: size must be >= 1";
+  let t =
+    {
+      pool_size = size;
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      work_done = Condition.create ();
+      job = None;
+      generation = 0;
+      stop = false;
+      domains = [];
+    }
+  in
+  t.domains <- List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stop <- true;
+  Condition.broadcast t.work_ready;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.domains;
+  t.domains <- []
+
+let with_pool ?size f =
+  let t = create ?size () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let map (type b) t (f : _ -> b) xs =
+  if t.stop then invalid_arg "Pool.map: pool is shut down";
+  let n = Array.length xs in
+  let results : (b, exn) result option array = Array.make n None in
+  let run_index i =
+    results.(i) <- Some (try Ok (f xs.(i)) with e -> Error e)
+  in
+  if t.pool_size = 1 || n <= 1 then
+    for i = 0 to n - 1 do
+      run_index i
+    done
+  else begin
+    let job =
+      { run_index; count = n; next = Atomic.make 0; completed = Atomic.make 0 }
+    in
+    Mutex.lock t.mutex;
+    if t.stop then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Pool.map: pool is shut down"
+    end;
+    if t.job <> None then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Pool.map: pool already running a job"
+    end;
+    t.job <- Some job;
+    t.generation <- t.generation + 1;
+    Condition.broadcast t.work_ready;
+    Mutex.unlock t.mutex;
+    execute t job;
+    Mutex.lock t.mutex;
+    while Atomic.get job.completed < n do
+      Condition.wait t.work_done t.mutex
+    done;
+    t.job <- None;
+    Mutex.unlock t.mutex
+  end;
+  (* All tasks ran; surface the lowest-indexed failure, if any. *)
+  Array.iter
+    (function Some (Error e) -> raise e | Some (Ok _) | None -> ())
+    results;
+  Array.map
+    (function Some (Ok v) -> v | Some (Error _) | None -> assert false)
+    results
+
+let map_list t f xs = Array.to_list (map t f (Array.of_list xs))
+
+let run t tasks = ignore (map_list t (fun f -> f ()) tasks)

@@ -1,0 +1,50 @@
+(** A fixed-size pool of worker domains for embarrassingly-parallel
+    fan-out (hunt trials, bench sweeps).
+
+    The pool spawns its domains once and reuses them for every job, so
+    the per-job overhead is a couple of condition-variable signals
+    rather than a domain spawn.  Jobs pull indices off a shared atomic
+    counter, so uneven task costs balance automatically.
+
+    Determinism contract: {!map} returns results in input order and, if
+    any task raised, re-raises the exception of the {e lowest-indexed}
+    failing task (after all tasks have run to completion) — so a
+    parallel map is observationally equivalent to its sequential
+    counterpart for any caller that treats tasks as independent. *)
+
+type t
+
+val default_size : unit -> int
+(** Parallelism degree to use when none is given explicitly: the
+    [MTC_JOBS] environment variable if set to a positive integer,
+    otherwise [Domain.recommended_domain_count ()]. *)
+
+val create : ?size:int -> unit -> t
+(** [create ~size ()] spawns [size - 1] worker domains (the submitting
+    thread participates in every job, so [size] tasks run concurrently).
+    [size] defaults to {!default_size}; a pool of size 1 spawns no
+    domains and runs jobs sequentially in the caller.
+
+    @raise Invalid_argument if [size < 1]. *)
+
+val size : t -> int
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map pool f xs] applies [f] to every element of [xs], running up to
+    [size pool] applications concurrently.  Results are in input order.
+    Not reentrant: a pool runs one job at a time ([Invalid_argument] on
+    nested or concurrent submission). *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+
+val run : t -> (unit -> unit) list -> unit
+(** [run pool tasks] executes the thunks concurrently; same ordering and
+    exception contract as {!map}. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains.  Idempotent; using the pool after
+    shutdown raises [Invalid_argument]. *)
+
+val with_pool : ?size:int -> (t -> 'a) -> 'a
+(** [with_pool ~size f] runs [f] with a fresh pool and shuts it down
+    afterwards (also on exception). *)

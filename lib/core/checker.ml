@@ -70,8 +70,10 @@ let check ?(rt_mode = Deps.Rt_sweep) ?(skew = 0) level h =
       match Int_check.check idx with
       | Error v -> Fail (Intra v)
       | Ok () -> (
-          let acyclic_or_fail d g =
-            match Cycle.find g with
+          (* Freeze the dependency graph to CSR before cycle checking:
+             the DFS then runs allocation-free over flat arrays. *)
+          let acyclic_or_fail d =
+            match Cycle.find_csr (Deps.freeze d) with
             | None -> Pass
             | Some cycle -> Fail (Cyclic (Deps.to_txn_cycle d cycle))
           in
@@ -79,11 +81,11 @@ let check ?(rt_mode = Deps.Rt_sweep) ?(skew = 0) level h =
           | SER -> (
               match Deps.build ~rt:Deps.No_rt idx with
               | Error e -> Fail (Malformed (Format.asprintf "%a" Deps.pp_error e))
-              | Ok d -> acyclic_or_fail d d.graph)
+              | Ok d -> acyclic_or_fail d)
           | SSER -> (
               match Deps.build ~skew ~rt:rt_mode idx with
               | Error e -> Fail (Malformed (Format.asprintf "%a" Deps.pp_error e))
-              | Ok d -> acyclic_or_fail d d.graph)
+              | Ok d -> acyclic_or_fail d)
           | SI -> (
               match Divergence.find idx with
               | Some inst -> Fail (Diverged inst)
@@ -92,7 +94,7 @@ let check ?(rt_mode = Deps.Rt_sweep) ?(skew = 0) level h =
                   | Error e ->
                       Fail (Malformed (Format.asprintf "%a" Deps.pp_error e))
                   | Ok d -> (
-                      match Cycle.find (si_compose d) with
+                      match Cycle.find_csr (Csr.of_digraph (si_compose d)) with
                       | None -> Pass
                       | Some cycle ->
                           Fail

@@ -18,7 +18,20 @@ let pp_dep ppf = function
 
 type rt_mode = No_rt | Rt_naive | Rt_sweep
 
-type t = { idx : Index.t; graph : dep Digraph.t; num_txn_vertices : int }
+type t = {
+  idx : Index.t;
+  graph : dep Digraph.t;
+  num_txn_vertices : int;
+  mutable frozen : dep Csr.t option;
+}
+
+let freeze t =
+  match t.frozen with
+  | Some c -> c
+  | None ->
+      let c = Csr.of_digraph t.graph in
+      t.frozen <- Some c;
+      c
 
 type error = Unresolved_read of { txn : Txn.id; key : Op.key; value : Op.value }
 
@@ -130,7 +143,7 @@ let build ?(skew = 0) ~rt (idx : Index.t) =
             done;
             if !best >= 0 then Digraph.add_edge g (m + !best) sv Rt_chain
           done);
-      Ok { idx; graph = g; num_txn_vertices = m }
+      Ok { idx; graph = g; num_txn_vertices = m; frozen = None }
 
 let to_txn_cycle t cycle =
   let is_helper v = v >= t.num_txn_vertices in

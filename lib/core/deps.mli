@@ -32,7 +32,14 @@ type t = {
   idx : Index.t;
   graph : dep Digraph.t;
   num_txn_vertices : int;  (** vertices [>= num_txn_vertices] are helpers *)
+  mutable frozen : dep Csr.t option;
+      (** cached CSR snapshot, filled by {!freeze} *)
 }
+
+val freeze : t -> dep Csr.t
+(** Frozen CSR snapshot of {!field-graph} for the zero-allocation cycle
+    kernels; built on first use and cached (the graph is never mutated
+    after {!build}). *)
 
 type error = Unresolved_read of { txn : Txn.id; key : Op.key; value : Op.value }
 

@@ -1,0 +1,57 @@
+type 'lab t = {
+  offsets : int array;
+  targets : int array;
+  labels : 'lab array;
+}
+
+let n t = Array.length t.offsets - 1
+let num_edges t = Array.length t.targets
+let out_degree t u = t.offsets.(u + 1) - t.offsets.(u)
+
+let of_digraph g =
+  let n = Digraph.n g in
+  let m = Digraph.num_edges g in
+  let offsets = Array.make (n + 1) 0 in
+  for u = 0 to n - 1 do
+    offsets.(u + 1) <- Digraph.out_degree g u
+  done;
+  for u = 1 to n do
+    offsets.(u) <- offsets.(u) + offsets.(u - 1)
+  done;
+  let targets = Array.make m (-1) in
+  (* The label array needs a seed value of type ['lab]; create it from the
+     first edge encountered (if [m = 0] there are no labels at all). *)
+  let labels = ref [||] in
+  let cursor = Array.sub offsets 0 (Stdlib.max n 1) in
+  for u = 0 to n - 1 do
+    Digraph.iter_succ g u (fun v lab ->
+        let la =
+          if Array.length !labels = m && m > 0 then !labels
+          else begin
+            labels := Array.make m lab;
+            !labels
+          end
+        in
+        let i = cursor.(u) in
+        targets.(i) <- v;
+        la.(i) <- lab;
+        cursor.(u) <- i + 1)
+  done;
+  { offsets; targets; labels = !labels }
+
+let iter_succ t u f =
+  for i = t.offsets.(u) to t.offsets.(u + 1) - 1 do
+    f t.targets.(i) t.labels.(i)
+  done
+
+let succ t u =
+  List.init (out_degree t u) (fun j ->
+      let i = t.offsets.(u) + j in
+      (t.targets.(i), t.labels.(i)))
+
+let mem_edge t u v =
+  let found = ref false in
+  for i = t.offsets.(u) to t.offsets.(u + 1) - 1 do
+    if t.targets.(i) = v then found := true
+  done;
+  !found

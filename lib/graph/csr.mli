@@ -1,0 +1,33 @@
+(** Frozen compressed-sparse-row snapshots of {!Digraph.t}.
+
+    A [Csr.t] packs the adjacency structure into three flat arrays —
+    [offsets] (length [n + 1]), [targets] and [labels] (length [E]) —
+    so the verification kernels ({!Cycle}, {!Scc}, {!Topo}) can walk
+    successors by integer indexing with zero per-visit allocation and
+    cache-friendly sequential access.  Successors keep the insertion
+    order of the source graph, so kernels visit edges in exactly the
+    order the list-based code did. *)
+
+type 'lab t = private {
+  offsets : int array;  (** length [n + 1]; block of [u] is
+                            [offsets.(u) .. offsets.(u+1) - 1] *)
+  targets : int array;  (** length [E], insertion order per source *)
+  labels : 'lab array;  (** length [E], parallel to [targets] *)
+}
+
+val of_digraph : 'lab Digraph.t -> 'lab t
+(** O(V + E) snapshot.  Later mutations of the source graph are not
+    reflected. *)
+
+val n : _ t -> int
+val num_edges : _ t -> int
+val out_degree : _ t -> int -> int
+
+val iter_succ : 'lab t -> int -> (int -> 'lab -> unit) -> unit
+(** [iter_succ g u f] calls [f v lab] for every edge [u -> v], in
+    insertion order.  Allocation-free. *)
+
+val succ : 'lab t -> int -> (int * 'lab) list
+(** Materialized successor list (for tests/debugging). *)
+
+val mem_edge : _ t -> int -> int -> bool

@@ -1,61 +1,92 @@
-(* Iterative three-colour DFS with an explicit stack (histories can have
-   hundreds of thousands of transactions, so no native recursion).  When a
-   back edge (u -> v with v grey) is found, walking the parent chain from u
-   up to v yields a simple cycle. *)
+(* Iterative three-colour DFS over the frozen CSR representation
+   (histories can have hundreds of thousands of transactions, so no
+   native recursion).  All per-visit state lives in flat int arrays —
+   the vertex stack, a per-vertex edge cursor into the CSR block — so
+   the traversal allocates nothing per visit; only the O(V) scratch
+   arrays up front and the witness on a hit.  When a back edge
+   (u -> v with v grey) is found, the grey path is exactly the explicit
+   stack, and the edge that discovered each stack entry is the
+   predecessor's cursor minus one. *)
 
-type colour = White | Grey | Black
+let white = '\000'
+let grey = '\001'
+let black = '\002'
 
-let find (type lab) (g : lab Digraph.t) =
-  let n = Digraph.n g in
-  let colour = Array.make n White in
-  let parent = Array.make n (-1) in
-  let parent_lab : lab option array = Array.make n None in
-  let exception Found of (int * lab * int) list in
-  let build_cycle u lab v =
-    (* u -lab-> v closes the cycle; walk parents from u back to v. *)
-    let rec walk acc w =
-      if w = v then acc
-      else
-        match parent_lab.(w) with
-        | Some l -> walk ((parent.(w), l, w) :: acc) parent.(w)
-        | None -> acc
-    in
-    walk [ (u, lab, v) ] u
-  in
+exception Found_at of int (* stack depth of the back edge's source *)
+
+let find_csr (type lab) (c : lab Csr.t) =
+  let n = Csr.n c in
+  let offsets = c.Csr.offsets and targets = c.Csr.targets in
+  let colour = Bytes.make n white in
+  let stack = Array.make (Stdlib.max n 1) 0 in
+  let cursor = Array.make (Stdlib.max n 1) 0 in
+  (* cursor.(v) is the next edge index (into [targets]) to scan at [v];
+     only meaningful while [v] is grey. *)
+  let closing = ref (-1) in
   let visit root =
-    let stack = ref [ (root, ref (Digraph.succ g root)) ] in
-    colour.(root) <- Grey;
-    while !stack <> [] do
-      match !stack with
-      | [] -> ()
-      | (u, rest) :: tail -> (
-          match !rest with
-          | [] ->
-              colour.(u) <- Black;
-              stack := tail
-          | (v, lab) :: more -> (
-              rest := more;
-              match colour.(v) with
-              | Black -> ()
-              | Grey -> raise (Found (build_cycle u lab v))
-              | White ->
-                  colour.(v) <- Grey;
-                  parent.(v) <- u;
-                  parent_lab.(v) <- Some lab;
-                  stack := (v, ref (Digraph.succ g v)) :: !stack))
+    let sp = ref 0 in
+    let push v =
+      stack.(!sp) <- v;
+      incr sp;
+      Bytes.set colour v grey;
+      cursor.(v) <- offsets.(v)
+    in
+    push root;
+    while !sp > 0 do
+      let u = stack.(!sp - 1) in
+      let i = cursor.(u) in
+      if i >= offsets.(u + 1) then begin
+        Bytes.set colour u black;
+        decr sp
+      end
+      else begin
+        cursor.(u) <- i + 1;
+        let v = targets.(i) in
+        match Bytes.get colour v with
+        | '\002' (* black *) -> ()
+        | '\001' (* grey *) ->
+            closing := i;
+            raise (Found_at !sp)
+        | _ (* white *) -> push v
+      end
     done
+  in
+  let build_cycle depth =
+    (* stack.(0 .. depth-1) is the grey path; the closing edge goes from
+       stack.(depth-1) back to targets.(!closing).  Find where the cycle
+       enters the stack and emit (source, label, target) triples. *)
+    let v = targets.(!closing) in
+    let entry = ref (depth - 1) in
+    while stack.(!entry) <> v do
+      decr entry
+    done;
+    let edges = ref [ (stack.(depth - 1), c.Csr.labels.(!closing), v) ] in
+    for k = depth - 2 downto !entry do
+      let discovering = cursor.(stack.(k)) - 1 in
+      edges :=
+        (stack.(k), c.Csr.labels.(discovering), targets.(discovering))
+        :: !edges
+    done;
+    !edges
   in
   try
     for u = 0 to n - 1 do
-      if colour.(u) = White then visit u
+      if Bytes.get colour u = white then visit u
     done;
     None
-  with Found cycle -> Some cycle
+  with Found_at depth -> Some (build_cycle depth)
+
+let is_acyclic_csr c = find_csr c = None
+
+(* The list-graph entry points freeze to CSR first: one O(V + E) pass
+   replaces the per-visit successor-list materialization the DFS used to
+   pay, and CSR keeps insertion order, so witnesses are unchanged. *)
+let find g = find_csr (Csr.of_digraph g)
 
 let is_acyclic g = find g = None
 
-let shortest_through (type lab) (g : lab Digraph.t) v =
-  let n = Digraph.n g in
+let shortest_through_iter (type lab) ~n
+    ~(iter : int -> (int -> lab -> unit) -> unit) v =
   let parent = Array.make n (-1) in
   let parent_lab : lab option array = Array.make n None in
   let visited = Array.make n false in
@@ -64,8 +95,7 @@ let shortest_through (type lab) (g : lab Digraph.t) v =
   (* BFS outwards from [v]; the first edge returning to [v] closes a
      shortest cycle through it. *)
   let relax u =
-    List.iter
-      (fun (w, lab) ->
+    iter u (fun w lab ->
         if w = v then raise (Found (u, lab, v))
         else if not visited.(w) then begin
           visited.(w) <- true;
@@ -73,7 +103,6 @@ let shortest_through (type lab) (g : lab Digraph.t) v =
           parent_lab.(w) <- Some lab;
           Queue.add w q
         end)
-      (Digraph.succ g u)
   in
   try
     relax v;
@@ -90,3 +119,9 @@ let shortest_through (type lab) (g : lab Digraph.t) v =
         | None -> acc
     in
     Some (walk [ last ] u)
+
+let shortest_through g v =
+  shortest_through_iter ~n:(Digraph.n g) ~iter:(Digraph.iter_succ g) v
+
+let shortest_through_csr c v =
+  shortest_through_iter ~n:(Csr.n c) ~iter:(Csr.iter_succ c) v

@@ -2,15 +2,32 @@
 
     The checkers report isolation violations as concrete dependency cycles
     (paper Step 4 of Figure 2), so beyond a boolean answer we extract the
-    edge sequence of some cycle. *)
+    edge sequence of some cycle.
+
+    The DFS kernel runs over the frozen {!Csr} representation with flat
+    int-array state — zero allocation per vertex/edge visit.  The
+    [Digraph] entry points freeze a snapshot first; callers that already
+    hold a [Csr.t] (e.g. {!Deps.freeze}) use the [_csr] variants
+    directly. *)
 
 val find : 'lab Digraph.t -> (int * 'lab * int) list option
 (** [find g] is [None] if [g] is acyclic, otherwise [Some edges] where
     [edges = [(v0,l0,v1); (v1,l1,v2); ...; (vk,lk,v0)]] is a simple cycle.
-    Iterative DFS; O(V + E). *)
+    Iterative DFS over a CSR snapshot; O(V + E). *)
 
 val is_acyclic : 'lab Digraph.t -> bool
 
+val find_csr : 'lab Csr.t -> (int * 'lab * int) list option
+(** {!find} over an already-frozen graph: no conversion, no per-visit
+    allocation (only the O(V) scratch arrays and the witness). *)
+
+val is_acyclic_csr : 'lab Csr.t -> bool
+
 val shortest_through : 'lab Digraph.t -> int -> (int * 'lab * int) list option
 (** [shortest_through g v] is a shortest cycle passing through [v]
-    (BFS from [v] back to [v]), used to produce compact counterexamples. *)
+    (BFS from [v] back to [v]), used to produce compact counterexamples.
+    Iterates successors in place ({!Digraph.iter_succ}) — no per-visit
+    list materialization. *)
+
+val shortest_through_csr : 'lab Csr.t -> int -> (int * 'lab * int) list option
+(** {!shortest_through} over an already-frozen graph. *)

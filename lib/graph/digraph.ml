@@ -18,8 +18,31 @@ let succ g u = List.rev g.adj.(u)
 
 let succ_vertices g u = List.rev_map fst g.adj.(u)
 
+(* Insertion-order iteration without materializing a reversed copy: the
+   adjacency is stored newest-first, so recurse to the end of the list and
+   emit on the way back.  Stack depth is the out-degree; beyond a bound we
+   fall back to one [List.rev] rather than risk the native stack on
+   pathological fan-out (e.g. naive RT encodings). *)
+let iter_succ g u f =
+  let rec go depth l =
+    match l with
+    | [] -> ()
+    | (v, lab) :: tl ->
+        if depth >= 10_000 then
+          List.iter (fun (v, lab) -> f v lab) (List.rev l)
+        else begin
+          go (depth + 1) tl;
+          f v lab
+        end
+  in
+  go 0 g.adj.(u)
+
+let iter_succ_vertices g u f = iter_succ g u (fun v _ -> f v)
+
 let iter_edges g f =
-  Array.iteri (fun u l -> List.iter (fun (v, lab) -> f u lab v) (List.rev l)) g.adj
+  for u = 0 to Array.length g.adj - 1 do
+    iter_succ g u (fun v lab -> f u lab v)
+  done
 
 let fold_edges g f init =
   let acc = ref init in

@@ -24,6 +24,13 @@ val succ : 'lab t -> int -> (int * 'lab) list
 val succ_vertices : 'lab t -> int -> int list
 (** Successor vertices (possibly with repetitions for parallel edges). *)
 
+val iter_succ : 'lab t -> int -> (int -> 'lab -> unit) -> unit
+(** [iter_succ g u f] calls [f v lab] for every edge [u -> v] in
+    insertion order, without materializing a successor list (the DFS/BFS
+    hot paths previously paid one [List.rev] per visit). *)
+
+val iter_succ_vertices : 'lab t -> int -> (int -> unit) -> unit
+
 val iter_edges : 'lab t -> (int -> 'lab -> int -> unit) -> unit
 (** [iter_edges g f] calls [f u lab v] for every edge. *)
 

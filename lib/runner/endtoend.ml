@@ -54,45 +54,84 @@ type hunt_outcome = {
   hunt_verify_s : float;
 }
 
-let hunt ?(sched_seed = 7) ~db ~make_spec ~level ~max_trials () =
+(* Each trial builds its own [Db]/[Scheduler] from a per-trial seed, so
+   trial k is independent of every other trial: generation + checking can
+   fan out across a domain pool.  Trials are processed in batches of
+   [jobs]; within a batch results are scanned in trial order and only the
+   trials a sequential hunt would have run (1 .. first failing) are
+   accounted, so [trials], [committed_total], the verdict and
+   [ce_position] are identical to a [jobs = 1] hunt. *)
+let hunt ?(sched_seed = 7) ?(jobs = 1) ~db ~make_spec ~level ~max_trials () =
+  let run_trial trial =
+    let spec = make_spec ~seed:trial in
+    let db = { db with Db.seed = db.Db.seed + trial } in
+    let sched = { Scheduler.default_params with seed = sched_seed + trial } in
+    let result, g =
+      Stats.time_it (fun () -> Scheduler.run ~params:sched ~db ~spec ())
+    in
+    let outcome, v =
+      Stats.time_it (fun () -> Checker.check level result.Scheduler.history)
+    in
+    (result, outcome, g, v)
+  in
   let gen_s = ref 0.0 and verify_s = ref 0.0 in
   let committed_total = ref 0 in
-  let rec go trial =
-    if trial > max_trials then
-      {
-        violation = None;
-        anomaly = None;
-        ce_position = None;
-        trials = max_trials;
-        committed_total = !committed_total;
-        hunt_gen_s = !gen_s;
-        hunt_verify_s = !verify_s;
-      }
-    else
-      let spec = make_spec ~seed:trial in
-      let db = { db with Db.seed = db.Db.seed + trial } in
-      let sched = { Scheduler.default_params with seed = sched_seed + trial } in
-      let result, g =
-        Stats.time_it (fun () -> Scheduler.run ~params:sched ~db ~spec ())
-      in
-      gen_s := !gen_s +. g;
-      committed_total := !committed_total + result.Scheduler.committed;
-      let outcome, v =
-        Stats.time_it (fun () -> Checker.check level result.Scheduler.history)
-      in
-      verify_s := !verify_s +. v;
-      match outcome with
-      | Checker.Pass -> go (trial + 1)
-      | Checker.Fail viol ->
-          {
-            violation =
-              Some (Report.render result.Scheduler.history level viol);
-            anomaly = Option.map Anomaly.name (Report.classify viol);
-            ce_position = Checker.ce_position viol;
-            trials = trial;
-            committed_total = !committed_total;
-            hunt_gen_s = !gen_s;
-            hunt_verify_s = !verify_s;
-          }
+  let account (result, _, g, v) =
+    gen_s := !gen_s +. g;
+    verify_s := !verify_s +. v;
+    committed_total := !committed_total + result.Scheduler.committed
   in
-  go 1
+  let found trial result viol =
+    {
+      violation = Some (Report.render result.Scheduler.history level viol);
+      anomaly = Option.map Anomaly.name (Report.classify viol);
+      ce_position = Checker.ce_position viol;
+      trials = trial;
+      committed_total = !committed_total;
+      hunt_gen_s = !gen_s;
+      hunt_verify_s = !verify_s;
+    }
+  in
+  let clean () =
+    {
+      violation = None;
+      anomaly = None;
+      ce_position = None;
+      trials = max_trials;
+      committed_total = !committed_total;
+      hunt_gen_s = !gen_s;
+      hunt_verify_s = !verify_s;
+    }
+  in
+  if jobs <= 1 then
+    let rec go trial =
+      if trial > max_trials then clean ()
+      else
+        let ((result, outcome, _, _) as r) = run_trial trial in
+        account r;
+        match outcome with
+        | Checker.Pass -> go (trial + 1)
+        | Checker.Fail viol -> found trial result viol
+    in
+    go 1
+  else
+    Pool.with_pool ~size:jobs (fun pool ->
+        let rec batch lo =
+          if lo > max_trials then clean ()
+          else
+            let hi = Stdlib.min (lo + jobs - 1) max_trials in
+            let trials = Array.init (hi - lo + 1) (fun i -> lo + i) in
+            let results = Pool.map pool run_trial trials in
+            let rec scan i =
+              if i >= Array.length results then batch (hi + 1)
+              else begin
+                let ((result, outcome, _, _) as r) = results.(i) in
+                account r;
+                match outcome with
+                | Checker.Pass -> scan (i + 1)
+                | Checker.Fail viol -> found trials.(i) result viol
+              end
+            in
+            scan 0
+        in
+        batch 1)

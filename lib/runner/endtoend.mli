@@ -41,6 +41,7 @@ type hunt_outcome = {
 
 val hunt :
   ?sched_seed:int ->
+  ?jobs:int ->
   db:Db.config ->
   make_spec:(seed:int -> Spec.t) ->
   level:Checker.level ->
@@ -49,4 +50,12 @@ val hunt :
   hunt_outcome
 (** Run freshly-seeded workloads against a (possibly fault-injected)
     engine until the checker reports a violation or [max_trials] histories
-    pass. *)
+    pass.
+
+    [jobs] (default 1) fans the independent trials out over a
+    {!Pool} of that many domains.  Verdict, [trials], [ce_position] and
+    [committed_total] are identical for every [jobs] value: batches are
+    scanned in trial order and the lowest-numbered failing trial wins;
+    only the wall clock changes.  ([hunt_gen_s]/[hunt_verify_s] remain
+    sums of per-trial CPU times, so they can exceed the elapsed time
+    when [jobs > 1].) *)

@@ -100,6 +100,107 @@ let test_cycle_shortest_none () =
   checkb "no cycle through 0" true
     (Cycle.shortest_through (of_edges 3 [ (0, 1); (1, 2) ]) 0 = None)
 
+(* --- Csr --- *)
+
+let test_csr_roundtrip () =
+  let g = Digraph.create 4 in
+  Digraph.add_edge g 0 1 "a";
+  Digraph.add_edge g 0 2 "b";
+  Digraph.add_edge g 2 3 "c";
+  Digraph.add_edge g 2 0 "d";
+  let c = Csr.of_digraph g in
+  checki "n" 4 (Csr.n c);
+  checki "edges" 4 (Csr.num_edges c);
+  for u = 0 to 3 do
+    Alcotest.check
+      (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.string))
+      (Printf.sprintf "succ %d matches" u)
+      (Digraph.succ g u) (Csr.succ c u);
+    checki (Printf.sprintf "out_degree %d" u)
+      (List.length (Digraph.succ g u))
+      (Csr.out_degree c u)
+  done;
+  checkb "mem 2->0" true (Csr.mem_edge c 2 0);
+  checkb "no 1->2" false (Csr.mem_edge c 1 2)
+
+let test_csr_empty () =
+  let c = Csr.of_digraph (of_edges 5 []) in
+  checki "n" 5 (Csr.n c);
+  checki "edges" 0 (Csr.num_edges c);
+  checkb "no cycle" true (Cycle.find_csr c = None)
+
+let test_csr_iter_succ_order () =
+  let g = Digraph.create 2 in
+  for i = 1 to 100 do
+    Digraph.add_edge g 0 (i mod 2) i
+  done;
+  let c = Csr.of_digraph g in
+  let seen = ref [] in
+  Csr.iter_succ c 0 (fun v lab -> seen := (v, lab) :: !seen);
+  Alcotest.check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "insertion order" (Digraph.succ g 0)
+    (List.rev !seen)
+
+let test_csr_cycle_witness () =
+  let edges = [ (0, 1); (1, 2); (2, 0); (2, 3) ] in
+  match Cycle.find_csr (Csr.of_digraph (of_edges 4 edges)) with
+  | Some c ->
+      checkb "valid witness" true (valid_cycle edges c);
+      (* Identical witness to the Digraph entry point. *)
+      checkb "same as find" true (Cycle.find (of_edges 4 edges) = Some c)
+  | None -> Alcotest.fail "cycle missed"
+
+let test_csr_random_agreement () =
+  (* find/sort/component_ids agree between Digraph and CSR entry points
+     on random graphs. *)
+  let rng = Rng.create 4242 in
+  for _ = 1 to 30 do
+    let n = 2 + Rng.int rng 25 in
+    let g = Digraph.create n in
+    for _ = 1 to Rng.int rng 50 do
+      Digraph.add_edge g (Rng.int rng n) (Rng.int rng n) ()
+    done;
+    let c = Csr.of_digraph g in
+    checkb "find agrees" true (Cycle.find g = Cycle.find_csr c);
+    checkb "topo agrees" true (Topo.sort g = Topo.sort_csr c);
+    checkb "shortest_through agrees" true
+      (Cycle.shortest_through g 0 = Cycle.shortest_through_csr c 0);
+    let ids, k = Scc.component_ids g in
+    let ids', k' = Scc.component_ids_csr c in
+    checki "scc count agrees" k k';
+    checkb "scc ids agree" true (ids = ids')
+  done
+
+let test_csr_find_no_per_visit_alloc () =
+  (* The flat DFS allocates only its O(n) scratch arrays — nothing per
+     visited edge.  On a ~10-edges-per-vertex DAG the old list-based DFS
+     allocated >= 24*E bytes just materializing successor lists, which
+     this bound (linear in n, independent of E) rules out. *)
+  let n = 20_000 in
+  let g = Digraph.create n in
+  let rng = Rng.create 9 in
+  for u = 0 to n - 2 do
+    for _ = 1 to 10 do
+      let v = u + 1 + Rng.int rng (n - u - 1) in
+      Digraph.add_edge g u v ()
+    done
+  done;
+  let c = Csr.of_digraph g in
+  ignore (Cycle.find_csr c) (* warm-up *);
+  (* Minimum of a few runs: Gc.allocated_bytes can absorb counters from
+     domains terminated by earlier suites, inflating a single delta. *)
+  let bytes = ref infinity in
+  for _ = 1 to 3 do
+    let a0 = Gc.allocated_bytes () in
+    let r = Cycle.find_csr c in
+    let d = Gc.allocated_bytes () -. a0 in
+    checkb "acyclic" true (r = None);
+    if d < !bytes then bytes := d
+  done;
+  if !bytes > (8.0 *. float_of_int n *. 6.0) +. 65536.0 then
+    Alcotest.failf "find_csr allocated %.0f bytes (scales with E?)" !bytes
+
 (* --- Scc --- *)
 
 let test_scc_count () =
@@ -260,6 +361,14 @@ let suite =
     ("cycle: 200k-deep dag, no overflow", `Quick, test_cycle_deep_dag);
     ("cycle: shortest through vertex", `Quick, test_cycle_shortest_through);
     ("cycle: shortest none", `Quick, test_cycle_shortest_none);
+    ("csr: round-trip vs digraph", `Quick, test_csr_roundtrip);
+    ("csr: empty graph", `Quick, test_csr_empty);
+    ("csr: iter_succ insertion order", `Quick, test_csr_iter_succ_order);
+    ("csr: cycle witness matches find", `Quick, test_csr_cycle_witness);
+    ("csr: random agreement with digraph kernels", `Quick,
+     test_csr_random_agreement);
+    ("csr: find allocates O(n), not O(E)", `Quick,
+     test_csr_find_no_per_visit_alloc);
     ("scc: component count", `Quick, test_scc_count);
     ("scc: membership", `Quick, test_scc_members);
     ("scc: reverse topological numbering", `Quick, test_scc_reverse_topo);

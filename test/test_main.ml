@@ -2,6 +2,7 @@ let () =
   Alcotest.run "mtc"
     [
       ("common", Test_common.suite);
+      ("pool", Test_pool.suite);
       ("graph", Test_graph.suite);
       ("history", Test_history.suite);
       ("core", Test_core.suite);

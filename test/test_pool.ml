@@ -1,0 +1,119 @@
+(* Tests for the domain work pool (Pool) and the determinism contract of
+   the parallel hunt: verdicts must be bit-identical for every [jobs]
+   value. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* --- Pool --- *)
+
+let test_map_order () =
+  Pool.with_pool ~size:4 (fun p ->
+      let input = Array.init 100 (fun i -> i) in
+      let out = Pool.map p (fun i -> i * i) input in
+      let expected = Array.map (fun i -> i * i) input in
+      checkb "ordered results" true (out = expected))
+
+let test_map_list () =
+  Pool.with_pool ~size:3 (fun p ->
+      let out = Pool.map_list p string_of_int [ 3; 1; 4; 1; 5 ] in
+      Alcotest.check
+        (Alcotest.list Alcotest.string)
+        "map_list order" [ "3"; "1"; "4"; "1"; "5" ] out)
+
+exception Boom of int
+
+let test_exception_propagates () =
+  Pool.with_pool ~size:4 (fun p ->
+      let input = Array.init 50 (fun i -> i) in
+      match Pool.map p (fun i -> if i mod 7 = 3 then raise (Boom i) else i) input with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom i ->
+          (* All tasks still ran; the lowest-indexed failure is re-raised. *)
+          checki "lowest failing index" 3 i)
+
+let test_reuse () =
+  (* The same pool serves many jobs without respawning. *)
+  Pool.with_pool ~size:2 (fun p ->
+      for round = 1 to 20 do
+        let out = Pool.map p (fun i -> i + round) (Array.init 10 (fun i -> i)) in
+        checki "round result" (9 + round) out.(9)
+      done)
+
+let test_shutdown_rejects () =
+  let p = Pool.create ~size:2 () in
+  Pool.shutdown p;
+  Pool.shutdown p (* idempotent *);
+  match Pool.map p (fun i -> i) [| 1 |] with
+  | _ -> Alcotest.fail "map after shutdown should fail"
+  | exception Invalid_argument _ -> ()
+
+let test_size_one_sequential () =
+  Pool.with_pool ~size:1 (fun p ->
+      checki "size" 1 (Pool.size p);
+      let out = Pool.map p (fun i -> 2 * i) (Array.init 5 (fun i -> i)) in
+      checki "works" 8 out.(4))
+
+let test_run () =
+  Pool.with_pool ~size:4 (fun p ->
+      let hits = Array.make 8 0 in
+      Pool.run p
+        (List.init 8 (fun i -> fun () -> hits.(i) <- hits.(i) + 1));
+      checkb "each thunk once" true (Array.for_all (fun h -> h = 1) hits))
+
+(* --- hunt determinism across jobs --- *)
+
+let faulty_db =
+  { Db.level = Isolation.Snapshot; fault = Fault.Lost_update 0.3; num_keys = 5;
+    seed = 1 }
+
+let faulty_spec ~seed =
+  Mt_gen.generate { Mt_gen.default with num_txns = 400; num_keys = 5; seed }
+
+let same_outcome a b =
+  let open Endtoend in
+  checki "trials" a.trials b.trials;
+  checki "committed_total" a.committed_total b.committed_total;
+  checkb "violation presence" (a.violation <> None) (b.violation <> None);
+  checkb "same ce_position" true (a.ce_position = b.ce_position);
+  checkb "same anomaly" true (a.anomaly = b.anomaly)
+
+let test_hunt_jobs_invariant () =
+  let hunt jobs =
+    Endtoend.hunt ~jobs ~db:faulty_db ~make_spec:faulty_spec ~level:Checker.SI
+      ~max_trials:10 ()
+  in
+  let seq = hunt 1 in
+  checkb "bug found at all" true (seq.Endtoend.violation <> None);
+  same_outcome seq (hunt 4);
+  same_outcome seq (hunt 3)
+
+let test_hunt_clean_jobs_invariant () =
+  let make_spec ~seed =
+    Mt_gen.generate { Mt_gen.default with num_txns = 100; num_keys = 10; seed }
+  in
+  let db =
+    { Db.level = Isolation.Snapshot; fault = Fault.No_fault; num_keys = 10;
+      seed = 1 }
+  in
+  let hunt jobs =
+    Endtoend.hunt ~jobs ~db ~make_spec ~level:Checker.SI ~max_trials:6 ()
+  in
+  let seq = hunt 1 in
+  checkb "clean engine passes" true (seq.Endtoend.violation = None);
+  checki "all trials used" 6 seq.Endtoend.trials;
+  same_outcome seq (hunt 4)
+
+let suite =
+  [
+    ("pool: map preserves input order", `Quick, test_map_order);
+    ("pool: map_list", `Quick, test_map_list);
+    ("pool: lowest-index exception wins", `Quick, test_exception_propagates);
+    ("pool: reuse across jobs", `Quick, test_reuse);
+    ("pool: shutdown rejects further use", `Quick, test_shutdown_rejects);
+    ("pool: size 1 runs inline", `Quick, test_size_one_sequential);
+    ("pool: run covers every index", `Quick, test_run);
+    ("hunt: outcome invariant under jobs", `Quick, test_hunt_jobs_invariant);
+    ("hunt: clean engine invariant under jobs", `Quick,
+     test_hunt_clean_jobs_invariant);
+  ]
