@@ -85,6 +85,9 @@ let make_tests () =
     | Error _ -> failwith "kernels: unexpected unresolved read"
   in
   let frozen = Deps.freeze deps in
+  (* Materialize the adjacency-list form outside the timed region so the
+     cycle-list rows measure the DFS, not the CSR -> Digraph conversion. *)
+  ignore (Deps.digraph deps);
   Test.make_grouped ~name:"kernels" ~fmt:"%s/%s"
     ([
        Test.make ~name:"mtc-ser" (Staged.stage (fun () -> Checker.check_ser h));
@@ -104,13 +107,52 @@ let make_tests () =
           the seed's list DFS, the flat CSR DFS on a pre-frozen graph,
           and freeze + DFS (what a cold Checker call pays). *)
        Test.make ~name:"cycle-list"
-         (Staged.stage (fun () -> list_dfs_find deps.Deps.graph));
+         (Staged.stage (fun () -> list_dfs_find (Deps.digraph deps)));
        Test.make ~name:"cycle-csr"
          (Staged.stage (fun () -> Cycle.find_csr frozen));
        Test.make ~name:"cycle-freeze-csr"
          (Staged.stage (fun () ->
-              Cycle.find_csr (Csr.of_digraph deps.Deps.graph)));
+              Cycle.find_csr (Csr.of_digraph (Deps.digraph deps))));
      ])
+
+(* The dependency-inference pipeline in isolation — index + graph build +
+   frozen CSR — direct-to-CSR vs the seed's list-based Digraph, plus the
+   whole checker both ways.  The history is a fixed 2000-transaction one
+   even under --smoke: these rows are the acceptance numbers recorded in
+   BENCH_PR2.json, and generating the history costs milliseconds. *)
+let infer_rows () =
+  let r =
+    Bench_util.mt_history ~level:Isolation.Serializable ~keys:300 ~txns:2000
+      ~seed:903 ()
+  in
+  let h = r.Scheduler.history in
+  let infer impl rt () =
+    let idx = Index.build h in
+    match Deps.build ~impl ~rt idx with
+    | Ok d -> ignore (Sys.opaque_identity (Deps.freeze d))
+    | Error _ -> failwith "kernels: unexpected unresolved read"
+  in
+  let check impl level () =
+    ignore (Sys.opaque_identity (Checker.check ~impl level h))
+  in
+  let row name f =
+    ignore (f ()) (* warm-up *);
+    let t = Bench_util.time_median ~repeat:5 f in
+    let (), a = Bench_util.alloc_during f in
+    [ name; Printf.sprintf "%.3f" (1000.0 *. t); Printf.sprintf "%.0f" a ]
+  in
+  [
+    row "infer-ser/direct" (infer Deps.Direct Deps.No_rt);
+    row "infer-ser/digraph" (infer Deps.Via_digraph Deps.No_rt);
+    row "infer-sser/direct" (infer Deps.Direct Deps.Rt_sweep);
+    row "infer-sser/digraph" (infer Deps.Via_digraph Deps.Rt_sweep);
+    row "check-ser/direct" (check Deps.Direct Checker.SER);
+    row "check-ser/digraph" (check Deps.Via_digraph Checker.SER);
+    row "check-si/direct" (check Deps.Direct Checker.SI);
+    row "check-si/digraph" (check Deps.Via_digraph Checker.SI);
+    row "check-sser/direct" (check Deps.Direct Checker.SSER);
+    row "check-sser/digraph" (check Deps.Via_digraph Checker.SSER);
+  ]
 
 (* Pool dispatch overhead, measured separately: each pool exists only
    around its own timing run, because idle domains make every minor GC a
@@ -159,6 +201,11 @@ let run () =
     (List.map
        (fun (name, ns) -> [ name; Printf.sprintf "%.3f" (ns /. 1e6) ])
        rows);
+  Bench_util.subsection
+    "dependency inference: direct-to-CSR vs list-based digraph (fixed 2000-txn history, median of 5)";
+  Bench_util.print_table
+    ~header:[ "pipeline"; "time (ms)"; "verify_alloc_bytes" ]
+    (infer_rows ());
   Bench_util.subsection
     "pool dispatch (Pool.map of 64 spin tasks, median of 9)";
   Bench_util.print_table ~header:[ "pool"; "time per map (ms)" ] (pool_rows ())

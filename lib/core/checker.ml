@@ -54,6 +54,61 @@ let si_compose (d : Deps.t) =
     (Deps.dep_edges d);
   g'
 
+(* Direct CSR form of the same composition, for the [Deps.Direct] hot
+   path: count the out-degree of every composed vertex (one slot per
+   dependency edge plus one per RW edge leaving its target), prefix-sum,
+   then fill the blocks in a second pass over the frozen dependency CSR.
+   No Digraph, no intermediate edge lists. *)
+let si_compose_csr (d : Deps.t) =
+  let c = Deps.freeze d in
+  let n = Csr.n c in
+  let rw_deg = Array.make n 0 in
+  for v = 0 to n - 1 do
+    for e = c.Csr.offsets.(v) to c.Csr.offsets.(v + 1) - 1 do
+      match c.Csr.labels.(e) with
+      | Deps.RW _ -> rw_deg.(v) <- rw_deg.(v) + 1
+      | _ -> ()
+    done
+  done;
+  let offsets = Array.make (n + 1) 0 in
+  for u = 0 to n - 1 do
+    for e = c.Csr.offsets.(u) to c.Csr.offsets.(u + 1) - 1 do
+      match c.Csr.labels.(e) with
+      | Deps.SO | Deps.WR _ | Deps.WW _ ->
+          offsets.(u + 1) <- offsets.(u + 1) + 1 + rw_deg.(c.Csr.targets.(e))
+      | Deps.RT | Deps.RW _ | Deps.Rt_chain -> ()
+    done
+  done;
+  for u = 1 to n do
+    offsets.(u) <- offsets.(u) + offsets.(u - 1)
+  done;
+  let m' = offsets.(n) in
+  let targets = Array.make m' 0 in
+  let labels = if m' = 0 then [||] else Array.make m' (Dep Deps.SO) in
+  let cursor = Array.sub offsets 0 (Stdlib.max n 1) in
+  for u = 0 to n - 1 do
+    for e = c.Csr.offsets.(u) to c.Csr.offsets.(u + 1) - 1 do
+      match c.Csr.labels.(e) with
+      | (Deps.SO | Deps.WR _ | Deps.WW _) as lab ->
+          let v = c.Csr.targets.(e) in
+          let i = cursor.(u) in
+          targets.(i) <- v;
+          labels.(i) <- Dep lab;
+          cursor.(u) <- i + 1;
+          for e' = c.Csr.offsets.(v) to c.Csr.offsets.(v + 1) - 1 do
+            match c.Csr.labels.(e') with
+            | Deps.RW k ->
+                let i = cursor.(u) in
+                targets.(i) <- c.Csr.targets.(e');
+                labels.(i) <- Comp (lab, v, k);
+                cursor.(u) <- i + 1
+            | _ -> ()
+          done
+      | Deps.RT | Deps.RW _ | Deps.Rt_chain -> ()
+    done
+  done;
+  Csr.make ~offsets ~targets ~labels
+
 let expand_si_cycle cycle =
   List.concat_map
     (fun (u, lab, w) ->
@@ -62,7 +117,7 @@ let expand_si_cycle cycle =
       | Comp (dep, mid, k) -> [ (u, dep, mid); (mid, Deps.RW k, w) ])
     cycle
 
-let check ?(rt_mode = Deps.Rt_sweep) ?(skew = 0) level h =
+let check ?(rt_mode = Deps.Rt_sweep) ?(skew = 0) ?(impl = Deps.Direct) level h =
   match History.unique_values h with
   | Error msg -> Fail (Malformed msg)
   | Ok () -> (
@@ -70,8 +125,9 @@ let check ?(rt_mode = Deps.Rt_sweep) ?(skew = 0) level h =
       match Int_check.check idx with
       | Error v -> Fail (Intra v)
       | Ok () -> (
-          (* Freeze the dependency graph to CSR before cycle checking:
-             the DFS then runs allocation-free over flat arrays. *)
+          (* With the default [Direct] builder the dependency graph is
+             born frozen; the DFS then runs allocation-free over flat
+             arrays.  [Via_digraph] converts on first [freeze]. *)
           let acyclic_or_fail d =
             match Cycle.find_csr (Deps.freeze d) with
             | None -> Pass
@@ -79,22 +135,27 @@ let check ?(rt_mode = Deps.Rt_sweep) ?(skew = 0) level h =
           in
           match level with
           | SER -> (
-              match Deps.build ~rt:Deps.No_rt idx with
+              match Deps.build ~impl ~rt:Deps.No_rt idx with
               | Error e -> Fail (Malformed (Format.asprintf "%a" Deps.pp_error e))
               | Ok d -> acyclic_or_fail d)
           | SSER -> (
-              match Deps.build ~skew ~rt:rt_mode idx with
+              match Deps.build ~skew ~impl ~rt:rt_mode idx with
               | Error e -> Fail (Malformed (Format.asprintf "%a" Deps.pp_error e))
               | Ok d -> acyclic_or_fail d)
           | SI -> (
               match Divergence.find idx with
               | Some inst -> Fail (Diverged inst)
               | None -> (
-                  match Deps.build ~rt:Deps.No_rt idx with
+                  match Deps.build ~impl ~rt:Deps.No_rt idx with
                   | Error e ->
                       Fail (Malformed (Format.asprintf "%a" Deps.pp_error e))
                   | Ok d -> (
-                      match Cycle.find_csr (Csr.of_digraph (si_compose d)) with
+                      let composed =
+                        match impl with
+                        | Deps.Direct -> si_compose_csr d
+                        | Deps.Via_digraph -> Csr.of_digraph (si_compose d)
+                      in
+                      match Cycle.find_csr composed with
                       | None -> Pass
                       | Some cycle ->
                           Fail

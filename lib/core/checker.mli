@@ -30,11 +30,23 @@ type outcome = Pass | Fail of violation
 val pp_violation : Format.formatter -> violation -> unit
 val pp_outcome : Format.formatter -> outcome -> unit
 
-val check : ?rt_mode:Deps.rt_mode -> ?skew:int -> level -> History.t -> outcome
+val check :
+  ?rt_mode:Deps.rt_mode ->
+  ?skew:int ->
+  ?impl:Deps.impl ->
+  level ->
+  History.t ->
+  outcome
 (** [rt_mode] and [skew] apply to SSER only (defaults: [Rt_sweep], 0).
     A positive [skew] tolerates client clock drift: real-time edges are
     only derived from gaps larger than the skew bound (see
-    {!Deps.build}). *)
+    {!Deps.build}).
+
+    [impl] (default [Deps.Direct]) selects the dependency-graph builder —
+    and, for SI, the matching composition path: [Direct] composes
+    [(SO ∪ WR ∪ WW) ; RW?] straight into a CSR with the same two-pass
+    counting scheme; [Via_digraph] runs the seed's list-based pipeline.
+    Both yield the same verdict on every history. *)
 
 val check_sser : ?rt_mode:Deps.rt_mode -> ?skew:int -> History.t -> outcome
 val check_ser : History.t -> outcome

@@ -17,21 +17,38 @@ let pp_dep ppf = function
   | Rt_chain -> Format.pp_print_string ppf "rt*"
 
 type rt_mode = No_rt | Rt_naive | Rt_sweep
+type impl = Direct | Via_digraph
 
 type t = {
   idx : Index.t;
-  graph : dep Digraph.t;
   num_txn_vertices : int;
   mutable frozen : dep Csr.t option;
+  mutable adj : dep Digraph.t option;
 }
 
 let freeze t =
   match t.frozen with
   | Some c -> c
   | None ->
-      let c = Csr.of_digraph t.graph in
+      let c =
+        match t.adj with
+        | Some g -> Csr.of_digraph g
+        | None -> assert false (* build always fills one representation *)
+      in
       t.frozen <- Some c;
       c
+
+let digraph t =
+  match t.adj with
+  | Some g -> g
+  | None ->
+      let c = freeze t in
+      let g = Digraph.create (Csr.n c) in
+      for u = 0 to Csr.n c - 1 do
+        Csr.iter_succ c u (fun v lab -> Digraph.add_edge g u v lab)
+      done;
+      t.adj <- Some g;
+      g
 
 type error = Unresolved_read of { txn : Txn.id; key : Op.key; value : Op.value }
 
@@ -40,7 +57,218 @@ let pp_error ppf (Unresolved_read { txn; key; value }) =
     "read of %d on x%d in T%d is not attributable to a committed final write"
     value key txn
 
-let build ?(skew = 0) ~rt (idx : Index.t) =
+(* --- shared real-time helpers (SSER) --- *)
+
+(* Vertices of the Rt_sweep helper chain: helper [m + r] stands for
+   "every transaction among the r+1 earliest commits has finished".
+   [emit] receives each chain edge; start times binary-search the sorted
+   commit times. *)
+let sweep_edges ~skew (idx : Index.t) m emit =
+  let by_commit = Array.init m (fun v -> v) in
+  Array.sort
+    (fun a b ->
+      compare (Index.txn_of_vertex idx a).Txn.commit_ts
+        (Index.txn_of_vertex idx b).Txn.commit_ts)
+    by_commit;
+  let commits =
+    Array.map (fun v -> (Index.txn_of_vertex idx v).Txn.commit_ts) by_commit
+  in
+  for r = 0 to m - 1 do
+    emit by_commit.(r) (m + r);
+    if r + 1 < m then emit (m + r) (m + r + 1)
+  done;
+  for sv = 0 to m - 1 do
+    let start = (Index.txn_of_vertex idx sv).Txn.start_ts in
+    (* Largest r with commits.(r) + skew < start. *)
+    let lo = ref 0 and hi = ref (m - 1) and best = ref (-1) in
+    while !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      if commits.(mid) + skew < start then begin
+        best := mid;
+        lo := mid + 1
+      end
+      else hi := mid - 1
+    done;
+    if !best >= 0 then emit (m + !best) sv
+  done
+
+(* RT edges of the naive Θ(n²) encoding.  commit + skew cannot overflow
+   (logical clocks are small); start - skew would underflow on the
+   initial transaction's min_int timestamps. *)
+let naive_rt_edges ~skew (idx : Index.t) m emit =
+  for i = 0 to m - 1 do
+    for j = 0 to m - 1 do
+      if i <> j then begin
+        let a = Index.txn_of_vertex idx i and b = Index.txn_of_vertex idx j in
+        if a.commit_ts + skew < b.start_ts then emit i j
+      end
+    done
+  done
+
+(* --- direct-to-CSR construction (the verify hot path) --- *)
+
+(* Int-packed edge labels for the flat edge stream: 0/1/2 are the keyless
+   constants, a keyed label packs as [4 + (key lsl 2) lor tag]. *)
+let lab_rt = 0
+let lab_so = 1
+let lab_chain = 2
+let pack_wr k = 4 + ((k lsl 2) lor 0)
+let pack_ww k = 4 + ((k lsl 2) lor 1)
+let pack_rw k = 4 + ((k lsl 2) lor 2)
+
+(* ops.(i) = Read (k, _) is the external read of [k] iff no earlier op
+   touches [k] (an earlier read of [k] is the external one; an earlier
+   write makes every later read internal).  Linear rescan instead of the
+   per-txn hashtables of [Txn.external_reads] — MTs have <= 4 ops. *)
+let is_external_read ops i k =
+  let rec earlier j = j >= i || (Op.key ops.(j) <> k && earlier (j + 1)) in
+  earlier 0
+
+let writes_key_ops ops k =
+  let n = Array.length ops in
+  let rec go j =
+    j < n
+    &&
+    match ops.(j) with
+    | Op.Write (k', _) -> k' = k || go (j + 1)
+    | Op.Read _ -> go (j + 1)
+  in
+  go 0
+
+let build_direct ~skew ~rt (idx : Index.t) =
+  let m = Index.num_vertices idx in
+  let h = idx.history in
+  let num_keys = h.History.num_keys in
+  let size = match rt with Rt_sweep -> 2 * m | No_rt | Rt_naive -> m in
+  (* The flat edge stream: parallel (src, dst, packed label) triples. *)
+  let eu = Int_vec.create (4 * m)
+  and ev = Int_vec.create (4 * m)
+  and el = Int_vec.create (4 * m) in
+  let push u v l =
+    Int_vec.push eu u;
+    Int_vec.push ev v;
+    Int_vec.push el l
+  in
+  (* SO edges (lines 6-7). *)
+  History.iter_so_pairs h (fun a b ->
+      push (Index.vertex idx a) (Index.vertex idx b) lab_so);
+  (* WR edges, and WW by the RMW inference (lines 8-11).  Readers group
+     by (writer vertex, key) — a dense group id allocated through a flat
+     int map (the pair packs collision-free: both factors are bounded) —
+     so the RW composition (lines 14-15) runs over contiguous slices. *)
+  let groups = Flat_index.create ~capacity:(4 * m) () in
+  let num_groups = ref 0 in
+  let rd_src = Int_vec.create (2 * m) (* reader vertex *)
+  and rd_key = Int_vec.create (2 * m)
+  and rd_grp = Int_vec.create (2 * m)
+  and rd_ow = Int_vec.create (2 * m) (* 1 iff the reader overwrites *) in
+  let error = ref None in
+  Array.iteri
+    (fun sv (s : Txn.t) ->
+      let ops = s.ops in
+      Array.iteri
+        (fun i op ->
+          match op with
+          | Op.Write _ -> ()
+          | Op.Read (k, v) ->
+              if is_external_read ops i k then (
+                match Index.writer_of idx k v with
+                | Index.Final w when w <> s.id ->
+                    let wv = Index.vertex idx w in
+                    push wv sv (pack_wr k);
+                    let writes = writes_key_ops ops k in
+                    if writes then push wv sv (pack_ww k);
+                    let gk = (wv * num_keys) + k in
+                    let g =
+                      match Flat_index.get groups gk with
+                      | -1 ->
+                          let g = !num_groups in
+                          incr num_groups;
+                          Flat_index.set groups gk g;
+                          g
+                      | g -> g
+                    in
+                    Int_vec.push rd_src sv;
+                    Int_vec.push rd_key k;
+                    Int_vec.push rd_grp g;
+                    Int_vec.push rd_ow (if writes then 1 else 0)
+                | Index.Final _ | Index.Intermediate _ | Index.Aborted _
+                | Index.Nobody ->
+                    if !error = None then
+                      error := Some (Unresolved_read { txn = s.id; key = k; value = v })))
+        ops)
+    idx.committed;
+  match !error with
+  | Some e -> Error e
+  | None ->
+      (* RW edges: T' -WR(x)-> T and T' -WW(x)-> S give T -RW(x)-> S.
+         Counting sort the read records by group id, then cross readers
+         with overwriters within each contiguous slice. *)
+      let nr = Int_vec.length rd_src in
+      let ng = !num_groups in
+      let g_off = Array.make (ng + 1) 0 in
+      let grp = Int_vec.data rd_grp in
+      for r = 0 to nr - 1 do
+        g_off.(grp.(r) + 1) <- g_off.(grp.(r) + 1) + 1
+      done;
+      for g = 1 to ng do
+        g_off.(g) <- g_off.(g) + g_off.(g - 1)
+      done;
+      let members = Array.make nr 0 in
+      let cursor = Array.copy g_off in
+      for r = 0 to nr - 1 do
+        members.(cursor.(grp.(r))) <- r;
+        cursor.(grp.(r)) <- cursor.(grp.(r)) + 1
+      done;
+      let src = Int_vec.data rd_src
+      and key = Int_vec.data rd_key
+      and ow = Int_vec.data rd_ow in
+      for g = 0 to ng - 1 do
+        for a = g_off.(g) to g_off.(g + 1) - 1 do
+          let t = src.(members.(a)) in
+          let k = key.(members.(a)) in
+          for b = g_off.(g) to g_off.(g + 1) - 1 do
+            if ow.(members.(b)) = 1 then begin
+              let s = src.(members.(b)) in
+              if t <> s then push t s (pack_rw k)
+            end
+          done
+        done
+      done;
+      (* RT edges for SSER. *)
+      (match rt with
+      | No_rt -> ()
+      | Rt_naive -> naive_rt_edges ~skew idx m (fun i j -> push i j lab_rt)
+      | Rt_sweep -> sweep_edges ~skew idx m (fun u v -> push u v lab_chain));
+      (* Freeze: counting sort the stream into CSR row blocks.  Keyed
+         labels decode through per-key caches so equal labels share one
+         block instead of allocating per edge. *)
+      let wr_cache = Array.init num_keys (fun k -> WR k)
+      and ww_cache = Array.init num_keys (fun k -> WW k)
+      and rw_cache = Array.init num_keys (fun k -> RW k) in
+      let decode p =
+        if p = lab_rt then RT
+        else if p = lab_so then SO
+        else if p = lab_chain then Rt_chain
+        else
+          let q = p - 4 in
+          let k = q lsr 2 in
+          match q land 3 with
+          | 0 -> wr_cache.(k)
+          | 1 -> ww_cache.(k)
+          | _ -> rw_cache.(k)
+      in
+      let csr =
+        Csr.of_edge_arrays ~n:size ~num_edges:(Int_vec.length eu)
+          ~src:(Int_vec.data eu) ~dst:(Int_vec.data ev) ~lab:(Int_vec.data el)
+          ~decode
+      in
+      Ok { idx; num_txn_vertices = m; frozen = Some csr; adj = None }
+
+(* --- list-based Digraph construction (kept for Viz/Oracle consumers and
+       as the independent oracle the direct path is tested against) --- *)
+
+let build_digraph ~skew ~rt (idx : Index.t) =
   let m = Index.num_vertices idx in
   let size = match rt with Rt_sweep -> 2 * m | No_rt | Rt_naive -> m in
   let g = Digraph.create size in
@@ -98,63 +326,30 @@ let build ?(skew = 0) ~rt (idx : Index.t) =
       (* RT edges for SSER. *)
       (match rt with
       | No_rt -> ()
-      | Rt_naive ->
-          for i = 0 to m - 1 do
-            for j = 0 to m - 1 do
-              if i <> j then begin
-                let a = Index.txn_of_vertex idx i
-                and b = Index.txn_of_vertex idx j in
-                (* commit + skew cannot overflow (logical clocks are
-                     small); start - skew would underflow on the initial
-                     transaction's min_int timestamps. *)
-                if a.commit_ts + skew < b.start_ts then
-                  Digraph.add_edge g i j RT
-              end
-            done
-          done
+      | Rt_naive -> naive_rt_edges ~skew idx m (fun i j -> Digraph.add_edge g i j RT)
       | Rt_sweep ->
-          (* Helper vertex m + r stands for "every transaction among the
-             r+1 earliest commits has finished".  Binary search start
-             times against the sorted commit times. *)
-          let by_commit = Array.init m (fun v -> v) in
-          Array.sort
-            (fun a b ->
-              compare (Index.txn_of_vertex idx a).Txn.commit_ts
-                (Index.txn_of_vertex idx b).Txn.commit_ts)
-            by_commit;
-          let commits =
-            Array.map (fun v -> (Index.txn_of_vertex idx v).Txn.commit_ts) by_commit
-          in
-          for r = 0 to m - 1 do
-            Digraph.add_edge g by_commit.(r) (m + r) Rt_chain;
-            if r + 1 < m then Digraph.add_edge g (m + r) (m + r + 1) Rt_chain
-          done;
-          for sv = 0 to m - 1 do
-            let start = (Index.txn_of_vertex idx sv).Txn.start_ts in
-            (* Largest r with commits.(r) < start. *)
-            let lo = ref 0 and hi = ref (m - 1) and best = ref (-1) in
-            while !lo <= !hi do
-              let mid = (!lo + !hi) / 2 in
-              if commits.(mid) + skew < start then begin
-                best := mid;
-                lo := mid + 1
-              end
-              else hi := mid - 1
-            done;
-            if !best >= 0 then Digraph.add_edge g (m + !best) sv Rt_chain
-          done);
-      Ok { idx; graph = g; num_txn_vertices = m; frozen = None }
+          sweep_edges ~skew idx m (fun u v -> Digraph.add_edge g u v Rt_chain));
+      Ok { idx; num_txn_vertices = m; frozen = None; adj = Some g }
+
+let build ?(skew = 0) ?(impl = Direct) ~rt (idx : Index.t) =
+  match impl with
+  | Direct -> build_direct ~skew ~rt idx
+  | Via_digraph -> build_digraph ~skew ~rt idx
 
 let to_txn_cycle t cycle =
   let is_helper v = v >= t.num_txn_vertices in
-  (* Rotate so the cycle starts at a transaction vertex. *)
-  let rec rotate seen = function
-    | [] -> []
-    | ((u, _, _) :: _) as c when not (is_helper u) -> c
-    | e :: rest when seen < List.length cycle -> rotate (seen + 1) (rest @ [ e ])
-    | c -> c
+  (* Rotate so the cycle starts at a transaction vertex — one split at
+     the first such edge, O(len), instead of the quadratic
+     append-one-at-the-end shuffle. *)
+  let rotate c =
+    let rec split pre = function
+      | ((u, _, _) :: _) as rest when not (is_helper u) -> rest @ List.rev pre
+      | e :: rest -> split (e :: pre) rest
+      | [] -> c (* helper vertices only; contraction copes below *)
+    in
+    split [] c
   in
-  let cycle = rotate 0 cycle in
+  let cycle = rotate cycle in
   let txn_id v = (Index.txn_of_vertex t.idx v).Txn.id in
   let rec contract = function
     | [] -> []
@@ -172,15 +367,25 @@ let to_txn_cycle t cycle =
   contract cycle
 
 let dep_edges t =
-  Digraph.fold_edges t.graph
-    (fun acc u lab v ->
-      match lab with
-      | SO | WR _ | WW _ -> (u, lab, v) :: acc
-      | RT | RW _ | Rt_chain -> acc)
-    []
-  |> List.rev
+  (* Walk the frozen CSR backwards, consing forward — emits in edge order
+     with no List.rev pass. *)
+  let c = freeze t in
+  let acc = ref [] in
+  for u = Csr.n c - 1 downto 0 do
+    for e = c.Csr.offsets.(u + 1) - 1 downto c.Csr.offsets.(u) do
+      match c.Csr.labels.(e) with
+      | (SO | WR _ | WW _) as lab -> acc := (u, lab, c.Csr.targets.(e)) :: !acc
+      | RT | RW _ | Rt_chain -> ()
+    done
+  done;
+  !acc
 
 let rw_succ t v =
-  List.filter_map
-    (fun (w, lab) -> match lab with RW k -> Some (k, w) | _ -> None)
-    (Digraph.succ t.graph v)
+  let c = freeze t in
+  let acc = ref [] in
+  for e = c.Csr.offsets.(v + 1) - 1 downto c.Csr.offsets.(v) do
+    match c.Csr.labels.(e) with
+    | RW k -> acc := (k, c.Csr.targets.(e)) :: !acc
+    | RT | SO | WR _ | WW _ | Rt_chain -> ()
+  done;
+  !acc

@@ -7,6 +7,19 @@
     computed (Theorems 1–2 show acyclicity is preserved); RW is composed
     from WR and WW (lines 14–15).
 
+    Two interchangeable builders produce the graph:
+    - [Direct] (the default, and the verify hot path) streams edges into
+      flat int arrays — sources, targets, and int-packed labels — and
+      counting-sorts them straight into the frozen {!Csr.t} the cycle
+      kernels consume.  No [Digraph] adjacency lists, no boxed
+      [(key, value)] tuples, no per-transaction hashtables.
+    - [Via_digraph] is the seed's list-based construction, kept for
+      consumers that want a mutable graph and as the independent oracle
+      the direct path is tested against.
+
+    Either representation converts lazily to the other ({!freeze} /
+    {!digraph}), so downstream code is agnostic to the builder used.
+
     For SSER, the real-time relation can be materialized in two ways:
     - [Rt_naive]: one edge per ordered pair, Θ(n²) as analyzed in the
       paper (Section IV-D);
@@ -28,27 +41,41 @@ val pp_dep : Format.formatter -> dep -> unit
 
 type rt_mode = No_rt | Rt_naive | Rt_sweep
 
+type impl = Direct | Via_digraph
+(** Which builder {!build} runs; see the module docstring. *)
+
 type t = {
   idx : Index.t;
-  graph : dep Digraph.t;
   num_txn_vertices : int;  (** vertices [>= num_txn_vertices] are helpers *)
   mutable frozen : dep Csr.t option;
-      (** cached CSR snapshot, filled by {!freeze} *)
+      (** CSR form: filled by the [Direct] builder, else by {!freeze} *)
+  mutable adj : dep Digraph.t option;
+      (** adjacency-list form: filled by [Via_digraph], else by {!digraph} *)
 }
 
 val freeze : t -> dep Csr.t
-(** Frozen CSR snapshot of {!field-graph} for the zero-allocation cycle
-    kernels; built on first use and cached (the graph is never mutated
-    after {!build}). *)
+(** CSR snapshot for the zero-allocation cycle kernels.  Already present
+    when built with [Direct]; converted from the digraph (and cached) on
+    first use otherwise. *)
+
+val digraph : t -> dep Digraph.t
+(** Adjacency-list form (Viz, kernels that want a mutable graph).
+    Already present when built with [Via_digraph]; converted from the CSR
+    (and cached) on first use otherwise.  Do not mutate: both forms are
+    assumed to describe the same edge set. *)
 
 type error = Unresolved_read of { txn : Txn.id; key : Op.key; value : Op.value }
 
 val pp_error : Format.formatter -> error -> unit
 
-val build : ?skew:int -> rt:rt_mode -> Index.t -> (t, error) result
+val build : ?skew:int -> ?impl:impl -> rt:rt_mode -> Index.t -> (t, error) result
 (** Fails only if some external read cannot be attributed to the final
     write of a committed transaction — which the INT screen
     ({!Int_check.check}) rules out beforehand.
+
+    [impl] (default [Direct]) picks the builder; both produce the same
+    edge multiset with the same per-source successor order for SO/WR/WW
+    (RW/RT grouping order may differ between them, never membership).
 
     [skew] (default 0) relaxes the real-time order for SSER: an RT edge
     [T -> S] is added only when [T.commit_ts + skew < S.start_ts].  This
@@ -64,7 +91,8 @@ val to_txn_cycle :
 
 val dep_edges : t -> (int * dep * int) list
 (** The SO/WR/WW edges (no RT, no RW) — the left operand of the SI
-    composition. *)
+    composition.  Emitted in CSR order (source-major, insertion order per
+    source). *)
 
 val rw_succ : t -> int -> (Op.key * int) list
 (** RW successors of a vertex. *)

@@ -1,0 +1,143 @@
+(* Open-addressing hash map over native int keys: two flat int arrays and
+   linear probing, so the verify hot path resolves writers without boxing
+   a (key * value) tuple per probe the way the polymorphic [Hashtbl] of
+   the seed did.  Values are restricted to [>= 0] (transaction ids, dense
+   group ids), which lets [-1] in the value array double as the
+   empty-slot marker — no separate occupancy array. *)
+
+type t = {
+  mutable keys : int array;  (* meaningful only where vals.(i) >= 0 *)
+  mutable vals : int array;  (* -1 marks an empty slot *)
+  mutable mask : int;  (* capacity - 1; capacity is a power of two *)
+  mutable size : int;
+}
+
+let rec ceil_pow2 n c = if c >= n then c else ceil_pow2 n (2 * c)
+
+let create ?(capacity = 16) () =
+  let cap = ceil_pow2 (Stdlib.max 16 capacity) 16 in
+  { keys = Array.make cap 0; vals = Array.make cap (-1); mask = cap - 1;
+    size = 0 }
+
+let length t = t.size
+
+(* Fibonacci-style multiplicative mixing; multiplication wraps, which is
+   fine for a hash.  The xor-shift folds the high bits down so the
+   [land mask] truncation still sees them. *)
+let slot t k =
+  let h = k * 0x2545F4914F6CDD1D in
+  (h lxor (h lsr 31)) land t.mask
+
+(* Index of [k]'s slot if present, of the insertion slot otherwise. *)
+let probe t k =
+  let i = ref (slot t k) in
+  while t.vals.(!i) >= 0 && t.keys.(!i) <> k do
+    i := (!i + 1) land t.mask
+  done;
+  !i
+
+let get t k =
+  let i = probe t k in
+  t.vals.(i)
+
+let mem t k = get t k >= 0
+
+let grow t =
+  let old_keys = t.keys and old_vals = t.vals in
+  let cap = 2 * Array.length old_vals in
+  t.keys <- Array.make cap 0;
+  t.vals <- Array.make cap (-1);
+  t.mask <- cap - 1;
+  for i = 0 to Array.length old_vals - 1 do
+    if old_vals.(i) >= 0 then begin
+      let j = probe t old_keys.(i) in
+      t.keys.(j) <- old_keys.(i);
+      t.vals.(j) <- old_vals.(i)
+    end
+  done
+
+let set t k v =
+  if v < 0 then invalid_arg "Flat_index.set: values must be >= 0";
+  let i = probe t k in
+  if t.vals.(i) >= 0 then t.vals.(i) <- v
+  else begin
+    (* Keep the load factor at or below 1/2. *)
+    if 2 * (t.size + 1) > Array.length t.vals then grow t;
+    let i = probe t k in
+    t.keys.(i) <- k;
+    t.vals.(i) <- v;
+    t.size <- t.size + 1
+  end
+
+type map = t
+
+(* --- writer lookup tables over int-packed (key, value) pairs --- *)
+
+module Writers = struct
+  type who =
+    | Final of Txn.id
+    | Intermediate of Txn.id
+    | Aborted of Txn.id
+    | Nobody
+
+  (* A pair packs to [value * num_keys + key] when that cannot overflow
+     (key in [0, num_keys), value >= 0 and small enough); the packing is
+     then injective, so probing never confuses two pairs.  The rare
+     unpackable pair (negative or astronomically large value, e.g. from a
+     hand-written or decoded history) goes to a tuple-keyed spill table
+     instead — empty on every generated workload. *)
+  type t = {
+    num_keys : int;
+    final : map;
+    intermediate : map;
+    aborted : map;
+    spill : (int * Op.key * Op.value, Txn.id) Hashtbl.t;
+        (** keyed by (tier, key, value); tier 0/1/2 = final/interm/aborted *)
+  }
+
+  let create ~num_keys ~expected =
+    {
+      num_keys;
+      final = create ~capacity:(2 * expected) ();
+      intermediate = create ();
+      aborted = create ();
+      spill = Hashtbl.create 8;
+    }
+
+  (* -1 when the pair has no collision-free packing. *)
+  let pack t k v =
+    if t.num_keys > 0 && v >= 0 && v <= (max_int - k) / t.num_keys then
+      (v * t.num_keys) + k
+    else -1
+
+  let set_in t tier tbl k v id =
+    let p = pack t k v in
+    if p >= 0 then set tbl p id else Hashtbl.replace t.spill (tier, k, v) id
+
+  let set_final t k v id = set_in t 0 t.final k v id
+  let set_intermediate t k v id = set_in t 1 t.intermediate k v id
+  let set_aborted t k v id = set_in t 2 t.aborted k v id
+
+  let resolve t k v =
+    let p = pack t k v in
+    if p >= 0 then begin
+      let id = get t.final p in
+      if id >= 0 then Final id
+      else
+        let id = get t.intermediate p in
+        if id >= 0 then Intermediate id
+        else
+          let id = get t.aborted p in
+          if id >= 0 then Aborted id else Nobody
+    end
+    else
+      match Hashtbl.find_opt t.spill (0, k, v) with
+      | Some id -> Final id
+      | None -> (
+          match Hashtbl.find_opt t.spill (1, k, v) with
+          | Some id -> Intermediate id
+          | None -> (
+              match Hashtbl.find_opt t.spill (2, k, v) with
+              | Some id -> Aborted id
+              | None -> Nobody))
+end

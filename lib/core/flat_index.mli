@@ -1,0 +1,55 @@
+(** Allocation-light lookup tables for dependency inference.
+
+    An open-addressing hash map from native [int] keys to non-negative
+    [int] values: flat parallel arrays, linear probing, load factor kept
+    at or below 1/2.  Lookups and inserts allocate nothing (inserts
+    amortize array doubling), where the seed's tuple-keyed [Hashtbl]
+    boxed a [(key * value)] block per insert and hashed it per probe.
+
+    The {!Writers} submodule layers the paper's writer-resolution tables
+    (final / intermediate / aborted, Section IV-A) on top, packing each
+    [(key, value)] pair into a single int — sound because mini-transaction
+    histories assign unique values, so the packing is injective whenever
+    it cannot overflow, and the rare unpackable pair falls back to a
+    tuple-keyed spill table. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] is a size hint (rounded up to a power of two, min 16). *)
+
+val length : t -> int
+
+val set : t -> int -> int -> unit
+(** [set t k v] binds [k] to [v], replacing any previous binding.
+    @raise Invalid_argument if [v < 0] (reserved for "absent"). *)
+
+val get : t -> int -> int
+(** [get t k] is the value bound to [k], or [-1] if unbound. *)
+
+val mem : t -> int -> bool
+
+(** Final / intermediate / aborted writer resolution over packed pairs —
+    the backing store of {!Index} and the streaming {!Online} checker. *)
+module Writers : sig
+  type who =
+    | Final of Txn.id
+    | Intermediate of Txn.id
+    | Aborted of Txn.id
+    | Nobody
+
+  type t
+
+  val create : num_keys:int -> expected:int -> t
+  (** [num_keys] bounds the key space (packing stride); [expected] is a
+      hint for the number of final writes. *)
+
+  val set_final : t -> Op.key -> Op.value -> Txn.id -> unit
+  val set_intermediate : t -> Op.key -> Op.value -> Txn.id -> unit
+  val set_aborted : t -> Op.key -> Op.value -> Txn.id -> unit
+
+  val resolve : t -> Op.key -> Op.value -> who
+  (** Who produced value [v] of object [k]?  Checks final writers first,
+      then intermediate, then aborted — the resolution order of paper
+      Section IV-A. *)
+end

@@ -2,41 +2,67 @@ type t = {
   history : History.t;
   committed : Txn.t array;
   vertex_of_txn : int array;
-  final_writer : (Op.key * Op.value, Txn.id) Hashtbl.t;
-  intermediate_writer : (Op.key * Op.value, Txn.id) Hashtbl.t;
-  aborted_writer : (Op.key * Op.value, Txn.id) Hashtbl.t;
+  writers : Flat_index.Writers.t;
 }
+
+(* Is ops.(i) = Write (k, _) the last write to [k] in the transaction?
+   Mini-transactions have <= 4 ops, so the linear rescan beats building
+   the per-txn hashtables of [Txn.final_writes]. *)
+let is_final_write ops i k =
+  let n = Array.length ops in
+  let rec later j =
+    j >= n
+    ||
+    match ops.(j) with
+    | Op.Write (k', _) when k' = k -> false
+    | Op.Write _ | Op.Read _ -> later (j + 1)
+  in
+  later (i + 1)
 
 let build (h : History.t) =
   let n = History.num_txns h in
-  let committed =
-    Array.of_list (History.committed h)
-  in
+  let committed = Array.make (History.committed_count h) h.txns.(0) in
+  let next = ref 0 in
+  Array.iter
+    (fun (t : Txn.t) ->
+      if Txn.is_committed t then begin
+        committed.(!next) <- t;
+        incr next
+      end)
+    h.txns;
   let vertex_of_txn = Array.make n (-1) in
   Array.iteri (fun i (t : Txn.t) -> vertex_of_txn.(t.id) <- i) committed;
-  let final_writer = Hashtbl.create (4 * n) in
-  let intermediate_writer = Hashtbl.create 16 in
-  let aborted_writer = Hashtbl.create 16 in
+  let writers =
+    Flat_index.Writers.create ~num_keys:h.num_keys ~expected:(4 * n)
+  in
   Array.iter
     (fun (t : Txn.t) ->
       match t.status with
       | Txn.Committed ->
-          List.iter
-            (fun (k, v) -> Hashtbl.replace final_writer (k, v) t.id)
-            (Txn.final_writes t);
-          List.iter
-            (fun (k, v) -> Hashtbl.replace intermediate_writer (k, v) t.id)
-            (Txn.intermediate_writes t)
+          Array.iteri
+            (fun i op ->
+              match op with
+              | Op.Write (k, v) ->
+                  if is_final_write t.ops i k then
+                    Flat_index.Writers.set_final writers k v t.id
+                  else
+                    (* An overwritten write whose value happens to equal
+                       the final one is re-registered as intermediate; the
+                       final tier shadows it in [resolve], matching the
+                       seed's [Txn.intermediate_writes] semantics. *)
+                    Flat_index.Writers.set_intermediate writers k v t.id
+              | Op.Read _ -> ())
+            t.ops
       | Txn.Aborted ->
           Array.iter
             (fun op ->
               match op with
-              | Op.Write (k, v) -> Hashtbl.replace aborted_writer (k, v) t.id
+              | Op.Write (k, v) ->
+                  Flat_index.Writers.set_aborted writers k v t.id
               | Op.Read _ -> ())
             t.ops)
     h.txns;
-  { history = h; committed; vertex_of_txn; final_writer; intermediate_writer;
-    aborted_writer }
+  { history = h; committed; vertex_of_txn; writers }
 
 let num_vertices t = Array.length t.committed
 
@@ -47,19 +73,10 @@ let vertex t id =
   if v < 0 then invalid_arg (Printf.sprintf "Index.vertex: T%d is aborted" id);
   v
 
-type writer =
+type writer = Flat_index.Writers.who =
   | Final of Txn.id
   | Intermediate of Txn.id
   | Aborted of Txn.id
   | Nobody
 
-let writer_of t k v =
-  match Hashtbl.find_opt t.final_writer (k, v) with
-  | Some id -> Final id
-  | None -> (
-      match Hashtbl.find_opt t.intermediate_writer (k, v) with
-      | Some id -> Intermediate id
-      | None -> (
-          match Hashtbl.find_opt t.aborted_writer (k, v) with
-          | Some id -> Aborted id
-          | None -> Nobody))
+let writer_of t k v = Flat_index.Writers.resolve t.writers k v

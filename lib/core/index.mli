@@ -2,18 +2,19 @@
     transactions and write-value lookup tables.  Because every write on an
     object assigns a unique value (Definition 9), the tables resolve each
     read to the transaction that produced its value — the basis of the
-    deterministic WR relation (paper Section IV-A). *)
+    deterministic WR relation (paper Section IV-A).
+
+    The lookup tables are int-packed open-addressing maps
+    ({!Flat_index.Writers}): building them scans each transaction's op
+    array directly, with no per-transaction hashtables and no boxed
+    [(key * value)] tuple per write. *)
 
 type t = private {
   history : History.t;
   committed : Txn.t array;  (** committed transactions in id order *)
   vertex_of_txn : int array;  (** txn id -> dense vertex, or -1 if aborted *)
-  final_writer : (Op.key * Op.value, Txn.id) Hashtbl.t;
-      (** committed transactions' last writes: [T |- W(x,v)] *)
-  intermediate_writer : (Op.key * Op.value, Txn.id) Hashtbl.t;
-      (** committed transactions' overwritten internal writes *)
-  aborted_writer : (Op.key * Op.value, Txn.id) Hashtbl.t;
-      (** any write of an aborted transaction *)
+  writers : Flat_index.Writers.t;
+      (** final / intermediate / aborted writer resolution *)
 }
 
 val build : History.t -> t
@@ -23,7 +24,7 @@ val txn_of_vertex : t -> int -> Txn.t
 val vertex : t -> Txn.id -> int
 (** @raise Invalid_argument on an aborted transaction. *)
 
-type writer =
+type writer = Flat_index.Writers.who =
   | Final of Txn.id
   | Intermediate of Txn.id
   | Aborted of Txn.id

@@ -43,34 +43,48 @@ let classify_internal ~prior ~observed_is_earlier_own_write ~observed_is_later_o
     | Last_read _ -> Non_repeatable_reads
 
 let check_txn_with ~resolve (t : Txn.t) =
+  let ops = t.ops in
+  let n = Array.length ops in
   let violations = ref [] in
-  let state : (Op.key, last_access) Hashtbl.t = Hashtbl.create 4 in
-  (* Positions of the transaction's own writes, per (key, value). *)
-  let own_write_pos : (Op.key * Op.value, int) Hashtbl.t = Hashtbl.create 4 in
+  (* Mini-transactions have <= 4 ops: linear rescans of the op array
+     replace the per-transaction hashtables, so the screen allocates
+     nothing on the happy path. *)
+  (* Position of the transaction's first own write of (k, v), or -1. *)
+  let own_write_pos k v =
+    let rec go j =
+      if j >= n then -1
+      else
+        match ops.(j) with
+        | Op.Write (k', v') when k' = k && v' = v -> j
+        | Op.Write _ | Op.Read _ -> go (j + 1)
+    in
+    go 0
+  in
+  (* Last in-transaction access to [k] strictly before position [i]. *)
+  let rec last_access k j =
+    if j < 0 then None
+    else
+      match ops.(j) with
+      | Op.Write (k', v') when k' = k -> Some (Last_write v')
+      | Op.Read (k', v') when k' = k -> Some (Last_read v')
+      | Op.Write _ | Op.Read _ -> last_access k (j - 1)
+  in
   Array.iteri
     (fun i op ->
       match op with
-      | Op.Write (k, v) ->
-          if not (Hashtbl.mem own_write_pos (k, v)) then
-            Hashtbl.replace own_write_pos (k, v) i
-      | Op.Read _ -> ())
-    t.ops;
-  Array.iteri
-    (fun i op ->
-      match op with
-      | Op.Write (k, v) -> Hashtbl.replace state k (Last_write v)
+      | Op.Write _ -> ()
       | Op.Read (k, v) -> (
-          let record kind = violations := { txn = t.id; op_index = i; kind } :: !violations in
-          (match Hashtbl.find_opt state k with
+          let record kind =
+            violations := { txn = t.id; op_index = i; kind } :: !violations
+          in
+          match last_access k (i - 1) with
           | Some (Last_write v' | Last_read v') when v' = v -> ()
           | Some prior ->
-              let own_pos = Hashtbl.find_opt own_write_pos (k, v) in
+              let p = own_write_pos k v in
               record
                 (classify_internal ~prior
-                   ~observed_is_earlier_own_write:
-                     (match own_pos with Some p -> p < i | None -> false)
-                   ~observed_is_later_own_write:
-                     (match own_pos with Some p -> p > i | None -> false))
+                   ~observed_is_earlier_own_write:(p >= 0 && p < i)
+                   ~observed_is_later_own_write:(p > i))
           | None -> (
               (* External read: resolve the writer via unique values. *)
               match resolve k v with
@@ -82,9 +96,8 @@ let check_txn_with ~resolve (t : Txn.t) =
                   if w = t.id then record Future_read
                   else record (Intermediate_read w)
               | Index.Aborted w -> record (Aborted_read w)
-              | Index.Nobody -> record Thin_air_read));
-          Hashtbl.replace state k (Last_read v)))
-    t.ops;
+              | Index.Nobody -> record Thin_air_read)))
+    ops;
   List.rev !violations
 
 let check_txn (idx : Index.t) t =

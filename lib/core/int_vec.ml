@@ -1,0 +1,17 @@
+type t = { mutable data : int array; mutable len : int }
+
+let create capacity = { data = Array.make (Stdlib.max 4 capacity) 0; len = 0 }
+
+let length t = t.len
+
+let push t x =
+  if t.len = Array.length t.data then begin
+    let d = Array.make (2 * t.len) 0 in
+    Array.blit t.data 0 d 0 t.len;
+    t.data <- d
+  end;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1
+
+let get t i = t.data.(i)
+let data t = t.data

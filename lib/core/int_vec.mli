@@ -1,0 +1,17 @@
+(** Growable flat [int] array (amortized-doubling push) — the edge-stream
+    buffer of the direct-to-CSR dependency builder.  No per-element
+    boxing; the only allocation is the occasional capacity doubling. *)
+
+type t
+
+val create : int -> t
+(** [create capacity] with an initial capacity hint (min 4). *)
+
+val length : t -> int
+val push : t -> int -> unit
+val get : t -> int -> int
+
+val data : t -> int array
+(** The backing array — valid entries are [0 .. length t - 1].  Exposed
+    so counting-sort passes can index it directly; do not retain across
+    further pushes (doubling replaces the array). *)

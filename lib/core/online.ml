@@ -57,9 +57,8 @@ type t = {
   mutable next_vertex : int;
   vertex_txn : (int, Txn.id) Hashtbl.t;  (** helpers absent *)
   txn_vertex : (Txn.id, int) Hashtbl.t;  (** base vertex (SI: the d-vertex) *)
-  final_writer : (Op.key * Op.value, Txn.id) Hashtbl.t;
-  intermediate_writer : (Op.key * Op.value, Txn.id) Hashtbl.t;
-  aborted_writer : (Op.key * Op.value, Txn.id) Hashtbl.t;
+  writers : Flat_index.Writers.t;
+      (** final / intermediate / aborted writer resolution, int-packed *)
   readers : (Op.key * Op.value, Txn.id list ref) Hashtbl.t;
   overwriters : (Op.key * Op.value, Txn.id list ref) Hashtbl.t;
   extender : (Op.key * Op.value, Txn.id * Op.value) Hashtbl.t;
@@ -98,9 +97,7 @@ let create ?(skew = 0) ~level ~num_keys () =
       next_vertex = 0;
       vertex_txn = Hashtbl.create 256;
       txn_vertex = Hashtbl.create 256;
-      final_writer = Hashtbl.create 1024;
-      intermediate_writer = Hashtbl.create 64;
-      aborted_writer = Hashtbl.create 64;
+      writers = Flat_index.Writers.create ~num_keys ~expected:1024;
       readers = Hashtbl.create 1024;
       overwriters = Hashtbl.create 256;
       extender = Hashtbl.create 256;
@@ -117,21 +114,12 @@ let create ?(skew = 0) ~level ~num_keys () =
   let init = History.init_txn ~num_keys in
   Hashtbl.replace t.seen_ids init.Txn.id ();
   List.iter
-    (fun (k, v) -> Hashtbl.replace t.final_writer (k, v) init.Txn.id)
+    (fun (k, v) -> Flat_index.Writers.set_final t.writers k v init.Txn.id)
     (Txn.final_writes init);
   ignore (alloc_vertices t init);
   t
 
-let resolve t k v =
-  match Hashtbl.find_opt t.final_writer (k, v) with
-  | Some id -> Index.Final id
-  | None -> (
-      match Hashtbl.find_opt t.intermediate_writer (k, v) with
-      | Some id -> Index.Intermediate id
-      | None -> (
-          match Hashtbl.find_opt t.aborted_writer (k, v) with
-          | Some id -> Index.Aborted id
-          | None -> Index.Nobody))
+let resolve t k v = Flat_index.Writers.resolve t.writers k v
 
 let push tbl key v =
   match Hashtbl.find_opt tbl key with
@@ -273,10 +261,10 @@ let feed_committed t (txn : Txn.t) =
     (Txn.external_reads txn);
   (* Record writes for future resolution. *)
   List.iter
-    (fun (k, v) -> Hashtbl.replace t.final_writer (k, v) txn.Txn.id)
+    (fun (k, v) -> Flat_index.Writers.set_final t.writers k v txn.Txn.id)
     (Txn.final_writes txn);
   List.iter
-    (fun (k, v) -> Hashtbl.replace t.intermediate_writer (k, v) txn.Txn.id)
+    (fun (k, v) -> Flat_index.Writers.set_intermediate t.writers k v txn.Txn.id)
     (Txn.intermediate_writes txn);
   (* SSER: real-time edges through the helper chain. *)
   if t.level = Checker.SSER then begin
@@ -328,7 +316,7 @@ let add_txn t (txn : Txn.t) =
             (fun op ->
               match op with
               | Op.Write (k, v) ->
-                  Hashtbl.replace t.aborted_writer (k, v) txn.Txn.id
+                  Flat_index.Writers.set_aborted t.writers k v txn.Txn.id
               | Op.Read _ -> ())
             txn.Txn.ops;
           Ok_so_far

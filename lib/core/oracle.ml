@@ -58,9 +58,10 @@ let certificate ?(rt_mode = Deps.Rt_sweep) level (h : History.t) =
           | Error e ->
               Error (Checker.Malformed (Format.asprintf "%a" Deps.pp_error e))
           | Ok d -> (
-              match Topo.sort d.Deps.graph with
+              let csr = Deps.freeze d in
+              match Topo.sort_csr csr with
               | None -> (
-                  match Cycle.find d.Deps.graph with
+                  match Cycle.find_csr csr with
                   | Some cycle ->
                       Error (Checker.Cyclic (Deps.to_txn_cycle d cycle))
                   | None -> assert false)

@@ -29,12 +29,15 @@ let dot_of_history ?(max_txns = 60) (h : History.t) =
   (match Deps.build ~rt:Deps.No_rt idx with
   | Error _ -> ()
   | Ok d ->
-      Digraph.iter_edges d.Deps.graph (fun u lab v ->
-          if u < shown && v < shown then
-            let a = (Index.txn_of_vertex idx u).Txn.id in
-            let b = (Index.txn_of_vertex idx v).Txn.id in
-            Buffer.add_string buf
-              (Printf.sprintf "  t%d -> t%d [%s];\n" a b (edge_style lab))));
+      let c = Deps.freeze d in
+      for u = 0 to Csr.n c - 1 do
+        Csr.iter_succ c u (fun v lab ->
+            if u < shown && v < shown then
+              let a = (Index.txn_of_vertex idx u).Txn.id in
+              let b = (Index.txn_of_vertex idx v).Txn.id in
+              Buffer.add_string buf
+                (Printf.sprintf "  t%d -> t%d [%s];\n" a b (edge_style lab)))
+      done);
   Buffer.add_string buf "}\n";
   Buffer.contents buf
 

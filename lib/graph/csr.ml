@@ -8,6 +8,42 @@ let n t = Array.length t.offsets - 1
 let num_edges t = Array.length t.targets
 let out_degree t u = t.offsets.(u + 1) - t.offsets.(u)
 
+let make ~offsets ~targets ~labels =
+  let n = Array.length offsets - 1 in
+  if n < 0 then invalid_arg "Csr.make: offsets must have length >= 1";
+  let m = Array.length targets in
+  if Array.length labels <> m then
+    invalid_arg "Csr.make: targets and labels disagree on the edge count";
+  if offsets.(0) <> 0 || offsets.(n) <> m then
+    invalid_arg "Csr.make: offsets must run from 0 to the edge count";
+  for u = 0 to n - 1 do
+    if offsets.(u) > offsets.(u + 1) then
+      invalid_arg "Csr.make: offsets must be non-decreasing"
+  done;
+  { offsets; targets; labels }
+
+let of_edge_arrays ~n ~num_edges ~src ~dst ~lab ~decode =
+  let offsets = Array.make (n + 1) 0 in
+  for e = 0 to num_edges - 1 do
+    offsets.(src.(e) + 1) <- offsets.(src.(e) + 1) + 1
+  done;
+  for u = 1 to n do
+    offsets.(u) <- offsets.(u) + offsets.(u - 1)
+  done;
+  let targets = Array.make num_edges (-1) in
+  let labels =
+    if num_edges = 0 then [||] else Array.make num_edges (decode lab.(0))
+  in
+  let cursor = Array.sub offsets 0 (Stdlib.max n 1) in
+  for e = 0 to num_edges - 1 do
+    let u = src.(e) in
+    let i = cursor.(u) in
+    targets.(i) <- dst.(e);
+    labels.(i) <- decode lab.(e);
+    cursor.(u) <- i + 1
+  done;
+  { offsets; targets; labels }
+
 let of_digraph g =
   let n = Digraph.n g in
   let m = Digraph.num_edges g in

@@ -19,6 +19,29 @@ val of_digraph : 'lab Digraph.t -> 'lab t
 (** O(V + E) snapshot.  Later mutations of the source graph are not
     reflected. *)
 
+val make :
+  offsets:int array -> targets:int array -> labels:'lab array -> 'lab t
+(** Direct construction from pre-built arrays (callers that count
+    out-degrees and fill blocks themselves, e.g. the SI composition).
+    Validates the CSR shape in O(V): [offsets] runs monotonically from
+    [0] to the edge count, [targets]/[labels] have that length.
+    @raise Invalid_argument otherwise. *)
+
+val of_edge_arrays :
+  n:int ->
+  num_edges:int ->
+  src:int array ->
+  dst:int array ->
+  lab:int array ->
+  decode:(int -> 'lab) ->
+  'lab t
+(** Two-pass counting-sort construction from a flat edge stream: entries
+    [0 .. num_edges - 1] of [src]/[dst]/[lab] describe one edge each
+    ([lab] as an int-packed label, expanded per edge via [decode]).  The
+    first pass counts out-degrees into [offsets], the second fills the
+    target/label blocks in place; stable, so per-source successor order
+    is the stream order.  O(V + E), no intermediate per-edge boxing. *)
+
 val n : _ t -> int
 val num_edges : _ t -> int
 val out_degree : _ t -> int -> int

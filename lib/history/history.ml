@@ -59,6 +59,20 @@ let so_pairs h =
   done;
   List.rev !acc
 
+let iter_so_pairs h f =
+  (* Single pass in id order (id order refines session order): remember
+     the last committed txn per session, emit (prev, next) as we go.
+     Same pair multiset as [so_pairs], no list materialization. *)
+  let last = Array.make (h.num_sessions + 1) (-1) in
+  Array.iter
+    (fun (t : Txn.t) ->
+      if Txn.is_committed t && t.id <> init_id then begin
+        let s = t.session in
+        f (if last.(s) < 0 then init_id else last.(s)) t.id;
+        last.(s) <- t.id
+      end)
+    h.txns
+
 let rt_before h t1 t2 =
   let a = h.txns.(t1) and b = h.txns.(t2) in
   a.commit_ts < b.start_ts

@@ -1,16 +1,23 @@
-type t = { mutable next : int; table : (int, int list) Hashtbl.t }
+(* Ids are handed out densely from 0 (the empty list), so the table is a
+   growable array rather than an int-keyed hashtable: [put] is a store +
+   bump, [get] a bounds-checked load. *)
+type t = { mutable len : int; mutable slots : int list array }
 
 let empty_id = 0
 
-let create () =
-  let table = Hashtbl.create 1024 in
-  Hashtbl.replace table empty_id [];
-  { next = 1; table }
+let create () = { len = 1; slots = Array.make 1024 [] }
 
 let put t l =
-  let id = t.next in
-  t.next <- id + 1;
-  Hashtbl.replace t.table id l;
+  let id = t.len in
+  if id = Array.length t.slots then begin
+    let slots = Array.make (2 * id) [] in
+    Array.blit t.slots 0 slots 0 id;
+    t.slots <- slots
+  end;
+  t.slots.(id) <- l;
+  t.len <- id + 1;
   id
 
-let get t id = Hashtbl.find t.table id
+let get t id =
+  if id < 0 || id >= t.len then raise Not_found;
+  t.slots.(id)

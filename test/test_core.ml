@@ -127,7 +127,9 @@ let test_divergence_find_all () =
 let edges_of h rt =
   match Deps.build ~rt (Index.build h) with
   | Ok d ->
-      Digraph.fold_edges d.Deps.graph (fun acc u lab v -> (u, lab, v) :: acc) []
+      Digraph.fold_edges (Deps.digraph d)
+        (fun acc u lab v -> (u, lab, v) :: acc)
+        []
   | Error _ -> Alcotest.fail "deps build failed"
 
 let has_edge edges u lab v = List.mem (u, lab, v) edges
@@ -171,7 +173,7 @@ let test_deps_edge_count_linear () =
   match Deps.build ~rt:Deps.No_rt (Index.build res.Scheduler.history) with
   | Ok d ->
       let n = Index.num_vertices d.Deps.idx in
-      let m = Digraph.num_edges d.Deps.graph in
+      let m = Csr.num_edges (Deps.freeze d) in
       checkb "m <= 8n" true (m <= 8 * n)
   | Error _ -> Alcotest.fail "build failed"
 

@@ -1,0 +1,238 @@
+(* Tests for the allocation-light inference pipeline: the int-packed
+   Flat_index (raw map + writer tiers, including the spill path for
+   unpackable pairs), Int_vec, and the equivalence of the direct-to-CSR
+   dependency builder with the seed's list-based Digraph path. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- Flat_index: raw open-addressing map --- *)
+
+let test_map_basic () =
+  let m = Flat_index.create () in
+  checki "absent is -1" (-1) (Flat_index.get m 42);
+  checkb "absent not mem" false (Flat_index.mem m 42);
+  Flat_index.set m 42 7;
+  checki "present" 7 (Flat_index.get m 42);
+  checkb "present mem" true (Flat_index.mem m 42);
+  Flat_index.set m 42 9;
+  checki "replaced" 9 (Flat_index.get m 42);
+  checki "size counts keys once" 1 (Flat_index.length m)
+
+let test_map_growth () =
+  let m = Flat_index.create ~capacity:2 () in
+  for k = 0 to 9_999 do
+    Flat_index.set m (k * 7) (k + 1)
+  done;
+  checki "all inserted" 10_000 (Flat_index.length m);
+  let ok = ref true in
+  for k = 0 to 9_999 do
+    if Flat_index.get m (k * 7) <> k + 1 then ok := false
+  done;
+  checkb "all retrievable after growth" true !ok;
+  checki "probe miss after growth" (-1) (Flat_index.get m 3)
+
+let test_map_negative_value_rejected () =
+  let m = Flat_index.create () in
+  checkb "set -1 rejected" true
+    (try
+       Flat_index.set m 0 (-1);
+       false
+     with Invalid_argument _ -> true)
+
+let test_map_adversarial_keys () =
+  (* Keys colliding in the low bits stress linear probing. *)
+  let m = Flat_index.create ~capacity:4 () in
+  for i = 0 to 199 do
+    Flat_index.set m (i * 1024) i
+  done;
+  let ok = ref true in
+  for i = 0 to 199 do
+    if Flat_index.get m (i * 1024) <> i then ok := false
+  done;
+  checkb "colliding keys survive" true !ok
+
+(* --- Flat_index.Writers: tiers and the unpackable spill --- *)
+
+let test_writers_tiers () =
+  let w = Flat_index.Writers.create ~num_keys:4 ~expected:8 in
+  Flat_index.Writers.set_aborted w 1 10 3;
+  checkb "aborted tier" true
+    (Flat_index.Writers.resolve w 1 10 = Flat_index.Writers.Aborted 3);
+  Flat_index.Writers.set_intermediate w 1 10 2;
+  checkb "intermediate shadows aborted" true
+    (Flat_index.Writers.resolve w 1 10 = Flat_index.Writers.Intermediate 2);
+  Flat_index.Writers.set_final w 1 10 1;
+  checkb "final shadows intermediate" true
+    (Flat_index.Writers.resolve w 1 10 = Flat_index.Writers.Final 1);
+  checkb "other value nobody" true
+    (Flat_index.Writers.resolve w 1 11 = Flat_index.Writers.Nobody);
+  checkb "other key nobody" true
+    (Flat_index.Writers.resolve w 2 10 = Flat_index.Writers.Nobody)
+
+let test_writers_spill () =
+  (* Values beyond the pack guard (v * num_keys would overflow) and
+     negative values take the tuple-keyed spill table; resolution must be
+     identical. *)
+  let w = Flat_index.Writers.create ~num_keys:1000 ~expected:8 in
+  let huge = max_int - 5 in
+  Flat_index.Writers.set_final w 3 huge 7;
+  Flat_index.Writers.set_intermediate w 4 (-2) 8;
+  Flat_index.Writers.set_aborted w 5 huge 9;
+  checkb "huge value resolves final" true
+    (Flat_index.Writers.resolve w 3 huge = Flat_index.Writers.Final 7);
+  checkb "negative value resolves intermediate" true
+    (Flat_index.Writers.resolve w 4 (-2) = Flat_index.Writers.Intermediate 8);
+  checkb "huge aborted resolves" true
+    (Flat_index.Writers.resolve w 5 huge = Flat_index.Writers.Aborted 9);
+  checkb "near-miss key nobody" true
+    (Flat_index.Writers.resolve w 6 huge = Flat_index.Writers.Nobody);
+  (* Packed and spilled entries coexist. *)
+  Flat_index.Writers.set_final w 3 42 11;
+  checkb "packed entry next to spill" true
+    (Flat_index.Writers.resolve w 3 42 = Flat_index.Writers.Final 11)
+
+(* --- Int_vec --- *)
+
+let test_int_vec () =
+  let v = Int_vec.create 2 in
+  for i = 0 to 999 do
+    Int_vec.push v (i * 3)
+  done;
+  checki "length" 1000 (Int_vec.length v);
+  checki "get" 297 (Int_vec.get v 99);
+  let data = Int_vec.data v in
+  checkb "data is the live prefix" true
+    (Array.length data >= 1000 && data.(999) = 2997)
+
+(* --- direct vs digraph equivalence --- *)
+
+let config_gen =
+  QCheck2.Gen.(
+    let* seed = int_range 1 10_000 in
+    let* num_keys = int_range 2 30 in
+    let* num_txns = int_range 20 250 in
+    let* num_sessions = int_range 1 10 in
+    let* level =
+      oneofl
+        [ Isolation.Snapshot; Isolation.Serializable;
+          Isolation.Strict_serializable ]
+    in
+    return (seed, num_keys, num_txns, num_sessions, level))
+
+let print_config (seed, num_keys, num_txns, num_sessions, level) =
+  Printf.sprintf "seed=%d keys=%d txns=%d sessions=%d level=%s" seed num_keys
+    num_txns num_sessions (Isolation.name level)
+
+let history_of (seed, num_keys, num_txns, num_sessions, level) =
+  (* Odd seeds run a faulty engine so the equivalence also covers
+     histories with real anomalies (cyclic graphs, unresolved reads). *)
+  let fault = if seed mod 2 = 1 then Fault.Lost_update 0.15 else Fault.No_fault in
+  let spec =
+    Mt_gen.generate
+      { Mt_gen.num_sessions; num_txns; num_keys; dist = Distribution.Uniform;
+        seed }
+  in
+  let db = { Db.level; fault; num_keys; seed } in
+  (Scheduler.run ~params:{ Scheduler.default_params with seed } ~db ~spec ())
+    .Scheduler.history
+
+(* Sorted edge list of the dependency graph under a given builder; the
+   error case is part of the compared value. *)
+let edges_of impl rt h =
+  let idx = Index.build h in
+  match Deps.build ~impl ~rt idx with
+  | Error e -> Error e
+  | Ok d ->
+      let c = Deps.freeze d in
+      let acc = ref [] in
+      for u = 0 to Csr.n c - 1 do
+        Csr.iter_succ c u (fun v lab -> acc := (u, lab, v) :: !acc)
+      done;
+      Ok (List.sort compare !acc)
+
+let outcome_kind = function
+  | Checker.Pass -> 0
+  | Checker.Fail (Checker.Intra _) -> 1
+  | Checker.Fail (Checker.Diverged _) -> 2
+  | Checker.Fail (Checker.Cyclic _) -> 3
+  | Checker.Fail (Checker.Malformed _) -> 4
+
+let prop_edge_multisets_equal =
+  QCheck2.Test.make ~name:"direct CSR == digraph edge multiset" ~count:60
+    ~print:print_config config_gen (fun cfg ->
+      let h = history_of cfg in
+      List.for_all
+        (fun rt ->
+          edges_of Deps.Direct rt h = edges_of Deps.Via_digraph rt h)
+        [ Deps.No_rt; Deps.Rt_naive; Deps.Rt_sweep ])
+
+let prop_check_outcomes_equal =
+  QCheck2.Test.make ~name:"check impl-independent (all levels, all rt)"
+    ~count:60 ~print:print_config config_gen (fun cfg ->
+      let h = history_of cfg in
+      List.for_all
+        (fun (level, rt_mode) ->
+          outcome_kind (Checker.check ?rt_mode ~impl:Deps.Direct level h)
+          = outcome_kind (Checker.check ?rt_mode ~impl:Deps.Via_digraph level h))
+        [
+          (Checker.SER, None);
+          (Checker.SI, None);
+          (Checker.SSER, Some Deps.Rt_naive);
+          (Checker.SSER, Some Deps.Rt_sweep);
+        ])
+
+(* --- allocation bound: the point of the direct path --- *)
+
+let test_direct_build_alloc_halved () =
+  let spec =
+    Mt_gen.generate
+      { Mt_gen.default with num_txns = 2000; num_keys = 300; seed = 77 }
+  in
+  let db =
+    { Db.level = Isolation.Serializable; fault = Fault.No_fault;
+      num_keys = 300; seed = 77 }
+  in
+  let h = (Scheduler.run ~db ~spec ()).Scheduler.history in
+  let build impl () =
+    let idx = Index.build h in
+    match Deps.build ~impl ~rt:Deps.No_rt idx with
+    | Ok d -> ignore (Sys.opaque_identity (Deps.freeze d))
+    | Error _ -> Alcotest.fail "unexpected unresolved read"
+  in
+  (* Minimum of a few runs: Gc.allocated_bytes can absorb counters from
+     domains terminated by earlier suites, inflating a single delta. *)
+  let measure f =
+    f () (* warm-up *);
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let a0 = Gc.allocated_bytes () in
+      f ();
+      let d = Gc.allocated_bytes () -. a0 in
+      if d < !best then best := d
+    done;
+    !best
+  in
+  let direct = measure (build Deps.Direct) in
+  let digraph = measure (build Deps.Via_digraph) in
+  if direct > digraph /. 2.0 then
+    Alcotest.failf
+      "direct build allocated %.0f bytes, digraph %.0f — expected <= half"
+      direct digraph
+
+let suite =
+  [
+    ("flat map: basic", `Quick, test_map_basic);
+    ("flat map: growth", `Quick, test_map_growth);
+    ("flat map: negative value rejected", `Quick,
+     test_map_negative_value_rejected);
+    ("flat map: adversarial keys", `Quick, test_map_adversarial_keys);
+    ("writers: tier shadowing", `Quick, test_writers_tiers);
+    ("writers: unpackable spill", `Quick, test_writers_spill);
+    ("int_vec: push/get/data", `Quick, test_int_vec);
+    qtest prop_edge_multisets_equal;
+    qtest prop_check_outcomes_equal;
+    ("deps: direct build allocates <= half of digraph", `Quick,
+     test_direct_build_alloc_halved);
+  ]

@@ -6,6 +6,7 @@ let () =
       ("graph", Test_graph.suite);
       ("history", Test_history.suite);
       ("core", Test_core.suite);
+      ("flat", Test_flat.suite);
       ("weak", Test_weak.suite);
       ("lwt", Test_lwt.suite);
       ("sat", Test_sat.suite);
