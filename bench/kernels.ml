@@ -172,6 +172,66 @@ let pool_rows () =
             Printf.sprintf "%.3f" (1000.0 *. t) ]))
     (if !Bench_util.smoke then [ 1 ] else [ 1; 2; 4 ])
 
+(* Checking-as-a-service transport overhead: stream a fixed clean SER
+   history through an in-process server over each transport and report
+   end-to-end throughput plus the server-side per-feed latency
+   percentiles (which exclude the wire, so the gap between the two
+   columns is the protocol cost). *)
+let service_rows () =
+  let txns = Bench_util.scale 2000 in
+  let keys = Stdlib.max 15 (Bench_util.scale 300) in
+  let h =
+    (Bench_util.mt_history ~level:Isolation.Serializable ~keys ~txns ~seed:903 ())
+      .Scheduler.history
+  in
+  let one label addr =
+    let metrics = Metrics.create () in
+    let config =
+      { Server.default_config with Server.listen = [ addr ]; metrics }
+    in
+    let t = Server.start config in
+    Fun.protect
+      ~finally:(fun () -> Server.stop t)
+      (fun () ->
+        let addr = List.hd (Server.bound_addrs t) in
+        match Client.connect addr with
+        | Error e -> failwith ("service bench connect: " ^ e)
+        | Ok c ->
+            Fun.protect
+              ~finally:(fun () -> Client.close c)
+              (fun () ->
+                let sid =
+                  match
+                    Client.open_session c ~level:Checker.SER
+                      ~num_keys:h.History.num_keys ()
+                  with
+                  | Ok sid -> sid
+                  | Error e -> failwith ("service bench open: " ^ e)
+                in
+                let t0 = Unix.gettimeofday () in
+                (match Client.feed_history c ~sid h with
+                | Ok (Wire.V_ok _) -> ()
+                | Ok (Wire.V_violation _) ->
+                    failwith "service bench: clean history flagged"
+                | Error e -> failwith ("service bench feed: " ^ e));
+                let dt = Unix.gettimeofday () -. t0 in
+                [
+                  label;
+                  Printf.sprintf "%.0f"
+                    (float_of_int (Metrics.txns_fed metrics) /. dt);
+                  Printf.sprintf "%d" (Metrics.feed_p50_ns metrics);
+                  Printf.sprintf "%d" (Metrics.feed_p99_ns metrics);
+                ]))
+  in
+  let sock =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mtc-bench-%d.sock" (Unix.getpid ()))
+  in
+  [
+    one "service_feed/unix" (Server.A_unix sock);
+    one "service_feed/tcp" (Server.A_tcp ("127.0.0.1", 0));
+  ]
+
 let run () =
   Bench_util.section
     "Verification kernels (Bechamel OLS, 2000-txn MT history / 2000-event LWT history)";
@@ -208,4 +268,9 @@ let run () =
     (infer_rows ());
   Bench_util.subsection
     "pool dispatch (Pool.map of 64 spin tasks, median of 9)";
-  Bench_util.print_table ~header:[ "pool"; "time per map (ms)" ] (pool_rows ())
+  Bench_util.print_table ~header:[ "pool"; "time per map (ms)" ] (pool_rows ());
+  Bench_util.subsection
+    "checking service: whole-history stream through a live server";
+  Bench_util.print_table
+    ~header:[ "transport"; "txns/s"; "server p50 (ns)"; "server p99 (ns)" ]
+    (service_rows ())

@@ -3,9 +3,31 @@
      mtc check file.hist --level si        verify a recorded history
      mtc run --level ser --txns 2000       generate + execute + verify
      mtc hunt --fault lost-update          stress a faulty engine until a bug
+     mtc serve --listen unix:/tmp/mtc.sock run the checking daemon
+     mtc feed file.hist --addr unix:...    stream a history to a daemon
      mtc anomalies                         print the Figure 5 catalogue *)
 
 open Cmdliner
+
+(* Exit codes, uniform across check/run/hunt/feed so shell pipelines and
+   CI can gate on them.  Violations are exit 1 (like grep's "found");
+   environment problems (unreadable file, bad address, refused
+   connection) are exit 2, distinct from cmdliner's own 124/125. *)
+let exit_pass = 0
+let exit_violation = 1
+let exit_error = 2
+
+let verdict_exits =
+  Cmd.Exit.info exit_pass
+    ~doc:"the history satisfies the requested isolation level (PASS), or \
+          no violation was found."
+  :: Cmd.Exit.info exit_violation
+       ~doc:"an isolation violation was found; the counterexample report \
+             is printed on standard output."
+  :: Cmd.Exit.info exit_error
+       ~doc:"the history could not be loaded, an address could not be \
+             reached, or the request was otherwise invalid."
+  :: Cmd.Exit.defaults
 
 (* ------------------------------------------------------------------ *)
 (* Shared argument converters. *)
@@ -160,19 +182,20 @@ let check_cmd =
     match Codec.load file with
     | Error e ->
         Printf.eprintf "cannot load %s: %s\n" file e;
-        exit 2
+        exit exit_error
     | Ok h -> (
         Printf.printf "%s\n" (History.stats h);
         match verify_any ~skew level h with
         | Ok () ->
             Printf.printf "%s: PASS\n" (any_level_name level);
-            exit 0
+            exit exit_pass
         | Error report ->
             print_string report;
-            exit 1)
+            exit exit_violation)
   in
   Cmd.v
-    (Cmd.info "check" ~doc:"Verify a recorded history against an isolation level.")
+    (Cmd.info "check" ~exits:verdict_exits
+       ~doc:"Verify a recorded history against an isolation level.")
     Term.(const run $ file_arg $ level_arg $ skew_arg)
 
 (* ------------------------------------------------------------------ *)
@@ -214,7 +237,7 @@ let run_cmd =
             exit 1)
   in
   Cmd.v
-    (Cmd.info "run"
+    (Cmd.info "run" ~exits:verdict_exits
        ~doc:"Generate a workload, execute it on the simulated engine, and \
              verify the observed history end-to-end.")
     Term.(const run $ level_arg $ txns_arg $ keys_arg $ sessions_arg
@@ -299,7 +322,7 @@ let hunt_cmd =
             go 1)
   in
   Cmd.v
-    (Cmd.info "hunt"
+    (Cmd.info "hunt" ~exits:verdict_exits
        ~doc:"Stress the engine with freshly seeded workloads until the \
              checker finds an isolation violation.")
     Term.(const run $ level_arg $ txns_arg $ keys_arg $ sessions_arg
@@ -345,6 +368,167 @@ let graph_cmd =
     Term.(const run $ file_arg $ level_arg $ violation_arg)
 
 (* ------------------------------------------------------------------ *)
+(* mtc serve / mtc feed — the checking service. *)
+
+let addr_conv =
+  let parse s =
+    match Server.addr_of_string s with
+    | Ok a -> Ok a
+    | Error m -> Error (`Msg m)
+  in
+  Arg.conv
+    (parse, fun ppf a -> Format.pp_print_string ppf (Server.addr_to_string a))
+
+let serve_cmd =
+  let listen_arg =
+    Arg.(
+      value
+      & opt_all addr_conv []
+      & info [ "listen" ] ~docv:"ADDR"
+          ~doc:
+            "Listen address, $(b,unix:PATH) or $(b,tcp:HOST:PORT) \
+             (repeatable).  Defaults to unix:/tmp/mtc.sock.  TCP port 0 \
+             binds an ephemeral port and prints it.")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 1024
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Per-session ingress queue bound.  A full queue blocks that \
+             connection's reader (hard backpressure) and emits an advisory \
+             throttle frame.")
+  in
+  let idle_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "idle-timeout" ] ~docv:"SECONDS"
+          ~doc:"Close sessions idle for longer than $(docv) (0 disables).")
+  in
+  let run listen queue idle =
+    let listen =
+      if listen = [] then [ Server.A_unix "/tmp/mtc.sock" ] else listen
+    in
+    let config =
+      {
+        Server.default_config with
+        Server.listen;
+        queue_capacity = Stdlib.max 1 queue;
+        idle_timeout = idle;
+      }
+    in
+    match
+      Server.run config ~on_ready:(fun t ->
+          List.iter
+            (fun a ->
+              Printf.printf "mtc serve: listening on %s\n%!"
+                (Server.addr_to_string a))
+            (Server.bound_addrs t))
+    with
+    | () ->
+        (* SIGTERM/SIGINT arrived and the drain completed: dump metrics *)
+        Printf.printf "mtc serve: shut down\n%s\n"
+          (Metrics.to_json Metrics.global);
+        exit exit_pass
+    | exception Unix.Unix_error (e, _, arg) ->
+        Printf.eprintf "mtc serve: cannot listen: %s (%s)\n"
+          (Unix.error_message e) arg;
+        exit exit_error
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the checking daemon: accepts sessions over Unix-domain and \
+          TCP sockets, each an independent online checker at its \
+          negotiated isolation level.  Shuts down gracefully (draining \
+          in-flight frames) on SIGTERM/SIGINT and dumps service metrics \
+          as JSON.")
+    Term.(const run $ listen_arg $ queue_arg $ idle_arg)
+
+let feed_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"HISTORY"
+          ~doc:"History file (mtc-history v1 format) to stream.")
+  in
+  let addr_arg =
+    Arg.(
+      value
+      & opt addr_conv (Server.A_unix "/tmp/mtc.sock")
+      & info [ "addr"; "a" ] ~docv:"ADDR"
+          ~doc:"Server address: $(b,unix:PATH) or $(b,tcp:HOST:PORT).")
+  in
+  let stats_arg =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"Also print the server's metrics snapshot (JSON) afterwards.")
+  in
+  let strong_level = function
+    | Strong l -> Ok l
+    | Weak l ->
+        Error
+          (Printf.sprintf
+             "the service checks strong levels only (si|ser|sser), not %s"
+             (Weak_checker.level_name l))
+  in
+  let run file addr level skew want_stats =
+    match (Codec.load file, strong_level level) with
+    | Error e, _ ->
+        Printf.eprintf "cannot load %s: %s\n" file e;
+        exit exit_error
+    | _, Error e ->
+        Printf.eprintf "%s\n" e;
+        exit exit_error
+    | Ok h, Ok level -> (
+        match Client.connect addr with
+        | Error e ->
+            Printf.eprintf "cannot connect to %s: %s\n"
+              (Server.addr_to_string addr) e;
+            exit exit_error
+        | Ok c ->
+            let finish code =
+              if want_stats then
+                (match Client.stats c with
+                | Ok json -> Printf.printf "server stats: %s\n" json
+                | Error e -> Printf.eprintf "stats failed: %s\n" e);
+              Client.close c;
+              exit code
+            in
+            Printf.printf "%s\n" (History.stats h);
+            (match
+               Client.open_session c ~level ~num_keys:h.History.num_keys
+                 ~skew ()
+             with
+            | Error e ->
+                Printf.eprintf "cannot open session: %s\n" e;
+                finish exit_error
+            | Ok sid -> (
+                match Client.feed_history c ~sid h with
+                | Error e ->
+                    Printf.eprintf "feed failed: %s\n" e;
+                    finish exit_error
+                | Ok (Wire.V_ok n) ->
+                    Printf.printf "%s: PASS (%d transactions accepted)\n"
+                      (Checker.level_name level) n;
+                    finish exit_pass
+                | Ok (Wire.V_violation { rendered; _ }) ->
+                    print_string rendered;
+                    print_newline ();
+                    finish exit_violation)))
+  in
+  Cmd.v
+    (Cmd.info "feed" ~exits:verdict_exits
+       ~doc:
+         "Stream a recorded history to a running $(b,mtc serve) daemon \
+          over the binary wire protocol and print the verdict — a true \
+          end-to-end black-box check over the network.  Exit codes match \
+          $(b,mtc check).")
+    Term.(const run $ file_arg $ addr_arg $ level_arg $ skew_arg $ stats_arg)
+
+(* ------------------------------------------------------------------ *)
 (* mtc anomalies *)
 
 let anomalies_cmd =
@@ -365,5 +549,8 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group
-          (Cmd.info "mtc" ~version:"1.0.0" ~doc)
-          [ check_cmd; run_cmd; hunt_cmd; graph_cmd; anomalies_cmd ]))
+          (Cmd.info "mtc" ~version:"1.0.0" ~doc ~exits:verdict_exits)
+          [
+            check_cmd; run_cmd; hunt_cmd; graph_cmd; anomalies_cmd; serve_cmd;
+            feed_cmd;
+          ]))

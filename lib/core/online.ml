@@ -6,6 +6,7 @@ module Grow = struct
     mutable pk : Pearce_kelly.t;
     mutable capacity : int;
     mutable edges : (int * int) list;  (** for rebuilds *)
+    mutable edge_count : int;
     labels : (int * int, Deps.dep) Hashtbl.t;
   }
 
@@ -14,6 +15,7 @@ module Grow = struct
       pk = Pearce_kelly.create 64;
       capacity = 64;
       edges = [];
+      edge_count = 0;
       labels = Hashtbl.create 256;
     }
 
@@ -41,6 +43,7 @@ module Grow = struct
     match Pearce_kelly.add_edge t.pk u v with
     | Ok () ->
         t.edges <- (u, v) :: t.edges;
+        t.edge_count <- t.edge_count + 1;
         Ok ()
     | Error path -> Error path
 
@@ -75,7 +78,24 @@ type t = {
 
 type step = Ok_so_far | Violation of Checker.violation
 
+type stats = {
+  s_txns_seen : int;
+  s_vertices : int;
+  s_edges : int;
+  s_poisoned : bool;
+}
+
 let txns_seen t = t.count
+let level t = t.level
+let poisoned t = t.poisoned
+
+let stats t =
+  {
+    s_txns_seen = t.count;
+    s_vertices = t.next_vertex;
+    s_edges = t.graph.Grow.edge_count;
+    s_poisoned = t.poisoned <> None;
+  }
 
 let vertices_per_txn level = match level with Checker.SI -> 2 | _ -> 1
 

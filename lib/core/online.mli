@@ -40,6 +40,23 @@ val add_txn : t -> Txn.t -> step
 
 val txns_seen : t -> int
 
+val level : t -> Checker.level
+
+val poisoned : t -> Checker.violation option
+(** The violation this checker is stuck on, if any. *)
+
+type stats = {
+  s_txns_seen : int;  (** transactions fed (committed + aborted) *)
+  s_vertices : int;  (** graph vertices allocated (incl. SI/SSER helpers) *)
+  s_edges : int;  (** edges accepted into the Pearce–Kelly structure *)
+  s_poisoned : bool;
+}
+
+val stats : t -> stats
+(** A consistent snapshot of the checker's internal counters — exposed
+    for the service layer's [stats] frames and for tests asserting that
+    a poisoned checker stops mutating its graph. *)
+
 val check_stream :
   ?skew:int -> level:Checker.level -> num_keys:int -> Txn.t list ->
   (int, Checker.violation) result

@@ -1,0 +1,121 @@
+(* Compact binary primitives for the service wire protocol: LEB128
+   varints (zigzag for signed values), length-prefixed strings, and the
+   transaction record itself.  Encoding appends to a caller-owned
+   [Buffer.t]; decoding reads from an immutable string through a mutable
+   cursor and raises [Decode_error] on malformed or truncated input —
+   callers at the protocol boundary catch it and turn it into a
+   [result]. *)
+
+exception Decode_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Decode_error m)) fmt
+
+type reader = { src : string; mutable pos : int }
+
+let reader ?(pos = 0) src = { src; pos }
+let remaining r = String.length r.src - r.pos
+let at_end r = remaining r <= 0
+
+let read_byte r =
+  if r.pos >= String.length r.src then fail "truncated input at byte %d" r.pos;
+  let b = Char.code r.src.[r.pos] in
+  r.pos <- r.pos + 1;
+  b
+
+(* Unsigned LEB128 over the full 63-bit (plus sign bit) native int: the
+   writer shifts with [lsr], so negative ints terminate after at most 10
+   groups and round-trip bit-exactly. *)
+let add_uvarint buf n =
+  let n = ref n in
+  let continue = ref true in
+  while !continue do
+    let b = !n land 0x7f in
+    n := !n lsr 7;
+    if !n = 0 then begin
+      Buffer.add_char buf (Char.chr b);
+      continue := false
+    end
+    else Buffer.add_char buf (Char.chr (b lor 0x80))
+  done
+
+let read_uvarint r =
+  let result = ref 0 and shift = ref 0 and continue = ref true in
+  while !continue do
+    if !shift >= 63 then fail "varint longer than 63 bits at byte %d" r.pos;
+    let b = read_byte r in
+    result := !result lor ((b land 0x7f) lsl !shift);
+    shift := !shift + 7;
+    if b land 0x80 = 0 then continue := false
+  done;
+  !result
+
+(* Zigzag: small magnitudes of either sign stay short. *)
+let add_varint buf n = add_uvarint buf ((n lsl 1) lxor (n asr 62))
+
+let read_varint r =
+  let u = read_uvarint r in
+  (u lsr 1) lxor (- (u land 1))
+
+let add_string buf s =
+  add_uvarint buf (String.length s);
+  Buffer.add_string buf s
+
+let read_string r =
+  let len = read_uvarint r in
+  if len < 0 || len > remaining r then
+    fail "string of %d bytes overruns input (%d left)" len (remaining r);
+  let s = String.sub r.src r.pos len in
+  r.pos <- r.pos + len;
+  s
+
+(* Transactions: id, session, status, timestamps, then the ops in program
+   order.  Timestamps are zigzag varints so the [min_int] sentinels of
+   the initial transaction survive the trip. *)
+
+let add_op buf op =
+  match op with
+  | Op.Read (k, v) ->
+      Buffer.add_char buf '\000';
+      add_varint buf k;
+      add_varint buf v
+  | Op.Write (k, v) ->
+      Buffer.add_char buf '\001';
+      add_varint buf k;
+      add_varint buf v
+
+let read_op r =
+  let tag = read_byte r in
+  let k = read_varint r in
+  let v = read_varint r in
+  match tag with
+  | 0 -> Op.Read (k, v)
+  | 1 -> Op.Write (k, v)
+  | t -> fail "unknown op tag %d" t
+
+let add_txn buf (t : Txn.t) =
+  add_varint buf t.Txn.id;
+  add_varint buf t.Txn.session;
+  Buffer.add_char buf
+    (match t.Txn.status with Txn.Committed -> '\000' | Txn.Aborted -> '\001');
+  add_varint buf t.Txn.start_ts;
+  add_varint buf t.Txn.commit_ts;
+  add_uvarint buf (Array.length t.Txn.ops);
+  Array.iter (add_op buf) t.Txn.ops
+
+let max_ops = 1 lsl 20
+
+let read_txn r =
+  let id = read_varint r in
+  let session = read_varint r in
+  let status =
+    match read_byte r with
+    | 0 -> Txn.Committed
+    | 1 -> Txn.Aborted
+    | b -> fail "unknown txn status byte %d" b
+  in
+  let start_ts = read_varint r in
+  let commit_ts = read_varint r in
+  let n = read_uvarint r in
+  if n < 0 || n > max_ops then fail "op count %d out of range" n;
+  let ops = List.init n (fun _ -> read_op r) in
+  Txn.make ~id ~session ~status ~start_ts ~commit_ts ops

@@ -1,0 +1,39 @@
+(** Binary encode/decode primitives shared by the service wire protocol
+    ({!module:Wire} in [lib/service]): LEB128 varints (zigzag for signed
+    ints, so every native [int] including [min_int] round-trips),
+    length-prefixed strings, and whole transactions.
+
+    Encoders append to a caller-owned [Buffer.t] — one buffer per
+    connection, reused across frames.  Decoders consume a [reader]
+    cursor over an immutable string and raise {!Decode_error} on any
+    malformed or truncated input; the protocol layer catches it at the
+    frame boundary. *)
+
+exception Decode_error of string
+
+val fail : ('a, unit, string, 'b) format4 -> 'a
+(** [fail fmt ...] raises {!Decode_error} with the formatted message. *)
+
+type reader = { src : string; mutable pos : int }
+
+val reader : ?pos:int -> string -> reader
+val remaining : reader -> int
+val at_end : reader -> bool
+val read_byte : reader -> int
+
+val add_uvarint : Buffer.t -> int -> unit
+val read_uvarint : reader -> int
+
+val add_varint : Buffer.t -> int -> unit
+(** Zigzag-encoded signed varint. *)
+
+val read_varint : reader -> int
+
+val add_string : Buffer.t -> string -> unit
+val read_string : reader -> string
+
+val add_op : Buffer.t -> Op.t -> unit
+val read_op : reader -> Op.t
+
+val add_txn : Buffer.t -> Txn.t -> unit
+val read_txn : reader -> Txn.t

@@ -20,71 +20,101 @@ let to_string (h : History.t) =
     h.txns;
   Buffer.contents buf
 
+(* Parsing is total: any malformed input — truncated op, unknown status,
+   duplicate or out-of-order transaction id, key out of range — yields
+   [Error] with the 1-based line number of the offending line in the
+   original input (comment and blank lines count), never an exception. *)
+
+exception Bad of string
+
 let of_string s =
+  let fail fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt in
+  let faill line fmt =
+    Printf.ksprintf (fun m -> raise (Bad (Printf.sprintf "line %d: %s" line m))) fmt
+  in
+  (* (original line number, trimmed content), comments/blanks dropped *)
   let lines =
     String.split_on_char '\n' s
-    |> List.map String.trim
-    |> List.filter (fun l -> l <> "" && not (String.length l > 0 && l.[0] = '#'))
+    |> List.mapi (fun i l -> (i + 1, String.trim l))
+    |> List.filter (fun (_, l) ->
+           l <> "" && not (String.length l > 0 && l.[0] = '#'))
   in
-  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
-  match lines with
-  | header :: rest when header = "mtc-history v1" -> (
-      let parse_kv name line =
-        match String.split_on_char ' ' line with
-        | [ k; v ] when k = name -> int_of_string_opt v
-        | _ -> None
-      in
-      match rest with
-      | keys_line :: sessions_line :: txn_lines -> (
-          match
-            (parse_kv "keys" keys_line, parse_kv "sessions" sessions_line)
-          with
-          | Some num_keys, Some num_sessions -> (
-              let parse_txn line =
-                match String.split_on_char ' ' line with
-                | "txn" :: id :: session :: status :: start :: commit :: ops ->
-                    let ( let* ) = Option.bind in
-                    let* id = int_of_string_opt id in
-                    let* session = int_of_string_opt session in
-                    let* status =
-                      match status with
-                      | "C" -> Some Txn.Committed
-                      | "A" -> Some Txn.Aborted
-                      | _ -> None
-                    in
-                    let* start_ts = int_of_string_opt start in
-                    let* commit_ts = int_of_string_opt commit in
-                    let* ops =
-                      List.fold_right
-                        (fun op_s acc ->
-                          let* acc = acc in
-                          let* op = Op.of_string op_s in
-                          Some (op :: acc))
-                        ops (Some [])
-                    in
-                    Some
-                      (Txn.make ~id ~session ~status ~start_ts ~commit_ts ops)
-                | _ -> None
-              in
-              let txns =
-                List.fold_right
-                  (fun line acc ->
-                    match acc with
-                    | Error _ -> acc
-                    | Ok ts -> (
-                        match parse_txn line with
-                        | Some t -> Ok (t :: ts)
-                        | None -> Error line))
-                  txn_lines (Ok [])
-              in
-              match txns with
-              | Error line -> fail "unparseable txn line: %S" line
-              | Ok txns -> (
-                  try Ok (History.make ~num_keys ~num_sessions txns)
-                  with Invalid_argument m -> Error m))
-          | _ -> fail "bad keys/sessions header")
-      | _ -> fail "truncated header")
-  | _ -> fail "missing magic line 'mtc-history v1'"
+  let parse_kv name (ln, line) =
+    match String.split_on_char ' ' line with
+    | [ k; v ] when k = name -> (
+        match int_of_string_opt v with
+        | Some n -> n
+        | None -> faill ln "bad %s count %S" name v)
+    | _ -> faill ln "expected %S header, got %S" (name ^ " <n>") line
+  in
+  let parse_txn (ln, line) =
+    match String.split_on_char ' ' line with
+    | "txn" :: id :: session :: status :: start :: commit :: ops ->
+        let int what s =
+          match int_of_string_opt s with
+          | Some n -> n
+          | None -> faill ln "bad %s %S" what s
+        in
+        let id = int "txn id" id in
+        let session = int "session" session in
+        let status =
+          match status with
+          | "C" -> Txn.Committed
+          | "A" -> Txn.Aborted
+          | other -> faill ln "bad status %S (want C or A)" other
+        in
+        let start_ts = int "start_ts" start in
+        let commit_ts = int "commit_ts" commit in
+        let ops =
+          List.map
+            (fun op_s ->
+              match Op.of_string op_s with
+              | Some op -> op
+              | None -> faill ln "bad operation %S" op_s)
+            ops
+        in
+        (ln, Txn.make ~id ~session ~status ~start_ts ~commit_ts ops)
+    | _ -> faill ln "unparseable txn line %S" line
+  in
+  try
+    match lines with
+    | (_, header) :: rest when header = "mtc-history v1" -> (
+        match rest with
+        | keys_line :: sessions_line :: txn_lines ->
+            let num_keys = parse_kv "keys" keys_line in
+            let num_sessions = parse_kv "sessions" sessions_line in
+            let txns = List.map parse_txn txn_lines in
+            (* Ids must be the dense sequence 1..n in order (the implicit
+               initial transaction is id 0): diagnose duplicates and gaps
+               with their line before History.make would. *)
+            List.iteri
+              (fun i (ln, (t : Txn.t)) ->
+                if t.Txn.id <> i + 1 then
+                  if
+                    List.exists
+                      (fun (_, (u : Txn.t)) -> u.Txn.id = t.Txn.id)
+                      (List.filteri (fun j _ -> j < i) txns)
+                  then faill ln "duplicate txn id %d" t.Txn.id
+                  else
+                    faill ln "txn id %d out of order (expected %d)" t.Txn.id
+                      (i + 1);
+                if t.Txn.session < 1 || t.Txn.session > num_sessions then
+                  faill ln "session %d out of [1,%d]" t.Txn.session num_sessions;
+                Array.iter
+                  (fun op ->
+                    let k = Op.key op in
+                    if k < 0 || k >= num_keys then
+                      faill ln "key %d out of [0,%d)" k num_keys)
+                  t.Txn.ops)
+              txns;
+            (* all History.make preconditions were just checked per line;
+               keep the guard anyway so parsing stays total *)
+            (try Ok (History.make ~num_keys ~num_sessions (List.map snd txns))
+             with Invalid_argument m -> fail "%s" m)
+        | _ -> fail "truncated header (want magic, keys, sessions)")
+    | (ln, _) :: _ -> faill ln "missing magic line 'mtc-history v1'"
+    | [] -> fail "empty input"
+  with Bad m -> Error m
 
 let save path h =
   let oc = open_out path in

@@ -15,7 +15,11 @@
     transaction is implicit and not serialized. *)
 
 val to_string : History.t -> string
+
 val of_string : string -> (History.t, string) result
+(** Total: malformed input — truncated ops, bad status, duplicate or
+    out-of-order transaction ids, sessions/keys out of range — yields
+    [Error] naming the offending (1-based) line, never an exception. *)
 
 val save : string -> History.t -> unit
 (** [save path h] writes [to_string h] to [path]. *)

@@ -1,0 +1,55 @@
+(** Blocking client for the MTC checking service — the library behind
+    [mtc feed], the end-to-end service tests and the throughput bench.
+
+    Single-threaded: writes are synchronous; reads are blocking when a
+    specific reply is awaited and opportunistic (zero-timeout poll)
+    before each {!feed}, so an early violation verdict or a throttle
+    advisory is noticed while streaming without paying a round-trip per
+    transaction. *)
+
+type t
+
+val connect : Server.addr -> (t, string) result
+(** Connect and run the versioned handshake. *)
+
+val close : t -> unit
+(** Send [Bye] and close the socket. *)
+
+val server_name : t -> string
+(** Server banner from the [Welcome] frame. *)
+
+val throttles : t -> int
+(** Number of [Throttle] advisories received so far. *)
+
+val open_session :
+  t -> level:Checker.level -> num_keys:int -> ?skew:int -> unit ->
+  (int, string) result
+(** Open an independent checker session; returns its session id. *)
+
+type feed_outcome =
+  | Accepted  (** enqueued; no verdict yet *)
+  | Early_verdict of Wire.verdict
+      (** the server already reported a violation — stop streaming *)
+
+val feed : t -> sid:int -> Txn.t -> (feed_outcome, string) result
+
+val sync : t -> sid:int -> (Wire.verdict, string) result
+(** Round-trip: the session's current verdict ([V_ok n] after [n]
+    accepted transactions, or the poisoned counterexample). *)
+
+val stats : t -> (string, string) result
+(** The server's metrics snapshot as JSON. *)
+
+val close_session : t -> sid:int -> (unit, string) result
+
+val session_closed : t -> sid:int -> Wire.close_reason option
+(** Whether the server closed this session (idle timeout, shutdown,
+    protocol error), as observed from already-received frames. *)
+
+val stream_order : History.t -> Txn.t list
+(** A history's transactions sorted by (commit_ts, id) — the order a
+    monitoring proxy would deliver them in. *)
+
+val feed_history : t -> sid:int -> History.t -> (Wire.verdict, string) result
+(** Stream a whole history in {!stream_order}, stopping early on a
+    violation verdict, then {!sync} for the final verdict. *)

@@ -1,0 +1,151 @@
+(* Service metrics: process-wide counters and a log-bucketed latency
+   histogram for the per-feed processing time.  Everything is guarded by
+   one mutex — updates are a handful of int stores, far off any hot path
+   compared to the socket I/O around them. *)
+
+module Histogram = struct
+  (* Bucket [i] counts samples whose value v (in nanoseconds) satisfies
+     2^i <= v < 2^(i+1); bucket 0 also takes v < 1.  63 buckets cover
+     the whole int range, so observe never drops a sample. *)
+  type t = {
+    buckets : int array;
+    mutable count : int;
+    mutable sum : float;
+    mutable max : int;
+  }
+
+  let create () = { buckets = Array.make 63 0; count = 0; sum = 0.0; max = 0 }
+
+  let bucket_of v =
+    let rec go i v = if v <= 1 then i else go (i + 1) (v lsr 1) in
+    if v <= 0 then 0 else go 0 v
+
+  let observe t v =
+    let b = bucket_of v in
+    t.buckets.(b) <- t.buckets.(b) + 1;
+    t.count <- t.count + 1;
+    t.sum <- t.sum +. float_of_int v;
+    if v > t.max then t.max <- v
+
+  (* Upper edge of the bucket holding the p-th percentile sample — an
+     approximation within a factor of 2, which is all a service health
+     endpoint needs. *)
+  let percentile t p =
+    if t.count = 0 then 0
+    else begin
+      let rank =
+        int_of_float (ceil (p /. 100.0 *. float_of_int t.count))
+        |> Stdlib.max 1
+      in
+      let acc = ref 0 and found = ref (-1) in
+      (try
+         Array.iteri
+           (fun i n ->
+             acc := !acc + n;
+             if !acc >= rank then begin
+               found := i;
+               raise Exit
+             end)
+           t.buckets
+       with Exit -> ());
+      if !found < 0 then t.max
+      else Stdlib.min t.max ((1 lsl (!found + 1)) - 1)
+    end
+
+  let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
+end
+
+type t = {
+  mu : Mutex.t;
+  created_at : float;
+  mutable connections : int;
+  mutable sessions_opened : int;
+  mutable sessions_closed : int;
+  mutable txns_fed : int;
+  mutable syncs : int;
+  mutable violations : int;
+  mutable frames_in : int;
+  mutable frames_out : int;
+  mutable throttles : int;
+  mutable protocol_errors : int;
+  mutable queue_high_water : int;
+  feed_ns : Histogram.t;
+}
+
+let create () =
+  {
+    mu = Mutex.create ();
+    created_at = Unix.gettimeofday ();
+    connections = 0;
+    sessions_opened = 0;
+    sessions_closed = 0;
+    txns_fed = 0;
+    syncs = 0;
+    violations = 0;
+    frames_in = 0;
+    frames_out = 0;
+    throttles = 0;
+    protocol_errors = 0;
+    queue_high_water = 0;
+    feed_ns = Histogram.create ();
+  }
+
+let with_mu t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let connection t = with_mu t (fun () -> t.connections <- t.connections + 1)
+
+let session_opened t =
+  with_mu t (fun () -> t.sessions_opened <- t.sessions_opened + 1)
+
+let session_closed t =
+  with_mu t (fun () -> t.sessions_closed <- t.sessions_closed + 1)
+
+let frame_in t = with_mu t (fun () -> t.frames_in <- t.frames_in + 1)
+let frame_out t = with_mu t (fun () -> t.frames_out <- t.frames_out + 1)
+let sync t = with_mu t (fun () -> t.syncs <- t.syncs + 1)
+let violation t = with_mu t (fun () -> t.violations <- t.violations + 1)
+let throttle t = with_mu t (fun () -> t.throttles <- t.throttles + 1)
+
+let protocol_error t =
+  with_mu t (fun () -> t.protocol_errors <- t.protocol_errors + 1)
+
+let feed t ~ns =
+  with_mu t (fun () ->
+      t.txns_fed <- t.txns_fed + 1;
+      Histogram.observe t.feed_ns ns)
+
+let queue_depth t depth =
+  with_mu t (fun () ->
+      if depth > t.queue_high_water then t.queue_high_water <- depth)
+
+let txns_fed t = with_mu t (fun () -> t.txns_fed)
+let violations t = with_mu t (fun () -> t.violations)
+let throttles t = with_mu t (fun () -> t.throttles)
+let sessions_opened t = with_mu t (fun () -> t.sessions_opened)
+let queue_high_water t = with_mu t (fun () -> t.queue_high_water)
+let feed_p50_ns t = with_mu t (fun () -> Histogram.percentile t.feed_ns 50.0)
+let feed_p99_ns t = with_mu t (fun () -> Histogram.percentile t.feed_ns 99.0)
+
+let to_json t =
+  with_mu t (fun () ->
+      Printf.sprintf
+        "{\"uptime_s\":%.3f,\"connections\":%d,\"sessions_opened\":%d,\
+         \"sessions_closed\":%d,\"txns_fed\":%d,\"syncs\":%d,\
+         \"violations\":%d,\"frames_in\":%d,\"frames_out\":%d,\
+         \"throttles\":%d,\"protocol_errors\":%d,\"queue_high_water\":%d,\
+         \"feed_ns\":{\"count\":%d,\"mean\":%.0f,\"p50\":%d,\"p99\":%d,\
+         \"max\":%d}}"
+        (Unix.gettimeofday () -. t.created_at)
+        t.connections t.sessions_opened t.sessions_closed t.txns_fed t.syncs
+        t.violations t.frames_in t.frames_out t.throttles t.protocol_errors
+        t.queue_high_water t.feed_ns.Histogram.count
+        (Histogram.mean t.feed_ns)
+        (Histogram.percentile t.feed_ns 50.0)
+        (Histogram.percentile t.feed_ns 99.0)
+        t.feed_ns.Histogram.max)
+
+(* The process-wide instance `mtc serve` reports from; embedders can
+   create their own. *)
+let global = create ()

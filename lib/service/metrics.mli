@@ -1,0 +1,46 @@
+(** Process-wide service counters and per-feed latency histograms,
+    thread-safe, dumpable as JSON via the [Stats] frame and on server
+    shutdown. *)
+
+type t
+
+val create : unit -> t
+
+val global : t
+(** The instance [mtc serve] reports from. *)
+
+(** {1 Recording} *)
+
+val connection : t -> unit
+val session_opened : t -> unit
+val session_closed : t -> unit
+val frame_in : t -> unit
+val frame_out : t -> unit
+val sync : t -> unit
+val violation : t -> unit
+val throttle : t -> unit
+val protocol_error : t -> unit
+
+val feed : t -> ns:int -> unit
+(** One transaction processed by a session worker, in [ns]
+    nanoseconds. *)
+
+val queue_depth : t -> int -> unit
+(** Track the high-water mark of any session's ingress queue. *)
+
+(** {1 Reading} *)
+
+val txns_fed : t -> int
+val violations : t -> int
+val throttles : t -> int
+val sessions_opened : t -> int
+val queue_high_water : t -> int
+
+val feed_p50_ns : t -> int
+val feed_p99_ns : t -> int
+(** Percentiles are bucket upper edges (log-bucketed histogram): exact
+    to within a factor of two. *)
+
+val to_json : t -> string
+(** One JSON object with every counter plus the feed-latency summary
+    (count / mean / p50 / p99 / max, nanoseconds). *)

@@ -1,0 +1,607 @@
+(* The MTC checking daemon: an accept loop multiplexing many client
+   sessions over Unix-domain and TCP sockets.
+
+   Threading model (systhreads — the workload is I/O-bound framing
+   around the checker, and verdicts must be totally ordered per session
+   anyway):
+
+   - one acceptor thread per listen address;
+   - one reader thread per connection, which parses frames and enqueues
+     work onto per-session bounded queues (blocking when a queue is
+     full — the hard backpressure — and emitting advisory [Throttle] /
+     [Resume] frames around the high-water mark);
+   - one worker thread per session, owning that session's {!Online.t}
+     and the only writer of its [Verdict] frames;
+   - one janitor thread closing idle sessions.
+
+   Poisoned sessions (a violation verdict was issued) keep answering
+   every further feed/sync with the identical rendered counterexample —
+   the checker itself guarantees it never mutates once poisoned.
+
+   Graceful shutdown ({!stop}, wired to SIGTERM by {!run}) shuts the
+   ingress half of every connection, lets workers drain what was already
+   queued, then sends [Session_closed]+[Bye] and closes. *)
+
+type addr = A_unix of string | A_tcp of string * int
+
+let addr_to_string = function
+  | A_unix path -> "unix:" ^ path
+  | A_tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
+
+let addr_of_string s =
+  match String.index_opt s ':' with
+  | Some i when String.sub s 0 i = "unix" ->
+      let path = String.sub s (i + 1) (String.length s - i - 1) in
+      if path = "" then Result.Error "empty unix socket path"
+      else Ok (A_unix path)
+  | Some i when String.sub s 0 i = "tcp" -> (
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      match String.rindex_opt rest ':' with
+      | None -> Result.Error (Printf.sprintf "tcp address %S needs host:port" rest)
+      | Some j -> (
+          let host = String.sub rest 0 j in
+          let port = String.sub rest (j + 1) (String.length rest - j - 1) in
+          match int_of_string_opt port with
+          | Some p when p >= 0 && p < 65536 ->
+              Ok (A_tcp ((if host = "" then "127.0.0.1" else host), p))
+          | _ -> Result.Error (Printf.sprintf "bad tcp port %S" port)))
+  | _ ->
+      Result.Error
+        (Printf.sprintf "bad address %S (want unix:PATH or tcp:HOST:PORT)" s)
+
+type config = {
+  listen : addr list;
+  queue_capacity : int;  (** per-session ingress bound *)
+  idle_timeout : float;  (** seconds; <= 0 disables *)
+  drain_delay : float;
+      (** artificial per-item worker delay (seconds) — a test/bench knob
+          to provoke backpressure deterministically; 0 in production *)
+  server_name : string;
+  metrics : Metrics.t;
+  max_keys : int;  (** largest accepted [num_keys] in [Open_session] *)
+}
+
+let default_config =
+  {
+    listen = [];
+    queue_capacity = 1024;
+    idle_timeout = 0.0;
+    drain_delay = 0.0;
+    server_name = "mtc-serve/1";
+    metrics = Metrics.global;
+    max_keys = 1 lsl 22;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+type item =
+  | I_feed of int * Txn.t  (** seq, txn *)
+  | I_sync of int  (** seq *)
+  | I_close of Wire.close_reason
+
+type session = {
+  sid : int;
+  online : Online.t;
+  queue : item Queue.t;
+  mutable queued : int;
+  mutable throttled : bool;
+  mutable closing : bool;  (** an [I_close] is queued; drop later frames *)
+  mutable abandoned : bool;  (** connection died; worker must bail out *)
+  smu : Mutex.t;
+  nonempty : Condition.t;
+  nonfull : Condition.t;
+  mutable last_activity : float;
+  mutable poisoned_verdict : Wire.verdict option;
+  mutable worker : Thread.t option;
+}
+
+type conn = {
+  fd : Unix.file_descr;
+  out : Wire.out_bufs;
+  out_mu : Mutex.t;
+  mutable out_dead : bool;  (** peer unreachable or fd closed *)
+  sessions : (int, session) Hashtbl.t;
+  cmu : Mutex.t;
+  mutable draining : bool;  (** server shutdown: drain, then close *)
+}
+
+type t = {
+  config : config;
+  mutable listeners : (Unix.file_descr * addr) list;
+  mutable conns : conn list;
+  mutable next_sid : int;
+  rmu : Mutex.t;
+  mutable stop_requested : bool;
+  mutable accepters : Thread.t list;
+  mutable conn_threads : Thread.t list;
+  mutable janitor : Thread.t option;
+}
+
+let bound_addrs t = List.map snd t.listeners
+
+let stopping t =
+  Mutex.lock t.rmu;
+  let s = t.stop_requested in
+  Mutex.unlock t.rmu;
+  s
+
+(* Frame egress: serialized per connection; errors latch [out_dead] so a
+   dead peer cannot wedge a worker. *)
+let send t conn frame =
+  Mutex.lock conn.out_mu;
+  (if not conn.out_dead then
+     try
+       Wire.write_frame conn.fd conn.out frame;
+       Metrics.frame_out t.config.metrics
+     with Unix.Unix_error _ | Sys_error _ -> conn.out_dead <- true);
+  Mutex.unlock conn.out_mu
+
+(* ------------------------------------------------------------------ *)
+(* Session worker. *)
+
+let now () = Unix.gettimeofday ()
+
+let render_violation level v =
+  let anomaly = Option.map Anomaly.name (Report.classify v) in
+  let rendered =
+    Format.asprintf "%s violation%s: %a"
+      (Checker.level_name level)
+      (match anomaly with Some a -> Printf.sprintf " [%s]" a | None -> "")
+      Checker.pp_violation v
+  in
+  Wire.V_violation { anomaly; rendered }
+
+let low_water capacity = Stdlib.max 1 (capacity / 4)
+
+let session_worker t conn s =
+  let m = t.config.metrics in
+  let rec loop () =
+    Mutex.lock s.smu;
+    while s.queued = 0 && not s.abandoned do
+      Condition.wait s.nonempty s.smu
+    done;
+    if s.abandoned then begin
+      Mutex.unlock s.smu;
+      (* connection is gone: nothing to send, just disappear *)
+      Mutex.lock conn.cmu;
+      Hashtbl.remove conn.sessions s.sid;
+      Mutex.unlock conn.cmu
+    end
+    else begin
+      let item = Queue.pop s.queue in
+      s.queued <- s.queued - 1;
+      let resume =
+        if s.throttled && s.queued <= low_water t.config.queue_capacity then begin
+          s.throttled <- false;
+          true
+        end
+        else false
+      in
+      (* broadcast: the reader and the janitor can both be waiting *)
+      Condition.broadcast s.nonfull;
+      Mutex.unlock s.smu;
+      if resume then send t conn (Wire.Resume { sid = s.sid });
+      if t.config.drain_delay > 0.0 then Thread.delay t.config.drain_delay;
+      match item with
+      | I_feed (seq, txn) -> (
+          match s.poisoned_verdict with
+          | Some v ->
+              (* poisoned: same counterexample, forever *)
+              send t conn (Wire.Verdict { sid = s.sid; seq; verdict = v });
+              loop ()
+          | None -> (
+              let t0 = now () in
+              match Online.add_txn s.online txn with
+              | Online.Ok_so_far ->
+                  Metrics.feed m
+                    ~ns:(int_of_float ((now () -. t0) *. 1e9));
+                  loop ()
+              | Online.Violation v ->
+                  let verdict = render_violation (Online.level s.online) v in
+                  s.poisoned_verdict <- Some verdict;
+                  Metrics.feed m ~ns:(int_of_float ((now () -. t0) *. 1e9));
+                  Metrics.violation m;
+                  send t conn (Wire.Verdict { sid = s.sid; seq; verdict });
+                  loop ()
+              | exception Invalid_argument msg ->
+                  (* id reuse / SSER order: session-fatal protocol misuse *)
+                  Mutex.lock s.smu;
+                  s.closing <- true;
+                  Condition.broadcast s.nonfull;
+                  Mutex.unlock s.smu;
+                  Metrics.protocol_error m;
+                  send t conn
+                    (Wire.Session_closed
+                       { sid = s.sid; reason = Wire.R_protocol msg });
+                  Metrics.session_closed m;
+                  Mutex.lock conn.cmu;
+                  Hashtbl.remove conn.sessions s.sid;
+                  Mutex.unlock conn.cmu))
+      | I_sync seq ->
+          Metrics.sync m;
+          let verdict =
+            match s.poisoned_verdict with
+            | Some v -> v
+            | None -> Wire.V_ok (Online.txns_seen s.online)
+          in
+          send t conn (Wire.Verdict { sid = s.sid; seq; verdict });
+          loop ()
+      | I_close reason ->
+          send t conn (Wire.Session_closed { sid = s.sid; reason });
+          Metrics.session_closed m;
+          Mutex.lock s.smu;
+          Condition.broadcast s.nonfull;
+          Mutex.unlock s.smu;
+          Mutex.lock conn.cmu;
+          Hashtbl.remove conn.sessions s.sid;
+          Mutex.unlock conn.cmu
+    end
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Per-connection reader. *)
+
+let session_alive s = not (s.closing || s.abandoned)
+
+(* Enqueue with hard backpressure: blocks this connection's reader while
+   the session queue is full (TCP then pushes back on the client), with
+   an advisory [Throttle] the first time the mark is hit. *)
+let enqueue t conn s item =
+  Mutex.lock s.smu;
+  s.last_activity <- now ();
+  let announce =
+    if s.queued >= t.config.queue_capacity && not s.throttled then begin
+      s.throttled <- true;
+      Some s.queued
+    end
+    else None
+  in
+  (match announce with
+  | Some queued ->
+      Mutex.unlock s.smu;
+      Metrics.throttle t.config.metrics;
+      send t conn (Wire.Throttle { sid = s.sid; queued });
+      Mutex.lock s.smu
+  | None -> ());
+  while s.queued >= t.config.queue_capacity && session_alive s do
+    Condition.wait s.nonfull s.smu
+  done;
+  if session_alive s then begin
+    (match item with I_close _ -> s.closing <- true | _ -> ());
+    Queue.push item s.queue;
+    s.queued <- s.queued + 1;
+    Metrics.queue_depth t.config.metrics s.queued;
+    Condition.signal s.nonempty
+  end;
+  Mutex.unlock s.smu
+
+let open_session t conn ~level ~num_keys ~skew =
+  Mutex.lock t.rmu;
+  let sid = t.next_sid in
+  t.next_sid <- sid + 1;
+  Mutex.unlock t.rmu;
+  let s =
+    {
+      sid;
+      online = Online.create ~skew ~level ~num_keys ();
+      queue = Queue.create ();
+      queued = 0;
+      throttled = false;
+      closing = false;
+      abandoned = false;
+      smu = Mutex.create ();
+      nonempty = Condition.create ();
+      nonfull = Condition.create ();
+      last_activity = now ();
+      poisoned_verdict = None;
+      worker = None;
+    }
+  in
+  Mutex.lock conn.cmu;
+  Hashtbl.replace conn.sessions sid s;
+  Mutex.unlock conn.cmu;
+  s.worker <- Some (Thread.create (fun () -> session_worker t conn s) ());
+  Metrics.session_opened t.config.metrics;
+  s
+
+let find_session conn sid =
+  Mutex.lock conn.cmu;
+  let s = Hashtbl.find_opt conn.sessions sid in
+  Mutex.unlock conn.cmu;
+  match s with Some s when session_alive s -> Some s | _ -> None
+
+let sessions_snapshot conn =
+  Mutex.lock conn.cmu;
+  let ss = Hashtbl.fold (fun _ s acc -> s :: acc) conn.sessions [] in
+  Mutex.unlock conn.cmu;
+  ss
+
+(* Tear the connection down.  [drain = true] lets every session worker
+   finish the items already queued before it says goodbye; [drain =
+   false] (mid-frame disconnect, protocol error) abandons them. *)
+let teardown t conn ~drain ~reason =
+  let ss = sessions_snapshot conn in
+  List.iter
+    (fun s ->
+      if drain then enqueue t conn s (I_close reason)
+      else begin
+        Mutex.lock s.smu;
+        s.abandoned <- true;
+        Condition.broadcast s.nonempty;
+        Condition.broadcast s.nonfull;
+        Mutex.unlock s.smu
+      end)
+    ss;
+  List.iter (fun s -> Option.iter Thread.join s.worker) ss;
+  if drain then send t conn Wire.Bye;
+  Mutex.lock conn.out_mu;
+  conn.out_dead <- true;
+  (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+  Mutex.unlock conn.out_mu;
+  Mutex.lock t.rmu;
+  t.conns <- List.filter (fun c -> c != conn) t.conns;
+  Mutex.unlock t.rmu
+
+let conn_loop t conn =
+  let m = t.config.metrics in
+  let fail_handshake code msg =
+    send t conn (Wire.Error { code; msg });
+    Metrics.protocol_error m;
+    teardown t conn ~drain:false ~reason:Wire.R_requested
+  in
+  match Wire.read_frame conn.fd with
+  | Ok (Some (Wire.Hello { version })) when version = Wire.version ->
+      Metrics.frame_in m;
+      send t conn (Wire.Welcome { version = Wire.version; server = t.config.server_name });
+      let rec loop () =
+        match Wire.read_frame conn.fd with
+        | Ok None ->
+            (* clean EOF: drain what was accepted, close quietly *)
+            teardown t conn ~drain:true
+              ~reason:(if conn.draining then Wire.R_shutdown else Wire.R_requested)
+        | Result.Error _ when conn.draining ->
+            teardown t conn ~drain:true ~reason:Wire.R_shutdown
+        | Result.Error _ ->
+            (* mid-frame disconnect or garbage: abandon this connection
+               (and only this connection) *)
+            Metrics.protocol_error m;
+            teardown t conn ~drain:false ~reason:Wire.R_requested
+        | Ok (Some frame) -> (
+            Metrics.frame_in m;
+            match frame with
+            | Wire.Open_session { level; num_keys; skew } ->
+                if num_keys < 1 || num_keys > t.config.max_keys then begin
+                  send t conn
+                    (Wire.Error
+                       {
+                         code = Wire.err_bad_frame;
+                         msg =
+                           Printf.sprintf "num_keys %d out of [1,%d]" num_keys
+                             t.config.max_keys;
+                       });
+                  loop ()
+                end
+                else begin
+                  let s = open_session t conn ~level ~num_keys ~skew in
+                  send t conn (Wire.Session_opened { sid = s.sid });
+                  loop ()
+                end
+            | Wire.Feed { sid; seq; txn } ->
+                (match find_session conn sid with
+                | Some s -> enqueue t conn s (I_feed (seq, txn))
+                | None ->
+                    send t conn
+                      (Wire.Error
+                         {
+                           code = Wire.err_unknown_session;
+                           msg = Printf.sprintf "no session %d" sid;
+                         }));
+                loop ()
+            | Wire.Sync { sid; seq } ->
+                (match find_session conn sid with
+                | Some s -> enqueue t conn s (I_sync seq)
+                | None ->
+                    send t conn
+                      (Wire.Error
+                         {
+                           code = Wire.err_unknown_session;
+                           msg = Printf.sprintf "no session %d" sid;
+                         }));
+                loop ()
+            | Wire.Close_session { sid } ->
+                (match find_session conn sid with
+                | Some s -> enqueue t conn s (I_close Wire.R_requested)
+                | None ->
+                    send t conn
+                      (Wire.Error
+                         {
+                           code = Wire.err_unknown_session;
+                           msg = Printf.sprintf "no session %d" sid;
+                         }));
+                loop ()
+            | Wire.Stats_request ->
+                send t conn (Wire.Stats_reply { json = Metrics.to_json m });
+                loop ()
+            | Wire.Bye -> teardown t conn ~drain:true ~reason:Wire.R_requested
+            | Wire.Hello _ | Wire.Welcome _ | Wire.Session_opened _
+            | Wire.Verdict _ | Wire.Throttle _ | Wire.Resume _
+            | Wire.Stats_reply _ | Wire.Session_closed _ | Wire.Error _ ->
+                Metrics.protocol_error m;
+                send t conn
+                  (Wire.Error
+                     {
+                       code = Wire.err_bad_frame;
+                       msg =
+                         Printf.sprintf "unexpected %s frame"
+                           (Wire.frame_name frame);
+                     });
+                loop ())
+      in
+      loop ()
+  | Ok (Some (Wire.Hello { version })) ->
+      fail_handshake Wire.err_version
+        (Printf.sprintf "protocol version %d unsupported (server speaks %d)"
+           version Wire.version)
+  | Ok (Some frame) ->
+      fail_handshake Wire.err_bad_magic
+        (Printf.sprintf "expected hello, got %s" (Wire.frame_name frame))
+  | Ok None -> teardown t conn ~drain:false ~reason:Wire.R_requested
+  | Result.Error msg -> fail_handshake Wire.err_bad_frame msg
+
+(* ------------------------------------------------------------------ *)
+(* Listeners, janitor, lifecycle. *)
+
+let bind_addr = function
+  | A_unix path ->
+      let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      Unix.bind sock (Unix.ADDR_UNIX path);
+      Unix.listen sock 64;
+      (sock, A_unix path)
+  | A_tcp (host, port) ->
+      let inet =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      in
+      let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt sock Unix.SO_REUSEADDR true;
+      Unix.bind sock (Unix.ADDR_INET (inet, port));
+      Unix.listen sock 64;
+      let bound_port =
+        match Unix.getsockname sock with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> port
+      in
+      (sock, A_tcp (host, bound_port))
+
+let accept_loop t (lsock, _) =
+  let rec loop () =
+    if not (stopping t) then begin
+      (match Unix.select [ lsock ] [] [] 0.2 with
+      | [], _, _ -> ()
+      | _ :: _, _, _ -> (
+          match Unix.accept lsock with
+          | fd, _peer_addr ->
+              let conn =
+                {
+                  fd;
+                  out = Wire.out_bufs ();
+                  out_mu = Mutex.create ();
+                  out_dead = false;
+                  sessions = Hashtbl.create 8;
+                  cmu = Mutex.create ();
+                  draining = false;
+                }
+              in
+              Metrics.connection t.config.metrics;
+              Mutex.lock t.rmu;
+              t.conns <- conn :: t.conns;
+              let th = Thread.create (fun () -> conn_loop t conn) () in
+              t.conn_threads <- th :: t.conn_threads;
+              Mutex.unlock t.rmu
+          | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _)
+            -> ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+let janitor_loop t =
+  let idle = t.config.idle_timeout in
+  let tick = Stdlib.min 0.5 (Stdlib.max 0.01 (idle /. 4.0)) in
+  let rec loop () =
+    if not (stopping t) then begin
+      Thread.delay tick;
+      let deadline = now () -. idle in
+      Mutex.lock t.rmu;
+      let conns = t.conns in
+      Mutex.unlock t.rmu;
+      List.iter
+        (fun conn ->
+          List.iter
+            (fun s ->
+              let expire =
+                Mutex.lock s.smu;
+                let e = session_alive s && s.last_activity < deadline in
+                Mutex.unlock s.smu;
+                e
+              in
+              if expire then enqueue t conn s (I_close Wire.R_idle))
+            (sessions_snapshot conn))
+        conns;
+      loop ()
+    end
+  in
+  loop ()
+
+let start config =
+  if config.listen = [] then invalid_arg "Server.start: no listen addresses";
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> () (* not on this platform *));
+  let listeners = List.map bind_addr config.listen in
+  let t =
+    {
+      config;
+      listeners;
+      conns = [];
+      next_sid = 1;
+      rmu = Mutex.create ();
+      stop_requested = false;
+      accepters = [];
+      conn_threads = [];
+      janitor = None;
+    }
+  in
+  t.accepters <- List.map (fun l -> Thread.create (accept_loop t) l) listeners;
+  if config.idle_timeout > 0.0 then
+    t.janitor <- Some (Thread.create janitor_loop t);
+  t
+
+let stop t =
+  Mutex.lock t.rmu;
+  let already = t.stop_requested in
+  t.stop_requested <- true;
+  Mutex.unlock t.rmu;
+  if not already then begin
+    List.iter Thread.join t.accepters;
+    Option.iter Thread.join t.janitor;
+    List.iter
+      (fun (fd, addr) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        match addr with
+        | A_unix path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+        | A_tcp _ -> ())
+      t.listeners;
+    (* Shut ingress down; readers see EOF with [draining] set and drain
+       their sessions before closing. *)
+    Mutex.lock t.rmu;
+    let conns = t.conns in
+    Mutex.unlock t.rmu;
+    List.iter
+      (fun conn ->
+        conn.draining <- true;
+        try Unix.shutdown conn.fd Unix.SHUTDOWN_RECEIVE
+        with Unix.Unix_error _ -> ())
+      conns;
+    Mutex.lock t.rmu;
+    let threads = t.conn_threads in
+    t.conn_threads <- [];
+    Mutex.unlock t.rmu;
+    List.iter Thread.join threads
+  end
+
+let run ?(on_signal = [ Sys.sigterm; Sys.sigint ]) ?on_ready config =
+  let t = start config in
+  Option.iter (fun f -> f t) on_ready;
+  let requested = Atomic.make false in
+  List.iter
+    (fun s ->
+      try Sys.set_signal s (Sys.Signal_handle (fun _ -> Atomic.set requested true))
+      with Invalid_argument _ | Sys_error _ -> ())
+    on_signal;
+  while not (Atomic.get requested) do
+    Thread.delay 0.2
+  done;
+  stop t

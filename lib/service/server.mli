@@ -1,0 +1,66 @@
+(** The networked checking daemon: an accept loop multiplexing many
+    concurrent client sessions over Unix-domain and TCP sockets, each
+    session owning its own {!Online.t} (level, key-space size and clock
+    skew negotiated at open).
+
+    Guarantees:
+    - per-session ingress queues are bounded ([queue_capacity]); a full
+      queue blocks that connection's reader (the hard backpressure the
+      transport propagates) and emits advisory [Throttle]/[Resume]
+      frames around the high-water mark;
+    - a session that produced a [Violation] verdict is poisoned: every
+      further feed or sync is answered with the identical rendered
+      counterexample;
+    - sessions idle longer than [idle_timeout] are closed with reason
+      [R_idle];
+    - a mid-frame client disconnect abandons only that connection —
+      other connections and sessions are untouched;
+    - {!stop} (and the SIGTERM handling of {!run}) drains the frames
+      already accepted before saying [Bye]. *)
+
+type addr = A_unix of string | A_tcp of string * int
+
+val addr_of_string : string -> (addr, string) result
+(** ["unix:PATH"] or ["tcp:HOST:PORT"] ([tcp::PORT] binds 127.0.0.1;
+    port 0 asks the kernel for an ephemeral port — read the result back
+    with {!bound_addrs}). *)
+
+val addr_to_string : addr -> string
+
+type config = {
+  listen : addr list;
+  queue_capacity : int;  (** per-session ingress bound *)
+  idle_timeout : float;  (** seconds; [<= 0] disables the janitor *)
+  drain_delay : float;
+      (** artificial per-item worker delay (seconds) — a test/bench knob
+          to provoke backpressure deterministically; keep 0 in production *)
+  server_name : string;  (** advertised in the [Welcome] frame *)
+  metrics : Metrics.t;
+  max_keys : int;  (** largest accepted [num_keys] in [Open_session] *)
+}
+
+val default_config : config
+(** No listeners (callers must fill [listen]), queue of 1024, no idle
+    timeout, {!Metrics.global}. *)
+
+type t
+
+val start : config -> t
+(** Bind every [listen] address and spawn the acceptor/janitor threads.
+    @raise Invalid_argument if [listen] is empty.
+    @raise Unix.Unix_error if an address cannot be bound. *)
+
+val bound_addrs : t -> addr list
+(** The actually-bound addresses (TCP port 0 resolved). *)
+
+val stop : t -> unit
+(** Graceful shutdown: stop accepting, shut down ingress on every
+    connection, let session workers drain their queues, send
+    [Session_closed]+[Bye], close everything.  Idempotent; blocks until
+    the drain completes. *)
+
+val run :
+  ?on_signal:int list -> ?on_ready:(t -> unit) -> config -> unit
+(** [start], then block until one of [on_signal] (default SIGTERM and
+    SIGINT) arrives, then {!stop}.  [on_ready] runs right after the
+    listeners are bound — used by the CLI to print the addresses. *)

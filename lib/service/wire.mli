@@ -1,0 +1,94 @@
+(** The MTC service wire protocol: compact length-prefixed binary frames
+    over a byte stream.
+
+    Layout of every frame: a [u32] big-endian payload length, then a one
+    byte tag, then the tag-specific payload with varint-encoded integers
+    and length-prefixed strings (see {!Binio}).  A connection starts with
+    a versioned handshake ([Hello] → [Welcome] or [Error]); after that,
+    frames are session-multiplexed — each [Open_session] creates an
+    independent online checker on the server, and [Feed] / [Verdict] /
+    [Sync] / [Throttle] frames name it by session id.
+
+    Flow control: the server bounds each session's ingress queue.  When a
+    session crosses its high-water mark the server emits
+    [Throttle {queued}] (advisory — the hard backpressure is the server
+    simply not reading, which TCP propagates), and [Resume] once the
+    queue drains.  After a [Verdict] carrying a violation the session is
+    poisoned: every further [Feed]/[Sync] is answered with the same
+    rendered counterexample. *)
+
+val magic : string
+val version : int
+
+val max_frame : int
+(** Upper bound on a payload length; longer prefixes are protocol
+    errors (guards the server against hostile allocations). *)
+
+type verdict =
+  | V_ok of int  (** transactions accepted so far *)
+  | V_violation of { anomaly : string option; rendered : string }
+      (** [anomaly] is the Figure-5 catalogue name when classifiable;
+          [rendered] the printable counterexample *)
+
+type close_reason =
+  | R_requested  (** client sent [Close_session] *)
+  | R_idle  (** idle-session timeout *)
+  | R_shutdown  (** server draining for shutdown *)
+  | R_protocol of string  (** session-fatal protocol misuse *)
+
+type frame =
+  | Hello of { version : int }
+  | Welcome of { version : int; server : string }
+  | Open_session of { level : Checker.level; num_keys : int; skew : int }
+  | Session_opened of { sid : int }
+  | Feed of { sid : int; seq : int; txn : Txn.t }
+  | Verdict of { sid : int; seq : int; verdict : verdict }
+  | Sync of { sid : int; seq : int }
+      (** ask for the session's current verdict; answered by [Verdict]
+          with the same [seq] *)
+  | Throttle of { sid : int; queued : int }
+  | Resume of { sid : int }
+  | Stats_request
+  | Stats_reply of { json : string }
+  | Close_session of { sid : int }
+  | Session_closed of { sid : int; reason : close_reason }
+  | Error of { code : int; msg : string }
+  | Bye
+
+val err_bad_magic : int
+val err_version : int
+val err_bad_frame : int
+val err_unknown_session : int
+
+val frame_name : frame -> string
+
+val encode : scratch:Buffer.t -> Buffer.t -> frame -> unit
+(** [encode ~scratch out f] appends the length-prefixed encoding of [f]
+    to [out]; [scratch] is clobbered.  Reuse both buffers across frames
+    to keep steady-state encoding allocation-free. *)
+
+val decode : string -> (frame, string) result
+(** Decode one frame payload (without the length prefix).  Total: any
+    malformed input yields [Error], never an exception. *)
+
+val to_string : frame -> string
+(** Convenience: the full length-prefixed encoding as a fresh string. *)
+
+val of_string : ?pos:int -> string -> (frame * int, string) result
+(** Parse one full length-prefixed frame at [pos]; also returns the
+    position just past it. *)
+
+(** {1 Blocking frame I/O over file descriptors} (EINTR-safe) *)
+
+type out_bufs
+
+val out_bufs : unit -> out_bufs
+(** Reusable encode buffers; one per connection (guard with the
+    connection's output lock). *)
+
+val write_frame : Unix.file_descr -> out_bufs -> frame -> unit
+(** @raise Unix.Unix_error when the peer is gone. *)
+
+val read_frame : Unix.file_descr -> (frame option, string) result
+(** [Ok None] on clean EOF at a frame boundary; [Error _] on truncated
+    or malformed input, or a read error. *)

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the checking service and the documented exit
+# codes (0 pass, 1 violation, 2 load/usage error): generate a clean and
+# a faulty 200-transaction history, then require `mtc feed` over a live
+# `mtc serve` Unix socket to agree with `mtc check` on both — verdicts
+# and exit codes alike — and the server to shut down gracefully on
+# SIGTERM.  Wired into `dune build @check` from the root dune file.
+set -u
+
+MTC="$1"
+TMP=$(mktemp -d)
+SERVER_PID=""
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null
+  [ -n "$SERVER_PID" ] && wait "$SERVER_PID" 2>/dev/null
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fail() { echo "service-smoke: FAIL: $*" >&2; exit 1; }
+
+# -- fixtures: a clean SER engine and an SI engine injecting lost updates
+"$MTC" run --level ser --txns 200 --keys 10 --seed 11 -o "$TMP/good.hist" \
+  >/dev/null || fail "clean run must pass (exit 0)"
+"$MTC" run --level si --txns 200 --keys 10 --seed 11 \
+  --fault lost-update --fault-p 0.2 -o "$TMP/bad.hist" >/dev/null
+[ $? -eq 1 ] || fail "faulty run must report a violation (exit 1)"
+echo "this is not a history" > "$TMP/junk.hist"
+
+# -- exit codes of the batch checker
+"$MTC" check "$TMP/good.hist" --level ser >/dev/null
+[ $? -eq 0 ] || fail "check(good) must exit 0"
+"$MTC" check "$TMP/bad.hist" --level si >/dev/null
+[ $? -eq 1 ] || fail "check(bad) must exit 1"
+"$MTC" check "$TMP/junk.hist" >/dev/null 2>&1
+[ $? -eq 2 ] || fail "check(junk) must exit 2"
+
+# -- the service must agree, verdicts and exit codes alike
+SOCK="$TMP/mtc.sock"
+"$MTC" serve --listen "unix:$SOCK" > "$TMP/serve.log" 2>&1 &
+SERVER_PID=$!
+for _ in $(seq 1 100); do [ -S "$SOCK" ] && break; sleep 0.05; done
+[ -S "$SOCK" ] || fail "server did not come up (see $TMP/serve.log)"
+
+"$MTC" feed "$TMP/good.hist" -a "unix:$SOCK" --level ser >/dev/null
+[ $? -eq 0 ] || fail "feed(good) must exit 0"
+"$MTC" feed "$TMP/bad.hist" -a "unix:$SOCK" --level si > "$TMP/feed_bad.out"
+[ $? -eq 1 ] || fail "feed(bad) must exit 1"
+grep -q "violation" "$TMP/feed_bad.out" \
+  || fail "feed(bad) must print the counterexample"
+"$MTC" feed "$TMP/junk.hist" -a "unix:$SOCK" >/dev/null 2>&1
+[ $? -eq 2 ] || fail "feed(junk) must exit 2"
+
+# -- graceful shutdown: exit 0 and a metrics dump
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID"
+rc=$?
+SERVER_PID=""
+[ $rc -eq 0 ] || fail "server must exit 0 on SIGTERM (got $rc)"
+grep -q '"txns_fed"' "$TMP/serve.log" \
+  || fail "server must dump metrics JSON on shutdown"
+
+echo "service-smoke: OK"

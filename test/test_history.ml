@@ -299,6 +299,90 @@ let test_codec_bad_txn_line () =
   let s = "mtc-history v1\nkeys 1\nsessions 1\ntxn x y z\n" in
   checkb "bad line" true (Result.is_error (Codec.of_string s))
 
+(* Malformed inputs must yield [Error] naming the offending 1-based
+   line of the original input — comments and blank lines count. *)
+let test_codec_error_lines () =
+  let expect input sub =
+    match Codec.of_string input with
+    | Ok _ -> Alcotest.fail (Printf.sprintf "accepted %S" input)
+    | Error e ->
+        let contains sub s =
+          let n = String.length sub and m = String.length s in
+          let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+          go 0
+        in
+        checkb (Printf.sprintf "%S in error %S" sub e) true (contains sub e)
+  in
+  expect "" "empty input";
+  expect "nonsense\n" "line 1";
+  expect "mtc-history v1\nkeys 1\n" "truncated header";
+  expect "mtc-history v1\nkeys one\nsessions 1\n" "line 2";
+  expect "mtc-history v1\nkeys 1\nsessions 1\ntxn x y z\n" "line 4";
+  expect "mtc-history v1\nkeys 1\nsessions 1\ntxn 1 1 X 1 1 R(x0)=0\n"
+    "bad status";
+  expect "mtc-history v1\nkeys 1\nsessions 1\ntxn 1 1 C 1 1 R(x0\n"
+    "bad operation";
+  (* comments shift the physical line of the bad txn to 6 *)
+  expect "mtc-history v1\n# a comment\nkeys 1\n\nsessions 1\ntxn 1 1 C 1 1 Q\n"
+    "line 6";
+  expect
+    "mtc-history v1\nkeys 1\nsessions 1\ntxn 1 1 C 1 1 R(x0)=0\ntxn 1 1 C 2 2 W(x0):=1\n"
+    "duplicate txn id 1";
+  expect
+    "mtc-history v1\nkeys 1\nsessions 1\ntxn 2 1 C 1 1 R(x0)=0\n"
+    "out of order";
+  expect "mtc-history v1\nkeys 1\nsessions 1\ntxn 1 5 C 1 1 R(x0)=0\n"
+    "session 5 out of";
+  expect "mtc-history v1\nkeys 1\nsessions 1\ntxn 1 1 C 1 1 R(x7)=0\n"
+    "key 7 out of"
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* Mangling a valid serialization never makes the parser raise. *)
+let prop_codec_total =
+  let base = Codec.to_string sample_history in
+  QCheck2.Test.make ~name:"codec parsing never raises" ~count:500
+    ~print:(fun (cut, flips) ->
+      Printf.sprintf "cut=%d flips=%d" cut (List.length flips))
+    QCheck2.Gen.(
+      let* cut = int_range 0 (String.length base) in
+      let* flips =
+        list_size (int_range 0 4)
+          (pair (int_range 0 (String.length base - 1)) (int_range 0 255))
+      in
+      return (cut, flips))
+    (fun (cut, flips) ->
+      let b = Bytes.of_string (String.sub base 0 cut) in
+      List.iter
+        (fun (pos, v) ->
+          if pos < Bytes.length b then Bytes.set b pos (Char.chr v))
+        flips;
+      match Codec.of_string (Bytes.to_string b) with
+      | Ok _ | Error _ -> true)
+
+(* Text round-trip on engine-produced histories, not just the sample. *)
+let prop_codec_roundtrip_engine =
+  QCheck2.Test.make ~name:"codec round-trip on engine histories" ~count:15
+    ~print:string_of_int (QCheck2.Gen.int_range 1 10_000)
+    (fun seed ->
+      let spec =
+        Mt_gen.generate
+          { Mt_gen.default with num_txns = 60; num_keys = 6; seed }
+      in
+      let db =
+        { Db.level = Isolation.Snapshot; fault = Fault.No_fault;
+          num_keys = 6; seed }
+      in
+      let h =
+        (Scheduler.run
+           ~params:{ Scheduler.default_params with seed }
+           ~db ~spec ())
+          .Scheduler.history
+      in
+      match Codec.of_string (Codec.to_string h) with
+      | Ok h' -> Codec.to_string h' = Codec.to_string h
+      | Error _ -> false)
+
 let test_codec_file_roundtrip () =
   let path = Filename.temp_file "mtc_test" ".hist" in
   Codec.save path sample_history;
@@ -338,6 +422,9 @@ let suite =
     ("history rejects bad session", `Quick, test_history_make_bad_session);
     ("history rejects bad key", `Quick, test_history_make_bad_key);
     ("history rejects bad id", `Quick, test_history_make_bad_id);
+    ("codec errors carry line numbers", `Quick, test_codec_error_lines);
+    qtest prop_codec_total;
+    qtest prop_codec_roundtrip_engine;
     ("builder overlap default", `Quick, test_builder_overlap_default);
     ("builder sequential rt", `Quick, test_builder_sequential);
     ("codec roundtrip", `Quick, test_codec_roundtrip);

@@ -159,6 +159,49 @@ let test_online_grows_past_capacity () =
   checkb "long chain accepted" true
     (Online.check_stream ~level:Checker.SER ~num_keys:1 txns = Ok 500)
 
+let test_online_poisoned_is_frozen () =
+  (* After the first violation the checker is inert: every further
+     add_txn answers with the identical violation and the graph stops
+     mutating (same vertex and edge counts, txns_seen frozen). *)
+  let t1 = Txn.make ~id:1 ~session:1 [ Op.Read (0, 0); Op.Write (0, 1) ] in
+  let t2 = Txn.make ~id:2 ~session:2 [ Op.Read (0, 0); Op.Write (0, 2) ] in
+  let o = Online.create ~level:Checker.SI ~num_keys:1 () in
+  ignore (Online.add_txn o t1);
+  let first =
+    match Online.add_txn o t2 with
+    | Online.Violation v -> v
+    | Online.Ok_so_far -> Alcotest.fail "divergence must be flagged"
+  in
+  checkb "poisoned" true (Online.poisoned o <> None);
+  let frozen = Online.stats o in
+  for i = 3 to 10 do
+    let t = Txn.make ~id:i ~session:1 [ Op.Read (0, 1) ] in
+    (match Online.add_txn o t with
+    | Online.Violation v ->
+        checkb "identical violation" true (v == first)
+    | Online.Ok_so_far -> Alcotest.fail "poisoned checker must keep failing");
+    let s = Online.stats o in
+    Alcotest.check Alcotest.int "txns_seen frozen" frozen.Online.s_txns_seen
+      s.Online.s_txns_seen;
+    Alcotest.check Alcotest.int "vertices frozen" frozen.Online.s_vertices
+      s.Online.s_vertices;
+    Alcotest.check Alcotest.int "edges frozen" frozen.Online.s_edges
+      s.Online.s_edges;
+    checkb "still poisoned" true s.Online.s_poisoned
+  done
+
+let test_online_stats_progress () =
+  let o = Online.create ~level:Checker.SER ~num_keys:1 () in
+  let s0 = Online.stats o in
+  Alcotest.check Alcotest.int "starts empty" 0 s0.Online.s_txns_seen;
+  checkb "starts clean" false s0.Online.s_poisoned;
+  ignore (Online.add_txn o (Txn.make ~id:1 ~session:1 [ Op.Read (0, 0); Op.Write (0, 1) ]));
+  ignore (Online.add_txn o (Txn.make ~id:2 ~session:1 [ Op.Read (0, 1); Op.Write (0, 2) ]));
+  let s = Online.stats o in
+  Alcotest.check Alcotest.int "two seen" 2 s.Online.s_txns_seen;
+  checkb "dependency edges recorded" true (s.Online.s_edges >= 1);
+  checkb "vertices cover txns" true (s.Online.s_vertices >= 2)
+
 let test_online_counts () =
   let o = Online.create ~level:Checker.SER ~num_keys:1 () in
   ignore (Online.add_txn o (Txn.make ~id:1 ~session:1 [ Op.Read (0, 0) ]));
@@ -176,5 +219,7 @@ let suite =
     ("aborted read diagnosed", `Quick, test_online_aborted_read_diagnosed);
     ("duplicate value rejected", `Quick, test_online_duplicate_value);
     ("grows past initial capacity", `Quick, test_online_grows_past_capacity);
+    ("poisoned checker frozen (stats)", `Quick, test_online_poisoned_is_frozen);
+    ("stats track progress", `Quick, test_online_stats_progress);
     ("txns_seen", `Quick, test_online_counts);
   ]
