@@ -172,6 +172,46 @@ let pool_rows () =
             Printf.sprintf "%.3f" (1000.0 *. t) ]))
     (if !Bench_util.smoke then [ 1 ] else [ 1; 2; 4 ])
 
+(* The streaming checker in isolation: feed a fixed 2000-transaction
+   history (commit order, the natural stream order) through
+   [Online.check_stream] at each level, reporting sustained feed
+   throughput and allocated minor-heap words per transaction.  Like the
+   inference rows, the history stays at 2000 transactions even under
+   --smoke: these are the acceptance numbers recorded in the promoted
+   JSON, and a run costs tens of milliseconds. *)
+let online_feed_rows () =
+  let h =
+    (Bench_util.mt_history ~level:Isolation.Serializable ~keys:300 ~txns:2000
+       ~seed:904 ())
+      .Scheduler.history
+  in
+  let stream =
+    Array.to_list h.History.txns
+    |> List.filter (fun (t : Txn.t) -> t.Txn.id <> History.init_id)
+    |> List.sort (fun (a : Txn.t) b ->
+           compare (a.Txn.commit_ts, a.Txn.id) (b.Txn.commit_ts, b.Txn.id))
+  in
+  let n = List.length stream in
+  let row level =
+    let run () =
+      match Online.check_stream ~level ~num_keys:h.History.num_keys stream with
+      | Ok k -> assert (k = n)
+      | Error _ -> failwith "kernels: clean stream flagged"
+    in
+    run () (* warm-up *);
+    let t = Bench_util.time_median ~repeat:5 run in
+    let w0 = Gc.minor_words () in
+    run ();
+    let dw = Gc.minor_words () -. w0 in
+    [
+      Printf.sprintf "online_feed/%s"
+        (String.lowercase_ascii (Checker.level_name level));
+      Printf.sprintf "%.0f" (float_of_int n /. t);
+      Printf.sprintf "%.1f" (dw /. float_of_int n);
+    ]
+  in
+  [ row Checker.SER; row Checker.SI; row Checker.SSER ]
+
 (* Checking-as-a-service transport overhead: stream a fixed clean SER
    history through an in-process server over each transport and report
    end-to-end throughput plus the server-side per-feed latency
@@ -221,15 +261,74 @@ let service_rows () =
                     (float_of_int (Metrics.txns_fed metrics) /. dt);
                   Printf.sprintf "%d" (Metrics.feed_p50_ns metrics);
                   Printf.sprintf "%d" (Metrics.feed_p99_ns metrics);
+                  Printf.sprintf "%.0f" (Metrics.feed_words_mean metrics);
                 ]))
+  in
+  (* Aggregate throughput with [k] concurrent sessions, each its own
+     connection, on a server with [k] checking shards.  Client threads
+     are systhreads of this process, so on a single-core host the row
+     mostly shows the shard batching win; on a multi-core host the
+     sessions check in parallel. *)
+  let multi label k addr =
+    let metrics = Metrics.create () in
+    let config =
+      {
+        Server.default_config with
+        Server.listen = [ addr ];
+        metrics;
+        shards = k;
+      }
+    in
+    let t = Server.start config in
+    Fun.protect
+      ~finally:(fun () -> Server.stop t)
+      (fun () ->
+        let addr = List.hd (Server.bound_addrs t) in
+        let feed_one () =
+          match Client.connect addr with
+          | Error e -> failwith ("service bench connect: " ^ e)
+          | Ok c ->
+              Fun.protect
+                ~finally:(fun () -> Client.close c)
+                (fun () ->
+                  let sid =
+                    match
+                      Client.open_session c ~level:Checker.SER
+                        ~num_keys:h.History.num_keys ()
+                    with
+                    | Ok sid -> sid
+                    | Error e -> failwith ("service bench open: " ^ e)
+                  in
+                  match Client.feed_history c ~sid h with
+                  | Ok (Wire.V_ok _) -> ()
+                  | Ok (Wire.V_violation _) ->
+                      failwith "service bench: clean history flagged"
+                  | Error e -> failwith ("service bench feed: " ^ e))
+        in
+        let t0 = Unix.gettimeofday () in
+        let threads = List.init k (fun _ -> Thread.create feed_one ()) in
+        List.iter Thread.join threads;
+        let dt = Unix.gettimeofday () -. t0 in
+        [
+          label;
+          Printf.sprintf "%.0f" (float_of_int (Metrics.txns_fed metrics) /. dt);
+          Printf.sprintf "%d" (Metrics.feed_p50_ns metrics);
+          Printf.sprintf "%d" (Metrics.feed_p99_ns metrics);
+          Printf.sprintf "%.0f" (Metrics.feed_words_mean metrics);
+        ])
   in
   let sock =
     Filename.concat (Filename.get_temp_dir_name ())
       (Printf.sprintf "mtc-bench-%d.sock" (Unix.getpid ()))
   in
+  let k = Stdlib.max 2 (Bench_util.jobs ()) in
   [
     one "service_feed/unix" (Server.A_unix sock);
     one "service_feed/tcp" (Server.A_tcp ("127.0.0.1", 0));
+    multi
+      (Printf.sprintf "service_feed/unix-x%d" k)
+      k
+      (Server.A_unix (sock ^ ".multi"));
   ]
 
 let run () =
@@ -270,7 +369,14 @@ let run () =
     "pool dispatch (Pool.map of 64 spin tasks, median of 9)";
   Bench_util.print_table ~header:[ "pool"; "time per map (ms)" ] (pool_rows ());
   Bench_util.subsection
+    "streaming checker: Online feed throughput (fixed 2000-txn history, commit order)";
+  Bench_util.print_table
+    ~header:[ "stream"; "txns/s"; "words/feed" ]
+    (online_feed_rows ());
+  Bench_util.subsection
     "checking service: whole-history stream through a live server";
   Bench_util.print_table
-    ~header:[ "transport"; "txns/s"; "server p50 (ns)"; "server p99 (ns)" ]
+    ~header:
+      [ "transport"; "txns/s"; "server p50 (ns)"; "server p99 (ns)";
+        "words/feed" ]
     (service_rows ())

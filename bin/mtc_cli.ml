@@ -405,7 +405,7 @@ let serve_cmd =
       & info [ "idle-timeout" ] ~docv:"SECONDS"
           ~doc:"Close sessions idle for longer than $(docv) (0 disables).")
   in
-  let run listen queue idle =
+  let run listen queue idle jobs =
     let listen =
       if listen = [] then [ Server.A_unix "/tmp/mtc.sock" ] else listen
     in
@@ -415,6 +415,7 @@ let serve_cmd =
         Server.listen;
         queue_capacity = Stdlib.max 1 queue;
         idle_timeout = idle;
+        shards = resolve_jobs jobs;
       }
     in
     match
@@ -442,8 +443,9 @@ let serve_cmd =
           TCP sockets, each an independent online checker at its \
           negotiated isolation level.  Shuts down gracefully (draining \
           in-flight frames) on SIGTERM/SIGINT and dumps service metrics \
-          as JSON.")
-    Term.(const run $ listen_arg $ queue_arg $ idle_arg)
+          as JSON.  Sessions check in parallel on $(b,--jobs) shard \
+          domains.")
+    Term.(const run $ listen_arg $ queue_arg $ idle_arg $ jobs_arg)
 
 let feed_cmd =
   let file_arg =

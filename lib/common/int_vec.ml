@@ -14,4 +14,10 @@ let push t x =
   t.len <- t.len + 1
 
 let get t i = t.data.(i)
+let set t i x = t.data.(i) <- x
+let clear t = t.len <- 0
+
+let pop t =
+  t.len <- t.len - 1;
+  t.data.(t.len)
 let data t = t.data

@@ -71,6 +71,20 @@ let set t k v =
 
 type map = t
 
+(* --- int-packed (key, value) pairs --- *)
+
+(* A pair packs to [value * num_keys + key] when that cannot overflow
+   (key in [0, num_keys), value >= 0 and small enough); the packing is
+   then injective, so probing never confuses two pairs.  -1 when the
+   pair has no collision-free packing — the rare unpackable pair
+   (out-of-range key, negative or astronomically large value, e.g. from
+   a hand-written or decoded history) goes to a tuple-keyed spill table
+   instead, empty on every generated workload. *)
+let pack_pair ~num_keys k v =
+  if k >= 0 && k < num_keys && v >= 0 && v <= (max_int - k) / num_keys then
+    (v * num_keys) + k
+  else -1
+
 (* --- writer lookup tables over int-packed (key, value) pairs --- *)
 
 module Writers = struct
@@ -80,12 +94,6 @@ module Writers = struct
     | Aborted of Txn.id
     | Nobody
 
-  (* A pair packs to [value * num_keys + key] when that cannot overflow
-     (key in [0, num_keys), value >= 0 and small enough); the packing is
-     then injective, so probing never confuses two pairs.  The rare
-     unpackable pair (negative or astronomically large value, e.g. from a
-     hand-written or decoded history) goes to a tuple-keyed spill table
-     instead — empty on every generated workload. *)
   type t = {
     num_keys : int;
     final : map;
@@ -104,11 +112,7 @@ module Writers = struct
       spill = Hashtbl.create 8;
     }
 
-  (* -1 when the pair has no collision-free packing. *)
-  let pack t k v =
-    if t.num_keys > 0 && v >= 0 && v <= (max_int - k) / t.num_keys then
-      (v * t.num_keys) + k
-    else -1
+  let pack t k v = pack_pair ~num_keys:t.num_keys k v
 
   let set_in t tier tbl k v id =
     let p = pack t k v in
@@ -140,4 +144,115 @@ module Writers = struct
               match Hashtbl.find_opt t.spill (2, k, v) with
               | Some id -> Aborted id
               | None -> Nobody))
+end
+
+(* --- (key, value) -> int list, as a flat cons pool --- *)
+
+module Multi = struct
+  (* The seed's [(key, value) -> Txn.id list ref Hashtbl] boxed a tuple
+     per probe and a list cell plus a ref per push.  Here the lists live
+     in two parallel int vectors (value, next-index) threaded like cons
+     cells, with a packed-pair map holding each list's head index: a push
+     is two int appends and a map store, and iteration follows int
+     indices — newest first, exactly the seed's cons order. *)
+  type t = {
+    num_keys : int;
+    heads : map;  (* packed pair -> head slot in the pool *)
+    pvals : Int_vec.t;
+    pnext : Int_vec.t;  (* -1 terminates a chain *)
+    spill : (Op.key * Op.value, int list ref) Hashtbl.t;
+  }
+
+  let create ~num_keys () =
+    {
+      num_keys;
+      heads = create ();
+      pvals = Int_vec.create 64;
+      pnext = Int_vec.create 64;
+      spill = Hashtbl.create 8;
+    }
+
+  let push t k v x =
+    let p = pack_pair ~num_keys:t.num_keys k v in
+    if p >= 0 then begin
+      let head = get t.heads p in
+      let slot = Int_vec.length t.pvals in
+      Int_vec.push t.pvals x;
+      Int_vec.push t.pnext head;
+      set t.heads p slot
+    end
+    else
+      match Hashtbl.find_opt t.spill (k, v) with
+      | Some r -> r := x :: !r
+      | None -> Hashtbl.replace t.spill (k, v) (ref [ x ])
+
+  let iter t k v f =
+    let p = pack_pair ~num_keys:t.num_keys k v in
+    if p >= 0 then begin
+      let slot = ref (get t.heads p) in
+      while !slot >= 0 do
+        f (Int_vec.get t.pvals !slot);
+        slot := Int_vec.get t.pnext !slot
+      done
+    end
+    else
+      match Hashtbl.find_opt t.spill (k, v) with
+      | Some r -> List.iter f !r
+      | None -> ()
+end
+
+(* --- (key, value) -> (int, int), for the SI divergence screen --- *)
+
+module Pairs = struct
+  (* One packed-pair map into a flat pool of 2-int slots.  The first
+     component must be >= 0 (it doubles as the absence sentinel of
+     {!first}); the second is unrestricted — it lives in the pool, not in
+     the map's value array. *)
+  type t = {
+    num_keys : int;
+    idx : map;  (* packed pair -> slot; slot s occupies pool[2s, 2s+1] *)
+    pool : Int_vec.t;
+    spill : (Op.key * Op.value, int * int) Hashtbl.t;
+  }
+
+  let create ~num_keys () =
+    { num_keys; idx = create (); pool = Int_vec.create 64;
+      spill = Hashtbl.create 8 }
+
+  let set t k v a b =
+    if a < 0 then invalid_arg "Flat_index.Pairs.set: first component >= 0";
+    let p = pack_pair ~num_keys:t.num_keys k v in
+    if p >= 0 then begin
+      let s = get t.idx p in
+      if s >= 0 then begin
+        Int_vec.set t.pool (2 * s) a;
+        Int_vec.set t.pool ((2 * s) + 1) b
+      end
+      else begin
+        let s = Int_vec.length t.pool / 2 in
+        Int_vec.push t.pool a;
+        Int_vec.push t.pool b;
+        set t.idx p s
+      end
+    end
+    else Hashtbl.replace t.spill (k, v) (a, b)
+
+  (* [-1] when the pair is absent. *)
+  let first t k v =
+    let p = pack_pair ~num_keys:t.num_keys k v in
+    if p >= 0 then begin
+      let s = get t.idx p in
+      if s >= 0 then Int_vec.get t.pool (2 * s) else -1
+    end
+    else match Hashtbl.find_opt t.spill (k, v) with Some (a, _) -> a | None -> -1
+
+  (* Only meaningful when [first] returned >= 0. *)
+  let second t k v =
+    let p = pack_pair ~num_keys:t.num_keys k v in
+    if p >= 0 then begin
+      let s = get t.idx p in
+      if s >= 0 then Int_vec.get t.pool ((2 * s) + 1) else 0
+    end
+    else
+      match Hashtbl.find_opt t.spill (k, v) with Some (_, b) -> b | None -> 0
 end

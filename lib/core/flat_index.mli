@@ -29,6 +29,13 @@ val get : t -> int -> int
 
 val mem : t -> int -> bool
 
+val pack_pair : num_keys:int -> int -> int -> int
+(** [pack_pair ~num_keys k v] is the shared injective packing
+    [v * num_keys + k] of a [(key, value)] pair into one int, or [-1]
+    when the pair has no collision-free packing ([k] outside
+    [0, num_keys), [v] negative, or overflow) — callers fall back to a
+    tuple-keyed spill for those. *)
+
 (** Final / intermediate / aborted writer resolution over packed pairs —
     the backing store of {!Index} and the streaming {!Online} checker. *)
 module Writers : sig
@@ -52,4 +59,39 @@ module Writers : sig
   (** Who produced value [v] of object [k]?  Checks final writers first,
       then intermediate, then aborted — the resolution order of paper
       Section IV-A. *)
+end
+
+(** [(key, value)] pair -> int list, the reader/overwriter tiers of the
+    streaming {!Online} checker: lists are cons chains threaded through
+    two flat int vectors (no boxed cells, no tuple keys), a push is O(1)
+    and iteration is newest-first — the seed's cons order. *)
+module Multi : sig
+  type t
+
+  val create : num_keys:int -> unit -> t
+
+  val push : t -> Op.key -> Op.value -> int -> unit
+  (** [push t k v x] prepends [x] to the list of [(k, v)]. *)
+
+  val iter : t -> Op.key -> Op.value -> (int -> unit) -> unit
+  (** Iterate the list of [(k, v)], newest push first. *)
+end
+
+(** [(key, value)] pair -> [(int, int)], the extender table of the SI
+    divergence screen.  The first component doubles as the absence
+    sentinel and must be [>= 0]; the second is unrestricted. *)
+module Pairs : sig
+  type t
+
+  val create : num_keys:int -> unit -> t
+
+  val set : t -> Op.key -> Op.value -> int -> int -> unit
+  (** Bind [(k, v)] to the pair, replacing any previous binding.
+      @raise Invalid_argument if the first component is negative. *)
+
+  val first : t -> Op.key -> Op.value -> int
+  (** First component of the binding, or [-1] if unbound. *)
+
+  val second : t -> Op.key -> Op.value -> int
+  (** Second component; meaningful only when {!first} returned [>= 0]. *)
 end

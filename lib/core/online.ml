@@ -1,23 +1,53 @@
-(* Growable Pearce–Kelly graph with labelled edges: the PK structure has a
-   fixed capacity, so on overflow the (acyclic) edges are replayed into a
-   doubled instance. *)
+(* The streaming checker's hot path is flat ints end to end: a
+   Pearce–Kelly graph grown in place (no edge replay on capacity
+   doubling), edge labels in a packed-int map, and reader/overwriter/
+   extender tiers on Flat_index — no tuple-keyed hashtables, no boxed
+   list cells.  Feeding a committed transaction allocates a bounded
+   amount (the transaction's own op-list views plus amortized vector
+   growth), independent of how many transactions came before. *)
+
+(* Int-packed dependency labels (same scheme as the Deps flat edge
+   stream): 0/1/2 are the keyless constants, a keyed label packs as
+   [4 + (key lsl 2) lor tag]. *)
+let pack_dep = function
+  | Deps.RT -> 0
+  | Deps.SO -> 1
+  | Deps.Rt_chain -> 2
+  | Deps.WR k -> 4 + ((k lsl 2) lor 0)
+  | Deps.WW k -> 4 + ((k lsl 2) lor 1)
+  | Deps.RW k -> 4 + ((k lsl 2) lor 2)
+
+let unpack_dep p =
+  if p = 0 then Deps.RT
+  else if p = 1 then Deps.SO
+  else if p = 2 then Deps.Rt_chain
+  else
+    let q = p - 4 in
+    let k = q lsr 2 in
+    match q land 3 with 0 -> Deps.WR k | 1 -> Deps.WW k | _ -> Deps.RW k
+
+(* Growable Pearce–Kelly graph with labelled edges.  Capacity doubles in
+   place ({!Pearce_kelly.ensure}); a duplicate edge is accepted without
+   touching the label or the count, and a rejected (cycle-closing) edge
+   leaves no label behind — the label of the offending edge travels with
+   the rejection instead (see {!cycle_of_path}). *)
 module Grow = struct
   type t = {
-    mutable pk : Pearce_kelly.t;
+    pk : Pearce_kelly.t;
     mutable capacity : int;
-    mutable edges : (int * int) list;  (** for rebuilds *)
-    mutable edge_count : int;
-    labels : (int * int, Deps.dep) Hashtbl.t;
+    mutable edge_count : int;  (** distinct edges accepted *)
+    labels : Flat_index.t;  (** packed (u lsl 31) lor v -> packed dep *)
   }
 
   let create () =
     {
       pk = Pearce_kelly.create 64;
       capacity = 64;
-      edges = [];
       edge_count = 0;
-      labels = Hashtbl.create 256;
+      labels = Flat_index.create ~capacity:256 ();
     }
+
+  let edge_count t = t.edge_count
 
   let ensure t needed =
     if needed > t.capacity then begin
@@ -25,32 +55,27 @@ module Grow = struct
       while needed > !capacity do
         capacity := 2 * !capacity
       done;
-      let pk = Pearce_kelly.create !capacity in
-      List.iter
-        (fun (u, v) ->
-          match Pearce_kelly.add_edge pk u v with
-          | Ok () -> ()
-          | Error _ -> assert false (* was acyclic before the grow *))
-        t.edges;
-      t.pk <- pk;
+      Pearce_kelly.ensure t.pk !capacity;
       t.capacity <- !capacity
     end
+
+  let edge_key u v = (u lsl 31) lor v
 
   (* [Error path]: vertex path [v; ...; u] for the rejected edge u -> v. *)
   let add_edge t u v lab =
     ensure t (1 + Stdlib.max u v);
-    if not (Hashtbl.mem t.labels (u, v)) then Hashtbl.replace t.labels (u, v) lab;
-    match Pearce_kelly.add_edge t.pk u v with
-    | Ok () ->
-        t.edges <- (u, v) :: t.edges;
-        t.edge_count <- t.edge_count + 1;
-        Ok ()
-    | Error path -> Error path
+    if Pearce_kelly.mem_edge t.pk u v then Ok () (* duplicate: no-op *)
+    else
+      match Pearce_kelly.add_edge t.pk u v with
+      | Ok () ->
+          Flat_index.set t.labels (edge_key u v) (pack_dep lab);
+          t.edge_count <- t.edge_count + 1;
+          Ok ()
+      | Error path -> Error path
 
   let label t u v =
-    match Hashtbl.find_opt t.labels (u, v) with
-    | Some l -> l
-    | None -> Deps.Rt_chain
+    let p = Flat_index.get t.labels (edge_key u v) in
+    if p >= 0 then unpack_dep p else Deps.Rt_chain
 end
 
 type t = {
@@ -58,19 +83,18 @@ type t = {
   skew : int;
   graph : Grow.t;
   mutable next_vertex : int;
-  vertex_txn : (int, Txn.id) Hashtbl.t;  (** helpers absent *)
-  txn_vertex : (Txn.id, int) Hashtbl.t;  (** base vertex (SI: the d-vertex) *)
+  vertex_txn : Int_vec.t;  (** vertex -> txn id; -1 for helper vertices *)
+  txn_vertex : Flat_index.t;  (** txn id -> base vertex (SI: the d-vertex) *)
   writers : Flat_index.Writers.t;
       (** final / intermediate / aborted writer resolution, int-packed *)
-  readers : (Op.key * Op.value, Txn.id list ref) Hashtbl.t;
-  overwriters : (Op.key * Op.value, Txn.id list ref) Hashtbl.t;
-  extender : (Op.key * Op.value, Txn.id * Op.value) Hashtbl.t;
-  session_last : (int, Txn.id) Hashtbl.t;
-  seen_ids : (Txn.id, unit) Hashtbl.t;
-  (* SSER stream state *)
-  mutable commits : (int * int) list;  (** (commit_ts, helper vertex), newest first *)
-  mutable commits_arr : (int * int) array;  (** oldest first, rebuilt lazily *)
-  mutable commits_dirty : bool;
+  readers : Flat_index.Multi.t;
+  overwriters : Flat_index.Multi.t;
+  extender : Flat_index.Pairs.t;  (** (k, v) -> (reader txn, its write) *)
+  session_last : Flat_index.t;  (** session -> last committed txn id *)
+  seen_ids : Flat_index.t;
+  (* SSER stream state: commits in arrival (= commit_ts) order *)
+  commit_ts : Int_vec.t;
+  commit_helper : Int_vec.t;  (** helper vertex of the same commit *)
   mutable last_commit : int;
   mutable count : int;
   mutable poisoned : Checker.violation option;
@@ -103,10 +127,16 @@ let alloc_vertices t (txn : Txn.t) =
   let base = t.next_vertex in
   let n = vertices_per_txn t.level in
   t.next_vertex <- base + n;
-  Hashtbl.replace t.txn_vertex txn.Txn.id base;
-  Hashtbl.replace t.vertex_txn base txn.Txn.id;
-  if n = 2 then Hashtbl.replace t.vertex_txn (base + 1) txn.Txn.id;
+  Flat_index.set t.txn_vertex txn.Txn.id base;
+  Int_vec.push t.vertex_txn txn.Txn.id;
+  if n = 2 then Int_vec.push t.vertex_txn txn.Txn.id;
   base
+
+let alloc_helper t =
+  let h = t.next_vertex in
+  t.next_vertex <- h + 1;
+  Int_vec.push t.vertex_txn (-1);
+  h
 
 let create ?(skew = 0) ~level ~num_keys () =
   let t =
@@ -115,24 +145,23 @@ let create ?(skew = 0) ~level ~num_keys () =
       skew;
       graph = Grow.create ();
       next_vertex = 0;
-      vertex_txn = Hashtbl.create 256;
-      txn_vertex = Hashtbl.create 256;
+      vertex_txn = Int_vec.create 256;
+      txn_vertex = Flat_index.create ~capacity:256 ();
       writers = Flat_index.Writers.create ~num_keys ~expected:1024;
-      readers = Hashtbl.create 1024;
-      overwriters = Hashtbl.create 256;
-      extender = Hashtbl.create 256;
-      session_last = Hashtbl.create 16;
-      seen_ids = Hashtbl.create 1024;
-      commits = [];
-      commits_arr = [||];
-      commits_dirty = false;
+      readers = Flat_index.Multi.create ~num_keys ();
+      overwriters = Flat_index.Multi.create ~num_keys ();
+      extender = Flat_index.Pairs.create ~num_keys ();
+      session_last = Flat_index.create ~capacity:16 ();
+      seen_ids = Flat_index.create ~capacity:1024 ();
+      commit_ts = Int_vec.create 256;
+      commit_helper = Int_vec.create 256;
       last_commit = min_int;
       count = 0;
       poisoned = None;
     }
   in
   let init = History.init_txn ~num_keys in
-  Hashtbl.replace t.seen_ids init.Txn.id ();
+  Flat_index.set t.seen_ids init.Txn.id 1;
   List.iter
     (fun (k, v) -> Flat_index.Writers.set_final t.writers k v init.Txn.id)
     (Txn.final_writes init);
@@ -140,14 +169,6 @@ let create ?(skew = 0) ~level ~num_keys () =
   t
 
 let resolve t k v = Flat_index.Writers.resolve t.writers k v
-
-let push tbl key v =
-  match Hashtbl.find_opt tbl key with
-  | Some r -> r := v :: !r
-  | None -> Hashtbl.replace tbl key (ref [ v ])
-
-let list_of tbl key =
-  match Hashtbl.find_opt tbl key with Some r -> !r | None -> []
 
 (* Product encoding for SI over base vertices: dep edges fan out of both
    the d- and r-vertex into the target's d-vertex; anti edges go
@@ -160,18 +181,23 @@ let encoded_edges level (u, v, lab) =
   | Checker.SI, (Deps.RT | Deps.Rt_chain) -> []
   | _, lab -> [ (u, v, lab) ]
 
-(* Map a rejected edge u -> v with PK path [v; ...; u] back to a
-   transaction-level cycle.  Helper vertices and intra-product steps are
-   dropped; the edge labels come from the label table. *)
-let cycle_of_path t u path =
+(* Map a rejected edge u -> v (attempted with label [lab]) and its PK
+   path [v; ...; u] back to a transaction-level cycle.  Helper vertices
+   and intra-product steps are dropped; the rejected edge carries its own
+   label (it was never recorded — rejected edges leave no label behind),
+   the rest come from the label table. *)
+let cycle_of_path t u lab path =
   let full = u :: path in
-  let txn_of vtx = Hashtbl.find_opt t.vertex_txn vtx in
+  let txn_of vtx =
+    let id = Int_vec.get t.vertex_txn vtx in
+    if id < 0 then None else Some id
+  in
+  let label_of a b = if a = u then lab else Grow.label t.graph a b in
   let rec build acc = function
     | a :: (b :: _ as rest) ->
         let edge =
           match (txn_of a, txn_of b) with
-          | Some ta, Some tb when ta <> tb ->
-              Some (ta, Grow.label t.graph a b, tb)
+          | Some ta, Some tb when ta <> tb -> Some (ta, label_of a b, tb)
           | _ -> None
         in
         build (match edge with Some e -> e :: acc | None -> acc) rest
@@ -187,11 +213,11 @@ let cycle_of_path t u path =
     | [] -> List.rev acc
   in
   (* Runs through helpers collapse; label gaps as RT when endpoints
-     differ but no direct label exists — Grow.label falls back to
+     differ but no direct label exists — the label table falls back to
      Rt_chain, rendered as RT for reporting. *)
   List.map
     (fun (a, lab, b) ->
-      ((a, (match lab with Deps.Rt_chain -> Deps.RT | l -> l), b)))
+      (a, (match lab with Deps.Rt_chain -> Deps.RT | l -> l), b))
     (build [] full)
 
 let poison t v =
@@ -206,14 +232,14 @@ let add_all_edges t base_u base_v lab =
       match Grow.add_edge t.graph u v l with
       | Ok () -> ()
       | Error path ->
-          raise (Cycle_found (Checker.Cyclic (cycle_of_path t u path))))
+          raise (Cycle_found (Checker.Cyclic (cycle_of_path t u l path))))
     (encoded_edges t.level (base_u, base_v, lab))
 
 let add_raw_edge t u v lab =
   match Grow.add_edge t.graph u v lab with
   | Ok () -> ()
   | Error path ->
-      raise (Cycle_found (Checker.Cyclic (cycle_of_path t u path)))
+      raise (Cycle_found (Checker.Cyclic (cycle_of_path t u lab path)))
 
 let divergence_screen t (txn : Txn.t) =
   List.fold_left
@@ -221,27 +247,29 @@ let divergence_screen t (txn : Txn.t) =
       match acc with
       | Some _ -> acc
       | None ->
-          if Txn.writes_key txn k then (
-            match Hashtbl.find_opt t.extender (k, v) with
-            | Some (other, other_value) ->
-                Some
-                  (Checker.Diverged
-                     {
-                       Divergence.key = k;
-                       writer =
-                         (match resolve t k v with
-                         | Index.Final w -> w
-                         | Index.Intermediate w | Index.Aborted w -> w
-                         | Index.Nobody -> -1);
-                       reader1 = (other, other_value);
-                       reader2 =
-                         ( txn.Txn.id,
-                           Option.value (Txn.write_of txn k) ~default:0 );
-                     })
-            | None ->
-                Hashtbl.replace t.extender (k, v)
-                  (txn.Txn.id, Option.value (Txn.write_of txn k) ~default:0);
-                None)
+          if Txn.writes_key txn k then begin
+            let other = Flat_index.Pairs.first t.extender k v in
+            if other >= 0 then
+              Some
+                (Checker.Diverged
+                   {
+                     Divergence.key = k;
+                     writer =
+                       (match resolve t k v with
+                       | Index.Final w -> w
+                       | Index.Intermediate w | Index.Aborted w -> w
+                       | Index.Nobody -> -1);
+                     reader1 = (other, Flat_index.Pairs.second t.extender k v);
+                     reader2 =
+                       ( txn.Txn.id,
+                         Option.value (Txn.write_of txn k) ~default:0 );
+                   })
+            else begin
+              Flat_index.Pairs.set t.extender k v txn.Txn.id
+                (Option.value (Txn.write_of txn k) ~default:0);
+              None
+            end
+          end
           else None)
     None (Txn.external_reads txn)
 
@@ -249,34 +277,31 @@ let feed_committed t (txn : Txn.t) =
   let vtx = alloc_vertices t txn in
   (* Session order. *)
   let prev =
-    match Hashtbl.find_opt t.session_last txn.Txn.session with
-    | Some p -> p
-    | None -> History.init_id
+    let p = Flat_index.get t.session_last txn.Txn.session in
+    if p >= 0 then p else History.init_id
   in
-  add_all_edges t (Hashtbl.find t.txn_vertex prev) vtx Deps.SO;
-  Hashtbl.replace t.session_last txn.Txn.session txn.Txn.id;
+  add_all_edges t (Flat_index.get t.txn_vertex prev) vtx Deps.SO;
+  Flat_index.set t.session_last txn.Txn.session txn.Txn.id;
   (* WR / WW / RW. *)
   List.iter
     (fun (k, v) ->
       match resolve t k v with
       | Index.Final w when w <> txn.Txn.id ->
-          let wv = Hashtbl.find t.txn_vertex w in
+          let wv = Flat_index.get t.txn_vertex w in
           add_all_edges t wv vtx (Deps.WR k);
-          List.iter
-            (fun o ->
+          Flat_index.Multi.iter t.overwriters k v (fun o ->
               if o <> txn.Txn.id then
-                add_all_edges t vtx (Hashtbl.find t.txn_vertex o) (Deps.RW k))
-            (list_of t.overwriters (k, v));
+                add_all_edges t vtx (Flat_index.get t.txn_vertex o) (Deps.RW k));
           if Txn.writes_key txn k then begin
             add_all_edges t wv vtx (Deps.WW k);
-            List.iter
-              (fun r ->
+            Flat_index.Multi.iter t.readers k v (fun r ->
                 if r <> txn.Txn.id then
-                  add_all_edges t (Hashtbl.find t.txn_vertex r) vtx (Deps.RW k))
-              (list_of t.readers (k, v));
-            push t.overwriters (k, v) txn.Txn.id
+                  add_all_edges t
+                    (Flat_index.get t.txn_vertex r)
+                    vtx (Deps.RW k));
+            Flat_index.Multi.push t.overwriters k v txn.Txn.id
           end;
-          push t.readers (k, v) txn.Txn.id
+          Flat_index.Multi.push t.readers k v txn.Txn.id
       | _ -> () (* excluded by the screen *))
     (Txn.external_reads txn);
   (* Record writes for future resolution. *)
@@ -286,31 +311,28 @@ let feed_committed t (txn : Txn.t) =
   List.iter
     (fun (k, v) -> Flat_index.Writers.set_intermediate t.writers k v txn.Txn.id)
     (Txn.intermediate_writes txn);
-  (* SSER: real-time edges through the helper chain. *)
+  (* SSER: real-time edges through the helper chain.  Commits arrive in
+     commit_ts order (enforced by add_txn), so the commit vectors are
+     already sorted — binary search directly, no rebuild. *)
   if t.level = Checker.SSER then begin
-    if t.commits_dirty then begin
-      t.commits_arr <- Array.of_list (List.rev t.commits);
-      t.commits_dirty <- false
-    end;
-    let arr = t.commits_arr in
-    let lo = ref 0 and hi = ref (Array.length arr - 1) and best = ref (-1) in
+    let len = Int_vec.length t.commit_ts in
+    let lo = ref 0 and hi = ref (len - 1) and best = ref (-1) in
     while !lo <= !hi do
       let mid = (!lo + !hi) / 2 in
-      if fst arr.(mid) + t.skew < txn.Txn.start_ts then begin
+      if Int_vec.get t.commit_ts mid + t.skew < txn.Txn.start_ts then begin
         best := mid;
         lo := mid + 1
       end
       else hi := mid - 1
     done;
-    if !best >= 0 then add_raw_edge t (snd arr.(!best)) vtx Deps.Rt_chain;
-    let h = t.next_vertex in
-    t.next_vertex <- h + 1;
+    if !best >= 0 then
+      add_raw_edge t (Int_vec.get t.commit_helper !best) vtx Deps.Rt_chain;
+    let h = alloc_helper t in
     add_raw_edge t vtx h Deps.Rt_chain;
-    (match t.commits with
-    | (_, prev_h) :: _ -> add_raw_edge t prev_h h Deps.Rt_chain
-    | [] -> ());
-    t.commits <- (txn.Txn.commit_ts, h) :: t.commits;
-    t.commits_dirty <- true;
+    if len > 0 then
+      add_raw_edge t (Int_vec.get t.commit_helper (len - 1)) h Deps.Rt_chain;
+    Int_vec.push t.commit_ts txn.Txn.commit_ts;
+    Int_vec.push t.commit_helper h;
     t.last_commit <- txn.Txn.commit_ts
   end
 
@@ -318,7 +340,7 @@ let add_txn t (txn : Txn.t) =
   match t.poisoned with
   | Some v -> Violation v
   | None -> (
-      if Hashtbl.mem t.seen_ids txn.Txn.id || txn.Txn.id <= 0 then
+      if Flat_index.mem t.seen_ids txn.Txn.id || txn.Txn.id <= 0 then
         invalid_arg
           (Printf.sprintf "Online.add_txn: transaction id %d invalid or reused"
              txn.Txn.id);
@@ -328,7 +350,7 @@ let add_txn t (txn : Txn.t) =
         && txn.Txn.commit_ts < t.last_commit
       then
         invalid_arg "Online.add_txn: SSER streams must arrive in commit order";
-      Hashtbl.replace t.seen_ids txn.Txn.id ();
+      Flat_index.set t.seen_ids txn.Txn.id 1;
       t.count <- t.count + 1;
       match txn.Txn.status with
       | Txn.Aborted ->

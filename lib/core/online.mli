@@ -20,6 +20,29 @@
     Aborted transactions should be fed too ({!add_txn} records their
     writes so ABORTEDREAD is diagnosed precisely). *)
 
+(** The growable labelled Pearce–Kelly graph backing the checker.
+    Exposed for white-box tests of its edge accounting: duplicate edges
+    are accepted without bumping the count, capacity grows in place
+    without replaying edges, and a rejected (cycle-closing) edge leaves
+    no label behind. *)
+module Grow : sig
+  type t
+
+  val create : unit -> t
+
+  val add_edge : t -> int -> int -> Deps.dep -> (unit, int list) result
+  (** [add_edge t u v lab] inserts [u -> v] labelled [lab].  A duplicate
+      insertion is [Ok ()] and changes neither the count nor the existing
+      label; [Error path] (cycle) records nothing. *)
+
+  val label : t -> int -> int -> Deps.dep
+  (** Label of a recorded edge; [Deps.Rt_chain] if the edge was never
+      accepted. *)
+
+  val edge_count : t -> int
+  (** Distinct edges accepted so far. *)
+end
+
 type t
 
 val create :

@@ -1,105 +1,342 @@
+(* Flat incremental topological order maintenance (Pearce & Kelly, 2006).
+
+   The seed kept one (int, unit) Hashtbl per vertex and direction and
+   allocated two fresh hashtables (visited, parent) plus several sorted
+   lists per reordering insert — the reorder itself did [List.nth pool i]
+   inside [List.iteri], O(k²) in the affected-region size k.  This
+   version is flat ints end to end:
+
+   - adjacency: one growable {!Int_vec} per vertex and direction;
+   - edge membership: a single open-addressed int set over packed
+     [(u lsl 31) lor v] keys (backward-shift deletion, no tombstones, so
+     the SAT solver's backtracking [remove_edge] stays cheap);
+   - DFS scratch: epoch-stamped mark/parent arrays and reusable stack
+     vectors, so discovery allocates nothing;
+   - reorder: in-place heapsort of the two affected regions by current
+     order index, then a linear merge of their index pools — O(k log k)
+     and allocation-free.
+
+   Capacity grows in place ({!ensure}): new vertices are isolated and
+   take the largest order indices, so existing edges and the maintained
+   order survive a grow — callers no longer replay their edge list. *)
+
 type t = {
-  fwd : (int, unit) Hashtbl.t array;  (** successor sets *)
-  bwd : (int, unit) Hashtbl.t array;  (** predecessor sets *)
-  ord : int array;  (** vertex -> topological index (a permutation) *)
+  mutable n : int;
+  mutable succ : Int_vec.t array;
+  mutable pred : Int_vec.t array;
+  mutable ord : int array;  (* vertex -> topological index (a permutation) *)
+  (* open-addressed edge set over packed (u, v); -1 marks an empty slot *)
+  mutable eset : int array;
+  mutable emask : int;  (* capacity - 1; capacity is a power of two *)
+  mutable ecount : int;
+  (* reusable DFS / reorder scratch *)
+  mutable mark : int array;  (* epoch stamps: mark.(v) = epoch <=> visited *)
+  mutable epoch : int;
+  mutable parent : int array;  (* valid only for vertices marked this epoch *)
+  stack : Int_vec.t;
+  df : Int_vec.t;  (* forward-affected region *)
+  db : Int_vec.t;  (* backward-affected region *)
+  pool : Int_vec.t;  (* merged order-index pool *)
 }
 
+let rec ceil_pow2 n c = if c >= n then c else ceil_pow2 n (2 * c)
+
 let create n =
+  let cap = ceil_pow2 (Stdlib.max 16 n) 16 in
   {
-    fwd = Array.init n (fun _ -> Hashtbl.create 4);
-    bwd = Array.init n (fun _ -> Hashtbl.create 4);
+    n;
+    succ = Array.init n (fun _ -> Int_vec.create 4);
+    pred = Array.init n (fun _ -> Int_vec.create 4);
     ord = Array.init n (fun i -> i);
+    eset = Array.make cap (-1);
+    emask = cap - 1;
+    ecount = 0;
+    mark = Array.make n 0;
+    epoch = 0;
+    parent = Array.make n (-1);
+    stack = Int_vec.create 64;
+    df = Int_vec.create 64;
+    db = Int_vec.create 64;
+    pool = Int_vec.create 64;
   }
 
-let n t = Array.length t.ord
+let n t = t.n
+let num_edges t = t.ecount
 
-let mem_edge t u v = Hashtbl.mem t.fwd.(u) v
+let ensure t needed =
+  if needed > t.n then begin
+    let old_n = t.n and old_succ = t.succ and old_pred = t.pred in
+    t.succ <-
+      Array.init needed (fun i ->
+          if i < old_n then old_succ.(i) else Int_vec.create 4);
+    t.pred <-
+      Array.init needed (fun i ->
+          if i < old_n then old_pred.(i) else Int_vec.create 4);
+    (* new vertices are isolated: giving them their own index extends the
+       permutation with the largest order positions, which any existing
+       topological order is consistent with *)
+    let ord = Array.init needed (fun i -> i) in
+    Array.blit t.ord 0 ord 0 old_n;
+    t.ord <- ord;
+    let mark = Array.make needed 0 in
+    Array.blit t.mark 0 mark 0 old_n;
+    t.mark <- mark;
+    let parent = Array.make needed (-1) in
+    Array.blit t.parent 0 parent 0 old_n;
+    t.parent <- parent;
+    t.n <- needed
+  end
+
+(* --- edge-membership set --- *)
+
+let pack u v = (u lsl 31) lor v
+
+let eslot mask k =
+  let h = k * 0x2545F4914F6CDD1D in
+  (h lxor (h lsr 31)) land mask
+
+(* Index of [k]'s slot if present, of the insertion slot otherwise. *)
+let eprobe t k =
+  let i = ref (eslot t.emask k) in
+  while t.eset.(!i) <> -1 && t.eset.(!i) <> k do
+    i := (!i + 1) land t.emask
+  done;
+  !i
+
+let egrow t =
+  let old = t.eset in
+  let cap = 2 * Array.length old in
+  t.eset <- Array.make cap (-1);
+  t.emask <- cap - 1;
+  Array.iter (fun k -> if k <> -1 then t.eset.(eprobe t k) <- k) old
+
+let eadd t k =
+  (* keep the load factor at or below 1/2 *)
+  if 2 * (t.ecount + 1) > Array.length t.eset then egrow t;
+  let i = eprobe t k in
+  if t.eset.(i) <> k then begin
+    t.eset.(i) <- k;
+    t.ecount <- t.ecount + 1
+  end
+
+let eremove t k =
+  let i = eprobe t k in
+  if t.eset.(i) = k then begin
+    t.ecount <- t.ecount - 1;
+    t.eset.(i) <- -1;
+    (* backward-shift deletion: re-seat later entries of the probe run so
+       lookups never need tombstones *)
+    let mask = t.emask in
+    let hole = ref i and j = ref i and scanning = ref true in
+    while !scanning do
+      j := (!j + 1) land mask;
+      let k' = t.eset.(!j) in
+      if k' = -1 then scanning := false
+      else begin
+        let h = eslot mask k' in
+        (* the entry may stay iff its home slot lies cyclically in
+           (hole, j]; otherwise it moves back into the hole *)
+        let stays =
+          if !j > !hole then h > !hole && h <= !j else h > !hole || h <= !j
+        in
+        if not stays then begin
+          t.eset.(!hole) <- k';
+          t.eset.(!j) <- -1;
+          hole := !j
+        end
+      end
+    done
+  end
+
+let mem_edge t u v = t.eset.(eprobe t (pack u v)) <> -1
+
+(* --- adjacency --- *)
+
+let vec_remove vec x =
+  let len = Int_vec.length vec in
+  let rec find i =
+    if i >= len then -1 else if Int_vec.get vec i = x then i else find (i + 1)
+  in
+  let i = find 0 in
+  if i >= 0 then begin
+    Int_vec.set vec i (Int_vec.get vec (len - 1));
+    ignore (Int_vec.pop vec)
+  end
+
+let record_edge t u v =
+  Int_vec.push t.succ.(u) v;
+  Int_vec.push t.pred.(v) u;
+  eadd t (pack u v)
 
 let remove_edge t u v =
-  Hashtbl.remove t.fwd.(u) v;
-  Hashtbl.remove t.bwd.(v) u
+  if mem_edge t u v then begin
+    eremove t (pack u v);
+    vec_remove t.succ.(u) v;
+    vec_remove t.pred.(v) u
+  end
 
 let order_index t v = t.ord.(v)
 
-(* Forward DFS from [v] visiting only vertices with ord <= ub.  Returns
-   either the visited set or, if [target] is reached, the path to it. *)
-let dfs_forward t v ~ub ~target =
-  let visited = Hashtbl.create 16 in
-  let parent = Hashtbl.create 16 in
-  let exception Hit in
-  let rec go u =
-    if u = target then raise Hit;
-    Hashtbl.replace visited u ();
-    Hashtbl.iter
-      (fun w () ->
-        if t.ord.(w) <= ub && not (Hashtbl.mem visited w) then begin
-          Hashtbl.replace parent w u;
-          if w = target then raise Hit else go w
-        end)
-      t.fwd.(u)
-  in
-  try
-    go v;
-    Ok visited
-  with Hit ->
-    let rec path acc u = if u = v then u :: acc else path (u :: acc) (Hashtbl.find parent u) in
-    Error (path [] target)
+(* --- affected-region discovery --- *)
 
+(* Forward DFS from [v] over vertices with ord <= ub, collecting the
+   visited set into [t.df].  Returns [true] if [target] was reached, in
+   which case the parent chain from [target] back to [v] is valid. *)
+let dfs_forward t v ~ub ~target =
+  t.epoch <- t.epoch + 1;
+  let ep = t.epoch in
+  Int_vec.clear t.df;
+  Int_vec.clear t.stack;
+  t.mark.(v) <- ep;
+  Int_vec.push t.stack v;
+  Int_vec.push t.df v;
+  let hit = ref false in
+  while (not !hit) && Int_vec.length t.stack > 0 do
+    let x = Int_vec.pop t.stack in
+    let sv = t.succ.(x) in
+    let deg = Int_vec.length sv in
+    let i = ref 0 in
+    while (not !hit) && !i < deg do
+      let w = Int_vec.get sv !i in
+      if t.ord.(w) <= ub && t.mark.(w) <> ep then begin
+        t.parent.(w) <- x;
+        if w = target then hit := true
+        else begin
+          t.mark.(w) <- ep;
+          Int_vec.push t.stack w;
+          Int_vec.push t.df w
+        end
+      end;
+      incr i
+    done
+  done;
+  !hit
+
+(* Backward DFS from [u] over vertices with ord >= lb, into [t.db]. *)
 let dfs_backward t u ~lb =
-  let visited = Hashtbl.create 16 in
-  let rec go x =
-    Hashtbl.replace visited x ();
-    Hashtbl.iter
-      (fun w () ->
-        if t.ord.(w) >= lb && not (Hashtbl.mem visited w) then go w)
-      t.bwd.(x)
+  t.epoch <- t.epoch + 1;
+  let ep = t.epoch in
+  Int_vec.clear t.db;
+  Int_vec.clear t.stack;
+  t.mark.(u) <- ep;
+  Int_vec.push t.stack u;
+  Int_vec.push t.db u;
+  while Int_vec.length t.stack > 0 do
+    let x = Int_vec.pop t.stack in
+    let pv = t.pred.(x) in
+    for i = 0 to Int_vec.length pv - 1 do
+      let w = Int_vec.get pv i in
+      if t.ord.(w) >= lb && t.mark.(w) <> ep then begin
+        t.mark.(w) <- ep;
+        Int_vec.push t.stack w;
+        Int_vec.push t.db w
+      end
+    done
+  done
+
+(* [v; ...; target] along the parent chain left by a hit dfs_forward. *)
+let build_path t ~v ~target =
+  let rec path acc x = if x = v then x :: acc else path (x :: acc) t.parent.(x) in
+  path [] target
+
+(* In-place heapsort of [vec]'s prefix keyed by current order index —
+   ord is a permutation, so keys are distinct and the result order is
+   deterministic. *)
+let sort_by_ord t vec =
+  let a = Int_vec.data vec and len = Int_vec.length vec in
+  let ord = t.ord in
+  let swap i j =
+    let x = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- x
   in
-  go u;
-  visited
+  let rec sift i len =
+    let l = (2 * i) + 1 in
+    if l < len then begin
+      let c = if l + 1 < len && ord.(a.(l + 1)) > ord.(a.(l)) then l + 1 else l in
+      if ord.(a.(c)) > ord.(a.(i)) then begin
+        swap i c;
+        sift c len
+      end
+    end
+  in
+  for i = (len / 2) - 1 downto 0 do
+    sift i len
+  done;
+  for i = len - 1 downto 1 do
+    swap 0 i;
+    sift 0 i
+  done
 
 let add_edge t u v =
   if u = v then Error [ u ]
   else if mem_edge t u v then Ok ()
   else if t.ord.(u) < t.ord.(v) then begin
-    (* Already consistent with the order: just record. *)
-    Hashtbl.replace t.fwd.(u) v ();
-    Hashtbl.replace t.bwd.(v) u ();
+    (* already consistent with the order: just record *)
+    record_edge t u v;
     Ok ()
   end
-  else
-    (* Affected region: ord in [ord(v), ord(u)]. *)
-    match dfs_forward t v ~ub:t.ord.(u) ~target:u with
-    | Error path -> Error path
-    | Ok delta_f ->
-        let delta_b = dfs_backward t u ~lb:t.ord.(v) in
-        (* Reorder: vertices of delta_b take the smallest indices of the
-           combined pool, then vertices of delta_f — each group keeping its
-           internal relative order. *)
-        let to_sorted_list visited =
-          Hashtbl.fold (fun w () acc -> w :: acc) visited []
-          |> List.sort (fun a b -> compare t.ord.(a) t.ord.(b))
-        in
-        let bs = to_sorted_list delta_b in
-        let fs = to_sorted_list delta_f in
-        let pool =
-          List.sort compare (List.map (fun w -> t.ord.(w)) (bs @ fs))
-        in
-        List.iteri
-          (fun i w -> t.ord.(w) <- List.nth pool i)
-          (bs @ fs);
-        Hashtbl.replace t.fwd.(u) v ();
-        Hashtbl.replace t.bwd.(v) u ();
-        Ok ()
+  else if dfs_forward t v ~ub:t.ord.(u) ~target:u then
+    (* v reaches u: the edge closes a cycle; structure unchanged *)
+    Error (build_path t ~v ~target:u)
+  else begin
+    (* affected region: ord in [ord(v), ord(u)].  delta_b (reaching u)
+       takes the smallest indices of the combined pool, then delta_f
+       (reachable from v) — each group keeping its internal relative
+       order. *)
+    dfs_backward t u ~lb:t.ord.(v);
+    sort_by_ord t t.df;
+    sort_by_ord t t.db;
+    let ord = t.ord in
+    let db = Int_vec.data t.db and nb = Int_vec.length t.db in
+    let df = Int_vec.data t.df and nf = Int_vec.length t.df in
+    Int_vec.clear t.pool;
+    let i = ref 0 and j = ref 0 in
+    while !i < nb || !j < nf do
+      if !j >= nf || (!i < nb && ord.(db.(!i)) < ord.(df.(!j))) then begin
+        Int_vec.push t.pool ord.(db.(!i));
+        incr i
+      end
+      else begin
+        Int_vec.push t.pool ord.(df.(!j));
+        incr j
+      end
+    done;
+    let pool = Int_vec.data t.pool in
+    let k = ref 0 in
+    for i = 0 to nb - 1 do
+      ord.(db.(i)) <- pool.(!k);
+      incr k
+    done;
+    for j = 0 to nf - 1 do
+      ord.(df.(j)) <- pool.(!k);
+      incr k
+    done;
+    record_edge t u v;
+    Ok ()
+  end
 
 let check_invariant t =
   let ok = ref true in
-  Array.iteri
-    (fun u succs ->
-      Hashtbl.iter (fun v () -> if t.ord.(u) >= t.ord.(v) then ok := false) succs)
-    t.fwd;
-  (* ord must be a permutation. *)
-  let seen = Array.make (n t) false in
+  for u = 0 to t.n - 1 do
+    let sv = t.succ.(u) in
+    for i = 0 to Int_vec.length sv - 1 do
+      if t.ord.(u) >= t.ord.(Int_vec.get sv i) then ok := false
+    done
+  done;
+  (* ord must be a permutation *)
+  let seen = Array.make t.n false in
   Array.iter
-    (fun i -> if i < 0 || i >= n t || seen.(i) then ok := false else seen.(i) <- true)
+    (fun i -> if i < 0 || i >= t.n || seen.(i) then ok := false else seen.(i) <- true)
     t.ord;
+  (* adjacency, edge set and edge count must agree *)
+  let edges = ref 0 in
+  for u = 0 to t.n - 1 do
+    let sv = t.succ.(u) in
+    for i = 0 to Int_vec.length sv - 1 do
+      incr edges;
+      if not (mem_edge t u (Int_vec.get sv i)) then ok := false
+    done
+  done;
+  if !edges <> t.ecount then ok := false;
   !ok

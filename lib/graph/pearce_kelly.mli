@@ -2,9 +2,14 @@
 
     Supports online edge insertion into a DAG in amortized sub-linear time,
     reporting a cycle witness when an insertion would create one.  This is
-    the engine behind the SAT acyclicity theory (our MonoSAT-lite): the
-    Cobra/PolySI baselines assert dependency edges one by one as the solver
-    assigns edge literals. *)
+    the engine behind the SAT acyclicity theory (our MonoSAT-lite) and the
+    streaming {!Online} checker.
+
+    The structure is flat ints throughout: {!Int_vec} successor and
+    predecessor vectors per vertex, one open-addressed int set for edge
+    membership, and epoch-stamped scratch arrays reused across calls — an
+    accepted insertion that needs no reordering allocates nothing, and a
+    reordering insertion allocates only amortized vector growth. *)
 
 type t
 
@@ -13,21 +18,34 @@ val create : int -> t
 
 val n : t -> int
 
+val ensure : t -> int -> unit
+(** [ensure t n] grows the vertex set in place to at least [n] (no-op if
+    already that large).  New vertices are isolated and take the largest
+    order indices, so existing edges and the maintained order are
+    untouched — callers need not replay anything after a grow. *)
+
+val num_edges : t -> int
+(** Distinct edges currently in the structure (duplicates are never
+    double-counted; {!remove_edge} decrements). *)
+
 val add_edge : t -> int -> int -> (unit, int list) result
 (** [add_edge t u v] inserts [u -> v].  [Error path] means the edge closes a
     cycle; [path] is a vertex path [v; ...; u] along existing edges, so the
     full cycle is [u -> v -> ... -> u].  The structure is unchanged on
-    error.  Self-edges always fail with [Error [u]]. *)
+    error.  Self-edges always fail with [Error [u]].  Inserting an edge
+    already present is [Ok ()] and changes nothing. *)
 
 val mem_edge : t -> int -> int -> bool
 
 val remove_edge : t -> int -> int -> unit
 (** Remove an edge if present.  The maintained order stays valid: deleting
-    edges never invalidates a topological order, so removal is O(1) —
+    edges never invalidates a topological order, so removal is O(degree) —
     which is what makes the structure usable under SAT backtracking. *)
 
 val order_index : t -> int -> int
 (** Current topological index of a vertex. *)
 
 val check_invariant : t -> bool
-(** For tests: every recorded edge goes forward in the maintained order. *)
+(** For tests: every recorded edge goes forward in the maintained order,
+    the order is a permutation, and adjacency / edge set / edge count
+    agree. *)

@@ -70,6 +70,7 @@ type t = {
   mutable protocol_errors : int;
   mutable queue_high_water : int;
   feed_ns : Histogram.t;
+  feed_words : Histogram.t;  (* minor-heap words allocated per feed *)
 }
 
 let create () =
@@ -88,6 +89,7 @@ let create () =
     protocol_errors = 0;
     queue_high_water = 0;
     feed_ns = Histogram.create ();
+    feed_words = Histogram.create ();
   }
 
 let with_mu t f =
@@ -111,10 +113,11 @@ let throttle t = with_mu t (fun () -> t.throttles <- t.throttles + 1)
 let protocol_error t =
   with_mu t (fun () -> t.protocol_errors <- t.protocol_errors + 1)
 
-let feed t ~ns =
+let feed t ~ns ~words =
   with_mu t (fun () ->
       t.txns_fed <- t.txns_fed + 1;
-      Histogram.observe t.feed_ns ns)
+      Histogram.observe t.feed_ns ns;
+      Histogram.observe t.feed_words words)
 
 let queue_depth t depth =
   with_mu t (fun () ->
@@ -128,6 +131,14 @@ let queue_high_water t = with_mu t (fun () -> t.queue_high_water)
 let feed_p50_ns t = with_mu t (fun () -> Histogram.percentile t.feed_ns 50.0)
 let feed_p99_ns t = with_mu t (fun () -> Histogram.percentile t.feed_ns 99.0)
 
+let feed_words_mean t = with_mu t (fun () -> Histogram.mean t.feed_words)
+
+let feed_words_p50 t =
+  with_mu t (fun () -> Histogram.percentile t.feed_words 50.0)
+
+let feed_words_p99 t =
+  with_mu t (fun () -> Histogram.percentile t.feed_words 99.0)
+
 let to_json t =
   with_mu t (fun () ->
       Printf.sprintf
@@ -136,6 +147,8 @@ let to_json t =
          \"violations\":%d,\"frames_in\":%d,\"frames_out\":%d,\
          \"throttles\":%d,\"protocol_errors\":%d,\"queue_high_water\":%d,\
          \"feed_ns\":{\"count\":%d,\"mean\":%.0f,\"p50\":%d,\"p99\":%d,\
+         \"max\":%d},\
+         \"feed_words\":{\"count\":%d,\"mean\":%.0f,\"p50\":%d,\"p99\":%d,\
          \"max\":%d}}"
         (Unix.gettimeofday () -. t.created_at)
         t.connections t.sessions_opened t.sessions_closed t.txns_fed t.syncs
@@ -144,7 +157,11 @@ let to_json t =
         (Histogram.mean t.feed_ns)
         (Histogram.percentile t.feed_ns 50.0)
         (Histogram.percentile t.feed_ns 99.0)
-        t.feed_ns.Histogram.max)
+        t.feed_ns.Histogram.max t.feed_words.Histogram.count
+        (Histogram.mean t.feed_words)
+        (Histogram.percentile t.feed_words 50.0)
+        (Histogram.percentile t.feed_words 99.0)
+        t.feed_words.Histogram.max)
 
 (* The process-wide instance `mtc serve` reports from; embedders can
    create their own. *)

@@ -21,9 +21,10 @@ val violation : t -> unit
 val throttle : t -> unit
 val protocol_error : t -> unit
 
-val feed : t -> ns:int -> unit
-(** One transaction processed by a session worker, in [ns]
-    nanoseconds. *)
+val feed : t -> ns:int -> words:int -> unit
+(** One transaction processed by a session worker, in [ns] nanoseconds,
+    allocating [words] minor-heap words ([Gc.minor_words] delta on the
+    processing domain). *)
 
 val queue_depth : t -> int -> unit
 (** Track the high-water mark of any session's ingress queue. *)
@@ -41,6 +42,14 @@ val feed_p99_ns : t -> int
 (** Percentiles are bucket upper edges (log-bucketed histogram): exact
     to within a factor of two. *)
 
+val feed_words_mean : t -> float
+
+val feed_words_p50 : t -> int
+val feed_words_p99 : t -> int
+(** Per-feed allocated minor-heap words; same bucket-edge caveat as the
+    latency percentiles. *)
+
 val to_json : t -> string
-(** One JSON object with every counter plus the feed-latency summary
-    (count / mean / p50 / p99 / max, nanoseconds). *)
+(** One JSON object with every counter plus the feed-latency and
+    feed-allocation summaries (count / mean / p50 / p99 / max;
+    nanoseconds and minor-heap words respectively). *)

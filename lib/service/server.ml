@@ -1,26 +1,35 @@
 (* The MTC checking daemon: an accept loop multiplexing many client
    sessions over Unix-domain and TCP sockets.
 
-   Threading model (systhreads — the workload is I/O-bound framing
-   around the checker, and verdicts must be totally ordered per session
-   anyway):
+   Threading model — systhreads for the I/O framing, domains for the
+   checking.  OCaml systhreads share one runtime lock, so with a worker
+   thread per session the checkers of concurrent sessions serialized on
+   that lock and aggregate throughput *fell* as sessions were added.
+   Instead:
 
-   - one acceptor thread per listen address;
-   - one reader thread per connection, which parses frames and enqueues
-     work onto per-session bounded queues (blocking when a queue is
-     full — the hard backpressure — and emitting advisory [Throttle] /
-     [Resume] frames around the high-water mark);
-   - one worker thread per session, owning that session's {!Online.t}
-     and the only writer of its [Verdict] frames;
-   - one janitor thread closing idle sessions.
+   - one acceptor systhread per listen address;
+   - one reader systhread per connection, which parses frames and
+     enqueues work onto per-session bounded queues (blocking when a
+     queue is full — the hard backpressure — and emitting advisory
+     [Throttle] / [Resume] frames around the high-water mark);
+   - a fixed array of {e shards}, each a run queue of sessions serviced
+     by one loop; the loops execute on a {!Pool} of worker domains (a
+     coordinator systhread participates via [Pool.run]), so N sessions
+     check on up to [config.shards] cores in parallel.  A session is
+     pinned to shard [sid mod shards] for its whole life: exactly one
+     shard ever touches a session's {!Online.t}, items drain in FIFO
+     order, and the shard is the only writer of the session's [Verdict]
+     frames — verdicts and counterexamples are bit-identical to the
+     single-threaded server;
+   - one janitor systhread closing idle sessions.
 
    Poisoned sessions (a violation verdict was issued) keep answering
    every further feed/sync with the identical rendered counterexample —
    the checker itself guarantees it never mutates once poisoned.
 
    Graceful shutdown ({!stop}, wired to SIGTERM by {!run}) shuts the
-   ingress half of every connection, lets workers drain what was already
-   queued, then sends [Session_closed]+[Bye] and closes. *)
+   ingress half of every connection, lets the shards drain what was
+   already queued, then sends [Session_closed]+[Bye] and closes. *)
 
 type addr = A_unix of string | A_tcp of string * int
 
@@ -59,6 +68,7 @@ type config = {
   server_name : string;
   metrics : Metrics.t;
   max_keys : int;  (** largest accepted [num_keys] in [Open_session] *)
+  shards : int;  (** checking shards (domains); [<= 0] = auto *)
 }
 
 let default_config =
@@ -70,6 +80,7 @@ let default_config =
     server_name = "mtc-serve/1";
     metrics = Metrics.global;
     max_keys = 1 lsl 22;
+    shards = 0;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -82,27 +93,41 @@ type item =
 type session = {
   sid : int;
   online : Online.t;
+  sconn : conn;  (** the connection this session speaks through *)
+  shard : shard;  (** fixed home shard: [sid mod shards] *)
   queue : item Queue.t;
   mutable queued : int;
   mutable throttled : bool;
   mutable closing : bool;  (** an [I_close] is queued; drop later frames *)
-  mutable abandoned : bool;  (** connection died; worker must bail out *)
+  mutable abandoned : bool;  (** connection died; shard must bail out *)
+  mutable on_runq : bool;  (** guarded by [shard.shmu] *)
+  mutable finished : bool;
+      (** terminal (closed / abandoned / protocol error); guarded by
+          [smu], announced on [nonfull] *)
   smu : Mutex.t;
-  nonempty : Condition.t;
   nonfull : Condition.t;
   mutable last_activity : float;
   mutable poisoned_verdict : Wire.verdict option;
-  mutable worker : Thread.t option;
 }
 
-type conn = {
+and conn = {
   fd : Unix.file_descr;
   out : Wire.out_bufs;
   out_mu : Mutex.t;
   mutable out_dead : bool;  (** peer unreachable or fd closed *)
   sessions : (int, session) Hashtbl.t;
+  closed_sids : (int, unit) Hashtbl.t;
+      (** sessions that lived on this connection and are gone: frames
+          racing the (already sent) [Session_closed] are dropped rather
+          than answered with an unattributable unknown-session error *)
   cmu : Mutex.t;
   mutable draining : bool;  (** server shutdown: drain, then close *)
+}
+
+and shard = {
+  runq : session Queue.t;  (** sessions with work, each at most once *)
+  shmu : Mutex.t;
+  shcv : Condition.t;
 }
 
 type t = {
@@ -112,6 +137,10 @@ type t = {
   mutable next_sid : int;
   rmu : Mutex.t;
   mutable stop_requested : bool;
+  shards : shard array;
+  pool : Pool.t;
+  mutable shards_stop : bool;  (** written under every shard's [shmu] *)
+  mutable shard_runner : Thread.t option;
   mutable accepters : Thread.t list;
   mutable conn_threads : Thread.t list;
   mutable janitor : Thread.t option;
@@ -137,7 +166,9 @@ let send t conn frame =
   Mutex.unlock conn.out_mu
 
 (* ------------------------------------------------------------------ *)
-(* Session worker. *)
+(* Shards: the checking side.  A session with pending work sits on its
+   home shard's run queue (at most once — [on_runq]); the shard loop pops
+   it and drains its item queue. *)
 
 let now () = Unix.gettimeofday ()
 
@@ -153,20 +184,46 @@ let render_violation level v =
 
 let low_water capacity = Stdlib.max 1 (capacity / 4)
 
-let session_worker t conn s =
+(* Make the session's shard service it; a no-op if it is already queued
+   (the shard re-checks the item queue before going idle). *)
+let schedule s =
+  let sh = s.shard in
+  Mutex.lock sh.shmu;
+  if not s.on_runq then begin
+    s.on_runq <- true;
+    Queue.push s sh.runq;
+    Condition.signal sh.shcv
+  end;
+  Mutex.unlock sh.shmu
+
+(* Terminal state: wake anything blocked on the session (the reader in
+   [enqueue], [teardown]) and drop it from the connection's table. *)
+let finish s =
+  Mutex.lock s.smu;
+  s.finished <- true;
+  Condition.broadcast s.nonfull;
+  Mutex.unlock s.smu;
+  let conn = s.sconn in
+  Mutex.lock conn.cmu;
+  Hashtbl.remove conn.sessions s.sid;
+  Hashtbl.replace conn.closed_sids s.sid ();
+  Mutex.unlock conn.cmu
+
+(* Drain everything currently queued for [s]; runs on [s.shard] only, so
+   per-session processing is single-threaded and FIFO even though many
+   sessions progress in parallel on different shards. *)
+let process_session t s =
+  let conn = s.sconn in
   let m = t.config.metrics in
   let rec loop () =
     Mutex.lock s.smu;
-    while s.queued = 0 && not s.abandoned do
-      Condition.wait s.nonempty s.smu
-    done;
-    if s.abandoned then begin
-      Mutex.unlock s.smu;
+    if s.finished then Mutex.unlock s.smu (* stale run-queue entry *)
+    else if s.abandoned then begin
       (* connection is gone: nothing to send, just disappear *)
-      Mutex.lock conn.cmu;
-      Hashtbl.remove conn.sessions s.sid;
-      Mutex.unlock conn.cmu
+      Mutex.unlock s.smu;
+      finish s
     end
+    else if s.queued = 0 then Mutex.unlock s.smu (* idle until rescheduled *)
     else begin
       let item = Queue.pop s.queue in
       s.queued <- s.queued - 1;
@@ -181,7 +238,7 @@ let session_worker t conn s =
       Condition.broadcast s.nonfull;
       Mutex.unlock s.smu;
       if resume then send t conn (Wire.Resume { sid = s.sid });
-      if t.config.drain_delay > 0.0 then Thread.delay t.config.drain_delay;
+      if t.config.drain_delay > 0.0 then Unix.sleepf t.config.drain_delay;
       match item with
       | I_feed (seq, txn) -> (
           match s.poisoned_verdict with
@@ -190,16 +247,20 @@ let session_worker t conn s =
               send t conn (Wire.Verdict { sid = s.sid; seq; verdict = v });
               loop ()
           | None -> (
+              let w0 = Gc.minor_words () in
               let t0 = now () in
               match Online.add_txn s.online txn with
               | Online.Ok_so_far ->
                   Metrics.feed m
-                    ~ns:(int_of_float ((now () -. t0) *. 1e9));
+                    ~ns:(int_of_float ((now () -. t0) *. 1e9))
+                    ~words:(int_of_float (Gc.minor_words () -. w0));
                   loop ()
               | Online.Violation v ->
                   let verdict = render_violation (Online.level s.online) v in
                   s.poisoned_verdict <- Some verdict;
-                  Metrics.feed m ~ns:(int_of_float ((now () -. t0) *. 1e9));
+                  Metrics.feed m
+                    ~ns:(int_of_float ((now () -. t0) *. 1e9))
+                    ~words:(int_of_float (Gc.minor_words () -. w0));
                   Metrics.violation m;
                   send t conn (Wire.Verdict { sid = s.sid; seq; verdict });
                   loop ()
@@ -207,16 +268,13 @@ let session_worker t conn s =
                   (* id reuse / SSER order: session-fatal protocol misuse *)
                   Mutex.lock s.smu;
                   s.closing <- true;
-                  Condition.broadcast s.nonfull;
                   Mutex.unlock s.smu;
                   Metrics.protocol_error m;
                   send t conn
                     (Wire.Session_closed
                        { sid = s.sid; reason = Wire.R_protocol msg });
                   Metrics.session_closed m;
-                  Mutex.lock conn.cmu;
-                  Hashtbl.remove conn.sessions s.sid;
-                  Mutex.unlock conn.cmu))
+                  finish s))
       | I_sync seq ->
           Metrics.sync m;
           let verdict =
@@ -229,15 +287,24 @@ let session_worker t conn s =
       | I_close reason ->
           send t conn (Wire.Session_closed { sid = s.sid; reason });
           Metrics.session_closed m;
-          Mutex.lock s.smu;
-          Condition.broadcast s.nonfull;
-          Mutex.unlock s.smu;
-          Mutex.lock conn.cmu;
-          Hashtbl.remove conn.sessions s.sid;
-          Mutex.unlock conn.cmu
+          finish s
     end
   in
   loop ()
+
+let rec shard_loop t sh =
+  Mutex.lock sh.shmu;
+  while Queue.is_empty sh.runq && not t.shards_stop do
+    Condition.wait sh.shcv sh.shmu
+  done;
+  if Queue.is_empty sh.runq then Mutex.unlock sh.shmu (* stopping, drained *)
+  else begin
+    let s = Queue.pop sh.runq in
+    s.on_runq <- false;
+    Mutex.unlock sh.shmu;
+    process_session t s;
+    shard_loop t sh
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Per-connection reader. *)
@@ -267,14 +334,18 @@ let enqueue t conn s item =
   while s.queued >= t.config.queue_capacity && session_alive s do
     Condition.wait s.nonfull s.smu
   done;
-  if session_alive s then begin
-    (match item with I_close _ -> s.closing <- true | _ -> ());
-    Queue.push item s.queue;
-    s.queued <- s.queued + 1;
-    Metrics.queue_depth t.config.metrics s.queued;
-    Condition.signal s.nonempty
-  end;
-  Mutex.unlock s.smu
+  let pushed =
+    if session_alive s then begin
+      (match item with I_close _ -> s.closing <- true | _ -> ());
+      Queue.push item s.queue;
+      s.queued <- s.queued + 1;
+      Metrics.queue_depth t.config.metrics s.queued;
+      true
+    end
+    else false
+  in
+  Mutex.unlock s.smu;
+  if pushed then schedule s
 
 let open_session t conn ~level ~num_keys ~skew =
   Mutex.lock t.rmu;
@@ -285,23 +356,24 @@ let open_session t conn ~level ~num_keys ~skew =
     {
       sid;
       online = Online.create ~skew ~level ~num_keys ();
+      sconn = conn;
+      shard = t.shards.(sid mod Array.length t.shards);
       queue = Queue.create ();
       queued = 0;
       throttled = false;
       closing = false;
       abandoned = false;
+      on_runq = false;
+      finished = false;
       smu = Mutex.create ();
-      nonempty = Condition.create ();
       nonfull = Condition.create ();
       last_activity = now ();
       poisoned_verdict = None;
-      worker = None;
     }
   in
   Mutex.lock conn.cmu;
   Hashtbl.replace conn.sessions sid s;
   Mutex.unlock conn.cmu;
-  s.worker <- Some (Thread.create (fun () -> session_worker t conn s) ());
   Metrics.session_opened t.config.metrics;
   s
 
@@ -311,15 +383,27 @@ let find_session conn sid =
   Mutex.unlock conn.cmu;
   match s with Some s when session_alive s -> Some s | _ -> None
 
+(* A frame for a session that existed here but is closed or closing: the
+   client has a [Session_closed] in flight (or already delivered), so
+   answering with an unknown-session [Error] would only be misattributed
+   by the single-threaded client to whatever it asks next. *)
+let session_was_here conn sid =
+  Mutex.lock conn.cmu;
+  let r = Hashtbl.mem conn.closed_sids sid || Hashtbl.mem conn.sessions sid in
+  Mutex.unlock conn.cmu;
+  r
+
 let sessions_snapshot conn =
   Mutex.lock conn.cmu;
   let ss = Hashtbl.fold (fun _ s acc -> s :: acc) conn.sessions [] in
   Mutex.unlock conn.cmu;
   ss
 
-(* Tear the connection down.  [drain = true] lets every session worker
+(* Tear the connection down.  [drain = true] lets every session's shard
    finish the items already queued before it says goodbye; [drain =
-   false] (mid-frame disconnect, protocol error) abandons them. *)
+   false] (mid-frame disconnect, protocol error) abandons them.  Either
+   way the shard is the one to finish the session — we wait for its
+   [finished] flag where the seed joined a worker thread. *)
 let teardown t conn ~drain ~reason =
   let ss = sessions_snapshot conn in
   List.iter
@@ -328,12 +412,19 @@ let teardown t conn ~drain ~reason =
       else begin
         Mutex.lock s.smu;
         s.abandoned <- true;
-        Condition.broadcast s.nonempty;
         Condition.broadcast s.nonfull;
-        Mutex.unlock s.smu
+        Mutex.unlock s.smu;
+        schedule s
       end)
     ss;
-  List.iter (fun s -> Option.iter Thread.join s.worker) ss;
+  List.iter
+    (fun s ->
+      Mutex.lock s.smu;
+      while not s.finished do
+        Condition.wait s.nonfull s.smu
+      done;
+      Mutex.unlock s.smu)
+    ss;
   if drain then send t conn Wire.Bye;
   Mutex.lock conn.out_mu;
   conn.out_dead <- true;
@@ -390,6 +481,7 @@ let conn_loop t conn =
             | Wire.Feed { sid; seq; txn } ->
                 (match find_session conn sid with
                 | Some s -> enqueue t conn s (I_feed (seq, txn))
+                | None when session_was_here conn sid -> ()
                 | None ->
                     send t conn
                       (Wire.Error
@@ -401,6 +493,7 @@ let conn_loop t conn =
             | Wire.Sync { sid; seq } ->
                 (match find_session conn sid with
                 | Some s -> enqueue t conn s (I_sync seq)
+                | None when session_was_here conn sid -> ()
                 | None ->
                     send t conn
                       (Wire.Error
@@ -412,6 +505,7 @@ let conn_loop t conn =
             | Wire.Close_session { sid } ->
                 (match find_session conn sid with
                 | Some s -> enqueue t conn s (I_close Wire.R_requested)
+                | None when session_was_here conn sid -> ()
                 | None ->
                     send t conn
                       (Wire.Error
@@ -490,6 +584,7 @@ let accept_loop t (lsock, _) =
                   out_mu = Mutex.create ();
                   out_dead = false;
                   sessions = Hashtbl.create 8;
+                  closed_sids = Hashtbl.create 8;
                   cmu = Mutex.create ();
                   draining = false;
                 }
@@ -541,6 +636,14 @@ let start config =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> () (* not on this platform *));
   let listeners = List.map bind_addr config.listen in
+  let nshards =
+    if config.shards > 0 then config.shards else Pool.default_size ()
+  in
+  let shards =
+    Array.init nshards (fun _ ->
+        { runq = Queue.create (); shmu = Mutex.create ();
+          shcv = Condition.create () })
+  in
   let t =
     {
       config;
@@ -549,11 +652,25 @@ let start config =
       next_sid = 1;
       rmu = Mutex.create ();
       stop_requested = false;
+      shards;
+      pool = Pool.create ~size:nshards ();
+      shards_stop = false;
+      shard_runner = None;
       accepters = [];
       conn_threads = [];
       janitor = None;
     }
   in
+  (* The shard loops occupy the whole pool for the server's lifetime; a
+     coordinator systhread participates as the pool's submitting thread
+     (so [nshards] loops really run on [nshards] domains). *)
+  t.shard_runner <-
+    Some
+      (Thread.create
+         (fun () ->
+           Pool.run t.pool
+             (List.init nshards (fun i () -> shard_loop t shards.(i))))
+         ());
   t.accepters <- List.map (fun l -> Thread.create (accept_loop t) l) listeners;
   if config.idle_timeout > 0.0 then
     t.janitor <- Some (Thread.create janitor_loop t);
@@ -589,7 +706,18 @@ let stop t =
     let threads = t.conn_threads in
     t.conn_threads <- [];
     Mutex.unlock t.rmu;
-    List.iter Thread.join threads
+    List.iter Thread.join threads;
+    (* Every session is finished (teardown waits for the shards), so the
+       run queues are empty: stop the shard loops and the pool. *)
+    Array.iter
+      (fun sh ->
+        Mutex.lock sh.shmu;
+        t.shards_stop <- true;
+        Condition.broadcast sh.shcv;
+        Mutex.unlock sh.shmu)
+      t.shards;
+    Option.iter Thread.join t.shard_runner;
+    Pool.shutdown t.pool
   end
 
 let run ?(on_signal = [ Sys.sigterm; Sys.sigint ]) ?on_ready config =

@@ -3,6 +3,13 @@
     session owning its own {!Online.t} (level, key-space size and clock
     skew negotiated at open).
 
+    Checking runs on a fixed array of shards backed by a {!Pool} of
+    worker domains, so concurrent sessions verify on separate cores
+    instead of serializing on the runtime lock.  A session is pinned to
+    one shard for life: its items drain in FIFO order on a single domain
+    at a time, so verdicts and counterexamples are bit-identical to a
+    single-threaded server's.
+
     Guarantees:
     - per-session ingress queues are bounded ([queue_capacity]); a full
       queue blocks that connection's reader (the hard backpressure the
@@ -37,11 +44,15 @@ type config = {
   server_name : string;  (** advertised in the [Welcome] frame *)
   metrics : Metrics.t;
   max_keys : int;  (** largest accepted [num_keys] in [Open_session] *)
+  shards : int;
+      (** checking shards = worker domains; [<= 0] picks
+          [Pool.default_size ()] ([MTC_JOBS] or the recommended domain
+          count) *)
 }
 
 val default_config : config
 (** No listeners (callers must fill [listen]), queue of 1024, no idle
-    timeout, {!Metrics.global}. *)
+    timeout, {!Metrics.global}, auto shard count. *)
 
 type t
 

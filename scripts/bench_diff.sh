@@ -1,0 +1,112 @@
+#!/usr/bin/env bash
+# Advisory benchmark diff between two promoted BENCH_*.json files (JSONL,
+# one experiment object per line — see Bench_util.experiment_json).
+#
+#   bash scripts/bench_diff.sh BENCH_PR3.json BENCH_PR4.json
+#
+# Tables are matched by (experiment, section), rows by their first
+# cell, and columns by header name — so a table that gains a column
+# between PRs still diffs on the shared ones.  Every shared numeric
+# column is reported as old -> new with a relative delta.  The script
+# is wired into @check as an advisory gate:
+# it ALWAYS exits 0 — regressions are for the reviewer's eyes, not for
+# breaking the build (bench numbers on shared CI boxes are too noisy for
+# a hard gate).
+
+set -u
+
+OLD="${1:-}"
+NEW="${2:-}"
+
+if [ -z "$OLD" ] || [ -z "$NEW" ]; then
+  echo "usage: bench_diff.sh OLD.json NEW.json" >&2
+  exit 0
+fi
+if [ ! -f "$OLD" ] || [ ! -f "$NEW" ]; then
+  echo "bench_diff: missing $OLD or $NEW — nothing to compare (advisory, not failing)"
+  exit 0
+fi
+if ! command -v python3 >/dev/null 2>&1; then
+  echo "bench_diff: python3 not available — skipping (advisory, not failing)"
+  exit 0
+fi
+
+python3 - "$OLD" "$NEW" <<'PY'
+import json, sys
+
+def load(path):
+    tables = {}
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                exp = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            for t in exp.get("tables", []):
+                key = (exp.get("experiment", ""), t.get("section", ""))
+                header, rows = tables.setdefault(key, ([], {}))
+                if not header:
+                    header.extend(t.get("header", []))
+                for row in t.get("rows", []):
+                    if row:
+                        rows[row[0]] = row
+    return tables
+
+def num(s):
+    try:
+        return float(s)
+    except (TypeError, ValueError):
+        return None
+
+def cell(header, row, col):
+    try:
+        return row[header.index(col)]
+    except (ValueError, IndexError):
+        return None
+
+def main():
+    old, new = load(sys.argv[1]), load(sys.argv[2])
+    printed = False
+    for key, (nheader, nrows) in new.items():
+        if key not in old:
+            continue
+        exp, section = key
+        oheader, orows = old[key]
+        shared = [c for c in nheader[1:] if c in oheader[1:]]
+        lines = []
+        for name, nrow in nrows.items():
+            orow = orows.get(name)
+            if orow is None:
+                continue
+            cells = []
+            for col in shared:
+                ov, nv = cell(oheader, orow, col), cell(nheader, nrow, col)
+                a, b = num(ov), num(nv)
+                if a is None or b is None or (a == 0 and b == 0):
+                    continue
+                delta = f"{100.0 * (b - a) / a:+.0f}%" if a != 0 else "new"
+                cells.append(f"{col}: {ov} -> {nv} ({delta})")
+            if cells:
+                lines.append(f"  {name}:  " + "  |  ".join(cells))
+        if lines:
+            if not printed:
+                print(f"benchmark diff: {sys.argv[1]} -> {sys.argv[2]}"
+                      " (advisory)")
+                printed = True
+            print(f"[{exp}] {section}" if section else f"[{exp}]")
+            for l in sorted(lines):
+                print(l)
+    if not printed:
+        print("bench_diff: no comparable tables between "
+              f"{sys.argv[1]} and {sys.argv[2]}")
+
+try:
+    main()
+except BrokenPipeError:
+    pass
+PY
+
+exit 0

@@ -202,6 +202,43 @@ let test_online_stats_progress () =
   checkb "dependency edges recorded" true (s.Online.s_edges >= 1);
   checkb "vertices cover txns" true (s.Online.s_vertices >= 2)
 
+let test_online_edge_count_distinct () =
+  (* T1 -> T2 carries both a WR and a WW dependency on key 0; the edge
+     count must report one distinct graph edge per vertex pair, not one
+     per dependency label. *)
+  let o = Online.create ~level:Checker.SER ~num_keys:1 () in
+  ignore (Online.add_txn o (Txn.make ~id:1 ~session:1 [ Op.Read (0, 0); Op.Write (0, 1) ]));
+  ignore (Online.add_txn o (Txn.make ~id:2 ~session:1 [ Op.Read (0, 1); Op.Write (0, 2) ]));
+  let s = Online.stats o in
+  checkb "not poisoned" false s.Online.s_poisoned;
+  (* init -> T1 (WR), T1 -> T2 (SO + WR + WW collapse to one edge). *)
+  Alcotest.check Alcotest.int "distinct edges" 2 s.Online.s_edges
+
+let test_grow_duplicate_and_stale_label () =
+  let g = Online.Grow.create () in
+  (match Online.Grow.add_edge g 0 1 Deps.SO with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "first edge must be accepted");
+  Alcotest.check Alcotest.int "one edge" 1 (Online.Grow.edge_count g);
+  (* Duplicate insertion: accepted, but neither the count nor the
+     original label may change. *)
+  (match Online.Grow.add_edge g 0 1 (Deps.WW 0) with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "duplicate edge must be Ok");
+  Alcotest.check Alcotest.int "count unchanged on duplicate" 1
+    (Online.Grow.edge_count g);
+  checkb "label unchanged on duplicate" true
+    (Online.Grow.label g 0 1 = Deps.SO);
+  (* Rejected edge: 1 -> 0 closes a cycle; its label must not leak into
+     the label table (lookup falls back to the internal Rt_chain). *)
+  (match Online.Grow.add_edge g 1 0 (Deps.WR 0) with
+  | Error path -> checkb "witness path" true (path <> [])
+  | Ok () -> Alcotest.fail "cycle edge must be rejected");
+  Alcotest.check Alcotest.int "count unchanged on reject" 1
+    (Online.Grow.edge_count g);
+  checkb "no stale label on rejected edge" true
+    (Online.Grow.label g 1 0 = Deps.Rt_chain)
+
 let test_online_counts () =
   let o = Online.create ~level:Checker.SER ~num_keys:1 () in
   ignore (Online.add_txn o (Txn.make ~id:1 ~session:1 [ Op.Read (0, 0) ]));
@@ -218,6 +255,8 @@ let suite =
     ("transaction id reuse rejected", `Quick, test_online_id_reuse_rejected);
     ("aborted read diagnosed", `Quick, test_online_aborted_read_diagnosed);
     ("duplicate value rejected", `Quick, test_online_duplicate_value);
+    ("edge count is per distinct vertex pair", `Quick, test_online_edge_count_distinct);
+    ("Grow: duplicate accounting and stale labels", `Quick, test_grow_duplicate_and_stale_label);
     ("grows past initial capacity", `Quick, test_online_grows_past_capacity);
     ("poisoned checker frozen (stats)", `Quick, test_online_poisoned_is_frozen);
     ("stats track progress", `Quick, test_online_stats_progress);
