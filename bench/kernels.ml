@@ -212,6 +212,27 @@ let online_feed_rows () =
   in
   [ row Checker.SER; row Checker.SI; row Checker.SSER ]
 
+(* Tracing overhead on a full checker run: the same fixed history timed
+   with spans disabled (the production default — one atomic load and a
+   branch per site) and enabled (per-domain rings absorbing every span).
+   Advisory evidence for leaving the instrumentation compiled in. *)
+let obs_overhead_rows () =
+  let h =
+    (Bench_util.mt_history ~level:Isolation.Serializable ~keys:300 ~txns:2000
+       ~seed:903 ())
+      .Scheduler.history
+  in
+  let run () = ignore (Sys.opaque_identity (Checker.check_ser h)) in
+  let row name enabled =
+    if enabled then Obs.Trace.enable () else Obs.Trace.disable ();
+    run () (* warm-up *);
+    let t = Bench_util.time_median ~repeat:9 run in
+    Obs.Trace.disable ();
+    Obs.Trace.clear ();
+    [ name; Printf.sprintf "%.3f" (1000.0 *. t) ]
+  in
+  [ row "check-ser/tracing-off" false; row "check-ser/tracing-on" true ]
+
 (* Checking-as-a-service transport overhead: stream a fixed clean SER
    history through an in-process server over each transport and report
    end-to-end throughput plus the server-side per-feed latency
@@ -373,6 +394,10 @@ let run () =
   Bench_util.print_table
     ~header:[ "stream"; "txns/s"; "words/feed" ]
     (online_feed_rows ());
+  Bench_util.subsection
+    "observability: full SER check, tracing disabled vs enabled (median of 9)";
+  Bench_util.print_table ~header:[ "config"; "time (ms)" ]
+    (obs_overhead_rows ());
   Bench_util.subsection
     "checking service: whole-history stream through a live server";
   Bench_util.print_table

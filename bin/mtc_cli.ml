@@ -178,14 +178,51 @@ let check_cmd =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"HISTORY"
            ~doc:"History file produced by 'mtc run -o' (mtc-history v1 format).")
   in
-  let run file level skew =
+  let profile_arg =
+    Arg.(value & flag & info [ "profile" ]
+           ~doc:"Record spans while checking and print a per-phase time \
+                 breakdown (parse / infer / check) afterwards.")
+  in
+  let trace_arg =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write the recorded spans to $(docv) as Chrome trace-event \
+                 JSON — load it in ui.perfetto.dev or chrome://tracing.  \
+                 Implies span recording (like $(b,--profile)).")
+  in
+  let run file level skew profile trace =
+    let observing = profile || trace <> None in
+    if observing then begin
+      Obs.Trace.clear ();
+      Obs.Trace.enable ()
+    end;
+    (* Wall clock covers exactly what the spans can cover: the load and
+       the verification, not the printing between them. *)
+    let t_load = Obs.Clock.now_ns () in
     match Codec.load file with
     | Error e ->
         Printf.eprintf "cannot load %s: %s\n" file e;
         exit exit_error
-    | Ok h -> (
+    | Ok h ->
+        let load_ns = Obs.Clock.now_ns () - t_load in
         Printf.printf "%s\n" (History.stats h);
-        match verify_any ~skew level h with
+        let t_verify = Obs.Clock.now_ns () in
+        let result = verify_any ~skew level h in
+        let wall_ns = load_ns + (Obs.Clock.now_ns () - t_verify) in
+        if observing then begin
+          Obs.Trace.disable ();
+          let events = Obs.Trace.events () in
+          (match trace with
+          | Some path ->
+              Out_channel.with_open_text path (fun oc ->
+                  output_string oc (Obs.Export.chrome_json events));
+              Printf.printf "trace: %d spans written to %s%s\n"
+                (List.length events) path
+                (let d = Obs.Trace.dropped () in
+                 if d > 0 then Printf.sprintf " (%d dropped)" d else "")
+          | None -> ());
+          if profile then print_string (Obs.Profile.render ~wall_ns events)
+        end;
+        (match result with
         | Ok () ->
             Printf.printf "%s: PASS\n" (any_level_name level);
             exit exit_pass
@@ -196,7 +233,8 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check" ~exits:verdict_exits
        ~doc:"Verify a recorded history against an isolation level.")
-    Term.(const run $ file_arg $ level_arg $ skew_arg)
+    Term.(const run $ file_arg $ level_arg $ skew_arg $ profile_arg
+          $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* mtc run *)
@@ -405,7 +443,17 @@ let serve_cmd =
       & info [ "idle-timeout" ] ~docv:"SECONDS"
           ~doc:"Close sessions idle for longer than $(docv) (0 disables).")
   in
-  let run listen queue idle jobs =
+  let metrics_port_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "metrics-port" ] ~docv:"PORT"
+          ~doc:
+            "Also serve Prometheus text exposition over HTTP on \
+             127.0.0.1:$(docv) ($(b,GET /metrics)).  Port 0 binds an \
+             ephemeral port and prints it.")
+  in
+  let run listen queue idle jobs metrics_port =
     let listen =
       if listen = [] then [ Server.A_unix "/tmp/mtc.sock" ] else listen
     in
@@ -416,6 +464,7 @@ let serve_cmd =
         queue_capacity = Stdlib.max 1 queue;
         idle_timeout = idle;
         shards = resolve_jobs jobs;
+        metrics_port;
       }
     in
     match
@@ -424,7 +473,12 @@ let serve_cmd =
             (fun a ->
               Printf.printf "mtc serve: listening on %s\n%!"
                 (Server.addr_to_string a))
-            (Server.bound_addrs t))
+            (Server.bound_addrs t);
+          Option.iter
+            (fun p ->
+              Printf.printf
+                "mtc serve: metrics on http://127.0.0.1:%d/metrics\n%!" p)
+            (Server.metrics_port t))
     with
     | () ->
         (* SIGTERM/SIGINT arrived and the drain completed: dump metrics *)
@@ -445,7 +499,8 @@ let serve_cmd =
           in-flight frames) on SIGTERM/SIGINT and dumps service metrics \
           as JSON.  Sessions check in parallel on $(b,--jobs) shard \
           domains.")
-    Term.(const run $ listen_arg $ queue_arg $ idle_arg $ jobs_arg)
+    Term.(const run $ listen_arg $ queue_arg $ idle_arg $ jobs_arg
+          $ metrics_port_arg)
 
 let feed_cmd =
   let file_arg =
@@ -531,6 +586,201 @@ let feed_cmd =
     Term.(const run $ file_arg $ addr_arg $ level_arg $ skew_arg $ stats_arg)
 
 (* ------------------------------------------------------------------ *)
+(* mtc stats *)
+
+(* The Stats_reply JSON is a fixed flat shape: an object of numbers and
+   one-level nested objects of numbers.  Parse exactly that (no JSON
+   dependency) and flatten nested keys with dots for the table. *)
+exception Bad_stats_json
+
+let parse_stats_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then s.[!pos] else raise Bad_stats_json in
+  let expect c = if peek () = c then incr pos else raise Bad_stats_json in
+  let parse_string () =
+    expect '"';
+    let start = !pos in
+    while peek () <> '"' do
+      incr pos
+    done;
+    let k = String.sub s start (!pos - start) in
+    incr pos;
+    k
+  in
+  let parse_number () =
+    let start = !pos in
+    while
+      !pos < n
+      &&
+      match s.[!pos] with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    do
+      incr pos
+    done;
+    if !pos = start then raise Bad_stats_json;
+    float_of_string (String.sub s start (!pos - start))
+  in
+  let rec parse_object prefix acc =
+    expect '{';
+    let acc = ref acc in
+    let first = ref true in
+    while peek () <> '}' do
+      if not !first then expect ',';
+      first := false;
+      let k = parse_string () in
+      expect ':';
+      let key = if prefix = "" then k else prefix ^ "." ^ k in
+      match peek () with
+      | '{' -> acc := parse_object key !acc
+      | _ -> acc := (key, parse_number ()) :: !acc
+    done;
+    incr pos;
+    !acc
+  in
+  List.rev (parse_object "" [])
+
+let render_stats_table pairs =
+  let width =
+    List.fold_left (fun w (k, _) -> Stdlib.max w (String.length k)) 0 pairs
+  in
+  let b = Buffer.create 512 in
+  List.iter
+    (fun (k, v) ->
+      let value =
+        if Float.is_integer v && Float.abs v < 1e15 then
+          Printf.sprintf "%d" (int_of_float v)
+        else Printf.sprintf "%.3f" v
+      in
+      Buffer.add_string b (Printf.sprintf "%-*s  %s\n" width k value))
+    pairs;
+  Buffer.contents b
+
+(* Body of an HTTP response: everything after the first blank line. *)
+let http_body response =
+  let rec find i =
+    if i + 3 >= String.length response then None
+    else if
+      response.[i] = '\r'
+      && response.[i + 1] = '\n'
+      && response.[i + 2] = '\r'
+      && response.[i + 3] = '\n'
+    then Some (String.sub response (i + 4) (String.length response - i - 4))
+    else find (i + 1)
+  in
+  find 0
+
+(* Curl-free HTTP probe for the --metrics-port endpoint. *)
+let http_get_metrics port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let req =
+        "GET /metrics HTTP/1.1\r\nHost: 127.0.0.1\r\nConnection: close\r\n\r\n"
+      in
+      let rec write_all b off len =
+        if len > 0 then begin
+          let k = Unix.write fd b off len in
+          write_all b (off + k) (len - k)
+        end
+      in
+      write_all (Bytes.of_string req) 0 (String.length req);
+      let buf = Buffer.create 4096 in
+      let chunk = Bytes.create 4096 in
+      let rec read_all () =
+        match Unix.read fd chunk 0 4096 with
+        | 0 -> ()
+        | k ->
+            Buffer.add_subbytes buf chunk 0 k;
+            read_all ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_all ()
+      in
+      read_all ();
+      let response = Buffer.contents buf in
+      match http_body response with
+      | None -> Error "malformed HTTP response (no header terminator)"
+      | Some body ->
+          if String.length response >= 12 && String.sub response 9 3 = "200"
+          then Ok body
+          else
+            Error
+              (Printf.sprintf "HTTP status %s"
+                 (String.sub response 9
+                    (Stdlib.min 3 (String.length response - 9)))))
+
+let stats_cmd =
+  let addr_arg =
+    Arg.(
+      value
+      & opt addr_conv (Server.A_unix "/tmp/mtc.sock")
+      & info [ "addr"; "a" ] ~docv:"ADDR"
+          ~doc:"Server address: $(b,unix:PATH) or $(b,tcp:HOST:PORT).")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Print the raw JSON snapshot instead of the aligned table.")
+  in
+  let http_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "metrics-http" ] ~docv:"PORT"
+          ~doc:
+            "Fetch http://127.0.0.1:$(docv)/metrics (the Prometheus \
+             exposition served by $(b,mtc serve --metrics-port)) and print \
+             the body, instead of asking over the wire protocol.")
+  in
+  let run addr json http =
+    match http with
+    | Some port -> (
+        match http_get_metrics port with
+        | Ok body ->
+            print_string body;
+            exit exit_pass
+        | Error e ->
+            Printf.eprintf "metrics fetch failed: %s\n" e;
+            exit exit_error
+        | exception Unix.Unix_error (e, _, _) ->
+            Printf.eprintf "metrics fetch failed: %s\n" (Unix.error_message e);
+            exit exit_error)
+    | None -> (
+        match Client.connect addr with
+        | Error e ->
+            Printf.eprintf "cannot connect to %s: %s\n"
+              (Server.addr_to_string addr) e;
+            exit exit_error
+        | Ok c -> (
+            let r = Client.stats c in
+            Client.close c;
+            match r with
+            | Error e ->
+                Printf.eprintf "stats failed: %s\n" e;
+                exit exit_error
+            | Ok body ->
+                if json then print_endline body
+                else (
+                  match parse_stats_json body with
+                  | pairs -> print_string (render_stats_table pairs)
+                  | exception Bad_stats_json ->
+                      (* unknown shape: still show the raw payload *)
+                      print_endline body);
+                exit exit_pass))
+  in
+  Cmd.v
+    (Cmd.info "stats" ~exits:verdict_exits
+       ~doc:
+         "Fetch a running daemon's metrics snapshot — over the wire \
+          protocol (default, printed as an aligned table or raw JSON with \
+          $(b,--json)), or over HTTP from the Prometheus endpoint with \
+          $(b,--metrics-http).")
+    Term.(const run $ addr_arg $ json_arg $ http_arg)
+
+(* ------------------------------------------------------------------ *)
 (* mtc anomalies *)
 
 let anomalies_cmd =
@@ -554,5 +804,5 @@ let () =
           (Cmd.info "mtc" ~version:"1.0.0" ~doc ~exits:verdict_exits)
           [
             check_cmd; run_cmd; hunt_cmd; graph_cmd; anomalies_cmd; serve_cmd;
-            feed_cmd;
+            feed_cmd; stats_cmd;
           ]))

@@ -100,12 +100,21 @@ let with_pool ?size f =
   let t = create ?size () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
+let sp_task = Obs.Trace.intern "pool/task"
+
+let c_tasks =
+  Obs.Metrics.counter Obs.Metrics.default
+    ~help:"Work items executed by the domain pool" "mtc_pool_tasks_total"
+
 let map (type b) t (f : _ -> b) xs =
   if t.stop then invalid_arg "Pool.map: pool is shut down";
   let n = Array.length xs in
   let results : (b, exn) result option array = Array.make n None in
   let run_index i =
-    results.(i) <- Some (try Ok (f xs.(i)) with e -> Error e)
+    let t0 = Obs.Trace.enter () in
+    results.(i) <- Some (try Ok (f xs.(i)) with e -> Error e);
+    Obs.Trace.exit sp_task t0;
+    Obs.Counter.incr c_tasks
   in
   if t.pool_size = 1 || n <= 1 then
     for i = 0 to n - 1 do

@@ -117,19 +117,29 @@ let expand_si_cycle cycle =
       | Comp (dep, mid, k) -> [ (u, dep, mid); (mid, Deps.RW k, w) ])
     cycle
 
+let sp_unique = Obs.Trace.intern "check/unique"
+let sp_index = Obs.Trace.intern "infer/index"
+let sp_intra = Obs.Trace.intern "check/intra"
+let sp_divergence = Obs.Trace.intern "check/divergence"
+let sp_compose = Obs.Trace.intern "check/compose"
+let sp_cycle = Obs.Trace.intern "check/cycle"
+
 let check ?(rt_mode = Deps.Rt_sweep) ?(skew = 0) ?(impl = Deps.Direct) level h =
-  match History.unique_values h with
+  match Obs.Trace.with_span sp_unique (fun () -> History.unique_values h) with
   | Error msg -> Fail (Malformed msg)
   | Ok () -> (
-      let idx = Index.build h in
-      match Int_check.check idx with
+      let idx = Obs.Trace.with_span sp_index (fun () -> Index.build h) in
+      match Obs.Trace.with_span sp_intra (fun () -> Int_check.check idx) with
       | Error v -> Fail (Intra v)
       | Ok () -> (
           (* With the default [Direct] builder the dependency graph is
              born frozen; the DFS then runs allocation-free over flat
              arrays.  [Via_digraph] converts on first [freeze]. *)
           let acyclic_or_fail d =
-            match Cycle.find_csr (Deps.freeze d) with
+            match
+              Obs.Trace.with_span sp_cycle (fun () ->
+                  Cycle.find_csr (Deps.freeze d))
+            with
             | None -> Pass
             | Some cycle -> Fail (Cyclic (Deps.to_txn_cycle d cycle))
           in
@@ -143,7 +153,9 @@ let check ?(rt_mode = Deps.Rt_sweep) ?(skew = 0) ?(impl = Deps.Direct) level h =
               | Error e -> Fail (Malformed (Format.asprintf "%a" Deps.pp_error e))
               | Ok d -> acyclic_or_fail d)
           | SI -> (
-              match Divergence.find idx with
+              match
+                Obs.Trace.with_span sp_divergence (fun () -> Divergence.find idx)
+              with
               | Some inst -> Fail (Diverged inst)
               | None -> (
                   match Deps.build ~impl ~rt:Deps.No_rt idx with
@@ -151,11 +163,15 @@ let check ?(rt_mode = Deps.Rt_sweep) ?(skew = 0) ?(impl = Deps.Direct) level h =
                       Fail (Malformed (Format.asprintf "%a" Deps.pp_error e))
                   | Ok d -> (
                       let composed =
-                        match impl with
-                        | Deps.Direct -> si_compose_csr d
-                        | Deps.Via_digraph -> Csr.of_digraph (si_compose d)
+                        Obs.Trace.with_span sp_compose (fun () ->
+                            match impl with
+                            | Deps.Direct -> si_compose_csr d
+                            | Deps.Via_digraph -> Csr.of_digraph (si_compose d))
                       in
-                      match Cycle.find_csr composed with
+                      match
+                        Obs.Trace.with_span sp_cycle (fun () ->
+                            Cycle.find_csr composed)
+                      with
                       | None -> Pass
                       | Some cycle ->
                           Fail

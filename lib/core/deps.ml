@@ -135,6 +135,13 @@ let writes_key_ops ops k =
   in
   go 0
 
+let sp_deps = Obs.Trace.intern "infer/deps"
+let sp_so = Obs.Trace.intern "infer/deps/so"
+let sp_wrww = Obs.Trace.intern "infer/deps/wr+ww"
+let sp_rw = Obs.Trace.intern "infer/deps/rw"
+let sp_rt = Obs.Trace.intern "infer/deps/rt"
+let sp_freeze = Obs.Trace.intern "infer/deps/freeze"
+
 let build_direct ~skew ~rt (idx : Index.t) =
   let m = Index.num_vertices idx in
   let h = idx.history in
@@ -150,8 +157,10 @@ let build_direct ~skew ~rt (idx : Index.t) =
     Int_vec.push el l
   in
   (* SO edges (lines 6-7). *)
+  let t_so = Obs.Trace.enter () in
   History.iter_so_pairs h (fun a b ->
       push (Index.vertex idx a) (Index.vertex idx b) lab_so);
+  Obs.Trace.exit sp_so t_so;
   (* WR edges, and WW by the RMW inference (lines 8-11).  Readers group
      by (writer vertex, key) — a dense group id allocated through a flat
      int map (the pair packs collision-free: both factors are bounded) —
@@ -163,6 +172,7 @@ let build_direct ~skew ~rt (idx : Index.t) =
   and rd_grp = Int_vec.create (2 * m)
   and rd_ow = Int_vec.create (2 * m) (* 1 iff the reader overwrites *) in
   let error = ref None in
+  let t_wrww = Obs.Trace.enter () in
   Array.iteri
     (fun sv (s : Txn.t) ->
       let ops = s.ops in
@@ -198,12 +208,14 @@ let build_direct ~skew ~rt (idx : Index.t) =
                       error := Some (Unresolved_read { txn = s.id; key = k; value = v })))
         ops)
     idx.committed;
+  Obs.Trace.exit sp_wrww t_wrww;
   match !error with
   | Some e -> Error e
   | None ->
       (* RW edges: T' -WR(x)-> T and T' -WW(x)-> S give T -RW(x)-> S.
          Counting sort the read records by group id, then cross readers
          with overwriters within each contiguous slice. *)
+      let t_rw = Obs.Trace.enter () in
       let nr = Int_vec.length rd_src in
       let ng = !num_groups in
       let g_off = Array.make (ng + 1) 0 in
@@ -235,11 +247,14 @@ let build_direct ~skew ~rt (idx : Index.t) =
           done
         done
       done;
+      Obs.Trace.exit sp_rw t_rw;
       (* RT edges for SSER. *)
+      let t_rt = Obs.Trace.enter () in
       (match rt with
       | No_rt -> ()
       | Rt_naive -> naive_rt_edges ~skew idx m (fun i j -> push i j lab_rt)
       | Rt_sweep -> sweep_edges ~skew idx m (fun u v -> push u v lab_chain));
+      Obs.Trace.exit sp_rt t_rt;
       (* Freeze: counting sort the stream into CSR row blocks.  Keyed
          labels decode through per-key caches so equal labels share one
          block instead of allocating per edge. *)
@@ -258,11 +273,13 @@ let build_direct ~skew ~rt (idx : Index.t) =
           | 1 -> ww_cache.(k)
           | _ -> rw_cache.(k)
       in
+      let t_freeze = Obs.Trace.enter () in
       let csr =
         Csr.of_edge_arrays ~n:size ~num_edges:(Int_vec.length eu)
           ~src:(Int_vec.data eu) ~dst:(Int_vec.data ev) ~lab:(Int_vec.data el)
           ~decode
       in
+      Obs.Trace.exit sp_freeze t_freeze;
       Ok { idx; num_txn_vertices = m; frozen = Some csr; adj = None }
 
 (* --- list-based Digraph construction (kept for Viz/Oracle consumers and
@@ -332,6 +349,7 @@ let build_digraph ~skew ~rt (idx : Index.t) =
       Ok { idx; num_txn_vertices = m; frozen = None; adj = Some g }
 
 let build ?(skew = 0) ?(impl = Direct) ~rt (idx : Index.t) =
+  Obs.Trace.with_span sp_deps @@ fun () ->
   match impl with
   | Direct -> build_direct ~skew ~rt idx
   | Via_digraph -> build_digraph ~skew ~rt idx

@@ -268,18 +268,32 @@ let sort_by_ord t vec =
     sift 0 i
   done
 
+let sp_reorder = Obs.Trace.intern "pk/reorder"
+
+let c_inserts =
+  Obs.Metrics.counter Obs.Metrics.default
+    ~help:"Edges accepted into the incremental topological order"
+    "mtc_pk_inserts_total"
+
+let c_reorders =
+  Obs.Metrics.counter Obs.Metrics.default
+    ~help:"Accepted edges that required reordering an affected region"
+    "mtc_pk_reorders_total"
+
 let add_edge t u v =
   if u = v then Error [ u ]
   else if mem_edge t u v then Ok ()
   else if t.ord.(u) < t.ord.(v) then begin
     (* already consistent with the order: just record *)
     record_edge t u v;
+    Obs.Counter.incr c_inserts;
     Ok ()
   end
   else if dfs_forward t v ~ub:t.ord.(u) ~target:u then
     (* v reaches u: the edge closes a cycle; structure unchanged *)
     Error (build_path t ~v ~target:u)
   else begin
+    let t0 = Obs.Trace.enter () in
     (* affected region: ord in [ord(v), ord(u)].  delta_b (reaching u)
        takes the smallest indices of the combined pool, then delta_f
        (reachable from v) — each group keeping its internal relative
@@ -313,6 +327,9 @@ let add_edge t u v =
       incr k
     done;
     record_edge t u v;
+    Obs.Counter.incr c_inserts;
+    Obs.Counter.incr c_reorders;
+    Obs.Trace.exit sp_reorder t0;
     Ok ()
   end
 

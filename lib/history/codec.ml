@@ -27,7 +27,9 @@ let to_string (h : History.t) =
 
 exception Bad of string
 
-let of_string s =
+let sp_parse = Obs.Trace.intern "parse"
+
+let of_string s = Obs.Trace.with_span sp_parse @@ fun () ->
   let fail fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt in
   let faill line fmt =
     Printf.ksprintf (fun m -> raise (Bad (Printf.sprintf "line %d: %s" line m))) fmt

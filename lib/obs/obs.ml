@@ -1,0 +1,10 @@
+(* Facade: [Obs.Trace.enter], [Obs.Metrics.counter], ... *)
+
+module Clock = Obs_clock
+module Histogram = Obs_histogram
+module Metrics = Obs_metrics
+module Counter = Obs_metrics.Counter
+module Gauge = Obs_metrics.Gauge
+module Trace = Obs_trace
+module Export = Obs_export
+module Profile = Obs_profile

@@ -1,0 +1,5 @@
+(* CLOCK_MONOTONIC via the bechamel stub: an [@unboxed] [@@noalloc]
+   external, so [Int64.to_int] on its result stays unboxed in native
+   code and a timestamp read allocates nothing. *)
+
+let now_ns () = Int64.to_int (Monotonic_clock.clock_linux_get_time ())

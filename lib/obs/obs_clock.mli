@@ -1,0 +1,10 @@
+(** Monotonic nanosecond clock for spans and latency metrics.
+
+    Wall clocks ([Unix.gettimeofday]) step under NTP adjustment and have
+    microsecond granularity; every span and histogram in {!Obs_trace} /
+    {!Obs_histogram} uses this CLOCK_MONOTONIC source instead. *)
+
+val now_ns : unit -> int
+(** Nanoseconds from an arbitrary fixed origin, as an untagged 63-bit
+    int (wraps after ~146 years of uptime).  Allocation-free in native
+    code: the C stub returns an unboxed int64. *)

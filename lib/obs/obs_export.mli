@@ -1,0 +1,14 @@
+(** Serializers: Chrome trace-event JSON for spans, Prometheus text
+    exposition format 0.0.4 for metric registries. *)
+
+val chrome_json : Obs_trace.event list -> string
+(** Trace-event JSON loadable by Perfetto ([ui.perfetto.dev]) and
+    [chrome://tracing]: one complete ("ph":"X") event per span, [ts] and
+    [dur] in microseconds, [pid] 1, [tid] = recording domain id. *)
+
+val prometheus : Obs_metrics.registry -> string
+(** Text exposition of every instrument in the registry, registration
+    order, each preceded by [# HELP] (when non-empty) and [# TYPE]
+    lines.  Histograms emit cumulative [_bucket{le="..."}] series over
+    the log2 bucket upper edges (buckets past the observed max are
+    collapsed into [+Inf]), then [_sum] and [_count]. *)

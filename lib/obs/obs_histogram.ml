@@ -1,0 +1,86 @@
+(* The log2 histogram that used to live (twice) in lib/service/metrics.ml,
+   generalized: an internal mutex and a snapshot type so concurrent
+   feeders and scrapers never observe a torn (count, sum) pair. *)
+
+let num_buckets = 63
+
+type t = {
+  mu : Mutex.t;
+  buckets : int array;
+  mutable count : int;
+  mutable sum : float;
+  mutable max : int;
+}
+
+let create () =
+  {
+    mu = Mutex.create ();
+    buckets = Array.make num_buckets 0;
+    count = 0;
+    sum = 0.0;
+    max = 0;
+  }
+
+let bucket_of v =
+  let rec go i v = if v <= 1 then i else go (i + 1) (v lsr 1) in
+  if v <= 0 then 0 else go 0 v
+
+let upper_edge i = (1 lsl (i + 1)) - 1
+
+let observe t v =
+  let b = bucket_of v in
+  Mutex.lock t.mu;
+  t.buckets.(b) <- t.buckets.(b) + 1;
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. float_of_int v;
+  if v > t.max then t.max <- v;
+  Mutex.unlock t.mu
+
+type snapshot = {
+  s_count : int;
+  s_sum : float;
+  s_max : int;
+  s_buckets : int array;
+}
+
+let snapshot t =
+  Mutex.lock t.mu;
+  let s =
+    {
+      s_count = t.count;
+      s_sum = t.sum;
+      s_max = t.max;
+      s_buckets = Array.copy t.buckets;
+    }
+  in
+  Mutex.unlock t.mu;
+  s
+
+let mean_of s = if s.s_count = 0 then 0.0 else s.s_sum /. float_of_int s.s_count
+
+(* Upper edge of the bucket holding the p-th percentile sample — an
+   approximation within a factor of 2. *)
+let percentile_of s p =
+  if s.s_count = 0 then 0
+  else begin
+    let rank =
+      int_of_float (ceil (p /. 100.0 *. float_of_int s.s_count))
+      |> Stdlib.max 1
+    in
+    let acc = ref 0 and found = ref (-1) in
+    (try
+       Array.iteri
+         (fun i n ->
+           acc := !acc + n;
+           if !acc >= rank then begin
+             found := i;
+             raise Exit
+           end)
+         s.s_buckets
+     with Exit -> ());
+    if !found < 0 then s.s_max else Stdlib.min s.s_max (upper_edge !found)
+  end
+
+let count t = (snapshot t).s_count
+let mean t = mean_of (snapshot t)
+let percentile t p = percentile_of (snapshot t) p

@@ -1,0 +1,57 @@
+(** Log2-bucketed histogram of non-negative integer samples
+    (nanoseconds, allocated words, queue depths) — the one histogram
+    implementation behind the service metrics and the Prometheus
+    exporter.
+
+    Bucket [i] counts samples [v] with [2^i <= v < 2^(i+1)] (bucket 0
+    also takes [v <= 1]); 63 buckets cover the whole int range, so
+    {!observe} never drops a sample.  Percentiles are bucket upper
+    edges: exact to within a factor of two, which is all a health
+    endpoint needs.
+
+    Thread-safe: {!observe} and {!snapshot} serialize on an internal
+    mutex, and readers go through {!snapshot} — one consistent
+    (count, sum, max, buckets) quadruple, never a mean computed from a
+    count and a sum read at different times. *)
+
+type t
+
+val num_buckets : int
+(** 63. *)
+
+val create : unit -> t
+
+val observe : t -> int -> unit
+(** Record one sample; negative values count into bucket 0. *)
+
+val bucket_of : int -> int
+(** Index of the bucket a value falls into (exposed for tests and the
+    exporter's bucket edges). *)
+
+val upper_edge : int -> int
+(** Inclusive upper edge of bucket [i]: [2^(i+1) - 1]. *)
+
+(** {1 Consistent reads} *)
+
+type snapshot = {
+  s_count : int;
+  s_sum : float;
+  s_max : int;
+  s_buckets : int array;  (** a private copy, length {!num_buckets} *)
+}
+
+val snapshot : t -> snapshot
+(** One mutex-guarded copy of the whole state. *)
+
+val mean_of : snapshot -> float
+val percentile_of : snapshot -> float -> int
+
+(** {1 Convenience one-shot reads} (each takes its own snapshot) *)
+
+val count : t -> int
+val mean : t -> float
+
+val percentile : t -> float -> int
+(** [percentile t p] for [p] in [0..100]: the upper edge of the bucket
+    holding the p-th percentile sample, clamped to the observed max;
+    [0] when empty. *)

@@ -1,0 +1,115 @@
+module Counter = struct
+  (* One atomic would serialize every shard domain on the same cache
+     line; 8 stripes indexed by domain id keep always-on counters (PK
+     inserts, pool tasks) out of each other's way. *)
+  let stripes = 8
+
+  type t = int Atomic.t array
+
+  let create () = Array.init stripes (fun _ -> Atomic.make 0)
+  let stripe () = (Domain.self () :> int) land (stripes - 1)
+
+  let add t n =
+    let a = Array.unsafe_get t (stripe ()) in
+    ignore (Atomic.fetch_and_add a n)
+
+  let incr t = add t 1
+
+  let get t =
+    let s = ref 0 in
+    Array.iter (fun a -> s := !s + Atomic.get a) t;
+    !s
+end
+
+module Gauge = struct
+  type t = int Atomic.t
+
+  let create () = Atomic.make 0
+  let set t v = Atomic.set t v
+  let get t = Atomic.get t
+
+  let rec max_update t v =
+    let cur = Atomic.get t in
+    if v > cur && not (Atomic.compare_and_set t cur v) then max_update t v
+end
+
+type instrument =
+  | I_counter of Counter.t
+  | I_gauge of Gauge.t
+  | I_histogram of Obs_histogram.t
+
+type entry = { e_name : string; e_help : string; e_inst : instrument }
+
+type registry = {
+  mu : Mutex.t;
+  tbl : (string, entry) Hashtbl.t;
+  mutable order : string list;  (* reversed registration order *)
+}
+
+let create () = { mu = Mutex.create (); tbl = Hashtbl.create 32; order = [] }
+let default = create ()
+
+let valid_name s =
+  String.length s > 0
+  && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true | _ -> false)
+       s
+
+(* Find-or-create under the registry mutex, so module-init registration
+   from several domains can race safely. *)
+let register r name help make match_existing =
+  if not (valid_name name) then
+    invalid_arg (Printf.sprintf "Obs.Metrics: invalid metric name %S" name);
+  Mutex.lock r.mu;
+  let inst =
+    match Hashtbl.find_opt r.tbl name with
+    | Some e -> (
+        match match_existing e.e_inst with
+        | Some i -> i
+        | None ->
+            Mutex.unlock r.mu;
+            invalid_arg
+              (Printf.sprintf
+                 "Obs.Metrics: %S already registered with a different kind" name))
+    | None ->
+        let i = make () in
+        Hashtbl.replace r.tbl name
+          { e_name = name; e_help = help; e_inst = i };
+        r.order <- name :: r.order;
+        i
+  in
+  Mutex.unlock r.mu;
+  inst
+
+let counter r ?(help = "") name =
+  let i =
+    register r name help
+      (fun () -> I_counter (Counter.create ()))
+      (function I_counter x -> Some (I_counter x) | _ -> None)
+  in
+  match i with I_counter x -> x | _ -> assert false
+
+let gauge r ?(help = "") name =
+  let i =
+    register r name help
+      (fun () -> I_gauge (Gauge.create ()))
+      (function I_gauge x -> Some (I_gauge x) | _ -> None)
+  in
+  match i with I_gauge x -> x | _ -> assert false
+
+let histogram r ?(help = "") name =
+  let i =
+    register r name help
+      (fun () -> I_histogram (Obs_histogram.create ()))
+      (function I_histogram x -> Some (I_histogram x) | _ -> None)
+  in
+  match i with I_histogram x -> x | _ -> assert false
+
+let iter r f =
+  Mutex.lock r.mu;
+  let entries =
+    List.rev_map (fun n -> Hashtbl.find r.tbl n) r.order
+  in
+  Mutex.unlock r.mu;
+  List.iter (fun e -> f ~name:e.e_name ~help:e.e_help e.e_inst) entries

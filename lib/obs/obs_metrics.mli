@@ -1,0 +1,65 @@
+(** Typed metric instruments and named registries.
+
+    A {!registry} maps metric names to instruments; the service exposes
+    the {!default} registry over HTTP in Prometheus text format (see
+    {!Obs_export.prometheus}).  Registration is idempotent — asking for
+    an existing name returns the existing instrument, so call sites can
+    register at module-init without coordination.
+
+    Names must match the Prometheus grammar
+    [[a-zA-Z_:][a-zA-Z0-9_:]*]; anything else raises
+    [Invalid_argument]. *)
+
+(** Monotonically increasing counter, striped across 8 atomics so
+    always-on increments from shard domains don't fight over one cache
+    line. *)
+module Counter : sig
+  type t
+
+  val create : unit -> t
+  val incr : t -> unit
+  val add : t -> int -> unit
+
+  val get : t -> int
+  (** Sum over stripes.  Not a snapshot isolated from concurrent
+      increments, but never under-reads completed ones. *)
+end
+
+(** Last-value gauge. *)
+module Gauge : sig
+  type t
+
+  val create : unit -> t
+  val set : t -> int -> unit
+  val get : t -> int
+
+  val max_update : t -> int -> unit
+  (** Raise the gauge to [v] if [v] is larger (CAS loop) — for
+      high-water marks. *)
+end
+
+type registry
+
+val create : unit -> registry
+
+val default : registry
+(** Process-wide registry scraped by [mtc serve --metrics-port]. *)
+
+val counter : registry -> ?help:string -> string -> Counter.t
+(** Find-or-create.  Raises [Invalid_argument] if the name is already
+    bound to a different instrument kind or is not a valid metric
+    name. *)
+
+val gauge : registry -> ?help:string -> string -> Gauge.t
+val histogram : registry -> ?help:string -> string -> Obs_histogram.t
+
+(** What {!iter} hands to the exporter. *)
+type instrument =
+  | I_counter of Counter.t
+  | I_gauge of Gauge.t
+  | I_histogram of Obs_histogram.t
+
+val iter : registry -> (name:string -> help:string -> instrument -> unit) -> unit
+(** In registration order. *)
+
+val valid_name : string -> bool

@@ -1,0 +1,161 @@
+type phase = {
+  p_name : string;
+  p_total_ns : int;
+  p_count : int;
+  p_subs : (string * int * int) list;
+}
+
+let phase_of name =
+  match String.index_opt name '/' with
+  | Some i -> String.sub name 0 i
+  | None -> name
+
+(* Top-level spans per (domain, phase): sweep t0-ascending (dur
+   descending on ties), keeping a stack of enclosing end-times.  An
+   event with a live enclosing interval is nested — its time is already
+   inside its parent's and must not count again. *)
+let top_level_mask (evs : Obs_trace.event array) =
+  let n = Array.length evs in
+  let order = Array.init n (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      let ea = evs.(a) and eb = evs.(b) in
+      if ea.Obs_trace.ev_t0 <> eb.Obs_trace.ev_t0 then
+        compare ea.Obs_trace.ev_t0 eb.Obs_trace.ev_t0
+      else compare eb.Obs_trace.ev_dur ea.Obs_trace.ev_dur)
+    order;
+  let top = Array.make n false in
+  let stack = ref [] in
+  Array.iter
+    (fun i ->
+      let e = evs.(i) in
+      let e_end = e.Obs_trace.ev_t0 + e.Obs_trace.ev_dur in
+      let rec pop () =
+        match !stack with
+        | top_end :: rest when top_end < e_end ->
+            stack := rest;
+            pop ()
+        | _ -> ()
+      in
+      pop ();
+      top.(i) <- !stack = [];
+      stack := e_end :: !stack)
+    order;
+  top
+
+let phases (events : Obs_trace.event list) =
+  (* Group by (domain, phase) for the containment sweep; remember phase
+     and span-name first-appearance order from the time-sorted input. *)
+  let groups : (int * string, Obs_trace.event list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let phase_order = ref [] in
+  let sub_order : (string, string list ref) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Obs_trace.event) ->
+      let ph = phase_of e.ev_name in
+      if not (List.mem ph !phase_order) then
+        phase_order := !phase_order @ [ ph ];
+      let subs =
+        match Hashtbl.find_opt sub_order ph with
+        | Some l -> l
+        | None ->
+            let l = ref [] in
+            Hashtbl.replace sub_order ph l;
+            l
+      in
+      if not (List.mem e.ev_name !subs) then subs := !subs @ [ e.ev_name ];
+      let key = (e.ev_dom, ph) in
+      match Hashtbl.find_opt groups key with
+      | Some l -> l := e :: !l
+      | None -> Hashtbl.replace groups key (ref [ e ]))
+    events;
+  (* Per-phase totals over top-level spans. *)
+  let totals : (string, int ref * int ref) Hashtbl.t = Hashtbl.create 16 in
+  let total_of ph =
+    match Hashtbl.find_opt totals ph with
+    | Some p -> p
+    | None ->
+        let p = (ref 0, ref 0) in
+        Hashtbl.replace totals ph p;
+        p
+  in
+  Hashtbl.iter
+    (fun (_dom, ph) evs_ref ->
+      let evs = Array.of_list !evs_ref in
+      let top = top_level_mask evs in
+      let t, c = total_of ph in
+      Array.iteri
+        (fun i e ->
+          if top.(i) then begin
+            t := !t + e.Obs_trace.ev_dur;
+            incr c
+          end)
+        evs)
+    groups;
+  (* Per-name sub-totals over every event, nested included. *)
+  let by_name : (string, int ref * int ref) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun (e : Obs_trace.event) ->
+      let t, c =
+        match Hashtbl.find_opt by_name e.ev_name with
+        | Some p -> p
+        | None ->
+            let p = (ref 0, ref 0) in
+            Hashtbl.replace by_name e.ev_name p;
+            p
+      in
+      t := !t + e.ev_dur;
+      incr c)
+    events;
+  List.map
+    (fun ph ->
+      let t, c = total_of ph in
+      let subs =
+        match Hashtbl.find_opt sub_order ph with
+        | None -> []
+        | Some l ->
+            List.map
+              (fun name ->
+                let t, c = Hashtbl.find by_name name in
+                (name, !t, !c))
+              !l
+      in
+      { p_name = ph; p_total_ns = !t; p_count = !c; p_subs = subs })
+    !phase_order
+
+let phase_sum_ns events =
+  List.fold_left (fun acc p -> acc + p.p_total_ns) 0 (phases events)
+
+let ms ns = float_of_int ns /. 1e6
+
+let render ~wall_ns events =
+  let ps = phases events in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "%-24s %12s %8s %7s\n" "phase" "total" "count" "wall%");
+  let pct ns =
+    if wall_ns <= 0 then 0.0
+    else 100.0 *. float_of_int ns /. float_of_int wall_ns
+  in
+  List.iter
+    (fun p ->
+      Buffer.add_string b
+        (Printf.sprintf "%-24s %9.3f ms %8d %6.1f%%\n" p.p_name
+           (ms p.p_total_ns) p.p_count (pct p.p_total_ns));
+      (* A phase with a single span name equal to the phase itself needs
+         no sub-row. *)
+      (match p.p_subs with
+      | [ (name, _, _) ] when name = p.p_name -> ()
+      | subs ->
+          List.iter
+            (fun (name, t, c) ->
+              Buffer.add_string b
+                (Printf.sprintf "  %-22s %9.3f ms %8d\n" name (ms t) c))
+            subs))
+    ps;
+  let sum = List.fold_left (fun acc p -> acc + p.p_total_ns) 0 ps in
+  Buffer.add_string b
+    (Printf.sprintf "phases sum %.3f ms = %.1f%% of wall %.3f ms\n" (ms sum)
+       (pct sum) (ms wall_ns));
+  Buffer.contents b

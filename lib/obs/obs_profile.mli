@@ -1,0 +1,32 @@
+(** Phase aggregation of a span stream and the [--profile] table.
+
+    A span's phase is its name up to the first ['/'] ("infer/deps" →
+    "infer").  Within a phase, time is attributed only to {e top-level}
+    spans — spans not strictly contained (same domain, same phase) in
+    another span — so "infer/deps" and its "infer/deps/rw" children
+    don't double-count.  Across domains time {e does} add up: four
+    domains each busy 10 ms contribute 40 ms, which is the honest
+    cost-accounting view (and why the footer compares against wall
+    clock separately). *)
+
+type phase = {
+  p_name : string;
+  p_total_ns : int;     (** sum of top-level span durations *)
+  p_count : int;        (** number of top-level spans *)
+  p_subs : (string * int * int) list;
+      (** (full span name, total ns, count) of every distinct name in
+          the phase, including nested ones, ordered by first
+          appearance *)
+}
+
+val phases : Obs_trace.event list -> phase list
+(** Ordered by first appearance in the (time-sorted) event stream. *)
+
+val phase_sum_ns : Obs_trace.event list -> int
+(** Sum of [p_total_ns] over all phases. *)
+
+val render : wall_ns:int -> Obs_trace.event list -> string
+(** The [mtc check --profile] table: one row per phase with total
+    ms, span count and share of wall time; indented sub-rows per
+    distinct span name; a footer comparing the phase sum to wall
+    time. *)

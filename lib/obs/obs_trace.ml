@@ -1,0 +1,147 @@
+let on = Atomic.make false
+
+let enabled () = Atomic.get on
+let enable () = Atomic.set on true
+let disable () = Atomic.set on false
+
+(* ------------------------------------------------------------------ *)
+(* Interned span names: the hot path carries ints, the drain path maps
+   them back.  Interning happens at module init of the instrumented
+   code, so the mutex here is uncontended in steady state. *)
+
+let names_mu = Mutex.create ()
+let names_tbl : (string, int) Hashtbl.t = Hashtbl.create 64
+let names : string array ref = ref (Array.make 64 "")
+let names_len = ref 0
+
+let intern s =
+  Mutex.lock names_mu;
+  let id =
+    match Hashtbl.find_opt names_tbl s with
+    | Some id -> id
+    | None ->
+        let id = !names_len in
+        if id = Array.length !names then begin
+          let bigger = Array.make (2 * id) "" in
+          Array.blit !names 0 bigger 0 id;
+          names := bigger
+        end;
+        !names.(id) <- s;
+        incr names_len;
+        Hashtbl.replace names_tbl s id;
+        id
+  in
+  Mutex.unlock names_mu;
+  id
+
+let name_of id =
+  Mutex.lock names_mu;
+  let s = if id >= 0 && id < !names_len then !names.(id) else "?" in
+  Mutex.unlock names_mu;
+  s
+
+(* ------------------------------------------------------------------ *)
+(* Per-domain rings.  Three parallel int arrays (not a record array) so
+   recording a span writes unboxed ints and allocates nothing.  A slot
+   is reserved with fetch_and_add because systhreads share their
+   carrier domain's ring; the ring wraps, overwriting oldest spans. *)
+
+let cap_bits = 15
+let cap = 1 lsl cap_bits
+let mask = cap - 1
+
+type ring = {
+  r_dom : int;
+  r_idx : int Atomic.t;  (* total reservations since last clear *)
+  r_name : int array;
+  r_t0 : int array;
+  r_dur : int array;
+}
+
+let rings_mu = Mutex.create ()
+let rings : ring list ref = ref []
+
+let ring_key =
+  Domain.DLS.new_key (fun () ->
+      let r =
+        {
+          r_dom = (Domain.self () :> int);
+          r_idx = Atomic.make 0;
+          r_name = Array.make cap 0;
+          r_t0 = Array.make cap 0;
+          r_dur = Array.make cap 0;
+        }
+      in
+      Mutex.lock rings_mu;
+      rings := r :: !rings;
+      Mutex.unlock rings_mu;
+      r)
+
+let record name t0 dur =
+  let r = Domain.DLS.get ring_key in
+  let i = Atomic.fetch_and_add r.r_idx 1 land mask in
+  Array.unsafe_set r.r_name i name;
+  Array.unsafe_set r.r_t0 i t0;
+  Array.unsafe_set r.r_dur i dur
+
+(* ------------------------------------------------------------------ *)
+
+let disabled_t0 = min_int
+
+let enter () = if Atomic.get on then Obs_clock.now_ns () else disabled_t0
+
+let exit name t0 =
+  if t0 <> disabled_t0 && Atomic.get on then
+    record name t0 (Obs_clock.now_ns () - t0)
+
+let with_span name f =
+  let t0 = enter () in
+  match f () with
+  | v ->
+      exit name t0;
+      v
+  | exception e ->
+      exit name t0;
+      raise e
+
+let instant name = if Atomic.get on then record name (Obs_clock.now_ns ()) 0
+
+(* ------------------------------------------------------------------ *)
+
+let clear () =
+  Mutex.lock rings_mu;
+  List.iter (fun r -> Atomic.set r.r_idx 0) !rings;
+  Mutex.unlock rings_mu
+
+type event = { ev_name : string; ev_t0 : int; ev_dur : int; ev_dom : int }
+
+let events () =
+  Mutex.lock rings_mu;
+  let rs = !rings in
+  Mutex.unlock rings_mu;
+  let acc = ref [] in
+  List.iter
+    (fun r ->
+      let total = Atomic.get r.r_idx in
+      let n = Stdlib.min total cap in
+      for k = total - n to total - 1 do
+        let i = k land mask in
+        acc :=
+          {
+            ev_name = name_of r.r_name.(i);
+            ev_t0 = r.r_t0.(i);
+            ev_dur = r.r_dur.(i);
+            ev_dom = r.r_dom;
+          }
+          :: !acc
+      done)
+    rs;
+  List.sort (fun a b -> compare a.ev_t0 b.ev_t0) !acc
+
+let dropped () =
+  Mutex.lock rings_mu;
+  let rs = !rings in
+  Mutex.unlock rings_mu;
+  List.fold_left
+    (fun acc r -> acc + Stdlib.max 0 (Atomic.get r.r_idx - cap))
+    0 rs

@@ -1,167 +1,143 @@
-(* Service metrics: process-wide counters and a log-bucketed latency
-   histogram for the per-feed processing time.  Everything is guarded by
-   one mutex — updates are a handful of int stores, far off any hot path
-   compared to the socket I/O around them. *)
-
-module Histogram = struct
-  (* Bucket [i] counts samples whose value v (in nanoseconds) satisfies
-     2^i <= v < 2^(i+1); bucket 0 also takes v < 1.  63 buckets cover
-     the whole int range, so observe never drops a sample. *)
-  type t = {
-    buckets : int array;
-    mutable count : int;
-    mutable sum : float;
-    mutable max : int;
-  }
-
-  let create () = { buckets = Array.make 63 0; count = 0; sum = 0.0; max = 0 }
-
-  let bucket_of v =
-    let rec go i v = if v <= 1 then i else go (i + 1) (v lsr 1) in
-    if v <= 0 then 0 else go 0 v
-
-  let observe t v =
-    let b = bucket_of v in
-    t.buckets.(b) <- t.buckets.(b) + 1;
-    t.count <- t.count + 1;
-    t.sum <- t.sum +. float_of_int v;
-    if v > t.max then t.max <- v
-
-  (* Upper edge of the bucket holding the p-th percentile sample — an
-     approximation within a factor of 2, which is all a service health
-     endpoint needs. *)
-  let percentile t p =
-    if t.count = 0 then 0
-    else begin
-      let rank =
-        int_of_float (ceil (p /. 100.0 *. float_of_int t.count))
-        |> Stdlib.max 1
-      in
-      let acc = ref 0 and found = ref (-1) in
-      (try
-         Array.iteri
-           (fun i n ->
-             acc := !acc + n;
-             if !acc >= rank then begin
-               found := i;
-               raise Exit
-             end)
-           t.buckets
-       with Exit -> ());
-      if !found < 0 then t.max
-      else Stdlib.min t.max ((1 lsl (!found + 1)) - 1)
-    end
-
-  let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
-end
+(* Service metrics as a thin naming layer over [Obs.Metrics]: each
+   instance owns a registry of typed instruments, which is what the
+   [--metrics-port] HTTP endpoint serializes (Prometheus text) and what
+   [to_json] summarizes for the [Stats] frame.  The histograms snapshot
+   consistently, so a mean is never computed from a count and a sum read
+   on either side of a concurrent [feed]. *)
 
 type t = {
-  mu : Mutex.t;
+  reg : Obs.Metrics.registry;
   created_at : float;
-  mutable connections : int;
-  mutable sessions_opened : int;
-  mutable sessions_closed : int;
-  mutable txns_fed : int;
-  mutable syncs : int;
-  mutable violations : int;
-  mutable frames_in : int;
-  mutable frames_out : int;
-  mutable throttles : int;
-  mutable protocol_errors : int;
-  mutable queue_high_water : int;
-  feed_ns : Histogram.t;
-  feed_words : Histogram.t;  (* minor-heap words allocated per feed *)
+  connections : Obs.Counter.t;
+  sessions_opened : Obs.Counter.t;
+  sessions_closed : Obs.Counter.t;
+  txns_fed : Obs.Counter.t;
+  syncs : Obs.Counter.t;
+  violations : Obs.Counter.t;
+  frames_in : Obs.Counter.t;
+  frames_out : Obs.Counter.t;
+  throttles : Obs.Counter.t;
+  protocol_errors : Obs.Counter.t;
+  queue_high_water : Obs.Gauge.t;
+  feed_ns : Obs.Histogram.t;
+  feed_words : Obs.Histogram.t;
 }
 
 let create () =
+  let reg = Obs.Metrics.create () in
+  (* sequential lets: record fields evaluate in unspecified order, and
+     registration order is the exposition order *)
+  let c help name = Obs.Metrics.counter reg ~help name in
+  let connections = c "Client connections accepted" "mtc_connections_total" in
+  let sessions_opened =
+    c "Checking sessions opened" "mtc_sessions_opened_total"
+  in
+  let sessions_closed =
+    c "Checking sessions closed" "mtc_sessions_closed_total"
+  in
+  let txns_fed =
+    c "Transactions fed into online checkers" "mtc_txns_fed_total"
+  in
+  let syncs = c "Sync frames served" "mtc_syncs_total" in
+  let violations = c "Isolation violations reported" "mtc_violations_total" in
+  let frames_in = c "Frames received" "mtc_frames_in_total" in
+  let frames_out = c "Frames sent" "mtc_frames_out_total" in
+  let throttles = c "Throttle frames sent" "mtc_throttles_total" in
+  let protocol_errors = c "Protocol errors" "mtc_protocol_errors_total" in
+  let queue_high_water =
+    Obs.Metrics.gauge reg ~help:"High-water mark of any session ingress queue"
+      "mtc_queue_high_water"
+  in
+  let feed_ns =
+    Obs.Metrics.histogram reg ~help:"Per-feed processing time (nanoseconds)"
+      "mtc_feed_ns"
+  in
+  let feed_words =
+    Obs.Metrics.histogram reg ~help:"Per-feed allocated minor-heap words"
+      "mtc_feed_words"
+  in
   {
-    mu = Mutex.create ();
+    reg;
     created_at = Unix.gettimeofday ();
-    connections = 0;
-    sessions_opened = 0;
-    sessions_closed = 0;
-    txns_fed = 0;
-    syncs = 0;
-    violations = 0;
-    frames_in = 0;
-    frames_out = 0;
-    throttles = 0;
-    protocol_errors = 0;
-    queue_high_water = 0;
-    feed_ns = Histogram.create ();
-    feed_words = Histogram.create ();
+    connections;
+    sessions_opened;
+    sessions_closed;
+    txns_fed;
+    syncs;
+    violations;
+    frames_in;
+    frames_out;
+    throttles;
+    protocol_errors;
+    queue_high_water;
+    feed_ns;
+    feed_words;
   }
 
-let with_mu t f =
-  Mutex.lock t.mu;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+let registry t = t.reg
+let uptime_s t = Unix.gettimeofday () -. t.created_at
 
-let connection t = with_mu t (fun () -> t.connections <- t.connections + 1)
-
-let session_opened t =
-  with_mu t (fun () -> t.sessions_opened <- t.sessions_opened + 1)
-
-let session_closed t =
-  with_mu t (fun () -> t.sessions_closed <- t.sessions_closed + 1)
-
-let frame_in t = with_mu t (fun () -> t.frames_in <- t.frames_in + 1)
-let frame_out t = with_mu t (fun () -> t.frames_out <- t.frames_out + 1)
-let sync t = with_mu t (fun () -> t.syncs <- t.syncs + 1)
-let violation t = with_mu t (fun () -> t.violations <- t.violations + 1)
-let throttle t = with_mu t (fun () -> t.throttles <- t.throttles + 1)
-
-let protocol_error t =
-  with_mu t (fun () -> t.protocol_errors <- t.protocol_errors + 1)
+let connection t = Obs.Counter.incr t.connections
+let session_opened t = Obs.Counter.incr t.sessions_opened
+let session_closed t = Obs.Counter.incr t.sessions_closed
+let frame_in t = Obs.Counter.incr t.frames_in
+let frame_out t = Obs.Counter.incr t.frames_out
+let sync t = Obs.Counter.incr t.syncs
+let violation t = Obs.Counter.incr t.violations
+let throttle t = Obs.Counter.incr t.throttles
+let protocol_error t = Obs.Counter.incr t.protocol_errors
 
 let feed t ~ns ~words =
-  with_mu t (fun () ->
-      t.txns_fed <- t.txns_fed + 1;
-      Histogram.observe t.feed_ns ns;
-      Histogram.observe t.feed_words words)
+  Obs.Counter.incr t.txns_fed;
+  Obs.Histogram.observe t.feed_ns ns;
+  Obs.Histogram.observe t.feed_words words
 
-let queue_depth t depth =
-  with_mu t (fun () ->
-      if depth > t.queue_high_water then t.queue_high_water <- depth)
+let queue_depth t depth = Obs.Gauge.max_update t.queue_high_water depth
 
-let txns_fed t = with_mu t (fun () -> t.txns_fed)
-let violations t = with_mu t (fun () -> t.violations)
-let throttles t = with_mu t (fun () -> t.throttles)
-let sessions_opened t = with_mu t (fun () -> t.sessions_opened)
-let queue_high_water t = with_mu t (fun () -> t.queue_high_water)
-let feed_p50_ns t = with_mu t (fun () -> Histogram.percentile t.feed_ns 50.0)
-let feed_p99_ns t = with_mu t (fun () -> Histogram.percentile t.feed_ns 99.0)
-
-let feed_words_mean t = with_mu t (fun () -> Histogram.mean t.feed_words)
-
-let feed_words_p50 t =
-  with_mu t (fun () -> Histogram.percentile t.feed_words 50.0)
-
-let feed_words_p99 t =
-  with_mu t (fun () -> Histogram.percentile t.feed_words 99.0)
+let txns_fed t = Obs.Counter.get t.txns_fed
+let violations t = Obs.Counter.get t.violations
+let throttles t = Obs.Counter.get t.throttles
+let sessions_opened t = Obs.Counter.get t.sessions_opened
+let queue_high_water t = Obs.Gauge.get t.queue_high_water
+let feed_p50_ns t = Obs.Histogram.percentile t.feed_ns 50.0
+let feed_p99_ns t = Obs.Histogram.percentile t.feed_ns 99.0
+let feed_words_mean t = Obs.Histogram.mean t.feed_words
+let feed_words_p50 t = Obs.Histogram.percentile t.feed_words 50.0
+let feed_words_p99 t = Obs.Histogram.percentile t.feed_words 99.0
 
 let to_json t =
-  with_mu t (fun () ->
-      Printf.sprintf
-        "{\"uptime_s\":%.3f,\"connections\":%d,\"sessions_opened\":%d,\
-         \"sessions_closed\":%d,\"txns_fed\":%d,\"syncs\":%d,\
-         \"violations\":%d,\"frames_in\":%d,\"frames_out\":%d,\
-         \"throttles\":%d,\"protocol_errors\":%d,\"queue_high_water\":%d,\
-         \"feed_ns\":{\"count\":%d,\"mean\":%.0f,\"p50\":%d,\"p99\":%d,\
-         \"max\":%d},\
-         \"feed_words\":{\"count\":%d,\"mean\":%.0f,\"p50\":%d,\"p99\":%d,\
-         \"max\":%d}}"
-        (Unix.gettimeofday () -. t.created_at)
-        t.connections t.sessions_opened t.sessions_closed t.txns_fed t.syncs
-        t.violations t.frames_in t.frames_out t.throttles t.protocol_errors
-        t.queue_high_water t.feed_ns.Histogram.count
-        (Histogram.mean t.feed_ns)
-        (Histogram.percentile t.feed_ns 50.0)
-        (Histogram.percentile t.feed_ns 99.0)
-        t.feed_ns.Histogram.max t.feed_words.Histogram.count
-        (Histogram.mean t.feed_words)
-        (Histogram.percentile t.feed_words 50.0)
-        (Histogram.percentile t.feed_words 99.0)
-        t.feed_words.Histogram.max)
+  let ns = Obs.Histogram.snapshot t.feed_ns in
+  let words = Obs.Histogram.snapshot t.feed_words in
+  Printf.sprintf
+    "{\"uptime_s\":%.3f,\"connections\":%d,\"sessions_opened\":%d,\
+     \"sessions_closed\":%d,\"txns_fed\":%d,\"syncs\":%d,\
+     \"violations\":%d,\"frames_in\":%d,\"frames_out\":%d,\
+     \"throttles\":%d,\"protocol_errors\":%d,\"queue_high_water\":%d,\
+     \"feed_ns\":{\"count\":%d,\"mean\":%.0f,\"p50\":%d,\"p99\":%d,\
+     \"max\":%d},\
+     \"feed_words\":{\"count\":%d,\"mean\":%.0f,\"p50\":%d,\"p99\":%d,\
+     \"max\":%d}}"
+    (uptime_s t)
+    (Obs.Counter.get t.connections)
+    (Obs.Counter.get t.sessions_opened)
+    (Obs.Counter.get t.sessions_closed)
+    (Obs.Counter.get t.txns_fed)
+    (Obs.Counter.get t.syncs)
+    (Obs.Counter.get t.violations)
+    (Obs.Counter.get t.frames_in)
+    (Obs.Counter.get t.frames_out)
+    (Obs.Counter.get t.throttles)
+    (Obs.Counter.get t.protocol_errors)
+    (Obs.Gauge.get t.queue_high_water)
+    ns.Obs.Histogram.s_count
+    (Obs.Histogram.mean_of ns)
+    (Obs.Histogram.percentile_of ns 50.0)
+    (Obs.Histogram.percentile_of ns 99.0)
+    ns.Obs.Histogram.s_max words.Obs.Histogram.s_count
+    (Obs.Histogram.mean_of words)
+    (Obs.Histogram.percentile_of words 50.0)
+    (Obs.Histogram.percentile_of words 99.0)
+    words.Obs.Histogram.s_max
 
 (* The process-wide instance `mtc serve` reports from; embedders can
    create their own. *)

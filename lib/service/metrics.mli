@@ -1,6 +1,10 @@
 (** Process-wide service counters and per-feed latency histograms,
     thread-safe, dumpable as JSON via the [Stats] frame and on server
-    shutdown. *)
+    shutdown.
+
+    Backed by {!Obs.Metrics} instruments in a per-instance registry —
+    {!registry} exposes it for Prometheus exposition
+    ([mtc serve --metrics-port]). *)
 
 type t
 
@@ -8,6 +12,13 @@ val create : unit -> t
 
 val global : t
 (** The instance [mtc serve] reports from. *)
+
+val registry : t -> Obs.Metrics.registry
+(** The underlying instrument registry (counter/gauge/histogram names
+    are [mtc_]-prefixed). *)
+
+val uptime_s : t -> float
+(** Seconds since [create]. *)
 
 (** {1 Recording} *)
 

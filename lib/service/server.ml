@@ -69,6 +69,8 @@ type config = {
   metrics : Metrics.t;
   max_keys : int;  (** largest accepted [num_keys] in [Open_session] *)
   shards : int;  (** checking shards (domains); [<= 0] = auto *)
+  metrics_port : int option;
+      (** Prometheus exposition on 127.0.0.1:port; 0 = ephemeral *)
 }
 
 let default_config =
@@ -81,6 +83,7 @@ let default_config =
     metrics = Metrics.global;
     max_keys = 1 lsl 22;
     shards = 0;
+    metrics_port = None;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -144,9 +147,12 @@ type t = {
   mutable accepters : Thread.t list;
   mutable conn_threads : Thread.t list;
   mutable janitor : Thread.t option;
+  mutable metrics_listener : (Unix.file_descr * int) option;
+  mutable metrics_thread : Thread.t option;
 }
 
 let bound_addrs t = List.map snd t.listeners
+let metrics_port t = Option.map snd t.metrics_listener
 
 let stopping t =
   Mutex.lock t.rmu;
@@ -171,6 +177,8 @@ let send t conn frame =
    it and drains its item queue. *)
 
 let now () = Unix.gettimeofday ()
+
+let sp_server_feed = Obs.Trace.intern "server/feed"
 
 let render_violation level v =
   let anomaly = Option.map Anomaly.name (Report.classify v) in
@@ -248,14 +256,17 @@ let process_session t s =
               loop ()
           | None -> (
               let w0 = Gc.minor_words () in
+              let sp0 = Obs.Trace.enter () in
               let t0 = now () in
               match Online.add_txn s.online txn with
               | Online.Ok_so_far ->
+                  Obs.Trace.exit sp_server_feed sp0;
                   Metrics.feed m
                     ~ns:(int_of_float ((now () -. t0) *. 1e9))
                     ~words:(int_of_float (Gc.minor_words () -. w0));
                   loop ()
               | Online.Violation v ->
+                  Obs.Trace.exit sp_server_feed sp0;
                   let verdict = render_violation (Online.level s.online) v in
                   s.poisoned_verdict <- Some verdict;
                   Metrics.feed m
@@ -544,6 +555,74 @@ let conn_loop t conn =
   | Result.Error msg -> fail_handshake Wire.err_bad_frame msg
 
 (* ------------------------------------------------------------------ *)
+(* Prometheus exposition: a deliberately minimal HTTP/1.1 responder on a
+   loopback socket — enough for a scraper or curl, one request per
+   connection, [Connection: close].  Runs on its own systhread; scraping
+   only reads atomics and histogram snapshots, so it never blocks the
+   checking shards. *)
+
+let metrics_body config =
+  Printf.sprintf "# TYPE mtc_uptime_seconds gauge\nmtc_uptime_seconds %.3f\n"
+    (Metrics.uptime_s config.metrics)
+  ^ Obs.Export.prometheus (Metrics.registry config.metrics)
+  ^ Obs.Export.prometheus Obs.Metrics.default
+
+let http_response ~status ~content_type body =
+  Printf.sprintf
+    "HTTP/1.1 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: \
+     close\r\n\r\n%s"
+    status content_type (String.length body) body
+
+let serve_metrics_request config fd =
+  let buf = Bytes.create 1024 in
+  let n = try Unix.read fd buf 0 1024 with Unix.Unix_error _ -> 0 in
+  let req = Bytes.sub_string buf 0 (Stdlib.max n 0) in
+  let response =
+    match String.split_on_char ' ' req with
+    | "GET" :: path :: _ when path = "/metrics" || path = "/" ->
+        http_response ~status:"200 OK"
+          ~content_type:"text/plain; version=0.0.4; charset=utf-8"
+          (metrics_body config)
+    | "GET" :: _ ->
+        http_response ~status:"404 Not Found" ~content_type:"text/plain"
+          "not found (try /metrics)\n"
+    | _ ->
+        http_response ~status:"405 Method Not Allowed"
+          ~content_type:"text/plain" "only GET is supported\n"
+  in
+  let b = Bytes.of_string response in
+  let rec write off len =
+    if len > 0 then begin
+      let n =
+        try Unix.write fd b off len
+        with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+      in
+      write (off + n) (len - n)
+    end
+  in
+  try write 0 (Bytes.length b) with Unix.Unix_error _ | Sys_error _ -> ()
+
+let metrics_loop t lsock =
+  let rec loop () =
+    if not (stopping t) then begin
+      (match Unix.select [ lsock ] [] [] 0.2 with
+      | [], _, _ -> ()
+      | _ :: _, _, _ -> (
+          match Unix.accept lsock with
+          | fd, _ ->
+              Fun.protect
+                ~finally:(fun () ->
+                  try Unix.close fd with Unix.Unix_error _ -> ())
+                (fun () -> serve_metrics_request t.config fd)
+          | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _)
+            -> ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
 (* Listeners, janitor, lifecycle. *)
 
 let bind_addr = function
@@ -659,8 +738,24 @@ let start config =
       accepters = [];
       conn_threads = [];
       janitor = None;
+      metrics_listener = None;
+      metrics_thread = None;
     }
   in
+  (match config.metrics_port with
+  | None -> ()
+  | Some port ->
+      let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt sock Unix.SO_REUSEADDR true;
+      Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      Unix.listen sock 16;
+      let bound =
+        match Unix.getsockname sock with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> port
+      in
+      t.metrics_listener <- Some (sock, bound);
+      t.metrics_thread <- Some (Thread.create (metrics_loop t) sock));
   (* The shard loops occupy the whole pool for the server's lifetime; a
      coordinator systhread participates as the pool's submitting thread
      (so [nshards] loops really run on [nshards] domains). *)
@@ -684,6 +779,10 @@ let stop t =
   if not already then begin
     List.iter Thread.join t.accepters;
     Option.iter Thread.join t.janitor;
+    Option.iter Thread.join t.metrics_thread;
+    Option.iter
+      (fun (fd, _) -> try Unix.close fd with Unix.Unix_error _ -> ())
+      t.metrics_listener;
     List.iter
       (fun (fd, addr) ->
         (try Unix.close fd with Unix.Unix_error _ -> ());

@@ -48,11 +48,15 @@ type config = {
       (** checking shards = worker domains; [<= 0] picks
           [Pool.default_size ()] ([MTC_JOBS] or the recommended domain
           count) *)
+  metrics_port : int option;
+      (** serve Prometheus text exposition over HTTP on
+          127.0.0.1:[port] ([GET /metrics]); [0] asks the kernel for an
+          ephemeral port — read it back with {!metrics_port} *)
 }
 
 val default_config : config
 (** No listeners (callers must fill [listen]), queue of 1024, no idle
-    timeout, {!Metrics.global}, auto shard count. *)
+    timeout, {!Metrics.global}, auto shard count, no metrics port. *)
 
 type t
 
@@ -63,6 +67,10 @@ val start : config -> t
 
 val bound_addrs : t -> addr list
 (** The actually-bound addresses (TCP port 0 resolved). *)
+
+val metrics_port : t -> int option
+(** The actually-bound metrics port (config port 0 resolved); [None]
+    when the exposition endpoint is off. *)
 
 val stop : t -> unit
 (** Graceful shutdown: stop accepting, shut down ingress on every

@@ -328,6 +328,8 @@ let write_frame fd bufs frame =
   let b = Buffer.to_bytes bufs.ob_out in
   really_write fd b 0 (Bytes.length b)
 
+let sp_decode = Obs.Trace.intern "wire/decode"
+
 let read_frame fd =
   match read_exact fd 4 with
   | Result.Error _ as e -> e
@@ -346,6 +348,10 @@ let read_frame fd =
         | Result.Error _ as e -> e
         | Ok None -> Result.Error "truncated frame"
         | Ok (Some payload) -> (
-            match decode (Bytes.unsafe_to_string payload) with
+            (* span the parse only, never the blocking read above *)
+            match
+              Obs.Trace.with_span sp_decode (fun () ->
+                  decode (Bytes.unsafe_to_string payload))
+            with
             | Ok f -> Ok (Some f)
             | Result.Error _ as e -> e))

@@ -70,16 +70,20 @@ def cell(header, row, col):
 def main():
     old, new = load(sys.argv[1]), load(sys.argv[2])
     printed = False
+    baseline_missing = []
     for key, (nheader, nrows) in new.items():
-        if key not in old:
-            continue
         exp, section = key
+        if key not in old:
+            label = f"[{exp}] {section}" if section else f"[{exp}]"
+            baseline_missing.append(f"{label} (whole table)")
+            continue
         oheader, orows = old[key]
         shared = [c for c in nheader[1:] if c in oheader[1:]]
         lines = []
         for name, nrow in nrows.items():
             orow = orows.get(name)
             if orow is None:
+                baseline_missing.append(f"[{exp}] {name}")
                 continue
             cells = []
             for col in shared:
@@ -102,6 +106,11 @@ def main():
     if not printed:
         print("bench_diff: no comparable tables between "
               f"{sys.argv[1]} and {sys.argv[2]}")
+    if baseline_missing:
+        print(f"bench_diff: {len(baseline_missing)} row(s) have no baseline "
+              f"in {sys.argv[1]} (new this PR, nothing to diff):")
+        for entry in sorted(baseline_missing):
+            print(f"  {entry}")
 
 try:
     main()

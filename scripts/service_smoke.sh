@@ -51,6 +51,16 @@ grep -q "violation" "$TMP/feed_bad.out" \
 "$MTC" feed "$TMP/junk.hist" -a "unix:$SOCK" >/dev/null 2>&1
 [ $? -eq 2 ] || fail "feed(junk) must exit 2"
 
+# -- the stats subcommand renders the same counters the server tracks
+"$MTC" stats -a "unix:$SOCK" > "$TMP/stats.out" \
+  || fail "stats must reach a live server"
+grep -Eq '^txns_fed +[1-9]' "$TMP/stats.out" \
+  || fail "stats table must include the fed txns (see $TMP/stats.out)"
+grep -Eq '^violations +[1-9]' "$TMP/stats.out" \
+  || fail "stats table must count the injected violation"
+grep -Eq '^feed_ns\.p99 +[0-9]' "$TMP/stats.out" \
+  || fail "stats table must flatten the feed_ns histogram"
+
 # -- graceful shutdown: exit 0 and a metrics dump
 kill -TERM "$SERVER_PID"
 wait "$SERVER_PID"

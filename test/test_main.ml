@@ -20,4 +20,5 @@ let () =
       ("service", Test_service.suite);
       ("extra", Test_extra.suite);
       ("properties", Test_properties.suite);
+      ("obs", Test_obs.suite);
     ]

@@ -487,6 +487,85 @@ let test_service_tcp_and_stats () =
                 (contains ~sub:"\"txns_fed\"" json)
           | Error e -> Alcotest.fail ("stats: " ^ e)))
 
+(* The --metrics-port HTTP endpoint serves Prometheus text for the
+   server's own registry plus the process-wide one, and 404s elsewhere. *)
+let http_get port path =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let req =
+        Printf.sprintf
+          "GET %s HTTP/1.1\r\nHost: 127.0.0.1\r\nConnection: close\r\n\r\n"
+          path
+      in
+      ignore (Unix.write_substring fd req 0 (String.length req));
+      let buf = Buffer.create 4096 in
+      let chunk = Bytes.create 4096 in
+      let rec drain () =
+        match Unix.read fd chunk 0 4096 with
+        | 0 -> ()
+        | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            drain ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain ()
+      in
+      drain ();
+      Buffer.contents buf)
+
+let test_service_http_metrics () =
+  let metrics = Metrics.create () in
+  let config =
+    { Server.default_config with Server.metrics_port = Some 0; metrics }
+  in
+  with_server ~config (fun t addr ->
+      let port =
+        match Server.metrics_port t with
+        | Some p -> p
+        | None -> Alcotest.fail "metrics listener did not start"
+      in
+      (* traffic first, so the scraped counters are live *)
+      with_client addr (fun c ->
+          let h =
+            engine_history ~txns:50 ~level:Isolation.Serializable
+              ~fault:Fault.No_fault ~seed:5 ()
+          in
+          let sid =
+            match
+              Client.open_session c ~level:Checker.SER
+                ~num_keys:h.History.num_keys ()
+            with
+            | Ok sid -> sid
+            | Error e -> Alcotest.fail ("open: " ^ e)
+          in
+          match Client.feed_history c ~sid h with
+          | Ok (Wire.V_ok _) -> ()
+          | _ -> Alcotest.fail "clean history must pass");
+      let response = http_get port "/metrics" in
+      checkb "HTTP 200" true (contains ~sub:"HTTP/1.1 200" response);
+      checkb "prometheus content type" true
+        (contains ~sub:"text/plain; version=0.0.4" response);
+      checkb "uptime gauge exposed" true
+        (contains ~sub:"mtc_uptime_seconds" response);
+      (let fed =
+         String.split_on_char '\n' response
+         |> List.find_map (fun l ->
+                let p = "mtc_txns_fed_total " in
+                let pl = String.length p in
+                if String.length l > pl && String.sub l 0 pl = p then
+                  int_of_string_opt (String.sub l pl (String.length l - pl))
+                else None)
+       in
+       match fed with
+       | Some n -> checkb "txns counter live" true (n > 0)
+       | None -> Alcotest.fail "mtc_txns_fed_total not exposed");
+      checkb "feed histogram exposed" true
+        (contains ~sub:"mtc_feed_ns_bucket{le=" response);
+      checkb "typed exposition" true (contains ~sub:"# TYPE" response);
+      let not_found = http_get port "/nope" in
+      checkb "404 elsewhere" true (contains ~sub:"HTTP/1.1 404" not_found))
+
 (* Speaking the wrong protocol version is refused at the handshake. *)
 let test_service_version_mismatch () =
   with_server (fun _ addr ->
@@ -542,6 +621,7 @@ let suite =
     ("idle sessions closed", `Quick, test_service_idle_timeout);
     ("graceful shutdown drains queues", `Quick, test_service_graceful_drain);
     ("tcp transport + stats frame", `Quick, test_service_tcp_and_stats);
+    ("http /metrics endpoint", `Quick, test_service_http_metrics);
     ("version mismatch refused", `Quick, test_service_version_mismatch);
     ("txn id reuse closes only the session", `Quick,
      test_service_id_reuse_closes_session);
