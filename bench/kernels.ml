@@ -154,6 +154,48 @@ let infer_rows () =
     row "check-sser/digraph" (check Deps.Via_digraph Checker.SSER);
   ]
 
+(* The PR6 acceptance table: whole-checker wall time on a large clean
+   history with inference sharded over j domains.  The history comes
+   from Stream_gen (clean by construction — the worst case, since the
+   checker builds and traverses the full dependency graph) and stays at
+   100k transactions even under --smoke: these rows are the numbers
+   promoted to BENCH_PR6.json.  Speedup is relative to the j=1 run of
+   the same kernel; on a single-core host it hovers around 1.0 and the
+   row documents that sharding costs nothing, not that it helps. *)
+let parallel_check_rows () =
+  let p = { Stream_gen.default with num_txns = 100_000 } in
+  let acc = ref [] in
+  Stream_gen.generate p (fun t -> acc := t :: !acc);
+  let h =
+    History.of_array ~num_keys:p.Stream_gen.num_keys
+      ~num_sessions:p.Stream_gen.num_sessions
+      (Array.of_list
+         (History.init_txn ~num_keys:p.Stream_gen.num_keys :: List.rev !acc))
+  in
+  acc := [];
+  let time level pool =
+    let run () =
+      match Checker.check ?pool level h with
+      | Checker.Pass -> ()
+      | Checker.Fail _ -> failwith "kernels: clean history flagged"
+    in
+    run () (* warm-up *);
+    Bench_util.time_median ~repeat:3 run
+  in
+  let level_rows name level =
+    let t1 = time level None in
+    let row j t =
+      [ name; string_of_int j; Printf.sprintf "%.1f" (1000.0 *. t);
+        Printf.sprintf "%.2f" (t1 /. t) ]
+    in
+    row 1 t1
+    :: List.map
+         (fun j ->
+           Pool.with_pool ~size:j (fun p -> row j (time level (Some p))))
+         [ 2; 4 ]
+  in
+  level_rows "check-ser" Checker.SER @ level_rows "check-si" Checker.SI
+
 (* Pool dispatch overhead, measured separately: each pool exists only
    around its own timing run, because idle domains make every minor GC a
    multi-domain stop-the-world and would skew the single-domain kernels
@@ -386,6 +428,11 @@ let run () =
   Bench_util.print_table
     ~header:[ "pipeline"; "time (ms)"; "verify_alloc_bytes" ]
     (infer_rows ());
+  Bench_util.subsection
+    "parallel check: sharded inference, 100k-txn clean history (median of 3)";
+  Bench_util.print_table
+    ~header:[ "kernel"; "jobs"; "time (ms)"; "speedup" ]
+    (parallel_check_rows ());
   Bench_util.subsection
     "pool dispatch (Pool.map of 64 spin tasks, median of 9)";
   Bench_util.print_table ~header:[ "pool"; "time per map (ms)" ] (pool_rows ());

@@ -61,10 +61,10 @@ let level_conv =
   Arg.conv (parse, fun ppf l -> Format.pp_print_string ppf (any_level_name l))
 
 (* Unified verification: Ok () or a rendered report. *)
-let verify_any ?(skew = 0) level h =
+let verify_any ?(skew = 0) ?pool level h =
   match level with
   | Strong l -> (
-      match Checker.check ~skew l h with
+      match Checker.check ~skew ?pool l h with
       | Checker.Pass -> Ok ()
       | Checker.Fail v -> Error (Report.render h l v))
   | Weak l -> (
@@ -75,6 +75,22 @@ let verify_any ?(skew = 0) level h =
             (Format.asprintf "%s violation: %a@."
                (Weak_checker.level_name l)
                Weak_checker.pp_violation v))
+
+let format_conv =
+  let parse s =
+    match Codec.format_of_string s with
+    | Some f -> Ok f
+    | None ->
+        Error (`Msg (Printf.sprintf "unknown format %S (auto|text|bin)" s))
+  in
+  let print ppf f =
+    Format.pp_print_string ppf
+      (match f with
+      | Codec.Auto -> "auto"
+      | Codec.Text -> "text"
+      | Codec.Bin -> "bin")
+  in
+  Arg.conv (parse, print)
 
 let dist_conv =
   let parse s =
@@ -189,52 +205,73 @@ let check_cmd =
                  JSON — load it in ui.perfetto.dev or chrome://tracing.  \
                  Implies span recording (like $(b,--profile)).")
   in
-  let run file level skew profile trace =
+  let format_arg =
+    Arg.(value & opt format_conv Codec.Auto & info [ "format"; "f" ]
+           ~docv:"FMT"
+           ~doc:"History file format: text, bin, or auto (sniff the 8-byte \
+                 magic).  Binary files are mmapped and decoded without an \
+                 intermediate copy.")
+  in
+  let run file level skew profile trace format jobs =
+    let jobs = resolve_jobs jobs in
+    let with_jobs f =
+      (* Shut the pool down before exiting, so the exit code is computed
+         inside and the process termination stays single-domain. *)
+      if jobs > 1 then Pool.with_pool ~size:jobs (fun p -> f (Some p))
+      else f None
+    in
     let observing = profile || trace <> None in
     if observing then begin
       Obs.Trace.clear ();
       Obs.Trace.enable ()
     end;
-    (* Wall clock covers exactly what the spans can cover: the load and
-       the verification, not the printing between them. *)
-    let t_load = Obs.Clock.now_ns () in
-    match Codec.load file with
-    | Error e ->
-        Printf.eprintf "cannot load %s: %s\n" file e;
-        exit exit_error
-    | Ok h ->
-        let load_ns = Obs.Clock.now_ns () - t_load in
-        Printf.printf "%s\n" (History.stats h);
-        let t_verify = Obs.Clock.now_ns () in
-        let result = verify_any ~skew level h in
-        let wall_ns = load_ns + (Obs.Clock.now_ns () - t_verify) in
-        if observing then begin
-          Obs.Trace.disable ();
-          let events = Obs.Trace.events () in
-          (match trace with
-          | Some path ->
-              Out_channel.with_open_text path (fun oc ->
-                  output_string oc (Obs.Export.chrome_json events));
-              Printf.printf "trace: %d spans written to %s%s\n"
-                (List.length events) path
-                (let d = Obs.Trace.dropped () in
-                 if d > 0 then Printf.sprintf " (%d dropped)" d else "")
-          | None -> ());
-          if profile then print_string (Obs.Profile.render ~wall_ns events)
-        end;
-        (match result with
-        | Ok () ->
-            Printf.printf "%s: PASS\n" (any_level_name level);
-            exit exit_pass
-        | Error report ->
-            print_string report;
-            exit exit_violation)
+    let code =
+      with_jobs @@ fun pool ->
+      (* Wall clock covers exactly what the spans can cover: the load and
+         the verification, not the printing between them. *)
+      let t_load = Obs.Clock.now_ns () in
+      match Codec.load ~format ?pool file with
+      | Error e ->
+          Printf.eprintf "cannot load %s: %s\n" file e;
+          exit_error
+      | Ok h ->
+          let load_ns = Obs.Clock.now_ns () - t_load in
+          Printf.printf "%s\n" (History.stats h);
+          let t_verify = Obs.Clock.now_ns () in
+          let result = verify_any ~skew ?pool level h in
+          let wall_ns = load_ns + (Obs.Clock.now_ns () - t_verify) in
+          if observing then begin
+            Obs.Trace.disable ();
+            let events = Obs.Trace.events () in
+            (match trace with
+            | Some path ->
+                Out_channel.with_open_text path (fun oc ->
+                    output_string oc (Obs.Export.chrome_json events));
+                Printf.printf "trace: %d spans written to %s%s\n"
+                  (List.length events) path
+                  (let d = Obs.Trace.dropped () in
+                   if d > 0 then Printf.sprintf " (%d dropped)" d else "")
+            | None -> ());
+            if profile then print_string (Obs.Profile.render ~wall_ns events)
+          end;
+          (match result with
+          | Ok () ->
+              Printf.printf "%s: PASS\n" (any_level_name level);
+              exit_pass
+          | Error report ->
+              print_string report;
+              exit_violation)
+    in
+    exit code
   in
   Cmd.v
     (Cmd.info "check" ~exits:verdict_exits
-       ~doc:"Verify a recorded history against an isolation level.")
+       ~doc:"Verify a recorded history against an isolation level.  With \
+             $(b,--jobs) > 1, loading and dependency inference shard over \
+             that many domains; the verdict and any counterexample are \
+             byte-identical for every value.")
     Term.(const run $ file_arg $ level_arg $ skew_arg $ profile_arg
-          $ trace_arg)
+          $ trace_arg $ format_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* mtc run *)
@@ -281,6 +318,71 @@ let run_cmd =
     Term.(const run $ level_arg $ txns_arg $ keys_arg $ sessions_arg
           $ dist_arg $ seed_arg $ fault_arg $ fault_p_arg $ gt_arg $ ops_arg
           $ out_arg)
+
+(* ------------------------------------------------------------------ *)
+(* mtc gen *)
+
+let gen_cmd =
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE"
+           ~doc:"Write the history as text (mtc-history v1) to $(docv).  \
+                 The whole history is materialized first, so prefer \
+                 $(b,--out-bin) for very large corpora.")
+  in
+  let out_bin_arg =
+    Arg.(value & opt (some string) None & info [ "out-bin" ] ~docv:"FILE"
+           ~doc:"Stream the history in the binary format to $(docv).  \
+                 Transactions are encoded and flushed as they are \
+                 generated — constant memory, so multi-million-transaction \
+                 corpora are fine.")
+  in
+  let run txns keys sessions dist seed out out_bin =
+    if out = None && out_bin = None then begin
+      Printf.eprintf "mtc gen: nothing to do — pass --out and/or --out-bin\n";
+      exit exit_error
+    end;
+    let p =
+      { Stream_gen.num_txns = txns; num_keys = keys; num_sessions = sessions;
+        dist; seed }
+    in
+    (try
+       (match out_bin with
+       | Some path ->
+           let w =
+             Codec.Bin_writer.create ~num_keys:keys ~num_sessions:sessions
+               path
+           in
+           Fun.protect
+             ~finally:(fun () -> Codec.Bin_writer.close w)
+             (fun () -> Stream_gen.generate p (Codec.Bin_writer.add w));
+           Printf.printf "%d txns written to %s (bin)\n" txns path
+       | None -> ());
+       match out with
+       | Some path ->
+           let acc = ref [] in
+           Stream_gen.generate p (fun t -> acc := t :: !acc);
+           let h =
+             History.of_array ~num_keys:keys ~num_sessions:sessions
+               (Array.of_list
+                  (History.init_txn ~num_keys:keys :: List.rev !acc))
+           in
+           Codec.save path h;
+           Printf.printf "%d txns written to %s (text)\n" txns path
+       | None -> ()
+     with
+    | Invalid_argument m | Sys_error m ->
+        Printf.eprintf "mtc gen: %s\n" m;
+        exit exit_error);
+    exit exit_pass
+  in
+  Cmd.v
+    (Cmd.info "gen" ~exits:verdict_exits
+       ~doc:"Generate a clean (serially executed) mini-transaction history \
+             and write it to disk without running the simulated engine — \
+             the corpus generator for the scaling benchmarks.  The result \
+             passes sser, ser and si by construction.")
+    Term.(const run $ txns_arg $ keys_arg $ sessions_arg $ dist_arg
+          $ seed_arg $ out_arg $ out_bin_arg)
 
 (* ------------------------------------------------------------------ *)
 (* mtc hunt *)
@@ -803,6 +905,6 @@ let () =
        (Cmd.group
           (Cmd.info "mtc" ~version:"1.0.0" ~doc ~exits:verdict_exits)
           [
-            check_cmd; run_cmd; hunt_cmd; graph_cmd; anomalies_cmd; serve_cmd;
-            feed_cmd; stats_cmd;
+            check_cmd; run_cmd; gen_cmd; hunt_cmd; graph_cmd; anomalies_cmd;
+            serve_cmd; feed_cmd; stats_cmd;
           ]))

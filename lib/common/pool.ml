@@ -156,3 +156,27 @@ let map (type b) t (f : _ -> b) xs =
 let map_list t f xs = Array.to_list (map t f (Array.of_list xs))
 
 let run t tasks = ignore (map_list t (fun f -> f ()) tasks)
+
+(* --- option-pool conveniences ---------------------------------------
+
+   Phase code threads [Pool.t option] down from the CLI; [None] (or a
+   size-1 pool) means "run inline on the caller".  Keeping the fallback
+   here keeps every call site branch-free. *)
+
+let tasks pool thunks =
+  match pool with
+  | Some p when size p > 1 && List.compare_length_with thunks 1 > 0 ->
+      run p thunks
+  | Some _ | None -> List.iter (fun f -> f ()) thunks
+
+let map_slices pool ~n f =
+  if n <= 0 then [||]
+  else
+    match pool with
+    | Some p when size p > 1 && n > 1 ->
+        let parts = Stdlib.min n (4 * size p) in
+        let bounds =
+          Array.init parts (fun i -> (i * n / parts, (i + 1) * n / parts))
+        in
+        map p (fun (lo, hi) -> f lo hi) bounds
+    | Some _ | None -> [| f 0 n |]

@@ -48,3 +48,18 @@ val shutdown : t -> unit
 val with_pool : ?size:int -> (t -> 'a) -> 'a
 (** [with_pool ~size f] runs [f] with a fresh pool and shuts it down
     afterwards (also on exception). *)
+
+val tasks : t option -> (unit -> unit) list -> unit
+(** [tasks pool thunks] runs the thunks on [pool] if present (and of
+    size > 1), else inline in order.  Same exception contract as
+    {!run}.  Phase code that is optionally parallel threads a
+    [t option] and calls this instead of branching at every site. *)
+
+val map_slices : t option -> n:int -> (int -> int -> 'a) -> 'a array
+(** [map_slices pool ~n f] splits the index range [0, n) into
+    contiguous slices — one per task, at most [4 * size] of them — and
+    returns [f lo hi] per slice in range order.  Without a pool the
+    whole range is a single slice, so [f] must not care how the range
+    is cut (callers combine slice results with order-insensitive
+    reductions such as min-position tie-breaks).  Returns [[||]] when
+    [n <= 0]. *)

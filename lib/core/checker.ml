@@ -59,54 +59,65 @@ let si_compose (d : Deps.t) =
    dependency edge plus one per RW edge leaving its target), prefix-sum,
    then fill the blocks in a second pass over the frozen dependency CSR.
    No Digraph, no intermediate edge lists. *)
-let si_compose_csr (d : Deps.t) =
+let si_compose_csr ?pool (d : Deps.t) =
   let c = Deps.freeze d in
   let n = Csr.n c in
+  (* Every per-vertex pass writes only its own slot (or its own cursor
+     block in the fill), so the three O(V + E) passes run on vertex
+     slices; only the O(V) prefix sum stays serial.  The result does not
+     depend on the slicing: every write is index-addressed. *)
   let rw_deg = Array.make n 0 in
-  for v = 0 to n - 1 do
-    for e = c.Csr.offsets.(v) to c.Csr.offsets.(v + 1) - 1 do
-      match c.Csr.labels.(e) with
-      | Deps.RW _ -> rw_deg.(v) <- rw_deg.(v) + 1
-      | _ -> ()
-    done
-  done;
+  ignore
+    (Pool.map_slices pool ~n (fun lo hi ->
+         for v = lo to hi - 1 do
+           for e = c.Csr.offsets.(v) to c.Csr.offsets.(v + 1) - 1 do
+             match c.Csr.labels.(e) with
+             | Deps.RW _ -> rw_deg.(v) <- rw_deg.(v) + 1
+             | _ -> ()
+           done
+         done));
   let offsets = Array.make (n + 1) 0 in
-  for u = 0 to n - 1 do
-    for e = c.Csr.offsets.(u) to c.Csr.offsets.(u + 1) - 1 do
-      match c.Csr.labels.(e) with
-      | Deps.SO | Deps.WR _ | Deps.WW _ ->
-          offsets.(u + 1) <- offsets.(u + 1) + 1 + rw_deg.(c.Csr.targets.(e))
-      | Deps.RT | Deps.RW _ | Deps.Rt_chain -> ()
-    done
-  done;
+  ignore
+    (Pool.map_slices pool ~n (fun lo hi ->
+         for u = lo to hi - 1 do
+           for e = c.Csr.offsets.(u) to c.Csr.offsets.(u + 1) - 1 do
+             match c.Csr.labels.(e) with
+             | Deps.SO | Deps.WR _ | Deps.WW _ ->
+                 offsets.(u + 1) <-
+                   offsets.(u + 1) + 1 + rw_deg.(c.Csr.targets.(e))
+             | Deps.RT | Deps.RW _ | Deps.Rt_chain -> ()
+           done
+         done));
   for u = 1 to n do
     offsets.(u) <- offsets.(u) + offsets.(u - 1)
   done;
   let m' = offsets.(n) in
   let targets = Array.make m' 0 in
   let labels = if m' = 0 then [||] else Array.make m' (Dep Deps.SO) in
-  let cursor = Array.sub offsets 0 (Stdlib.max n 1) in
-  for u = 0 to n - 1 do
-    for e = c.Csr.offsets.(u) to c.Csr.offsets.(u + 1) - 1 do
-      match c.Csr.labels.(e) with
-      | (Deps.SO | Deps.WR _ | Deps.WW _) as lab ->
-          let v = c.Csr.targets.(e) in
-          let i = cursor.(u) in
-          targets.(i) <- v;
-          labels.(i) <- Dep lab;
-          cursor.(u) <- i + 1;
-          for e' = c.Csr.offsets.(v) to c.Csr.offsets.(v + 1) - 1 do
-            match c.Csr.labels.(e') with
-            | Deps.RW k ->
-                let i = cursor.(u) in
-                targets.(i) <- c.Csr.targets.(e');
-                labels.(i) <- Comp (lab, v, k);
-                cursor.(u) <- i + 1
-            | _ -> ()
-          done
-      | Deps.RT | Deps.RW _ | Deps.Rt_chain -> ()
-    done
-  done;
+  ignore
+    (Pool.map_slices pool ~n (fun lo hi ->
+         for u = lo to hi - 1 do
+           let cursor = ref offsets.(u) in
+           for e = c.Csr.offsets.(u) to c.Csr.offsets.(u + 1) - 1 do
+             match c.Csr.labels.(e) with
+             | (Deps.SO | Deps.WR _ | Deps.WW _) as lab ->
+                 let v = c.Csr.targets.(e) in
+                 let i = !cursor in
+                 targets.(i) <- v;
+                 labels.(i) <- Dep lab;
+                 cursor := i + 1;
+                 for e' = c.Csr.offsets.(v) to c.Csr.offsets.(v + 1) - 1 do
+                   match c.Csr.labels.(e') with
+                   | Deps.RW k ->
+                       let i = !cursor in
+                       targets.(i) <- c.Csr.targets.(e');
+                       labels.(i) <- Comp (lab, v, k);
+                       cursor := i + 1
+                   | _ -> ()
+                 done
+             | Deps.RT | Deps.RW _ | Deps.Rt_chain -> ()
+           done
+         done));
   Csr.make ~offsets ~targets ~labels
 
 let expand_si_cycle cycle =
@@ -124,12 +135,17 @@ let sp_divergence = Obs.Trace.intern "check/divergence"
 let sp_compose = Obs.Trace.intern "check/compose"
 let sp_cycle = Obs.Trace.intern "check/cycle"
 
-let check ?(rt_mode = Deps.Rt_sweep) ?(skew = 0) ?(impl = Deps.Direct) level h =
-  match Obs.Trace.with_span sp_unique (fun () -> History.unique_values h) with
+let check ?(rt_mode = Deps.Rt_sweep) ?(skew = 0) ?(impl = Deps.Direct) ?pool
+    level h =
+  match
+    Obs.Trace.with_span sp_unique (fun () -> History.unique_values ?pool h)
+  with
   | Error msg -> Fail (Malformed msg)
   | Ok () -> (
-      let idx = Obs.Trace.with_span sp_index (fun () -> Index.build h) in
-      match Obs.Trace.with_span sp_intra (fun () -> Int_check.check idx) with
+      let idx = Obs.Trace.with_span sp_index (fun () -> Index.build ?pool h) in
+      match
+        Obs.Trace.with_span sp_intra (fun () -> Int_check.check ?pool idx)
+      with
       | Error v -> Fail (Intra v)
       | Ok () -> (
           (* With the default [Direct] builder the dependency graph is
@@ -145,27 +161,28 @@ let check ?(rt_mode = Deps.Rt_sweep) ?(skew = 0) ?(impl = Deps.Direct) level h =
           in
           match level with
           | SER -> (
-              match Deps.build ~impl ~rt:Deps.No_rt idx with
+              match Deps.build ~impl ?pool ~rt:Deps.No_rt idx with
               | Error e -> Fail (Malformed (Format.asprintf "%a" Deps.pp_error e))
               | Ok d -> acyclic_or_fail d)
           | SSER -> (
-              match Deps.build ~skew ~impl ~rt:rt_mode idx with
+              match Deps.build ~skew ~impl ?pool ~rt:rt_mode idx with
               | Error e -> Fail (Malformed (Format.asprintf "%a" Deps.pp_error e))
               | Ok d -> acyclic_or_fail d)
           | SI -> (
               match
-                Obs.Trace.with_span sp_divergence (fun () -> Divergence.find idx)
+                Obs.Trace.with_span sp_divergence (fun () ->
+                    Divergence.find ?pool idx)
               with
               | Some inst -> Fail (Diverged inst)
               | None -> (
-                  match Deps.build ~impl ~rt:Deps.No_rt idx with
+                  match Deps.build ~impl ?pool ~rt:Deps.No_rt idx with
                   | Error e ->
                       Fail (Malformed (Format.asprintf "%a" Deps.pp_error e))
                   | Ok d -> (
                       let composed =
                         Obs.Trace.with_span sp_compose (fun () ->
                             match impl with
-                            | Deps.Direct -> si_compose_csr d
+                            | Deps.Direct -> si_compose_csr ?pool d
                             | Deps.Via_digraph -> Csr.of_digraph (si_compose d))
                       in
                       match

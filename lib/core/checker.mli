@@ -34,6 +34,7 @@ val check :
   ?rt_mode:Deps.rt_mode ->
   ?skew:int ->
   ?impl:Deps.impl ->
+  ?pool:Pool.t ->
   level ->
   History.t ->
   outcome
@@ -46,7 +47,14 @@ val check :
     and, for SI, the matching composition path: [Direct] composes
     [(SO ∪ WR ∪ WW) ; RW?] straight into a CSR with the same two-pass
     counting scheme; [Via_digraph] runs the seed's list-based pipeline.
-    Both yield the same verdict on every history. *)
+    Both yield the same verdict on every history.
+
+    [pool] (default none) runs the [Direct] pipeline's phases —
+    unique-values, index, INT screen, divergence, sharded inference and
+    the SI composition — across domains.  Verdicts, counterexamples and
+    their rendering are bit-identical for every pool size: inference
+    shards by a fixed stripe count and every first-violation selection
+    breaks ties by scan position. *)
 
 val check_sser : ?rt_mode:Deps.rt_mode -> ?skew:int -> History.t -> outcome
 val check_ser : History.t -> outcome

@@ -137,42 +137,162 @@ let writes_key_ops ops k =
 
 let sp_deps = Obs.Trace.intern "infer/deps"
 let sp_so = Obs.Trace.intern "infer/deps/so"
+let sp_bucket = Obs.Trace.intern "infer/deps/bucket"
 let sp_wrww = Obs.Trace.intern "infer/deps/wr+ww"
 let sp_rw = Obs.Trace.intern "infer/deps/rw"
 let sp_rt = Obs.Trace.intern "infer/deps/rt"
 let sp_freeze = Obs.Trace.intern "infer/deps/freeze"
 
-let build_direct ~skew ~rt (idx : Index.t) =
+(* Number of key stripes the direct builder shards by.  Fixed — NOT the
+   pool size — so the merged edge order (stream-major, scan order per
+   stream) is a function of the key space only and the frozen CSR is
+   bit-identical for every [-j], including no pool at all. *)
+let num_stripes = 8
+
+let stripe_of_key k = k mod num_stripes
+
+(* Per-stripe working state of the sharded build: one edge stream plus
+   the reader-group machinery for the local RW composition.  A stripe
+   owns the keys [k] with [stripe_of_key k = stripe], so reader groups
+   (keyed by writer vertex × key) never span stripes and each stripe's
+   RW composition is complete on its own. *)
+type stripe = {
+  (* external reads routed here by the bucket pre-pass: committed-array
+     position and op index *)
+  r_sv : Int_vec.t;
+  r_op : Int_vec.t;
+  (* the stripe's edge stream *)
+  eu : Int_vec.t;
+  ev : Int_vec.t;
+  el : Int_vec.t;
+  (* first unresolved read, as (sv, op index, txn, key, value) *)
+  mutable err_sv : int;
+  mutable err_op : int;
+  mutable err : error option;
+}
+
+let run_stripe (idx : Index.t) num_keys st =
+  let t_wrww = Obs.Trace.enter () in
+  let nr0 = Int_vec.length st.r_sv in
+  let groups = Flat_index.create ~capacity:(2 * nr0) () in
+  let num_groups = ref 0 in
+  let rd_src = Int_vec.create nr0
+  and rd_key = Int_vec.create nr0
+  and rd_grp = Int_vec.create nr0
+  and rd_ow = Int_vec.create nr0 (* 1 iff the reader overwrites *) in
+  let push u v l =
+    Int_vec.push st.eu u;
+    Int_vec.push st.ev v;
+    Int_vec.push st.el l
+  in
+  for r = 0 to nr0 - 1 do
+    let sv = Int_vec.get st.r_sv r in
+    let i = Int_vec.get st.r_op r in
+    let s = idx.Index.committed.(sv) in
+    let ops = s.Txn.ops in
+    match ops.(i) with
+    | Op.Write _ -> assert false
+    | Op.Read (k, v) -> (
+        match Index.writer_of idx k v with
+        | Index.Final w when w <> s.id ->
+            let wv = Index.vertex idx w in
+            push wv sv (pack_wr k);
+            let writes = writes_key_ops ops k in
+            if writes then push wv sv (pack_ww k);
+            let gk = (wv * num_keys) + k in
+            let g =
+              match Flat_index.get groups gk with
+              | -1 ->
+                  let g = !num_groups in
+                  incr num_groups;
+                  Flat_index.set groups gk g;
+                  g
+              | g -> g
+            in
+            Int_vec.push rd_src sv;
+            Int_vec.push rd_key k;
+            Int_vec.push rd_grp g;
+            Int_vec.push rd_ow (if writes then 1 else 0)
+        | Index.Final _ | Index.Intermediate _ | Index.Aborted _
+        | Index.Nobody ->
+            if st.err = None then begin
+              st.err_sv <- sv;
+              st.err_op <- i;
+              st.err <- Some (Unresolved_read { txn = s.id; key = k; value = v })
+            end)
+  done;
+  Obs.Trace.exit sp_wrww t_wrww;
+  if st.err = None then begin
+    (* RW edges: T' -WR(x)-> T and T' -WW(x)-> S give T -RW(x)-> S.
+       Counting sort the read records by group id, then cross readers
+       with overwriters within each contiguous slice. *)
+    let t_rw = Obs.Trace.enter () in
+    let nr = Int_vec.length rd_src in
+    let ng = !num_groups in
+    let g_off = Array.make (ng + 1) 0 in
+    let grp = Int_vec.data rd_grp in
+    for r = 0 to nr - 1 do
+      g_off.(grp.(r) + 1) <- g_off.(grp.(r) + 1) + 1
+    done;
+    for g = 1 to ng do
+      g_off.(g) <- g_off.(g) + g_off.(g - 1)
+    done;
+    let members = Array.make nr 0 in
+    let cursor = Array.copy g_off in
+    for r = 0 to nr - 1 do
+      members.(cursor.(grp.(r))) <- r;
+      cursor.(grp.(r)) <- cursor.(grp.(r)) + 1
+    done;
+    let src = Int_vec.data rd_src
+    and key = Int_vec.data rd_key
+    and ow = Int_vec.data rd_ow in
+    for g = 0 to ng - 1 do
+      for a = g_off.(g) to g_off.(g + 1) - 1 do
+        let t = src.(members.(a)) in
+        let k = key.(members.(a)) in
+        for b = g_off.(g) to g_off.(g + 1) - 1 do
+          if ow.(members.(b)) = 1 then begin
+            let s = src.(members.(b)) in
+            if t <> s then push t s (pack_rw k)
+          end
+        done
+      done
+    done;
+    Obs.Trace.exit sp_rw t_rw
+  end
+
+let build_direct ?pool ~skew ~rt (idx : Index.t) =
   let m = Index.num_vertices idx in
   let h = idx.history in
   let num_keys = h.History.num_keys in
   let size = match rt with Rt_sweep -> 2 * m | No_rt | Rt_naive -> m in
-  (* The flat edge stream: parallel (src, dst, packed label) triples. *)
-  let eu = Int_vec.create (4 * m)
-  and ev = Int_vec.create (4 * m)
-  and el = Int_vec.create (4 * m) in
-  let push u v l =
-    Int_vec.push eu u;
-    Int_vec.push ev v;
-    Int_vec.push el l
-  in
-  (* SO edges (lines 6-7). *)
+  (* SO edges (lines 6-7): one cheap serial pass, stream 0. *)
+  let so_u = Int_vec.create m and so_v = Int_vec.create m in
   let t_so = Obs.Trace.enter () in
   History.iter_so_pairs h (fun a b ->
-      push (Index.vertex idx a) (Index.vertex idx b) lab_so);
+      Int_vec.push so_u (Index.vertex idx a);
+      Int_vec.push so_v (Index.vertex idx b));
   Obs.Trace.exit sp_so t_so;
-  (* WR edges, and WW by the RMW inference (lines 8-11).  Readers group
-     by (writer vertex, key) — a dense group id allocated through a flat
-     int map (the pair packs collision-free: both factors are bounded) —
-     so the RW composition (lines 14-15) runs over contiguous slices. *)
-  let groups = Flat_index.create ~capacity:(4 * m) () in
-  let num_groups = ref 0 in
-  let rd_src = Int_vec.create (2 * m) (* reader vertex *)
-  and rd_key = Int_vec.create (2 * m)
-  and rd_grp = Int_vec.create (2 * m)
-  and rd_ow = Int_vec.create (2 * m) (* 1 iff the reader overwrites *) in
-  let error = ref None in
-  let t_wrww = Obs.Trace.enter () in
+  let so_l = Array.make (Int_vec.length so_u) lab_so in
+  (* Bucket pre-pass: route every external read to its key stripe.  The
+     serial scan does only the O(1)-per-op externality test; writer
+     resolution, WR/WW emission and the RW composition — the expensive
+     parts — happen inside the stripe tasks (lines 8-11, 14-15). *)
+  let per = 2 * m / num_stripes in
+  let stripes =
+    Array.init num_stripes (fun _ ->
+        {
+          r_sv = Int_vec.create per;
+          r_op = Int_vec.create per;
+          eu = Int_vec.create per;
+          ev = Int_vec.create per;
+          el = Int_vec.create per;
+          err_sv = max_int;
+          err_op = max_int;
+          err = None;
+        })
+  in
+  let t_bucket = Obs.Trace.enter () in
   Array.iteri
     (fun sv (s : Txn.t) ->
       let ops = s.ops in
@@ -180,88 +300,67 @@ let build_direct ~skew ~rt (idx : Index.t) =
         (fun i op ->
           match op with
           | Op.Write _ -> ()
-          | Op.Read (k, v) ->
-              if is_external_read ops i k then (
-                match Index.writer_of idx k v with
-                | Index.Final w when w <> s.id ->
-                    let wv = Index.vertex idx w in
-                    push wv sv (pack_wr k);
-                    let writes = writes_key_ops ops k in
-                    if writes then push wv sv (pack_ww k);
-                    let gk = (wv * num_keys) + k in
-                    let g =
-                      match Flat_index.get groups gk with
-                      | -1 ->
-                          let g = !num_groups in
-                          incr num_groups;
-                          Flat_index.set groups gk g;
-                          g
-                      | g -> g
-                    in
-                    Int_vec.push rd_src sv;
-                    Int_vec.push rd_key k;
-                    Int_vec.push rd_grp g;
-                    Int_vec.push rd_ow (if writes then 1 else 0)
-                | Index.Final _ | Index.Intermediate _ | Index.Aborted _
-                | Index.Nobody ->
-                    if !error = None then
-                      error := Some (Unresolved_read { txn = s.id; key = k; value = v })))
+          | Op.Read (k, _) ->
+              if is_external_read ops i k then begin
+                let st = stripes.(stripe_of_key k) in
+                Int_vec.push st.r_sv sv;
+                Int_vec.push st.r_op i
+              end)
         ops)
     idx.committed;
-  Obs.Trace.exit sp_wrww t_wrww;
+  Obs.Trace.exit sp_bucket t_bucket;
+  Pool.tasks pool
+    (Array.to_list
+       (Array.map (fun st () -> run_stripe idx num_keys st) stripes));
+  (* The sequential builder reported the first unresolved read in scan
+     order; the sharded one keeps that contract by minimising over the
+     per-stripe (committed position, op index) candidates. *)
+  let error = ref None in
+  let best_sv = ref max_int and best_op = ref max_int in
+  Array.iter
+    (fun st ->
+      match st.err with
+      | Some _
+        when st.err_sv < !best_sv
+             || (st.err_sv = !best_sv && st.err_op < !best_op) ->
+          best_sv := st.err_sv;
+          best_op := st.err_op;
+          error := st.err
+      | Some _ | None -> ())
+    stripes;
   match !error with
   | Some e -> Error e
   | None ->
-      (* RW edges: T' -WR(x)-> T and T' -WW(x)-> S give T -RW(x)-> S.
-         Counting sort the read records by group id, then cross readers
-         with overwriters within each contiguous slice. *)
-      let t_rw = Obs.Trace.enter () in
-      let nr = Int_vec.length rd_src in
-      let ng = !num_groups in
-      let g_off = Array.make (ng + 1) 0 in
-      let grp = Int_vec.data rd_grp in
-      for r = 0 to nr - 1 do
-        g_off.(grp.(r) + 1) <- g_off.(grp.(r) + 1) + 1
-      done;
-      for g = 1 to ng do
-        g_off.(g) <- g_off.(g) + g_off.(g - 1)
-      done;
-      let members = Array.make nr 0 in
-      let cursor = Array.copy g_off in
-      for r = 0 to nr - 1 do
-        members.(cursor.(grp.(r))) <- r;
-        cursor.(grp.(r)) <- cursor.(grp.(r)) + 1
-      done;
-      let src = Int_vec.data rd_src
-      and key = Int_vec.data rd_key
-      and ow = Int_vec.data rd_ow in
-      for g = 0 to ng - 1 do
-        for a = g_off.(g) to g_off.(g + 1) - 1 do
-          let t = src.(members.(a)) in
-          let k = key.(members.(a)) in
-          for b = g_off.(g) to g_off.(g + 1) - 1 do
-            if ow.(members.(b)) = 1 then begin
-              let s = src.(members.(b)) in
-              if t <> s then push t s (pack_rw k)
-            end
-          done
-        done
-      done;
-      Obs.Trace.exit sp_rw t_rw;
-      (* RT edges for SSER. *)
+      (* RT edges for SSER: last stream, serial (the sweep is a sort plus
+         one linear emit pass). *)
+      let rt_u = Int_vec.create 16 and rt_v = Int_vec.create 16 in
       let t_rt = Obs.Trace.enter () in
-      (match rt with
-      | No_rt -> ()
-      | Rt_naive -> naive_rt_edges ~skew idx m (fun i j -> push i j lab_rt)
-      | Rt_sweep -> sweep_edges ~skew idx m (fun u v -> push u v lab_chain));
+      let rt_lab =
+        match rt with
+        | No_rt -> lab_rt
+        | Rt_naive ->
+            naive_rt_edges ~skew idx m (fun i j ->
+                Int_vec.push rt_u i;
+                Int_vec.push rt_v j);
+            lab_rt
+        | Rt_sweep ->
+            sweep_edges ~skew idx m (fun u v ->
+                Int_vec.push rt_u u;
+                Int_vec.push rt_v v);
+            lab_chain
+      in
       Obs.Trace.exit sp_rt t_rt;
-      (* Freeze: counting sort the stream into CSR row blocks.  Keyed
-         labels decode through per-key caches so equal labels share one
-         block instead of allocating per edge. *)
+      let rt_l = Array.make (Int_vec.length rt_u) rt_lab in
+      (* Freeze: merge the streams — SO, then the key stripes in stripe
+         order, then RT — with the parallel multi-stream counting sort.
+         Keyed labels decode through per-key caches so equal labels share
+         one block instead of allocating per edge; the caches are
+         immutable after creation, hence safely shared by every decoding
+         domain. *)
       let wr_cache = Array.init num_keys (fun k -> WR k)
       and ww_cache = Array.init num_keys (fun k -> WW k)
       and rw_cache = Array.init num_keys (fun k -> RW k) in
-      let decode p =
+      let decode _stream p =
         if p = lab_rt then RT
         else if p = lab_so then SO
         else if p = lab_chain then Rt_chain
@@ -273,12 +372,22 @@ let build_direct ~skew ~rt (idx : Index.t) =
           | 1 -> ww_cache.(k)
           | _ -> rw_cache.(k)
       in
-      let t_freeze = Obs.Trace.enter () in
-      let csr =
-        Csr.of_edge_arrays ~n:size ~num_edges:(Int_vec.length eu)
-          ~src:(Int_vec.data eu) ~dst:(Int_vec.data ev) ~lab:(Int_vec.data el)
-          ~decode
+      let streams =
+        Array.init (num_stripes + 2) (fun si ->
+            if si = 0 then
+              (Int_vec.data so_u, Int_vec.data so_v, so_l, Int_vec.length so_u)
+            else if si <= num_stripes then begin
+              let st = stripes.(si - 1) in
+              ( Int_vec.data st.eu,
+                Int_vec.data st.ev,
+                Int_vec.data st.el,
+                Int_vec.length st.eu )
+            end
+            else
+              (Int_vec.data rt_u, Int_vec.data rt_v, rt_l, Int_vec.length rt_u))
       in
+      let t_freeze = Obs.Trace.enter () in
+      let csr = Csr.of_edge_streams ?pool ~n:size ~streams ~decode () in
       Obs.Trace.exit sp_freeze t_freeze;
       Ok { idx; num_txn_vertices = m; frozen = Some csr; adj = None }
 
@@ -348,10 +457,10 @@ let build_digraph ~skew ~rt (idx : Index.t) =
           sweep_edges ~skew idx m (fun u v -> Digraph.add_edge g u v Rt_chain));
       Ok { idx; num_txn_vertices = m; frozen = None; adj = Some g }
 
-let build ?(skew = 0) ?(impl = Direct) ~rt (idx : Index.t) =
+let build ?(skew = 0) ?(impl = Direct) ?pool ~rt (idx : Index.t) =
   Obs.Trace.with_span sp_deps @@ fun () ->
   match impl with
-  | Direct -> build_direct ~skew ~rt idx
+  | Direct -> build_direct ?pool ~skew ~rt idx
   | Via_digraph -> build_digraph ~skew ~rt idx
 
 let to_txn_cycle t cycle =

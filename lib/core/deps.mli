@@ -68,7 +68,9 @@ type error = Unresolved_read of { txn : Txn.id; key : Op.key; value : Op.value }
 
 val pp_error : Format.formatter -> error -> unit
 
-val build : ?skew:int -> ?impl:impl -> rt:rt_mode -> Index.t -> (t, error) result
+val build :
+  ?skew:int -> ?impl:impl -> ?pool:Pool.t -> rt:rt_mode -> Index.t ->
+  (t, error) result
 (** Fails only if some external read cannot be attributed to the final
     write of a committed transaction — which the INT screen
     ({!Int_check.check}) rules out beforehand.
@@ -76,6 +78,12 @@ val build : ?skew:int -> ?impl:impl -> rt:rt_mode -> Index.t -> (t, error) resul
     [impl] (default [Direct]) picks the builder; both produce the same
     edge multiset with the same per-source successor order for SO/WR/WW
     (RW/RT grouping order may differ between them, never membership).
+
+    [pool] parallelizes the [Direct] builder: inference is sharded over
+    a {e fixed} number of key stripes (independent of the pool size), so
+    the frozen CSR — edge order included — and any [Unresolved_read]
+    error are bit-identical whether the stripes run on one domain or
+    many.  Ignored by [Via_digraph].
 
     [skew] (default 0) relaxes the real-time order for SSER: an RT edge
     [T -> S] is added only when [T.commit_ts + skew < S.start_ts].  This

@@ -50,5 +50,76 @@ let scan (idx : Index.t) ~all =
    with Hit -> ());
   List.rev !found
 
-let find idx = match scan idx ~all:false with [] -> None | i :: _ -> Some i
+(* Key-striped first-instance scan: a diverging pair lives entirely on
+   one key, so stripes are independent; each tracks the (committed
+   position, external-read rank) of its first hit and the global minimum
+   reproduces the sequential scan order exactly. *)
+let num_stripes = 8
+
+let find_striped ?pool (idx : Index.t) =
+  let results =
+    Pool.map_slices pool ~n:num_stripes (fun lo hi ->
+        let best = ref None in
+        for stripe = lo to hi - 1 do
+          let first_extender : (Op.key * Op.value, Txn.id * Op.value) Hashtbl.t
+              =
+            Hashtbl.create 64
+          in
+          (try
+             Array.iteri
+               (fun sv (s : Txn.t) ->
+                 List.iteri
+                   (fun ri (k, v) ->
+                     if k mod num_stripes = stripe then
+                       match Txn.write_of s k with
+                       | None -> ()
+                       | Some v_new -> (
+                           match Hashtbl.find_opt first_extender (k, v) with
+                           | None ->
+                               Hashtbl.replace first_extender (k, v)
+                                 (s.id, v_new)
+                           | Some (other, v_other) ->
+                               let writer =
+                                 match Index.writer_of idx k v with
+                                 | Index.Final w -> w
+                                 | Index.Intermediate w | Index.Aborted w -> w
+                                 | Index.Nobody -> -1
+                               in
+                               let inst =
+                                 {
+                                   key = k;
+                                   writer;
+                                   reader1 = (other, v_other);
+                                   reader2 = (s.id, v_new);
+                                 }
+                               in
+                               (match !best with
+                               | Some (bsv, bri, _)
+                                 when bsv < sv || (bsv = sv && bri < ri) ->
+                                   ()
+                               | Some _ | None -> best := Some (sv, ri, inst));
+                               raise Exit))
+                   (Txn.external_reads s))
+               idx.committed
+           with Exit -> ())
+        done;
+        !best)
+  in
+  let best =
+    Array.fold_left
+      (fun acc hit ->
+        match (acc, hit) with
+        | None, hit -> hit
+        | Some _, None -> acc
+        | Some (ai, ar, _), Some (bi, br, _) ->
+            if bi < ai || (bi = ai && br < ar) then hit else acc)
+      None results
+  in
+  Option.map (fun (_, _, inst) -> inst) best
+
+let find ?pool idx =
+  match pool with
+  | Some _ -> find_striped ?pool idx
+  | None -> ( match scan idx ~all:false with [] -> None | i :: _ -> Some i)
+
 let find_all idx = scan idx ~all:true

@@ -13,9 +13,12 @@ type instance = {
 
 val pp_instance : Format.formatter -> instance -> unit
 
-val find : Index.t -> instance option
+val find : ?pool:Pool.t -> Index.t -> instance option
 (** First instance found, scanning committed transactions in id order.
-    O(n) using a [(key, read value) -> writing reader] table. *)
+    O(n) using a [(key, read value) -> writing reader] table.  With
+    [pool], key stripes scan concurrently (a diverging pair lives on one
+    key) and a min-position tie-break keeps the reported instance
+    identical to the sequential scan. *)
 
 val find_all : Index.t -> instance list
 (** Every diverging pair (an object read by [k] diverging writers yields

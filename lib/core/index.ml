@@ -2,8 +2,16 @@ type t = {
   history : History.t;
   committed : Txn.t array;
   vertex_of_txn : int array;
-  writers : Flat_index.Writers.t;
+  writers : Flat_index.Writers.t array;
 }
+
+(* Writer tables are striped by key so registration can run one task per
+   stripe with no shared mutable state.  The stripe count is fixed (not
+   the pool size): lookup routing must not depend on how the table was
+   built. *)
+let num_stripes = 8
+
+let stripe_of_key k = k mod num_stripes
 
 (* Is ops.(i) = Write (k, _) the last write to [k] in the transaction?
    Mini-transactions have <= 4 ops, so the linear rescan beats building
@@ -19,7 +27,42 @@ let is_final_write ops i k =
   in
   later (i + 1)
 
-let build (h : History.t) =
+(* Register every write of keys in [stripe] into that stripe's table.
+   Each task rescans the whole op stream (cheap: the filter is one mod)
+   but inserts only its own keys, so the tasks share nothing mutable. *)
+let register_stripe (h : History.t) writers stripe =
+  let w = writers.(stripe) in
+  Array.iter
+    (fun (t : Txn.t) ->
+      match t.status with
+      | Txn.Committed ->
+          Array.iteri
+            (fun i op ->
+              match op with
+              | Op.Write (k, v) when stripe_of_key k = stripe ->
+                  if is_final_write t.ops i k then
+                    Flat_index.Writers.set_final w k v t.id
+                  else
+                    (* An overwritten write whose value happens to equal
+                       the final one is re-registered as intermediate; the
+                       final tier shadows it in [resolve], matching the
+                       seed's [Txn.intermediate_writes] semantics. *)
+                    Flat_index.Writers.set_intermediate w k v t.id
+              | Op.Write _ | Op.Read _ -> ())
+            t.ops
+      | Txn.Aborted ->
+          Array.iter
+            (fun op ->
+              match op with
+              | Op.Write (k, v) when stripe_of_key k = stripe ->
+                  Flat_index.Writers.set_aborted w k v t.id
+              | Op.Write _ | Op.Read _ -> ())
+            t.ops)
+    h.txns
+
+let sp_writers = Obs.Trace.intern "infer/index/writers"
+
+let build ?pool (h : History.t) =
   let n = History.num_txns h in
   let committed = Array.make (History.committed_count h) h.txns.(0) in
   let next = ref 0 in
@@ -33,35 +76,14 @@ let build (h : History.t) =
   let vertex_of_txn = Array.make n (-1) in
   Array.iteri (fun i (t : Txn.t) -> vertex_of_txn.(t.id) <- i) committed;
   let writers =
-    Flat_index.Writers.create ~num_keys:h.num_keys ~expected:(4 * n)
+    Array.init num_stripes (fun _ ->
+        Flat_index.Writers.create ~num_keys:h.num_keys
+          ~expected:(Stdlib.max 16 (4 * n / num_stripes)))
   in
-  Array.iter
-    (fun (t : Txn.t) ->
-      match t.status with
-      | Txn.Committed ->
-          Array.iteri
-            (fun i op ->
-              match op with
-              | Op.Write (k, v) ->
-                  if is_final_write t.ops i k then
-                    Flat_index.Writers.set_final writers k v t.id
-                  else
-                    (* An overwritten write whose value happens to equal
-                       the final one is re-registered as intermediate; the
-                       final tier shadows it in [resolve], matching the
-                       seed's [Txn.intermediate_writes] semantics. *)
-                    Flat_index.Writers.set_intermediate writers k v t.id
-              | Op.Read _ -> ())
-            t.ops
-      | Txn.Aborted ->
-          Array.iter
-            (fun op ->
-              match op with
-              | Op.Write (k, v) ->
-                  Flat_index.Writers.set_aborted writers k v t.id
-              | Op.Read _ -> ())
-            t.ops)
-    h.txns;
+  Pool.tasks pool
+    (List.init num_stripes (fun stripe () ->
+         Obs.Trace.with_span sp_writers (fun () ->
+             register_stripe h writers stripe)));
   { history = h; committed; vertex_of_txn; writers }
 
 let num_vertices t = Array.length t.committed
@@ -79,4 +101,5 @@ type writer = Flat_index.Writers.who =
   | Aborted of Txn.id
   | Nobody
 
-let writer_of t k v = Flat_index.Writers.resolve t.writers k v
+let writer_of t k v =
+  Flat_index.Writers.resolve t.writers.(stripe_of_key k) k v

@@ -13,11 +13,15 @@ type t = private {
   history : History.t;
   committed : Txn.t array;  (** committed transactions in id order *)
   vertex_of_txn : int array;  (** txn id -> dense vertex, or -1 if aborted *)
-  writers : Flat_index.Writers.t;
-      (** final / intermediate / aborted writer resolution *)
+  writers : Flat_index.Writers.t array;
+      (** final / intermediate / aborted writer resolution, striped by
+          key ([k mod 8]) so registration parallelizes; route lookups
+          through {!writer_of} *)
 }
 
-val build : History.t -> t
+val build : ?pool:Pool.t -> History.t -> t
+(** [pool] parallelizes writer-table registration (one task per key
+    stripe).  The resulting index is identical with or without it. *)
 
 val num_vertices : t -> int
 val txn_of_vertex : t -> int -> Txn.t

@@ -108,12 +108,28 @@ let check_all (idx : Index.t) =
     (fun acc t -> acc @ check_txn idx t)
     [] idx.committed
 
-let check idx =
-  let exception Hit of violation in
-  try
-    Array.iter
-      (fun t ->
-        match check_txn idx t with v :: _ -> raise (Hit v) | [] -> ())
-      idx.committed;
-    Ok ()
-  with Hit v -> Error v
+let check ?pool idx =
+  (* Vertex slices screen independently; each reports its first hit and
+     the lowest committed-array position wins, which is exactly the
+     sequential first-in-scan-order violation. *)
+  let slices =
+    Pool.map_slices pool ~n:(Array.length idx.Index.committed) (fun lo hi ->
+        let rec go i =
+          if i >= hi then None
+          else
+            match check_txn idx idx.Index.committed.(i) with
+            | v :: _ -> Some (i, v)
+            | [] -> go (i + 1)
+        in
+        go lo)
+  in
+  let best =
+    Array.fold_left
+      (fun acc hit ->
+        match (acc, hit) with
+        | None, hit -> hit
+        | Some _, None -> acc
+        | Some (i, _), Some (j, _) -> if j < i then hit else acc)
+      None slices
+  in
+  match best with None -> Ok () | Some (_, v) -> Error v

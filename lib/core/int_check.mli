@@ -25,8 +25,10 @@ type violation = { txn : Txn.id; op_index : int; kind : kind }
 val kind_name : kind -> string
 val pp_violation : Format.formatter -> violation -> unit
 
-val check : Index.t -> (unit, violation) result
-(** First violation in transaction-id, then program, order. *)
+val check : ?pool:Pool.t -> Index.t -> (unit, violation) result
+(** First violation in transaction-id, then program, order.  [pool]
+    screens vertex slices concurrently; the min-position tie-break keeps
+    the reported violation identical to the sequential scan. *)
 
 val check_all : Index.t -> violation list
 

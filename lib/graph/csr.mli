@@ -42,6 +42,26 @@ val of_edge_arrays :
     target/label blocks in place; stable, so per-source successor order
     is the stream order.  O(V + E), no intermediate per-edge boxing. *)
 
+val of_edge_streams :
+  ?pool:Pool.t ->
+  n:int ->
+  streams:(int array * int array * int array * int) array ->
+  decode:(int -> int -> 'lab) ->
+  unit ->
+  'lab t
+(** [of_edge_streams ~n ~streams ~decode ()] merges several edge
+    streams — each a [(src, dst, lab, len)] quadruple of parallel
+    arrays with [len] valid entries — into one CSR.  The successor
+    block of every source [u] lists stream 0's edges out of [u] first,
+    then stream 1's, and so on, each in stream order; the result is a
+    function of the stream decomposition only, so sharded producers
+    get bit-identical graphs regardless of how many domains ran.
+    [decode si packed] expands an int-packed label of stream [si]; it
+    may be called concurrently for {e distinct} stream indices (keep
+    any memo caches per-stream).  With [?pool], the counting and fill
+    passes run streams concurrently and the cursor conversion runs on
+    vertex slices; all writes are index-disjoint.  O(V·S + E). *)
+
 val n : _ t -> int
 val num_edges : _ t -> int
 val out_degree : _ t -> int -> int

@@ -124,10 +124,216 @@ let save path h =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (to_string h))
 
-let load path =
+(* --- binary format ---------------------------------------------------
+
+   Layout:
+     "mtcbin1\n"                                magic, 8 bytes
+     uvarint num_keys, num_sessions, block_size
+     txn records (Binio.add_txn), ids 1..n in order,
+       grouped into blocks of block_size txns
+     footer at byte offset FOFF:
+       uvarint num_txns, uvarint num_blocks,
+       one uvarint absolute byte offset per block
+     8-byte LE FOFF, then "mtcE"                trailer, 12 bytes
+
+   The trailer is fixed-width so a loader can find the footer without
+   scanning; the per-block offsets let domains decode disjoint txn
+   ranges concurrently from one shared mmap.  The initial transaction is
+   implicit, exactly as in the text format. *)
+
+let bin_magic = "mtcbin1\n"
+let bin_trailer_magic = "mtcE"
+let default_block_size = 4096
+
+module Bin_writer = struct
+  type t = {
+    oc : out_channel;
+    buf : Buffer.t;
+    block_size : int;
+    num_keys : int;
+    num_sessions : int;
+    offsets : Int_vec.t;
+    mutable count : int;  (* transactions written so far *)
+    mutable flushed : int;  (* bytes already on disk *)
+    mutable closed : bool;
+  }
+
+  let pos t = t.flushed + Buffer.length t.buf
+
+  let flush t =
+    Buffer.output_buffer t.oc t.buf;
+    t.flushed <- t.flushed + Buffer.length t.buf;
+    Buffer.clear t.buf
+
+  let create ?(block_size = default_block_size) ~num_keys ~num_sessions path =
+    if block_size < 1 then
+      invalid_arg "Codec.Bin_writer.create: block_size must be >= 1";
+    let oc = open_out_bin path in
+    let buf = Buffer.create 65536 in
+    Buffer.add_string buf bin_magic;
+    Binio.add_uvarint buf num_keys;
+    Binio.add_uvarint buf num_sessions;
+    Binio.add_uvarint buf block_size;
+    {
+      oc;
+      buf;
+      block_size;
+      num_keys;
+      num_sessions;
+      offsets = Int_vec.create 64;
+      count = 0;
+      flushed = 0;
+      closed = false;
+    }
+
+  let add t (txn : Txn.t) =
+    if t.closed then invalid_arg "Codec.Bin_writer.add: writer is closed";
+    if txn.id <> t.count + 1 then
+      invalid_arg
+        (Printf.sprintf "Codec.Bin_writer.add: txn id %d, expected %d" txn.id
+           (t.count + 1));
+    if txn.session < 1 || txn.session > t.num_sessions then
+      invalid_arg
+        (Printf.sprintf "Codec.Bin_writer.add: T%d session %d out of [1,%d]"
+           txn.id txn.session t.num_sessions);
+    Array.iter
+      (fun op ->
+        let k = Op.key op in
+        if k < 0 || k >= t.num_keys then
+          invalid_arg
+            (Printf.sprintf "Codec.Bin_writer.add: T%d key %d out of [0,%d)"
+               txn.id k t.num_keys))
+      txn.ops;
+    if t.count mod t.block_size = 0 then Int_vec.push t.offsets (pos t);
+    Binio.add_txn t.buf txn;
+    t.count <- t.count + 1;
+    if Buffer.length t.buf >= 1 lsl 20 then flush t
+
+  let close t =
+    if not t.closed then begin
+      t.closed <- true;
+      let foff = pos t in
+      Binio.add_uvarint t.buf t.count;
+      Binio.add_uvarint t.buf (Int_vec.length t.offsets);
+      for b = 0 to Int_vec.length t.offsets - 1 do
+        Binio.add_uvarint t.buf (Int_vec.get t.offsets b)
+      done;
+      Buffer.add_int64_le t.buf (Int64.of_int foff);
+      Buffer.add_string t.buf bin_trailer_magic;
+      flush t;
+      close_out t.oc
+    end
+end
+
+let save_bin ?block_size path (h : History.t) =
+  let w =
+    Bin_writer.create ?block_size ~num_keys:h.num_keys
+      ~num_sessions:h.num_sessions path
+  in
+  Fun.protect
+    ~finally:(fun () -> Bin_writer.close w)
+    (fun () ->
+      Array.iter
+        (fun (t : Txn.t) -> if t.id <> History.init_id then Bin_writer.add w t)
+        h.txns)
+
+let sp_parse_bin = Obs.Trace.intern "parse/bin"
+
+let decode_bin ?pool src =
+  let r = Binio.reader_of_source src in
+  let total = Binio.Source.length src in
+  let m = Binio.read_bytes r (String.length bin_magic) in
+  if m <> bin_magic then Binio.fail "bad binary magic";
+  let num_keys = Binio.read_uvarint r in
+  let num_sessions = Binio.read_uvarint r in
+  let block_size = Binio.read_uvarint r in
+  if num_keys < 1 || num_sessions < 0 || block_size < 1 then
+    Binio.fail "implausible binary header (%d keys, %d sessions, block %d)"
+      num_keys num_sessions block_size;
+  if total < Binio.pos r + 12 then Binio.fail "missing binary trailer";
+  Binio.seek r (total - 12);
+  let foff = ref 0 in
+  for i = 0 to 7 do
+    foff := !foff lor (Binio.read_byte r lsl (8 * i))
+  done;
+  if Binio.read_bytes r 4 <> bin_trailer_magic then
+    Binio.fail "bad binary trailer magic";
+  if !foff < 0 || !foff > total - 12 then
+    Binio.fail "footer offset %d out of file" !foff;
+  Binio.seek r !foff;
+  let num_txns = Binio.read_uvarint r in
+  let num_blocks = Binio.read_uvarint r in
+  if
+    num_txns < 0 || num_blocks < 0
+    || num_blocks <> (num_txns + block_size - 1) / block_size
+  then
+    Binio.fail "footer disagrees with itself (%d txns, %d blocks)" num_txns
+      num_blocks;
+  let offsets = Array.init num_blocks (fun _ -> Binio.read_uvarint r) in
+  Array.iter
+    (fun o -> if o < 0 || o > !foff then Binio.fail "block offset %d out of file" o)
+    offsets;
+  let txns = Array.make (num_txns + 1) (History.init_txn ~num_keys) in
+  (* Each block decodes its own txn range from its own cursor over the
+     shared map; ids are dense and block-aligned, so every write lands
+     in a distinct slot.  A decode failure propagates per the pool's
+     lowest-index rule — the same block that would fail sequentially. *)
+  Pool.tasks pool
+    (List.init num_blocks (fun b () ->
+         let br = Binio.reader_of_source ~pos:offsets.(b) src in
+         let first = (b * block_size) + 1 in
+         let last = Stdlib.min num_txns (first + block_size - 1) in
+         for id = first to last do
+           let t = Binio.read_txn br in
+           if t.Txn.id <> id then
+             Binio.fail "txn id %d where %d expected (block %d)" t.Txn.id id b;
+           txns.(id) <- t
+         done));
+  (num_keys, num_sessions, txns)
+
+let load_bin ?pool path =
+  Obs.Trace.with_span sp_parse_bin @@ fun () ->
+  try
+    let src = Binio.Source.map_file path in
+    let num_keys, num_sessions, txns = decode_bin ?pool src in
+    try Ok (History.of_array ?pool ~num_keys ~num_sessions txns)
+    with Invalid_argument m -> Error m
+  with
+  | Binio.Decode_error m -> Error (Printf.sprintf "%s: %s" path m)
+  | Unix.Unix_error (e, _, _) ->
+      Error (Printf.sprintf "%s: %s" path (Unix.error_message e))
+  | Sys_error m -> Error m
+
+type format = Auto | Text | Bin
+
+let format_of_string = function
+  | "auto" -> Some Auto
+  | "text" -> Some Text
+  | "bin" -> Some Bin
+  | _ -> None
+
+let sniff_bin path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let buf = Bytes.create (String.length bin_magic) in
+        match In_channel.really_input ic buf 0 (Bytes.length buf) with
+        | Some () -> Bytes.to_string buf = bin_magic
+        | None -> false)
+  with Sys_error _ -> false
+
+let load_text path =
   try
     let ic = open_in path in
     Fun.protect
       ~finally:(fun () -> close_in ic)
       (fun () -> of_string (In_channel.input_all ic))
   with Sys_error m -> Error m
+
+let load ?(format = Auto) ?pool path =
+  match format with
+  | Text -> load_text path
+  | Bin -> load_bin ?pool path
+  | Auto -> if sniff_bin path then load_bin ?pool path else load_text path

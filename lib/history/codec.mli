@@ -24,4 +24,49 @@ val of_string : string -> (History.t, string) result
 val save : string -> History.t -> unit
 (** [save path h] writes [to_string h] to [path]. *)
 
-val load : string -> (History.t, string) result
+(** {1 Binary format}
+
+    A compact framing of the same data for large corpora:
+    ["mtcbin1\n"] magic, varint header (keys, sessions, block size),
+    {!Binio.add_txn} records for ids 1..n grouped into fixed-size
+    blocks, then a footer listing every block's byte offset and a
+    fixed-width trailer pointing at the footer.  Loading mmaps the file
+    ({!Binio.Source.map_file}) — nothing is copied into the heap before
+    decoding — and, given a pool, decodes disjoint block ranges on
+    separate domains. *)
+
+module Bin_writer : sig
+  type t
+
+  val create :
+    ?block_size:int -> num_keys:int -> num_sessions:int -> string -> t
+  (** Streaming writer: transactions are encoded and flushed as they
+      arrive, so multi-million-txn corpora never sit in RAM.
+      [block_size] (default 4096) is the parallel-decode granularity.
+      @raise Invalid_argument if [block_size < 1]. *)
+
+  val add : t -> Txn.t -> unit
+  (** Append the next transaction.  Ids must arrive as the dense
+      sequence 1..n (the initial transaction is implicit); sessions and
+      keys must be in range.  @raise Invalid_argument otherwise. *)
+
+  val close : t -> unit
+  (** Write the footer and trailer and close the file.  Idempotent. *)
+end
+
+val save_bin : ?block_size:int -> string -> History.t -> unit
+
+val load_bin : ?pool:Pool.t -> string -> (History.t, string) result
+(** Zero-copy load: mmaps [path] and decodes block ranges concurrently
+    on [pool] if given.  Total like {!of_string}: malformed input —
+    bad magic, truncated records, id gaps, out-of-range sessions or
+    keys — yields [Error], never an exception. *)
+
+type format = Auto | Text | Bin
+
+val format_of_string : string -> format option
+
+val load :
+  ?format:format -> ?pool:Pool.t -> string -> (History.t, string) result
+(** [load path] reads either format; [Auto] (the default) sniffs the
+    8-byte magic. *)

@@ -6,27 +6,38 @@ let init_txn ~num_keys =
   let ops = List.init num_keys (fun k -> Op.Write (k, 0)) in
   Txn.make ~id:init_id ~session:0 ~start_ts:min_int ~commit_ts:min_int ops
 
-let make ~num_keys ~num_sessions txns =
-  let all = Array.of_list (init_txn ~num_keys :: txns) in
-  Array.iteri
-    (fun i (t : Txn.t) ->
-      if t.id <> i then
-        invalid_arg
-          (Printf.sprintf "History.make: txn at position %d has id %d" i t.id);
-      if i > 0 && (t.session < 1 || t.session > num_sessions) then
-        invalid_arg
-          (Printf.sprintf "History.make: T%d has session %d out of [1,%d]" t.id
-             t.session num_sessions);
-      Array.iter
-        (fun op ->
-          let k = Op.key op in
-          if k < 0 || k >= num_keys then
-            invalid_arg
-              (Printf.sprintf "History.make: T%d accesses key %d out of [0,%d)"
-                 t.id k num_keys))
-        t.ops)
-    all;
+(* [all] must already start with the initial transaction at position 0;
+   [of_array] validates positions 1.. like [make] always did.  Slices
+   validate independently (the checks are per-transaction), so the
+   parallel binary loader hands its decoded array straight here. *)
+let of_array ?pool ~num_keys ~num_sessions all =
+  ignore
+    (Pool.map_slices pool ~n:(Array.length all) (fun lo hi ->
+         for i = lo to hi - 1 do
+           let t : Txn.t = all.(i) in
+           if t.id <> i then
+             invalid_arg
+               (Printf.sprintf "History.make: txn at position %d has id %d" i
+                  t.id);
+           if i > 0 && (t.session < 1 || t.session > num_sessions) then
+             invalid_arg
+               (Printf.sprintf "History.make: T%d has session %d out of [1,%d]"
+                  t.id t.session num_sessions);
+           Array.iter
+             (fun op ->
+               let k = Op.key op in
+               if k < 0 || k >= num_keys then
+                 invalid_arg
+                   (Printf.sprintf
+                      "History.make: T%d accesses key %d out of [0,%d)" t.id k
+                      num_keys))
+             t.ops
+         done));
   { txns = all; num_sessions; num_keys }
+
+let make ~num_keys ~num_sessions txns =
+  of_array ~num_keys ~num_sessions
+    (Array.of_list (init_txn ~num_keys :: txns))
 
 let txn h id = h.txns.(id)
 let num_txns h = Array.length h.txns
@@ -77,29 +88,58 @@ let rt_before h t1 t2 =
   let a = h.txns.(t1) and b = h.txns.(t2) in
   a.commit_ts < b.start_ts
 
-let unique_values h =
-  let seen = Hashtbl.create 1024 in
-  let exception Dup of string in
-  try
-    Array.iter
-      (fun (t : Txn.t) ->
-        Array.iter
-          (fun op ->
-            match op with
-            | Op.Write (k, v) -> (
-                match Hashtbl.find_opt seen (k, v) with
-                | Some other when other <> t.id ->
-                    raise
-                      (Dup
-                         (Printf.sprintf
-                            "writes of value %d to key %d by both T%d and T%d"
-                            v k other t.id))
-                | Some _ | None -> Hashtbl.replace seen (k, v) t.id)
-            | Op.Read _ -> ())
-          t.ops)
-      h.txns;
-    Ok ()
-  with Dup msg -> Error msg
+(* Key stripes screen independently (a duplicate pair involves one key);
+   each reports its first duplicate's (txn position, op index) and the
+   global minimum reproduces the sequential first-in-scan-order error. *)
+let uv_stripes = 8
+
+let unique_values ?pool h =
+  let results =
+    Pool.map_slices pool ~n:uv_stripes (fun lo hi ->
+        let best = ref None in
+        for stripe = lo to hi - 1 do
+          let seen = Hashtbl.create 1024 in
+          let exception Dup in
+          try
+            Array.iteri
+              (fun ti (t : Txn.t) ->
+                Array.iteri
+                  (fun oi op ->
+                    match op with
+                    | Op.Write (k, v) when k mod uv_stripes = stripe -> (
+                        match Hashtbl.find_opt seen (k, v) with
+                        | Some other when other <> t.id ->
+                            let msg =
+                              Printf.sprintf
+                                "writes of value %d to key %d by both T%d and \
+                                 T%d"
+                                v k other t.id
+                            in
+                            (match !best with
+                            | Some (bt, bo, _)
+                              when bt < ti || (bt = ti && bo < oi) ->
+                                ()
+                            | Some _ | None -> best := Some (ti, oi, msg));
+                            raise Dup
+                        | Some _ | None -> Hashtbl.replace seen (k, v) t.id)
+                    | Op.Write _ | Op.Read _ -> ())
+                  t.ops)
+              h.txns
+          with Dup -> ()
+        done;
+        !best)
+  in
+  let best =
+    Array.fold_left
+      (fun acc hit ->
+        match (acc, hit) with
+        | None, hit -> hit
+        | Some _, None -> acc
+        | Some (at, ao, _), Some (bt, bo, _) ->
+            if bt < at || (bt = at && bo < ao) then hit else acc)
+      None results
+  in
+  match best with None -> Ok () | Some (_, _, msg) -> Error msg
 
 let all_mini h =
   let exception Bad of int in

@@ -2,6 +2,7 @@ type phase = {
   p_name : string;
   p_total_ns : int;
   p_count : int;
+  p_serial_ns : int;
   p_subs : (string * int * int) list;
 }
 
@@ -43,6 +44,53 @@ let top_level_mask (evs : Obs_trace.event array) =
     order;
   top
 
+(* Merged busy intervals of every domain except 0, sorted by start —
+   the reference set for the serial-fraction column: domain-0 time not
+   overlapping any of these intervals is time when no worker was doing
+   anything, i.e. genuinely serial. *)
+let busy_elsewhere (events : Obs_trace.event list) =
+  let ivs =
+    List.filter_map
+      (fun (e : Obs_trace.event) ->
+        if e.ev_dom <> 0 then Some (e.ev_t0, e.ev_t0 + e.ev_dur) else None)
+      events
+    |> List.sort compare
+  in
+  let rec merge = function
+    | (a0, a1) :: (b0, b1) :: rest when b0 <= a1 ->
+        merge ((a0, Stdlib.max a1 b1) :: rest)
+    | iv :: rest -> iv :: merge rest
+    | [] -> []
+  in
+  Array.of_list (merge ivs)
+
+(* Length of [a, b) covered by the merged interval set. *)
+let covered merged a b =
+  let n = Array.length merged in
+  let total = ref 0 in
+  (* First interval that could reach past [a]. *)
+  let lo = ref 0 and hi = ref (n - 1) and first = ref n in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let _, m1 = merged.(mid) in
+    if m1 > a then begin
+      first := mid;
+      hi := mid - 1
+    end
+    else lo := mid + 1
+  done;
+  let i = ref !first in
+  let continue = ref true in
+  while !continue && !i < n do
+    let i0, i1 = merged.(!i) in
+    if i0 >= b then continue := false
+    else begin
+      total := !total + (Stdlib.min b i1 - Stdlib.max a i0);
+      incr i
+    end
+  done;
+  !total
+
 let phases (events : Obs_trace.event list) =
   (* Group by (domain, phase) for the containment sweep; remember phase
      and span-name first-appearance order from the time-sorted input. *)
@@ -70,26 +118,36 @@ let phases (events : Obs_trace.event list) =
       | Some l -> l := e :: !l
       | None -> Hashtbl.replace groups key (ref [ e ]))
     events;
-  (* Per-phase totals over top-level spans. *)
-  let totals : (string, int ref * int ref) Hashtbl.t = Hashtbl.create 16 in
+  (* Per-phase totals over top-level spans; domain-0 top-level time not
+     covered by any other domain's busy interval is the phase's serial
+     share. *)
+  let elsewhere = busy_elsewhere events in
+  let totals : (string, int ref * int ref * int ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
   let total_of ph =
     match Hashtbl.find_opt totals ph with
     | Some p -> p
     | None ->
-        let p = (ref 0, ref 0) in
+        let p = (ref 0, ref 0, ref 0) in
         Hashtbl.replace totals ph p;
         p
   in
   Hashtbl.iter
-    (fun (_dom, ph) evs_ref ->
+    (fun (dom, ph) evs_ref ->
       let evs = Array.of_list !evs_ref in
       let top = top_level_mask evs in
-      let t, c = total_of ph in
+      let t, c, ser = total_of ph in
       Array.iteri
         (fun i e ->
           if top.(i) then begin
             t := !t + e.Obs_trace.ev_dur;
-            incr c
+            incr c;
+            if dom = 0 then
+              ser :=
+                !ser + e.Obs_trace.ev_dur
+                - covered elsewhere e.Obs_trace.ev_t0
+                    (e.Obs_trace.ev_t0 + e.Obs_trace.ev_dur)
           end)
         evs)
     groups;
@@ -110,7 +168,7 @@ let phases (events : Obs_trace.event list) =
     events;
   List.map
     (fun ph ->
-      let t, c = total_of ph in
+      let t, c, ser = total_of ph in
       let subs =
         match Hashtbl.find_opt sub_order ph with
         | None -> []
@@ -121,7 +179,13 @@ let phases (events : Obs_trace.event list) =
                 (name, !t, !c))
               !l
       in
-      { p_name = ph; p_total_ns = !t; p_count = !c; p_subs = subs })
+      {
+        p_name = ph;
+        p_total_ns = !t;
+        p_count = !c;
+        p_serial_ns = !ser;
+        p_subs = subs;
+      })
     !phase_order
 
 let phase_sum_ns events =
@@ -133,16 +197,21 @@ let render ~wall_ns events =
   let ps = phases events in
   let b = Buffer.create 1024 in
   Buffer.add_string b
-    (Printf.sprintf "%-24s %12s %8s %7s\n" "phase" "total" "count" "wall%");
+    (Printf.sprintf "%-24s %12s %8s %7s %8s\n" "phase" "total" "count" "wall%"
+       "serial%");
   let pct ns =
     if wall_ns <= 0 then 0.0
     else 100.0 *. float_of_int ns /. float_of_int wall_ns
   in
   List.iter
     (fun p ->
+      let serial_pct =
+        if p.p_total_ns <= 0 then 0.0
+        else 100.0 *. float_of_int p.p_serial_ns /. float_of_int p.p_total_ns
+      in
       Buffer.add_string b
-        (Printf.sprintf "%-24s %9.3f ms %8d %6.1f%%\n" p.p_name
-           (ms p.p_total_ns) p.p_count (pct p.p_total_ns));
+        (Printf.sprintf "%-24s %9.3f ms %8d %6.1f%% %7.1f%%\n" p.p_name
+           (ms p.p_total_ns) p.p_count (pct p.p_total_ns) serial_pct);
       (* A phase with a single span name equal to the phase itself needs
          no sub-row. *)
       (match p.p_subs with
@@ -155,7 +224,11 @@ let render ~wall_ns events =
             subs))
     ps;
   let sum = List.fold_left (fun acc p -> acc + p.p_total_ns) 0 ps in
+  let serial = List.fold_left (fun acc p -> acc + p.p_serial_ns) 0 ps in
   Buffer.add_string b
     (Printf.sprintf "phases sum %.3f ms = %.1f%% of wall %.3f ms\n" (ms sum)
        (pct sum) (ms wall_ns));
+  Buffer.add_string b
+    (Printf.sprintf "serial (domain 0 only) %.3f ms = %.1f%% of wall\n"
+       (ms serial) (pct serial));
   Buffer.contents b

@@ -13,6 +13,10 @@ type phase = {
   p_name : string;
   p_total_ns : int;     (** sum of top-level span durations *)
   p_count : int;        (** number of top-level spans *)
+  p_serial_ns : int;
+      (** domain-0 top-level time during which no other domain had any
+          span open — the phase's genuinely serial share.  On a run
+          with no worker domains this equals [p_total_ns]. *)
   p_subs : (string * int * int) list;
       (** (full span name, total ns, count) of every distinct name in
           the phase, including nested ones, ordered by first
@@ -26,7 +30,8 @@ val phase_sum_ns : Obs_trace.event list -> int
 (** Sum of [p_total_ns] over all phases. *)
 
 val render : wall_ns:int -> Obs_trace.event list -> string
-(** The [mtc check --profile] table: one row per phase with total
-    ms, span count and share of wall time; indented sub-rows per
-    distinct span name; a footer comparing the phase sum to wall
-    time. *)
+(** The [mtc check --profile] table: one row per phase with total ms,
+    span count, share of wall time and serial share (the fraction of
+    the phase's domain-0 time with every worker idle); indented
+    sub-rows per distinct span name; footers comparing the phase sum
+    and the total serial time to wall time. *)

@@ -212,11 +212,7 @@ let decode_payload payload =
         let m =
           if Binio.remaining r < String.length magic then
             Binio.fail "hello too short"
-          else begin
-            let m = String.sub r.Binio.src r.Binio.pos (String.length magic) in
-            r.Binio.pos <- r.Binio.pos + String.length magic;
-            m
-          end
+          else Binio.read_bytes r (String.length magic)
         in
         if m <> magic then Binio.fail "bad magic %S" m;
         Hello { version = Binio.read_uvarint r }

@@ -1,0 +1,103 @@
+(* Unlike Mt_gen — which builds a Spec and needs a Scheduler run (and so
+   the whole history in RAM) — this generator plays a perfectly serial
+   execution itself: one pass, O(num_keys) state, each transaction
+   handed to [emit] and dropped.  That is what lets `mtc gen --out-bin`
+   stream multi-million-txn corpora straight to disk. *)
+
+type params = {
+  num_txns : int;
+  num_keys : int;
+  num_sessions : int;
+  dist : Distribution.kind;
+  seed : int;
+}
+
+let default =
+  {
+    num_txns = 100_000;
+    num_keys = 10_000;
+    num_sessions = 16;
+    dist = Distribution.Uniform;
+    seed = 42;
+  }
+
+let total_weight =
+  List.fold_left (fun acc (_, w) -> acc + w) 0 Mt_gen.shape_weights
+
+let sample_shape rng =
+  let x = Rng.int rng total_weight in
+  let rec pick acc = function
+    | [ (s, _) ] -> s
+    | (s, w) :: rest -> if x < acc + w then s else pick (acc + w) rest
+    | [] -> assert false
+  in
+  pick 0 Mt_gen.shape_weights
+
+let sample_two_keys dist rng =
+  let x = Distribution.sample dist rng in
+  let rec draw tries =
+    if tries = 0 then (x, (x + 1) mod Distribution.size dist)
+    else
+      let y = Distribution.sample dist rng in
+      if y <> x then (x, y) else draw (tries - 1)
+  in
+  draw 16
+
+let generate p emit =
+  if p.num_sessions <= 0 then invalid_arg "Stream_gen.generate: no sessions";
+  if p.num_keys <= 0 then invalid_arg "Stream_gen.generate: no keys";
+  let rng = Rng.create p.seed in
+  let dist = Distribution.make p.dist ~n:p.num_keys in
+  (* Serial-execution state: the current (committed) value of each key,
+     plus a global fresh-value counter.  The initial transaction's
+     implicit zeros are never reissued, so values are globally unique
+     and every read resolves to its writer's final write — the
+     histories pass SSER (hence SER and SI) by construction. *)
+  let cur = Array.make p.num_keys 0 in
+  let next = ref 0 in
+  let fresh k =
+    incr next;
+    let v = !next in
+    cur.(k) <- v;
+    v
+  in
+  let read k = Op.Read (k, cur.(k)) in
+  let write k = Op.Write (k, fresh k) in
+  (* [write] mutates [cur], so the ops of a shape must be built in
+     program order — a list literal would evaluate right-to-left and
+     make reads observe their own transaction's later writes. *)
+  let seq builders = List.map (fun f -> f ()) builders in
+  for i = 1 to p.num_txns do
+    let ops =
+      match sample_shape rng with
+      | Mini.R -> [ read (Distribution.sample dist rng) ]
+      | Mini.RW ->
+          let k = Distribution.sample dist rng in
+          seq [ (fun () -> read k); (fun () -> write k) ]
+      | Mini.RR ->
+          let x, y = sample_two_keys dist rng in
+          [ read x; read y ]
+      | Mini.RRW_fst ->
+          let x, y = sample_two_keys dist rng in
+          seq [ (fun () -> read x); (fun () -> read y); (fun () -> write x) ]
+      | Mini.RRW_snd ->
+          let x, y = sample_two_keys dist rng in
+          seq [ (fun () -> read x); (fun () -> read y); (fun () -> write y) ]
+      | Mini.RRWW ->
+          let x, y = sample_two_keys dist rng in
+          seq
+            [ (fun () -> read x); (fun () -> read y); (fun () -> write x);
+              (fun () -> write y) ]
+      | Mini.RWRW ->
+          let x, y = sample_two_keys dist rng in
+          seq
+            [ (fun () -> read x); (fun () -> write x); (fun () -> read y);
+              (fun () -> write y) ]
+    in
+    emit
+      (Txn.make ~id:i
+         ~session:(1 + ((i - 1) mod p.num_sessions))
+         ~start_ts:(2 * i)
+         ~commit_ts:((2 * i) + 1)
+         ops)
+  done

@@ -1,0 +1,30 @@
+(** A streaming clean-history generator for large corpora.
+
+    Plays a perfectly serial execution of the MT workload shapes
+    ({!Mt_gen.shape_weights}) in one pass with O(num_keys) memory:
+    reads return each key's current value, writes assign globally
+    unique fresh values, and transaction [i] runs entirely inside
+    logical time [(2i, 2i+1)].  The emitted history therefore passes
+    SSER (and so SER and SI) by construction — the scaling benchmarks'
+    worst case, since a clean history forces the checker to build and
+    traverse the whole dependency graph.
+
+    Each transaction is handed to [emit] and immediately dropped, so
+    feeding {!Codec.Bin_writer} produces multi-million-transaction
+    files without ever materializing the history. *)
+
+type params = {
+  num_txns : int;
+  num_keys : int;
+  num_sessions : int;
+  dist : Distribution.kind;
+  seed : int;
+}
+
+val default : params
+(** 100k txns over 10k keys, 16 sessions, uniform, seed 42. *)
+
+val generate : params -> (Txn.t -> unit) -> unit
+(** [generate p emit] calls [emit] once per transaction, ids 1..n in
+    order — exactly the contract of {!Codec.Bin_writer.add}.
+    @raise Invalid_argument if [num_sessions] or [num_keys] < 1. *)

@@ -1,25 +1,41 @@
 #!/usr/bin/env bash
-# Advisory benchmark diff between two promoted BENCH_*.json files (JSONL,
-# one experiment object per line — see Bench_util.experiment_json).
+# Benchmark diff between two promoted BENCH_*.json files (JSONL, one
+# experiment object per line — see Bench_util.experiment_json).
 #
 #   bash scripts/bench_diff.sh BENCH_PR3.json BENCH_PR4.json
+#   bash scripts/bench_diff.sh --max-regress 300 BENCH_PR5.json BENCH_PR6.json
 #
 # Tables are matched by (experiment, section), rows by their first
 # cell, and columns by header name — so a table that gains a column
 # between PRs still diffs on the shared ones.  Every shared numeric
-# column is reported as old -> new with a relative delta.  The script
-# is wired into @check as an advisory gate:
-# it ALWAYS exits 0 — regressions are for the reviewer's eyes, not for
-# breaking the build (bench numbers on shared CI boxes are too noisy for
-# a hard gate).
+# column is reported as old -> new with a relative delta.
+#
+# Without --max-regress the script is advisory and ALWAYS exits 0.
+# With --max-regress PCT it becomes a gate: any shared numeric cell
+# that regresses by more than PCT percent — got slower for
+# time/latency/memory columns, dropped for throughput/speedup columns
+# ("txns/s", "speedup") — fails the run with exit 1 and a list of the
+# offending rows.  PCT should be generous (hundreds) when the baseline
+# was promoted on different hardware or under different load.
 
 set -u
+
+MAX_REGRESS=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --max-regress)
+      MAX_REGRESS="${2:-}"
+      shift 2 || { echo "bench_diff: --max-regress needs a value" >&2; exit 2; }
+      ;;
+    *) break ;;
+  esac
+done
 
 OLD="${1:-}"
 NEW="${2:-}"
 
 if [ -z "$OLD" ] || [ -z "$NEW" ]; then
-  echo "usage: bench_diff.sh OLD.json NEW.json" >&2
+  echo "usage: bench_diff.sh [--max-regress PCT] OLD.json NEW.json" >&2
   exit 0
 fi
 if [ ! -f "$OLD" ] || [ ! -f "$NEW" ]; then
@@ -31,8 +47,8 @@ if ! command -v python3 >/dev/null 2>&1; then
   exit 0
 fi
 
-python3 - "$OLD" "$NEW" <<'PY'
-import json, sys
+MAX_REGRESS="$MAX_REGRESS" python3 - "$OLD" "$NEW" <<'PY'
+import json, os, sys
 
 def load(path):
     tables = {}
@@ -67,10 +83,25 @@ def cell(header, row, col):
     except (ValueError, IndexError):
         return None
 
+# Columns where bigger is better; everything else numeric (times,
+# latencies, words, bytes) regresses by growing.
+def higher_is_better(col):
+    c = col.lower()
+    return "txns/s" in c or "speedup" in c or "/s" in c
+
 def main():
+    max_regress = None
+    raw = os.environ.get("MAX_REGRESS", "")
+    if raw:
+        try:
+            max_regress = float(raw)
+        except ValueError:
+            print(f"bench_diff: bad --max-regress value {raw!r}", file=sys.stderr)
+            sys.exit(2)
     old, new = load(sys.argv[1]), load(sys.argv[2])
     printed = False
     baseline_missing = []
+    regressions = []
     for key, (nheader, nrows) in new.items():
         exp, section = key
         if key not in old:
@@ -93,12 +124,20 @@ def main():
                     continue
                 delta = f"{100.0 * (b - a) / a:+.0f}%" if a != 0 else "new"
                 cells.append(f"{col}: {ov} -> {nv} ({delta})")
+                if max_regress is not None and a > 0:
+                    change = 100.0 * (b - a) / a
+                    bad = (-change if higher_is_better(col) else change)
+                    if bad > max_regress:
+                        regressions.append(
+                            f"[{exp}] {name} {col}: {ov} -> {nv} "
+                            f"({delta}, limit {max_regress:.0f}%)")
             if cells:
                 lines.append(f"  {name}:  " + "  |  ".join(cells))
         if lines:
             if not printed:
+                mode = ("gate" if max_regress is not None else "advisory")
                 print(f"benchmark diff: {sys.argv[1]} -> {sys.argv[2]}"
-                      " (advisory)")
+                      f" ({mode})")
                 printed = True
             print(f"[{exp}] {section}" if section else f"[{exp}]")
             for l in sorted(lines):
@@ -111,11 +150,16 @@ def main():
               f"in {sys.argv[1]} (new this PR, nothing to diff):")
         for entry in sorted(baseline_missing):
             print(f"  {entry}")
+    if max_regress is not None and regressions:
+        print(f"bench_diff: {len(regressions)} regression(s) beyond "
+              f"{max_regress:.0f}%:", file=sys.stderr)
+        for r in sorted(regressions):
+            print(f"  {r}", file=sys.stderr)
+        sys.exit(1)
 
 try:
     main()
 except BrokenPipeError:
     pass
 PY
-
-exit 0
+exit $?

@@ -21,4 +21,5 @@ let () =
       ("extra", Test_extra.suite);
       ("properties", Test_properties.suite);
       ("obs", Test_obs.suite);
+      ("par", Test_par.suite);
     ]
