@@ -149,8 +149,13 @@ let gt_history ?(level = Isolation.Serializable) ?(dist = Distribution.Uniform)
   let db = { Db.level; fault = Fault.No_fault; num_keys = keys; seed } in
   Scheduler.run ~params:{ Scheduler.default_params with seed } ~db ~spec ()
 
-(* Allocation (bytes) during [f] — the memory metric of Figures 10d-f/17. *)
+(* Allocation (bytes) during [f] — the memory metric of Figures 10d-f/17.
+   The heap is normalized first: GC state inherited from earlier
+   experiments (e.g. Porcupine's state-space search in fig9) otherwise
+   inflates the counter by up to ~1MB, making the promoted numbers
+   depend on experiment order instead of on [f]. *)
 let alloc_during f =
+  Gc.full_major ();
   let a0 = Gc.allocated_bytes () in
   let r = f () in
   (r, Gc.allocated_bytes () -. a0)

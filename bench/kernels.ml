@@ -196,6 +196,48 @@ let parallel_check_rows () =
   in
   level_rows "check-ser" Checker.SER @ level_rows "check-si" Checker.SI
 
+(* The PR7 acceptance table: whole-checker wall time at each timestamp
+   mode on the same 100k-txn Stream_gen corpus as [parallel_check_rows]
+   (timestamp-faithful by construction, so certification never falls
+   back).  Speedup is relative to the `ignore` run of the same kernel;
+   the acceptance bar is >= 2x on check-ser/verify.  Stays at 100k even
+   under --smoke: these are the rows promoted to BENCH_PR7.json. *)
+let ts_fastpath_rows () =
+  let p = { Stream_gen.default with num_txns = 100_000 } in
+  let acc = ref [] in
+  Stream_gen.generate p (fun t -> acc := t :: !acc);
+  let h =
+    History.of_array ~num_keys:p.Stream_gen.num_keys
+      ~num_sessions:p.Stream_gen.num_sessions
+      (Array.of_list
+         (History.init_txn ~num_keys:p.Stream_gen.num_keys :: List.rev !acc))
+  in
+  acc := [];
+  let time level ts =
+    let run () =
+      match Checker.check ~ts level h with
+      | Checker.Pass -> ()
+      | Checker.Fail _ -> failwith "kernels: clean history flagged"
+    in
+    (* Normalize the heap first: garbage left by earlier experiments
+       otherwise taxes these runs' minor collections and makes the
+       promoted ratios depend on experiment order. *)
+    Gc.full_major ();
+    run () (* warm-up *);
+    Bench_util.time_median ~repeat:3 run
+  in
+  let level_rows name level =
+    let t_ignore = time level Ts.Ignore in
+    let row mode t =
+      [ name; Ts.mode_name mode; Printf.sprintf "%.1f" (1000.0 *. t);
+        Printf.sprintf "%.2f" (t_ignore /. t) ]
+    in
+    [ row Ts.Ignore t_ignore;
+      row Ts.Verify (time level Ts.Verify);
+      row Ts.Trust (time level Ts.Trust) ]
+  in
+  level_rows "check-ser" Checker.SER @ level_rows "check-si" Checker.SI
+
 (* Pool dispatch overhead, measured separately: each pool exists only
    around its own timing run, because idle domains make every minor GC a
    multi-domain stop-the-world and would skew the single-domain kernels
@@ -433,6 +475,11 @@ let run () =
   Bench_util.print_table
     ~header:[ "kernel"; "jobs"; "time (ms)"; "speedup" ]
     (parallel_check_rows ());
+  Bench_util.subsection
+    "ts_fastpath: timestamp modes, 100k-txn clean history (median of 3)";
+  Bench_util.print_table
+    ~header:[ "kernel"; "timestamps"; "time (ms)"; "speedup vs ignore" ]
+    (ts_fastpath_rows ());
   Bench_util.subsection
     "pool dispatch (Pool.map of 64 spin tasks, median of 9)";
   Bench_util.print_table ~header:[ "pool"; "time per map (ms)" ] (pool_rows ());

@@ -93,12 +93,16 @@ let () =
     in
     let selected =
       match o.only with
-      | Some name -> (
-          match List.find_opt (fun (n, _, _) -> n = name) experiments with
-          | Some e -> [ e ]
-          | None ->
-              Printf.eprintf "unknown experiment %S; try --list\n" name;
-              exit 1)
+      | Some names ->
+          (* comma-separated, run in listed order *)
+          List.map
+            (fun name ->
+              match List.find_opt (fun (n, _, _) -> n = name) experiments with
+              | Some e -> e
+              | None ->
+                  Printf.eprintf "unknown experiment %S; try --list\n" name;
+                  exit 1)
+            (String.split_on_char ',' names)
       | None ->
           Printf.printf
             "MTC benchmark harness — reproducing the paper's evaluation.\n\

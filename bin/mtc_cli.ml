@@ -60,11 +60,19 @@ let level_conv =
   in
   Arg.conv (parse, fun ppf l -> Format.pp_print_string ppf (any_level_name l))
 
-(* Unified verification: Ok () or a rendered report. *)
-let verify_any ?(skew = 0) ?pool level h =
+(* Unified verification: Ok () or a rendered report.  [on_ts_report]
+   receives the certification-mismatch report (lying timestamp oracle
+   evidence) when a timestamp mode produced one — side-band diagnostics,
+   never part of the verdict. *)
+let verify_any ?(skew = 0) ?pool ?(ts = Ts.Ignore) ?on_ts_report level h =
   match level with
   | Strong l -> (
-      match Checker.check ~skew ?pool l h with
+      let outcome, ts_state = Checker.check_report ~skew ?pool ~ts l h in
+      (match (on_ts_report, ts_state) with
+      | Some f, Some st -> (
+          match Ts.render_report st with Some r -> f r | None -> ())
+      | _ -> ());
+      match outcome with
       | Checker.Pass -> Ok ()
       | Checker.Fail v -> Error (Report.render h l v))
   | Weak l -> (
@@ -133,7 +141,8 @@ let seed_arg =
 let fault_arg =
   Arg.(value & opt string "none" & info [ "fault" ] ~docv:"FAULT"
          ~doc:"Injected engine bug: none, lost-update, aborted-read, \
-               causality-violation, write-skew or long-fork.")
+               causality-violation, write-skew, long-fork, ts-skew, \
+               ts-reorder or ts-dup.")
 
 let fault_p_arg =
   Arg.(value & opt float 0.1 & info [ "fault-p" ] ~docv:"P"
@@ -143,6 +152,28 @@ let skew_arg =
   Arg.(value & opt int 0 & info [ "skew" ] ~docv:"TICKS"
          ~doc:"Clock-skew tolerance for SSER checking: real-time edges are \
                only derived from gaps larger than $(docv).")
+
+let ts_conv =
+  let parse s =
+    match Ts.mode_of_string s with
+    | Some m -> Ok m
+    | None ->
+        Error
+          (`Msg (Printf.sprintf "unknown timestamp mode %S (ignore|trust|verify)" s))
+  in
+  Arg.conv (parse, fun ppf m -> Format.pp_print_string ppf (Ts.mode_name m))
+
+let timestamps_arg =
+  Arg.(value & opt ts_conv Ts.Ignore
+       & info [ "timestamps" ] ~docv:"MODE"
+           ~doc:"Timestamp fast path for strong levels: $(b,ignore) infers \
+                 version orders from values (the default), $(b,verify) \
+                 predicts them from commit timestamps and certifies every \
+                 prediction against the values — same verdict, usually much \
+                 faster — and $(b,trust) skips certification entirely \
+                 (fastest; only sound if the engine's timestamps are \
+                 truthful).  In verify mode certification mismatches are \
+                 reported on stderr.")
 
 let gt_arg =
   Arg.(value & flag & info [ "gt" ]
@@ -212,7 +243,7 @@ let check_cmd =
                  magic).  Binary files are mmapped and decoded without an \
                  intermediate copy.")
   in
-  let run file level skew profile trace format jobs =
+  let run file level skew timestamps profile trace format jobs =
     let jobs = resolve_jobs jobs in
     let with_jobs f =
       (* Shut the pool down before exiting, so the exit code is computed
@@ -238,7 +269,11 @@ let check_cmd =
           let load_ns = Obs.Clock.now_ns () - t_load in
           Printf.printf "%s\n" (History.stats h);
           let t_verify = Obs.Clock.now_ns () in
-          let result = verify_any ~skew ?pool level h in
+          let result =
+            verify_any ~skew ?pool ~ts:timestamps
+              ~on_ts_report:(fun r -> prerr_string r)
+              level h
+          in
           let wall_ns = load_ns + (Obs.Clock.now_ns () - t_verify) in
           if observing then begin
             Obs.Trace.disable ();
@@ -270,8 +305,8 @@ let check_cmd =
              $(b,--jobs) > 1, loading and dependency inference shard over \
              that many domains; the verdict and any counterexample are \
              byte-identical for every value.")
-    Term.(const run $ file_arg $ level_arg $ skew_arg $ profile_arg
-          $ trace_arg $ format_arg $ jobs_arg)
+    Term.(const run $ file_arg $ level_arg $ skew_arg $ timestamps_arg
+          $ profile_arg $ trace_arg $ format_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* mtc run *)
@@ -336,14 +371,28 @@ let gen_cmd =
                  generated — constant memory, so multi-million-transaction \
                  corpora are fine.")
   in
-  let run txns keys sessions dist seed out out_bin =
+  let ts_skew_arg =
+    Arg.(value & opt int 0 & info [ "ts-skew" ] ~docv:"TICKS"
+           ~doc:"Perturb each transaction's start/commit timestamps by up \
+                 to $(docv) ticks — a drifting but honest clock.  The ops \
+                 and values are unchanged versus the same seed without \
+                 skew.")
+  in
+  let ts_lie_arg =
+    Arg.(value & opt float 0.0 & info [ "ts-lie" ] ~docv:"P"
+           ~doc:"With probability $(docv), report the timestamp window of \
+                 a random earlier transaction — a lying timestamp oracle \
+                 that $(b,--timestamps)=verify must catch.  The ops and \
+                 values are unchanged versus the same seed without lies.")
+  in
+  let run txns keys sessions dist seed ts_skew ts_lie out out_bin =
     if out = None && out_bin = None then begin
       Printf.eprintf "mtc gen: nothing to do — pass --out and/or --out-bin\n";
       exit exit_error
     end;
     let p =
       { Stream_gen.num_txns = txns; num_keys = keys; num_sessions = sessions;
-        dist; seed }
+        dist; seed; ts_skew; ts_lie }
     in
     (try
        (match out_bin with
@@ -382,7 +431,7 @@ let gen_cmd =
              the corpus generator for the scaling benchmarks.  The result \
              passes sser, ser and si by construction.")
     Term.(const run $ txns_arg $ keys_arg $ sessions_arg $ dist_arg
-          $ seed_arg $ out_arg $ out_bin_arg)
+          $ seed_arg $ ts_skew_arg $ ts_lie_arg $ out_arg $ out_bin_arg)
 
 (* ------------------------------------------------------------------ *)
 (* mtc hunt *)
@@ -633,7 +682,7 @@ let feed_cmd =
              "the service checks strong levels only (si|ser|sser), not %s"
              (Weak_checker.level_name l))
   in
-  let run file addr level skew want_stats =
+  let run file addr level skew timestamps want_stats =
     match (Codec.load file, strong_level level) with
     | Error e, _ ->
         Printf.eprintf "cannot load %s: %s\n" file e;
@@ -659,7 +708,7 @@ let feed_cmd =
             Printf.printf "%s\n" (History.stats h);
             (match
                Client.open_session c ~level ~num_keys:h.History.num_keys
-                 ~skew ()
+                 ~skew ~ts:timestamps ()
              with
             | Error e ->
                 Printf.eprintf "cannot open session: %s\n" e;
@@ -685,7 +734,8 @@ let feed_cmd =
           over the binary wire protocol and print the verdict — a true \
           end-to-end black-box check over the network.  Exit codes match \
           $(b,mtc check).")
-    Term.(const run $ file_arg $ addr_arg $ level_arg $ skew_arg $ stats_arg)
+    Term.(const run $ file_arg $ addr_arg $ level_arg $ skew_arg
+          $ timestamps_arg $ stats_arg)
 
 (* ------------------------------------------------------------------ *)
 (* mtc stats *)

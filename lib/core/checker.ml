@@ -135,65 +135,95 @@ let sp_divergence = Obs.Trace.intern "check/divergence"
 let sp_compose = Obs.Trace.intern "check/compose"
 let sp_cycle = Obs.Trace.intern "check/cycle"
 
-let check ?(rt_mode = Deps.Rt_sweep) ?(skew = 0) ?(impl = Deps.Direct) ?pool
-    level h =
-  match
-    Obs.Trace.with_span sp_unique (fun () -> History.unique_values ?pool h)
-  with
-  | Error msg -> Fail (Malformed msg)
-  | Ok () -> (
-      let idx = Obs.Trace.with_span sp_index (fun () -> Index.build ?pool h) in
+(* The graph phase shared by all timestamp modes: dependency build (with
+   the optional timestamp fast path), level-specific composition, cycle
+   search.  Runs after the INT screen passed. *)
+let graph_phase ~rt_mode ~skew ~impl ?pool ?ts level idx =
+  (* With the default [Direct] builder the dependency graph is born
+     frozen; the DFS then runs allocation-free over flat arrays.
+     [Via_digraph] converts on first [freeze]. *)
+  let acyclic_or_fail d =
+    match
+      Obs.Trace.with_span sp_cycle (fun () -> Cycle.find_csr (Deps.freeze d))
+    with
+    | None -> Pass
+    | Some cycle -> Fail (Cyclic (Deps.to_txn_cycle d cycle))
+  in
+  match level with
+  | SER -> (
+      match Deps.build ~impl ?pool ?ts ~rt:Deps.No_rt idx with
+      | Error e -> Fail (Malformed (Format.asprintf "%a" Deps.pp_error e))
+      | Ok d -> acyclic_or_fail d)
+  | SSER -> (
+      match Deps.build ~skew ~impl ?pool ?ts ~rt:rt_mode idx with
+      | Error e -> Fail (Malformed (Format.asprintf "%a" Deps.pp_error e))
+      | Ok d -> acyclic_or_fail d)
+  | SI -> (
       match
-        Obs.Trace.with_span sp_intra (fun () -> Int_check.check ?pool idx)
+        Obs.Trace.with_span sp_divergence (fun () -> Divergence.find ?pool idx)
       with
-      | Error v -> Fail (Intra v)
-      | Ok () -> (
-          (* With the default [Direct] builder the dependency graph is
-             born frozen; the DFS then runs allocation-free over flat
-             arrays.  [Via_digraph] converts on first [freeze]. *)
-          let acyclic_or_fail d =
-            match
-              Obs.Trace.with_span sp_cycle (fun () ->
-                  Cycle.find_csr (Deps.freeze d))
-            with
-            | None -> Pass
-            | Some cycle -> Fail (Cyclic (Deps.to_txn_cycle d cycle))
-          in
-          match level with
-          | SER -> (
-              match Deps.build ~impl ?pool ~rt:Deps.No_rt idx with
-              | Error e -> Fail (Malformed (Format.asprintf "%a" Deps.pp_error e))
-              | Ok d -> acyclic_or_fail d)
-          | SSER -> (
-              match Deps.build ~skew ~impl ?pool ~rt:rt_mode idx with
-              | Error e -> Fail (Malformed (Format.asprintf "%a" Deps.pp_error e))
-              | Ok d -> acyclic_or_fail d)
-          | SI -> (
+      | Some inst -> Fail (Diverged inst)
+      | None -> (
+          match Deps.build ~impl ?pool ?ts ~rt:Deps.No_rt idx with
+          | Error e -> Fail (Malformed (Format.asprintf "%a" Deps.pp_error e))
+          | Ok d -> (
+              let composed =
+                Obs.Trace.with_span sp_compose (fun () ->
+                    match impl with
+                    | Deps.Direct -> si_compose_csr ?pool d
+                    | Deps.Via_digraph -> Csr.of_digraph (si_compose d))
+              in
               match
-                Obs.Trace.with_span sp_divergence (fun () ->
-                    Divergence.find ?pool idx)
+                Obs.Trace.with_span sp_cycle (fun () -> Cycle.find_csr composed)
               with
-              | Some inst -> Fail (Diverged inst)
-              | None -> (
-                  match Deps.build ~impl ?pool ~rt:Deps.No_rt idx with
-                  | Error e ->
-                      Fail (Malformed (Format.asprintf "%a" Deps.pp_error e))
-                  | Ok d -> (
-                      let composed =
-                        Obs.Trace.with_span sp_compose (fun () ->
-                            match impl with
-                            | Deps.Direct -> si_compose_csr ?pool d
-                            | Deps.Via_digraph -> Csr.of_digraph (si_compose d))
-                      in
-                      match
-                        Obs.Trace.with_span sp_cycle (fun () ->
-                            Cycle.find_csr composed)
-                      with
-                      | None -> Pass
-                      | Some cycle ->
-                          Fail
-                            (Cyclic
-                               (Deps.to_txn_cycle d (expand_si_cycle cycle))))))))
+              | None -> Pass
+              | Some cycle ->
+                  Fail (Cyclic (Deps.to_txn_cycle d (expand_si_cycle cycle))))))
+
+let check_report ?(rt_mode = Deps.Rt_sweep) ?(skew = 0) ?(impl = Deps.Direct)
+    ?pool ?(ts = Ts.Ignore) level h =
+  (* The digraph oracle is value-only; fold back to the classic
+     pipeline under it so oracle comparisons stay meaningful. *)
+  let ts = if impl = Deps.Via_digraph then Ts.Ignore else ts in
+  match ts with
+  | Ts.Ignore -> (
+      match
+        Obs.Trace.with_span sp_unique (fun () -> History.unique_values ?pool h)
+      with
+      | Error msg -> (Fail (Malformed msg), None)
+      | Ok () -> (
+          let idx =
+            Obs.Trace.with_span sp_index (fun () -> Index.build ?pool h)
+          in
+          match
+            Obs.Trace.with_span sp_intra (fun () -> Int_check.check ?pool idx)
+          with
+          | Error v -> (Fail (Intra v), None)
+          | Ok () -> (graph_phase ~rt_mode ~skew ~impl ?pool level idx, None)))
+  | (Ts.Trust | Ts.Verify) as mode -> (
+      (* Vbox fast path: no unique-values pass, no eager writer tables —
+         the timestamp chains carry the version order.  [Verify]'s chain
+         build runs the duplicate-value screen itself (same first
+         candidate and message as [unique_values]), and certification in
+         the INT screen falls back per key to value inference, so the
+         outcome — rendering included — matches [Ignore] exactly. *)
+      let idx =
+        Obs.Trace.with_span sp_index (fun () -> Index.build_deferred h)
+      in
+      match Ts.build ?pool ~mode idx with
+      | Error msg -> (Fail (Malformed msg), None)
+      | Ok tsi -> (
+          match
+            Obs.Trace.with_span sp_intra (fun () ->
+                Int_check.check_ts ?pool tsi)
+          with
+          | Error v -> (Fail (Intra v), Some tsi)
+          | Ok () ->
+              ( graph_phase ~rt_mode ~skew ~impl ?pool ~ts:tsi level idx,
+                Some tsi )))
+
+let check ?rt_mode ?skew ?impl ?pool ?ts level h =
+  fst (check_report ?rt_mode ?skew ?impl ?pool ?ts level h)
 
 let check_sser ?rt_mode ?skew h = check ?rt_mode ?skew SSER h
 let check_ser h = check SER h

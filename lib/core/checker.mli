@@ -35,6 +35,7 @@ val check :
   ?skew:int ->
   ?impl:Deps.impl ->
   ?pool:Pool.t ->
+  ?ts:Ts.mode ->
   level ->
   History.t ->
   outcome
@@ -54,7 +55,30 @@ val check :
     the SI composition — across domains.  Verdicts, counterexamples and
     their rendering are bit-identical for every pool size: inference
     shards by a fixed stripe count and every first-violation selection
-    breaks ties by scan position. *)
+    breaks ties by scan position.
+
+    [ts] (default [Ts.Ignore]) selects the timestamp mode (Vbox fast
+    path, ROADMAP item 2): [Verify] predicts writers from commit
+    timestamps, certifies every prediction against the value read and
+    falls back per key on mismatch — same outcome and rendering as
+    [Ignore], usually much faster; [Trust] skips certification and the
+    duplicate-value screen entirely (fastest, but a lying oracle can
+    change the verdict).  Forced to [Ignore] under [Via_digraph]. *)
+
+val check_report :
+  ?rt_mode:Deps.rt_mode ->
+  ?skew:int ->
+  ?impl:Deps.impl ->
+  ?pool:Pool.t ->
+  ?ts:Ts.mode ->
+  level ->
+  History.t ->
+  outcome * Ts.t option
+(** Like {!check}, additionally returning the timestamp state when a
+    fast-path mode ran — {!Ts.render_report} on it describes any
+    certification mismatches (evidence of a lying timestamp oracle,
+    whether or not they changed the verdict).  [None] in [Ignore] mode
+    or when the [Verify] duplicate screen failed before chains built. *)
 
 val check_sser : ?rt_mode:Deps.rt_mode -> ?skew:int -> History.t -> outcome
 val check_ser : History.t -> outcome

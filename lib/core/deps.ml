@@ -171,7 +171,7 @@ type stripe = {
   mutable err : error option;
 }
 
-let run_stripe (idx : Index.t) num_keys st =
+let run_stripe ?fast (idx : Index.t) num_keys st =
   let t_wrww = Obs.Trace.enter () in
   let nr0 = Int_vec.length st.r_sv in
   let groups = Flat_index.create ~capacity:(2 * nr0) () in
@@ -185,6 +185,12 @@ let run_stripe (idx : Index.t) num_keys st =
     Int_vec.push st.ev v;
     Int_vec.push st.el l
   in
+  let record sv k writes g =
+    Int_vec.push rd_src sv;
+    Int_vec.push rd_key k;
+    Int_vec.push rd_grp g;
+    Int_vec.push rd_ow (if writes then 1 else 0)
+  in
   for r = 0 to nr0 - 1 do
     let sv = Int_vec.get st.r_sv r in
     let i = Int_vec.get st.r_op r in
@@ -193,33 +199,63 @@ let run_stripe (idx : Index.t) num_keys st =
     match ops.(i) with
     | Op.Write _ -> assert false
     | Op.Read (k, v) -> (
-        match Index.writer_of idx k v with
-        | Index.Final w when w <> s.id ->
-            let wv = Index.vertex idx w in
-            push wv sv (pack_wr k);
-            let writes = writes_key_ops ops k in
-            if writes then push wv sv (pack_ww k);
-            let gk = (wv * num_keys) + k in
-            let g =
-              match Flat_index.get groups gk with
-              | -1 ->
-                  let g = !num_groups in
-                  incr num_groups;
-                  Flat_index.set groups gk g;
-                  g
-              | g -> g
+        match fast with
+        | Some (tsi, slot_group) when Ts.is_fast_key tsi k ->
+            (* Timestamp fast path: the writer is the predicted chain
+               slot — certification already proved the slot's value is
+               the value read (Verify) or the caller opted to trust the
+               oracle.  Group ids come from the slot itself: a slot is
+               in bijection with (writer vertex, key), and fast/slow
+               keys never share a group, so sharing [num_groups] with
+               the slow path below reproduces the value-inferred group
+               numbering exactly — and hence the identical CSR. *)
+            let p =
+              match Ts.cached_slot tsi ~sv ~op:i with
+              | -1 -> Ts.predict tsi k ~start_ts:s.Txn.start_ts
+              | p -> p
             in
-            Int_vec.push rd_src sv;
-            Int_vec.push rd_key k;
-            Int_vec.push rd_grp g;
-            Int_vec.push rd_ow (if writes then 1 else 0)
-        | Index.Final _ | Index.Intermediate _ | Index.Aborted _
-        | Index.Nobody ->
-            if st.err = None then begin
-              st.err_sv <- sv;
-              st.err_op <- i;
-              st.err <- Some (Unresolved_read { txn = s.id; key = k; value = v })
-            end)
+            let wv = Ts.slot_vertex tsi p in
+            if wv <> sv then begin
+              push wv sv (pack_wr k);
+              let writes = writes_key_ops ops k in
+              if writes then push wv sv (pack_ww k);
+              let g =
+                match slot_group.(p) with
+                | -1 ->
+                    let g = !num_groups in
+                    incr num_groups;
+                    slot_group.(p) <- g;
+                    g
+                | g -> g
+              in
+              record sv k writes g
+            end
+        | Some _ | None -> (
+            match Index.writer_of idx k v with
+            | Index.Final w when w <> s.id ->
+                let wv = Index.vertex idx w in
+                push wv sv (pack_wr k);
+                let writes = writes_key_ops ops k in
+                if writes then push wv sv (pack_ww k);
+                let gk = (wv * num_keys) + k in
+                let g =
+                  match Flat_index.get groups gk with
+                  | -1 ->
+                      let g = !num_groups in
+                      incr num_groups;
+                      Flat_index.set groups gk g;
+                      g
+                  | g -> g
+                in
+                record sv k writes g
+            | Index.Final _ | Index.Intermediate _ | Index.Aborted _
+            | Index.Nobody ->
+                if st.err = None then begin
+                  st.err_sv <- sv;
+                  st.err_op <- i;
+                  st.err <-
+                    Some (Unresolved_read { txn = s.id; key = k; value = v })
+                end))
   done;
   Obs.Trace.exit sp_wrww t_wrww;
   if st.err = None then begin
@@ -261,10 +297,18 @@ let run_stripe (idx : Index.t) num_keys st =
     Obs.Trace.exit sp_rw t_rw
   end
 
-let build_direct ?pool ~skew ~rt (idx : Index.t) =
+let build_direct ?pool ?ts ~skew ~rt (idx : Index.t) =
   let m = Index.num_vertices idx in
   let h = idx.history in
   let num_keys = h.History.num_keys in
+  (* Slot -> reader-group id, shared by all stripes: a key's slots are
+     touched only by the task owning that key's stripe, so the array is
+     written race-free and the stripes stay independent. *)
+  let fast =
+    match ts with
+    | None -> None
+    | Some tsi -> Some (tsi, Array.make (Ts.total_slots tsi) (-1))
+  in
   let size = match rt with Rt_sweep -> 2 * m | No_rt | Rt_naive -> m in
   (* SO edges (lines 6-7): one cheap serial pass, stream 0. *)
   let so_u = Int_vec.create m and so_v = Int_vec.create m in
@@ -311,7 +355,7 @@ let build_direct ?pool ~skew ~rt (idx : Index.t) =
   Obs.Trace.exit sp_bucket t_bucket;
   Pool.tasks pool
     (Array.to_list
-       (Array.map (fun st () -> run_stripe idx num_keys st) stripes));
+       (Array.map (fun st () -> run_stripe ?fast idx num_keys st) stripes));
   (* The sequential builder reported the first unresolved read in scan
      order; the sharded one keeps that contract by minimising over the
      per-stripe (committed position, op index) candidates. *)
@@ -457,11 +501,14 @@ let build_digraph ~skew ~rt (idx : Index.t) =
           sweep_edges ~skew idx m (fun u v -> Digraph.add_edge g u v Rt_chain));
       Ok { idx; num_txn_vertices = m; frozen = None; adj = Some g }
 
-let build ?(skew = 0) ?(impl = Direct) ?pool ~rt (idx : Index.t) =
+let build ?(skew = 0) ?(impl = Direct) ?pool ?ts ~rt (idx : Index.t) =
   Obs.Trace.with_span sp_deps @@ fun () ->
   match impl with
-  | Direct -> build_direct ?pool ~skew ~rt idx
-  | Via_digraph -> build_digraph ~skew ~rt idx
+  | Direct -> build_direct ?pool ?ts ~skew ~rt idx
+  | Via_digraph ->
+      (* The digraph oracle stays value-only; callers force Ignore
+         before picking it. *)
+      build_digraph ~skew ~rt idx
 
 let to_txn_cycle t cycle =
   let is_helper v = v >= t.num_txn_vertices in

@@ -69,11 +69,20 @@ type error = Unresolved_read of { txn : Txn.id; key : Op.key; value : Op.value }
 val pp_error : Format.formatter -> error -> unit
 
 val build :
-  ?skew:int -> ?impl:impl -> ?pool:Pool.t -> rt:rt_mode -> Index.t ->
-  (t, error) result
+  ?skew:int -> ?impl:impl -> ?pool:Pool.t -> ?ts:Ts.t -> rt:rt_mode ->
+  Index.t -> (t, error) result
 (** Fails only if some external read cannot be attributed to the final
     write of a committed transaction — which the INT screen
     ({!Int_check.check}) rules out beforehand.
+
+    [ts] enables the timestamp fast path in the [Direct] builder: reads
+    of fast keys take their writer from the predicted chain slot — no
+    value-table lookup — and reader groups are numbered by slot, which
+    reproduces the value-inferred grouping exactly (certification or an
+    explicit trust decision guarantees the slot's writer is the value's
+    writer), so the frozen CSR is bit-identical with the value-only
+    build.  Keys flagged slow by certification fall back to value
+    resolution per key.  Ignored by [Via_digraph].
 
     [impl] (default [Direct]) picks the builder; both produce the same
     edge multiset with the same per-source successor order for SO/WR/WW

@@ -13,15 +13,29 @@ type t = private {
   history : History.t;
   committed : Txn.t array;  (** committed transactions in id order *)
   vertex_of_txn : int array;  (** txn id -> dense vertex, or -1 if aborted *)
-  writers : Flat_index.Writers.t array;
+  writers : Flat_index.Writers.t option array;
       (** final / intermediate / aborted writer resolution, striped by
-          key ([k mod 8]) so registration parallelizes; route lookups
-          through {!writer_of} *)
+          key ([k mod 8]) so registration parallelizes; [None] stripes
+          (from {!build_deferred}) are populated on first lookup; route
+          lookups through {!writer_of} *)
+  mutable finals : Bytes.t option;
+      (** lazily cached committed-op finality; read through {!finals} *)
 }
 
 val build : ?pool:Pool.t -> History.t -> t
 (** [pool] parallelizes writer-table registration (one task per key
-    stripe).  The resulting index is identical with or without it. *)
+    stripe).  The resulting index is identical with or without it.  All
+    stripes are populated eagerly, so concurrent {!writer_of} lookups
+    from any stripe are safe. *)
+
+val build_deferred : History.t -> t
+(** Vertex numbering only — no writer tables.  Each stripe's table is
+    built lazily by the first {!writer_of} on one of its keys; the
+    timestamp fast path ({!Ts}) uses this to skip table registration
+    entirely when certification succeeds.  Lazy forcing is not
+    thread-safe across a stripe: call {!writer_of} on a deferred index
+    only from serial code, or from the pool task owning the key's
+    stripe ([k mod 8]). *)
 
 val num_vertices : t -> int
 val txn_of_vertex : t -> int -> Txn.t
@@ -33,6 +47,25 @@ type writer = Flat_index.Writers.who =
   | Intermediate of Txn.id
   | Aborted of Txn.id
   | Nobody
+
+val mark_finals : final:Bytes.t -> Op.t array -> unit
+(** Finality of each write, one byte per op position ['\001'] / ['\000'],
+    into the caller-provided scratch (length >= the op count).  Linear
+    rescan for mini-transactions, one backward keyed pass for large op
+    arrays (the initial transaction) — shared by the registration and
+    timestamp-chain builders. *)
+
+val final_scratch : Txn.t array -> Bytes.t
+(** A scratch buffer sized for the largest op array of the batch. *)
+
+val finals : t -> Bytes.t
+(** Finality of every committed op, flat across the whole history in op
+    scan order — index [base + i] where [base] is the running op count
+    of the preceding transactions (aborted ops read ['\000']).  Computed
+    on first use and cached; shared by writer-table registration and the
+    timestamp-chain builder ({!Ts.build}).  Same thread-safety
+    discipline as lazy writer tables: first use from serial code or a
+    single owning task. *)
 
 val writer_of : t -> Op.key -> Op.value -> writer
 (** Who produced value [v] of object [x]?  [Final] writers are the only

@@ -86,8 +86,10 @@ let check_txn_with ~resolve (t : Txn.t) =
                    ~observed_is_earlier_own_write:(p >= 0 && p < i)
                    ~observed_is_later_own_write:(p > i))
           | None -> (
-              (* External read: resolve the writer via unique values. *)
-              match resolve k v with
+              (* External read: resolve the writer via unique values.
+                 [resolve] receives the op index so the timestamp screen
+                 can cache its prediction for the dependency builder. *)
+              match resolve i k v with
               | Index.Final w when w <> t.id -> ()
               | Index.Final _ ->
                   (* Our own final write, read before it happened. *)
@@ -101,7 +103,7 @@ let check_txn_with ~resolve (t : Txn.t) =
   List.rev !violations
 
 let check_txn (idx : Index.t) t =
-  check_txn_with ~resolve:(Index.writer_of idx) t
+  check_txn_with ~resolve:(fun _ k v -> Index.writer_of idx k v) t
 
 let check_all (idx : Index.t) =
   Array.fold_left
@@ -133,3 +135,128 @@ let check ?pool idx =
       None slices
   in
   match best with None -> Ok () | Some (_, v) -> Error v
+
+(* Timestamp-assisted screen (Vbox mode).  External reads are judged by
+   the predicted chain slot instead of the value tables: [Trust] takes
+   the prediction as the writer outright; [Verify] compares the slot's
+   value with the value read and defers every disagreement to a serial
+   judgement pass that resolves through the (lazily built) value tables
+   and classifies exactly like the [Ignore] screen — so verdicts stay
+   identical while agreement (the common case) never touches a table. *)
+
+(* Position of the first access to [k] — for a deferred read this is the
+   read itself, since externals only arise on a key's first access. *)
+let first_access_pos (t : Txn.t) k =
+  let ops = t.ops in
+  let rec go j =
+    match ops.(j) with
+    | Op.Read (k', _) | Op.Write (k', _) -> if k' = k then j else go (j + 1)
+  in
+  go 0
+
+let check_ts ?pool (ts : Ts.t) =
+  let idx = ts.Ts.idx in
+  let committed = idx.Index.committed in
+  let trust = ts.Ts.mode = Ts.Trust in
+  let num_keys = idx.Index.history.History.num_keys in
+  let slices =
+    Pool.map_slices pool ~n:(Array.length committed) (fun lo hi ->
+        let deferred = Int_vec.create 16 in
+        let memo = Array.make num_keys (-1) in
+        let fast = ref 0 in
+        let rec go i =
+          if i >= hi then None
+          else begin
+            let t = committed.(i) in
+            let resolve op k v =
+              let p = Ts.predict_memo ts memo k ~start_ts:t.Txn.start_ts in
+              if trust || Ts.slot_value ts p = v then begin
+                incr fast;
+                Ts.cache_slot ts ~sv:i ~op p;
+                Index.Final (Ts.slot_writer ts p)
+              end
+              else begin
+                (* Certification mismatch: defer judgement.  Any id
+                   different from [t.id] keeps the screen quiet here;
+                   the serial merge re-resolves and classifies. *)
+                Int_vec.push deferred i;
+                Int_vec.push deferred k;
+                Int_vec.push deferred v;
+                Index.Final (-1)
+              end
+            in
+            match check_txn_with ~resolve t with
+            | v :: _ -> Some (i, v)
+            | [] -> go (i + 1)
+          end
+        in
+        let hit = go lo in
+        (hit, deferred, !fast))
+  in
+  (* Serial merge.  Candidates are ordered by (committed position, op
+     index); immediate hits and deferred judgements are min-merged so
+     the winner is the sequential [Ignore] screen's first violation. *)
+  let best = ref None in
+  let consider i op v =
+    match !best with
+    | Some (bi, bo, _) when bi < i || (bi = i && bo <= op) -> ()
+    | Some _ | None -> best := Some (i, op, v)
+  in
+  Array.iter
+    (fun (hit, _, fast) ->
+      ts.Ts.fast_reads <- ts.Ts.fast_reads + fast;
+      match hit with
+      | Some (i, v) -> consider i v.op_index v
+      | None -> ())
+    slices;
+  let commit_of_writer = function
+    | Index.Final w | Index.Intermediate w ->
+        (Index.txn_of_vertex idx (Index.vertex idx w)).Txn.commit_ts
+    | Index.Aborted _ | Index.Nobody -> min_int
+  in
+  (* Judge ALL deferred reads (no early stop): mismatch accounting must
+     be complete whenever the screen passes, and when it fails the
+     min-merge still picks the right winner. *)
+  Array.iter
+    (fun ((_ : (int * violation) option), deferred, (_ : int)) ->
+      let len = Int_vec.length deferred in
+      let j = ref 0 in
+      while !j < len do
+        let i = Int_vec.get deferred !j in
+        let k = Int_vec.get deferred (!j + 1) in
+        let v = Int_vec.get deferred (!j + 2) in
+        j := !j + 3;
+        let t = committed.(i) in
+        Ts.mark_slow ts k;
+        ts.Ts.mismatched_reads <- ts.Ts.mismatched_reads + 1;
+        let actual = Index.writer_of idx k v in
+        let p = Ts.predict ts k ~start_ts:t.Txn.start_ts in
+        Ts.add_diag ts
+          {
+            Ts.d_key = k;
+            d_value = v;
+            d_reader = t.Txn.id;
+            d_reader_start = t.Txn.start_ts;
+            d_predicted = Ts.slot_writer ts p;
+            d_predicted_commit = Ts.slot_commit ts p;
+            d_actual = actual;
+            d_actual_commit = commit_of_writer actual;
+          };
+        let kind =
+          match actual with
+          | Index.Final w when w <> t.Txn.id -> None
+          | Index.Final _ -> Some Future_read
+          | Index.Intermediate w ->
+              if w = t.Txn.id then Some Future_read
+              else Some (Intermediate_read w)
+          | Index.Aborted w -> Some (Aborted_read w)
+          | Index.Nobody -> Some Thin_air_read
+        in
+        match kind with
+        | None -> ()
+        | Some kind ->
+            let op = first_access_pos t k in
+            consider i op { txn = t.Txn.id; op_index = op; kind }
+      done)
+    slices;
+  match !best with None -> Ok () | Some (_, _, v) -> Error v

@@ -32,8 +32,19 @@ val check : ?pool:Pool.t -> Index.t -> (unit, violation) result
 
 val check_all : Index.t -> violation list
 
+val check_ts : ?pool:Pool.t -> Ts.t -> (unit, violation) result
+(** The screen with timestamp-predicted external resolution (Vbox mode).
+    [Trust] attributes every external read to its predicted writer;
+    [Verify] certifies the prediction against the value actually read
+    and serially re-judges every disagreement through the value tables
+    (classifying exactly like {!check}, so the reported violation is
+    identical), filling the mismatch counters, per-key fallback flags,
+    and diagnostics of the {!Ts.t}.  Call once per [Ts.t]. *)
+
 val check_txn_with :
-  resolve:(Op.key -> Op.value -> Index.writer) -> Txn.t -> violation list
+  resolve:(int -> Op.key -> Op.value -> Index.writer) -> Txn.t -> violation list
 (** The per-transaction screen with a caller-supplied value-resolution
     oracle — used by the online checker, whose write tables grow as the
-    stream arrives. *)
+    stream arrives.  [resolve] receives the op index of the external
+    read ahead of the key and value, so timestamp-screen callers can
+    cache per-op predictions. *)

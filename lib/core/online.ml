@@ -81,6 +81,7 @@ end
 type t = {
   level : Checker.level;
   skew : int;
+  ts_mode : Ts.mode;
   graph : Grow.t;
   mutable next_vertex : int;
   vertex_txn : Int_vec.t;  (** vertex -> txn id; -1 for helper vertices *)
@@ -98,6 +99,25 @@ type t = {
   mutable last_commit : int;
   mutable count : int;
   mutable poisoned : Checker.violation option;
+  (* Timestamp fast path (Vbox mode, {!Ts}): per-key version chains in
+     commit-timestamp order, as cons chains threaded through flat int
+     vectors (newest first — commit-order arrival, enforced for ts
+     modes, keeps them sorted without insertion).  [Trust] attributes
+     every external read to its predicted writer outright; [Verify]
+     certifies the prediction against the value read and falls back per
+     key to the value tables on a mismatch.  The tables themselves stay
+     maintained in every mode — they also back the duplicate-write and
+     divergence screens — so the online fast path changes read
+     attribution (and supplies certification statistics), not table
+     upkeep. *)
+  chain_head : Flat_index.t;  (** key -> newest chain node, or absent *)
+  ch_commit : Int_vec.t;
+  ch_writer : Int_vec.t;
+  ch_value : Int_vec.t;
+  ch_next : Int_vec.t;
+  ts_slow : Bytes.t;  (** verify: per-key certification-failed flag *)
+  mutable ts_fast : int;
+  mutable ts_mismatched : int;
 }
 
 type step = Ok_so_far | Violation of Checker.violation
@@ -107,10 +127,13 @@ type stats = {
   s_vertices : int;
   s_edges : int;
   s_poisoned : bool;
+  s_ts_fast : int;
+  s_ts_mismatched : int;
 }
 
 let txns_seen t = t.count
 let level t = t.level
+let ts_mode t = t.ts_mode
 let poisoned t = t.poisoned
 
 let stats t =
@@ -119,6 +142,8 @@ let stats t =
     s_vertices = t.next_vertex;
     s_edges = t.graph.Grow.edge_count;
     s_poisoned = t.poisoned <> None;
+    s_ts_fast = t.ts_fast;
+    s_ts_mismatched = t.ts_mismatched;
   }
 
 let vertices_per_txn level = match level with Checker.SI -> 2 | _ -> 1
@@ -138,11 +163,12 @@ let alloc_helper t =
   Int_vec.push t.vertex_txn (-1);
   h
 
-let create ?(skew = 0) ~level ~num_keys () =
+let create ?(skew = 0) ?(ts = Ts.Ignore) ~level ~num_keys () =
   let t =
     {
       level;
       skew;
+      ts_mode = ts;
       graph = Grow.create ();
       next_vertex = 0;
       vertex_txn = Int_vec.create 256;
@@ -158,17 +184,94 @@ let create ?(skew = 0) ~level ~num_keys () =
       last_commit = min_int;
       count = 0;
       poisoned = None;
+      chain_head = Flat_index.create ~capacity:(if ts = Ts.Ignore then 16 else 256) ();
+      ch_commit = Int_vec.create 16;
+      ch_writer = Int_vec.create 16;
+      ch_value = Int_vec.create 16;
+      ch_next = Int_vec.create 16;
+      ts_slow =
+        (if ts = Ts.Verify then Bytes.make num_keys '\000' else Bytes.empty);
+      ts_fast = 0;
+      ts_mismatched = 0;
     }
   in
   let init = History.init_txn ~num_keys in
   Flat_index.set t.seen_ids init.Txn.id 1;
+  let init_writes = Txn.final_writes init in
   List.iter
     (fun (k, v) -> Flat_index.Writers.set_final t.writers k v init.Txn.id)
-    (Txn.final_writes init);
+    init_writes;
   ignore (alloc_vertices t init);
+  if ts <> Ts.Ignore then
+    (* The initial version of every key sits at the bottom of its chain
+       (commit_ts = min_int), so prediction is total over in-range keys
+       — exactly {!Ts.predict}'s invariant. *)
+    List.iter
+      (fun (k, v) ->
+        let n = Int_vec.length t.ch_commit in
+        Int_vec.push t.ch_commit min_int;
+        Int_vec.push t.ch_writer init.Txn.id;
+        Int_vec.push t.ch_value v;
+        Int_vec.push t.ch_next (-1);
+        Flat_index.set t.chain_head k n)
+      init_writes;
   t
 
 let resolve t k v = Flat_index.Writers.resolve t.writers k v
+
+(* The newest chain node of [k] with [commit_ts <= start_ts] — the
+   writer an MVCC engine's visibility rule predicts the read observed.
+   Chains are sorted newest-first (commit-order arrival is enforced for
+   ts modes), and readers mostly observe recent versions, so the walk is
+   short in the steady state.  -1 when the key has no chain (out of
+   range). *)
+let predict_node t k ~start_ts =
+  let rec go n =
+    if n < 0 then -1
+    else if Int_vec.get t.ch_commit n <= start_ts then n
+    else go (Int_vec.get t.ch_next n)
+  in
+  go (Flat_index.get t.chain_head k)
+
+let push_chain t k ~commit_ts ~writer ~value =
+  let n = Int_vec.length t.ch_commit in
+  Int_vec.push t.ch_commit commit_ts;
+  Int_vec.push t.ch_writer writer;
+  Int_vec.push t.ch_value value;
+  Int_vec.push t.ch_next (Flat_index.get t.chain_head k);
+  Flat_index.set t.chain_head k n
+
+(* Timestamp-assisted attribution of an external read.  [count]
+   separates the certification statistics (tallied once, in the INT
+   screen) from the edge-derivation re-resolution in [feed_committed],
+   which sees the same reads a second time. *)
+let resolve_ts t ~count ~start_ts k v =
+  match t.ts_mode with
+  | Ts.Ignore -> resolve t k v
+  | Ts.Trust ->
+      let n = predict_node t k ~start_ts in
+      if n < 0 then resolve t k v
+      else begin
+        if count then t.ts_fast <- t.ts_fast + 1;
+        Index.Final (Int_vec.get t.ch_writer n)
+      end
+  | Ts.Verify ->
+      if k < 0 || k >= Bytes.length t.ts_slow
+         || Bytes.unsafe_get t.ts_slow k = '\001'
+      then resolve t k v
+      else
+        let n = predict_node t k ~start_ts in
+        if n >= 0 && Int_vec.get t.ch_value n = v then begin
+          if count then t.ts_fast <- t.ts_fast + 1;
+          Index.Final (Int_vec.get t.ch_writer n)
+        end
+        else begin
+          (* Certification mismatch: the timestamps lie about this key.
+             Fall back to value resolution for it, permanently. *)
+          Bytes.unsafe_set t.ts_slow k '\001';
+          if count then t.ts_mismatched <- t.ts_mismatched + 1;
+          resolve t k v
+        end
 
 (* Product encoding for SI over base vertices: dep edges fan out of both
    the d- and r-vertex into the target's d-vertex; anti edges go
@@ -285,7 +388,7 @@ let feed_committed t (txn : Txn.t) =
   (* WR / WW / RW. *)
   List.iter
     (fun (k, v) ->
-      match resolve t k v with
+      match resolve_ts t ~count:false ~start_ts:txn.Txn.start_ts k v with
       | Index.Final w when w <> txn.Txn.id ->
           let wv = Flat_index.get t.txn_vertex w in
           add_all_edges t wv vtx (Deps.WR k);
@@ -311,6 +414,18 @@ let feed_committed t (txn : Txn.t) =
   List.iter
     (fun (k, v) -> Flat_index.Writers.set_intermediate t.writers k v txn.Txn.id)
     (Txn.intermediate_writes txn);
+  (* Timestamp modes: extend the per-key version chains.  After the
+     resolutions above, so a transaction never predicts its own
+     in-flight writes. *)
+  if t.ts_mode <> Ts.Ignore then begin
+    List.iter
+      (fun (k, v) ->
+        push_chain t k ~commit_ts:txn.Txn.commit_ts ~writer:txn.Txn.id
+          ~value:v)
+      (Txn.final_writes txn);
+    if txn.Txn.commit_ts > t.last_commit then
+      t.last_commit <- txn.Txn.commit_ts
+  end;
   (* SSER: real-time edges through the helper chain.  Commits arrive in
      commit_ts order (enforced by add_txn), so the commit vectors are
      already sorted — binary search directly, no rebuild. *)
@@ -345,11 +460,15 @@ let add_txn_inner t (txn : Txn.t) =
           (Printf.sprintf "Online.add_txn: transaction id %d invalid or reused"
              txn.Txn.id);
       if
-        t.level = Checker.SSER
+        (t.level = Checker.SSER || t.ts_mode <> Ts.Ignore)
         && txn.Txn.status = Txn.Committed
         && txn.Txn.commit_ts < t.last_commit
       then
-        invalid_arg "Online.add_txn: SSER streams must arrive in commit order";
+        invalid_arg
+          (if t.level = Checker.SSER then
+             "Online.add_txn: SSER streams must arrive in commit order"
+           else
+             "Online.add_txn: timestamp modes need commit-order streams");
       Flat_index.set t.seen_ids txn.Txn.id 1;
       t.count <- t.count + 1;
       match txn.Txn.status with
@@ -375,7 +494,12 @@ let add_txn_inner t (txn : Txn.t) =
                    (Printf.sprintf "duplicate write of %d to x%d by T%d" v k
                       txn.Txn.id))
           | None -> (
-              match Int_check.check_txn_with ~resolve:(resolve t) txn with
+              match
+                Int_check.check_txn_with
+                  ~resolve:(fun _ k v ->
+                    resolve_ts t ~count:true ~start_ts:txn.Txn.start_ts k v)
+                  txn
+              with
               | viol :: _ -> poison t (Checker.Intra viol)
               | [] -> (
                   match
@@ -399,8 +523,8 @@ let add_txn t (txn : Txn.t) =
   Obs.Trace.exit sp_feed t0;
   r
 
-let check_stream ?skew ~level ~num_keys txns =
-  let t = create ?skew ~level ~num_keys () in
+let check_stream ?skew ?ts ~level ~num_keys txns =
+  let t = create ?skew ?ts ~level ~num_keys () in
   let rec go n = function
     | [] -> Ok n
     | txn :: rest -> (

@@ -18,7 +18,17 @@
     helper-chain sweep as the batch checker.
 
     Aborted transactions should be fed too ({!add_txn} records their
-    writes so ABORTEDREAD is diagnosed precisely). *)
+    writes so ABORTEDREAD is diagnosed precisely).
+
+    Timestamp modes ({!Ts.mode}, the online Vbox fast path): [Trust]
+    attributes every external read to the newest write with
+    [commit_ts <= start_ts] on its per-key version chain; [Verify]
+    certifies that prediction against the value actually read and falls
+    back per key to value resolution on a mismatch, so verdicts match
+    the default value-only pipeline while the mismatch counters expose
+    lying timestamp oracles ({!stats}).  Both modes require committed
+    transactions to arrive in commit-timestamp order (the natural
+    stream order), which keeps the chains sorted by construction. *)
 
 (** The growable labelled Pearce–Kelly graph backing the checker.
     Exposed for white-box tests of its edge accounting: duplicate edges
@@ -46,8 +56,11 @@ end
 type t
 
 val create :
-  ?skew:int -> level:Checker.level -> num_keys:int -> unit -> t
-(** A fresh stream checker; the initial transaction is implicit. *)
+  ?skew:int -> ?ts:Ts.mode -> level:Checker.level -> num_keys:int -> unit -> t
+(** A fresh stream checker; the initial transaction is implicit.  [ts]
+    (default [Ts.Ignore]) selects the timestamp fast path — see the
+    module header for the [Trust]/[Verify] semantics and the
+    commit-order arrival requirement they impose. *)
 
 type step =
   | Ok_so_far
@@ -57,13 +70,15 @@ type step =
 
 val add_txn : t -> Txn.t -> step
 (** Feed the next transaction (committed or aborted).  Transaction ids
-    must be fresh and positive; for SSER, commit timestamps must be
-    non-decreasing across calls.
-    @raise Invalid_argument on id reuse or out-of-order SSER commits. *)
+    must be fresh and positive; for SSER — and for any timestamp mode —
+    commit timestamps must be non-decreasing across calls.
+    @raise Invalid_argument on id reuse or out-of-order commits. *)
 
 val txns_seen : t -> int
 
 val level : t -> Checker.level
+
+val ts_mode : t -> Ts.mode
 
 val poisoned : t -> Checker.violation option
 (** The violation this checker is stuck on, if any. *)
@@ -73,6 +88,12 @@ type stats = {
   s_vertices : int;  (** graph vertices allocated (incl. SI/SSER helpers) *)
   s_edges : int;  (** edges accepted into the Pearce–Kelly structure *)
   s_poisoned : bool;
+  s_ts_fast : int;
+      (** external reads attributed by timestamp prediction (0 in
+          [Ts.Ignore] mode) *)
+  s_ts_mismatched : int;
+      (** [Ts.Verify] certification mismatches — evidence of a lying
+          timestamp oracle; each flips its key to value resolution *)
 }
 
 val stats : t -> stats
@@ -81,7 +102,7 @@ val stats : t -> stats
     a poisoned checker stops mutating its graph. *)
 
 val check_stream :
-  ?skew:int -> level:Checker.level -> num_keys:int -> Txn.t list ->
-  (int, Checker.violation) result
+  ?skew:int -> ?ts:Ts.mode -> level:Checker.level -> num_keys:int ->
+  Txn.t list -> (int, Checker.violation) result
 (** Convenience: feed a whole list; [Ok n] = all [n] accepted, or the
     violation at the first offending transaction. *)

@@ -41,6 +41,7 @@ type t = {
   rng : Rng.t;
   mutable clock : int;
   mutable next_txn : int;
+  mutable last_reported : int;  (** last commit_ts handed to a client *)
   conflicts : (Txn.id, conflict_info) Hashtbl.t;
   sireads : (Op.key, Txn.id list ref) Hashtbl.t;
   active : (Txn.id, handle) Hashtbl.t;
@@ -56,6 +57,7 @@ let create cfg =
     rng = Rng.create cfg.seed;
     clock = 1;
     next_txn = 1;
+    last_reported = 0;
     conflicts = Hashtbl.create 1024;
     sireads = Hashtbl.create 1024;
     active = Hashtbl.create 64;
@@ -292,6 +294,26 @@ let ssi_certify t h ~commit_ts =
     h.write_buf;
   (not (is_pivot info)) && not !danger
 
+(* Timestamp-oracle faults lie only in the commit timestamp *returned*
+   to the client — the versions installed in the store (and the SSI
+   bookkeeping) keep the real one, so the history's values stay those of
+   a correct engine and only certification can tell.  The lie is clamped
+   to [start_ts] so the reported window stays well-formed. *)
+let reported_commit t h ~commit_ts =
+  let lie =
+    match t.cfg.fault with
+    | Fault.Ts_skew p when fault_trips t p ->
+        Some (commit_ts + Rng.int t.rng 17 - 8)
+    | Fault.Ts_reorder p when fault_trips t p -> Some h.start_ts
+    | Fault.Ts_dup p when fault_trips t p -> Some t.last_reported
+    | _ -> None
+  in
+  let r =
+    match lie with Some ts -> Stdlib.max h.start_ts ts | None -> commit_ts
+  in
+  t.last_reported <- r;
+  r
+
 let commit t h =
   if h.doomed then begin
     do_abort t h Wounded;
@@ -307,7 +329,7 @@ let commit t h =
         | None -> ());
         t.stats.commits <- t.stats.commits + 1;
         finish t h;
-        Committed commit_ts
+        Committed (reported_commit t h ~commit_ts)
     | Isolation.Snapshot | Isolation.Serializable ->
         let skip_all =
           match t.cfg.fault with
@@ -347,7 +369,7 @@ let commit t h =
             (Hashtbl.find t.conflicts h.txn_id).c_commit <- commit_ts;
             t.stats.commits <- t.stats.commits + 1;
             finish t h;
-            Committed commit_ts
+            Committed (reported_commit t h ~commit_ts)
           end
 
 let abort t h =

@@ -5,6 +5,9 @@ type mode =
   | Causality_violation of float
   | Write_skew of float
   | Long_fork of float
+  | Ts_skew of float
+  | Ts_reorder of float
+  | Ts_dup of float
 
 let name = function
   | No_fault -> "none"
@@ -13,11 +16,14 @@ let name = function
   | Causality_violation _ -> "causality-violation"
   | Write_skew _ -> "write-skew"
   | Long_fork _ -> "long-fork"
+  | Ts_skew _ -> "ts-skew"
+  | Ts_reorder _ -> "ts-reorder"
+  | Ts_dup _ -> "ts-dup"
 
 let probability = function
   | No_fault -> 0.0
   | Lost_update p | Aborted_read p | Causality_violation p | Write_skew p
-  | Long_fork p ->
+  | Long_fork p | Ts_skew p | Ts_reorder p | Ts_dup p ->
       p
 
 let all_named =
@@ -27,6 +33,9 @@ let all_named =
     ("causality-violation", fun p -> Causality_violation p);
     ("write-skew", fun p -> Write_skew p);
     ("long-fork", fun p -> Long_fork p);
+    ("ts-skew", fun p -> Ts_skew p);
+    ("ts-reorder", fun p -> Ts_reorder p);
+    ("ts-dup", fun p -> Ts_dup p);
   ]
 
 let of_string ?(p = 0.2) s =

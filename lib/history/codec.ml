@@ -196,6 +196,11 @@ module Bin_writer = struct
       invalid_arg
         (Printf.sprintf "Codec.Bin_writer.add: T%d session %d out of [1,%d]"
            txn.id txn.session t.num_sessions);
+    if txn.start_ts > txn.commit_ts then
+      invalid_arg
+        (Printf.sprintf
+           "Codec.Bin_writer.add: T%d start_ts %d after commit_ts %d" txn.id
+           txn.start_ts txn.commit_ts);
     Array.iter
       (fun op ->
         let k = Op.key op in

@@ -48,7 +48,8 @@ module Bin_writer : sig
   val add : t -> Txn.t -> unit
   (** Append the next transaction.  Ids must arrive as the dense
       sequence 1..n (the initial transaction is implicit); sessions and
-      keys must be in range.  @raise Invalid_argument otherwise. *)
+      keys must be in range; the timestamp window must be well-formed
+      ([start_ts <= commit_ts]).  @raise Invalid_argument otherwise. *)
 
   val close : t -> unit
   (** Write the footer and trailer and close the file.  Idempotent. *)

@@ -22,9 +22,12 @@ val throttles : t -> int
 (** Number of [Throttle] advisories received so far. *)
 
 val open_session :
-  t -> level:Checker.level -> num_keys:int -> ?skew:int -> unit ->
-  (int, string) result
-(** Open an independent checker session; returns its session id. *)
+  t -> level:Checker.level -> num_keys:int -> ?skew:int -> ?ts:Ts.mode ->
+  unit -> (int, string) result
+(** Open an independent checker session; returns its session id.  [ts]
+    (default [Ts.Ignore]) selects the server-side timestamp fast path —
+    in trust or verify mode, feed committed transactions in commit-ts
+    order ({!stream_order} already is). *)
 
 type feed_outcome =
   | Accepted  (** enqueued; no verdict yet *)

@@ -358,7 +358,7 @@ let enqueue t conn s item =
   Mutex.unlock s.smu;
   if pushed then schedule s
 
-let open_session t conn ~level ~num_keys ~skew =
+let open_session t conn ~level ~num_keys ~skew ~ts =
   Mutex.lock t.rmu;
   let sid = t.next_sid in
   t.next_sid <- sid + 1;
@@ -366,7 +366,7 @@ let open_session t conn ~level ~num_keys ~skew =
   let s =
     {
       sid;
-      online = Online.create ~skew ~level ~num_keys ();
+      online = Online.create ~skew ~ts ~level ~num_keys ();
       sconn = conn;
       shard = t.shards.(sid mod Array.length t.shards);
       queue = Queue.create ();
@@ -472,7 +472,7 @@ let conn_loop t conn =
         | Ok (Some frame) -> (
             Metrics.frame_in m;
             match frame with
-            | Wire.Open_session { level; num_keys; skew } ->
+            | Wire.Open_session { level; num_keys; skew; ts } ->
                 if num_keys < 1 || num_keys > t.config.max_keys then begin
                   send t conn
                     (Wire.Error
@@ -485,7 +485,7 @@ let conn_loop t conn =
                   loop ()
                 end
                 else begin
-                  let s = open_session t conn ~level ~num_keys ~skew in
+                  let s = open_session t conn ~level ~num_keys ~skew ~ts in
                   send t conn (Wire.Session_opened { sid = s.sid });
                   loop ()
                 end

@@ -17,7 +17,10 @@
    checker, and [Feed]/[Verdict]/[Sync] frames carry its session id. *)
 
 let magic = "MTCS"
-let version = 1
+
+(* v2: [Open_session] grew a trailing timestamp-mode byte (the Vbox fast
+   path of {!Ts}); v1 peers are refused at the handshake. *)
+let version = 2
 
 (* Hard ceiling on a single frame — a malformed or hostile length prefix
    must not make the server allocate gigabytes. *)
@@ -36,7 +39,12 @@ type close_reason =
 type frame =
   | Hello of { version : int }
   | Welcome of { version : int; server : string }
-  | Open_session of { level : Checker.level; num_keys : int; skew : int }
+  | Open_session of {
+      level : Checker.level;
+      num_keys : int;
+      skew : int;
+      ts : Ts.mode;
+    }
   | Session_opened of { sid : int }
   | Feed of { sid : int; seq : int; txn : Txn.t }
   | Verdict of { sid : int; seq : int; verdict : verdict }
@@ -62,6 +70,14 @@ let level_of_byte = function
   | 0 -> Some Checker.SSER
   | 1 -> Some Checker.SER
   | 2 -> Some Checker.SI
+  | _ -> None
+
+let ts_to_byte = function Ts.Ignore -> 0 | Ts.Trust -> 1 | Ts.Verify -> 2
+
+let ts_of_byte = function
+  | 0 -> Some Ts.Ignore
+  | 1 -> Some Ts.Trust
+  | 2 -> Some Ts.Verify
   | _ -> None
 
 let frame_name = function
@@ -114,11 +130,12 @@ let add_payload buf = function
       Buffer.add_char buf '\002';
       Binio.add_uvarint buf version;
       Binio.add_string buf server
-  | Open_session { level; num_keys; skew } ->
+  | Open_session { level; num_keys; skew; ts } ->
       Buffer.add_char buf '\003';
       Buffer.add_char buf (Char.chr (level_to_byte level));
       Binio.add_uvarint buf num_keys;
-      Binio.add_varint buf skew
+      Binio.add_varint buf skew;
+      Buffer.add_char buf (Char.chr (ts_to_byte ts))
   | Session_opened { sid } ->
       Buffer.add_char buf '\004';
       Binio.add_uvarint buf sid
@@ -227,7 +244,12 @@ let decode_payload payload =
         in
         let num_keys = Binio.read_uvarint r in
         let skew = Binio.read_varint r in
-        Open_session { level; num_keys; skew }
+        let ts =
+          match ts_of_byte (Binio.read_byte r) with
+          | Some ts -> ts
+          | None -> Binio.fail "unknown timestamp mode byte"
+        in
+        Open_session { level; num_keys; skew; ts }
     | 4 -> Session_opened { sid = Binio.read_uvarint r }
     | 5 ->
         let sid = Binio.read_uvarint r in

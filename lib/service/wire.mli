@@ -18,7 +18,11 @@
     rendered counterexample. *)
 
 val magic : string
+
 val version : int
+(** Protocol version 2: [Open_session] carries a trailing timestamp-mode
+    byte (0 = ignore, 1 = trust, 2 = verify — the Vbox fast path of
+    {!Ts}).  The handshake refuses other versions. *)
 
 val max_frame : int
 (** Upper bound on a payload length; longer prefixes are protocol
@@ -39,7 +43,12 @@ type close_reason =
 type frame =
   | Hello of { version : int }
   | Welcome of { version : int; server : string }
-  | Open_session of { level : Checker.level; num_keys : int; skew : int }
+  | Open_session of {
+      level : Checker.level;
+      num_keys : int;
+      skew : int;
+      ts : Ts.mode;  (** timestamp fast path for this session's checker *)
+    }
   | Session_opened of { sid : int }
   | Feed of { sid : int; seq : int; txn : Txn.t }
   | Verdict of { sid : int; seq : int; verdict : verdict }

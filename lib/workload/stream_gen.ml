@@ -10,6 +10,8 @@ type params = {
   num_sessions : int;
   dist : Distribution.kind;
   seed : int;
+  ts_skew : int;
+  ts_lie : float;
 }
 
 let default =
@@ -19,6 +21,8 @@ let default =
     num_sessions = 16;
     dist = Distribution.Uniform;
     seed = 42;
+    ts_skew = 0;
+    ts_lie = 0.0;
   }
 
 let total_weight =
@@ -46,7 +50,39 @@ let sample_two_keys dist rng =
 let generate p emit =
   if p.num_sessions <= 0 then invalid_arg "Stream_gen.generate: no sessions";
   if p.num_keys <= 0 then invalid_arg "Stream_gen.generate: no keys";
+  if p.ts_skew < 0 then invalid_arg "Stream_gen.generate: negative ts_skew";
+  if p.ts_lie < 0.0 || p.ts_lie > 1.0 then
+    invalid_arg "Stream_gen.generate: ts_lie outside [0,1]";
   let rng = Rng.create p.seed in
+  (* Timestamp perturbation draws from its own stream so the ops (and
+     values) of a skewed or lying corpus are byte-identical with the
+     clean corpus of the same seed — only the timestamps differ.  With
+     both knobs at their defaults no draw ever happens and the emitted
+     history is exactly the classic clean one. *)
+  let ts_rng =
+    if p.ts_skew > 0 || p.ts_lie > 0.0 then Some (Rng.create (p.seed lxor 0x7375)) else None
+  in
+  (* The (start, commit) window of transaction [i]: faithfully
+     [(2i, 2i+1)]; a lie replaces it with the window of a random earlier
+     transaction (claiming the work happened long ago — undetectable by
+     values, exactly what certification must catch); a skew perturbs
+     both endpoints by up to [ts_skew] ticks, commit clamped to start so
+     windows stay well-formed. *)
+  let window i =
+    match ts_rng with
+    | None -> (2 * i, (2 * i) + 1)
+    | Some trng ->
+        if p.ts_lie > 0.0 && i > 1 && Rng.chance trng p.ts_lie then
+          let j = 1 + Rng.int trng (i - 1) in
+          (2 * j, (2 * j) + 1)
+        else if p.ts_skew > 0 then begin
+          let d () = Rng.int trng ((2 * p.ts_skew) + 1) - p.ts_skew in
+          let s = (2 * i) + d () in
+          let c = (2 * i) + 1 + d () in
+          (s, Stdlib.max s c)
+        end
+        else (2 * i, (2 * i) + 1)
+  in
   let dist = Distribution.make p.dist ~n:p.num_keys in
   (* Serial-execution state: the current (committed) value of each key,
      plus a global fresh-value counter.  The initial transaction's
@@ -94,10 +130,9 @@ let generate p emit =
             [ (fun () -> read x); (fun () -> write x); (fun () -> read y);
               (fun () -> write y) ]
     in
+    let start_ts, commit_ts = window i in
     emit
       (Txn.make ~id:i
          ~session:(1 + ((i - 1) mod p.num_sessions))
-         ~start_ts:(2 * i)
-         ~commit_ts:((2 * i) + 1)
-         ops)
+         ~start_ts ~commit_ts ops)
   done

@@ -19,12 +19,24 @@ type params = {
   num_sessions : int;
   dist : Distribution.kind;
   seed : int;
+  ts_skew : int;
+      (** perturb each transaction's start/commit timestamps by up to
+          this many ticks (commit clamped to start); 0 = faithful *)
+  ts_lie : float;
+      (** probability that a transaction reports the (start, commit)
+          window of a random earlier transaction — a lying timestamp
+          oracle, undetectable by values; 0.0 = faithful *)
 }
 
 val default : params
-(** 100k txns over 10k keys, 16 sessions, uniform, seed 42. *)
+(** 100k txns over 10k keys, 16 sessions, uniform, seed 42, faithful
+    timestamps. *)
 
 val generate : params -> (Txn.t -> unit) -> unit
 (** [generate p emit] calls [emit] once per transaction, ids 1..n in
-    order — exactly the contract of {!Codec.Bin_writer.add}.
-    @raise Invalid_argument if [num_sessions] or [num_keys] < 1. *)
+    order — exactly the contract of {!Codec.Bin_writer.add}.  Timestamp
+    perturbation ([ts_skew] / [ts_lie]) draws from a dedicated RNG
+    stream, so corpora of the same seed differ only in timestamps —
+    never in ops or values.
+    @raise Invalid_argument if [num_sessions] or [num_keys] < 1, or a
+    timestamp knob is out of range. *)

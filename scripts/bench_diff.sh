@@ -17,15 +17,26 @@
 # ("txns/s", "speedup") — fails the run with exit 1 and a list of the
 # offending rows.  PCT should be generous (hundreds) when the baseline
 # was promoted on different hardware or under different load.
+#
+# --expect-new PAT (repeatable) marks tables or rows that are known to
+# be new this PR: entries whose label contains PAT are acknowledged in
+# one summary line instead of being listed as missing-baseline noise.
 
 set -u
 
 MAX_REGRESS=""
+EXPECT_NEW=""
 while [ $# -gt 0 ]; do
   case "$1" in
     --max-regress)
       MAX_REGRESS="${2:-}"
       shift 2 || { echo "bench_diff: --max-regress needs a value" >&2; exit 2; }
+      ;;
+    --expect-new)
+      [ -n "${2:-}" ] || { echo "bench_diff: --expect-new needs a value" >&2; exit 2; }
+      EXPECT_NEW="$EXPECT_NEW$2
+"
+      shift 2
       ;;
     *) break ;;
   esac
@@ -47,7 +58,7 @@ if ! command -v python3 >/dev/null 2>&1; then
   exit 0
 fi
 
-MAX_REGRESS="$MAX_REGRESS" python3 - "$OLD" "$NEW" <<'PY'
+MAX_REGRESS="$MAX_REGRESS" EXPECT_NEW="$EXPECT_NEW" python3 - "$OLD" "$NEW" <<'PY'
 import json, os, sys
 
 def load(path):
@@ -98,15 +109,21 @@ def main():
         except ValueError:
             print(f"bench_diff: bad --max-regress value {raw!r}", file=sys.stderr)
             sys.exit(2)
+    expect_new = [p for p in os.environ.get("EXPECT_NEW", "").splitlines() if p]
     old, new = load(sys.argv[1]), load(sys.argv[2])
     printed = False
     baseline_missing = []
+    expected_new = []
     regressions = []
+
+    def note_missing(label):
+        (expected_new if any(p in label for p in expect_new)
+         else baseline_missing).append(label)
     for key, (nheader, nrows) in new.items():
         exp, section = key
         if key not in old:
             label = f"[{exp}] {section}" if section else f"[{exp}]"
-            baseline_missing.append(f"{label} (whole table)")
+            note_missing(f"{label} (whole table)")
             continue
         oheader, orows = old[key]
         shared = [c for c in nheader[1:] if c in oheader[1:]]
@@ -114,7 +131,7 @@ def main():
         for name, nrow in nrows.items():
             orow = orows.get(name)
             if orow is None:
-                baseline_missing.append(f"[{exp}] {name}")
+                note_missing(f"[{exp}] {name}")
                 continue
             cells = []
             for col in shared:
@@ -145,6 +162,9 @@ def main():
     if not printed:
         print("bench_diff: no comparable tables between "
               f"{sys.argv[1]} and {sys.argv[2]}")
+    if expected_new:
+        print(f"bench_diff: {len(expected_new)} expected-new entr(ies) "
+              f"matched --expect-new (baseline starts next PR)")
     if baseline_missing:
         print(f"bench_diff: {len(baseline_missing)} row(s) have no baseline "
               f"in {sys.argv[1]} (new this PR, nothing to diff):")

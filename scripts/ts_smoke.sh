@@ -1,0 +1,118 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the timestamp-assisted fast path (ROADMAP item 2):
+# `mtc gen` clean / skewed / lying corpora (same seed => same ops and
+# values, only the timestamps differ), `--timestamps verify` must agree
+# byte-for-byte with `ignore` everywhere while reporting every
+# certification mismatch on stderr, `trust` must be the fastest mode on
+# a clean corpus, and `-j 1/2/4` must print byte-identical output in
+# all three modes.  Wired into `dune build @check` from the root dune
+# file.
+set -u
+
+MTC="$1"
+TMP=$(mktemp -d)
+cleanup() { rm -rf "$TMP"; }
+trap cleanup EXIT
+
+fail() { echo "ts-smoke: FAIL: $*" >&2; exit 1; }
+
+# -- corpora.  The lying corpus reports the timestamp window of a random
+# earlier transaction for ~2% of txns; the skewed corpus drifts every
+# window by up to 3 ticks but stays honest about ordering intent.
+GEN="--txns 60000 --keys 4000 --sessions 16 --seed 23"
+"$MTC" gen $GEN --out-bin "$TMP/clean.bin" >/dev/null \
+  || fail "mtc gen (clean) must succeed"
+"$MTC" gen $GEN --ts-lie 0.02 --out-bin "$TMP/lying.bin" >/dev/null \
+  || fail "mtc gen --ts-lie must succeed"
+"$MTC" gen $GEN --ts-skew 3 --out-bin "$TMP/skew.bin" >/dev/null \
+  || fail "mtc gen --ts-skew must succeed"
+
+check() { # file level mode jobs; stdout/stderr to $TMP/out,err
+  "$MTC" check "$1" --level "$2" --timestamps "$3" -j "$4" \
+    > "$TMP/out" 2> "$TMP/err"
+}
+
+# -- clean corpus: all three modes pass every strong level with
+# byte-identical stdout, and verify has nothing to report
+for level in sser ser si; do
+  check "$TMP/clean.bin" "$level" ignore 1 \
+    || fail "clean corpus must pass $level (ignore)"
+  mv "$TMP/out" "$TMP/base.out"
+  for mode in trust verify; do
+    check "$TMP/clean.bin" "$level" "$mode" 1 \
+      || fail "clean corpus must pass $level ($mode)"
+    cmp -s "$TMP/base.out" "$TMP/out" \
+      || fail "clean corpus: $mode stdout differs from ignore at $level"
+    [ -s "$TMP/err" ] \
+      && fail "clean corpus: $mode reported mismatches at $level"
+  done
+done
+
+# -- skewed-but-honest corpus: commit order is intact, so verify's
+# predictions all certify — same verdict, still nothing on stderr
+for level in ser si; do
+  check "$TMP/skew.bin" "$level" ignore 1 \
+    || fail "skewed corpus must pass $level (ignore)"
+  mv "$TMP/out" "$TMP/base.out"
+  check "$TMP/skew.bin" "$level" verify 1 \
+    || fail "skewed corpus must pass $level (verify)"
+  cmp -s "$TMP/base.out" "$TMP/out" \
+    || fail "skewed corpus: verify stdout differs from ignore at $level"
+done
+
+# -- lying corpus: SER/SI verdicts ignore timestamps, so ignore still
+# passes; verify must agree on stdout AND surface the lies on stderr.
+# (SSER is excluded: its real-time edges are derived from the lying
+# timestamps even in ignore mode, so the verdicts legitimately differ.)
+for level in ser si; do
+  check "$TMP/lying.bin" "$level" ignore 1 \
+    || fail "lying corpus must still pass $level (ignore: values are clean)"
+  mv "$TMP/out" "$TMP/base.out"
+  check "$TMP/lying.bin" "$level" verify 1 \
+    || fail "lying corpus must pass $level (verify falls back on mismatch)"
+  cmp -s "$TMP/base.out" "$TMP/out" \
+    || fail "lying corpus: verify stdout differs from ignore at $level"
+  grep -q "timestamp certification" "$TMP/err" \
+    || fail "lying corpus: verify must report certification mismatches at $level"
+  # trust believes the lies: tolerated verdict, but never a crash
+  check "$TMP/lying.bin" "$level" trust 1
+  rc=$?
+  [ "$rc" -le 1 ] || fail "lying corpus: trust must exit 0/1 at $level, got $rc"
+done
+
+# -- trust must be the fastest mode on a clean corpus (generous margin:
+# it skips certification AND the duplicate-value screen, measured >=2x
+# in the benchmarks, so a plain <= comparison is robust; one retry
+# absorbs scheduler noise)
+ms() { # file mode -> milliseconds on stdout
+  local t0 t1
+  t0=$(date +%s%N)
+  check "$1" ser "$2" 1 || fail "timing run must pass ($2)"
+  t1=$(date +%s%N)
+  echo $(( (t1 - t0) / 1000000 ))
+}
+t_ignore=$(ms "$TMP/clean.bin" ignore)
+t_trust=$(ms "$TMP/clean.bin" trust)
+if [ "$t_trust" -gt "$t_ignore" ]; then
+  t_ignore=$(ms "$TMP/clean.bin" ignore)
+  t_trust=$(ms "$TMP/clean.bin" trust)
+  [ "$t_trust" -le "$t_ignore" ] \
+    || fail "trust (${t_trust}ms) must not be slower than ignore (${t_ignore}ms)"
+fi
+
+# -- byte-identical stdout and stderr across -j in all three modes, on
+# the corpus most at risk (lying: verify exercises fallback + report)
+for mode in ignore trust verify; do
+  check "$TMP/lying.bin" ser "$mode" 1; rc1=$?
+  mv "$TMP/out" "$TMP/j1.out"; mv "$TMP/err" "$TMP/j1.err"
+  for j in 2 4; do
+    check "$TMP/lying.bin" ser "$mode" "$j"; rc=$?
+    [ "$rc" -eq "$rc1" ] || fail "$mode: exit $rc at -j $j vs $rc1 at -j 1"
+    cmp -s "$TMP/j1.out" "$TMP/out" \
+      || fail "$mode: stdout differs at -j $j"
+    cmp -s "$TMP/j1.err" "$TMP/err" \
+      || fail "$mode: stderr differs at -j $j"
+  done
+done
+
+echo "ts-smoke: OK"

@@ -22,4 +22,5 @@ let () =
       ("properties", Test_properties.suite);
       ("obs", Test_obs.suite);
       ("par", Test_par.suite);
+      ("ts", Test_ts.suite);
     ]

@@ -61,8 +61,8 @@ let prop_pool_report_identical =
 
 let stream_history ~txns ~keys ~sessions ~seed =
   let p =
-    { Stream_gen.num_txns = txns; num_keys = keys; num_sessions = sessions;
-      dist = Distribution.Uniform; seed }
+    { Stream_gen.default with num_txns = txns; num_keys = keys;
+      num_sessions = sessions; dist = Distribution.Uniform; seed }
   in
   let acc = ref [] in
   Stream_gen.generate p (fun t -> acc := t :: !acc);

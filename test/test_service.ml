@@ -66,7 +66,8 @@ let frame_gen =
         (let* level = oneofl [ Checker.SSER; Checker.SER; Checker.SI ] in
          let* num_keys = int_range 1 100_000 in
          let* skew = int_range (-100) 100 in
-         return (Wire.Open_session { level; num_keys; skew }));
+         let* ts = oneofl [ Ts.Ignore; Ts.Trust; Ts.Verify ] in
+         return (Wire.Open_session { level; num_keys; skew; ts }));
         (let* sid = sid in
          return (Wire.Session_opened { sid }));
         (let* sid = sid in
@@ -322,7 +323,8 @@ let test_service_midframe_disconnect () =
       | Ok (Some (Wire.Welcome _)) -> ()
       | _ -> Alcotest.fail "welcome expected");
       Wire.write_frame fd bufs
-        (Wire.Open_session { level = Checker.SER; num_keys = 4; skew = 0 });
+        (Wire.Open_session
+           { level = Checker.SER; num_keys = 4; skew = 0; ts = Ts.Ignore });
       (match Wire.read_frame fd with
       | Ok (Some (Wire.Session_opened _)) -> ()
       | _ -> Alcotest.fail "session-opened expected");
