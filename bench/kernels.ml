@@ -317,26 +317,56 @@ let obs_overhead_rows () =
   in
   [ row "check-ser/tracing-off" false; row "check-ser/tracing-on" true ]
 
+let rm_rf dir =
+  if Sys.file_exists dir then (
+    Array.iter
+      (fun f -> Sys.remove (Filename.concat dir f))
+      (Sys.readdir dir);
+    Unix.rmdir dir)
+
 (* Checking-as-a-service transport overhead: stream a fixed clean SER
    history through an in-process server over each transport and report
    end-to-end throughput plus the server-side per-feed latency
    percentiles (which exclude the wire, so the gap between the two
-   columns is the protocol cost). *)
+   columns is the protocol cost).  The [-wal-*] rows rerun the unix
+   transport with durability on, so the delta against the plain unix
+   row is the write-ahead-log cost under each fsync policy. *)
 let service_rows () =
-  let txns = Bench_util.scale 2000 in
+  (* long enough to amortize per-stream fixed costs (session setup, the
+     Batch-mode barrier fsync at the verdict) the way a real monitoring
+     stream would *)
+  let txns = if !Bench_util.smoke then Bench_util.scale 2000 else 6000 in
   let keys = Stdlib.max 15 (Bench_util.scale 300) in
   let h =
     (Bench_util.mt_history ~level:Isolation.Serializable ~keys ~txns ~seed:903 ())
       .Scheduler.history
   in
-  let one label addr =
+  let one ?durable label addr =
     let metrics = Metrics.create () in
+    let wal_dir =
+      Option.map
+        (fun sync ->
+          Filename.concat
+            (Filename.get_temp_dir_name ())
+            (Printf.sprintf "mtc-bench-wal-%d-%s" (Unix.getpid ())
+               (Wal.sync_name sync)))
+        durable
+    in
     let config =
-      { Server.default_config with Server.listen = [ addr ]; metrics }
+      {
+        Server.default_config with
+        Server.listen = [ addr ];
+        metrics;
+        wal_dir;
+        wal_sync =
+          Option.value durable ~default:Server.default_config.Server.wal_sync;
+      }
     in
     let t = Server.start config in
     Fun.protect
-      ~finally:(fun () -> Server.stop t)
+      ~finally:(fun () ->
+        Server.stop t;
+        Option.iter rm_rf wal_dir)
       (fun () ->
         let addr = List.hd (Server.bound_addrs t) in
         match Client.connect addr with
@@ -345,25 +375,33 @@ let service_rows () =
             Fun.protect
               ~finally:(fun () -> Client.close c)
               (fun () ->
-                let sid =
-                  match
-                    Client.open_session c ~level:Checker.SER
-                      ~num_keys:h.History.num_keys ()
-                  with
-                  | Ok sid -> sid
-                  | Error e -> failwith ("service bench open: " ^ e)
+                (* median over several whole-history streams — a single
+                   ~20ms stream is too noisy to compare rows *)
+                let reps = if !Bench_util.smoke then 3 else 7 in
+                let stream () =
+                  let sid =
+                    match
+                      Client.open_session c ~level:Checker.SER
+                        ~num_keys:h.History.num_keys ()
+                    with
+                    | Ok sid -> sid
+                    | Error e -> failwith ("service bench open: " ^ e)
+                  in
+                  let fed0 = Metrics.txns_fed metrics in
+                  let t0 = Unix.gettimeofday () in
+                  (match Client.feed_history c ~sid h with
+                  | Ok (Wire.V_ok _) -> ()
+                  | Ok (Wire.V_violation _) ->
+                      failwith "service bench: clean history flagged"
+                  | Error e -> failwith ("service bench feed: " ^ e));
+                  let dt = Unix.gettimeofday () -. t0 in
+                  ignore (Client.close_session c ~sid);
+                  float_of_int (Metrics.txns_fed metrics - fed0) /. dt
                 in
-                let t0 = Unix.gettimeofday () in
-                (match Client.feed_history c ~sid h with
-                | Ok (Wire.V_ok _) -> ()
-                | Ok (Wire.V_violation _) ->
-                    failwith "service bench: clean history flagged"
-                | Error e -> failwith ("service bench feed: " ^ e));
-                let dt = Unix.gettimeofday () -. t0 in
+                let rates = List.sort compare (List.init reps (fun _ -> stream ())) in
                 [
                   label;
-                  Printf.sprintf "%.0f"
-                    (float_of_int (Metrics.txns_fed metrics) /. dt);
+                  Printf.sprintf "%.0f" (List.nth rates (reps / 2));
                   Printf.sprintf "%d" (Metrics.feed_p50_ns metrics);
                   Printf.sprintf "%d" (Metrics.feed_p99_ns metrics);
                   Printf.sprintf "%.0f" (Metrics.feed_words_mean metrics);
@@ -429,12 +467,70 @@ let service_rows () =
   let k = Stdlib.max 2 (Bench_util.jobs ()) in
   [
     one "service_feed/unix" (Server.A_unix sock);
+    one ~durable:Wal.Batch "service_feed/unix-wal-batch"
+      (Server.A_unix (sock ^ ".walb"));
+    one ~durable:Wal.Always "service_feed/unix-wal-always"
+      (Server.A_unix (sock ^ ".wala"));
     one "service_feed/tcp" (Server.A_tcp ("127.0.0.1", 0));
     multi
       (Printf.sprintf "service_feed/unix-x%d" k)
       k
       (Server.A_unix (sock ^ ".multi"));
   ]
+
+(* The event-loop claim in numbers: a herd of open-but-quiet
+   connections costs the server file descriptors and buffers, not a
+   systhread each.  The herd lives in this same process (2 fds per
+   connection), so it is capped below the default ulimit; `mtc swarm`
+   drives the full 10k-connection version from a separate process. *)
+let idle_conn_rows () =
+  let n = if !Bench_util.smoke then 500 else 8_000 in
+  let process_threads () =
+    match open_in "/proc/self/status" with
+    | exception Sys_error _ -> -1
+    | ic ->
+        let rec go acc =
+          match input_line ic with
+          | line ->
+              go
+                (try Scanf.sscanf line "Threads: %d" (fun t -> t)
+                 with Scanf.Scan_failure _ | End_of_file -> acc)
+          | exception End_of_file -> acc
+        in
+        let r = go (-1) in
+        close_in ic;
+        r
+  in
+  let sock =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mtc-bench-%d.idle.sock" (Unix.getpid ()))
+  in
+  let config =
+    { Server.default_config with Server.listen = [ Server.A_unix sock ] }
+  in
+  let t = Server.start config in
+  Fun.protect
+    ~finally:(fun () -> Server.stop t)
+    (fun () ->
+      let addr = List.hd (Server.bound_addrs t) in
+      let t0 = Unix.gettimeofday () in
+      let conns =
+        List.init n (fun _ ->
+            match Client.connect addr with
+            | Ok c -> c
+            | Error e -> failwith ("idle bench connect: " ^ e))
+      in
+      let dt = Unix.gettimeofday () -. t0 in
+      let threads = process_threads () in
+      List.iter Client.close conns;
+      [
+        [
+          Printf.sprintf "idle_conns/%d" n;
+          string_of_int n;
+          Printf.sprintf "%.0f" (float_of_int n /. dt);
+          (if threads < 0 then "-" else string_of_int threads);
+        ];
+      ])
 
 let run () =
   Bench_util.section
@@ -498,4 +594,9 @@ let run () =
     ~header:
       [ "transport"; "txns/s"; "server p50 (ns)"; "server p99 (ns)";
         "words/feed" ]
-    (service_rows ())
+    (service_rows ());
+  Bench_util.subsection
+    "idle connection herd: event-loop cost of open-but-quiet clients";
+  Bench_util.print_table
+    ~header:[ "herd"; "conns"; "open conns/s"; "process threads" ]
+    (idle_conn_rows ())

@@ -604,7 +604,57 @@ let serve_cmd =
              127.0.0.1:$(docv) ($(b,GET /metrics)).  Port 0 binds an \
              ephemeral port and prints it.")
   in
-  let run listen queue idle jobs metrics_port =
+  let wal_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "wal-dir" ] ~docv:"DIR"
+          ~doc:
+            "Durability directory (created if missing): per-shard \
+             write-ahead logs plus periodic snapshots.  A restarted \
+             server restores it and clients re-attach with \
+             $(b,mtc feed --resume).")
+  in
+  let wal_sync_arg =
+    let sync_conv =
+      Arg.conv
+        ( (fun s ->
+            match Wal.sync_of_string s with
+            | Some v -> Ok v
+            | None ->
+                Error (`Msg (Printf.sprintf "bad sync policy %S" s))),
+          fun ppf v -> Format.pp_print_string ppf (Wal.sync_name v) )
+    in
+    Arg.(
+      value & opt sync_conv Wal.Batch
+      & info [ "wal-sync" ] ~docv:"POLICY"
+          ~doc:
+            "WAL fsync policy: $(b,always) (fsync per record), $(b,batch) \
+             (fsync before each acknowledged verdict, default) or \
+             $(b,off).  Appends are a write() per record under every \
+             policy, so a server kill never loses accepted frames — the \
+             policy only guards against OS crashes and power loss.")
+  in
+  let snapshot_every_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "snapshot-every" ] ~docv:"N"
+          ~doc:
+            "Checkpoint a shard (snapshot + WAL rotation) every $(docv) \
+             feeds it accepts; 0 checkpoints only on SIGHUP and \
+             shutdown.")
+  in
+  let drain_delay_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "drain-delay" ] ~docv:"SECONDS"
+          ~doc:
+            "Artificial per-item worker delay — a test knob to provoke \
+             backpressure and mid-feed crashes deterministically; keep 0 \
+             in production.")
+  in
+  let run listen queue idle jobs metrics_port wal_dir wal_sync snapshot_every
+      drain_delay =
     let listen =
       if listen = [] then [ Server.A_unix "/tmp/mtc.sock" ] else listen
     in
@@ -614,8 +664,12 @@ let serve_cmd =
         Server.listen;
         queue_capacity = Stdlib.max 1 queue;
         idle_timeout = idle;
+        drain_delay;
         shards = resolve_jobs jobs;
         metrics_port;
+        wal_dir;
+        wal_sync;
+        snapshot_every;
       }
     in
     match
@@ -625,6 +679,13 @@ let serve_cmd =
               Printf.printf "mtc serve: listening on %s\n%!"
                 (Server.addr_to_string a))
             (Server.bound_addrs t);
+          Printf.printf "mtc serve: event backend %s\n%!"
+            (Server.event_backend t);
+          Option.iter
+            (fun dir ->
+              Printf.printf "mtc serve: durable in %s (sync %s)\n%!" dir
+                (Wal.sync_name wal_sync))
+            wal_dir;
           Option.iter
             (fun p ->
               Printf.printf
@@ -640,18 +701,24 @@ let serve_cmd =
         Printf.eprintf "mtc serve: cannot listen: %s (%s)\n"
           (Unix.error_message e) arg;
         exit exit_error
+    | exception Failure msg ->
+        Printf.eprintf "mtc serve: %s\n" msg;
+        exit exit_error
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Run the checking daemon: accepts sessions over Unix-domain and \
-          TCP sockets, each an independent online checker at its \
-          negotiated isolation level.  Shuts down gracefully (draining \
-          in-flight frames) on SIGTERM/SIGINT and dumps service metrics \
-          as JSON.  Sessions check in parallel on $(b,--jobs) shard \
-          domains.")
+         "Run the checking daemon: an epoll event loop accepts sessions \
+          over Unix-domain and TCP sockets, each an independent online \
+          checker at its negotiated isolation level.  With \
+          $(b,--wal-dir) every accepted frame is write-ahead logged and \
+          sessions survive crashes ($(b,kill -9)) and restarts.  Shuts \
+          down gracefully (draining in-flight frames) on SIGTERM/SIGINT \
+          and dumps service metrics as JSON; SIGHUP checkpoints.  \
+          Sessions check in parallel on $(b,--jobs) shard domains.")
     Term.(const run $ listen_arg $ queue_arg $ idle_arg $ jobs_arg
-          $ metrics_port_arg)
+          $ metrics_port_arg $ wal_dir_arg $ wal_sync_arg
+          $ snapshot_every_arg $ drain_delay_arg)
 
 let feed_cmd =
   let file_arg =
@@ -674,6 +741,26 @@ let feed_cmd =
       & info [ "stats" ]
           ~doc:"Also print the server's metrics snapshot (JSON) afterwards.")
   in
+  let resume_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "resume" ] ~docv:"SID"
+          ~doc:
+            "Re-attach to session $(docv) on a durable server \
+             ($(b,mtc serve --wal-dir)) instead of opening a fresh one, \
+             and skip every transaction the server already logged (it \
+             reports its last durable sequence number).")
+  in
+  let ack_every_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "ack-every" ] ~docv:"N"
+          ~doc:
+            "Sync every $(docv) accepted transactions, so progress is \
+             acknowledged (and, on a durable server, fsynced) \
+             periodically while streaming; 0 syncs only at the end.")
+  in
   let strong_level = function
     | Strong l -> Ok l
     | Weak l ->
@@ -682,7 +769,30 @@ let feed_cmd =
              "the service checks strong levels only (si|ser|sser), not %s"
              (Weak_checker.level_name l))
   in
-  let run file addr level skew timestamps want_stats =
+  (* feed_history with periodic syncs: feed seqs are 1-based stream
+     positions (the durable-resume cursor), syncs use the client's
+     internal counter, floored clear of them. *)
+  let stream_with_acks c ~sid ~resume_from ~ack_every h =
+    Client.seq_floor c 1_000_000_000;
+    let rec go pos since = function
+      | [] -> Client.sync c ~sid
+      | txn :: rest ->
+          if pos <= resume_from then go (pos + 1) since rest
+          else (
+            match Client.feed ~seq:pos c ~sid txn with
+            | Error _ as e -> e
+            | Ok (Client.Early_verdict v) -> Ok v
+            | Ok Client.Accepted ->
+                if ack_every > 0 && since + 1 >= ack_every then (
+                  match Client.sync c ~sid with
+                  | Error _ as e -> e
+                  | Ok (Wire.V_violation _ as v) -> Ok v
+                  | Ok (Wire.V_ok _) -> go (pos + 1) 0 rest)
+                else go (pos + 1) (since + 1) rest)
+    in
+    go 1 0 (Client.stream_order h)
+  in
+  let run file addr level skew timestamps want_stats resume ack_every =
     match (Codec.load file, strong_level level) with
     | Error e, _ ->
         Printf.eprintf "cannot load %s: %s\n" file e;
@@ -706,15 +816,35 @@ let feed_cmd =
               exit code
             in
             Printf.printf "%s\n" (History.stats h);
-            (match
-               Client.open_session c ~level ~num_keys:h.History.num_keys
-                 ~skew ~ts:timestamps ()
-             with
+            let session =
+              match resume with
+              | None -> (
+                  match
+                    Client.open_session c ~level ~num_keys:h.History.num_keys
+                      ~skew ~ts:timestamps ()
+                  with
+                  | Error e -> Error ("cannot open session: " ^ e)
+                  | Ok sid ->
+                      Printf.printf "session %d opened\n%!" sid;
+                      Ok (sid, 0))
+              | Some sid -> (
+                  match Client.resume_session c ~sid with
+                  | Error e ->
+                      Error (Printf.sprintf "cannot resume session %d: %s"
+                               sid e)
+                  | Ok last_seq ->
+                      Printf.printf
+                        "session %d resumed at seq %d (skipping %d \
+                         transactions already logged)\n%!"
+                        sid last_seq last_seq;
+                      Ok (sid, last_seq))
+            in
+            (match session with
             | Error e ->
-                Printf.eprintf "cannot open session: %s\n" e;
+                Printf.eprintf "%s\n" e;
                 finish exit_error
-            | Ok sid -> (
-                match Client.feed_history c ~sid h with
+            | Ok (sid, resume_from) -> (
+                match stream_with_acks c ~sid ~resume_from ~ack_every h with
                 | Error e ->
                     Printf.eprintf "feed failed: %s\n" e;
                     finish exit_error
@@ -733,9 +863,10 @@ let feed_cmd =
          "Stream a recorded history to a running $(b,mtc serve) daemon \
           over the binary wire protocol and print the verdict — a true \
           end-to-end black-box check over the network.  Exit codes match \
-          $(b,mtc check).")
+          $(b,mtc check).  Against a durable server, $(b,--resume SID) \
+          continues a session across a server crash or restart.")
     Term.(const run $ file_arg $ addr_arg $ level_arg $ skew_arg
-          $ timestamps_arg $ stats_arg)
+          $ timestamps_arg $ stats_arg $ resume_arg $ ack_every_arg)
 
 (* ------------------------------------------------------------------ *)
 (* mtc stats *)
@@ -933,6 +1064,203 @@ let stats_cmd =
     Term.(const run $ addr_arg $ json_arg $ http_arg)
 
 (* ------------------------------------------------------------------ *)
+(* mtc wal-dump — inspect a persistence directory. *)
+
+let wal_dump_cmd =
+  let dir_arg =
+    Arg.(
+      required
+      & pos 0 (some dir) None
+      & info [] ~docv:"DIR"
+          ~doc:"Persistence directory of an $(b,mtc serve --wal-dir) run.")
+  in
+  let verbose_arg =
+    Arg.(
+      value & flag
+      & info [ "verbose"; "v" ]
+          ~doc:"Print every WAL record instead of per-session summaries.")
+  in
+  let dump_snapshot path =
+    match Snapshot_store.read path with
+    | Error e -> Printf.printf "%s: unreadable: %s\n" (Filename.basename path) e
+    | Ok info ->
+        Printf.printf "%s: shard %d/%d gen %d next_sid %d, %d sessions\n"
+          (Filename.basename path) info.Snapshot_store.i_shard
+          info.Snapshot_store.i_nshards info.Snapshot_store.i_gen
+          info.Snapshot_store.i_next_sid
+          (List.length info.Snapshot_store.i_entries);
+        List.iter
+          (fun (e : Snapshot_store.entry) ->
+            Printf.printf "  session %d: %s, %d keys, last_seq %d, %s\n" e.sid
+              (Checker.level_name e.meta.Snapshot_store.level)
+              e.meta.Snapshot_store.num_keys e.last_seq
+              (match e.state with
+              | Snapshot_store.Live online ->
+                  Printf.sprintf "live (%d txns)" (Online.txns_seen online)
+              | Snapshot_store.Poisoned { anomaly; _ } ->
+                  Printf.sprintf "poisoned%s"
+                    (match anomaly with
+                    | Some a -> " [" ^ a ^ "]"
+                    | None -> "")))
+          info.Snapshot_store.i_entries
+  in
+  let dump_wal verbose path =
+    match Wal.read_path path with
+    | Error e -> Printf.printf "%s: unreadable: %s\n" (Filename.basename path) e
+    | Ok (h, records, tail) ->
+        Printf.printf "%s: shard %d/%d gen %d, %d records%s\n"
+          (Filename.basename path) h.Wal.h_shard h.Wal.h_nshards h.Wal.h_gen
+          (List.length records)
+          (match tail with
+          | Wal.Complete -> ""
+          | Wal.Truncated off ->
+              Printf.sprintf ", torn tail at byte %d" off
+          | Wal.Corrupt { offset; reason } ->
+              Printf.sprintf ", CORRUPT at byte %d (%s)" offset reason);
+        if verbose then
+          List.iter
+            (fun r ->
+              match r with
+              | Wal.R_open { sid; level; num_keys; skew; ts } ->
+                  Printf.printf
+                    "  open  sid=%d %s num_keys=%d skew=%d ts=%s\n" sid
+                    (Checker.level_name level) num_keys skew
+                    (Ts.mode_name ts)
+              | Wal.R_feed { sid; seq; txn } ->
+                  Printf.printf "  feed  sid=%d seq=%d txn=%d (%d ops)\n" sid
+                    seq txn.Txn.id
+                    (Array.length txn.Txn.ops)
+              | Wal.R_close { sid } -> Printf.printf "  close sid=%d\n" sid)
+            records
+        else begin
+          (* per-session summary: feeds and seq range *)
+          let tbl = Hashtbl.create 8 in
+          List.iter
+            (fun r ->
+              let touch sid f =
+                let cur =
+                  Option.value
+                    (Hashtbl.find_opt tbl sid)
+                    ~default:(false, 0, 0, false)
+                in
+                Hashtbl.replace tbl sid (f cur)
+              in
+              match r with
+              | Wal.R_open { sid; _ } ->
+                  touch sid (fun (_, feeds, mx, closed) ->
+                      (true, feeds, mx, closed))
+              | Wal.R_feed { sid; seq; _ } ->
+                  touch sid (fun (opened, feeds, mx, closed) ->
+                      (opened, feeds + 1, Stdlib.max mx seq, closed))
+              | Wal.R_close { sid } ->
+                  touch sid (fun (opened, feeds, mx, _) ->
+                      (opened, feeds, mx, true)))
+            records;
+          Hashtbl.fold (fun sid v acc -> (sid, v) :: acc) tbl []
+          |> List.sort compare
+          |> List.iter (fun (sid, (opened, feeds, mx, closed)) ->
+                 Printf.printf
+                   "  session %d: %s%d feeds, last seq %d%s\n" sid
+                   (if opened then "opened, " else "")
+                   feeds mx
+                   (if closed then ", closed" else ""))
+        end
+  in
+  let run dir verbose =
+    let files = Array.to_list (Sys.readdir dir) |> List.sort compare in
+    let snaps =
+      List.filter (fun f -> String.length f > 5 && String.sub f 0 5 = "snap-")
+        files
+    in
+    let wals =
+      List.filter (fun f -> String.length f > 4 && String.sub f 0 4 = "wal-")
+        files
+    in
+    if snaps = [] && wals = [] then begin
+      Printf.eprintf "%s: no wal-* or snap-* files\n" dir;
+      exit exit_error
+    end;
+    List.iter (fun f -> dump_snapshot (Filename.concat dir f)) snaps;
+    List.iter (fun f -> dump_wal verbose (Filename.concat dir f)) wals;
+    exit exit_pass
+  in
+  Cmd.v
+    (Cmd.info "wal-dump"
+       ~doc:
+         "Inspect an $(b,mtc serve --wal-dir) persistence directory: \
+          snapshot contents and write-ahead-log records per shard, \
+          including torn-tail and corruption diagnostics.")
+    Term.(const run $ dir_arg $ verbose_arg)
+
+(* ------------------------------------------------------------------ *)
+(* mtc swarm — hold many idle connections open at once. *)
+
+let swarm_cmd =
+  let addr_arg =
+    Arg.(
+      value
+      & opt addr_conv (Server.A_unix "/tmp/mtc.sock")
+      & info [ "addr"; "a" ] ~docv:"ADDR"
+          ~doc:"Server address: $(b,unix:PATH) or $(b,tcp:HOST:PORT).")
+  in
+  let count_arg =
+    Arg.(
+      value & opt int 10_000
+      & info [ "n" ] ~docv:"COUNT" ~doc:"Connections to open.")
+  in
+  let hold_arg =
+    Arg.(
+      value & opt float 2.0
+      & info [ "hold" ] ~docv:"SECONDS"
+          ~doc:"How long to hold the herd open before closing it.")
+  in
+  let run addr count hold =
+    let t0 = Unix.gettimeofday () in
+    let conns = ref [] in
+    let opened = ref 0 in
+    (try
+       for _ = 1 to count do
+         match Client.connect addr with
+         | Ok c ->
+             conns := c :: !conns;
+             incr opened
+         | Error e -> failwith e
+       done
+     with Failure e ->
+       Printf.eprintf "mtc swarm: connection %d failed: %s\n" (!opened + 1) e);
+    let dt = Unix.gettimeofday () -. t0 in
+    Printf.printf "mtc swarm: %d/%d connections open in %.2fs (%.0f conn/s)\n%!"
+      !opened count dt
+      (float_of_int !opened /. Float.max dt 1e-9);
+    (* the server's own view, through one more (briefly-used) connection *)
+    (match Client.connect addr with
+    | Ok probe ->
+        (match Client.stats probe with
+        | Ok json -> (
+            match
+              List.assoc_opt "open_conns" (parse_stats_json json)
+            with
+            | Some v ->
+                Printf.printf "mtc swarm: server reports open_conns=%d\n%!"
+                  (int_of_float v)
+            | None | (exception Bad_stats_json) -> ())
+        | Error _ -> ());
+        Client.close probe
+    | Error _ -> ());
+    if hold > 0.0 then Unix.sleepf hold;
+    List.iter Client.close !conns;
+    exit (if !opened = count then exit_pass else exit_error)
+  in
+  Cmd.v
+    (Cmd.info "swarm"
+       ~doc:
+         "Open $(b,--n) idle connections to a running daemon and hold \
+          them — a load probe for the event loop: connections cost file \
+          descriptors, not threads.  Exits non-zero if the herd could \
+          not be fully established.")
+    Term.(const run $ addr_arg $ count_arg $ hold_arg)
+
+(* ------------------------------------------------------------------ *)
 (* mtc anomalies *)
 
 let anomalies_cmd =
@@ -956,5 +1284,5 @@ let () =
           (Cmd.info "mtc" ~version:"1.0.0" ~doc ~exits:verdict_exits)
           [
             check_cmd; run_cmd; gen_cmd; hunt_cmd; graph_cmd; anomalies_cmd;
-            serve_cmd; feed_cmd; stats_cmd;
+            serve_cmd; feed_cmd; stats_cmd; wal_dump_cmd; swarm_cmd;
           ]))

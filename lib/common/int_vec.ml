@@ -21,3 +21,24 @@ let pop t =
   t.len <- t.len - 1;
   t.data.(t.len)
 let data t = t.data
+
+(* Serialization: length then each element as a zigzag varint (vectors
+   holding [min_int] sentinels round-trip).  The decoded vector's
+   capacity is exactly its length — iteration order and contents are
+   bit-identical to the source, which the snapshot layer relies on. *)
+
+let encode buf t =
+  Binio_core.add_uvarint buf t.len;
+  for i = 0 to t.len - 1 do
+    Binio_core.add_varint buf t.data.(i)
+  done
+
+let decode r =
+  let len = Binio_core.read_uvarint r in
+  if len < 0 || len > Binio_core.remaining r then
+    Binio_core.fail "int_vec length %d overruns input" len;
+  let t = create len in
+  for _ = 1 to len do
+    push t (Binio_core.read_varint r)
+  done;
+  t

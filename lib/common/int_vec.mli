@@ -27,3 +27,12 @@ val data : t -> int array
 (** The backing array — valid entries are [0 .. length t - 1].  Exposed
     so counting-sort passes can index it directly; do not retain across
     further pushes (doubling replaces the array). *)
+
+val encode : Buffer.t -> t -> unit
+(** Append length + elements as varints (zigzag: [min_int] sentinels
+    survive). *)
+
+val decode : Binio_core.reader -> t
+(** Inverse of {!encode}; the result's contents and order are
+    bit-identical to the encoded vector.
+    @raise Binio_core.Decode_error on truncated or malformed input. *)

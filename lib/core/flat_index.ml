@@ -69,7 +69,37 @@ let set t k v =
     t.size <- t.size + 1
   end
 
+(* Snapshot codec: size then the live (key, value) pairs in slot order.
+   Decode re-inserts into a fresh map — probe layout is unobservable
+   (the interface is get/set/mem), so re-insertion is equivalence-
+   preserving. *)
+
+let encode buf t =
+  Binio_core.add_uvarint buf t.size;
+  for i = 0 to Array.length t.vals - 1 do
+    if t.vals.(i) >= 0 then begin
+      Binio_core.add_varint buf t.keys.(i);
+      Binio_core.add_uvarint buf t.vals.(i)
+    end
+  done
+
+let decode r =
+  let size = Binio_core.read_uvarint r in
+  if size < 0 || size > Binio_core.remaining r then
+    Binio_core.fail "flat_index size %d overruns input" size;
+  let t = create ~capacity:(2 * size) () in
+  for _ = 1 to size do
+    let k = Binio_core.read_varint r in
+    let v = Binio_core.read_uvarint r in
+    if v < 0 then Binio_core.fail "flat_index value %d negative" v;
+    set t k v
+  done;
+  t
+
 type map = t
+
+let encode_map = encode
+let decode_map = decode
 
 (* --- int-packed (key, value) pairs --- *)
 
@@ -144,6 +174,40 @@ module Writers = struct
               match Hashtbl.find_opt t.spill (2, k, v) with
               | Some id -> Aborted id
               | None -> Nobody))
+
+  let encode buf t =
+    Binio_core.add_uvarint buf t.num_keys;
+    encode_map buf t.final;
+    encode_map buf t.intermediate;
+    encode_map buf t.aborted;
+    Binio_core.add_uvarint buf (Hashtbl.length t.spill);
+    Hashtbl.iter
+      (fun (tier, k, v) id ->
+        Binio_core.add_uvarint buf tier;
+        Binio_core.add_varint buf k;
+        Binio_core.add_varint buf v;
+        Binio_core.add_varint buf id)
+      t.spill
+
+  let decode r =
+    let num_keys = Binio_core.read_uvarint r in
+    let final = decode_map r in
+    let intermediate = decode_map r in
+    let aborted = decode_map r in
+    let n = Binio_core.read_uvarint r in
+    if n < 0 || n > Binio_core.remaining r then
+      Binio_core.fail "writers spill count %d overruns input" n;
+    let spill = Hashtbl.create (Stdlib.max 8 n) in
+    for _ = 1 to n do
+      let tier = Binio_core.read_uvarint r in
+      if tier < 0 || tier > 2 then
+        Binio_core.fail "writers spill tier %d out of range" tier;
+      let k = Binio_core.read_varint r in
+      let v = Binio_core.read_varint r in
+      let id = Binio_core.read_varint r in
+      Hashtbl.replace spill (tier, k, v) id
+    done;
+    { num_keys; final; intermediate; aborted; spill }
 end
 
 (* --- (key, value) -> int list, as a flat cons pool --- *)
@@ -199,6 +263,43 @@ module Multi = struct
       match Hashtbl.find_opt t.spill (k, v) with
       | Some r -> List.iter f !r
       | None -> ()
+
+  (* The cons pool is written verbatim (iteration is newest-first chain
+     following, which the slot indices encode); spill lists keep their
+     order. *)
+  let encode buf t =
+    Binio_core.add_uvarint buf t.num_keys;
+    encode_map buf t.heads;
+    Int_vec.encode buf t.pvals;
+    Int_vec.encode buf t.pnext;
+    Binio_core.add_uvarint buf (Hashtbl.length t.spill);
+    Hashtbl.iter
+      (fun (k, v) l ->
+        Binio_core.add_varint buf k;
+        Binio_core.add_varint buf v;
+        Binio_core.add_uvarint buf (List.length !l);
+        List.iter (Binio_core.add_varint buf) !l)
+      t.spill
+
+  let decode r =
+    let num_keys = Binio_core.read_uvarint r in
+    let heads = decode_map r in
+    let pvals = Int_vec.decode r in
+    let pnext = Int_vec.decode r in
+    let n = Binio_core.read_uvarint r in
+    if n < 0 || n > Binio_core.remaining r then
+      Binio_core.fail "multi spill count %d overruns input" n;
+    let spill = Hashtbl.create (Stdlib.max 8 n) in
+    for _ = 1 to n do
+      let k = Binio_core.read_varint r in
+      let v = Binio_core.read_varint r in
+      let len = Binio_core.read_uvarint r in
+      if len < 0 || len > Binio_core.remaining r then
+        Binio_core.fail "multi spill list of %d overruns input" len;
+      let l = List.init len (fun _ -> Binio_core.read_varint r) in
+      Hashtbl.replace spill (k, v) (ref l)
+    done;
+    { num_keys; heads; pvals; pnext; spill }
 end
 
 (* --- (key, value) -> (int, int), for the SI divergence screen --- *)
@@ -255,4 +356,34 @@ module Pairs = struct
     end
     else
       match Hashtbl.find_opt t.spill (k, v) with Some (_, b) -> b | None -> 0
+
+  let encode buf t =
+    Binio_core.add_uvarint buf t.num_keys;
+    encode_map buf t.idx;
+    Int_vec.encode buf t.pool;
+    Binio_core.add_uvarint buf (Hashtbl.length t.spill);
+    Hashtbl.iter
+      (fun (k, v) (a, b) ->
+        Binio_core.add_varint buf k;
+        Binio_core.add_varint buf v;
+        Binio_core.add_varint buf a;
+        Binio_core.add_varint buf b)
+      t.spill
+
+  let decode r =
+    let num_keys = Binio_core.read_uvarint r in
+    let idx = decode_map r in
+    let pool = Int_vec.decode r in
+    let n = Binio_core.read_uvarint r in
+    if n < 0 || n > Binio_core.remaining r then
+      Binio_core.fail "pairs spill count %d overruns input" n;
+    let spill = Hashtbl.create (Stdlib.max 8 n) in
+    for _ = 1 to n do
+      let k = Binio_core.read_varint r in
+      let v = Binio_core.read_varint r in
+      let a = Binio_core.read_varint r in
+      let b = Binio_core.read_varint r in
+      Hashtbl.replace spill (k, v) (a, b)
+    done;
+    { num_keys; idx; pool; spill }
 end

@@ -29,6 +29,14 @@ val get : t -> int -> int
 
 val mem : t -> int -> bool
 
+val encode : Buffer.t -> t -> unit
+(** Snapshot serialization: the live pairs.  Probe layout is not
+    preserved (it is unobservable through this interface). *)
+
+val decode : Binio_core.reader -> t
+(** Inverse of {!encode}.
+    @raise Binio_core.Decode_error on truncated or malformed input. *)
+
 val pack_pair : num_keys:int -> int -> int -> int
 (** [pack_pair ~num_keys k v] is the shared injective packing
     [v * num_keys + k] of a [(key, value)] pair into one int, or [-1]
@@ -59,6 +67,9 @@ module Writers : sig
   (** Who produced value [v] of object [k]?  Checks final writers first,
       then intermediate, then aborted — the resolution order of paper
       Section IV-A. *)
+
+  val encode : Buffer.t -> t -> unit
+  val decode : Binio_core.reader -> t
 end
 
 (** [(key, value)] pair -> int list, the reader/overwriter tiers of the
@@ -75,6 +86,12 @@ module Multi : sig
 
   val iter : t -> Op.key -> Op.value -> (int -> unit) -> unit
   (** Iterate the list of [(k, v)], newest push first. *)
+
+  val encode : Buffer.t -> t -> unit
+  (** The cons pool is written verbatim, so a decoded table iterates in
+      the identical (newest-first) order. *)
+
+  val decode : Binio_core.reader -> t
 end
 
 (** [(key, value)] pair -> [(int, int)], the extender table of the SI
@@ -94,4 +111,7 @@ module Pairs : sig
 
   val second : t -> Op.key -> Op.value -> int
   (** Second component; meaningful only when {!first} returned [>= 0]. *)
+
+  val encode : Buffer.t -> t -> unit
+  val decode : Binio_core.reader -> t
 end

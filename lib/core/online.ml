@@ -523,6 +523,130 @@ let add_txn t (txn : Txn.t) =
   Obs.Trace.exit sp_feed t0;
   r
 
+(* --- snapshot codec ------------------------------------------------ *)
+
+(* Serializes the whole checker state directly — the flat int structures
+   go to varints, no history replay.  Structures whose iteration order
+   the cycle-witness DFS observes (PK adjacency + order, the Multi cons
+   pools, the version-chain vectors) are written verbatim; hash layouts
+   are not (unobservable).  A restored checker therefore renders
+   byte-identical counterexamples and verdicts for any continuation of
+   the stream.  Poisoned checkers are not snapshotted — the persistence
+   layer stores their rendered verdict instead, which is all a poisoned
+   session can ever produce again. *)
+
+let level_byte = function Checker.SSER -> 0 | Checker.SER -> 1 | Checker.SI -> 2
+
+let level_of_byte = function
+  | 0 -> Checker.SSER
+  | 1 -> Checker.SER
+  | 2 -> Checker.SI
+  | b -> Binio_core.fail "unknown level byte %d" b
+
+let ts_byte = function Ts.Ignore -> 0 | Ts.Trust -> 1 | Ts.Verify -> 2
+
+let ts_of_byte = function
+  | 0 -> Ts.Ignore
+  | 1 -> Ts.Trust
+  | 2 -> Ts.Verify
+  | b -> Binio_core.fail "unknown ts mode byte %d" b
+
+let encode buf t =
+  if t.poisoned <> None then
+    invalid_arg "Online.encode: poisoned checkers are not snapshotted";
+  Buffer.add_char buf (Char.chr (level_byte t.level));
+  Binio_core.add_varint buf t.skew;
+  Buffer.add_char buf (Char.chr (ts_byte t.ts_mode));
+  Binio_core.add_uvarint buf t.graph.Grow.capacity;
+  Binio_core.add_uvarint buf t.graph.Grow.edge_count;
+  Pearce_kelly.encode buf t.graph.Grow.pk;
+  Flat_index.encode buf t.graph.Grow.labels;
+  Binio_core.add_uvarint buf t.next_vertex;
+  Int_vec.encode buf t.vertex_txn;
+  Flat_index.encode buf t.txn_vertex;
+  Flat_index.Writers.encode buf t.writers;
+  Flat_index.Multi.encode buf t.readers;
+  Flat_index.Multi.encode buf t.overwriters;
+  Flat_index.Pairs.encode buf t.extender;
+  Flat_index.encode buf t.session_last;
+  Flat_index.encode buf t.seen_ids;
+  Int_vec.encode buf t.commit_ts;
+  Int_vec.encode buf t.commit_helper;
+  Binio_core.add_varint buf t.last_commit;
+  Binio_core.add_uvarint buf t.count;
+  Flat_index.encode buf t.chain_head;
+  Int_vec.encode buf t.ch_commit;
+  Int_vec.encode buf t.ch_writer;
+  Int_vec.encode buf t.ch_value;
+  Int_vec.encode buf t.ch_next;
+  Binio_core.add_string buf (Bytes.unsafe_to_string t.ts_slow);
+  Binio_core.add_uvarint buf t.ts_fast;
+  Binio_core.add_uvarint buf t.ts_mismatched
+
+let decode r =
+  let level = level_of_byte (Binio_core.read_byte r) in
+  let skew = Binio_core.read_varint r in
+  let ts_mode = ts_of_byte (Binio_core.read_byte r) in
+  let capacity = Binio_core.read_uvarint r in
+  let edge_count = Binio_core.read_uvarint r in
+  let pk = Pearce_kelly.decode r in
+  let labels = Flat_index.decode r in
+  if Pearce_kelly.n pk > capacity then
+    Binio_core.fail "online snapshot: capacity %d below vertex count" capacity;
+  let graph = { Grow.pk; capacity; edge_count; labels } in
+  let next_vertex = Binio_core.read_uvarint r in
+  let vertex_txn = Int_vec.decode r in
+  let txn_vertex = Flat_index.decode r in
+  let writers = Flat_index.Writers.decode r in
+  let readers = Flat_index.Multi.decode r in
+  let overwriters = Flat_index.Multi.decode r in
+  let extender = Flat_index.Pairs.decode r in
+  let session_last = Flat_index.decode r in
+  let seen_ids = Flat_index.decode r in
+  let commit_ts = Int_vec.decode r in
+  let commit_helper = Int_vec.decode r in
+  let last_commit = Binio_core.read_varint r in
+  let count = Binio_core.read_uvarint r in
+  let chain_head = Flat_index.decode r in
+  let ch_commit = Int_vec.decode r in
+  let ch_writer = Int_vec.decode r in
+  let ch_value = Int_vec.decode r in
+  let ch_next = Int_vec.decode r in
+  let ts_slow = Bytes.of_string (Binio_core.read_string r) in
+  let ts_fast = Binio_core.read_uvarint r in
+  let ts_mismatched = Binio_core.read_uvarint r in
+  if next_vertex <> Int_vec.length vertex_txn then
+    Binio_core.fail "online snapshot: vertex map length %d <> next vertex %d"
+      (Int_vec.length vertex_txn) next_vertex;
+  {
+    level;
+    skew;
+    ts_mode;
+    graph;
+    next_vertex;
+    vertex_txn;
+    txn_vertex;
+    writers;
+    readers;
+    overwriters;
+    extender;
+    session_last;
+    seen_ids;
+    commit_ts;
+    commit_helper;
+    last_commit;
+    count;
+    poisoned = None;
+    chain_head;
+    ch_commit;
+    ch_writer;
+    ch_value;
+    ch_next;
+    ts_slow;
+    ts_fast;
+    ts_mismatched;
+  }
+
 let check_stream ?skew ?ts ~level ~num_keys txns =
   let t = create ?skew ?ts ~level ~num_keys () in
   let rec go n = function

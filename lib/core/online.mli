@@ -101,6 +101,19 @@ val stats : t -> stats
     for the service layer's [stats] frames and for tests asserting that
     a poisoned checker stops mutating its graph. *)
 
+val encode : Buffer.t -> t -> unit
+(** Serialize the full checker state (no history replay on restore).
+    Structures whose iteration order the cycle-witness DFS observes are
+    written verbatim, so a {!decode}d checker renders byte-identical
+    counterexamples and verdicts for any continuation of the stream.
+    @raise Invalid_argument on a poisoned checker — persist the rendered
+    verdict instead; it is all a poisoned session can ever produce. *)
+
+val decode : Binio_core.reader -> t
+(** Inverse of {!encode}.
+    @raise Binio_core.Decode_error on truncated, malformed or
+    inconsistent input. *)
+
 val check_stream :
   ?skew:int -> ?ts:Ts.mode -> level:Checker.level -> num_keys:int ->
   Txn.t list -> (int, Checker.violation) result

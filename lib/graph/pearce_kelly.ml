@@ -357,3 +357,53 @@ let check_invariant t =
   done;
   if !edges <> t.ecount then ok := false;
   !ok
+
+(* Snapshot codec.  The succ/pred vectors and the order permutation are
+   serialized verbatim: DFS discovery iterates succ (forward) and pred
+   (backward) in push order and ties are broken by [ord], so a restored
+   graph renders byte-identical cycle witnesses.  The edge set, edge
+   count and scratch arrays are derivable — rebuilt on decode. *)
+
+let encode buf t =
+  Binio_core.add_uvarint buf t.n;
+  for v = 0 to t.n - 1 do
+    Binio_core.add_uvarint buf t.ord.(v)
+  done;
+  for v = 0 to t.n - 1 do
+    Int_vec.encode buf t.succ.(v)
+  done;
+  for v = 0 to t.n - 1 do
+    Int_vec.encode buf t.pred.(v)
+  done
+
+let decode r =
+  let n = Binio_core.read_uvarint r in
+  if n < 0 || n > Binio_core.remaining r then
+    Binio_core.fail "pearce_kelly vertex count %d overruns input" n;
+  let t = create n in
+  let seen = Array.make (Stdlib.max 1 n) false in
+  for v = 0 to n - 1 do
+    let o = Binio_core.read_uvarint r in
+    if o < 0 || o >= n || seen.(o) then
+      Binio_core.fail "pearce_kelly order is not a permutation at vertex %d" v;
+    seen.(o) <- true;
+    t.ord.(v) <- o
+  done;
+  for v = 0 to n - 1 do
+    t.succ.(v) <- Int_vec.decode r
+  done;
+  for v = 0 to n - 1 do
+    t.pred.(v) <- Int_vec.decode r
+  done;
+  for u = 0 to n - 1 do
+    let sv = t.succ.(u) in
+    for i = 0 to Int_vec.length sv - 1 do
+      let v = Int_vec.get sv i in
+      if v < 0 || v >= n then
+        Binio_core.fail "pearce_kelly successor %d out of range" v;
+      eadd t (pack u v)
+    done
+  done;
+  if not (check_invariant t) then
+    Binio_core.fail "pearce_kelly snapshot violates the order invariant";
+  t

@@ -49,3 +49,16 @@ val check_invariant : t -> bool
 (** For tests: every recorded edge goes forward in the maintained order,
     the order is a permutation, and adjacency / edge set / edge count
     agree. *)
+
+val encode : Buffer.t -> t -> unit
+(** Snapshot serialization: the successor/predecessor vectors and the
+    order permutation are written verbatim, so the decoded structure
+    discovers (and therefore renders) cycle witnesses byte-identically
+    to the source.  Derivable state (edge set, counters, DFS scratch) is
+    not written. *)
+
+val decode : Binio_core.reader -> t
+(** Inverse of {!encode}; rebuilds the edge set and validates
+    {!check_invariant}.
+    @raise Binio_core.Decode_error on truncated, malformed or
+    invariant-violating input. *)

@@ -1,0 +1,75 @@
+(** Per-shard write-ahead log of accepted service frames.
+
+    Record discipline mirrors the [mtcbin1] binary history format:
+    length-prefixed blocks with a per-block CRC-32, behind a
+    magic+version header.  Appends are one [write] syscall per record —
+    the bytes survive a [kill -9] of the server unconditionally; the
+    {!sync} policy only controls [fsync] (protection against OS crashes
+    and power loss).
+
+    Reading is total: a torn tail parses as a clean {!Truncated} stop, a
+    mid-file CRC or tag mismatch as {!Corrupt}; neither raises. *)
+
+type sync =
+  | Always  (** fsync after every record *)
+  | Batch
+      (** fsync at the ack {!barrier} (before a verdict is acknowledged)
+          and every few hundred records *)
+  | Off  (** never fsync *)
+
+val sync_of_string : string -> sync option
+val sync_name : sync -> string
+
+type record =
+  | R_open of {
+      sid : int;
+      level : Checker.level;
+      num_keys : int;
+      skew : int;
+      ts : Ts.mode;
+    }
+  | R_feed of { sid : int; seq : int; txn : Txn.t }
+  | R_close of { sid : int }
+
+type header = { h_version : int; h_shard : int; h_nshards : int; h_gen : int }
+
+(** {1 Writing} *)
+
+type writer
+
+val create :
+  ?on_fsync:(unit -> unit) ->
+  path:string ->
+  shard:int ->
+  nshards:int ->
+  gen:int ->
+  sync:sync ->
+  unit ->
+  writer
+(** Create (truncating) a WAL at [path] and write its header.
+    [on_fsync] is invoked after every fsync — the metrics hook. *)
+
+val append : writer -> record -> int
+(** Append one record (a single [write] syscall) and apply the sync
+    policy; returns the bytes appended. *)
+
+val barrier : writer -> unit
+(** In [Batch] mode, fsync anything appended since the last sync — call
+    before acknowledging a verdict.  No-op otherwise. *)
+
+val bytes_written : writer -> int
+
+val close : writer -> unit
+(** Final fsync (unless [Off]) and close.  Idempotent. *)
+
+(** {1 Reading} *)
+
+type tail =
+  | Complete
+  | Truncated of int  (** torn tail starting at this byte offset *)
+  | Corrupt of { offset : int; reason : string }
+
+val read_path : string -> (header * record list * tail, string) result
+(** Read a whole WAL.  [Error] only for an unusable file (unreadable,
+    bad magic or header); otherwise the valid record prefix plus how the
+    file ended. *)

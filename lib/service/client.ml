@@ -35,6 +35,12 @@ let fresh_seq t =
   t.next_seq <- s + 1;
   s
 
+let seq_floor t n = if t.next_seq < n then t.next_seq <- n
+
+(* Internal seqs (syncs) live far above any plausible transaction
+   position, so explicit position-based feed seqs never collide. *)
+let sync_seq_base = 1_000_000_000
+
 let send t frame =
   try
     Wire.write_frame t.fd t.out frame;
@@ -160,6 +166,23 @@ let open_session t ~level ~num_keys ?(skew = 0) ?(ts = Ts.Ignore) () =
       | Ok (Result.Error m) -> Result.Error m
       | Result.Error m -> Result.Error m)
 
+let resume_session t ~sid =
+  match send t (Wire.Resume_session { sid }) with
+  | Result.Error _ as e -> e
+  | Ok () -> (
+      match
+        next_matching t ~want:(function
+          | Wire.Session_resumed { sid = s; last_seq } when s = sid ->
+              Some (Ok last_seq)
+          | Wire.Error { msg; _ } -> Some (Result.Error msg)
+          | _ -> None)
+      with
+      | Ok (Ok last_seq) ->
+          Hashtbl.replace t.sessions sid { verdicts = [] };
+          Hashtbl.remove t.closed sid;
+          Ok last_seq
+      | Ok (Result.Error m) | Result.Error m -> Result.Error m)
+
 let session_closed t ~sid = Hashtbl.find_opt t.closed sid
 
 (* The first violation the session has reported, if any (any seq). *)
@@ -170,7 +193,7 @@ let violation_of_box box =
 
 type feed_outcome = Accepted | Early_verdict of Wire.verdict
 
-let feed t ~sid txn =
+let feed ?seq t ~sid txn =
   match Hashtbl.find_opt t.sessions sid with
   | None -> Result.Error (Printf.sprintf "unknown session %d" sid)
   | Some box -> (
@@ -181,9 +204,10 @@ let feed t ~sid txn =
           match session_closed t ~sid with
           | Some _ -> Result.Error (Printf.sprintf "session %d closed" sid)
           | None -> (
-              match
-                send t (Wire.Feed { sid; seq = fresh_seq t; txn })
-              with
+              let seq =
+                match seq with Some s -> s | None -> fresh_seq t
+              in
+              match send t (Wire.Feed { sid; seq; txn }) with
               | Result.Error _ as e -> e
               | Ok () -> Ok Accepted)))
 
@@ -272,13 +296,21 @@ let stream_order (h : History.t) =
   |> List.sort (fun (a : Txn.t) b ->
          compare (a.Txn.commit_ts, a.Txn.id) (b.Txn.commit_ts, b.Txn.id))
 
-let feed_history t ~sid (h : History.t) =
-  let rec go = function
+(* Feed seqs are transaction positions (1-based in stream order): on a
+   durable server they double as the resume cursor, so a client that
+   re-attaches after a crash skips everything at or below the
+   server-reported [last_seq] and continues from the exact next
+   transaction. *)
+let feed_history ?(resume_from = 0) t ~sid (h : History.t) =
+  seq_floor t sync_seq_base;
+  let rec go pos = function
     | [] -> sync t ~sid
-    | txn :: rest -> (
-        match feed t ~sid txn with
-        | Result.Error _ as e -> e
-        | Ok (Early_verdict v) -> Ok v
-        | Ok Accepted -> go rest)
+    | txn :: rest ->
+        if pos <= resume_from then go (pos + 1) rest
+        else (
+          match feed ~seq:pos t ~sid txn with
+          | Result.Error _ as e -> e
+          | Ok (Early_verdict v) -> Ok v
+          | Ok Accepted -> go (pos + 1) rest)
   in
-  go (stream_order h)
+  go 1 (stream_order h)

@@ -29,12 +29,26 @@ val open_session :
     in trust or verify mode, feed committed transactions in commit-ts
     order ({!stream_order} already is). *)
 
+val resume_session : t -> sid:int -> (int, string) result
+(** Re-attach to a session that survived a server restart
+    ([mtc serve --wal-dir]); returns the server's last durably logged
+    feed sequence number.  Continue feeding with explicit {!feed}
+    [?seq] values strictly above it — anything at or below is a replay
+    duplicate the server silently drops. *)
+
 type feed_outcome =
   | Accepted  (** enqueued; no verdict yet *)
   | Early_verdict of Wire.verdict
       (** the server already reported a violation — stop streaming *)
 
-val feed : t -> sid:int -> Txn.t -> (feed_outcome, string) result
+val feed : ?seq:int -> t -> sid:int -> Txn.t -> (feed_outcome, string) result
+(** [?seq] pins the frame's sequence number (use the transaction's
+    position so it doubles as the durable-resume cursor); default is the
+    client's internal counter. *)
+
+val seq_floor : t -> int -> unit
+(** Raise the internal sequence counter to at least [n], keeping
+    internally numbered frames (syncs) clear of explicit feed seqs. *)
 
 val sync : t -> sid:int -> (Wire.verdict, string) result
 (** Round-trip: the session's current verdict ([V_ok n] after [n]
@@ -53,6 +67,9 @@ val stream_order : History.t -> Txn.t list
 (** A history's transactions sorted by (commit_ts, id) — the order a
     monitoring proxy would deliver them in. *)
 
-val feed_history : t -> sid:int -> History.t -> (Wire.verdict, string) result
-(** Stream a whole history in {!stream_order}, stopping early on a
-    violation verdict, then {!sync} for the final verdict. *)
+val feed_history :
+  ?resume_from:int -> t -> sid:int -> History.t -> (Wire.verdict, string) result
+(** Stream a whole history in {!stream_order} with position-based feed
+    seqs, stopping early on a violation verdict, then {!sync} for the
+    final verdict.  [?resume_from] (a {!resume_session} result) skips
+    the prefix the server already holds. *)

@@ -1,0 +1,169 @@
+(* Readiness multiplexer for the service front end: epoll on Linux
+   (lib/service/evloop_stubs.c), Unix.select elsewhere.
+
+   Registrations are identified by a caller-chosen int token (>= 0),
+   which epoll carries in [epoll_data] — a wait hands back (token,
+   readiness) pairs with no fd lookup on the hot path.  The select
+   fallback keeps a token table and rebuilds its fd sets per wait; it is
+   correctness cover for non-Linux builds, not a performance path.
+
+   Threading: exactly one thread (the loop thread) may call
+   {!add}/{!modify}/{!remove}/{!wait}.  {!wakeup} is the one cross-
+   thread entry point: it writes a byte to a self-pipe registered for
+   read interest, making a blocked {!wait} return immediately.  A full
+   pipe means a wakeup is already pending, so the write error is
+   ignored. *)
+
+external available : unit -> bool = "mtc_evloop_available"
+external epoll_create : unit -> int = "mtc_epoll_create"
+external evloop_close : int -> unit = "mtc_evloop_close"
+
+external epoll_ctl : int -> int -> Unix.file_descr -> int -> int -> unit
+  = "mtc_epoll_ctl"
+
+external epoll_wait : int -> int -> int array -> int = "mtc_epoll_wait"
+
+let max_events = 512
+let wake_token = -1
+
+type backend = Epoll of int | Select
+
+type t = {
+  backend : backend;
+  table : (int, Unix.file_descr * int) Hashtbl.t;
+      (** token -> (fd, interest mask); authoritative for [Select],
+          kept in both backends so [fd_count] is cheap *)
+  events : int array;  (** flat (token, mask) pairs filled by a wait *)
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  drain : Bytes.t;
+  mutable closed : bool;
+}
+
+let backend_name t =
+  match t.backend with Epoll _ -> "epoll" | Select -> "select"
+
+let interest ~read ~write = (if read then 1 else 0) lor (if write then 2 else 0)
+
+let create () =
+  let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
+  let backend = if available () then Epoll (epoll_create ()) else Select in
+  let t =
+    {
+      backend;
+      table = Hashtbl.create 1024;
+      events = Array.make (2 * max_events) 0;
+      wake_r;
+      wake_w;
+      drain = Bytes.create 256;
+      closed = false;
+    }
+  in
+  (match backend with
+  | Epoll ep -> epoll_ctl ep 0 wake_r 1 wake_token
+  | Select -> ());
+  t
+
+let add t fd ~token ~read ~write =
+  if token < 0 then invalid_arg "Evloop.add: token must be >= 0";
+  let mask = interest ~read ~write in
+  Hashtbl.replace t.table token (fd, mask);
+  match t.backend with
+  | Epoll ep -> epoll_ctl ep 0 fd mask token
+  | Select -> ()
+
+let modify t fd ~token ~read ~write =
+  let mask = interest ~read ~write in
+  Hashtbl.replace t.table token (fd, mask);
+  match t.backend with
+  | Epoll ep -> epoll_ctl ep 1 fd mask token
+  | Select -> ()
+
+let remove t fd ~token =
+  Hashtbl.remove t.table token;
+  match t.backend with
+  | Epoll ep -> (
+      (* the fd may already be closed (peer gone): EBADF etc. is fine *)
+      try epoll_ctl ep 2 fd 0 token with Failure _ -> ())
+  | Select -> ()
+
+let fd_count t = Hashtbl.length t.table
+
+let drain_wake t =
+  let rec go () =
+    match Unix.read t.wake_r t.drain 0 (Bytes.length t.drain) with
+    | n when n = Bytes.length t.drain -> go ()
+    | _ -> ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+let wait_epoll t ep ~timeout_ms ~handle =
+  let n = epoll_wait ep timeout_ms t.events in
+  let delivered = ref 0 in
+  for i = 0 to n - 1 do
+    let token = t.events.(2 * i) and mask = t.events.((2 * i) + 1) in
+    if token = wake_token then drain_wake t
+    else begin
+      incr delivered;
+      handle ~token ~readable:(mask land 1 <> 0) ~writable:(mask land 2 <> 0)
+    end
+  done;
+  !delivered
+
+let wait_select t ~timeout_ms ~handle =
+  let rds = ref [ t.wake_r ] and wrs = ref [] in
+  let by_fd = Hashtbl.create (Hashtbl.length t.table) in
+  Hashtbl.iter
+    (fun token (fd, mask) ->
+      Hashtbl.replace by_fd fd token;
+      if mask land 1 <> 0 then rds := fd :: !rds;
+      if mask land 2 <> 0 then wrs := fd :: !wrs)
+    t.table;
+  match Unix.select !rds !wrs [] (float_of_int timeout_ms /. 1000.) with
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> 0
+  | r, w, _ ->
+      let delivered = ref 0 in
+      let wset = Hashtbl.create 16 in
+      List.iter (fun fd -> Hashtbl.replace wset fd ()) w;
+      List.iter
+        (fun fd ->
+          if fd = t.wake_r then drain_wake t
+          else
+            match Hashtbl.find_opt by_fd fd with
+            | None -> ()
+            | Some token ->
+                incr delivered;
+                let writable = Hashtbl.mem wset fd in
+                if writable then Hashtbl.remove wset fd;
+                handle ~token ~readable:true ~writable)
+        r;
+      Hashtbl.iter
+        (fun fd () ->
+          match Hashtbl.find_opt by_fd fd with
+          | None -> ()
+          | Some token ->
+              incr delivered;
+              handle ~token ~readable:false ~writable:true)
+        wset;
+      !delivered
+
+let wait t ~timeout_ms ~handle =
+  match t.backend with
+  | Epoll ep -> wait_epoll t ep ~timeout_ms ~handle
+  | Select -> wait_select t ~timeout_ms ~handle
+
+let wakeup t =
+  try ignore (Unix.write_substring t.wake_w "!" 0 1)
+  with Unix.Unix_error _ -> () (* full pipe = wakeup already pending *)
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    (match t.backend with Epoll ep -> evloop_close ep | Select -> ());
+    (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
+    try Unix.close t.wake_w with Unix.Unix_error _ -> ()
+  end

@@ -1,0 +1,47 @@
+(** Readiness multiplexer for the service front end: epoll(7) on Linux,
+    a [Unix.select] fallback elsewhere.
+
+    Registrations are keyed by a caller-chosen {e token} ([>= 0]); a
+    {!wait} reports ready tokens, not fds — with epoll the token rides
+    in [epoll_data], so the hot path does no per-event lookup.
+
+    Threading: one thread (the loop thread) owns
+    {!add}/{!modify}/{!remove}/{!wait}; {!wakeup} may be called from any
+    thread and makes a blocked {!wait} return immediately (self-pipe). *)
+
+type t
+
+val create : unit -> t
+
+val backend_name : t -> string
+(** ["epoll"] or ["select"]. *)
+
+val add : t -> Unix.file_descr -> token:int -> read:bool -> write:bool -> unit
+(** Register [fd] under [token].
+    @raise Invalid_argument on a negative token (reserved). *)
+
+val modify :
+  t -> Unix.file_descr -> token:int -> read:bool -> write:bool -> unit
+(** Change the interest set of a registered fd. *)
+
+val remove : t -> Unix.file_descr -> token:int -> unit
+(** Deregister; safe to call with an already-closed fd. *)
+
+val fd_count : t -> int
+(** Currently registered fds (excluding the internal self-pipe). *)
+
+val wait :
+  t ->
+  timeout_ms:int ->
+  handle:(token:int -> readable:bool -> writable:bool -> unit) ->
+  int
+(** Block up to [timeout_ms] (-1 = forever with epoll), invoke [handle]
+    per ready registration, return how many were delivered (0 on
+    timeout, signal, or a pure wakeup). *)
+
+val wakeup : t -> unit
+(** Thread-safe: make a concurrent or subsequent {!wait} return
+    immediately. *)
+
+val close : t -> unit
+(** Release the backend and self-pipe fds.  Idempotent. *)

@@ -1,0 +1,129 @@
+/* epoll bindings for the service event loop.
+ *
+ * The OCaml side passes interest and readiness as small int bitmasks
+ * (bit 0 = read, bit 1 = write) and identifies registrations by an int
+ * token it chooses; the token rides in epoll_data so a wait returns
+ * (token, mask) pairs without any fd -> state lookup on the hot path.
+ *
+ * epoll_wait releases the OCaml runtime lock while blocking, so the
+ * checking domains keep running.  On non-Linux systems the stubs report
+ * the backend unavailable and Evloop falls back to Unix.select in
+ * OCaml. */
+
+#include <caml/mlvalues.h>
+#include <caml/memory.h>
+#include <caml/fail.h>
+#include <caml/threads.h>
+
+#ifdef __linux__
+
+#include <sys/epoll.h>
+#include <unistd.h>
+#include <errno.h>
+#include <string.h>
+#include <stdint.h>
+
+CAMLprim value mtc_evloop_available(value unit)
+{
+  (void)unit;
+  return Val_true;
+}
+
+CAMLprim value mtc_epoll_create(value unit)
+{
+  int fd;
+  (void)unit;
+  fd = epoll_create1(EPOLL_CLOEXEC);
+  if (fd < 0) caml_failwith("epoll_create1 failed");
+  return Val_int(fd);
+}
+
+CAMLprim value mtc_evloop_close(value vfd)
+{
+  close(Int_val(vfd));
+  return Val_unit;
+}
+
+/* op: 0 = add, 1 = mod, 2 = del */
+CAMLprim value mtc_epoll_ctl(value vep, value vop, value vfd,
+                             value vinterest, value vdata)
+{
+  static const int ops[3] = { EPOLL_CTL_ADD, EPOLL_CTL_MOD, EPOLL_CTL_DEL };
+  struct epoll_event ev;
+  memset(&ev, 0, sizeof ev);
+  if (Int_val(vinterest) & 1) ev.events |= EPOLLIN;
+  if (Int_val(vinterest) & 2) ev.events |= EPOLLOUT;
+  ev.events |= EPOLLRDHUP;
+  ev.data.u64 = (uint64_t)(intnat)Int_val(vdata);
+  if (epoll_ctl(Int_val(vep), ops[Int_val(vop)], Int_val(vfd), &ev) < 0)
+    caml_failwith("epoll_ctl failed");
+  return Val_unit;
+}
+
+/* Fills [vout] (a flat int array) with (token, mask) pairs; returns the
+ * event count.  A hangup or error edge is reported as both readable
+ * (the read path sees EOF / the error) and writable (a pending writer
+ * must wake to notice the peer is gone). */
+CAMLprim value mtc_epoll_wait(value vep, value vtimeout_ms, value vout)
+{
+  struct epoll_event evs[512];
+  int max = Wosize_val(vout) / 2;
+  int n, i;
+  if (max > 512) max = 512;
+  caml_release_runtime_system();
+  n = epoll_wait(Int_val(vep), evs, max, Int_val(vtimeout_ms));
+  caml_acquire_runtime_system();
+  if (n < 0) {
+    if (errno == EINTR) return Val_int(0);
+    caml_failwith("epoll_wait failed");
+  }
+  for (i = 0; i < n; i++) {
+    int mask = 0;
+    if (evs[i].events & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR))
+      mask |= 1;
+    if (evs[i].events & (EPOLLOUT | EPOLLHUP | EPOLLERR))
+      mask |= 2;
+    /* immediates only: plain Field stores need no write barrier */
+    Field(vout, 2 * i) = Val_int((int)(intnat)evs[i].data.u64);
+    Field(vout, 2 * i + 1) = Val_int(mask);
+  }
+  return Val_int(n);
+}
+
+#else /* !__linux__ */
+
+CAMLprim value mtc_evloop_available(value unit)
+{
+  (void)unit;
+  return Val_false;
+}
+
+CAMLprim value mtc_epoll_create(value unit)
+{
+  (void)unit;
+  caml_failwith("epoll unavailable on this platform");
+  return Val_unit;
+}
+
+CAMLprim value mtc_evloop_close(value vfd)
+{
+  (void)vfd;
+  return Val_unit;
+}
+
+CAMLprim value mtc_epoll_ctl(value vep, value vop, value vfd,
+                             value vinterest, value vdata)
+{
+  (void)vep; (void)vop; (void)vfd; (void)vinterest; (void)vdata;
+  caml_failwith("epoll unavailable on this platform");
+  return Val_unit;
+}
+
+CAMLprim value mtc_epoll_wait(value vep, value vtimeout_ms, value vout)
+{
+  (void)vep; (void)vtimeout_ms; (void)vout;
+  caml_failwith("epoll unavailable on this platform");
+  return Val_unit;
+}
+
+#endif

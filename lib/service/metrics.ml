@@ -19,6 +19,13 @@ type t = {
   throttles : Obs.Counter.t;
   protocol_errors : Obs.Counter.t;
   queue_high_water : Obs.Gauge.t;
+  wal_bytes : Obs.Counter.t;
+  wal_fsyncs : Obs.Counter.t;
+  snapshots : Obs.Counter.t;
+  replay_frames : Obs.Counter.t;
+  replay_ms : Obs.Gauge.t;
+  open_conns : Obs.Gauge.t;
+  epoll_wakeups : Obs.Counter.t;
   feed_ns : Obs.Histogram.t;
   feed_words : Obs.Histogram.t;
 }
@@ -48,6 +55,24 @@ let create () =
     Obs.Metrics.gauge reg ~help:"High-water mark of any session ingress queue"
       "mtc_queue_high_water"
   in
+  let wal_bytes = c "Bytes appended to write-ahead logs" "mtc_wal_bytes_total" in
+  let wal_fsyncs = c "WAL fsync calls" "mtc_wal_fsyncs_total" in
+  let snapshots = c "Shard snapshots written" "mtc_snapshots_total" in
+  let replay_frames =
+    c "WAL records replayed at startup" "mtc_replay_frames_total"
+  in
+  let replay_ms =
+    Obs.Metrics.gauge reg ~help:"Startup restore time (milliseconds)"
+      "mtc_replay_ms"
+  in
+  let open_conns =
+    Obs.Metrics.gauge reg ~help:"Currently open client connections"
+      "mtc_open_conns"
+  in
+  let epoll_wakeups =
+    c "Event-loop wakeups that delivered readiness events"
+      "mtc_epoll_wakeups_total"
+  in
   let feed_ns =
     Obs.Metrics.histogram reg ~help:"Per-feed processing time (nanoseconds)"
       "mtc_feed_ns"
@@ -70,6 +95,13 @@ let create () =
     throttles;
     protocol_errors;
     queue_high_water;
+    wal_bytes;
+    wal_fsyncs;
+    snapshots;
+    replay_frames;
+    replay_ms;
+    open_conns;
+    epoll_wakeups;
     feed_ns;
     feed_words;
   }
@@ -93,6 +125,16 @@ let feed t ~ns ~words =
   Obs.Histogram.observe t.feed_words words
 
 let queue_depth t depth = Obs.Gauge.max_update t.queue_high_water depth
+let wal_write t ~bytes = Obs.Counter.add t.wal_bytes bytes
+let wal_fsync t = Obs.Counter.incr t.wal_fsyncs
+let snapshot t = Obs.Counter.incr t.snapshots
+
+let replay t ~frames ~ms =
+  Obs.Counter.add t.replay_frames frames;
+  Obs.Gauge.set t.replay_ms (int_of_float (Float.round ms))
+
+let open_conns t n = Obs.Gauge.set t.open_conns n
+let epoll_wakeup t = Obs.Counter.incr t.epoll_wakeups
 
 let txns_fed t = Obs.Counter.get t.txns_fed
 let violations t = Obs.Counter.get t.violations
@@ -102,6 +144,12 @@ let queue_high_water t = Obs.Gauge.get t.queue_high_water
 let feed_p50_ns t = Obs.Histogram.percentile t.feed_ns 50.0
 let feed_p99_ns t = Obs.Histogram.percentile t.feed_ns 99.0
 let feed_words_mean t = Obs.Histogram.mean t.feed_words
+let wal_bytes t = Obs.Counter.get t.wal_bytes
+let wal_fsyncs t = Obs.Counter.get t.wal_fsyncs
+let snapshots t = Obs.Counter.get t.snapshots
+let replay_frames t = Obs.Counter.get t.replay_frames
+let open_conns_now t = Obs.Gauge.get t.open_conns
+let epoll_wakeups t = Obs.Counter.get t.epoll_wakeups
 let feed_words_p50 t = Obs.Histogram.percentile t.feed_words 50.0
 let feed_words_p99 t = Obs.Histogram.percentile t.feed_words 99.0
 
@@ -113,6 +161,9 @@ let to_json t =
      \"sessions_closed\":%d,\"txns_fed\":%d,\"syncs\":%d,\
      \"violations\":%d,\"frames_in\":%d,\"frames_out\":%d,\
      \"throttles\":%d,\"protocol_errors\":%d,\"queue_high_water\":%d,\
+     \"wal_bytes\":%d,\"wal_fsyncs\":%d,\"snapshots\":%d,\
+     \"replay_frames\":%d,\"replay_ms\":%d,\"open_conns\":%d,\
+     \"epoll_wakeups\":%d,\
      \"feed_ns\":{\"count\":%d,\"mean\":%.0f,\"p50\":%d,\"p99\":%d,\
      \"max\":%d},\
      \"feed_words\":{\"count\":%d,\"mean\":%.0f,\"p50\":%d,\"p99\":%d,\
@@ -129,6 +180,13 @@ let to_json t =
     (Obs.Counter.get t.throttles)
     (Obs.Counter.get t.protocol_errors)
     (Obs.Gauge.get t.queue_high_water)
+    (Obs.Counter.get t.wal_bytes)
+    (Obs.Counter.get t.wal_fsyncs)
+    (Obs.Counter.get t.snapshots)
+    (Obs.Counter.get t.replay_frames)
+    (Obs.Gauge.get t.replay_ms)
+    (Obs.Gauge.get t.open_conns)
+    (Obs.Counter.get t.epoll_wakeups)
     ns.Obs.Histogram.s_count
     (Obs.Histogram.mean_of ns)
     (Obs.Histogram.percentile_of ns 50.0)

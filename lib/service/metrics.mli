@@ -40,6 +40,25 @@ val feed : t -> ns:int -> words:int -> unit
 val queue_depth : t -> int -> unit
 (** Track the high-water mark of any session's ingress queue. *)
 
+val wal_write : t -> bytes:int -> unit
+(** One WAL append of [bytes] bytes. *)
+
+val wal_fsync : t -> unit
+(** Wire as the {!Wal.create} [on_fsync] hook. *)
+
+val snapshot : t -> unit
+(** One shard snapshot written. *)
+
+val replay : t -> frames:int -> ms:float -> unit
+(** Startup restore: [frames] WAL records replayed in [ms]
+    milliseconds. *)
+
+val open_conns : t -> int -> unit
+(** Current open-connection count (gauge). *)
+
+val epoll_wakeup : t -> unit
+(** One event-loop wait that delivered at least one readiness event. *)
+
 (** {1 Reading} *)
 
 val txns_fed : t -> int
@@ -54,6 +73,12 @@ val feed_p99_ns : t -> int
     to within a factor of two. *)
 
 val feed_words_mean : t -> float
+val wal_bytes : t -> int
+val wal_fsyncs : t -> int
+val snapshots : t -> int
+val replay_frames : t -> int
+val open_conns_now : t -> int
+val epoll_wakeups : t -> int
 
 val feed_words_p50 : t -> int
 val feed_words_p99 : t -> int

@@ -1,17 +1,15 @@
-(* The MTC checking daemon: an accept loop multiplexing many client
-   sessions over Unix-domain and TCP sockets.
+(* The MTC checking daemon: an epoll event loop multiplexing many client
+   sessions over Unix-domain and TCP sockets, with optional durability
+   (per-shard write-ahead logs + snapshots, lib/persist).
 
-   Threading model — systhreads for the I/O framing, domains for the
-   checking.  OCaml systhreads share one runtime lock, so with a worker
-   thread per session the checkers of concurrent sessions serialized on
-   that lock and aggregate throughput *fell* as sessions were added.
-   Instead:
+   Threading model — one event-loop systhread for ALL connection I/O,
+   domains for the checking:
 
-   - one acceptor systhread per listen address;
-   - one reader systhread per connection, which parses frames and
-     enqueues work onto per-session bounded queues (blocking when a
-     queue is full — the hard backpressure — and emitting advisory
-     [Throttle] / [Resume] frames around the high-water mark);
+   - a single {!Evloop} thread owns every socket: it accepts, reads
+     frames from non-blocking fds into per-connection buffers, parses
+     them ({!Wire.of_string}) and enqueues work onto per-session bounded
+     queues.  A connection costs an fd and a buffer, not a systhread —
+     10k idle connections are 10k epoll registrations;
    - a fixed array of {e shards}, each a run queue of sessions serviced
      by one loop; the loops execute on a {!Pool} of worker domains (a
      coordinator systhread participates via [Pool.run]), so N sessions
@@ -23,9 +21,26 @@
      single-threaded server;
    - one janitor systhread closing idle sessions.
 
+   Backpressure: when a session's queue is full the event loop leaves
+   the frame unparsed in the connection buffer and drops the fd's read
+   interest (the hard backpressure TCP propagates), re-arming when the
+   owning shard drains the queue to its low-water mark; the advisory
+   [Throttle]/[Resume] frames bracket the episode as before.
+
+   Egress never blocks a shard: {!send} encodes into a per-connection
+   output queue and the event loop writes it out, keeping write interest
+   on while the socket is full.
+
+   Durability ([config.wal_dir]): every accepted open/feed/close is
+   appended to the owning shard's WAL {e before} it is applied, and
+   shards checkpoint their sessions to snapshots ({!checkpoint}, SIGHUP
+   under {!run}, or every [snapshot_every] feeds).  After a crash the
+   server restores snapshot + WAL tail: live sessions resume at exactly
+   the last logged frame ([Resume_session]/[Session_resumed]), poisoned
+   sessions re-render the byte-identical counterexample.
+
    Poisoned sessions (a violation verdict was issued) keep answering
-   every further feed/sync with the identical rendered counterexample —
-   the checker itself guarantees it never mutates once poisoned.
+   every further feed/sync with the identical rendered counterexample.
 
    Graceful shutdown ({!stop}, wired to SIGTERM by {!run}) shuts the
    ingress half of every connection, lets the shards drain what was
@@ -71,6 +86,14 @@ type config = {
   shards : int;  (** checking shards (domains); [<= 0] = auto *)
   metrics_port : int option;
       (** Prometheus exposition on 127.0.0.1:port; 0 = ephemeral *)
+  wal_dir : string option;  (** durability directory; [None] = off *)
+  wal_sync : Wal.sync;
+  snapshot_every : int;
+      (** per-shard feeds between automatic checkpoints; 0 = only on
+          SIGHUP / {!checkpoint} / shutdown *)
+  final_checkpoint : bool;
+      (** checkpoint on {!stop} (default); [false] leaves the WAL tail
+          in place, which is how the tests exercise tail replay *)
 }
 
 let default_config =
@@ -84,75 +107,128 @@ let default_config =
     max_keys = 1 lsl 22;
     shards = 0;
     metrics_port = None;
+    wal_dir = None;
+    wal_sync = Wal.Batch;
+    snapshot_every = 0;
+    final_checkpoint = true;
   }
 
 (* ------------------------------------------------------------------ *)
 
 type item =
+  | I_open  (** WAL the open, then send [Session_opened] *)
   | I_feed of int * Txn.t  (** seq, txn *)
   | I_sync of int  (** seq *)
+  | I_resume  (** send [Session_resumed] after a re-attach *)
   | I_close of Wire.close_reason
+
+type checker_state =
+  | S_live of Online.t
+  | S_poisoned of { anomaly : string option; rendered : string }
 
 type session = {
   sid : int;
-  online : Online.t;
-  sconn : conn;  (** the connection this session speaks through *)
+  meta : Snapshot_store.meta;
+  mutable checker : checker_state;  (** owning shard only *)
+  mutable last_seq : int;  (** highest WAL-logged feed seq; shard only *)
+  mutable ep : conn option;
+      (** attachment; [None] while restored-but-unresumed or after the
+          connection died.  Guarded by [smu]. *)
+  shard_ix : int;
   shard : shard;  (** fixed home shard: [sid mod shards] *)
   queue : item Queue.t;
   mutable queued : int;
   mutable throttled : bool;
+  mutable reader_paused : bool;
+      (** the event loop stopped reading [ep] because this queue was
+          full; the shard posts [A_unpause] at low water *)
   mutable closing : bool;  (** an [I_close] is queued; drop later frames *)
   mutable abandoned : bool;  (** connection died; shard must bail out *)
   mutable on_runq : bool;  (** guarded by [shard.shmu] *)
-  mutable finished : bool;
-      (** terminal (closed / abandoned / protocol error); guarded by
-          [smu], announced on [nonfull] *)
+  mutable finished : bool;  (** terminal; guarded by [smu] *)
   smu : Mutex.t;
-  nonfull : Condition.t;
   mutable last_activity : float;
-  mutable poisoned_verdict : Wire.verdict option;
 }
 
 and conn = {
   fd : Unix.file_descr;
-  out : Wire.out_bufs;
+  token : int;  (** evloop registration key *)
+  mutable inbuf : Bytes.t;
+  mutable inlen : int;
+  outq : string Queue.t;  (** encoded frames awaiting write; [out_mu] *)
+  mutable outoff : int;  (** bytes of the head frame already written *)
+  enc_scratch : Buffer.t;
+  enc_out : Buffer.t;
   out_mu : Mutex.t;
   mutable out_dead : bool;  (** peer unreachable or fd closed *)
+  mutable flush_queued : bool;  (** an [A_flush] is pending; [out_mu] *)
+  mutable want_write : bool;  (** evloop thread only *)
+  mutable read_on : bool;  (** evloop thread only *)
   sessions : (int, session) Hashtbl.t;
   closed_sids : (int, unit) Hashtbl.t;
       (** sessions that lived on this connection and are gone: frames
           racing the (already sent) [Session_closed] are dropped rather
           than answered with an unattributable unknown-session error *)
   cmu : Mutex.t;
+  mutable cstate : cstate;  (** evloop thread only *)
+  mutable paused_on : session option;  (** evloop thread only *)
+  mutable eof_seen : bool;  (** EOF arrived while paused *)
+  mutable gone : bool;  (** closed and deregistered *)
   mutable draining : bool;  (** server shutdown: drain, then close *)
 }
 
+and cstate =
+  | C_hello  (** awaiting the [Hello] handshake *)
+  | C_ready
+  | C_draining  (** ingress shut; sessions winding down via [I_close] *)
+  | C_flush_close  (** flush the output queue, then close *)
+
 and shard = {
+  ix : int;
   runq : session Queue.t;  (** sessions with work, each at most once *)
   shmu : Mutex.t;
   shcv : Condition.t;
+  mutable snap_req : bool;  (** guarded by [shmu] *)
+  mutable feeds_since_snap : int;  (** owning domain only *)
 }
+
+type action =
+  | A_flush of conn
+  | A_unpause of conn * session
+  | A_conn_done of conn  (** last session of a draining conn finished *)
+
+type ep_target = T_listener of Unix.file_descr * addr | T_conn of conn
 
 type t = {
   config : config;
-  mutable listeners : (Unix.file_descr * addr) list;
-  mutable conns : conn list;
+  persist : Persist.t option;
+  nshards : int;
+  ev : Evloop.t;
+  by_token : (int, ep_target) Hashtbl.t;  (** evloop thread only *)
+  mutable next_token : int;  (** evloop thread only *)
+  mutable nconns : int;  (** evloop thread only *)
+  bound : addr list;
+  registry : (int, session) Hashtbl.t;  (** all live sessions; [rmu] *)
+  detached : (int, session) Hashtbl.t;  (** restored, unattached; [rmu] *)
   mutable next_sid : int;
   rmu : Mutex.t;
-  mutable stop_requested : bool;
+  actions : action Queue.t;
+  amu : Mutex.t;
+  mutable stop_requested : bool;  (** [rmu] *)
+  mutable drain_started : bool;  (** evloop thread only *)
   shards : shard array;
   pool : Pool.t;
   mutable shards_stop : bool;  (** written under every shard's [shmu] *)
   mutable shard_runner : Thread.t option;
-  mutable accepters : Thread.t list;
-  mutable conn_threads : Thread.t list;
+  mutable ev_thread : Thread.t option;
   mutable janitor : Thread.t option;
   mutable metrics_listener : (Unix.file_descr * int) option;
   mutable metrics_thread : Thread.t option;
 }
 
-let bound_addrs t = List.map snd t.listeners
+let bound_addrs t = t.bound
 let metrics_port t = Option.map snd t.metrics_listener
+let event_backend t = Evloop.backend_name t.ev
 
 let stopping t =
   Mutex.lock t.rmu;
@@ -160,27 +236,47 @@ let stopping t =
   Mutex.unlock t.rmu;
   s
 
-(* Frame egress: serialized per connection; errors latch [out_dead] so a
-   dead peer cannot wedge a worker. *)
-let send t conn frame =
-  Mutex.lock conn.out_mu;
-  (if not conn.out_dead then
-     try
-       Wire.write_frame conn.fd conn.out frame;
-       Metrics.frame_out t.config.metrics
-     with Unix.Unix_error _ | Sys_error _ -> conn.out_dead <- true);
-  Mutex.unlock conn.out_mu
+let post t action =
+  Mutex.lock t.amu;
+  Queue.push action t.actions;
+  Mutex.unlock t.amu;
+  Evloop.wakeup t.ev
 
 (* ------------------------------------------------------------------ *)
-(* Shards: the checking side.  A session with pending work sits on its
-   home shard's run queue (at most once — [on_runq]); the shard loop pops
-   it and drains its item queue. *)
+(* Frame egress: encode under the connection's output lock, let the
+   event loop write.  Callable from any thread; errors latch [out_dead]
+   so a dead peer cannot wedge a shard. *)
+
+let send t conn frame =
+  Mutex.lock conn.out_mu;
+  let flush =
+    if conn.out_dead then false
+    else begin
+      Buffer.clear conn.enc_out;
+      Wire.encode ~scratch:conn.enc_scratch conn.enc_out frame;
+      Queue.push (Buffer.contents conn.enc_out) conn.outq;
+      Metrics.frame_out t.config.metrics;
+      if conn.flush_queued then false
+      else begin
+        conn.flush_queued <- true;
+        true
+      end
+    end
+  in
+  Mutex.unlock conn.out_mu;
+  if flush then post t (A_flush conn)
+
+(* ------------------------------------------------------------------ *)
+(* Shards: the checking side. *)
 
 let now () = Unix.gettimeofday ()
 
 let sp_server_feed = Obs.Trace.intern "server/feed"
 
-let render_violation level v =
+(* The one renderer: live verdicts, snapshot poisoning and WAL-replay
+   poisoning all go through it — byte-identity of counterexamples across
+   restarts depends on that. *)
+let render_parts level v =
   let anomaly = Option.map Anomaly.name (Report.classify v) in
   let rendered =
     Format.asprintf "%s violation%s: %a"
@@ -188,7 +284,7 @@ let render_violation level v =
       (match anomaly with Some a -> Printf.sprintf " [%s]" a | None -> "")
       Checker.pp_violation v
   in
-  Wire.V_violation { anomaly; rendered }
+  (anomaly, rendered)
 
 let low_water capacity = Stdlib.max 1 (capacity / 4)
 
@@ -204,111 +300,245 @@ let schedule s =
   end;
   Mutex.unlock sh.shmu
 
-(* Terminal state: wake anything blocked on the session (the reader in
-   [enqueue], [teardown]) and drop it from the connection's table. *)
-let finish s =
+let wal_warned = Atomic.make false
+
+let wal_append t s record =
+  match t.persist with
+  | None -> ()
+  | Some p -> (
+      match Persist.append p ~shard:s.shard_ix record with
+      | bytes -> Metrics.wal_write t.config.metrics ~bytes
+      | exception (Unix.Unix_error _ | Sys_error _) ->
+          if not (Atomic.exchange wal_warned true) then
+            prerr_endline
+              "mtc-serve: WAL append failed; continuing without durability")
+
+let wal_close_record t s = wal_append t s (Wal.R_close { sid = s.sid })
+
+(* Terminal state: drop the session from every table, and nudge the
+   event loop if its connection was waiting on it (paused reader, or a
+   draining connection whose last session this was). *)
+let finish t s =
   Mutex.lock s.smu;
   s.finished <- true;
-  Condition.broadcast s.nonfull;
+  let ep = s.ep in
+  s.ep <- None;
+  let was_paused = s.reader_paused in
+  s.reader_paused <- false;
   Mutex.unlock s.smu;
-  let conn = s.sconn in
-  Mutex.lock conn.cmu;
-  Hashtbl.remove conn.sessions s.sid;
-  Hashtbl.replace conn.closed_sids s.sid ();
-  Mutex.unlock conn.cmu
+  Mutex.lock t.rmu;
+  Hashtbl.remove t.registry s.sid;
+  Hashtbl.remove t.detached s.sid;
+  Mutex.unlock t.rmu;
+  match ep with
+  | None -> ()
+  | Some conn ->
+      Mutex.lock conn.cmu;
+      Hashtbl.remove conn.sessions s.sid;
+      Hashtbl.replace conn.closed_sids s.sid ();
+      let empty = Hashtbl.length conn.sessions = 0 in
+      Mutex.unlock conn.cmu;
+      if was_paused then post t (A_unpause (conn, s));
+      if empty then post t (A_conn_done conn)
 
 (* Drain everything currently queued for [s]; runs on [s.shard] only, so
    per-session processing is single-threaded and FIFO even though many
    sessions progress in parallel on different shards. *)
 let process_session t s =
-  let conn = s.sconn in
   let m = t.config.metrics in
   let rec loop () =
     Mutex.lock s.smu;
     if s.finished then Mutex.unlock s.smu (* stale run-queue entry *)
     else if s.abandoned then begin
-      (* connection is gone: nothing to send, just disappear *)
+      (* connection is gone: log the close, then disappear *)
       Mutex.unlock s.smu;
-      finish s
+      wal_close_record t s;
+      finish t s
     end
     else if s.queued = 0 then Mutex.unlock s.smu (* idle until rescheduled *)
     else begin
       let item = Queue.pop s.queue in
       s.queued <- s.queued - 1;
+      let ep = s.ep in
+      let lw = low_water t.config.queue_capacity in
       let resume =
-        if s.throttled && s.queued <= low_water t.config.queue_capacity then begin
+        if s.throttled && s.queued <= lw then begin
           s.throttled <- false;
           true
         end
         else false
       in
-      (* broadcast: the reader and the janitor can both be waiting *)
-      Condition.broadcast s.nonfull;
+      let unpause =
+        if s.reader_paused && s.queued <= lw then begin
+          s.reader_paused <- false;
+          true
+        end
+        else false
+      in
       Mutex.unlock s.smu;
-      if resume then send t conn (Wire.Resume { sid = s.sid });
+      let send_ep frame =
+        match ep with Some c -> send t c frame | None -> ()
+      in
+      if resume then send_ep (Wire.Resume { sid = s.sid });
+      (if unpause then
+         match ep with Some c -> post t (A_unpause (c, s)) | None -> ());
       if t.config.drain_delay > 0.0 then Unix.sleepf t.config.drain_delay;
       match item with
-      | I_feed (seq, txn) -> (
-          match s.poisoned_verdict with
-          | Some v ->
-              (* poisoned: same counterexample, forever *)
-              send t conn (Wire.Verdict { sid = s.sid; seq; verdict = v });
-              loop ()
-          | None -> (
-              let w0 = Gc.minor_words () in
-              let sp0 = Obs.Trace.enter () in
-              let t0 = now () in
-              match Online.add_txn s.online txn with
-              | Online.Ok_so_far ->
-                  Obs.Trace.exit sp_server_feed sp0;
-                  Metrics.feed m
-                    ~ns:(int_of_float ((now () -. t0) *. 1e9))
-                    ~words:(int_of_float (Gc.minor_words () -. w0));
-                  loop ()
-              | Online.Violation v ->
-                  Obs.Trace.exit sp_server_feed sp0;
-                  let verdict = render_violation (Online.level s.online) v in
-                  s.poisoned_verdict <- Some verdict;
-                  Metrics.feed m
-                    ~ns:(int_of_float ((now () -. t0) *. 1e9))
-                    ~words:(int_of_float (Gc.minor_words () -. w0));
-                  Metrics.violation m;
-                  send t conn (Wire.Verdict { sid = s.sid; seq; verdict });
-                  loop ()
-              | exception Invalid_argument msg ->
-                  (* id reuse / SSER order: session-fatal protocol misuse *)
-                  Mutex.lock s.smu;
-                  s.closing <- true;
-                  Mutex.unlock s.smu;
-                  Metrics.protocol_error m;
-                  send t conn
-                    (Wire.Session_closed
-                       { sid = s.sid; reason = Wire.R_protocol msg });
-                  Metrics.session_closed m;
-                  finish s))
+      | I_open ->
+          let { Snapshot_store.level; num_keys; skew; ts } = s.meta in
+          wal_append t s
+            (Wal.R_open { sid = s.sid; level; num_keys; skew; ts });
+          send_ep (Wire.Session_opened { sid = s.sid });
+          loop ()
+      | I_resume ->
+          send_ep
+            (Wire.Session_resumed { sid = s.sid; last_seq = s.last_seq });
+          loop ()
+      | I_feed (seq, txn) ->
+          (* With durability on, a feed at-or-below the logged high water
+             is a replay duplicate (client resuming): drop it instead of
+             tripping the checker's id-reuse defence. *)
+          if t.persist <> None && seq <= s.last_seq then loop ()
+          else begin
+            wal_append t s (Wal.R_feed { sid = s.sid; seq; txn });
+            if seq > s.last_seq then s.last_seq <- seq;
+            let sh = s.shard in
+            sh.feeds_since_snap <- sh.feeds_since_snap + 1;
+            (if
+               t.config.snapshot_every > 0
+               && t.persist <> None
+               && sh.feeds_since_snap >= t.config.snapshot_every
+             then begin
+               sh.feeds_since_snap <- 0;
+               Mutex.lock sh.shmu;
+               sh.snap_req <- true;
+               Mutex.unlock sh.shmu
+             end);
+            match s.checker with
+            | S_poisoned { anomaly; rendered } ->
+                (* poisoned: same counterexample, forever *)
+                send_ep
+                  (Wire.Verdict
+                     {
+                       sid = s.sid;
+                       seq;
+                       verdict = Wire.V_violation { anomaly; rendered };
+                     });
+                loop ()
+            | S_live online -> (
+                let w0 = Gc.minor_words () in
+                let sp0 = Obs.Trace.enter () in
+                let t0 = now () in
+                match Online.add_txn online txn with
+                | Online.Ok_so_far ->
+                    Obs.Trace.exit sp_server_feed sp0;
+                    Metrics.feed m
+                      ~ns:(int_of_float ((now () -. t0) *. 1e9))
+                      ~words:(int_of_float (Gc.minor_words () -. w0));
+                    loop ()
+                | Online.Violation v ->
+                    Obs.Trace.exit sp_server_feed sp0;
+                    let anomaly, rendered =
+                      render_parts s.meta.Snapshot_store.level v
+                    in
+                    s.checker <- S_poisoned { anomaly; rendered };
+                    Metrics.feed m
+                      ~ns:(int_of_float ((now () -. t0) *. 1e9))
+                      ~words:(int_of_float (Gc.minor_words () -. w0));
+                    Metrics.violation m;
+                    send_ep
+                      (Wire.Verdict
+                         {
+                           sid = s.sid;
+                           seq;
+                           verdict = Wire.V_violation { anomaly; rendered };
+                         });
+                    loop ()
+                | exception Invalid_argument msg ->
+                    (* id reuse / SSER order: session-fatal misuse *)
+                    Mutex.lock s.smu;
+                    s.closing <- true;
+                    Mutex.unlock s.smu;
+                    wal_close_record t s;
+                    Metrics.protocol_error m;
+                    send_ep
+                      (Wire.Session_closed
+                         { sid = s.sid; reason = Wire.R_protocol msg });
+                    Metrics.session_closed m;
+                    finish t s)
+          end
       | I_sync seq ->
           Metrics.sync m;
+          (* a [V_ok] ack promises the accepted prefix: make it durable
+             before saying so in [Batch] mode *)
+          (match (t.persist, t.config.wal_sync) with
+          | Some p, Wal.Batch -> Persist.barrier p ~shard:s.shard_ix
+          | _ -> ());
           let verdict =
-            match s.poisoned_verdict with
-            | Some v -> v
-            | None -> Wire.V_ok (Online.txns_seen s.online)
+            match s.checker with
+            | S_poisoned { anomaly; rendered } ->
+                Wire.V_violation { anomaly; rendered }
+            | S_live online -> Wire.V_ok (Online.txns_seen online)
           in
-          send t conn (Wire.Verdict { sid = s.sid; seq; verdict });
+          send_ep (Wire.Verdict { sid = s.sid; seq; verdict });
           loop ()
       | I_close reason ->
-          send t conn (Wire.Session_closed { sid = s.sid; reason });
+          wal_close_record t s;
+          send_ep (Wire.Session_closed { sid = s.sid; reason });
           Metrics.session_closed m;
-          finish s
+          finish t s
     end
   in
   loop ()
 
+(* Per-shard checkpoint, on the shard's own domain: its sessions are
+   quiescent (this domain is the only one that mutates them), so the
+   snapshot is a consistent cut; items still queued in memory land in
+   the *new* WAL generation as they are processed. *)
+let do_checkpoint t sh =
+  match t.persist with
+  | None -> ()
+  | Some p ->
+      Mutex.lock t.rmu;
+      let next_sid = t.next_sid in
+      let entries =
+        Hashtbl.fold
+          (fun sid s acc ->
+            if sid mod t.nshards = sh.ix && not s.finished then
+              {
+                Snapshot_store.sid;
+                meta = s.meta;
+                last_seq = s.last_seq;
+                state =
+                  (match s.checker with
+                  | S_live online -> Snapshot_store.Live online
+                  | S_poisoned { anomaly; rendered } ->
+                      Snapshot_store.Poisoned { anomaly; rendered });
+              }
+              :: acc
+            else acc)
+          t.registry []
+      in
+      Mutex.unlock t.rmu;
+      (match Persist.checkpoint p ~shard:sh.ix ~next_sid entries with
+      | () -> Metrics.snapshot t.config.metrics
+      | exception (Unix.Unix_error _ | Sys_error _) ->
+          if not (Atomic.exchange wal_warned true) then
+            prerr_endline "mtc-serve: checkpoint failed; continuing");
+      sh.feeds_since_snap <- 0
+
 let rec shard_loop t sh =
   Mutex.lock sh.shmu;
-  while Queue.is_empty sh.runq && not t.shards_stop do
+  while Queue.is_empty sh.runq && not t.shards_stop && not sh.snap_req do
     Condition.wait sh.shcv sh.shmu
   done;
-  if Queue.is_empty sh.runq then Mutex.unlock sh.shmu (* stopping, drained *)
+  if sh.snap_req then begin
+    sh.snap_req <- false;
+    Mutex.unlock sh.shmu;
+    do_checkpoint t sh;
+    shard_loop t sh
+  end
+  else if Queue.is_empty sh.runq then Mutex.unlock sh.shmu (* stop, drained *)
   else begin
     let s = Queue.pop sh.runq in
     s.on_runq <- false;
@@ -317,40 +547,30 @@ let rec shard_loop t sh =
     shard_loop t sh
   end
 
+let checkpoint t =
+  Array.iter
+    (fun sh ->
+      Mutex.lock sh.shmu;
+      sh.snap_req <- true;
+      Condition.signal sh.shcv;
+      Mutex.unlock sh.shmu)
+    t.shards
+
 (* ------------------------------------------------------------------ *)
-(* Per-connection reader. *)
+(* Session bookkeeping shared by the event loop and the janitor. *)
 
-let session_alive s = not (s.closing || s.abandoned)
+let session_alive s = not (s.closing || s.abandoned || s.finished)
 
-(* Enqueue with hard backpressure: blocks this connection's reader while
-   the session queue is full (TCP then pushes back on the client), with
-   an advisory [Throttle] the first time the mark is hit. *)
-let enqueue t conn s item =
+(* Capacity-exempt enqueue for [I_close]/[I_open]/[I_resume]: at most
+   one extra item, and the callers (drain, janitor, open, resume) must
+   never block or pause on it. *)
+let force_enqueue s item =
   Mutex.lock s.smu;
-  s.last_activity <- now ();
-  let announce =
-    if s.queued >= t.config.queue_capacity && not s.throttled then begin
-      s.throttled <- true;
-      Some s.queued
-    end
-    else None
-  in
-  (match announce with
-  | Some queued ->
-      Mutex.unlock s.smu;
-      Metrics.throttle t.config.metrics;
-      send t conn (Wire.Throttle { sid = s.sid; queued });
-      Mutex.lock s.smu
-  | None -> ());
-  while s.queued >= t.config.queue_capacity && session_alive s do
-    Condition.wait s.nonfull s.smu
-  done;
   let pushed =
     if session_alive s then begin
       (match item with I_close _ -> s.closing <- true | _ -> ());
       Queue.push item s.queue;
       s.queued <- s.queued + 1;
-      Metrics.queue_depth t.config.metrics s.queued;
       true
     end
     else false
@@ -358,35 +578,11 @@ let enqueue t conn s item =
   Mutex.unlock s.smu;
   if pushed then schedule s
 
-let open_session t conn ~level ~num_keys ~skew ~ts =
-  Mutex.lock t.rmu;
-  let sid = t.next_sid in
-  t.next_sid <- sid + 1;
-  Mutex.unlock t.rmu;
-  let s =
-    {
-      sid;
-      online = Online.create ~skew ~ts ~level ~num_keys ();
-      sconn = conn;
-      shard = t.shards.(sid mod Array.length t.shards);
-      queue = Queue.create ();
-      queued = 0;
-      throttled = false;
-      closing = false;
-      abandoned = false;
-      on_runq = false;
-      finished = false;
-      smu = Mutex.create ();
-      nonfull = Condition.create ();
-      last_activity = now ();
-      poisoned_verdict = None;
-    }
-  in
+let sessions_snapshot conn =
   Mutex.lock conn.cmu;
-  Hashtbl.replace conn.sessions sid s;
+  let ss = Hashtbl.fold (fun _ s acc -> s :: acc) conn.sessions [] in
   Mutex.unlock conn.cmu;
-  Metrics.session_opened t.config.metrics;
-  s
+  ss
 
 let find_session conn sid =
   Mutex.lock conn.cmu;
@@ -404,155 +600,538 @@ let session_was_here conn sid =
   Mutex.unlock conn.cmu;
   r
 
-let sessions_snapshot conn =
-  Mutex.lock conn.cmu;
-  let ss = Hashtbl.fold (fun _ s acc -> s :: acc) conn.sessions [] in
-  Mutex.unlock conn.cmu;
-  ss
+(* ------------------------------------------------------------------ *)
+(* Event-loop side: everything below runs on the evloop thread unless
+   noted. *)
 
-(* Tear the connection down.  [drain = true] lets every session's shard
-   finish the items already queued before it says goodbye; [drain =
-   false] (mid-frame disconnect, protocol error) abandons them.  Either
-   way the shard is the one to finish the session — we wait for its
-   [finished] flag where the seed joined a worker thread. *)
-let teardown t conn ~drain ~reason =
-  let ss = sessions_snapshot conn in
-  List.iter
-    (fun s ->
-      if drain then enqueue t conn s (I_close reason)
-      else begin
-        Mutex.lock s.smu;
-        s.abandoned <- true;
-        Condition.broadcast s.nonfull;
-        Mutex.unlock s.smu;
-        schedule s
-      end)
-    ss;
+let set_read_interest t conn on =
+  if (not conn.gone) && conn.read_on <> on then begin
+    conn.read_on <- on;
+    Evloop.modify t.ev conn.fd ~token:conn.token ~read:on
+      ~write:conn.want_write
+  end
+
+let set_write_interest t conn on =
+  if (not conn.gone) && conn.want_write <> on then begin
+    conn.want_write <- on;
+    Evloop.modify t.ev conn.fd ~token:conn.token ~read:conn.read_on ~write:on
+  end
+
+let close_conn t conn =
+  if not conn.gone then begin
+    conn.gone <- true;
+    Evloop.remove t.ev conn.fd ~token:conn.token;
+    Hashtbl.remove t.by_token conn.token;
+    t.nconns <- t.nconns - 1;
+    Metrics.open_conns t.config.metrics t.nconns;
+    Mutex.lock conn.out_mu;
+    conn.out_dead <- true;
+    Mutex.unlock conn.out_mu;
+    try Unix.close conn.fd with Unix.Unix_error _ -> ()
+  end
+
+(* Mid-frame disconnect or post-handshake garbage: abandon this
+   connection (and only this connection); its sessions vanish without a
+   goodbye, exactly like the threaded server's non-drain teardown. *)
+let abandon_conn t conn =
   List.iter
     (fun s ->
       Mutex.lock s.smu;
-      while not s.finished do
-        Condition.wait s.nonfull s.smu
-      done;
-      Mutex.unlock s.smu)
-    ss;
-  if drain then send t conn Wire.Bye;
-  Mutex.lock conn.out_mu;
-  conn.out_dead <- true;
-  (try Unix.close conn.fd with Unix.Unix_error _ -> ());
-  Mutex.unlock conn.out_mu;
-  Mutex.lock t.rmu;
-  t.conns <- List.filter (fun c -> c != conn) t.conns;
-  Mutex.unlock t.rmu
+      s.abandoned <- true;
+      s.ep <- None;
+      Mutex.unlock s.smu;
+      schedule s)
+    (sessions_snapshot conn);
+  close_conn t conn
 
-let conn_loop t conn =
-  let m = t.config.metrics in
-  let fail_handshake code msg =
-    send t conn (Wire.Error { code; msg });
-    Metrics.protocol_error m;
-    teardown t conn ~drain:false ~reason:Wire.R_requested
+(* Flush the output queue as far as the socket allows.  Leaves write
+   interest set iff bytes remain. *)
+let flush_conn t conn =
+  if not conn.gone then begin
+    Mutex.lock conn.out_mu;
+    conn.flush_queued <- false;
+    let rec go () =
+      if Queue.is_empty conn.outq then `Drained
+      else begin
+        let head = Queue.peek conn.outq in
+        let len = String.length head - conn.outoff in
+        match Unix.write_substring conn.fd head conn.outoff len with
+        | n when n = len ->
+            ignore (Queue.pop conn.outq);
+            conn.outoff <- 0;
+            go ()
+        | n ->
+            conn.outoff <- conn.outoff + n;
+            `Blocked
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+          ->
+            `Blocked
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        | exception (Unix.Unix_error _ | Sys_error _) -> `Dead
+      end
+    in
+    let r = if conn.out_dead then `Dead else go () in
+    if r = `Dead then conn.out_dead <- true;
+    Mutex.unlock conn.out_mu;
+    match r with
+    | `Drained ->
+        set_write_interest t conn false;
+        if conn.cstate = C_flush_close then close_conn t conn
+    | `Blocked -> set_write_interest t conn true
+    | `Dead -> abandon_conn t conn
+  end
+
+(* Handshake refusal: answer, then flush-and-close. *)
+let fail_conn t conn code msg =
+  Metrics.protocol_error t.config.metrics;
+  send t conn (Wire.Error { code; msg });
+  conn.cstate <- C_flush_close;
+  set_read_interest t conn false
+
+let finish_drain t conn =
+  send t conn Wire.Bye;
+  conn.cstate <- C_flush_close
+
+(* Clean close (client EOF / [Bye] / server shutdown): stop reading, let
+   every session's shard finish what was already queued, then [Bye]. *)
+let start_drain t conn ~reason =
+  if conn.cstate = C_ready || conn.cstate = C_hello then begin
+    conn.cstate <- C_draining;
+    set_read_interest t conn false;
+    match sessions_snapshot conn with
+    | [] -> finish_drain t conn
+    | ss -> List.iter (fun s -> force_enqueue s (I_close reason)) ss
+  end
+
+let on_eof t conn =
+  if conn.cstate = C_hello then close_conn t conn (* never handshook *)
+  else if conn.paused_on <> None then conn.eof_seen <- true
+  else if conn.inlen > 0 && not conn.draining then begin
+    (* EOF mid-frame: a truncated stream, not a clean goodbye *)
+    Metrics.protocol_error t.config.metrics;
+    abandon_conn t conn
+  end
+  else
+    start_drain t conn
+      ~reason:(if conn.draining then Wire.R_shutdown else Wire.R_requested)
+
+(* ------------------------------------------------------------------ *)
+(* Frame dispatch. *)
+
+let open_session t conn ~level ~num_keys ~skew ~ts =
+  Mutex.lock t.rmu;
+  let sid = t.next_sid in
+  t.next_sid <- sid + 1;
+  Mutex.unlock t.rmu;
+  let s =
+    {
+      sid;
+      meta = { Snapshot_store.level; num_keys; skew; ts };
+      checker = S_live (Online.create ~skew ~ts ~level ~num_keys ());
+      last_seq = 0;
+      ep = Some conn;
+      shard_ix = sid mod t.nshards;
+      shard = t.shards.(sid mod t.nshards);
+      queue = Queue.create ();
+      queued = 0;
+      throttled = false;
+      reader_paused = false;
+      closing = false;
+      abandoned = false;
+      on_runq = false;
+      finished = false;
+      smu = Mutex.create ();
+      last_activity = now ();
+    }
   in
-  match Wire.read_frame conn.fd with
-  | Ok (Some (Wire.Hello { version })) when version = Wire.version ->
-      Metrics.frame_in m;
-      send t conn (Wire.Welcome { version = Wire.version; server = t.config.server_name });
-      let rec loop () =
-        match Wire.read_frame conn.fd with
-        | Ok None ->
-            (* clean EOF: drain what was accepted, close quietly *)
-            teardown t conn ~drain:true
-              ~reason:(if conn.draining then Wire.R_shutdown else Wire.R_requested)
-        | Result.Error _ when conn.draining ->
-            teardown t conn ~drain:true ~reason:Wire.R_shutdown
-        | Result.Error _ ->
-            (* mid-frame disconnect or garbage: abandon this connection
-               (and only this connection) *)
-            Metrics.protocol_error m;
-            teardown t conn ~drain:false ~reason:Wire.R_requested
-        | Ok (Some frame) -> (
-            Metrics.frame_in m;
-            match frame with
-            | Wire.Open_session { level; num_keys; skew; ts } ->
-                if num_keys < 1 || num_keys > t.config.max_keys then begin
-                  send t conn
-                    (Wire.Error
-                       {
-                         code = Wire.err_bad_frame;
-                         msg =
-                           Printf.sprintf "num_keys %d out of [1,%d]" num_keys
-                             t.config.max_keys;
-                       });
-                  loop ()
-                end
-                else begin
-                  let s = open_session t conn ~level ~num_keys ~skew ~ts in
-                  send t conn (Wire.Session_opened { sid = s.sid });
-                  loop ()
-                end
-            | Wire.Feed { sid; seq; txn } ->
-                (match find_session conn sid with
-                | Some s -> enqueue t conn s (I_feed (seq, txn))
-                | None when session_was_here conn sid -> ()
-                | None ->
-                    send t conn
-                      (Wire.Error
-                         {
-                           code = Wire.err_unknown_session;
-                           msg = Printf.sprintf "no session %d" sid;
-                         }));
-                loop ()
-            | Wire.Sync { sid; seq } ->
-                (match find_session conn sid with
-                | Some s -> enqueue t conn s (I_sync seq)
-                | None when session_was_here conn sid -> ()
-                | None ->
-                    send t conn
-                      (Wire.Error
-                         {
-                           code = Wire.err_unknown_session;
-                           msg = Printf.sprintf "no session %d" sid;
-                         }));
-                loop ()
-            | Wire.Close_session { sid } ->
-                (match find_session conn sid with
-                | Some s -> enqueue t conn s (I_close Wire.R_requested)
-                | None when session_was_here conn sid -> ()
-                | None ->
-                    send t conn
-                      (Wire.Error
-                         {
-                           code = Wire.err_unknown_session;
-                           msg = Printf.sprintf "no session %d" sid;
-                         }));
-                loop ()
-            | Wire.Stats_request ->
-                send t conn (Wire.Stats_reply { json = Metrics.to_json m });
-                loop ()
-            | Wire.Bye -> teardown t conn ~drain:true ~reason:Wire.R_requested
-            | Wire.Hello _ | Wire.Welcome _ | Wire.Session_opened _
-            | Wire.Verdict _ | Wire.Throttle _ | Wire.Resume _
-            | Wire.Stats_reply _ | Wire.Session_closed _ | Wire.Error _ ->
-                Metrics.protocol_error m;
-                send t conn
-                  (Wire.Error
-                     {
-                       code = Wire.err_bad_frame;
-                       msg =
-                         Printf.sprintf "unexpected %s frame"
-                           (Wire.frame_name frame);
-                     });
-                loop ())
-      in
-      loop ()
-  | Ok (Some (Wire.Hello { version })) ->
-      fail_handshake Wire.err_version
-        (Printf.sprintf "protocol version %d unsupported (server speaks %d)"
-           version Wire.version)
-  | Ok (Some frame) ->
-      fail_handshake Wire.err_bad_magic
-        (Printf.sprintf "expected hello, got %s" (Wire.frame_name frame))
-  | Ok None -> teardown t conn ~drain:false ~reason:Wire.R_requested
-  | Result.Error msg -> fail_handshake Wire.err_bad_frame msg
+  Mutex.lock t.rmu;
+  Hashtbl.replace t.registry sid s;
+  Mutex.unlock t.rmu;
+  Mutex.lock conn.cmu;
+  Hashtbl.replace conn.sessions sid s;
+  Mutex.unlock conn.cmu;
+  Metrics.session_opened t.config.metrics;
+  (* the shard WALs the open and then sends [Session_opened], so the sid
+     the client learns is already durable *)
+  force_enqueue s I_open
+
+(* Bounded enqueue: [`Full] leaves the frame unconsumed — the caller
+   pauses the connection's read side until the shard drains the queue. *)
+let enqueue_bounded t conn s item =
+  Mutex.lock s.smu;
+  s.last_activity <- now ();
+  if not (session_alive s) then begin
+    Mutex.unlock s.smu;
+    `Ok (* racing its own close: drop, [Session_closed] is in flight *)
+  end
+  else if s.queued >= t.config.queue_capacity then begin
+    let announce =
+      if not s.throttled then begin
+        s.throttled <- true;
+        Some s.queued
+      end
+      else None
+    in
+    s.reader_paused <- true;
+    Mutex.unlock s.smu;
+    (match announce with
+    | Some queued ->
+        Metrics.throttle t.config.metrics;
+        send t conn (Wire.Throttle { sid = s.sid; queued })
+    | None -> ());
+    `Full
+  end
+  else begin
+    Queue.push item s.queue;
+    s.queued <- s.queued + 1;
+    Metrics.queue_depth t.config.metrics s.queued;
+    Mutex.unlock s.smu;
+    schedule s;
+    `Ok
+  end
+
+let resume_session t conn sid =
+  Mutex.lock t.rmu;
+  let d = Hashtbl.find_opt t.detached sid in
+  (match d with Some _ -> Hashtbl.remove t.detached sid | None -> ());
+  Mutex.unlock t.rmu;
+  match d with
+  | None ->
+      send t conn
+        (Wire.Error
+           {
+             code = Wire.err_unknown_session;
+             msg = Printf.sprintf "no resumable session %d" sid;
+           })
+  | Some s ->
+      Mutex.lock s.smu;
+      s.ep <- Some conn;
+      s.last_activity <- now ();
+      Mutex.unlock s.smu;
+      Mutex.lock conn.cmu;
+      Hashtbl.replace conn.sessions sid s;
+      Mutex.unlock conn.cmu;
+      force_enqueue s I_resume
+
+(* One frame in [C_ready].  [`Paused s] = queue full, frame unconsumed. *)
+let handle_ready t conn frame =
+  let m = t.config.metrics in
+  let with_session sid item =
+    match find_session conn sid with
+    | Some s -> (
+        match enqueue_bounded t conn s item with
+        | `Ok -> `Consumed
+        | `Full -> `Paused s)
+    | None when session_was_here conn sid -> `Consumed
+    | None ->
+        send t conn
+          (Wire.Error
+             {
+               code = Wire.err_unknown_session;
+               msg = Printf.sprintf "no session %d" sid;
+             });
+        `Consumed
+  in
+  match frame with
+  | Wire.Open_session { level; num_keys; skew; ts } ->
+      (if num_keys < 1 || num_keys > t.config.max_keys then
+         send t conn
+           (Wire.Error
+              {
+                code = Wire.err_bad_frame;
+                msg =
+                  Printf.sprintf "num_keys %d out of [1,%d]" num_keys
+                    t.config.max_keys;
+              })
+       else open_session t conn ~level ~num_keys ~skew ~ts);
+      `Consumed
+  | Wire.Feed { sid; seq; txn } -> with_session sid (I_feed (seq, txn))
+  | Wire.Sync { sid; seq } -> with_session sid (I_sync seq)
+  | Wire.Close_session { sid } -> with_session sid (I_close Wire.R_requested)
+  | Wire.Resume_session { sid } ->
+      resume_session t conn sid;
+      `Consumed
+  | Wire.Stats_request ->
+      send t conn (Wire.Stats_reply { json = Metrics.to_json m });
+      `Consumed
+  | Wire.Bye ->
+      start_drain t conn ~reason:Wire.R_requested;
+      `Consumed
+  | Wire.Hello _ | Wire.Welcome _ | Wire.Session_opened _ | Wire.Verdict _
+  | Wire.Throttle _ | Wire.Resume _ | Wire.Stats_reply _
+  | Wire.Session_closed _ | Wire.Error _ | Wire.Session_resumed _ ->
+      Metrics.protocol_error m;
+      send t conn
+        (Wire.Error
+           {
+             code = Wire.err_bad_frame;
+             msg = Printf.sprintf "unexpected %s frame" (Wire.frame_name frame);
+           });
+      `Consumed
+
+let handle_frame t conn frame =
+  match conn.cstate with
+  | C_hello -> (
+      match frame with
+      | Wire.Hello { version } when version = Wire.version ->
+          send t conn
+            (Wire.Welcome
+               { version = Wire.version; server = t.config.server_name });
+          conn.cstate <- C_ready;
+          `Consumed
+      | Wire.Hello { version } ->
+          fail_conn t conn Wire.err_version
+            (Printf.sprintf "protocol version %d unsupported (server speaks %d)"
+               version Wire.version);
+          `Consumed
+      | frame ->
+          fail_conn t conn Wire.err_bad_magic
+            (Printf.sprintf "expected hello, got %s" (Wire.frame_name frame));
+          `Consumed)
+  | C_ready -> handle_ready t conn frame
+  | C_draining | C_flush_close -> `Consumed (* ingress is over; drop *)
+
+(* Parse as many complete frames as the buffer holds, stopping on
+   backpressure.  The unconsumed tail (partial frame, or everything from
+   a frame that hit a full queue) shifts to the buffer's front. *)
+let parse_frames t conn =
+  if conn.inlen > 0 && not conn.gone then begin
+    let s = Bytes.sub_string conn.inbuf 0 conn.inlen in
+    let pos = ref 0 in
+    let continue = ref true in
+    while !continue do
+      if conn.gone || conn.cstate = C_flush_close || conn.cstate = C_draining
+      then continue := false
+      else
+        match Wire.of_string ~pos:!pos s with
+        | Ok (frame, next) -> (
+            Metrics.frame_in t.config.metrics;
+            match handle_frame t conn frame with
+            | `Consumed -> pos := next
+            | `Paused sess ->
+                conn.paused_on <- Some sess;
+                set_read_interest t conn false;
+                continue := false)
+        | Result.Error ("truncated length prefix" | "truncated frame") ->
+            continue := false (* need more bytes *)
+        | Result.Error msg ->
+            continue := false;
+            if conn.cstate = C_hello then fail_conn t conn Wire.err_bad_frame msg
+            else begin
+              (* garbage mid-stream: abandon, like a broken reader *)
+              Metrics.protocol_error t.config.metrics;
+              abandon_conn t conn
+            end
+    done;
+    if not conn.gone then begin
+      let consumed = !pos in
+      if consumed > 0 then begin
+        Bytes.blit conn.inbuf consumed conn.inbuf 0 (conn.inlen - consumed);
+        conn.inlen <- conn.inlen - consumed
+      end
+    end
+  end
+
+let ensure_in conn extra =
+  let need = conn.inlen + extra in
+  if Bytes.length conn.inbuf < need then begin
+    let nb = Bytes.create (Stdlib.max need (2 * Bytes.length conn.inbuf)) in
+    Bytes.blit conn.inbuf 0 nb 0 conn.inlen;
+    conn.inbuf <- nb
+  end
+
+let read_chunk = 65536
+
+let handle_readable t conn =
+  if
+    (not conn.gone)
+    && conn.paused_on = None
+    && (conn.cstate = C_hello || conn.cstate = C_ready)
+  then begin
+    (* bounded per readiness event; level-triggered epoll re-fires *)
+    let rec rd budget =
+      if budget = 0 then `Data
+      else begin
+        ensure_in conn read_chunk;
+        match Unix.read conn.fd conn.inbuf conn.inlen read_chunk with
+        | 0 -> `Eof
+        | n ->
+            conn.inlen <- conn.inlen + n;
+            if n = read_chunk then rd (budget - 1) else `Data
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+            `Data
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> rd budget
+        | exception Unix.Unix_error _ -> `Err
+      end
+    in
+    match rd 4 with
+    | `Data -> parse_frames t conn
+    | `Eof ->
+        parse_frames t conn;
+        if not conn.gone then on_eof t conn
+    | `Err ->
+        if conn.draining then start_drain t conn ~reason:Wire.R_shutdown
+        else begin
+          Metrics.protocol_error t.config.metrics;
+          abandon_conn t conn
+        end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Accept path. *)
+
+let fresh_token t =
+  let tok = t.next_token in
+  t.next_token <- tok + 1;
+  tok
+
+let make_conn t fd =
+  let token = fresh_token t in
+  let conn =
+    {
+      fd;
+      token;
+      inbuf = Bytes.create read_chunk;
+      inlen = 0;
+      outq = Queue.create ();
+      outoff = 0;
+      enc_scratch = Buffer.create 256;
+      enc_out = Buffer.create 256;
+      out_mu = Mutex.create ();
+      out_dead = false;
+      flush_queued = false;
+      want_write = false;
+      read_on = true;
+      sessions = Hashtbl.create 8;
+      closed_sids = Hashtbl.create 8;
+      cmu = Mutex.create ();
+      cstate = C_hello;
+      paused_on = None;
+      eof_seen = false;
+      gone = false;
+      draining = false;
+    }
+  in
+  Hashtbl.replace t.by_token token (T_conn conn);
+  t.nconns <- t.nconns + 1;
+  Metrics.connection t.config.metrics;
+  Metrics.open_conns t.config.metrics t.nconns;
+  Evloop.add t.ev fd ~token ~read:true ~write:false
+
+let rec do_accept t lfd addr =
+  if not (stopping t) then
+    match Unix.accept ~cloexec:true lfd with
+    | fd, _peer ->
+        Unix.set_nonblock fd;
+        (match addr with
+        | A_tcp _ -> (
+            try Unix.setsockopt fd Unix.TCP_NODELAY true
+            with Unix.Unix_error _ -> ())
+        | A_unix _ -> ());
+        make_conn t fd;
+        do_accept t lfd addr
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) ->
+        do_accept t lfd addr
+    | exception Unix.Unix_error ((Unix.EMFILE | Unix.ENFILE), _, _) ->
+        () (* fd exhaustion: back off until something closes *)
+
+(* ------------------------------------------------------------------ *)
+(* The event loop proper. *)
+
+let drain_actions t =
+  let rec next () =
+    Mutex.lock t.amu;
+    let a =
+      if Queue.is_empty t.actions then None else Some (Queue.pop t.actions)
+    in
+    Mutex.unlock t.amu;
+    match a with
+    | None -> ()
+    | Some (A_flush conn) ->
+        flush_conn t conn;
+        next ()
+    | Some (A_unpause (conn, s)) ->
+        (match conn.paused_on with
+        | Some s' when s' == s ->
+            conn.paused_on <- None;
+            parse_frames t conn;
+            if (not conn.gone) && conn.paused_on = None then
+              if conn.eof_seen then begin
+                conn.eof_seen <- false;
+                on_eof t conn
+              end
+              else set_read_interest t conn true
+        | _ -> ());
+        next ()
+    | Some (A_conn_done conn) ->
+        (if (not conn.gone) && conn.cstate = C_draining then begin
+           Mutex.lock conn.cmu;
+           let empty = Hashtbl.length conn.sessions = 0 in
+           Mutex.unlock conn.cmu;
+           if empty then begin
+             finish_drain t conn;
+             flush_conn t conn
+           end
+         end);
+        next ()
+  in
+  next ()
+
+(* Server shutdown, evloop side: close the listeners, then shut ingress
+   on every connection — the receive shutdown surfaces as EOF, which
+   funnels into the ordinary drain path. *)
+let begin_shutdown t =
+  let listeners, conns =
+    Hashtbl.fold
+      (fun token target (ls, cs) ->
+        match target with
+        | T_listener (lfd, addr) -> ((token, lfd, addr) :: ls, cs)
+        | T_conn c -> (ls, c :: cs))
+      t.by_token ([], [])
+  in
+  List.iter
+    (fun (token, lfd, addr) ->
+      Evloop.remove t.ev lfd ~token;
+      Hashtbl.remove t.by_token token;
+      (try Unix.close lfd with Unix.Unix_error _ -> ());
+      match addr with
+      | A_unix path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+      | A_tcp _ -> ())
+    listeners;
+  List.iter
+    (fun conn ->
+      conn.draining <- true;
+      try Unix.shutdown conn.fd Unix.SHUTDOWN_RECEIVE
+      with Unix.Unix_error _ -> ())
+    conns
+
+let ev_loop t =
+  let rec go () =
+    let delivered =
+      Evloop.wait t.ev ~timeout_ms:200
+        ~handle:(fun ~token ~readable ~writable ->
+          match Hashtbl.find_opt t.by_token token with
+          | None -> () (* closed earlier in this batch *)
+          | Some (T_listener (lfd, addr)) ->
+              if readable then do_accept t lfd addr
+          | Some (T_conn conn) ->
+              if readable then handle_readable t conn;
+              if writable && not conn.gone then flush_conn t conn)
+    in
+    if delivered > 0 then Metrics.epoll_wakeup t.config.metrics;
+    drain_actions t;
+    if stopping t then begin
+      if not t.drain_started then begin
+        t.drain_started <- true;
+        begin_shutdown t;
+        drain_actions t
+      end;
+      if t.nconns > 0 then go () (* drains in flight *)
+    end
+    else go ()
+  in
+  go ()
 
 (* ------------------------------------------------------------------ *)
 (* Prometheus exposition: a deliberately minimal HTTP/1.1 responder on a
@@ -630,7 +1209,7 @@ let bind_addr = function
       let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
       (try Unix.unlink path with Unix.Unix_error _ -> ());
       Unix.bind sock (Unix.ADDR_UNIX path);
-      Unix.listen sock 64;
+      Unix.listen sock 1024;
       (sock, A_unix path)
   | A_tcp (host, port) ->
       let inet =
@@ -640,47 +1219,13 @@ let bind_addr = function
       let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
       Unix.setsockopt sock Unix.SO_REUSEADDR true;
       Unix.bind sock (Unix.ADDR_INET (inet, port));
-      Unix.listen sock 64;
+      Unix.listen sock 1024;
       let bound_port =
         match Unix.getsockname sock with
         | Unix.ADDR_INET (_, p) -> p
         | _ -> port
       in
       (sock, A_tcp (host, bound_port))
-
-let accept_loop t (lsock, _) =
-  let rec loop () =
-    if not (stopping t) then begin
-      (match Unix.select [ lsock ] [] [] 0.2 with
-      | [], _, _ -> ()
-      | _ :: _, _, _ -> (
-          match Unix.accept lsock with
-          | fd, _peer_addr ->
-              let conn =
-                {
-                  fd;
-                  out = Wire.out_bufs ();
-                  out_mu = Mutex.create ();
-                  out_dead = false;
-                  sessions = Hashtbl.create 8;
-                  closed_sids = Hashtbl.create 8;
-                  cmu = Mutex.create ();
-                  draining = false;
-                }
-              in
-              Metrics.connection t.config.metrics;
-              Mutex.lock t.rmu;
-              t.conns <- conn :: t.conns;
-              let th = Thread.create (fun () -> conn_loop t conn) () in
-              t.conn_threads <- th :: t.conn_threads;
-              Mutex.unlock t.rmu
-          | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _)
-            -> ())
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
-      loop ()
-    end
-  in
-  loop ()
 
 let janitor_loop t =
   let idle = t.config.idle_timeout in
@@ -690,21 +1235,22 @@ let janitor_loop t =
       Thread.delay tick;
       let deadline = now () -. idle in
       Mutex.lock t.rmu;
-      let conns = t.conns in
+      let ss = Hashtbl.fold (fun _ s acc -> s :: acc) t.registry [] in
       Mutex.unlock t.rmu;
       List.iter
-        (fun conn ->
-          List.iter
-            (fun s ->
-              let expire =
-                Mutex.lock s.smu;
-                let e = session_alive s && s.last_activity < deadline in
-                Mutex.unlock s.smu;
-                e
-              in
-              if expire then enqueue t conn s (I_close Wire.R_idle))
-            (sessions_snapshot conn))
-        conns;
+        (fun s ->
+          let expire =
+            Mutex.lock s.smu;
+            (* detached (restored, unresumed) sessions are exempt: their
+               whole point is surviving quiet periods *)
+            let e =
+              session_alive s && s.ep <> None && s.last_activity < deadline
+            in
+            Mutex.unlock s.smu;
+            e
+          in
+          if expire then force_enqueue s (I_close Wire.R_idle))
+        ss;
       loop ()
     end
   in
@@ -714,34 +1260,100 @@ let start config =
   if config.listen = [] then invalid_arg "Server.start: no listen addresses";
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> () (* not on this platform *));
-  let listeners = List.map bind_addr config.listen in
   let nshards =
     if config.shards > 0 then config.shards else Pool.default_size ()
   in
+  (* Restore before binding: a client connecting right after bind must
+     be able to resume anything the old incarnation logged. *)
+  let persist, restored, next_sid0 =
+    match config.wal_dir with
+    | None -> (None, [], 1)
+    | Some dir -> (
+        match
+          Persist.open_dir
+            ~on_fsync:(fun () -> Metrics.wal_fsync config.metrics)
+            ~dir ~nshards ~sync:config.wal_sync
+            ~render:(fun ~level v -> render_parts level v)
+            ()
+        with
+        | Ok (p, restored, next_sid, stats) ->
+            Metrics.replay config.metrics ~frames:stats.Persist.rs_frames
+              ~ms:stats.Persist.rs_ms;
+            (Some p, restored, next_sid)
+        | Error msg -> failwith (Printf.sprintf "%s: %s" dir msg))
+  in
+  let listeners = List.map bind_addr config.listen in
   let shards =
-    Array.init nshards (fun _ ->
-        { runq = Queue.create (); shmu = Mutex.create ();
-          shcv = Condition.create () })
+    Array.init nshards (fun ix ->
+        {
+          ix;
+          runq = Queue.create ();
+          shmu = Mutex.create ();
+          shcv = Condition.create ();
+          snap_req = false;
+          feeds_since_snap = 0;
+        })
   in
   let t =
     {
       config;
-      listeners;
-      conns = [];
-      next_sid = 1;
+      persist;
+      nshards;
+      ev = Evloop.create ();
+      by_token = Hashtbl.create 4096;
+      next_token = 0;
+      nconns = 0;
+      bound = List.map snd listeners;
+      registry = Hashtbl.create 256;
+      detached = Hashtbl.create 256;
+      next_sid = next_sid0;
       rmu = Mutex.create ();
+      actions = Queue.create ();
+      amu = Mutex.create ();
       stop_requested = false;
+      drain_started = false;
       shards;
       pool = Pool.create ~size:nshards ();
       shards_stop = false;
       shard_runner = None;
-      accepters = [];
-      conn_threads = [];
+      ev_thread = None;
       janitor = None;
       metrics_listener = None;
       metrics_thread = None;
     }
   in
+  (* Restored sessions wait detached until a [Resume_session] claims
+     them (or the final checkpoint carries them forward). *)
+  List.iter
+    (fun (r : Persist.restored) ->
+      let s =
+        {
+          sid = r.Persist.r_sid;
+          meta = r.Persist.r_meta;
+          checker =
+            (match r.Persist.r_state with
+            | Snapshot_store.Live online -> S_live online
+            | Snapshot_store.Poisoned { anomaly; rendered } ->
+                S_poisoned { anomaly; rendered });
+          last_seq = r.Persist.r_last_seq;
+          ep = None;
+          shard_ix = r.Persist.r_sid mod nshards;
+          shard = shards.(r.Persist.r_sid mod nshards);
+          queue = Queue.create ();
+          queued = 0;
+          throttled = false;
+          reader_paused = false;
+          closing = false;
+          abandoned = false;
+          on_runq = false;
+          finished = false;
+          smu = Mutex.create ();
+          last_activity = now ();
+        }
+      in
+      Hashtbl.replace t.registry s.sid s;
+      Hashtbl.replace t.detached s.sid s)
+    restored;
   (match config.metrics_port with
   | None -> ()
   | Some port ->
@@ -766,10 +1378,32 @@ let start config =
            Pool.run t.pool
              (List.init nshards (fun i () -> shard_loop t shards.(i))))
          ());
-  t.accepters <- List.map (fun l -> Thread.create (accept_loop t) l) listeners;
+  (* Register the listeners and hand everything to the event loop. *)
+  List.iter
+    (fun (lfd, addr) ->
+      Unix.set_nonblock lfd;
+      let token = fresh_token t in
+      Hashtbl.replace t.by_token token (T_listener (lfd, addr));
+      Evloop.add t.ev lfd ~token ~read:true ~write:false)
+    listeners;
+  t.ev_thread <- Some (Thread.create ev_loop t);
   if config.idle_timeout > 0.0 then
     t.janitor <- Some (Thread.create janitor_loop t);
   t
+
+(* Final checkpoint, after every domain has stopped: single-threaded, so
+   touching all shards' sessions from here is safe. *)
+let final_persist t =
+  match t.persist with
+  | None -> ()
+  | Some p ->
+      (if t.config.final_checkpoint then
+         try
+           for shard = 0 to t.nshards - 1 do
+             do_checkpoint t t.shards.(shard)
+           done
+         with Unix.Unix_error _ | Sys_error _ -> ());
+      Persist.close p
 
 let stop t =
   Mutex.lock t.rmu;
@@ -777,37 +1411,17 @@ let stop t =
   t.stop_requested <- true;
   Mutex.unlock t.rmu;
   if not already then begin
-    List.iter Thread.join t.accepters;
+    Evloop.wakeup t.ev;
     Option.iter Thread.join t.janitor;
     Option.iter Thread.join t.metrics_thread;
     Option.iter
       (fun (fd, _) -> try Unix.close fd with Unix.Unix_error _ -> ())
       t.metrics_listener;
-    List.iter
-      (fun (fd, addr) ->
-        (try Unix.close fd with Unix.Unix_error _ -> ());
-        match addr with
-        | A_unix path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
-        | A_tcp _ -> ())
-      t.listeners;
-    (* Shut ingress down; readers see EOF with [draining] set and drain
-       their sessions before closing. *)
-    Mutex.lock t.rmu;
-    let conns = t.conns in
-    Mutex.unlock t.rmu;
-    List.iter
-      (fun conn ->
-        conn.draining <- true;
-        try Unix.shutdown conn.fd Unix.SHUTDOWN_RECEIVE
-        with Unix.Unix_error _ -> ())
-      conns;
-    Mutex.lock t.rmu;
-    let threads = t.conn_threads in
-    t.conn_threads <- [];
-    Mutex.unlock t.rmu;
-    List.iter Thread.join threads;
-    (* Every session is finished (teardown waits for the shards), so the
-       run queues are empty: stop the shard loops and the pool. *)
+    (* The event loop drains every connection (sessions get
+       [Session_closed], then [Bye]) and exits once none remain. *)
+    Option.iter Thread.join t.ev_thread;
+    (* Every session is finished, so the run queues are empty: stop the
+       shard loops and the pool. *)
     Array.iter
       (fun sh ->
         Mutex.lock sh.shmu;
@@ -816,19 +1430,29 @@ let stop t =
         Mutex.unlock sh.shmu)
       t.shards;
     Option.iter Thread.join t.shard_runner;
-    Pool.shutdown t.pool
+    Pool.shutdown t.pool;
+    final_persist t;
+    Evloop.close t.ev
   end
 
 let run ?(on_signal = [ Sys.sigterm; Sys.sigint ]) ?on_ready config =
   let t = start config in
   Option.iter (fun f -> f t) on_ready;
   let requested = Atomic.make false in
+  let hup = Atomic.make false in
   List.iter
     (fun s ->
-      try Sys.set_signal s (Sys.Signal_handle (fun _ -> Atomic.set requested true))
+      try
+        Sys.set_signal s (Sys.Signal_handle (fun _ -> Atomic.set requested true))
       with Invalid_argument _ | Sys_error _ -> ())
     on_signal;
+  (if t.persist <> None then
+     try
+       Sys.set_signal Sys.sighup
+         (Sys.Signal_handle (fun _ -> Atomic.set hup true))
+     with Invalid_argument _ | Sys_error _ -> ());
   while not (Atomic.get requested) do
-    Thread.delay 0.2
+    Thread.delay 0.2;
+    if Atomic.exchange hup false then checkpoint t
   done;
   stop t

@@ -1,25 +1,37 @@
-(** The networked checking daemon: an accept loop multiplexing many
+(** The networked checking daemon: an epoll event loop multiplexing many
     concurrent client sessions over Unix-domain and TCP sockets, each
     session owning its own {!Online.t} (level, key-space size and clock
     skew negotiated at open).
 
-    Checking runs on a fixed array of shards backed by a {!Pool} of
-    worker domains, so concurrent sessions verify on separate cores
-    instead of serializing on the runtime lock.  A session is pinned to
-    one shard for life: its items drain in FIFO order on a single domain
-    at a time, so verdicts and counterexamples are bit-identical to a
-    single-threaded server's.
+    One event-loop systhread owns every socket (accept, frame parsing,
+    egress) through {!Evloop} — a connection costs a file descriptor and
+    a buffer, not a systhread, so tens of thousands of idle connections
+    are cheap.  Checking runs on a fixed array of shards backed by a
+    {!Pool} of worker domains, so concurrent sessions verify on separate
+    cores instead of serializing on the runtime lock.  A session is
+    pinned to one shard for life: its items drain in FIFO order on a
+    single domain at a time, so verdicts and counterexamples are
+    bit-identical to a single-threaded server's.
+
+    Durability ([wal_dir]): every accepted open/feed/close is appended
+    to the owning shard's write-ahead log before it is applied, and
+    shards periodically checkpoint their sessions to snapshots (SIGHUP
+    under {!run}, {!checkpoint}, every [snapshot_every] feeds, and on
+    {!stop}).  After a crash, a restarted server restores snapshot + WAL
+    tail: clients re-attach with [Resume_session] and continue from the
+    server-reported [last_seq]; poisoned sessions re-render the
+    byte-identical counterexample.
 
     Guarantees:
     - per-session ingress queues are bounded ([queue_capacity]); a full
-      queue blocks that connection's reader (the hard backpressure the
-      transport propagates) and emits advisory [Throttle]/[Resume]
-      frames around the high-water mark;
+      queue pauses that connection's read interest (the hard
+      backpressure the transport propagates) and emits advisory
+      [Throttle]/[Resume] frames around the high-water mark;
     - a session that produced a [Violation] verdict is poisoned: every
       further feed or sync is answered with the identical rendered
       counterexample;
     - sessions idle longer than [idle_timeout] are closed with reason
-      [R_idle];
+      [R_idle] (restored-but-unresumed sessions are exempt);
     - a mid-frame client disconnect abandons only that connection —
       other connections and sessions are untouched;
     - {!stop} (and the SIGTERM handling of {!run}) drains the frames
@@ -52,18 +64,34 @@ type config = {
       (** serve Prometheus text exposition over HTTP on
           127.0.0.1:[port] ([GET /metrics]); [0] asks the kernel for an
           ephemeral port — read it back with {!metrics_port} *)
+  wal_dir : string option;
+      (** durability directory (created if missing); [None] = off *)
+  wal_sync : Wal.sync;
+      (** fsync policy for WAL appends; see {!Wal.sync} *)
+  snapshot_every : int;
+      (** per-shard feeds between automatic checkpoints; [0] = only on
+          SIGHUP / {!checkpoint} / shutdown *)
+  final_checkpoint : bool;
+      (** checkpoint on {!stop} (default); [false] leaves the WAL tail
+          in place — the crash-recovery tests use this to exercise tail
+          replay without an actual [kill -9] *)
 }
 
 val default_config : config
 (** No listeners (callers must fill [listen]), queue of 1024, no idle
-    timeout, {!Metrics.global}, auto shard count, no metrics port. *)
+    timeout, {!Metrics.global}, auto shard count, no metrics port, no
+    durability ([wal_dir = None], [Batch] sync, no automatic
+    snapshots). *)
 
 type t
 
 val start : config -> t
-(** Bind every [listen] address and spawn the acceptor/janitor threads.
+(** Restore [wal_dir] (if set), bind every [listen] address and spawn
+    the event-loop/shard/janitor threads.
     @raise Invalid_argument if [listen] is empty.
-    @raise Unix.Unix_error if an address cannot be bound. *)
+    @raise Unix.Unix_error if an address cannot be bound.
+    @raise Failure if the persistence directory cannot be opened or
+    restored. *)
 
 val bound_addrs : t -> addr list
 (** The actually-bound addresses (TCP port 0 resolved). *)
@@ -72,14 +100,25 @@ val metrics_port : t -> int option
 (** The actually-bound metrics port (config port 0 resolved); [None]
     when the exposition endpoint is off. *)
 
+val event_backend : t -> string
+(** The {!Evloop} backend multiplexing connections: ["epoll"] on Linux,
+    ["select"] elsewhere. *)
+
+val checkpoint : t -> unit
+(** Ask every shard to snapshot its sessions and rotate its WAL (a
+    no-op without [wal_dir]).  Asynchronous: shards checkpoint before
+    picking up their next session.  {!run} wires SIGHUP to this. *)
+
 val stop : t -> unit
 (** Graceful shutdown: stop accepting, shut down ingress on every
-    connection, let session workers drain their queues, send
-    [Session_closed]+[Bye], close everything.  Idempotent; blocks until
-    the drain completes. *)
+    connection, let the shards drain their queues, send
+    [Session_closed]+[Bye], checkpoint (unless [final_checkpoint] is
+    off), close everything.  Idempotent; blocks until the drain
+    completes. *)
 
 val run :
   ?on_signal:int list -> ?on_ready:(t -> unit) -> config -> unit
 (** [start], then block until one of [on_signal] (default SIGTERM and
     SIGINT) arrives, then {!stop}.  [on_ready] runs right after the
-    listeners are bound — used by the CLI to print the addresses. *)
+    listeners are bound — used by the CLI to print the addresses.  When
+    durability is on, SIGHUP triggers {!checkpoint}. *)

@@ -19,8 +19,10 @@
 let magic = "MTCS"
 
 (* v2: [Open_session] grew a trailing timestamp-mode byte (the Vbox fast
-   path of {!Ts}); v1 peers are refused at the handshake. *)
-let version = 2
+   path of {!Ts}).  v3: [Resume_session]/[Session_resumed] re-attach a
+   session that survived a server restart (the durable-service crash
+   story).  Other versions are refused at the handshake. *)
+let version = 3
 
 (* Hard ceiling on a single frame — a malformed or hostile length prefix
    must not make the server allocate gigabytes. *)
@@ -57,6 +59,8 @@ type frame =
   | Session_closed of { sid : int; reason : close_reason }
   | Error of { code : int; msg : string }
   | Bye
+  | Resume_session of { sid : int }
+  | Session_resumed of { sid : int; last_seq : int }
 
 (* Error codes carried by [Error] frames. *)
 let err_bad_magic = 1
@@ -96,6 +100,8 @@ let frame_name = function
   | Session_closed _ -> "session-closed"
   | Error _ -> "error"
   | Bye -> "bye"
+  | Resume_session _ -> "resume-session"
+  | Session_resumed _ -> "session-resumed"
 
 (* ------------------------------------------------------------------ *)
 (* Encoding. *)
@@ -176,6 +182,13 @@ let add_payload buf = function
       Binio.add_uvarint buf code;
       Binio.add_string buf msg
   | Bye -> Buffer.add_char buf '\015'
+  | Resume_session { sid } ->
+      Buffer.add_char buf '\016';
+      Binio.add_uvarint buf sid
+  | Session_resumed { sid; last_seq } ->
+      Buffer.add_char buf '\017';
+      Binio.add_uvarint buf sid;
+      Binio.add_uvarint buf last_seq
 
 (* [encode ~scratch out frame] appends the length-prefixed frame to
    [out].  The payload is first built in [scratch] (cleared here) so the
@@ -276,6 +289,10 @@ let decode_payload payload =
         let code = Binio.read_uvarint r in
         Error { code; msg = Binio.read_string r }
     | 15 -> Bye
+    | 16 -> Resume_session { sid = Binio.read_uvarint r }
+    | 17 ->
+        let sid = Binio.read_uvarint r in
+        Session_resumed { sid; last_seq = Binio.read_uvarint r }
     | t -> Binio.fail "unknown frame tag %d" t
   in
   if not (Binio.at_end r) then

@@ -20,9 +20,11 @@
 val magic : string
 
 val version : int
-(** Protocol version 2: [Open_session] carries a trailing timestamp-mode
+(** Protocol version 3: v2 gave [Open_session] a trailing timestamp-mode
     byte (0 = ignore, 1 = trust, 2 = verify — the Vbox fast path of
-    {!Ts}).  The handshake refuses other versions. *)
+    {!Ts}); v3 adds [Resume_session]/[Session_resumed] for re-attaching
+    sessions that survived a server restart.  The handshake refuses
+    other versions. *)
 
 val max_frame : int
 (** Upper bound on a payload length; longer prefixes are protocol
@@ -63,6 +65,13 @@ type frame =
   | Session_closed of { sid : int; reason : close_reason }
   | Error of { code : int; msg : string }
   | Bye
+  | Resume_session of { sid : int }
+      (** re-attach a session restored from the WAL/snapshot after a
+          server restart; answered by [Session_resumed] (or [Error] with
+          {!err_unknown_session}) *)
+  | Session_resumed of { sid : int; last_seq : int }
+      (** [last_seq] is the highest applied feed sequence number — the
+          client skips transactions up to and including it *)
 
 val err_bad_magic : int
 val err_version : int

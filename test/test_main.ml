@@ -23,4 +23,5 @@ let () =
       ("obs", Test_obs.suite);
       ("par", Test_par.suite);
       ("ts", Test_ts.suite);
+    ("persist", Test_persist.suite);
     ]
