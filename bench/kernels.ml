@@ -296,6 +296,52 @@ let online_feed_rows () =
   in
   [ row Checker.SER; row Checker.SI; row Checker.SSER ]
 
+(* The PR9 acceptance table: bounded-memory streaming.  One long clean
+   Stream_gen corpus is fed transaction by transaction — never
+   materialized — through [Online.add_txn] under each watermark-GC
+   policy.  [live peak] is the largest live-word estimate sampled every
+   4096 feeds: it grows with the stream under [off] and stays flat under
+   [auto] / an absolute ceiling.  [retained] cross-checks the estimate
+   against the real major heap: growth of [Gc.stat].heap_words across
+   the run after a [Gc.compact] on both sides.  30k transactions under
+   --smoke, 300k otherwise; these rows are the numbers promoted to
+   BENCH_PR9.json. *)
+let bounded_feed_rows () =
+  let txns = if !Bench_util.smoke then 30_000 else 300_000 in
+  let p = { Stream_gen.default with num_txns = txns } in
+  let row gc =
+    Gc.compact ();
+    let base_heap = (Gc.stat ()).Gc.heap_words in
+    let o =
+      Online.create ~gc ~level:Checker.SER
+        ~num_keys:p.Stream_gen.num_keys ()
+    in
+    let peak = ref 0 and fed = ref 0 in
+    let t0 = Unix.gettimeofday () in
+    Stream_gen.generate p (fun txn ->
+        (match Online.add_txn o txn with
+        | Online.Ok_so_far -> ()
+        | Online.Violation _ -> failwith "kernels: clean stream flagged");
+        incr fed;
+        if !fed land 4095 = 0 then
+          peak := Stdlib.max !peak (Online.live_words o));
+    let dt = Unix.gettimeofday () -. t0 in
+    let s = Online.stats o in
+    Gc.compact ();
+    let retained = (Gc.stat ()).Gc.heap_words - base_heap in
+    ignore (Sys.opaque_identity (Online.txns_seen o));
+    [
+      Printf.sprintf "bounded_feed/%s" (Online.gc_to_string gc);
+      Printf.sprintf "%.0f" (float_of_int txns /. dt);
+      string_of_int (Stdlib.max !peak s.Online.s_live_words);
+      string_of_int s.Online.s_live_words;
+      string_of_int retained;
+      string_of_int s.Online.s_gc_runs;
+      string_of_int s.Online.s_gc_reclaimed_words;
+    ]
+  in
+  [ row Online.Gc_off; row Online.Gc_auto; row (Online.Gc_words 2_000_000) ]
+
 (* Tracing overhead on a full checker run: the same fixed history timed
    with spans disabled (the production default — one atomic load and a
    branch per site) and enabled (per-domain rings absorbing every span).
@@ -584,6 +630,13 @@ let run () =
   Bench_util.print_table
     ~header:[ "stream"; "txns/s"; "words/feed" ]
     (online_feed_rows ());
+  Bench_util.subsection
+    "bounded_feed: watermark GC of the committed prefix (Stream_gen, never materialized)";
+  Bench_util.print_table
+    ~header:
+      [ "config"; "txns/s"; "live peak (words)"; "live final (words)";
+        "retained heap (words)"; "gc runs"; "reclaimed (words)" ]
+    (bounded_feed_rows ());
   Bench_util.subsection
     "observability: full SER check, tracing disabled vs enabled (median of 9)";
   Bench_util.print_table ~header:[ "config"; "time (ms)" ]

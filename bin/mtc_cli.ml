@@ -568,6 +568,25 @@ let addr_conv =
   Arg.conv
     (parse, fun ppf a -> Format.pp_print_string ppf (Server.addr_to_string a))
 
+let gc_conv =
+  Arg.conv
+    ( (fun s ->
+        match Online.gc_of_string s with
+        | Some v -> Ok v
+        | None ->
+            Error
+              (`Msg
+                 (Printf.sprintf "bad GC policy %S (want off, auto or a \
+                                  word count)" s))),
+      fun ppf v -> Format.pp_print_string ppf (Online.gc_to_string v) )
+
+let gc_doc =
+  "Watermark GC of the committed prefix: $(b,off) retains every \
+   transaction (exact historical behavior), $(b,auto) compacts whenever \
+   the live-word estimate exceeds twice the post-GC floor (flat memory \
+   for unbounded streams), and a number compacts past that absolute \
+   word ceiling.  Verdicts and counterexamples are unaffected."
+
 let serve_cmd =
   let listen_arg =
     Arg.(
@@ -631,9 +650,12 @@ let serve_cmd =
           ~doc:
             "WAL fsync policy: $(b,always) (fsync per record), $(b,batch) \
              (fsync before each acknowledged verdict, default) or \
-             $(b,off).  Appends are a write() per record under every \
-             policy, so a server kill never loses accepted frames — the \
-             policy only guards against OS crashes and power loss.")
+             $(b,off).  Under $(b,batch) and $(b,off), appends group-commit: \
+             records buffer in user space and reach the kernel in one \
+             write() when the shard's queue drains (or at an acknowledged \
+             sync, or every 256 KiB), so a server kill can lose the \
+             unflushed tail — acknowledged syncs are still durable.  \
+             $(b,always) keeps the historical write-and-fsync per record.")
   in
   let snapshot_every_arg =
     Arg.(
@@ -653,8 +675,17 @@ let serve_cmd =
              backpressure and mid-feed crashes deterministically; keep 0 \
              in production.")
   in
+  let gc_arg =
+    Arg.(
+      value & opt gc_conv Online.Gc_off
+      & info [ "gc-watermark" ] ~docv:"POLICY"
+          ~doc:
+            (gc_doc
+            ^ "  This is the server default; a client may override it \
+               per session."))
+  in
   let run listen queue idle jobs metrics_port wal_dir wal_sync snapshot_every
-      drain_delay =
+      drain_delay gc =
     let listen =
       if listen = [] then [ Server.A_unix "/tmp/mtc.sock" ] else listen
     in
@@ -670,6 +701,7 @@ let serve_cmd =
         wal_dir;
         wal_sync;
         snapshot_every;
+        gc;
       }
     in
     match
@@ -681,6 +713,9 @@ let serve_cmd =
             (Server.bound_addrs t);
           Printf.printf "mtc serve: event backend %s\n%!"
             (Server.event_backend t);
+          (if gc <> Online.Gc_off then
+             Printf.printf "mtc serve: watermark GC %s\n%!"
+               (Online.gc_to_string gc));
           Option.iter
             (fun dir ->
               Printf.printf "mtc serve: durable in %s (sync %s)\n%!" dir
@@ -718,7 +753,7 @@ let serve_cmd =
           Sessions check in parallel on $(b,--jobs) shard domains.")
     Term.(const run $ listen_arg $ queue_arg $ idle_arg $ jobs_arg
           $ metrics_port_arg $ wal_dir_arg $ wal_sync_arg
-          $ snapshot_every_arg $ drain_delay_arg)
+          $ snapshot_every_arg $ drain_delay_arg $ gc_arg)
 
 let feed_cmd =
   let file_arg =
@@ -761,6 +796,16 @@ let feed_cmd =
              acknowledged (and, on a durable server, fsynced) \
              periodically while streaming; 0 syncs only at the end.")
   in
+  let gc_arg =
+    Arg.(
+      value
+      & opt (some gc_conv) None
+      & info [ "gc-watermark" ] ~docv:"POLICY"
+          ~doc:
+            (gc_doc
+            ^ "  Omit to inherit the server's $(b,--gc-watermark) \
+               default."))
+  in
   let strong_level = function
     | Strong l -> Ok l
     | Weak l ->
@@ -792,7 +837,7 @@ let feed_cmd =
     in
     go 1 0 (Client.stream_order h)
   in
-  let run file addr level skew timestamps want_stats resume ack_every =
+  let run file addr level skew timestamps want_stats resume ack_every gc =
     match (Codec.load file, strong_level level) with
     | Error e, _ ->
         Printf.eprintf "cannot load %s: %s\n" file e;
@@ -821,7 +866,7 @@ let feed_cmd =
               | None -> (
                   match
                     Client.open_session c ~level ~num_keys:h.History.num_keys
-                      ~skew ~ts:timestamps ()
+                      ~skew ~ts:timestamps ?gc ()
                   with
                   | Error e -> Error ("cannot open session: " ^ e)
                   | Ok sid ->
@@ -866,7 +911,8 @@ let feed_cmd =
           $(b,mtc check).  Against a durable server, $(b,--resume SID) \
           continues a session across a server crash or restart.")
     Term.(const run $ file_arg $ addr_arg $ level_arg $ skew_arg
-          $ timestamps_arg $ stats_arg $ resume_arg $ ack_every_arg)
+          $ timestamps_arg $ stats_arg $ resume_arg $ ack_every_arg
+          $ gc_arg)
 
 (* ------------------------------------------------------------------ *)
 (* mtc stats *)
@@ -1096,7 +1142,16 @@ let wal_dump_cmd =
               e.meta.Snapshot_store.num_keys e.last_seq
               (match e.state with
               | Snapshot_store.Live online ->
-                  Printf.sprintf "live (%d txns)" (Online.txns_seen online)
+                  let gc = Online.gc_policy online in
+                  Printf.sprintf "live (%d txns, %d words live%s)"
+                    (Online.txns_seen online)
+                    (Online.live_words online)
+                    (if gc = Online.Gc_off then ""
+                     else
+                       Printf.sprintf ", gc %s: %d runs, %d words reclaimed"
+                         (Online.gc_to_string gc)
+                         (Online.gc_runs online)
+                         (Online.gc_reclaimed_words online))
               | Snapshot_store.Poisoned { anomaly; _ } ->
                   Printf.sprintf "poisoned%s"
                     (match anomaly with
@@ -1121,11 +1176,11 @@ let wal_dump_cmd =
           List.iter
             (fun r ->
               match r with
-              | Wal.R_open { sid; level; num_keys; skew; ts } ->
+              | Wal.R_open { sid; level; num_keys; skew; ts; gc } ->
                   Printf.printf
-                    "  open  sid=%d %s num_keys=%d skew=%d ts=%s\n" sid
+                    "  open  sid=%d %s num_keys=%d skew=%d ts=%s gc=%s\n" sid
                     (Checker.level_name level) num_keys skew
-                    (Ts.mode_name ts)
+                    (Ts.mode_name ts) (Online.gc_to_string gc)
               | Wal.R_feed { sid; seq; txn } ->
                   Printf.printf "  feed  sid=%d seq=%d txn=%d (%d ops)\n" sid
                     seq txn.Txn.id

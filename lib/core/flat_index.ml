@@ -96,10 +96,32 @@ let decode r =
   done;
   t
 
+let iter t f =
+  for i = 0 to Array.length t.vals - 1 do
+    if t.vals.(i) >= 0 then f t.keys.(i) t.vals.(i)
+  done
+
+(* Words-of-memory estimator: the two backing arrays plus the header.
+   O(1); used by the online checker's GC trigger. *)
+let words t = 4 + (2 * Array.length t.vals)
+
+(* Rebuild keeping only the bindings [pred] accepts.  Probe layout is
+   unobservable through this interface, so a filtered re-insertion is
+   equivalence-preserving; the fresh map is sized for the survivors so
+   compaction actually returns memory. *)
+let filtered t pred =
+  let t' = create ~capacity:4 () in
+  iter t (fun k v -> if pred k then set t' k v);
+  t'
+
 type map = t
 
 let encode_map = encode
 let decode_map = decode
+let iter_map = iter
+let words_map = words
+let set_map = set
+let create_map = create
 
 (* --- int-packed (key, value) pairs --- *)
 
@@ -174,6 +196,23 @@ module Writers = struct
               match Hashtbl.find_opt t.spill (2, k, v) with
               | Some id -> Aborted id
               | None -> Nobody))
+
+  let keep t pred =
+    {
+      num_keys = t.num_keys;
+      final = filtered t.final pred;
+      intermediate = filtered t.intermediate pred;
+      aborted = filtered t.aborted pred;
+      spill = Hashtbl.copy t.spill;  (* unpackable pairs are never pruned *)
+    }
+
+  let iter_final t f =
+    iter t.final (fun _ id -> f id);
+    Hashtbl.iter (fun (tier, _, _) id -> if tier = 0 then f id) t.spill
+
+  let words t =
+    2 + words t.final + words t.intermediate + words t.aborted
+    + (8 * Hashtbl.length t.spill)
 
   let encode buf t =
     Binio_core.add_uvarint buf t.num_keys;
@@ -263,6 +302,41 @@ module Multi = struct
       match Hashtbl.find_opt t.spill (k, v) with
       | Some r -> List.iter f !r
       | None -> ()
+
+  (* Rebuild keeping only the chains whose packed pair [pred] accepts.
+     Each surviving chain is re-pushed oldest-first into a fresh pool so
+     iteration order (newest first) is preserved while dead chains' cons
+     cells are dropped. *)
+  let keep t pred =
+    let t' = create ~num_keys:t.num_keys () in
+    let scratch = Int_vec.create 16 in
+    iter_map t.heads (fun p head ->
+        if pred p then begin
+          Int_vec.clear scratch;
+          let slot = ref head in
+          while !slot >= 0 do
+            Int_vec.push scratch (Int_vec.get t.pvals !slot);
+            slot := Int_vec.get t.pnext !slot
+          done;
+          let k = p mod t.num_keys and v = p / t.num_keys in
+          for i = Int_vec.length scratch - 1 downto 0 do
+            push t' k v (Int_vec.get scratch i)
+          done
+        end);
+    Hashtbl.iter (fun kv l -> Hashtbl.replace t'.spill kv (ref !l)) t.spill;
+    t'
+
+  let iter_members t f =
+    for i = 0 to Int_vec.length t.pvals - 1 do
+      f (Int_vec.get t.pvals i)
+    done;
+    Hashtbl.iter (fun _ l -> List.iter f !l) t.spill
+
+  let words t =
+    2 + words_map t.heads
+    + Array.length (Int_vec.data t.pvals)
+    + Array.length (Int_vec.data t.pnext)
+    + (8 * Hashtbl.length t.spill)
 
   (* The cons pool is written verbatim (iteration is newest-first chain
      following, which the slot indices encode); spill lists keep their
@@ -356,6 +430,24 @@ module Pairs = struct
     end
     else
       match Hashtbl.find_opt t.spill (k, v) with Some (_, b) -> b | None -> 0
+
+  let keep t pred =
+    let t' =
+      { num_keys = t.num_keys; idx = create_map ~capacity:4 ();
+        pool = Int_vec.create 16; spill = Hashtbl.copy t.spill }
+    in
+    iter_map t.idx (fun p s ->
+        if pred p then begin
+          let s' = Int_vec.length t'.pool / 2 in
+          Int_vec.push t'.pool (Int_vec.get t.pool (2 * s));
+          Int_vec.push t'.pool (Int_vec.get t.pool ((2 * s) + 1));
+          set_map t'.idx p s'
+        end);
+    t'
+
+  let words t =
+    2 + words_map t.idx + Array.length (Int_vec.data t.pool)
+    + (8 * Hashtbl.length t.spill)
 
   let encode buf t =
     Binio_core.add_uvarint buf t.num_keys;

@@ -29,6 +29,18 @@ val get : t -> int -> int
 
 val mem : t -> int -> bool
 
+val iter : t -> (int -> int -> unit) -> unit
+(** [iter t f] applies [f key value] to every live binding, in slot
+    order (an implementation order — callers must not depend on it
+    beyond determinism for a fixed insertion history). *)
+
+val words : t -> int
+(** Rough size of the backing store in words, O(1). *)
+
+val filtered : t -> (int -> bool) -> t
+(** [filtered t pred] is a fresh map holding exactly the bindings whose
+    key [pred] accepts, sized for the survivors. *)
+
 val encode : Buffer.t -> t -> unit
 (** Snapshot serialization: the live pairs.  Probe layout is not
     preserved (it is unobservable through this interface). *)
@@ -68,6 +80,16 @@ module Writers : sig
       then intermediate, then aborted — the resolution order of paper
       Section IV-A. *)
 
+  val keep : t -> (int -> bool) -> t
+  (** [keep t pred] rebuilds all three tiers retaining only the packed
+      pairs [pred] accepts; the spill table (unpackable pairs) is kept
+      verbatim — it is never pruned. *)
+
+  val iter_final : t -> (Txn.id -> unit) -> unit
+  (** Iterate the ids of every final-writer binding (packed + spill). *)
+
+  val words : t -> int
+
   val encode : Buffer.t -> t -> unit
   val decode : Binio_core.reader -> t
 end
@@ -86,6 +108,17 @@ module Multi : sig
 
   val iter : t -> Op.key -> Op.value -> (int -> unit) -> unit
   (** Iterate the list of [(k, v)], newest push first. *)
+
+  val keep : t -> (int -> bool) -> t
+  (** [keep t pred] rebuilds the table retaining only the chains whose
+      packed pair [pred] accepts, preserving each survivor's newest-first
+      iteration order; spill lists are kept verbatim. *)
+
+  val iter_members : t -> (int -> unit) -> unit
+  (** Iterate every element of every chain (pool + spill), in pool
+      order. *)
+
+  val words : t -> int
 
   val encode : Buffer.t -> t -> unit
   (** The cons pool is written verbatim, so a decoded table iterates in
@@ -111,6 +144,12 @@ module Pairs : sig
 
   val second : t -> Op.key -> Op.value -> int
   (** Second component; meaningful only when {!first} returned [>= 0]. *)
+
+  val keep : t -> (int -> bool) -> t
+  (** [keep t pred] rebuilds the table retaining only the packed pairs
+      [pred] accepts; spill entries are kept verbatim. *)
+
+  val words : t -> int
 
   val encode : Buffer.t -> t -> unit
   val decode : Binio_core.reader -> t

@@ -36,7 +36,7 @@ module Grow = struct
     pk : Pearce_kelly.t;
     mutable capacity : int;
     mutable edge_count : int;  (** distinct edges accepted *)
-    labels : Flat_index.t;  (** packed (u lsl 31) lor v -> packed dep *)
+    mutable labels : Flat_index.t;  (** packed (u lsl 31) lor v -> packed dep *)
   }
 
   let create () =
@@ -78,27 +78,72 @@ module Grow = struct
     if p >= 0 then unpack_dep p else Deps.Rt_chain
 end
 
+(* Watermark GC policy.  [Gc_auto] compacts when the live-word estimate
+   exceeds twice the post-GC floor (with a fixed minimum so tiny sessions
+   never bother); [Gc_words n] compacts past an absolute ceiling. *)
+type gc = Gc_off | Gc_auto | Gc_words of int
+
+let gc_to_string = function
+  | Gc_off -> "off"
+  | Gc_auto -> "auto"
+  | Gc_words n -> string_of_int n
+
+let gc_of_string = function
+  | "off" -> Some Gc_off
+  | "auto" -> Some Gc_auto
+  | s -> (
+      match int_of_string_opt s with
+      | Some n when n > 0 -> Some (Gc_words n)
+      | _ -> None)
+
 type t = {
   level : Checker.level;
   skew : int;
   ts_mode : Ts.mode;
+  num_keys : int;
   graph : Grow.t;
   mutable next_vertex : int;
-  vertex_txn : Int_vec.t;  (** vertex -> txn id; -1 for helper vertices *)
-  txn_vertex : Flat_index.t;  (** txn id -> base vertex (SI: the d-vertex) *)
-  writers : Flat_index.Writers.t;
+  mutable vertex_txn : Int_vec.t;  (** vertex -> txn id; -1 for helper vertices *)
+  mutable txn_vertex : Flat_index.t;  (** txn id -> base vertex (SI: the d-vertex) *)
+  mutable writers : Flat_index.Writers.t;
       (** final / intermediate / aborted writer resolution, int-packed *)
-  readers : Flat_index.Multi.t;
-  overwriters : Flat_index.Multi.t;
-  extender : Flat_index.Pairs.t;  (** (k, v) -> (reader txn, its write) *)
+  mutable readers : Flat_index.Multi.t;
+  mutable overwriters : Flat_index.Multi.t;
+  mutable extender : Flat_index.Pairs.t;  (** (k, v) -> (reader txn, its write) *)
   session_last : Flat_index.t;  (** session -> last committed txn id *)
-  seen_ids : Flat_index.t;
+  mutable seen_ids : Flat_index.t;
   (* SSER stream state: commits in arrival (= commit_ts) order *)
-  commit_ts : Int_vec.t;
-  commit_helper : Int_vec.t;  (** helper vertex of the same commit *)
+  mutable commit_ts : Int_vec.t;
+  mutable commit_helper : Int_vec.t;  (** helper vertex of the same commit *)
   mutable last_commit : int;
   mutable count : int;
   mutable poisoned : Checker.violation option;
+  (* Watermark GC state (see {!gc_run}).  [total_vertices] is the
+     logical allocation count — it keeps {!stats} identical between
+     bounded and unbounded runs while [next_vertex] tracks the physical
+     (possibly compacted) vertex space.  The install windows track, per
+     key, the packed pairs of the two newest final installs; a version
+     evicted from both slots is recorded in [dead_at] with the arrival
+     position of its death and becomes prunable once every session's
+     feed frontier has passed that position.  Aborted installs follow a
+     different clock: a leaked aborted version (the MongoDB-style fault)
+     stays readable until a committed write on the same key shadows it,
+     however long that takes, so aborted pairs wait in [ab_pending] and
+     die only when the next final install on their key arrives. *)
+  gc_policy : gc;
+  mutable gc_floor : int;  (** live words right after the last GC *)
+  mutable gc_runs : int;
+  mutable gc_reclaimed : int;  (** cumulative words reclaimed *)
+  mutable gc_last_ns : int;  (** wall time of the last GC run *)
+  mutable total_vertices : int;
+  fin_cur : int array;  (** per key: packed pair of newest final install *)
+  fin_prev : int array;
+  ab_pending : Int_vec.t array;
+      (** per key: aborted installs not yet shadowed by a final one *)
+  mutable dead_at : Flat_index.t;  (** packed pair -> death position *)
+  sessions : Flat_index.t;  (** session -> frontier slot *)
+  sl_pos : Int_vec.t;  (** slot -> arrival position of the last fed txn *)
+  sl_cts : Int_vec.t;  (** slot -> commit_ts frontier of the session *)
   (* Timestamp fast path (Vbox mode, {!Ts}): per-key version chains in
      commit-timestamp order, as cons chains threaded through flat int
      vectors (newest first — commit-order arrival, enforced for ts
@@ -110,11 +155,11 @@ type t = {
      divergence screens — so the online fast path changes read
      attribution (and supplies certification statistics), not table
      upkeep. *)
-  chain_head : Flat_index.t;  (** key -> newest chain node, or absent *)
-  ch_commit : Int_vec.t;
-  ch_writer : Int_vec.t;
-  ch_value : Int_vec.t;
-  ch_next : Int_vec.t;
+  mutable chain_head : Flat_index.t;  (** key -> newest chain node, or absent *)
+  mutable ch_commit : Int_vec.t;
+  mutable ch_writer : Int_vec.t;
+  mutable ch_value : Int_vec.t;
+  mutable ch_next : Int_vec.t;
   ts_slow : Bytes.t;  (** verify: per-key certification-failed flag *)
   mutable ts_fast : int;
   mutable ts_mismatched : int;
@@ -129,21 +174,62 @@ type stats = {
   s_poisoned : bool;
   s_ts_fast : int;
   s_ts_mismatched : int;
+  s_gc_runs : int;
+  s_gc_reclaimed_words : int;
+  s_live_words : int;
 }
 
 let txns_seen t = t.count
 let level t = t.level
 let ts_mode t = t.ts_mode
 let poisoned t = t.poisoned
+let gc_policy t = t.gc_policy
+let gc_runs t = t.gc_runs
+let gc_last_ns t = t.gc_last_ns
+let gc_reclaimed_words t = t.gc_reclaimed
+
+(* Rough live size in words of every structure the checker retains.
+   O(physical vertices) — the adjacency walk in {!Pearce_kelly.words}
+   dominates — so the auto-GC trigger samples it periodically rather
+   than per feed. *)
+let live_words t =
+  Pearce_kelly.words t.graph.Grow.pk
+  + Flat_index.words t.graph.Grow.labels
+  + Array.length (Int_vec.data t.vertex_txn)
+  + Flat_index.words t.txn_vertex
+  + Flat_index.Writers.words t.writers
+  + Flat_index.Multi.words t.readers
+  + Flat_index.Multi.words t.overwriters
+  + Flat_index.Pairs.words t.extender
+  + Flat_index.words t.session_last
+  + Flat_index.words t.seen_ids
+  + Array.length (Int_vec.data t.commit_ts)
+  + Array.length (Int_vec.data t.commit_helper)
+  + Flat_index.words t.chain_head
+  + Array.length (Int_vec.data t.ch_commit)
+  + Array.length (Int_vec.data t.ch_writer)
+  + Array.length (Int_vec.data t.ch_value)
+  + Array.length (Int_vec.data t.ch_next)
+  + Flat_index.words t.dead_at
+  + (2 * Array.length t.fin_cur)
+  + Array.fold_left
+      (fun acc v -> acc + Array.length (Int_vec.data v))
+      0 t.ab_pending
+  + Flat_index.words t.sessions
+  + Array.length (Int_vec.data t.sl_pos)
+  + Array.length (Int_vec.data t.sl_cts)
 
 let stats t =
   {
     s_txns_seen = t.count;
-    s_vertices = t.next_vertex;
+    s_vertices = t.total_vertices;
     s_edges = t.graph.Grow.edge_count;
     s_poisoned = t.poisoned <> None;
     s_ts_fast = t.ts_fast;
     s_ts_mismatched = t.ts_mismatched;
+    s_gc_runs = t.gc_runs;
+    s_gc_reclaimed_words = t.gc_reclaimed;
+    s_live_words = live_words t;
   }
 
 let vertices_per_txn level = match level with Checker.SI -> 2 | _ -> 1
@@ -152,6 +238,7 @@ let alloc_vertices t (txn : Txn.t) =
   let base = t.next_vertex in
   let n = vertices_per_txn t.level in
   t.next_vertex <- base + n;
+  t.total_vertices <- t.total_vertices + n;
   Flat_index.set t.txn_vertex txn.Txn.id base;
   Int_vec.push t.vertex_txn txn.Txn.id;
   if n = 2 then Int_vec.push t.vertex_txn txn.Txn.id;
@@ -160,15 +247,18 @@ let alloc_vertices t (txn : Txn.t) =
 let alloc_helper t =
   let h = t.next_vertex in
   t.next_vertex <- h + 1;
+  t.total_vertices <- t.total_vertices + 1;
   Int_vec.push t.vertex_txn (-1);
   h
 
-let create ?(skew = 0) ?(ts = Ts.Ignore) ~level ~num_keys () =
+let create ?(skew = 0) ?(ts = Ts.Ignore) ?(gc = Gc_off) ~level ~num_keys () =
+  let nk = Stdlib.max 0 num_keys in
   let t =
     {
       level;
       skew;
       ts_mode = ts;
+      num_keys = nk;
       graph = Grow.create ();
       next_vertex = 0;
       vertex_txn = Int_vec.create 256;
@@ -193,13 +283,29 @@ let create ?(skew = 0) ?(ts = Ts.Ignore) ~level ~num_keys () =
         (if ts = Ts.Verify then Bytes.make num_keys '\000' else Bytes.empty);
       ts_fast = 0;
       ts_mismatched = 0;
+      gc_policy = gc;
+      gc_floor = 0;
+      gc_runs = 0;
+      gc_reclaimed = 0;
+      gc_last_ns = 0;
+      total_vertices = 0;
+      fin_cur = Array.make nk (-1);
+      fin_prev = Array.make nk (-1);
+      ab_pending = Array.init nk (fun _ -> Int_vec.create 0);
+      dead_at = Flat_index.create ~capacity:64 ();
+      sessions = Flat_index.create ~capacity:16 ();
+      sl_pos = Int_vec.create 16;
+      sl_cts = Int_vec.create 16;
     }
   in
   let init = History.init_txn ~num_keys in
   Flat_index.set t.seen_ids init.Txn.id 1;
   let init_writes = Txn.final_writes init in
   List.iter
-    (fun (k, v) -> Flat_index.Writers.set_final t.writers k v init.Txn.id)
+    (fun (k, v) ->
+      Flat_index.Writers.set_final t.writers k v init.Txn.id;
+      let p = Flat_index.pack_pair ~num_keys:nk k v in
+      if p >= 0 then t.fin_cur.(k) <- p)
     init_writes;
   ignore (alloc_vertices t init);
   if ts <> Ts.Ignore then
@@ -218,6 +324,71 @@ let create ?(skew = 0) ?(ts = Ts.Ignore) ~level ~num_keys () =
   t
 
 let resolve t k v = Flat_index.Writers.resolve t.writers k v
+
+(* --- watermark GC: retention bookkeeping ---------------------------- *)
+
+(* A committed version record is prunable only once (a) it has been
+   evicted from its key's install window — the two newest final installs
+   (depth two because the causality fault serves exactly one version
+   back) — and (b) every session's feed frontier has passed the arrival
+   position where that eviction happened.  (a) covers what a conforming
+   MVCC engine (or a supported fault) can still serve at the moment of
+   death; (b) covers in-flight transactions of lagging sessions: any
+   reader that can still observe the evicted version has a snapshot
+   older than the evicting commit, so (sessions being serial, streams
+   arriving in commit order) its session's frontier stays below the
+   death position until the reader itself is fed.  Aborted installs get
+   no window: a leaked aborted version is served until a committed write
+   shadows it, so the pair waits in [ab_pending] and dies only at the
+   next final install on its key — the same frontier argument then
+   covers its in-flight readers.  Unpackable pairs never die (they spill
+   anyway). *)
+
+let maybe_dead t k p =
+  if p >= 0 && p <> t.fin_cur.(k) && p <> t.fin_prev.(k) then
+    Flat_index.set t.dead_at p t.count
+
+let window_install t k v =
+  let p = Flat_index.pack_pair ~num_keys:t.num_keys k v in
+  if p >= 0 then begin
+    if t.fin_cur.(k) <> p then begin
+      let evicted = t.fin_prev.(k) in
+      t.fin_prev.(k) <- t.fin_cur.(k);
+      t.fin_cur.(k) <- p;
+      maybe_dead t k evicted
+    end;
+    let pending = t.ab_pending.(k) in
+    for i = 0 to Int_vec.length pending - 1 do
+      Flat_index.set t.dead_at (Int_vec.get pending i) t.count
+    done;
+    Int_vec.clear pending
+  end
+
+let note_aborted t k v =
+  let p = Flat_index.pack_pair ~num_keys:t.num_keys k v in
+  if p >= 0 then Int_vec.push t.ab_pending.(k) p
+
+(* Intermediate writes are unreadable by conforming engines and by every
+   supported fault, so they die at their own install position. *)
+let mark_dead_now t k v =
+  let p = Flat_index.pack_pair ~num_keys:t.num_keys k v in
+  if p >= 0 then Flat_index.set t.dead_at p t.count
+
+(* Advance the session's feed frontier — on every fed transaction,
+   committed or aborted. *)
+let note_session t session commit_ts =
+  let slot = Flat_index.get t.sessions session in
+  if slot >= 0 then begin
+    Int_vec.set t.sl_pos slot t.count;
+    if commit_ts > Int_vec.get t.sl_cts slot then
+      Int_vec.set t.sl_cts slot commit_ts
+  end
+  else begin
+    let slot = Int_vec.length t.sl_pos in
+    Flat_index.set t.sessions session slot;
+    Int_vec.push t.sl_pos t.count;
+    Int_vec.push t.sl_cts commit_ts
+  end
 
 (* The newest chain node of [k] with [commit_ts <= start_ts] — the
    writer an MVCC engine's visibility rule predicts the read observed.
@@ -409,10 +580,14 @@ let feed_committed t (txn : Txn.t) =
     (Txn.external_reads txn);
   (* Record writes for future resolution. *)
   List.iter
-    (fun (k, v) -> Flat_index.Writers.set_final t.writers k v txn.Txn.id)
+    (fun (k, v) ->
+      Flat_index.Writers.set_final t.writers k v txn.Txn.id;
+      window_install t k v)
     (Txn.final_writes txn);
   List.iter
-    (fun (k, v) -> Flat_index.Writers.set_intermediate t.writers k v txn.Txn.id)
+    (fun (k, v) ->
+      Flat_index.Writers.set_intermediate t.writers k v txn.Txn.id;
+      mark_dead_now t k v)
     (Txn.intermediate_writes txn);
   (* Timestamp modes: extend the per-key version chains.  After the
      resolutions above, so a transaction never predicts its own
@@ -451,6 +626,216 @@ let feed_committed t (txn : Txn.t) =
     t.last_commit <- txn.Txn.commit_ts
   end
 
+(* --- watermark GC: compaction --------------------------------------- *)
+
+let sp_gc = Obs.Trace.intern "online/gc"
+
+(* One GC run: establish the feed frontiers, drop every version record
+   whose death the whole fleet of sessions has passed, truncate the
+   version chains and the SSER real-time index to the reachable suffix,
+   pin every vertex a future edge can still name, and compact the graph
+   below the smallest pinned order index (the watermark).  Returns the
+   estimated words reclaimed.  Safe only under the documented stream
+   discipline: sessions are serial, streams arrive in commit order, and
+   every session that will ever feed has fed at least once before the
+   first GC (a session joining later must not read versions older than
+   the current frontier). *)
+let gc t =
+  if t.poisoned <> None || Int_vec.length t.sl_pos = 0 then 0
+  else begin
+    let t0 = Obs.Trace.enter () in
+    let ns0 = Obs.Clock.now_ns () in
+    let before = live_words t in
+    (* Feed frontiers: H = the arrival position every session has
+       passed, S = the commit-ts every session has passed. *)
+    let h = ref max_int and s = ref max_int in
+    for i = 0 to Int_vec.length t.sl_pos - 1 do
+      if Int_vec.get t.sl_pos i < !h then h := Int_vec.get t.sl_pos i;
+      if Int_vec.get t.sl_cts i < !s then s := Int_vec.get t.sl_cts i
+    done;
+    let h = !h and s = !s in
+    (* 1. Version chains (ts modes): per key keep the suffix newer than
+       S plus one boundary node (the newest with commit_ts <= S) — any
+       future prediction lands in that suffix because session seriality
+       puts every future start_ts above S.  Chain survivors protect
+       their value records, keeping prediction and value resolution
+       consistent. *)
+    let protected_ = Flat_index.create ~capacity:16 () in
+    if t.ts_mode <> Ts.Ignore then begin
+      let new_head = Flat_index.create ~capacity:256 () in
+      let nc = Int_vec.create 16 and nw = Int_vec.create 16 in
+      let nv = Int_vec.create 16 and nn = Int_vec.create 16 in
+      let scratch = Int_vec.create 32 in
+      Flat_index.iter t.chain_head (fun k head ->
+          Int_vec.clear scratch;
+          let n = ref head and stop = ref false in
+          while (not !stop) && !n >= 0 do
+            Int_vec.push scratch !n;
+            if Int_vec.get t.ch_commit !n <= s then stop := true
+            else n := Int_vec.get t.ch_next !n
+          done;
+          (* re-push oldest-kept first so newest-first iteration (and
+             therefore prediction) is preserved *)
+          for i = Int_vec.length scratch - 1 downto 0 do
+            let n = Int_vec.get scratch i in
+            let slot = Int_vec.length nc in
+            Int_vec.push nc (Int_vec.get t.ch_commit n);
+            Int_vec.push nw (Int_vec.get t.ch_writer n);
+            Int_vec.push nv (Int_vec.get t.ch_value n);
+            Int_vec.push nn (Flat_index.get new_head k);
+            Flat_index.set new_head k slot;
+            let p =
+              Flat_index.pack_pair ~num_keys:t.num_keys k
+                (Int_vec.get t.ch_value n)
+            in
+            if p >= 0 then Flat_index.set protected_ p 1
+          done);
+      t.chain_head <- new_head;
+      t.ch_commit <- nc;
+      t.ch_writer <- nw;
+      t.ch_value <- nv;
+      t.ch_next <- nn
+    end;
+    (* 2. Drop dead version records whose death every session has
+       passed. *)
+    let keep_pair p =
+      Flat_index.mem protected_ p
+      ||
+      let d = Flat_index.get t.dead_at p in
+      not (d >= 0 && d < h)
+    in
+    t.writers <- Flat_index.Writers.keep t.writers keep_pair;
+    t.readers <- Flat_index.Multi.keep t.readers keep_pair;
+    t.overwriters <- Flat_index.Multi.keep t.overwriters keep_pair;
+    t.extender <- Flat_index.Pairs.keep t.extender keep_pair;
+    t.dead_at <- Flat_index.filtered t.dead_at keep_pair;
+    (* 3. SSER real-time index: a future search runs with start_ts > S,
+       so it lands at or after the position S itself lands at — keep
+       that suffix. *)
+    let rt_start =
+      if t.level <> Checker.SSER then 0
+      else begin
+        let len = Int_vec.length t.commit_ts in
+        let lo = ref 0 and hi = ref (len - 1) and best = ref (-1) in
+        while !lo <= !hi do
+          let mid = (!lo + !hi) / 2 in
+          if Int_vec.get t.commit_ts mid + t.skew < s then begin
+            best := mid;
+            lo := mid + 1
+          end
+          else hi := mid - 1
+        done;
+        Stdlib.max 0 !best
+      end
+    in
+    (* 4. Pin every vertex a future edge can name — session-order
+       predecessors, resolvable writers, reader/overwriter chain
+       members, version-chain writers, surviving real-time helpers.
+       The watermark W is the smallest order index among them: every
+       vertex at or above W survives, everything below can never be
+       traversed again (every future DFS is bounded below by the order
+       index of a pinned endpoint). *)
+    let pk = t.graph.Grow.pk in
+    let w = ref max_int in
+    let consider v =
+      let o = Pearce_kelly.order_index pk v in
+      if o < !w then w := o
+    in
+    let si = t.level = Checker.SI in
+    let pin_txn id =
+      if id <> History.init_id then begin
+        let base = Flat_index.get t.txn_vertex id in
+        if base >= 0 then begin
+          consider base;
+          if si then consider (base + 1)
+        end
+      end
+    in
+    Flat_index.Writers.iter_final t.writers pin_txn;
+    Flat_index.Multi.iter_members t.readers pin_txn;
+    Flat_index.Multi.iter_members t.overwriters pin_txn;
+    Flat_index.iter t.session_last (fun _ id -> pin_txn id);
+    for i = 0 to Int_vec.length t.ch_writer - 1 do
+      pin_txn (Int_vec.get t.ch_writer i)
+    done;
+    if t.level = Checker.SSER then
+      for i = rt_start to Int_vec.length t.commit_helper - 1 do
+        consider (Int_vec.get t.commit_helper i)
+      done;
+    let w = !w in
+    (* 5. Compact the graph below the watermark (the implicit initial
+       transaction always survives — it has no in-edges, so edges from
+       it always take the consistent-record path) and migrate the edge
+       labels in the same pass. *)
+    let init_vcount = vertices_per_txn t.level in
+    let pn = Pearce_kelly.n pk in
+    let keep = Array.make pn false in
+    for v = 0 to t.next_vertex - 1 do
+      keep.(v) <- v < init_vcount || Pearce_kelly.order_index pk v >= w
+    done;
+    let old_labels = t.graph.Grow.labels in
+    let new_labels = Flat_index.create ~capacity:256 () in
+    let remap =
+      Pearce_kelly.compact pk ~keep ~on_edge:(fun ou ov nu nv ->
+          let p = Flat_index.get old_labels (Grow.edge_key ou ov) in
+          if p >= 0 then Flat_index.set new_labels (Grow.edge_key nu nv) p)
+    in
+    t.graph.Grow.labels <- new_labels;
+    t.graph.Grow.capacity <- Pearce_kelly.n pk;
+    (* 6. Re-home the vertex-keyed side tables under the remap. *)
+    let old_vt = t.vertex_txn in
+    let nvt = Int_vec.create 256 in
+    for v = 0 to t.next_vertex - 1 do
+      if remap.(v) >= 0 then Int_vec.push nvt (Int_vec.get old_vt v)
+    done;
+    t.vertex_txn <- nvt;
+    let ntv = Flat_index.create ~capacity:256 () in
+    let nseen = Flat_index.create ~capacity:256 () in
+    Flat_index.set nseen History.init_id 1;
+    Flat_index.iter t.txn_vertex (fun id base ->
+        if base < pn && remap.(base) >= 0 then begin
+          Flat_index.set ntv id remap.(base);
+          Flat_index.set nseen id 1
+        end);
+    t.txn_vertex <- ntv;
+    t.seen_ids <- nseen;
+    if t.level = Checker.SSER then begin
+      let len = Int_vec.length t.commit_ts in
+      let ncts = Int_vec.create 256 and nch = Int_vec.create 256 in
+      for i = rt_start to len - 1 do
+        Int_vec.push ncts (Int_vec.get t.commit_ts i);
+        Int_vec.push nch remap.(Int_vec.get t.commit_helper i)
+      done;
+      t.commit_ts <- ncts;
+      t.commit_helper <- nch
+    end;
+    (* version-chain nodes reference writers by txn id, not vertex, so
+       the chains themselves need no remap *)
+    t.next_vertex <- Pearce_kelly.n pk;
+    let after = live_words t in
+    t.gc_floor <- after;
+    t.gc_runs <- t.gc_runs + 1;
+    let reclaimed = Stdlib.max 0 (before - after) in
+    t.gc_reclaimed <- t.gc_reclaimed + reclaimed;
+    t.gc_last_ns <- Obs.Clock.now_ns () - ns0;
+    Obs.Trace.exit sp_gc t0;
+    reclaimed
+  end
+
+(* Auto trigger: sample the live-word estimate every 64 feeds (it is
+   O(live vertices) to compute) and compact past the policy ceiling. *)
+let maybe_auto_gc t =
+  if t.poisoned = None && t.gc_policy <> Gc_off && t.count land 63 = 0 then begin
+    let lw = live_words t in
+    let threshold =
+      match t.gc_policy with
+      | Gc_off -> max_int
+      | Gc_auto -> Stdlib.max (2 * t.gc_floor) 65536
+      | Gc_words n -> n
+    in
+    if lw > threshold then ignore (gc t)
+  end
+
 let add_txn_inner t (txn : Txn.t) =
   match t.poisoned with
   | Some v -> Violation v
@@ -471,13 +856,15 @@ let add_txn_inner t (txn : Txn.t) =
              "Online.add_txn: timestamp modes need commit-order streams");
       Flat_index.set t.seen_ids txn.Txn.id 1;
       t.count <- t.count + 1;
+      note_session t txn.Txn.session txn.Txn.commit_ts;
       match txn.Txn.status with
       | Txn.Aborted ->
           Array.iter
             (fun op ->
               match op with
               | Op.Write (k, v) ->
-                  Flat_index.Writers.set_aborted t.writers k v txn.Txn.id
+                  Flat_index.Writers.set_aborted t.writers k v txn.Txn.id;
+                  note_aborted t k v
               | Op.Read _ -> ())
             txn.Txn.ops;
           Ok_so_far
@@ -520,6 +907,7 @@ let sp_feed = Obs.Trace.intern "online/feed"
 let add_txn t (txn : Txn.t) =
   let t0 = Obs.Trace.enter () in
   let r = add_txn_inner t txn in
+  maybe_auto_gc t;
   Obs.Trace.exit sp_feed t0;
   r
 
@@ -581,7 +969,26 @@ let encode buf t =
   Int_vec.encode buf t.ch_next;
   Binio_core.add_string buf (Bytes.unsafe_to_string t.ts_slow);
   Binio_core.add_uvarint buf t.ts_fast;
-  Binio_core.add_uvarint buf t.ts_mismatched
+  Binio_core.add_uvarint buf t.ts_mismatched;
+  (* watermark-GC state: a restored checker re-establishes the policy,
+     the install windows and the frontiers, so compaction resumes where
+     it left off *)
+  Buffer.add_char buf
+    (Char.chr (match t.gc_policy with Gc_off -> 0 | Gc_auto -> 1 | Gc_words _ -> 2));
+  Binio_core.add_uvarint buf
+    (match t.gc_policy with Gc_words n -> n | _ -> 0);
+  Binio_core.add_uvarint buf t.gc_floor;
+  Binio_core.add_uvarint buf t.gc_runs;
+  Binio_core.add_uvarint buf t.gc_reclaimed;
+  Binio_core.add_uvarint buf t.total_vertices;
+  Binio_core.add_uvarint buf t.num_keys;
+  Array.iter (Binio_core.add_varint buf) t.fin_cur;
+  Array.iter (Binio_core.add_varint buf) t.fin_prev;
+  Array.iter (Int_vec.encode buf) t.ab_pending;
+  Flat_index.encode buf t.dead_at;
+  Flat_index.encode buf t.sessions;
+  Int_vec.encode buf t.sl_pos;
+  Int_vec.encode buf t.sl_cts
 
 let decode r =
   let level = level_of_byte (Binio_core.read_byte r) in
@@ -615,13 +1022,45 @@ let decode r =
   let ts_slow = Bytes.of_string (Binio_core.read_string r) in
   let ts_fast = Binio_core.read_uvarint r in
   let ts_mismatched = Binio_core.read_uvarint r in
+  let gc_policy =
+    let b = Binio_core.read_byte r in
+    let n = Binio_core.read_uvarint r in
+    match b with
+    | 0 -> Gc_off
+    | 1 -> Gc_auto
+    | 2 when n > 0 -> Gc_words n
+    | b -> Binio_core.fail "unknown gc policy byte %d" b
+  in
+  let gc_floor = Binio_core.read_uvarint r in
+  let gc_runs = Binio_core.read_uvarint r in
+  let gc_reclaimed = Binio_core.read_uvarint r in
+  let total_vertices = Binio_core.read_uvarint r in
+  let num_keys = Binio_core.read_uvarint r in
+  if num_keys < 0 || num_keys > Binio_core.remaining r then
+    Binio_core.fail "online snapshot: num_keys %d overruns input" num_keys;
+  let read_window () = Array.init num_keys (fun _ -> Binio_core.read_varint r) in
+  let fin_cur = read_window () in
+  let fin_prev = read_window () in
+  let ab_pending = Array.init num_keys (fun _ -> Int_vec.decode r) in
+  let dead_at = Flat_index.decode r in
+  let sessions = Flat_index.decode r in
+  let sl_pos = Int_vec.decode r in
+  let sl_cts = Int_vec.decode r in
   if next_vertex <> Int_vec.length vertex_txn then
     Binio_core.fail "online snapshot: vertex map length %d <> next vertex %d"
       (Int_vec.length vertex_txn) next_vertex;
+  if total_vertices < next_vertex then
+    Binio_core.fail "online snapshot: total vertices %d below live %d"
+      total_vertices next_vertex;
+  if
+    Int_vec.length sl_pos <> Int_vec.length sl_cts
+    || Flat_index.length sessions <> Int_vec.length sl_pos
+  then Binio_core.fail "online snapshot: session frontier tables disagree";
   {
     level;
     skew;
     ts_mode;
+    num_keys;
     graph;
     next_vertex;
     vertex_txn;
@@ -645,10 +1084,23 @@ let decode r =
     ts_slow;
     ts_fast;
     ts_mismatched;
+    gc_policy;
+    gc_floor;
+    gc_runs;
+    gc_reclaimed;
+    gc_last_ns = 0;
+    total_vertices;
+    fin_cur;
+    fin_prev;
+    ab_pending;
+    dead_at;
+    sessions;
+    sl_pos;
+    sl_cts;
   }
 
-let check_stream ?skew ?ts ~level ~num_keys txns =
-  let t = create ?skew ?ts ~level ~num_keys () in
+let check_stream ?skew ?ts ?gc ~level ~num_keys txns =
+  let t = create ?skew ?ts ?gc ~level ~num_keys () in
   let rec go n = function
     | [] -> Ok n
     | txn :: rest -> (

@@ -55,12 +55,45 @@ end
 
 type t
 
+(** Watermark GC policy for long-lived sessions.  [Gc_off] (the
+    default) retains everything, exactly the historical behavior.
+    [Gc_auto] compacts whenever the live-word estimate exceeds twice
+    the post-GC floor (with a fixed 64Ki-word minimum); [Gc_words n]
+    compacts past an absolute ceiling of [n] words.
+
+    Soundness rests on the stream discipline the service already
+    enforces plus one operational precondition: sessions are serial,
+    streams arrive in commit order, transactions are short (mini-
+    transactions — a transaction must not start before versions its
+    session's frontier has long passed), and {b every session that will
+    ever feed this checker has fed at least once before the first
+    compaction}.  Under that discipline verdicts, rendered
+    counterexamples and {!stats} counters are identical to an unbounded
+    run.  Known sharp edges, all below the watermark only: duplicate
+    writes of a pruned value and reuse of a pruned transaction id are
+    no longer detected, and under [Ts.Verify] a {e lying} oracle whose
+    reported start timestamp falls below the compacted horizon counts a
+    certification mismatch where an unbounded run may have predicted
+    fast — the read falls back to value resolution either way, so
+    verdicts and dependency edges are unaffected; only the
+    [s_ts_fast]/[s_ts_mismatched] diagnostics can over-report. *)
+type gc = Gc_off | Gc_auto | Gc_words of int
+
+val gc_to_string : gc -> string
+(** ["off"], ["auto"] or the decimal word ceiling — the CLI / wire
+    spelling. *)
+
+val gc_of_string : string -> gc option
+(** Inverse of {!gc_to_string}; [None] on anything else. *)
+
 val create :
-  ?skew:int -> ?ts:Ts.mode -> level:Checker.level -> num_keys:int -> unit -> t
+  ?skew:int -> ?ts:Ts.mode -> ?gc:gc -> level:Checker.level -> num_keys:int ->
+  unit -> t
 (** A fresh stream checker; the initial transaction is implicit.  [ts]
     (default [Ts.Ignore]) selects the timestamp fast path — see the
     module header for the [Trust]/[Verify] semantics and the
-    commit-order arrival requirement they impose. *)
+    commit-order arrival requirement they impose.  [gc] (default
+    [Gc_off]) bounds memory via watermark compaction. *)
 
 type step =
   | Ok_so_far
@@ -83,6 +116,29 @@ val ts_mode : t -> Ts.mode
 val poisoned : t -> Checker.violation option
 (** The violation this checker is stuck on, if any. *)
 
+val gc_policy : t -> gc
+
+val gc : t -> int
+(** Run one watermark compaction now (regardless of policy — tests use
+    this for GC-after-every-txn torture).  Returns the estimated words
+    reclaimed; a no-op (0) on a poisoned checker or before any session
+    has fed. *)
+
+val gc_runs : t -> int
+(** Compactions performed so far (manual + automatic). *)
+
+val gc_last_ns : t -> int
+(** Wall-clock duration of the most recent compaction, 0 if none. *)
+
+val gc_reclaimed_words : t -> int
+(** Cumulative estimated words reclaimed across all compactions (the
+    O(1) counterpart of {!stats}' [s_gc_reclaimed_words]). *)
+
+val live_words : t -> int
+(** Estimated words of memory retained by the checker's live
+    structures.  O(live vertices); the auto-GC trigger samples it every
+    64 feeds. *)
+
 type stats = {
   s_txns_seen : int;  (** transactions fed (committed + aborted) *)
   s_vertices : int;  (** graph vertices allocated (incl. SI/SSER helpers) *)
@@ -94,6 +150,9 @@ type stats = {
   s_ts_mismatched : int;
       (** [Ts.Verify] certification mismatches — evidence of a lying
           timestamp oracle; each flips its key to value resolution *)
+  s_gc_runs : int;  (** watermark compactions performed *)
+  s_gc_reclaimed_words : int;  (** cumulative words reclaimed by GC *)
+  s_live_words : int;  (** current {!live_words} estimate *)
 }
 
 val stats : t -> stats
@@ -115,7 +174,7 @@ val decode : Binio_core.reader -> t
     inconsistent input. *)
 
 val check_stream :
-  ?skew:int -> ?ts:Ts.mode -> level:Checker.level -> num_keys:int ->
+  ?skew:int -> ?ts:Ts.mode -> ?gc:gc -> level:Checker.level -> num_keys:int ->
   Txn.t list -> (int, Checker.violation) result
 (** Convenience: feed a whole list; [Ok n] = all [n] accepted, or the
     violation at the first offending transaction. *)

@@ -333,6 +333,100 @@ let add_edge t u v =
     Ok ()
   end
 
+let iter_succ t u f =
+  let sv = t.succ.(u) in
+  for i = 0 to Int_vec.length sv - 1 do
+    f (Int_vec.get sv i)
+  done
+
+let words t =
+  let adj = ref 0 in
+  for v = 0 to t.n - 1 do
+    adj :=
+      !adj
+      + Array.length (Int_vec.data t.succ.(v))
+      + Array.length (Int_vec.data t.pred.(v))
+  done;
+  (* ord + mark + parent + two words of header per adjacency vector *)
+  (5 * t.n) + !adj + Array.length t.eset
+
+(* Watermark compaction: drop every vertex [keep] rejects and renumber
+   the survivors to a dense prefix, preserving their relative
+   topological order.  Soundness is the caller's obligation: no future
+   edge may name a dropped vertex, and — because every recorded edge
+   goes forward in the order — a dropped vertex can only be adjacent to
+   other dropped vertices or appear in a survivor's pred list, where a
+   traversal bounded below by a surviving vertex's order index never
+   follows it.  Relative order is preserved exactly, so subsequent
+   insertions discover identical affected regions and cycle witnesses
+   (up to the renumbering) as the uncompacted structure would. *)
+let compact ?(on_edge = fun _ _ _ _ -> ()) t ~keep =
+  if Array.length keep < t.n then
+    invalid_arg "Pearce_kelly.compact: keep array too short";
+  let remap = Array.make t.n (-1) in
+  let m = ref 0 in
+  for v = 0 to t.n - 1 do
+    if keep.(v) then begin
+      remap.(v) <- !m;
+      incr m
+    end
+  done;
+  let m = !m in
+  let old_of_new = Array.make m 0 in
+  for v = 0 to t.n - 1 do
+    if keep.(v) then old_of_new.(remap.(v)) <- v
+  done;
+  (* re-rank: walk old order positions ascending, assign dense ranks to
+     survivors — an order-respecting renumbering of the permutation *)
+  let inv = Array.make t.n 0 in
+  for v = 0 to t.n - 1 do
+    inv.(t.ord.(v)) <- v
+  done;
+  let ord = Array.make m 0 in
+  let rank = ref 0 in
+  for r = 0 to t.n - 1 do
+    let v = inv.(r) in
+    if keep.(v) then begin
+      ord.(remap.(v)) <- !rank;
+      incr rank
+    end
+  done;
+  let filter_vec ~u vec =
+    let len = Int_vec.length vec in
+    let out = Int_vec.create 4 in
+    for i = 0 to len - 1 do
+      let w = Int_vec.get vec i in
+      if keep.(w) then begin
+        Int_vec.push out remap.(w);
+        if u >= 0 then on_edge u w remap.(u) remap.(w)
+      end
+    done;
+    out
+  in
+  let succ =
+    Array.init m (fun j ->
+        let u = old_of_new.(j) in
+        filter_vec ~u t.succ.(u))
+  in
+  let pred = Array.init m (fun j -> filter_vec ~u:(-1) t.pred.(old_of_new.(j))) in
+  t.n <- m;
+  t.succ <- succ;
+  t.pred <- pred;
+  t.ord <- ord;
+  t.eset <- Array.make 16 (-1);
+  t.emask <- 15;
+  t.ecount <- 0;
+  for u = 0 to m - 1 do
+    let sv = t.succ.(u) in
+    for i = 0 to Int_vec.length sv - 1 do
+      eadd t (pack u (Int_vec.get sv i))
+    done
+  done;
+  t.mark <- Array.make (Stdlib.max 1 m) 0;
+  t.parent <- Array.make (Stdlib.max 1 m) (-1);
+  t.epoch <- 0;
+  remap
+
 let check_invariant t =
   let ok = ref true in
   for u = 0 to t.n - 1 do

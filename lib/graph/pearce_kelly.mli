@@ -45,6 +45,28 @@ val remove_edge : t -> int -> int -> unit
 val order_index : t -> int -> int
 (** Current topological index of a vertex. *)
 
+val iter_succ : t -> int -> (int -> unit) -> unit
+(** Iterate the successors of a vertex, in recorded (push) order. *)
+
+val words : t -> int
+(** Rough size of the structure in words: order/scratch arrays, the
+    adjacency vectors' capacity and the edge set.  O(n). *)
+
+val compact : ?on_edge:(int -> int -> int -> int -> unit) -> t -> keep:bool array -> int array
+(** [compact t ~keep] drops every vertex [v] with [keep.(v) = false] and
+    renumbers the survivors to a dense prefix in vertex-index order,
+    returning the old-to-new remap ([-1] for dropped vertices).  The
+    survivors' relative topological order is preserved exactly, so
+    subsequent insertions behave (and render witnesses) identically to
+    the uncompacted structure up to the renumbering.  Edges with a
+    dropped endpoint are discarded; {!num_edges} reflects the surviving
+    count.  [on_edge old_u old_v new_u new_v] is called once per
+    surviving edge during the rebuild, letting callers migrate
+    edge-keyed side tables in the same pass.
+
+    Soundness precondition (caller's obligation): no future [add_edge]
+    names a dropped vertex. *)
+
 val check_invariant : t -> bool
 (** For tests: every recorded edge goes forward in the maintained order,
     the order is a permutation, and adjacency / edge set / edge count

@@ -84,10 +84,10 @@ type session = {
 }
 
 let apply_record ~render sessions count = function
-  | Wal.R_open { sid; level; num_keys; skew; ts } ->
+  | Wal.R_open { sid; level; num_keys; skew; ts; gc } ->
       if not (Hashtbl.mem sessions sid) then begin
-        let meta = { Snapshot_store.level; num_keys; skew; ts } in
-        let online = Online.create ~skew ~ts ~level ~num_keys () in
+        let meta = { Snapshot_store.level; num_keys; skew; ts; gc } in
+        let online = Online.create ~skew ~ts ~gc ~level ~num_keys () in
         Hashtbl.replace sessions sid
           { meta; last_seq = 0; state = Snapshot_store.Live online }
       end;
@@ -265,6 +265,7 @@ let open_dir ?(on_fsync = fun () -> ()) ~dir ~nshards ~sync ~render () =
 
 let dir t = t.dir
 let append t ~shard record = Wal.append t.wals.(shard) record
+let flush t ~shard = Wal.flush t.wals.(shard)
 let barrier t ~shard = Wal.barrier t.wals.(shard)
 
 (* Per-shard checkpoint, called on the shard's own domain with that

@@ -53,6 +53,10 @@ val append : t -> shard:int -> Wal.record -> int
 (** Append to the shard's WAL; returns bytes written.  Call {e before}
     applying the record to the checker (write-ahead). *)
 
+val flush : t -> shard:int -> unit
+(** {!Wal.flush} on the shard's WAL — the group-commit drain barrier;
+    call when the shard's ingress goes idle. *)
+
 val barrier : t -> shard:int -> unit
 (** {!Wal.barrier} on the shard's WAL — before acknowledging a sync
     verdict in [Batch] mode. *)

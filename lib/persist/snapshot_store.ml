@@ -6,8 +6,9 @@
 
    payload (Binio varints):
 
-     version=1, shard, nshards, gen, next_sid, entry count,
-     then per entry: sid, meta (level byte, num_keys, skew, ts byte),
+     version=2, shard, nshards, gen, next_sid, entry count,
+     then per entry: sid, meta (level byte, num_keys, skew, ts byte,
+     gc byte [+ uvarint word ceiling]),
      last_seq, state byte — 0 = live (an {!Online.encode} blob follows),
      1 = poisoned (anomaly option + rendered counterexample strings; a
      poisoned session's graph is dead weight, its rendered verdict is
@@ -18,9 +19,15 @@
    snapshot or the new one, never a torn file that passes its CRC. *)
 
 let magic = "mtcsnp1\n"
-let version = 1
+let version = 2
 
-type meta = { level : Checker.level; num_keys : int; skew : int; ts : Ts.mode }
+type meta = {
+  level : Checker.level;
+  num_keys : int;
+  skew : int;
+  ts : Ts.mode;
+  gc : Online.gc;
+}
 
 type state =
   | Live of Online.t
@@ -52,12 +59,30 @@ let ts_of_byte = function
   | 2 -> Ts.Verify
   | b -> Binio.fail "unknown ts mode byte %d" b
 
+let add_gc buf = function
+  | Online.Gc_off -> Buffer.add_char buf '\000'
+  | Online.Gc_auto -> Buffer.add_char buf '\001'
+  | Online.Gc_words n ->
+      Buffer.add_char buf '\002';
+      Binio.add_uvarint buf n
+
+let read_gc r =
+  match Binio.read_byte r with
+  | 0 -> Online.Gc_off
+  | 1 -> Online.Gc_auto
+  | 2 ->
+      let n = Binio.read_uvarint r in
+      if n <= 0 then Binio.fail "gc word ceiling %d must be positive" n
+      else Online.Gc_words n
+  | b -> Binio.fail "unknown gc policy byte %d" b
+
 let add_entry buf e =
   Binio.add_uvarint buf e.sid;
   Buffer.add_char buf (Char.chr (level_byte e.meta.level));
   Binio.add_uvarint buf e.meta.num_keys;
   Binio.add_varint buf e.meta.skew;
   Buffer.add_char buf (Char.chr (ts_byte e.meta.ts));
+  add_gc buf e.meta.gc;
   Binio.add_uvarint buf e.last_seq;
   match e.state with
   | Live online ->
@@ -78,7 +103,8 @@ let read_entry r =
   let num_keys = Binio.read_uvarint r in
   let skew = Binio.read_varint r in
   let ts = ts_of_byte (Binio.read_byte r) in
-  let meta = { level; num_keys; skew; ts } in
+  let gc = read_gc r in
+  let meta = { level; num_keys; skew; ts; gc } in
   let last_seq = Binio.read_uvarint r in
   let state =
     match Binio.read_byte r with

@@ -8,7 +8,13 @@
     again, and storing it verbatim is what makes post-restore renderings
     byte-identical by construction. *)
 
-type meta = { level : Checker.level; num_keys : int; skew : int; ts : Ts.mode }
+type meta = {
+  level : Checker.level;
+  num_keys : int;
+  skew : int;
+  ts : Ts.mode;
+  gc : Online.gc;  (** watermark-GC policy the session was opened with *)
+}
 
 type state =
   | Live of Online.t

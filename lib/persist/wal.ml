@@ -13,17 +13,26 @@
      u32 payload length | payload | u32 CRC-32(payload)
 
    with the payload a tagged Binio encoding (1 = open, 2 = feed,
-   3 = close).  Appends are a single [write] per record — after the
-   syscall the bytes live in the page cache, so a [kill -9] of the
-   server loses nothing; [fsync] (the [sync] policy) only adds
-   protection against OS crashes and power loss.
+   3 = close).  Appends are group-committed: records accumulate in a
+   user-space buffer and reach the kernel in one [write] per drain
+   barrier (the owning shard's ingress queue going empty), per ack
+   barrier (session-open and verdict acks), per size threshold, or on
+   close — a thousand-feed burst is one syscall, not a thousand.  After the flush the bytes live in the
+   page cache, so a [kill -9] of the server loses at most the buffered
+   tail since the last barrier; [fsync] (the [sync] policy) adds
+   protection against OS crashes and power loss.  [Always] mode keeps
+   the historical record-per-write+fsync discipline.
 
    A torn tail (crash mid-append) parses as a clean [Truncated] stop; a
    CRC or tag mismatch before the tail is [Corrupt].  Neither escapes as
-   an exception. *)
+   an exception.
+
+   v2: [R_open] carries the session's watermark-GC policy, so WAL-only
+   replay recreates the checker with the same bounded-memory setting
+   (and replays within the same bound). *)
 
 let magic = "mtcwal1\n"
-let version = 1
+let version = 2
 
 (* Records can embed a whole wire transaction; mirror the wire frame
    ceiling so a corrupt length prefix cannot make restore allocate
@@ -55,6 +64,7 @@ type record =
       num_keys : int;
       skew : int;
       ts : Ts.mode;
+      gc : Online.gc;
     }
   | R_feed of { sid : int; seq : int; txn : Txn.t }
   | R_close of { sid : int }
@@ -83,14 +93,32 @@ let ts_of_byte = function
   | 2 -> Ts.Verify
   | b -> Binio.fail "unknown ts mode byte %d" b
 
+let add_gc buf = function
+  | Online.Gc_off -> Buffer.add_char buf '\000'
+  | Online.Gc_auto -> Buffer.add_char buf '\001'
+  | Online.Gc_words n ->
+      Buffer.add_char buf '\002';
+      Binio.add_uvarint buf n
+
+let read_gc r =
+  match Binio.read_byte r with
+  | 0 -> Online.Gc_off
+  | 1 -> Online.Gc_auto
+  | 2 ->
+      let n = Binio.read_uvarint r in
+      if n <= 0 then Binio.fail "gc word ceiling %d must be positive" n
+      else Online.Gc_words n
+  | b -> Binio.fail "unknown gc policy byte %d" b
+
 let add_record buf = function
-  | R_open { sid; level; num_keys; skew; ts } ->
+  | R_open { sid; level; num_keys; skew; ts; gc } ->
       Buffer.add_char buf '\001';
       Binio.add_uvarint buf sid;
       Buffer.add_char buf (Char.chr (level_byte level));
       Binio.add_uvarint buf num_keys;
       Binio.add_varint buf skew;
-      Buffer.add_char buf (Char.chr (ts_byte ts))
+      Buffer.add_char buf (Char.chr (ts_byte ts));
+      add_gc buf gc
   | R_feed { sid; seq; txn } ->
       Buffer.add_char buf '\002';
       Binio.add_uvarint buf sid;
@@ -108,7 +136,8 @@ let read_record r =
       let num_keys = Binio.read_uvarint r in
       let skew = Binio.read_varint r in
       let ts = ts_of_byte (Binio.read_byte r) in
-      R_open { sid; level; num_keys; skew; ts }
+      let gc = read_gc r in
+      R_open { sid; level; num_keys; skew; ts; gc }
   | 2 ->
       let sid = Binio.read_uvarint r in
       let seq = Binio.read_uvarint r in
@@ -119,10 +148,17 @@ let read_record r =
 (* ------------------------------------------------------------------ *)
 (* Writing. *)
 
+(* Cap on how many encoded bytes group commit may hold back from the
+   kernel: a burst larger than this still lands in a handful of writes,
+   and a [kill -9] can lose at most this much un-barriered tail. *)
+let flush_threshold = 1 lsl 18
+
 type writer = {
   fd : Unix.file_descr;
   scratch : Buffer.t;  (* record payload *)
-  out : Buffer.t;  (* len + payload + crc, written in one syscall *)
+  pending : Buffer.t;
+      (* group commit: encoded len+payload+crc blocks accumulate here
+         and reach the kernel in one [write] per {!flush} *)
   sync : sync;
   on_fsync : unit -> unit;
   mutable unsynced : int;
@@ -143,7 +179,15 @@ let write_buffer w buf =
   really_write w.fd b 0 (Bytes.length b);
   w.bytes <- w.bytes + Bytes.length b
 
+(* One write(2) for everything queued since the last flush. *)
+let flush w =
+  if (not w.closed) && Buffer.length w.pending > 0 then begin
+    write_buffer w w.pending;
+    Buffer.clear w.pending
+  end
+
 let fsync w =
+  flush w;
   Unix.fsync w.fd;
   w.unsynced <- 0;
   w.on_fsync ()
@@ -156,7 +200,7 @@ let create ?(on_fsync = fun () -> ()) ~path ~shard ~nshards ~gen ~sync () =
     {
       fd;
       scratch = Buffer.create 256;
-      out = Buffer.create 512;
+      pending = Buffer.create 4096;
       sync;
       on_fsync;
       unsynced = 0;
@@ -170,12 +214,13 @@ let create ?(on_fsync = fun () -> ()) ~path ~shard ~nshards ~gen ~sync () =
   Binio.add_uvarint w.scratch nshards;
   Binio.add_uvarint w.scratch gen;
   let payload = Buffer.contents w.scratch in
-  Buffer.clear w.out;
-  Buffer.add_string w.out magic;
-  add_u32le w.out (String.length payload);
-  Buffer.add_string w.out payload;
-  add_u32le w.out (Crc32.string payload);
-  write_buffer w w.out;
+  Buffer.add_string w.pending magic;
+  add_u32le w.pending (String.length payload);
+  Buffer.add_string w.pending payload;
+  add_u32le w.pending (Crc32.string payload);
+  (* the header always lands immediately: a WAL file without one is
+     unreadable, not merely short *)
+  flush w;
   if sync <> Off then fsync w;
   w
 
@@ -184,31 +229,32 @@ let append w record =
   Buffer.clear w.scratch;
   add_record w.scratch record;
   let payload = Buffer.contents w.scratch in
-  Buffer.clear w.out;
-  add_u32le w.out (String.length payload);
-  Buffer.add_string w.out payload;
-  add_u32le w.out (Crc32.string payload);
-  let before = w.bytes in
-  write_buffer w w.out;
+  let before = Buffer.length w.pending in
+  add_u32le w.pending (String.length payload);
+  Buffer.add_string w.pending payload;
+  add_u32le w.pending (Crc32.string payload);
+  let added = Buffer.length w.pending - before in
   (match w.sync with
   | Always -> fsync w
   | Batch ->
       w.unsynced <- w.unsynced + 1;
       if w.unsynced >= batch_every then fsync w
-  | Off -> ());
-  w.bytes - before
+      else if Buffer.length w.pending >= flush_threshold then flush w
+  | Off -> if Buffer.length w.pending >= flush_threshold then flush w);
+  added
 
 (* The ack barrier: make everything appended so far durable before a
-   verdict is acknowledged (no-op in [Off] mode, already durable in
-   [Always] mode). *)
+   verdict is acknowledged (a plain group-commit flush in [Off] mode,
+   already durable in [Always] mode). *)
 let barrier w =
-  if (not w.closed) && w.sync = Batch && w.unsynced > 0 then fsync w
+  if not w.closed then
+    if w.sync = Batch && w.unsynced > 0 then fsync w else flush w
 
-let bytes_written w = w.bytes
+let bytes_written w = w.bytes + Buffer.length w.pending
 
 let close w =
   if not w.closed then begin
-    if w.sync <> Off && w.unsynced > 0 then fsync w;
+    if w.sync <> Off && w.unsynced > 0 then fsync w else flush w;
     w.closed <- true;
     Unix.close w.fd
   end

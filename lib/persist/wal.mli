@@ -2,10 +2,14 @@
 
     Record discipline mirrors the [mtcbin1] binary history format:
     length-prefixed blocks with a per-block CRC-32, behind a
-    magic+version header.  Appends are one [write] syscall per record —
-    the bytes survive a [kill -9] of the server unconditionally; the
-    {!sync} policy only controls [fsync] (protection against OS crashes
-    and power loss).
+    magic+version header.  Appends are {e group-committed}: records
+    accumulate in a user-space buffer and reach the kernel in one
+    [write] syscall per {!flush} (the owning shard's drain barrier),
+    per ack {!barrier}, per size threshold, or on {!close}.  Bytes
+    survive a [kill -9] of the server once flushed; the {!sync} policy
+    additionally controls [fsync] (protection against OS crashes and
+    power loss).  [Always] keeps the historical
+    write-plus-fsync-per-record discipline.
 
     Reading is total: a torn tail parses as a clean {!Truncated} stop, a
     mid-file CRC or tag mismatch as {!Corrupt}; neither raises. *)
@@ -27,6 +31,7 @@ type record =
       num_keys : int;
       skew : int;
       ts : Ts.mode;
+      gc : Online.gc;  (** watermark-GC policy, re-applied on replay *)
     }
   | R_feed of { sid : int; seq : int; txn : Txn.t }
   | R_close of { sid : int }
@@ -50,14 +55,22 @@ val create :
     [on_fsync] is invoked after every fsync — the metrics hook. *)
 
 val append : writer -> record -> int
-(** Append one record (a single [write] syscall) and apply the sync
-    policy; returns the bytes appended. *)
+(** Append one record to the group-commit buffer and apply the sync
+    policy (which may flush and/or fsync); returns the encoded bytes
+    appended. *)
+
+val flush : writer -> unit
+(** Write any group-committed records to the kernel in one [write]
+    syscall — the owning shard calls this at its drain barrier (ingress
+    queue empty).  No fsync. *)
 
 val barrier : writer -> unit
-(** In [Batch] mode, fsync anything appended since the last sync — call
-    before acknowledging a verdict.  No-op otherwise. *)
+(** Make everything appended so far durable enough to acknowledge a
+    verdict: flush, plus an fsync in [Batch] mode. *)
 
 val bytes_written : writer -> int
+(** Bytes appended so far, including any still in the group-commit
+    buffer. *)
 
 val close : writer -> unit
 (** Final fsync (unless [Off]) and close.  Idempotent. *)

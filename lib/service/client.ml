@@ -150,8 +150,8 @@ let close t =
   ignore (send t Wire.Bye);
   (try Unix.close t.fd with Unix.Unix_error _ -> ())
 
-let open_session t ~level ~num_keys ?(skew = 0) ?(ts = Ts.Ignore) () =
-  match send t (Wire.Open_session { level; num_keys; skew; ts }) with
+let open_session t ~level ~num_keys ?(skew = 0) ?(ts = Ts.Ignore) ?gc () =
+  match send t (Wire.Open_session { level; num_keys; skew; ts; gc }) with
   | Result.Error _ as e -> e
   | Ok () -> (
       match

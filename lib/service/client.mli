@@ -23,11 +23,13 @@ val throttles : t -> int
 
 val open_session :
   t -> level:Checker.level -> num_keys:int -> ?skew:int -> ?ts:Ts.mode ->
-  unit -> (int, string) result
+  ?gc:Online.gc -> unit -> (int, string) result
 (** Open an independent checker session; returns its session id.  [ts]
     (default [Ts.Ignore]) selects the server-side timestamp fast path —
     in trust or verify mode, feed committed transactions in commit-ts
-    order ({!stream_order} already is). *)
+    order ({!stream_order} already is).  [gc] overrides the server's
+    default watermark-GC policy for this session ({!Online.gc}); omit it
+    to inherit the server's [--gc-watermark] setting. *)
 
 val resume_session : t -> sid:int -> (int, string) result
 (** Re-attach to a session that survived a server restart

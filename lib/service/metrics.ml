@@ -26,8 +26,13 @@ type t = {
   replay_ms : Obs.Gauge.t;
   open_conns : Obs.Gauge.t;
   epoll_wakeups : Obs.Counter.t;
+  gc_runs : Obs.Counter.t;
+  gc_reclaimed_words : Obs.Counter.t;
+  live_words : Obs.Gauge.t;
+  gc_last_reclaimed : Obs.Gauge.t;
   feed_ns : Obs.Histogram.t;
   feed_words : Obs.Histogram.t;
+  gc_ns : Obs.Histogram.t;
 }
 
 let create () =
@@ -73,6 +78,22 @@ let create () =
     c "Event-loop wakeups that delivered readiness events"
       "mtc_epoll_wakeups_total"
   in
+  let gc_runs =
+    c "Watermark compactions across all sessions" "mtc_gc_runs_total"
+  in
+  let gc_reclaimed_words =
+    c "Words reclaimed by watermark compactions" "mtc_gc_reclaimed_words_total"
+  in
+  let live_words =
+    Obs.Metrics.gauge reg
+      ~help:"Live words retained by all online checkers (estimate)"
+      "mtc_live_words"
+  in
+  let gc_last_reclaimed =
+    Obs.Metrics.gauge reg
+      ~help:"Words reclaimed by the most recent compaction"
+      "mtc_gc_last_reclaimed_words"
+  in
   let feed_ns =
     Obs.Metrics.histogram reg ~help:"Per-feed processing time (nanoseconds)"
       "mtc_feed_ns"
@@ -80,6 +101,10 @@ let create () =
   let feed_words =
     Obs.Metrics.histogram reg ~help:"Per-feed allocated minor-heap words"
       "mtc_feed_words"
+  in
+  let gc_ns =
+    Obs.Metrics.histogram reg
+      ~help:"Watermark-compaction pause (nanoseconds)" "mtc_gc_ns"
   in
   {
     reg;
@@ -102,8 +127,13 @@ let create () =
     replay_ms;
     open_conns;
     epoll_wakeups;
+    gc_runs;
+    gc_reclaimed_words;
+    live_words;
+    gc_last_reclaimed;
     feed_ns;
     feed_words;
+    gc_ns;
   }
 
 let registry t = t.reg
@@ -136,6 +166,14 @@ let replay t ~frames ~ms =
 let open_conns t n = Obs.Gauge.set t.open_conns n
 let epoll_wakeup t = Obs.Counter.incr t.epoll_wakeups
 
+let gc_run t ~ns ~reclaimed =
+  Obs.Counter.incr t.gc_runs;
+  Obs.Counter.add t.gc_reclaimed_words reclaimed;
+  Obs.Gauge.set t.gc_last_reclaimed reclaimed;
+  Obs.Histogram.observe t.gc_ns ns
+
+let live_words t n = Obs.Gauge.set t.live_words n
+
 let txns_fed t = Obs.Counter.get t.txns_fed
 let violations t = Obs.Counter.get t.violations
 let throttles t = Obs.Counter.get t.throttles
@@ -150,12 +188,17 @@ let snapshots t = Obs.Counter.get t.snapshots
 let replay_frames t = Obs.Counter.get t.replay_frames
 let open_conns_now t = Obs.Gauge.get t.open_conns
 let epoll_wakeups t = Obs.Counter.get t.epoll_wakeups
+let gc_runs t = Obs.Counter.get t.gc_runs
+let gc_reclaimed_words t = Obs.Counter.get t.gc_reclaimed_words
+let live_words_now t = Obs.Gauge.get t.live_words
+let gc_p99_ns t = Obs.Histogram.percentile t.gc_ns 99.0
 let feed_words_p50 t = Obs.Histogram.percentile t.feed_words 50.0
 let feed_words_p99 t = Obs.Histogram.percentile t.feed_words 99.0
 
 let to_json t =
   let ns = Obs.Histogram.snapshot t.feed_ns in
   let words = Obs.Histogram.snapshot t.feed_words in
+  let gcns = Obs.Histogram.snapshot t.gc_ns in
   Printf.sprintf
     "{\"uptime_s\":%.3f,\"connections\":%d,\"sessions_opened\":%d,\
      \"sessions_closed\":%d,\"txns_fed\":%d,\"syncs\":%d,\
@@ -163,10 +206,13 @@ let to_json t =
      \"throttles\":%d,\"protocol_errors\":%d,\"queue_high_water\":%d,\
      \"wal_bytes\":%d,\"wal_fsyncs\":%d,\"snapshots\":%d,\
      \"replay_frames\":%d,\"replay_ms\":%d,\"open_conns\":%d,\
-     \"epoll_wakeups\":%d,\
+     \"epoll_wakeups\":%d,\"gc_runs\":%d,\"gc_reclaimed_words\":%d,\
+     \"live_words\":%d,\"gc_last_reclaimed_words\":%d,\
      \"feed_ns\":{\"count\":%d,\"mean\":%.0f,\"p50\":%d,\"p99\":%d,\
      \"max\":%d},\
      \"feed_words\":{\"count\":%d,\"mean\":%.0f,\"p50\":%d,\"p99\":%d,\
+     \"max\":%d},\
+     \"gc_ns\":{\"count\":%d,\"mean\":%.0f,\"p50\":%d,\"p99\":%d,\
      \"max\":%d}}"
     (uptime_s t)
     (Obs.Counter.get t.connections)
@@ -187,6 +233,10 @@ let to_json t =
     (Obs.Gauge.get t.replay_ms)
     (Obs.Gauge.get t.open_conns)
     (Obs.Counter.get t.epoll_wakeups)
+    (Obs.Counter.get t.gc_runs)
+    (Obs.Counter.get t.gc_reclaimed_words)
+    (Obs.Gauge.get t.live_words)
+    (Obs.Gauge.get t.gc_last_reclaimed)
     ns.Obs.Histogram.s_count
     (Obs.Histogram.mean_of ns)
     (Obs.Histogram.percentile_of ns 50.0)
@@ -195,7 +245,11 @@ let to_json t =
     (Obs.Histogram.mean_of words)
     (Obs.Histogram.percentile_of words 50.0)
     (Obs.Histogram.percentile_of words 99.0)
-    words.Obs.Histogram.s_max
+    words.Obs.Histogram.s_max gcns.Obs.Histogram.s_count
+    (Obs.Histogram.mean_of gcns)
+    (Obs.Histogram.percentile_of gcns 50.0)
+    (Obs.Histogram.percentile_of gcns 99.0)
+    gcns.Obs.Histogram.s_max
 
 (* The process-wide instance `mtc serve` reports from; embedders can
    create their own. *)

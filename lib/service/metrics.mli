@@ -59,6 +59,14 @@ val open_conns : t -> int -> unit
 val epoll_wakeup : t -> unit
 (** One event-loop wait that delivered at least one readiness event. *)
 
+val gc_run : t -> ns:int -> reclaimed:int -> unit
+(** One watermark compaction: pause of [ns] nanoseconds reclaiming
+    [reclaimed] estimated words. *)
+
+val live_words : t -> int -> unit
+(** Current aggregate live-word estimate across all online checkers
+    (gauge; the server refreshes it after feeds and compactions). *)
+
 (** {1 Reading} *)
 
 val txns_fed : t -> int
@@ -79,6 +87,13 @@ val snapshots : t -> int
 val replay_frames : t -> int
 val open_conns_now : t -> int
 val epoll_wakeups : t -> int
+val gc_runs : t -> int
+val gc_reclaimed_words : t -> int
+val live_words_now : t -> int
+
+val gc_p99_ns : t -> int
+(** Compaction-pause p99; same bucket-edge caveat as the latency
+    percentiles. *)
 
 val feed_words_p50 : t -> int
 val feed_words_p99 : t -> int
@@ -86,6 +101,6 @@ val feed_words_p99 : t -> int
     latency percentiles. *)
 
 val to_json : t -> string
-(** One JSON object with every counter plus the feed-latency and
-    feed-allocation summaries (count / mean / p50 / p99 / max;
-    nanoseconds and minor-heap words respectively). *)
+(** One JSON object with every counter plus the feed-latency,
+    feed-allocation and GC-pause summaries (count / mean / p50 / p99 /
+    max; nanoseconds, minor-heap words and nanoseconds respectively). *)

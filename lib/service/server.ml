@@ -94,6 +94,9 @@ type config = {
   final_checkpoint : bool;
       (** checkpoint on {!stop} (default); [false] leaves the WAL tail
           in place, which is how the tests exercise tail replay *)
+  gc : Online.gc;
+      (** default watermark-GC policy for new sessions; an
+          [Open_session] frame may override it per session *)
 }
 
 let default_config =
@@ -111,6 +114,7 @@ let default_config =
     wal_sync = Wal.Batch;
     snapshot_every = 0;
     final_checkpoint = true;
+    gc = Online.Gc_off;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -148,6 +152,9 @@ type session = {
   mutable finished : bool;  (** terminal; guarded by [smu] *)
   smu : Mutex.t;
   mutable last_activity : float;
+  mutable lw_seen : int;
+      (** this session's last-sampled {!Online.live_words} contribution
+          to the aggregate gauge; owning shard only *)
 }
 
 and conn = {
@@ -218,6 +225,8 @@ type t = {
   mutable drain_started : bool;  (** evloop thread only *)
   shards : shard array;
   pool : Pool.t;
+  live_total : int Atomic.t;
+      (** sum of every session's [lw_seen] — the gauge's source *)
   mutable shards_stop : bool;  (** written under every shard's [shmu] *)
   mutable shard_runner : Thread.t option;
   mutable ev_thread : Thread.t option;
@@ -315,10 +324,32 @@ let wal_append t s record =
 
 let wal_close_record t s = wal_append t s (Wal.R_close { sid = s.sid })
 
+(* Live-words accounting: each session tracks its last-sampled
+   {!Online.live_words} and the delta flows into one process-wide
+   aggregate.  Sampled only where it is cheap relative to the work just
+   done — after a compaction, at syncs, on open — never per feed. *)
+let publish_live t delta =
+  if delta <> 0 then begin
+    let total = Atomic.fetch_and_add t.live_total delta + delta in
+    Metrics.live_words t.config.metrics total
+  end
+
+let refresh_live t s online =
+  let lw = Online.live_words online in
+  let d = lw - s.lw_seen in
+  s.lw_seen <- lw;
+  publish_live t d
+
+let drop_live t s =
+  let d = -s.lw_seen in
+  s.lw_seen <- 0;
+  publish_live t d
+
 (* Terminal state: drop the session from every table, and nudge the
    event loop if its connection was waiting on it (paused reader, or a
    draining connection whose last session this was). *)
 let finish t s =
+  drop_live t s;
   Mutex.lock s.smu;
   s.finished <- true;
   let ep = s.ep in
@@ -385,9 +416,19 @@ let process_session t s =
       if t.config.drain_delay > 0.0 then Unix.sleepf t.config.drain_delay;
       match item with
       | I_open ->
-          let { Snapshot_store.level; num_keys; skew; ts } = s.meta in
+          let { Snapshot_store.level; num_keys; skew; ts; gc } = s.meta in
           wal_append t s
-            (Wal.R_open { sid = s.sid; level; num_keys; skew; ts });
+            (Wal.R_open { sid = s.sid; level; num_keys; skew; ts; gc });
+          (* the ack below hands the client a resumable sid: put the
+             open record in the kernel before saying so, or a server
+             kill mid-burst (no drain barrier yet) would forget the
+             session ever existed *)
+          (match t.persist with
+          | Some p -> Persist.flush p ~shard:s.shard_ix
+          | None -> ());
+          (match s.checker with
+          | S_live online -> refresh_live t s online
+          | S_poisoned _ -> ());
           send_ep (Wire.Session_opened { sid = s.sid });
           loop ()
       | I_resume ->
@@ -427,21 +468,36 @@ let process_session t s =
                 loop ()
             | S_live online -> (
                 let w0 = Gc.minor_words () in
+                let g0 = Online.gc_runs online in
+                let r0 = Online.gc_reclaimed_words online in
+                (* the auto policy may compact inside [add_txn]; diffing
+                   the checker's counters attributes the pause and the
+                   reclaim to this feed *)
+                let note_gc () =
+                  if Online.gc_runs online > g0 then begin
+                    Metrics.gc_run m ~ns:(Online.gc_last_ns online)
+                      ~reclaimed:(Online.gc_reclaimed_words online - r0);
+                    refresh_live t s online
+                  end
+                in
                 let sp0 = Obs.Trace.enter () in
                 let t0 = now () in
                 match Online.add_txn online txn with
                 | Online.Ok_so_far ->
                     Obs.Trace.exit sp_server_feed sp0;
+                    note_gc ();
                     Metrics.feed m
                       ~ns:(int_of_float ((now () -. t0) *. 1e9))
                       ~words:(int_of_float (Gc.minor_words () -. w0));
                     loop ()
                 | Online.Violation v ->
                     Obs.Trace.exit sp_server_feed sp0;
+                    note_gc ();
                     let anomaly, rendered =
                       render_parts s.meta.Snapshot_store.level v
                     in
                     s.checker <- S_poisoned { anomaly; rendered };
+                    drop_live t s;
                     Metrics.feed m
                       ~ns:(int_of_float ((now () -. t0) *. 1e9))
                       ~words:(int_of_float (Gc.minor_words () -. w0));
@@ -469,16 +525,19 @@ let process_session t s =
           end
       | I_sync seq ->
           Metrics.sync m;
-          (* a [V_ok] ack promises the accepted prefix: make it durable
-             before saying so in [Batch] mode *)
-          (match (t.persist, t.config.wal_sync) with
-          | Some p, Wal.Batch -> Persist.barrier p ~shard:s.shard_ix
-          | _ -> ());
+          (* a [V_ok] ack promises the accepted prefix: group-commit it
+             to the kernel before saying so ([Batch] mode also fsyncs,
+             so the ack survives an OS crash, not just a server kill) *)
+          (match t.persist with
+          | Some p -> Persist.barrier p ~shard:s.shard_ix
+          | None -> ());
           let verdict =
             match s.checker with
             | S_poisoned { anomaly; rendered } ->
                 Wire.V_violation { anomaly; rendered }
-            | S_live online -> Wire.V_ok (Online.txns_seen online)
+            | S_live online ->
+                refresh_live t s online;
+                Wire.V_ok (Online.txns_seen online)
           in
           send_ep (Wire.Verdict { sid = s.sid; seq; verdict });
           loop ()
@@ -544,6 +603,11 @@ let rec shard_loop t sh =
     s.on_runq <- false;
     Mutex.unlock sh.shmu;
     process_session t s;
+    (* drain barrier: this session's ingress queue is empty — group-
+       commit everything its burst appended in one write(2) *)
+    (match t.persist with
+    | Some p -> Persist.flush p ~shard:sh.ix
+    | None -> ());
     shard_loop t sh
   end
 
@@ -718,16 +782,17 @@ let on_eof t conn =
 (* ------------------------------------------------------------------ *)
 (* Frame dispatch. *)
 
-let open_session t conn ~level ~num_keys ~skew ~ts =
+let open_session t conn ~level ~num_keys ~skew ~ts ~gc =
   Mutex.lock t.rmu;
   let sid = t.next_sid in
   t.next_sid <- sid + 1;
   Mutex.unlock t.rmu;
+  let gc = match gc with Some g -> g | None -> t.config.gc in
   let s =
     {
       sid;
-      meta = { Snapshot_store.level; num_keys; skew; ts };
-      checker = S_live (Online.create ~skew ~ts ~level ~num_keys ());
+      meta = { Snapshot_store.level; num_keys; skew; ts; gc };
+      checker = S_live (Online.create ~skew ~ts ~gc ~level ~num_keys ());
       last_seq = 0;
       ep = Some conn;
       shard_ix = sid mod t.nshards;
@@ -742,6 +807,7 @@ let open_session t conn ~level ~num_keys ~skew ~ts =
       finished = false;
       smu = Mutex.create ();
       last_activity = now ();
+      lw_seen = 0;
     }
   in
   Mutex.lock t.rmu;
@@ -833,7 +899,7 @@ let handle_ready t conn frame =
         `Consumed
   in
   match frame with
-  | Wire.Open_session { level; num_keys; skew; ts } ->
+  | Wire.Open_session { level; num_keys; skew; ts; gc } ->
       (if num_keys < 1 || num_keys > t.config.max_keys then
          send t conn
            (Wire.Error
@@ -843,7 +909,7 @@ let handle_ready t conn frame =
                   Printf.sprintf "num_keys %d out of [1,%d]" num_keys
                     t.config.max_keys;
               })
-       else open_session t conn ~level ~num_keys ~skew ~ts);
+       else open_session t conn ~level ~num_keys ~skew ~ts ~gc);
       `Consumed
   | Wire.Feed { sid; seq; txn } -> with_session sid (I_feed (seq, txn))
   | Wire.Sync { sid; seq } -> with_session sid (I_sync seq)
@@ -1314,6 +1380,7 @@ let start config =
       drain_started = false;
       shards;
       pool = Pool.create ~size:nshards ();
+      live_total = Atomic.make 0;
       shards_stop = false;
       shard_runner = None;
       ev_thread = None;
@@ -1349,6 +1416,7 @@ let start config =
           finished = false;
           smu = Mutex.create ();
           last_activity = now ();
+          lw_seen = 0;
         }
       in
       Hashtbl.replace t.registry s.sid s;

@@ -75,13 +75,17 @@ type config = {
       (** checkpoint on {!stop} (default); [false] leaves the WAL tail
           in place — the crash-recovery tests use this to exercise tail
           replay without an actual [kill -9] *)
+  gc : Online.gc;
+      (** default watermark-GC policy for new sessions
+          ([mtc serve --gc-watermark]); an [Open_session] frame may
+          override it per session *)
 }
 
 val default_config : config
 (** No listeners (callers must fill [listen]), queue of 1024, no idle
     timeout, {!Metrics.global}, auto shard count, no metrics port, no
     durability ([wal_dir = None], [Batch] sync, no automatic
-    snapshots). *)
+    snapshots), watermark GC off. *)
 
 type t
 

@@ -21,8 +21,10 @@ let magic = "MTCS"
 (* v2: [Open_session] grew a trailing timestamp-mode byte (the Vbox fast
    path of {!Ts}).  v3: [Resume_session]/[Session_resumed] re-attach a
    session that survived a server restart (the durable-service crash
-   story).  Other versions are refused at the handshake. *)
-let version = 3
+   story).  v4: [Open_session] grew a trailing watermark-GC policy
+   ([None] = the server's default).  Other versions are refused at the
+   handshake. *)
+let version = 4
 
 (* Hard ceiling on a single frame — a malformed or hostile length prefix
    must not make the server allocate gigabytes. *)
@@ -46,6 +48,7 @@ type frame =
       num_keys : int;
       skew : int;
       ts : Ts.mode;
+      gc : Online.gc option;
     }
   | Session_opened of { sid : int }
   | Feed of { sid : int; seq : int; txn : Txn.t }
@@ -136,12 +139,19 @@ let add_payload buf = function
       Buffer.add_char buf '\002';
       Binio.add_uvarint buf version;
       Binio.add_string buf server
-  | Open_session { level; num_keys; skew; ts } ->
+  | Open_session { level; num_keys; skew; ts; gc } ->
       Buffer.add_char buf '\003';
       Buffer.add_char buf (Char.chr (level_to_byte level));
       Binio.add_uvarint buf num_keys;
       Binio.add_varint buf skew;
-      Buffer.add_char buf (Char.chr (ts_to_byte ts))
+      Buffer.add_char buf (Char.chr (ts_to_byte ts));
+      (match gc with
+      | None -> Buffer.add_char buf '\000'
+      | Some Online.Gc_off -> Buffer.add_char buf '\001'
+      | Some Online.Gc_auto -> Buffer.add_char buf '\002'
+      | Some (Online.Gc_words n) ->
+          Buffer.add_char buf '\003';
+          Binio.add_uvarint buf n)
   | Session_opened { sid } ->
       Buffer.add_char buf '\004';
       Binio.add_uvarint buf sid
@@ -262,7 +272,18 @@ let decode_payload payload =
           | Some ts -> ts
           | None -> Binio.fail "unknown timestamp mode byte"
         in
-        Open_session { level; num_keys; skew; ts }
+        let gc =
+          match Binio.read_byte r with
+          | 0 -> None
+          | 1 -> Some Online.Gc_off
+          | 2 -> Some Online.Gc_auto
+          | 3 ->
+              let n = Binio.read_uvarint r in
+              if n <= 0 then Binio.fail "gc word ceiling must be positive"
+              else Some (Online.Gc_words n)
+          | b -> Binio.fail "unknown gc policy byte %d" b
+        in
+        Open_session { level; num_keys; skew; ts; gc }
     | 4 -> Session_opened { sid = Binio.read_uvarint r }
     | 5 ->
         let sid = Binio.read_uvarint r in

@@ -20,11 +20,13 @@
 val magic : string
 
 val version : int
-(** Protocol version 3: v2 gave [Open_session] a trailing timestamp-mode
+(** Protocol version 4: v2 gave [Open_session] a trailing timestamp-mode
     byte (0 = ignore, 1 = trust, 2 = verify — the Vbox fast path of
-    {!Ts}); v3 adds [Resume_session]/[Session_resumed] for re-attaching
-    sessions that survived a server restart.  The handshake refuses
-    other versions. *)
+    {!Ts}); v3 added [Resume_session]/[Session_resumed] for re-attaching
+    sessions that survived a server restart; v4 gives [Open_session] a
+    trailing watermark-GC policy (byte 0 = server default, 1 = off,
+    2 = auto, 3 = word ceiling followed by its uvarint).  The handshake
+    refuses other versions. *)
 
 val max_frame : int
 (** Upper bound on a payload length; longer prefixes are protocol
@@ -50,6 +52,8 @@ type frame =
       num_keys : int;
       skew : int;
       ts : Ts.mode;  (** timestamp fast path for this session's checker *)
+      gc : Online.gc option;
+          (** watermark-GC policy; [None] = the server's default *)
     }
   | Session_opened of { sid : int }
   | Feed of { sid : int; seq : int; txn : Txn.t }

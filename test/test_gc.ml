@@ -1,0 +1,322 @@
+(* Watermark-GC equivalence and bounded-memory tests for the Online
+   checker.  The torture harness feeds a GC'd and an unbounded instance
+   in lockstep, compacting the GC'd one after *every* transaction (once
+   each generator session has appeared — the documented precondition),
+   and demands identical step outcomes, identical rendered
+   counterexamples and identical logical stats at every position. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let qtest = QCheck_alcotest.to_alcotest
+
+let render v = Format.asprintf "%a" Checker.pp_violation v
+
+(* Commit-order stream, as a monitoring proxy would deliver it. *)
+let stream_of (h : History.t) =
+  Array.to_list h.History.txns
+  |> List.filter (fun (t : Txn.t) -> t.Txn.id <> History.init_id)
+  |> List.sort (fun (a : Txn.t) b -> compare a.Txn.commit_ts b.Txn.commit_ts)
+
+let engine_history ?(num_txns = 250) ?(num_sessions = 4) ~level ~fault ~seed
+    () =
+  let spec =
+    Mt_gen.generate
+      { Mt_gen.default with num_sessions; num_txns; num_keys = 10; seed }
+  in
+  let db = { Db.level; fault; num_keys = 10; seed } in
+  (Scheduler.run ~params:{ Scheduler.default_params with seed } ~db ~spec ())
+    .Scheduler.history
+
+(* The logical counters that must be byte-identical between a GC'd and
+   an unbounded run.  Live-words and the gc_* gauges are deliberately
+   excluded: differing is their whole point.  The ts_fast/ts_mismatched
+   diagnostics are excluded only under a lying timestamp oracle
+   ([strict_ts = false]): a lying start_ts below the compacted horizon
+   makes the GC'd run count a certification mismatch where the
+   unbounded one predicted fast — attribution falls back to value
+   resolution either way, so verdicts and edges still agree. *)
+let logical_stats ?(strict_ts = true) s =
+  ( s.Online.s_txns_seen,
+    s.Online.s_vertices,
+    s.Online.s_edges,
+    s.Online.s_poisoned,
+    (if strict_ts then s.Online.s_ts_fast else 0),
+    if strict_ts then s.Online.s_ts_mismatched else 0 )
+
+(* Feed [stream] to an unbounded and a GC'd checker in lockstep; the
+   GC'd one is compacted after every feed once all sessions present in
+   the stream have fed at least once.  True iff every step outcome,
+   rendering and logical stat agrees at every position. *)
+let lockstep ?(skew = 0) ?(ts = Ts.Ignore) ?(strict_ts = true) ~level
+    ~num_keys stream =
+  let a = Online.create ~skew ~ts ~level ~num_keys () in
+  let b = Online.create ~skew ~ts ~level ~num_keys () in
+  let sessions =
+    List.sort_uniq compare (List.map (fun t -> t.Txn.session) stream)
+  in
+  let total = List.length sessions in
+  let seen = Hashtbl.create 8 in
+  List.for_all
+    (fun txn ->
+      Hashtbl.replace seen txn.Txn.session ();
+      let ra = Online.add_txn a txn in
+      let rb = Online.add_txn b txn in
+      let step_ok =
+        match (ra, rb) with
+        | Online.Ok_so_far, Online.Ok_so_far -> true
+        | Online.Violation va, Online.Violation vb -> render va = render vb
+        | _ -> false
+      in
+      if Hashtbl.length seen = total then ignore (Online.gc b);
+      step_ok
+      && logical_stats ~strict_ts (Online.stats a)
+         = logical_stats ~strict_ts (Online.stats b))
+    stream
+
+let test_gc_equivalence_clean () =
+  List.iter
+    (fun (engine, level) ->
+      for seed = 1 to 3 do
+        checkb
+          (Printf.sprintf "%s seed %d" (Checker.level_name level) seed)
+          true
+          (lockstep ~level ~num_keys:10
+             (stream_of
+                (engine_history ~level:engine ~fault:Fault.No_fault ~seed ())))
+      done)
+    [
+      (Isolation.Snapshot, Checker.SI);
+      (Isolation.Serializable, Checker.SER);
+      (Isolation.Strict_serializable, Checker.SSER);
+    ]
+
+let test_gc_equivalence_faulty () =
+  List.iter
+    (fun (fault, level) ->
+      for seed = 1 to 3 do
+        checkb
+          (Printf.sprintf "%s/%s seed %d" (Fault.name fault)
+             (Checker.level_name level) seed)
+          true
+          (lockstep ~level ~num_keys:10
+             (stream_of
+                (engine_history ~level:Isolation.Snapshot ~fault ~seed ())))
+      done)
+    [
+      (Fault.Lost_update 0.2, Checker.SI);
+      (Fault.Aborted_read 0.2, Checker.SI);
+      (Fault.Causality_violation 0.1, Checker.SI);
+      (Fault.Write_skew 0.2, Checker.SER);
+      (Fault.Lost_update 0.2, Checker.SSER);
+    ]
+
+let test_gc_equivalence_ts_modes () =
+  List.iter
+    (fun (ts, fault, strict_ts) ->
+      for seed = 1 to 3 do
+        checkb
+          (Printf.sprintf "%s seed %d" (Fault.name fault) seed)
+          true
+          (lockstep ~ts ~strict_ts ~level:Checker.SER ~num_keys:10
+             (stream_of
+                (engine_history ~level:Isolation.Serializable ~fault ~seed ())))
+      done)
+    [
+      (Ts.Trust, Fault.No_fault, true);
+      (Ts.Trust, Fault.Lost_update 0.2, true);
+      (Ts.Verify, Fault.No_fault, true);
+      (Ts.Verify, Fault.Lost_update 0.2, true);
+      (* A lying oracle can report a start_ts below the compacted
+         horizon; the mismatch diagnostics then over-report, but the
+         verdict pipeline is unaffected. *)
+      (Ts.Verify, Fault.Ts_skew 0.3, false);
+      (Ts.Verify, Fault.Ts_reorder 0.3, false);
+    ]
+
+(* A long single-session chain with an aggressive word ceiling stays at
+   a flat memory floor while the unbounded twin grows without bound. *)
+let test_gc_bounded_growth () =
+  let n = 4000 in
+  let unbounded = Online.create ~level:Checker.SER ~num_keys:1 () in
+  let bounded =
+    Online.create ~gc:(Online.Gc_words 4096) ~level:Checker.SER ~num_keys:1 ()
+  in
+  for i = 1 to n do
+    let t =
+      Txn.make ~id:i ~session:1 [ Op.Read (0, i - 1); Op.Write (0, i) ]
+    in
+    checkb "unbounded ok" true (Online.add_txn unbounded t = Online.Ok_so_far);
+    checkb "bounded ok" true (Online.add_txn bounded t = Online.Ok_so_far)
+  done;
+  checkb "gc ran" true (Online.gc_runs bounded > 0);
+  checkb "stats agree" true
+    (logical_stats (Online.stats unbounded)
+    = logical_stats (Online.stats bounded));
+  let wu = Online.live_words unbounded and wb = Online.live_words bounded in
+  checkb
+    (Printf.sprintf "bounded stays small (%d vs %d words)" wb wu)
+    true
+    (wb * 4 < wu)
+
+let test_gc_auto_policy () =
+  let bounded =
+    Online.create ~gc:Online.Gc_auto ~level:Checker.SER ~num_keys:1 ()
+  in
+  for i = 1 to 20_000 do
+    ignore
+      (Online.add_txn bounded
+         (Txn.make ~id:i ~session:1 [ Op.Read (0, i - 1); Op.Write (0, i) ]))
+  done;
+  checkb "auto gc ran" true (Online.gc_runs bounded > 0);
+  checki "all seen" 20_000 (Online.txns_seen bounded)
+
+(* Idempotence: with no new transactions the second compaction finds the
+   structure already at its floor and reclaims nothing. *)
+let test_gc_idempotent () =
+  let o = Online.create ~level:Checker.SI ~num_keys:4 () in
+  for i = 1 to 200 do
+    ignore
+      (Online.add_txn o
+         (Txn.make ~id:i ~session:1
+            [ Op.Read (i mod 4, if i <= 4 then 0 else i - 4); Op.Write (i mod 4, i) ]))
+  done;
+  ignore (Online.gc o);
+  checki "second gc reclaims nothing" 0 (Online.gc o);
+  checki "two runs counted" 2 (Online.gc_runs o)
+
+let test_gc_noop_cases () =
+  (* Before any session has fed: no-op. *)
+  let o = Online.create ~level:Checker.SER ~num_keys:1 () in
+  checki "fresh checker" 0 (Online.gc o);
+  checki "no run counted" 0 (Online.gc_runs o);
+  (* Poisoned: no-op (the frozen-state contract extends to GC). *)
+  let p = Online.create ~level:Checker.SI ~num_keys:1 () in
+  ignore (Online.add_txn p (Txn.make ~id:1 ~session:1 [ Op.Read (0, 0); Op.Write (0, 1) ]));
+  ignore (Online.add_txn p (Txn.make ~id:2 ~session:2 [ Op.Read (0, 0); Op.Write (0, 2) ]));
+  checkb "poisoned" true (Online.poisoned p <> None);
+  checki "poisoned checker" 0 (Online.gc p)
+
+let test_gc_policy_strings () =
+  List.iter
+    (fun (s, g) ->
+      checkb s true (Online.gc_of_string s = Some g);
+      Alcotest.check Alcotest.string "round trip" s (Online.gc_to_string g))
+    [
+      ("off", Online.Gc_off);
+      ("auto", Online.Gc_auto);
+      ("1048576", Online.Gc_words 1048576);
+    ];
+  checkb "garbage rejected" true (Online.gc_of_string "bogus" = None);
+  checkb "negative rejected" true (Online.gc_of_string "-3" = None)
+
+(* Snapshot round-trip across compactions: encode a GC'd checker
+   mid-stream, decode it, and both twins must agree on the rest of the
+   stream (outcomes, renderings, logical stats). *)
+let test_gc_restore_roundtrip () =
+  List.iter
+    (fun (fault, level) ->
+      for seed = 1 to 2 do
+        let stream =
+          stream_of (engine_history ~level:Isolation.Snapshot ~fault ~seed ())
+        in
+        let n = List.length stream in
+        let split = n / 2 in
+        let o =
+          Online.create ~gc:Online.Gc_auto ~level ~num_keys:10 ()
+        in
+        let sessions =
+          List.sort_uniq compare (List.map (fun t -> t.Txn.session) stream)
+        in
+        let seen = Hashtbl.create 8 in
+        let rest = ref [] in
+        List.iteri
+          (fun i txn ->
+            if i < split then begin
+              Hashtbl.replace seen txn.Txn.session ();
+              ignore (Online.add_txn o txn);
+              if Hashtbl.length seen = List.length sessions then
+                ignore (Online.gc o)
+            end
+            else rest := txn :: !rest)
+          stream;
+        let rest = List.rev !rest in
+        match Online.poisoned o with
+        | Some _ -> () (* violation landed in the first half; nothing to restore *)
+        | None ->
+            let buf = Buffer.create 1024 in
+            Online.encode buf o;
+            let o' = Online.decode (Binio_core.reader (Buffer.contents buf)) in
+            checkb "policy restored" true (Online.gc_policy o' = Online.Gc_auto);
+            List.iter
+              (fun txn ->
+                let ra = Online.add_txn o txn in
+                let rb = Online.add_txn o' txn in
+                (match (ra, rb) with
+                | Online.Ok_so_far, Online.Ok_so_far -> ()
+                | Online.Violation va, Online.Violation vb ->
+                    Alcotest.check Alcotest.string "same rendering" (render va)
+                      (render vb)
+                | _ -> Alcotest.fail "restored checker diverged");
+                checkb "stats agree" true
+                  (logical_stats (Online.stats o)
+                  = logical_stats (Online.stats o')))
+              rest
+      done)
+    [
+      (Fault.No_fault, Checker.SER);
+      (Fault.Lost_update 0.3, Checker.SI);
+    ]
+
+(* QCheck: random engine configurations, GC-after-every-txn, across
+   levels and timestamp modes. *)
+let config_gen =
+  QCheck2.Gen.(
+    let* seed = int_range 1 10_000 in
+    let* num_keys = int_range 2 16 in
+    let* num_txns = int_range 20 200 in
+    let* num_sessions = int_range 1 6 in
+    let* level = oneofl [ Checker.SI; Checker.SER; Checker.SSER ] in
+    let* ts = oneofl [ Ts.Ignore; Ts.Trust; Ts.Verify ] in
+    let* fault =
+      oneofl
+        [ Fault.No_fault; Fault.Lost_update 0.15; Fault.Aborted_read 0.15;
+          Fault.Causality_violation 0.1; Fault.Write_skew 0.15 ]
+    in
+    return (seed, num_keys, num_txns, num_sessions, level, ts, fault))
+
+let print_config (seed, num_keys, num_txns, num_sessions, level, ts, fault) =
+  Printf.sprintf "seed=%d keys=%d txns=%d sessions=%d level=%s ts=%s fault=%s"
+    seed num_keys num_txns num_sessions (Checker.level_name level)
+    (match ts with Ts.Ignore -> "ignore" | Ts.Trust -> "trust" | Ts.Verify -> "verify")
+    (Fault.name fault)
+
+let prop_gc_equals_unbounded =
+  QCheck2.Test.make ~name:"aggressive GC == unbounded (engine histories)"
+    ~count:60 ~print:print_config config_gen
+    (fun (seed, num_keys, num_txns, num_sessions, level, ts, fault) ->
+      let spec =
+        Mt_gen.generate
+          { Mt_gen.num_sessions; num_txns; num_keys;
+            dist = Distribution.Uniform; seed }
+      in
+      let db = { Db.level = Isolation.Serializable; fault; num_keys; seed } in
+      let h =
+        (Scheduler.run ~params:{ Scheduler.default_params with seed } ~db
+           ~spec ())
+          .Scheduler.history
+      in
+      lockstep ~ts ~level ~num_keys (stream_of h))
+
+let suite =
+  [
+    ("GC == unbounded on clean engines", `Quick, test_gc_equivalence_clean);
+    ("GC == unbounded on faulty engines", `Quick, test_gc_equivalence_faulty);
+    ("GC == unbounded under ts modes", `Quick, test_gc_equivalence_ts_modes);
+    ("bounded growth on a long chain", `Quick, test_gc_bounded_growth);
+    ("auto policy triggers", `Quick, test_gc_auto_policy);
+    ("compaction is idempotent", `Quick, test_gc_idempotent);
+    ("no-op on fresh and poisoned checkers", `Quick, test_gc_noop_cases);
+    ("policy spellings round-trip", `Quick, test_gc_policy_strings);
+    ("snapshot round-trip across GC", `Quick, test_gc_restore_roundtrip);
+    qtest prop_gc_equals_unbounded;
+  ]

@@ -16,6 +16,7 @@ let () =
       ("baselines", Test_baselines.suite);
       ("oracle", Test_oracle.suite);
       ("online", Test_online.suite);
+      ("gc", Test_gc.suite);
       ("pk", Test_pk.suite);
       ("service", Test_service.suite);
       ("extra", Test_extra.suite);

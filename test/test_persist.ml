@@ -60,7 +60,7 @@ let fixture_txns =
 let fixture_records n ~close =
   let feeds = List.filteri (fun i _ -> i < n) (Lazy.force fixture_txns) in
   (Wal.R_open { sid = 1; level = Checker.SER; num_keys = 10; skew = 0;
-                ts = Ts.Ignore }
+                ts = Ts.Ignore; gc = Online.Gc_off }
   :: List.mapi (fun i txn -> Wal.R_feed { sid = 1; seq = i + 1; txn }) feeds)
   @ (if close then [ Wal.R_close { sid = 1 } ] else [])
 
@@ -163,7 +163,7 @@ let test_snapshot_roundtrip () =
   let path = temp_name ".snap" in
   let meta =
     { Snapshot_store.level = Checker.SI; num_keys = 10; skew = 0;
-      ts = Ts.Ignore }
+      ts = Ts.Ignore; gc = Online.Gc_off }
   in
   let entries =
     [
@@ -205,11 +205,11 @@ let test_snapshot_version_mismatch () =
   Snapshot_store.write ~path ~shard:0 ~nshards:1 ~gen:1 ~next_sid:2 [];
   let full = read_file path in
   let magic_len = 8 and crc_len = 4 in
-  (* the version is the payload's leading uvarint; 1 and 2 are both
+  (* the version is the payload's leading uvarint; 2 and 3 are both
      single bytes, so patch in place and recompute the trailing CRC *)
   let b = Bytes.of_string full in
-  checki "stored version byte" 1 (Char.code (Bytes.get b magic_len));
-  Bytes.set b magic_len (Char.chr 2);
+  checki "stored version byte" 2 (Char.code (Bytes.get b magic_len));
+  Bytes.set b magic_len (Char.chr 3);
   let payload =
     Bytes.sub_string b magic_len (Bytes.length b - magic_len - crc_len)
   in
@@ -224,11 +224,11 @@ let test_snapshot_version_mismatch () =
   | Ok _ -> Alcotest.fail "future version must be refused"
   | Error e ->
       checkb "names both versions"
-        (contains ~sub:"snapshot version 2 (this build reads 1)" e)
+        (contains ~sub:"snapshot version 3 (this build reads 2)" e)
         true);
   (* same patch without the CRC fix: caught as corruption *)
   let b = Bytes.of_string full in
-  Bytes.set b magic_len (Char.chr 2);
+  Bytes.set b magic_len (Char.chr 3);
   write_file path (Bytes.to_string b);
   (match Snapshot_store.read path with
   | Ok _ -> Alcotest.fail "tampered snapshot must be refused"
@@ -284,12 +284,13 @@ let fresh_verdict ~level h =
    session never resumed, which forces it through a real checkpoint:
    live sessions through [Online.encode], poisoned ones through their
    stored rendering) before finally resuming and feeding the rest. *)
-let resumed_verdict ~level ~shards ~bounce ~cut h dir =
+let resumed_verdict ?(gc = Online.Gc_off) ~level ~shards ~bounce ~cut h dir =
   let logged = List.filteri (fun i _ -> i < cut) (Client.stream_order h) in
   Unix.mkdir dir 0o755;
   write_wal
     (Filename.concat dir "wal-0-1")
-    (Wal.R_open { sid = 1; level; num_keys = 10; skew = 0; ts = Ts.Ignore }
+    (Wal.R_open
+       { sid = 1; level; num_keys = 10; skew = 0; ts = Ts.Ignore; gc }
     :: List.mapi
          (fun i txn -> Wal.R_feed { sid = 1; seq = i + 1; txn })
          logged);
@@ -354,6 +355,40 @@ let test_restore_equals_fresh () =
           check_verdict_eq name fresh resumed))
     cases
 
+(* Restore after watermark GC: a session under an aggressive absolute
+   ceiling compacts while the WAL prefix replays, the bounce forces the
+   compacted state through a real [Online.encode]/[decode] checkpoint
+   (which carries the policy, the floor and the counters), and the
+   resumed remainder must still reach the unbounded fresh feed's
+   verdict — byte-identical rendering included.  Clean and faulty, at a
+   cut early enough that the violation lands after the restore. *)
+let test_restore_after_gc () =
+  List.iter
+    (fun (name, engine, level, fault) ->
+      let h = engine_history ~txns:400 ~level:engine ~fault ~seed:9 () in
+      let cut = List.length (Client.stream_order h) / 2 in
+      let fresh = fresh_verdict ~level h in
+      List.iter
+        (fun (tag, gc, bounce) ->
+          let dir = temp_name ".wal.d" in
+          Fun.protect
+            ~finally:(fun () -> rm_rf dir)
+            (fun () ->
+              let resumed =
+                resumed_verdict ~gc ~level ~shards:1 ~bounce ~cut h dir
+              in
+              check_verdict_eq (name ^ " " ^ tag) fresh resumed))
+        [
+          ("words tail-replay", Online.Gc_words 4096, 0);
+          ("words snapshot", Online.Gc_words 4096, 1);
+          ("auto snapshot", Online.Gc_auto, 1);
+        ])
+    [
+      ("ser clean", Isolation.Serializable, Checker.SER, Fault.No_fault);
+      ("si late lost-update", Isolation.Snapshot, Checker.SI,
+       Fault.Lost_update 0.01);
+    ]
+
 (* Resume must be refused cleanly when there is nothing to resume. *)
 let test_resume_refused () =
   let dir = temp_name ".wal.d" in
@@ -385,6 +420,8 @@ let suite =
      test_snapshot_version_mismatch);
     ("restore == fresh feed (levels x shards)", `Quick,
      test_restore_equals_fresh);
+    ("restore after watermark GC == fresh feed", `Quick,
+     test_restore_after_gc);
     ("resume refused when unknown or non-durable", `Quick,
      test_resume_refused);
   ]

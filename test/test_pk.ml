@@ -98,7 +98,92 @@ let prop_pk_ensure_growth =
       && Pearce_kelly.num_edges grown = Pearce_kelly.num_edges fixed
       && Pearce_kelly.check_invariant grown)
 
-(* P3/P4: the streaming checker and the batch checker agree on random
+(* P3: compaction drops exactly the edges with a dropped endpoint,
+   keeps the survivors' relative topological order, reports each
+   surviving edge once through [on_edge] under the remap it returns,
+   holds the invariant — and the compacted structure accepts/rejects a
+   fresh edge stream over the survivors exactly like an oracle seeded
+   with the surviving edges. *)
+let prop_pk_compact =
+  let n = 12 in
+  let gen =
+    QCheck2.Gen.(
+      let* es = edges_gen ~n ~len:80 in
+      let* keep = list_repeat n bool in
+      let* after = edges_gen ~n ~len:30 in
+      return (es, keep, after))
+  in
+  let print (es, keep, after) =
+    Printf.sprintf "edges=[%s] keep=[%s] after=[%s]" (print_edges es)
+      (String.concat ""
+         (List.map (fun b -> if b then "1" else "0") keep))
+      (print_edges after)
+  in
+  QCheck2.Test.make ~name:"PK compact == oracle over survivors" ~count:200
+    ~print gen (fun (es, keep, after) ->
+      let pk = Pearce_kelly.create n in
+      let o = Oracle.create n in
+      List.iter
+        (fun (u, v) ->
+          ignore (Pearce_kelly.add_edge pk u v);
+          ignore (Oracle.add o u v))
+        es;
+      let order_before = Array.init n (Pearce_kelly.order_index pk) in
+      let keep = Array.of_list keep in
+      let surviving =
+        List.filter (fun (u, v) -> keep.(u) && keep.(v)) o.Oracle.edges
+      in
+      let reported = ref [] in
+      let remap =
+        Pearce_kelly.compact pk ~keep ~on_edge:(fun ou ov nu nv ->
+            reported := (ou, ov, nu, nv) :: !reported)
+      in
+      (* remap: dense prefix over kept vertices, -1 elsewhere *)
+      let dense = ref true and next = ref 0 in
+      Array.iteri
+        (fun v nv ->
+          if keep.(v) then (
+            if nv <> !next then dense := false;
+            incr next)
+          else if nv <> -1 then dense := false)
+        remap;
+      !dense
+      && Pearce_kelly.n pk = !next
+      && Pearce_kelly.num_edges pk = List.length surviving
+      && List.length !reported = List.length surviving
+      && List.for_all
+           (fun (ou, ov, nu, nv) ->
+             keep.(ou) && keep.(ov) && remap.(ou) = nu && remap.(ov) = nv)
+           !reported
+      && List.for_all
+           (fun (u, v) ->
+             Pearce_kelly.mem_edge pk remap.(u) remap.(v)
+             (* relative topological order preserved exactly *)
+             && order_before.(u) < order_before.(v)
+                = (Pearce_kelly.order_index pk remap.(u)
+                  < Pearce_kelly.order_index pk remap.(v)))
+           surviving
+      && Pearce_kelly.check_invariant pk
+      &&
+      (* the compacted structure keeps behaving like PK: replay a fresh
+         stream over the survivors against an oracle seeded with the
+         surviving (renumbered) edge set *)
+      let o2 = Oracle.create !next in
+      o2.Oracle.edges <-
+        List.map (fun (u, v) -> (remap.(u), remap.(v))) surviving;
+      List.for_all
+        (fun (u, v) ->
+          let u = u mod Stdlib.max 1 !next and v = v mod Stdlib.max 1 !next in
+          !next = 0
+          ||
+          match (Pearce_kelly.add_edge pk u v, Oracle.add o2 u v) with
+          | Ok (), (Oracle.Added | Oracle.Dup) -> true
+          | Error _, Oracle.Cycle -> true
+          | _ -> false)
+        after
+      && Pearce_kelly.check_invariant pk)
+
+(* P4/P5: the streaming checker and the batch checker agree on random
    engine histories, healthy and faulty, at every level. *)
 let config_gen =
   QCheck2.Gen.(
@@ -150,5 +235,6 @@ let suite =
   [
     qtest prop_pk_matches_oracle;
     qtest prop_pk_ensure_growth;
+    qtest prop_pk_compact;
     qtest prop_online_equals_batch;
   ]

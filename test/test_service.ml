@@ -67,7 +67,12 @@ let frame_gen =
          let* num_keys = int_range 1 100_000 in
          let* skew = int_range (-100) 100 in
          let* ts = oneofl [ Ts.Ignore; Ts.Trust; Ts.Verify ] in
-         return (Wire.Open_session { level; num_keys; skew; ts }));
+         let* gc =
+           oneofl
+             [ None; Some Online.Gc_off; Some Online.Gc_auto;
+               Some (Online.Gc_words 4096) ]
+         in
+         return (Wire.Open_session { level; num_keys; skew; ts; gc }));
         (let* sid = sid in
          return (Wire.Session_opened { sid }));
         (let* sid = sid in
@@ -324,7 +329,8 @@ let test_service_midframe_disconnect () =
       | _ -> Alcotest.fail "welcome expected");
       Wire.write_frame fd bufs
         (Wire.Open_session
-           { level = Checker.SER; num_keys = 4; skew = 0; ts = Ts.Ignore });
+           { level = Checker.SER; num_keys = 4; skew = 0; ts = Ts.Ignore;
+             gc = None });
       (match Wire.read_frame fd with
       | Ok (Some (Wire.Session_opened _)) -> ()
       | _ -> Alcotest.fail "session-opened expected");
