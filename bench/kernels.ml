@@ -363,6 +363,70 @@ let obs_overhead_rows () =
   in
   [ row "check-ser/tracing-off" false; row "check-ser/tracing-on" true ]
 
+(* The PR10 acceptance table: introspection overhead on the streaming
+   checker.  The same fixed 2000-transaction commit-order stream is fed
+   through [Online.add_txn] while emitting one journal event per feed —
+   far denser than the service ever journals (events mark throttle
+   flips, compactions and session lifecycle, not feeds) — once with the
+   journal disabled (the production default: one atomic load and a
+   branch per emit site) and once enabled (per-domain rings absorbing
+   every event).  [emit (ns)] and [emit alloc (words)] time the bare
+   emit in isolation; the disabled row's alloc column is the
+   zero-allocation acceptance number. *)
+let introspection_rows () =
+  let h =
+    (Bench_util.mt_history ~level:Isolation.Serializable ~keys:300 ~txns:2000
+       ~seed:906 ())
+      .Scheduler.history
+  in
+  let stream =
+    Array.to_list h.History.txns
+    |> List.filter (fun (t : Txn.t) -> t.Txn.id <> History.init_id)
+    |> List.sort (fun (a : Txn.t) b ->
+           compare (a.Txn.commit_ts, a.Txn.id) (b.Txn.commit_ts, b.Txn.id))
+  in
+  let n = List.length stream in
+  let feed () =
+    let o = Online.create ~level:Checker.SER ~num_keys:h.History.num_keys () in
+    List.iter
+      (fun txn ->
+        (match Online.add_txn o txn with
+        | Online.Ok_so_far -> ()
+        | Online.Violation _ -> failwith "kernels: clean stream flagged");
+        Obs.Journal.emit Obs.Journal.Session_open ~a:1 ~b:0 ~c:0)
+      stream
+  in
+  let emit_reps = 100_000 in
+  let bare () =
+    for _ = 1 to emit_reps do
+      Obs.Journal.emit Obs.Journal.Gc_compact ~a:0 ~b:0 ~c:0
+    done
+  in
+  let row name enabled =
+    if enabled then Obs.Journal.enable () else Obs.Journal.disable ();
+    Obs.Journal.clear ();
+    feed () (* warm-up *);
+    let t = Bench_util.time_median ~repeat:5 feed in
+    let w0 = Gc.minor_words () in
+    feed ();
+    let dw = Gc.minor_words () -. w0 in
+    bare () (* warm-up *);
+    let te = Bench_util.time_median ~repeat:5 bare in
+    let ew0 = Gc.minor_words () in
+    bare ();
+    let edw = Gc.minor_words () -. ew0 in
+    Obs.Journal.disable ();
+    Obs.Journal.clear ();
+    [
+      name;
+      Printf.sprintf "%.0f" (float_of_int n /. t);
+      Printf.sprintf "%.1f" (dw /. float_of_int n);
+      Printf.sprintf "%.1f" (te /. float_of_int emit_reps *. 1e9);
+      Printf.sprintf "%.2f" (edw /. float_of_int emit_reps);
+    ]
+  in
+  [ row "introspection/journal-off" false; row "introspection/journal-on" true ]
+
 let rm_rf dir =
   if Sys.file_exists dir then (
     Array.iter
@@ -641,6 +705,12 @@ let run () =
     "observability: full SER check, tracing disabled vs enabled (median of 9)";
   Bench_util.print_table ~header:[ "config"; "time (ms)" ]
     (obs_overhead_rows ());
+  Bench_util.subsection
+    "introspection: Online feed emitting one journal event per feed, journal disabled vs enabled";
+  Bench_util.print_table
+    ~header:
+      [ "config"; "txns/s"; "words/feed"; "emit (ns)"; "emit alloc (words)" ]
+    (introspection_rows ());
   Bench_util.subsection
     "checking service: whole-history stream through a live server";
   Bench_util.print_table

@@ -684,8 +684,43 @@ let serve_cmd =
             ^ "  This is the server default; a client may override it \
                per session."))
   in
+  let pin_warn_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "pin-warn-after" ] ~docv:"SECONDS"
+          ~doc:
+            "Flag a session whose feeds have stalled for $(docv) while it \
+             still retains live checker memory — such a session pins the \
+             watermark-GC horizon and the memory bound with it.  Flagged \
+             sessions show as PINNED in $(b,mtc stats --sessions) / \
+             $(b,mtc top), raise the $(b,mtc_horizon_pinned_sessions) \
+             gauge and emit a journal event.  0 disables the detector.")
+  in
+  let pin_fence_arg =
+    let fence_conv =
+      Arg.enum [ ("off", Server.Fence_off); ("close", Server.Fence_close) ]
+    in
+    Arg.(
+      value & opt fence_conv Server.Fence_off
+      & info [ "pin-fence" ] ~docv:"POLICY"
+          ~doc:
+            "What to do with a pinned session: $(b,off) (default) only \
+             reports it; $(b,close) force-closes it (close reason \
+             $(i,pinned)) so its retained memory is released and the \
+             aggregate live-words bound holds again.")
+  in
+  let journal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Append the structured event journal (throttles, compactions, \
+             WAL fsync stalls, snapshots, session opens/closes, pin \
+             warnings) to $(docv) as JSON lines.")
+  in
   let run listen queue idle jobs metrics_port wal_dir wal_sync snapshot_every
-      drain_delay gc =
+      drain_delay gc pin_warn pin_fence journal =
     let listen =
       if listen = [] then [ Server.A_unix "/tmp/mtc.sock" ] else listen
     in
@@ -702,6 +737,9 @@ let serve_cmd =
         wal_sync;
         snapshot_every;
         gc;
+        pin_warn_after = pin_warn;
+        pin_fence;
+        journal;
       }
     in
     match
@@ -721,6 +759,16 @@ let serve_cmd =
               Printf.printf "mtc serve: durable in %s (sync %s)\n%!" dir
                 (Wal.sync_name wal_sync))
             wal_dir;
+          (if pin_warn > 0.0 then
+             Printf.printf "mtc serve: horizon-pin detector after %.1fs \
+                            (fence %s)\n%!"
+               pin_warn
+               (match pin_fence with
+               | Server.Fence_off -> "off"
+               | Server.Fence_close -> "close"));
+          Option.iter
+            (fun f -> Printf.printf "mtc serve: journal to %s\n%!" f)
+            journal;
           Option.iter
             (fun p ->
               Printf.printf
@@ -753,7 +801,8 @@ let serve_cmd =
           Sessions check in parallel on $(b,--jobs) shard domains.")
     Term.(const run $ listen_arg $ queue_arg $ idle_arg $ jobs_arg
           $ metrics_port_arg $ wal_dir_arg $ wal_sync_arg
-          $ snapshot_every_arg $ drain_delay_arg $ gc_arg)
+          $ snapshot_every_arg $ drain_delay_arg $ gc_arg $ pin_warn_arg
+          $ pin_fence_arg $ journal_arg)
 
 let feed_cmd =
   let file_arg =
@@ -806,6 +855,15 @@ let feed_cmd =
             ^ "  Omit to inherit the server's $(b,--gc-watermark) \
                default."))
   in
+  let delay_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "delay" ] ~docv:"SECONDS"
+          ~doc:
+            "Sleep $(docv) between transactions — paces the stream to \
+             simulate a slow (or, with a large value, stalled) producer; \
+             the knob behind the horizon-pin smoke tests.")
+  in
   let strong_level = function
     | Strong l -> Ok l
     | Weak l ->
@@ -817,7 +875,7 @@ let feed_cmd =
   (* feed_history with periodic syncs: feed seqs are 1-based stream
      positions (the durable-resume cursor), syncs use the client's
      internal counter, floored clear of them. *)
-  let stream_with_acks c ~sid ~resume_from ~ack_every h =
+  let stream_with_acks c ~sid ~resume_from ~ack_every ~delay h =
     Client.seq_floor c 1_000_000_000;
     let rec go pos since = function
       | [] -> Client.sync c ~sid
@@ -828,6 +886,9 @@ let feed_cmd =
             | Error _ as e -> e
             | Ok (Client.Early_verdict v) -> Ok v
             | Ok Client.Accepted ->
+                (* pace between transactions, not before the first: a
+                   large delay models a producer that fed and stalled *)
+                if delay > 0.0 && rest <> [] then Unix.sleepf delay;
                 if ack_every > 0 && since + 1 >= ack_every then (
                   match Client.sync c ~sid with
                   | Error _ as e -> e
@@ -837,7 +898,8 @@ let feed_cmd =
     in
     go 1 0 (Client.stream_order h)
   in
-  let run file addr level skew timestamps want_stats resume ack_every gc =
+  let run file addr level skew timestamps want_stats resume ack_every gc
+      delay =
     match (Codec.load file, strong_level level) with
     | Error e, _ ->
         Printf.eprintf "cannot load %s: %s\n" file e;
@@ -889,7 +951,7 @@ let feed_cmd =
                 Printf.eprintf "%s\n" e;
                 finish exit_error
             | Ok (sid, resume_from) -> (
-                match stream_with_acks c ~sid ~resume_from ~ack_every h with
+                match stream_with_acks c ~sid ~resume_from ~ack_every ~delay h with
                 | Error e ->
                     Printf.eprintf "feed failed: %s\n" e;
                     finish exit_error
@@ -912,7 +974,7 @@ let feed_cmd =
           continues a session across a server crash or restart.")
     Term.(const run $ file_arg $ addr_arg $ level_arg $ skew_arg
           $ timestamps_arg $ stats_arg $ resume_arg $ ack_every_arg
-          $ gc_arg)
+          $ gc_arg $ delay_arg)
 
 (* ------------------------------------------------------------------ *)
 (* mtc stats *)
@@ -1040,6 +1102,81 @@ let http_get_metrics port =
                  (String.sub response 9
                     (Stdlib.min 3 (String.length response - 9)))))
 
+(* ------------------------------------------------------------------ *)
+(* Per-session telemetry and event-journal rendering — shared by
+   `mtc stats --sessions/--events` and `mtc top`. *)
+
+let session_state (s : Wire.session_stat) =
+  if s.Wire.ss_poisoned then "poisoned"
+  else if s.Wire.ss_pinned then "PINNED"
+  else "live"
+
+let render_sessions_table (stats : Wire.session_stat list) =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "%-5s %-5s %-6s %-8s %9s %6s %6s %10s %8s %7s %7s\n"
+       "sid" "shard" "level" "state" "frontier" "lag" "queue" "live_w"
+       "feeds" "age_s" "idle_s");
+  List.iter
+    (fun (s : Wire.session_stat) ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "%-5d %-5d %-6s %-8s %9d %6d %6d %10d %8d %7.1f %7.1f\n"
+           s.Wire.ss_sid s.Wire.ss_shard
+           (Checker.level_name s.Wire.ss_level)
+           (session_state s) s.Wire.ss_frontier s.Wire.ss_lag
+           s.Wire.ss_queued s.Wire.ss_live_words s.Wire.ss_feeds
+           (float_of_int s.Wire.ss_age_ms /. 1e3)
+           (float_of_int s.Wire.ss_idle_ms /. 1e3)))
+    stats;
+  Buffer.contents b
+
+let close_reason_name = function
+  | 0 -> "requested"
+  | 1 -> "idle"
+  | 2 -> "shutdown"
+  | 3 -> "protocol"
+  | 4 -> "pinned"
+  | n -> string_of_int n
+
+let describe_event (e : Wire.journal_event) =
+  let f = Printf.sprintf in
+  match e.Wire.je_kind with
+  | Obs.Journal.Throttle_on ->
+      f "throttle-on sid=%d queued=%d" e.Wire.je_a e.Wire.je_b
+  | Obs.Journal.Throttle_off -> f "throttle-off sid=%d" e.Wire.je_a
+  | Obs.Journal.Gc_compact ->
+      f "gc-compact sid=%d pause=%.2fms reclaimed=%dw" e.Wire.je_a
+        (float_of_int e.Wire.je_b /. 1e6)
+        e.Wire.je_c
+  | Obs.Journal.Wal_fsync_stall ->
+      f "wal-fsync-stall %.1fms" (float_of_int e.Wire.je_b /. 1e6)
+  | Obs.Journal.Snapshot ->
+      f "snapshot shard=%d sessions=%d" e.Wire.je_a e.Wire.je_b
+  | Obs.Journal.Session_open ->
+      f "open sid=%d shard=%d" e.Wire.je_a e.Wire.je_b
+  | Obs.Journal.Session_close ->
+      f "close sid=%d reason=%s" e.Wire.je_a (close_reason_name e.Wire.je_b)
+  | Obs.Journal.Session_resume ->
+      f "resume sid=%d last_seq=%d" e.Wire.je_a e.Wire.je_b
+  | Obs.Journal.Poison -> f "poison sid=%d" e.Wire.je_a
+  | Obs.Journal.Pin_warn ->
+      f "pin-warn sid=%d stalled=%.1fs live=%dw" e.Wire.je_a
+        (float_of_int e.Wire.je_b /. 1e9)
+        e.Wire.je_c
+  | Obs.Journal.Pin_fence -> f "pin-fence sid=%d" e.Wire.je_a
+
+let render_events (events : Wire.journal_event list) =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (e : Wire.journal_event) ->
+      Buffer.add_string b
+        (Printf.sprintf "%8.1fs ago  dom%-2d  %s\n"
+           (float_of_int e.Wire.je_age_ms /. 1e3)
+           e.Wire.je_dom (describe_event e)))
+    events;
+  Buffer.contents b
+
 let stats_cmd =
   let addr_arg =
     Arg.(
@@ -1064,7 +1201,25 @@ let stats_cmd =
              exposition served by $(b,mtc serve --metrics-port)) and print \
              the body, instead of asking over the wire protocol.")
   in
-  let run addr json http =
+  let sessions_arg =
+    Arg.(
+      value & flag
+      & info [ "sessions" ]
+          ~doc:
+            "Print the per-session telemetry table (frontier, watermark \
+             lag, queue depth, live words, feed count, age/idle) instead \
+             of the process-wide counters.")
+  in
+  let events_arg =
+    Arg.(
+      value & flag
+      & info [ "events" ]
+          ~doc:
+            "Print the tail of the server's structured event journal \
+             (throttles, compactions, WAL fsync stalls, snapshots, \
+             session opens/closes, pin warnings).")
+  in
+  let run addr json http sessions events =
     match http with
     | Some port -> (
         match http_get_metrics port with
@@ -1083,22 +1238,46 @@ let stats_cmd =
             Printf.eprintf "cannot connect to %s: %s\n"
               (Server.addr_to_string addr) e;
             exit exit_error
-        | Ok c -> (
-            let r = Client.stats c in
-            Client.close c;
-            match r with
-            | Error e ->
-                Printf.eprintf "stats failed: %s\n" e;
-                exit exit_error
-            | Ok body ->
-                if json then print_endline body
-                else (
-                  match parse_stats_json body with
-                  | pairs -> print_string (render_stats_table pairs)
-                  | exception Bad_stats_json ->
-                      (* unknown shape: still show the raw payload *)
-                      print_endline body);
-                exit exit_pass))
+        | Ok c ->
+            if sessions || events then begin
+              let r = Client.session_stats c in
+              Client.close c;
+              match r with
+              | Error e ->
+                  Printf.eprintf "session stats failed: %s\n" e;
+                  exit exit_error
+              | Ok (ss, evs, dropped) ->
+                  if sessions then
+                    if ss = [] then print_endline "no live sessions"
+                    else print_string (render_sessions_table ss);
+                  if events then begin
+                    if sessions then print_newline ();
+                    if evs = [] then print_endline "no journal events"
+                    else print_string (render_events evs);
+                    if dropped > 0 then
+                      Printf.printf
+                        "(journal ring overflowed: %d older events dropped)\n"
+                        dropped
+                  end;
+                  exit exit_pass
+            end
+            else begin
+              let r = Client.stats c in
+              Client.close c;
+              match r with
+              | Error e ->
+                  Printf.eprintf "stats failed: %s\n" e;
+                  exit exit_error
+              | Ok body ->
+                  if json then print_endline body
+                  else (
+                    match parse_stats_json body with
+                    | pairs -> print_string (render_stats_table pairs)
+                    | exception Bad_stats_json ->
+                        (* unknown shape: still show the raw payload *)
+                        print_endline body);
+                  exit exit_pass
+            end)
   in
   Cmd.v
     (Cmd.info "stats" ~exits:verdict_exits
@@ -1106,8 +1285,123 @@ let stats_cmd =
          "Fetch a running daemon's metrics snapshot — over the wire \
           protocol (default, printed as an aligned table or raw JSON with \
           $(b,--json)), or over HTTP from the Prometheus endpoint with \
-          $(b,--metrics-http).")
-    Term.(const run $ addr_arg $ json_arg $ http_arg)
+          $(b,--metrics-http).  $(b,--sessions) and $(b,--events) switch \
+          to per-session telemetry and the structured event journal.")
+    Term.(const run $ addr_arg $ json_arg $ http_arg $ sessions_arg
+          $ events_arg)
+
+(* ------------------------------------------------------------------ *)
+(* mtc top — live session view. *)
+
+let top_cmd =
+  let addr_arg =
+    Arg.(
+      value
+      & opt addr_conv (Server.A_unix "/tmp/mtc.sock")
+      & info [ "addr"; "a" ] ~docv:"ADDR"
+          ~doc:"Server address: $(b,unix:PATH) or $(b,tcp:HOST:PORT).")
+  in
+  let interval_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "interval"; "i" ] ~docv:"SECONDS"
+          ~doc:"Refresh interval.")
+  in
+  let once_arg =
+    Arg.(
+      value & flag
+      & info [ "once" ]
+          ~doc:
+            "Render a single frame (no screen clearing) and exit — for \
+             scripts and smoke tests.")
+  in
+  let max_rows = 20 in
+  let ticker_events = 8 in
+  let render ~clear c =
+    match Client.session_stats c with
+    | Error e -> Error e
+    | Ok (ss, evs, dropped) ->
+        let b = Buffer.create 4096 in
+        if clear then Buffer.add_string b "\027[2J\027[H";
+        let pinned =
+          List.length (List.filter (fun s -> s.Wire.ss_pinned) ss)
+        in
+        Buffer.add_string b
+          (Printf.sprintf "mtc top — %s — %d sessions%s%s\n\n"
+             (Client.server_name c) (List.length ss)
+             (if pinned > 0 then Printf.sprintf ", %d PINNED" pinned else "")
+             (if dropped > 0 then
+                Printf.sprintf " (journal dropped %d)" dropped
+              else ""));
+        if ss = [] then Buffer.add_string b "no live sessions\n"
+        else begin
+          (* worst offenders first: sessions holding the GC horizon back *)
+          let sorted =
+            List.sort
+              (fun a b ->
+                compare
+                  (b.Wire.ss_lag, b.Wire.ss_live_words, a.Wire.ss_sid)
+                  (a.Wire.ss_lag, a.Wire.ss_live_words, b.Wire.ss_sid))
+              ss
+          in
+          let shown = List.filteri (fun i _ -> i < max_rows) sorted in
+          Buffer.add_string b (render_sessions_table shown);
+          if List.length sorted > max_rows then
+            Buffer.add_string b
+              (Printf.sprintf "… and %d more\n"
+                 (List.length sorted - max_rows))
+        end;
+        (match evs with
+        | [] -> ()
+        | evs ->
+            Buffer.add_string b "\nrecent events:\n";
+            let n = List.length evs in
+            let tail =
+              List.filteri (fun i _ -> i >= n - ticker_events) evs
+            in
+            Buffer.add_string b (render_events tail));
+        print_string (Buffer.contents b);
+        flush stdout;
+        Ok ()
+  in
+  let run addr interval once =
+    match Client.connect addr with
+    | Error e ->
+        Printf.eprintf "cannot connect to %s: %s\n"
+          (Server.addr_to_string addr) e;
+        exit exit_error
+    | Ok c ->
+        let fail e =
+          Client.close c;
+          Printf.eprintf "mtc top: %s\n" e;
+          exit exit_error
+        in
+        if once then (
+          match render ~clear:false c with
+          | Ok () ->
+              Client.close c;
+              exit exit_pass
+          | Error e -> fail e)
+        else begin
+          let rec loop () =
+            match render ~clear:true c with
+            | Error e -> fail e
+            | Ok () ->
+                Unix.sleepf (Float.max 0.05 interval);
+                loop ()
+          in
+          loop ()
+        end
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live view of a running daemon: sessions sorted by watermark \
+          lag (the quantity that pins the GC horizon), with queue depth, \
+          live words and idle time, plus a ticker of recent journal \
+          events.  Refreshes every $(b,--interval) seconds until \
+          interrupted; $(b,--once) renders a single frame for scripts.")
+    Term.(const run $ addr_arg $ interval_arg $ once_arg)
 
 (* ------------------------------------------------------------------ *)
 (* mtc wal-dump — inspect a persistence directory. *)
@@ -1188,7 +1482,7 @@ let wal_dump_cmd =
               | Wal.R_close { sid } -> Printf.printf "  close sid=%d\n" sid)
             records
         else begin
-          (* per-session summary: feeds and seq range *)
+          (* per-session summary: feeds, seq range and GC policy *)
           let tbl = Hashtbl.create 8 in
           List.iter
             (fun r ->
@@ -1196,14 +1490,14 @@ let wal_dump_cmd =
                 let cur =
                   Option.value
                     (Hashtbl.find_opt tbl sid)
-                    ~default:(false, 0, 0, false)
+                    ~default:(None, 0, 0, false)
                 in
                 Hashtbl.replace tbl sid (f cur)
               in
               match r with
-              | Wal.R_open { sid; _ } ->
+              | Wal.R_open { sid; gc; _ } ->
                   touch sid (fun (_, feeds, mx, closed) ->
-                      (true, feeds, mx, closed))
+                      (Some gc, feeds, mx, closed))
               | Wal.R_feed { sid; seq; _ } ->
                   touch sid (fun (opened, feeds, mx, closed) ->
                       (opened, feeds + 1, Stdlib.max mx seq, closed))
@@ -1216,7 +1510,12 @@ let wal_dump_cmd =
           |> List.iter (fun (sid, (opened, feeds, mx, closed)) ->
                  Printf.printf
                    "  session %d: %s%d feeds, last seq %d%s\n" sid
-                   (if opened then "opened, " else "")
+                   (match opened with
+                   | None -> ""
+                   | Some Online.Gc_off -> "opened, "
+                   | Some gc ->
+                       Printf.sprintf "opened (gc %s), "
+                         (Online.gc_to_string gc))
                    feeds mx
                    (if closed then ", closed" else ""))
         end
@@ -1339,5 +1638,5 @@ let () =
           (Cmd.info "mtc" ~version:"1.0.0" ~doc ~exits:verdict_exits)
           [
             check_cmd; run_cmd; gen_cmd; hunt_cmd; graph_cmd; anomalies_cmd;
-            serve_cmd; feed_cmd; stats_cmd; wal_dump_cmd; swarm_cmd;
+            serve_cmd; feed_cmd; stats_cmd; top_cmd; wal_dump_cmd; swarm_cmd;
           ]))

@@ -188,6 +188,22 @@ let gc_runs t = t.gc_runs
 let gc_last_ns t = t.gc_last_ns
 let gc_reclaimed_words t = t.gc_reclaimed
 
+(* The GC horizon as it stands right now: the minimum arrival position
+   across per-session frontiers (what a compaction running at this
+   instant would use for H).  -1 before any session has fed. *)
+let watermark_pos t =
+  let n = Int_vec.length t.sl_pos in
+  if n = 0 then -1
+  else begin
+    let h = ref max_int in
+    for i = 0 to n - 1 do
+      if Int_vec.get t.sl_pos i < !h then h := Int_vec.get t.sl_pos i
+    done;
+    !h
+  end
+
+let frontier_sessions t = Int_vec.length t.sl_pos
+
 (* Rough live size in words of every structure the checker retains.
    O(physical vertices) — the adjacency walk in {!Pearce_kelly.words}
    dominates — so the auto-GC trigger samples it periodically rather

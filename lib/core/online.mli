@@ -139,6 +139,19 @@ val live_words : t -> int
     structures.  O(live vertices); the auto-GC trigger samples it every
     64 feeds. *)
 
+val watermark_pos : t -> int
+(** The GC horizon as it stands right now: the minimum arrival
+    position across the per-session frontiers (the [H] a compaction
+    run at this instant would use), or [-1] before any session has
+    fed.  [txns_seen t - watermark_pos t] is the watermark lag — how
+    many arrivals the slowest internal stream session trails the
+    head, i.e. how much of the stream a stalled session is pinning
+    against GC.  O(stream sessions). *)
+
+val frontier_sessions : t -> int
+(** Number of distinct stream sessions that have fed this checker
+    (the frontier table's width). *)
+
 type stats = {
   s_txns_seen : int;  (** transactions fed (committed + aborted) *)
   s_vertices : int;  (** graph vertices allocated (incl. SI/SSER helpers) *)

@@ -6,5 +6,6 @@ module Metrics = Obs_metrics
 module Counter = Obs_metrics.Counter
 module Gauge = Obs_metrics.Gauge
 module Trace = Obs_trace
+module Journal = Obs_journal
 module Export = Obs_export
 module Profile = Obs_profile

@@ -37,7 +37,7 @@ type t = {
   dir : string;
   nshards : int;
   sync : Wal.sync;
-  on_fsync : unit -> unit;
+  on_fsync : int -> unit;  (* fsync duration ns, forwarded to Wal *)
   gens : int array;  (* per shard *)
   wals : Wal.writer array;
 }
@@ -177,7 +177,7 @@ let checkpoint_files ~dir ~nshards ~sync ~on_fsync ~gen ~next_sid entries_of =
   fsync_dir dir;
   wals
 
-let open_dir ?(on_fsync = fun () -> ()) ~dir ~nshards ~sync ~render () =
+let open_dir ?(on_fsync = fun _ -> ()) ~dir ~nshards ~sync ~render () =
   if nshards <= 0 then invalid_arg "Persist.open_dir: nshards must be > 0";
   match
     mkdir_p dir;

@@ -33,7 +33,7 @@ type replay_stats = {
 type t
 
 val open_dir :
-  ?on_fsync:(unit -> unit) ->
+  ?on_fsync:(int -> unit) ->
   dir:string ->
   nshards:int ->
   sync:Wal.sync ->
@@ -45,7 +45,8 @@ val open_dir :
     floor (strictly above every restored sid).  [render] turns a
     violation found during replay into its [(anomaly, rendered)] pair —
     pass the exact renderer the live server uses, byte-identity of
-    counterexamples depends on it.  [on_fsync] is the metrics hook. *)
+    counterexamples depends on it.  [on_fsync] is the metrics hook,
+    called with each fsync's duration in ns. *)
 
 val dir : t -> string
 

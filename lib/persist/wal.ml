@@ -160,7 +160,7 @@ type writer = {
       (* group commit: encoded len+payload+crc blocks accumulate here
          and reach the kernel in one [write] per {!flush} *)
   sync : sync;
-  on_fsync : unit -> unit;
+  on_fsync : int -> unit;  (* called with the fsync's duration in ns *)
   mutable unsynced : int;
   mutable bytes : int;
   mutable closed : bool;
@@ -188,11 +188,12 @@ let flush w =
 
 let fsync w =
   flush w;
+  let t0 = Obs.Clock.now_ns () in
   Unix.fsync w.fd;
   w.unsynced <- 0;
-  w.on_fsync ()
+  w.on_fsync (Obs.Clock.now_ns () - t0)
 
-let create ?(on_fsync = fun () -> ()) ~path ~shard ~nshards ~gen ~sync () =
+let create ?(on_fsync = fun _ -> ()) ~path ~shard ~nshards ~gen ~sync () =
   let fd =
     Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
   in

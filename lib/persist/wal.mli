@@ -43,7 +43,7 @@ type header = { h_version : int; h_shard : int; h_nshards : int; h_gen : int }
 type writer
 
 val create :
-  ?on_fsync:(unit -> unit) ->
+  ?on_fsync:(int -> unit) ->
   path:string ->
   shard:int ->
   nshards:int ->
@@ -52,7 +52,8 @@ val create :
   unit ->
   writer
 (** Create (truncating) a WAL at [path] and write its header.
-    [on_fsync] is invoked after every fsync — the metrics hook. *)
+    [on_fsync] is invoked after every fsync with the fsync's measured
+    duration in ns — the metrics / stall-detection hook. *)
 
 val append : writer -> record -> int
 (** Append one record to the group-commit buffer and apply the sync

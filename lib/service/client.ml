@@ -217,6 +217,7 @@ let reason_message sid reason =
     | Wire.R_requested -> "requested"
     | Wire.R_idle -> "idle timeout"
     | Wire.R_shutdown -> "server shutdown"
+    | Wire.R_pinned -> "fenced: pinned the GC horizon"
     | Wire.R_protocol m -> "protocol: " ^ m)
 
 (* Waits whose terminal frames include [Session_closed] for our session
@@ -263,6 +264,20 @@ let stats t =
       match
         next_matching t ~want:(function
           | Wire.Stats_reply { json } -> Some (Ok json)
+          | Wire.Error { msg; _ } -> Some (Result.Error msg)
+          | _ -> None)
+      with
+      | Ok r -> r
+      | Result.Error _ as e -> e)
+
+let session_stats t =
+  match send t Wire.Session_stats_request with
+  | Result.Error _ as e -> e
+  | Ok () -> (
+      match
+        next_matching t ~want:(function
+          | Wire.Session_stats_reply { sessions; events; journal_dropped } ->
+              Some (Ok (sessions, events, journal_dropped))
           | Wire.Error { msg; _ } -> Some (Result.Error msg)
           | _ -> None)
       with

@@ -59,6 +59,14 @@ val sync : t -> sid:int -> (Wire.verdict, string) result
 val stats : t -> (string, string) result
 (** The server's metrics snapshot as JSON. *)
 
+val session_stats :
+  t ->
+  (Wire.session_stat list * Wire.journal_event list * int, string) result
+(** Per-session telemetry plus the tail of the server's event journal
+    (newest events, capped server-side) and the journal's cumulative
+    dropped-event count — the wire behind [mtc stats --sessions],
+    [--events] and [mtc top]. *)
+
 val close_session : t -> sid:int -> (unit, string) result
 
 val session_closed : t -> sid:int -> Wire.close_reason option

@@ -30,6 +30,8 @@ type t = {
   gc_reclaimed_words : Obs.Counter.t;
   live_words : Obs.Gauge.t;
   gc_last_reclaimed : Obs.Gauge.t;
+  horizon_pinned : Obs.Gauge.t;
+  pin_fences : Obs.Counter.t;
   feed_ns : Obs.Histogram.t;
   feed_words : Obs.Histogram.t;
   gc_ns : Obs.Histogram.t;
@@ -94,6 +96,14 @@ let create () =
       ~help:"Words reclaimed by the most recent compaction"
       "mtc_gc_last_reclaimed_words"
   in
+  let horizon_pinned =
+    Obs.Metrics.gauge reg
+      ~help:"Sessions currently flagged by the horizon-pin detector"
+      "mtc_horizon_pinned_sessions"
+  in
+  let pin_fences =
+    c "Sessions force-closed by the horizon-pin fence" "mtc_pin_fences_total"
+  in
   let feed_ns =
     Obs.Metrics.histogram reg ~help:"Per-feed processing time (nanoseconds)"
       "mtc_feed_ns"
@@ -131,6 +141,8 @@ let create () =
     gc_reclaimed_words;
     live_words;
     gc_last_reclaimed;
+    horizon_pinned;
+    pin_fences;
     feed_ns;
     feed_words;
     gc_ns;
@@ -173,6 +185,8 @@ let gc_run t ~ns ~reclaimed =
   Obs.Histogram.observe t.gc_ns ns
 
 let live_words t n = Obs.Gauge.set t.live_words n
+let pinned_sessions t n = Obs.Gauge.set t.horizon_pinned n
+let pin_fence t = Obs.Counter.incr t.pin_fences
 
 let txns_fed t = Obs.Counter.get t.txns_fed
 let violations t = Obs.Counter.get t.violations
@@ -192,6 +206,8 @@ let gc_runs t = Obs.Counter.get t.gc_runs
 let gc_reclaimed_words t = Obs.Counter.get t.gc_reclaimed_words
 let live_words_now t = Obs.Gauge.get t.live_words
 let gc_p99_ns t = Obs.Histogram.percentile t.gc_ns 99.0
+let pinned_sessions_now t = Obs.Gauge.get t.horizon_pinned
+let pin_fences t = Obs.Counter.get t.pin_fences
 let feed_words_p50 t = Obs.Histogram.percentile t.feed_words 50.0
 let feed_words_p99 t = Obs.Histogram.percentile t.feed_words 99.0
 
@@ -208,6 +224,7 @@ let to_json t =
      \"replay_frames\":%d,\"replay_ms\":%d,\"open_conns\":%d,\
      \"epoll_wakeups\":%d,\"gc_runs\":%d,\"gc_reclaimed_words\":%d,\
      \"live_words\":%d,\"gc_last_reclaimed_words\":%d,\
+     \"horizon_pinned_sessions\":%d,\"pin_fences\":%d,\
      \"feed_ns\":{\"count\":%d,\"mean\":%.0f,\"p50\":%d,\"p99\":%d,\
      \"max\":%d},\
      \"feed_words\":{\"count\":%d,\"mean\":%.0f,\"p50\":%d,\"p99\":%d,\
@@ -237,6 +254,8 @@ let to_json t =
     (Obs.Counter.get t.gc_reclaimed_words)
     (Obs.Gauge.get t.live_words)
     (Obs.Gauge.get t.gc_last_reclaimed)
+    (Obs.Gauge.get t.horizon_pinned)
+    (Obs.Counter.get t.pin_fences)
     ns.Obs.Histogram.s_count
     (Obs.Histogram.mean_of ns)
     (Obs.Histogram.percentile_of ns 50.0)

@@ -67,6 +67,13 @@ val live_words : t -> int -> unit
 (** Current aggregate live-word estimate across all online checkers
     (gauge; the server refreshes it after feeds and compactions). *)
 
+val pinned_sessions : t -> int -> unit
+(** Current count of sessions flagged by the horizon-pin detector
+    (gauge; the janitor recomputes it each tick). *)
+
+val pin_fence : t -> unit
+(** One session force-closed by the [--pin-fence close] policy. *)
+
 (** {1 Reading} *)
 
 val txns_fed : t -> int
@@ -94,6 +101,9 @@ val live_words_now : t -> int
 val gc_p99_ns : t -> int
 (** Compaction-pause p99; same bucket-edge caveat as the latency
     percentiles. *)
+
+val pinned_sessions_now : t -> int
+val pin_fences : t -> int
 
 val feed_words_p50 : t -> int
 val feed_words_p99 : t -> int

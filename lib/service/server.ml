@@ -97,7 +97,19 @@ type config = {
   gc : Online.gc;
       (** default watermark-GC policy for new sessions; an
           [Open_session] frame may override it per session *)
+  pin_warn_after : float;
+      (** horizon-pin detector: flag a session whose feed frontier has
+          not advanced for this many seconds while it still retains
+          live words; <= 0 disables *)
+  pin_fence : pin_fence;
+      (** what to do with a flagged session beyond the journal event
+          and the [horizon_pinned_sessions] gauge *)
+  journal : string option;
+      (** JSONL sink for the {!Obs.Journal} event stream; [None] = no
+          file (events still reach [Session_stats] replies) *)
 }
+
+and pin_fence = Fence_off | Fence_close
 
 let default_config =
   {
@@ -115,6 +127,9 @@ let default_config =
     snapshot_every = 0;
     final_checkpoint = true;
     gc = Online.Gc_off;
+    pin_warn_after = 0.0;
+    pin_fence = Fence_off;
+    journal = None;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -155,6 +170,17 @@ type session = {
   mutable lw_seen : int;
       (** this session's last-sampled {!Online.live_words} contribution
           to the aggregate gauge; owning shard only *)
+  opened_at : float;
+  mutable feeds : int;
+      (** feeds accepted over the session's lifetime.  Written by the
+          owning shard only; the janitor and the telemetry path read it
+          without [smu] — a plain int, so a stale read is the worst
+          case *)
+  mutable pin_frontier : int;  (** [feeds] at the last progress check *)
+  mutable pin_since : float;  (** when [pin_frontier] last advanced *)
+  mutable pinned : bool;
+      (** flagged by the horizon-pin detector.  Janitor-only writes;
+          racy reads from the telemetry path are fine *)
 }
 
 and conn = {
@@ -231,6 +257,12 @@ type t = {
   mutable shard_runner : Thread.t option;
   mutable ev_thread : Thread.t option;
   mutable janitor : Thread.t option;
+  mutable journal_out : out_channel option;
+      (** JSONL sink; written by the janitor's periodic drain and the
+          final drain in {!stop} (which joins the janitor first) *)
+  journal_wall_off : float;
+      (** wall-clock seconds minus monotonic seconds at startup, to
+          stamp journal events with wall time at drain *)
   mutable metrics_listener : (Unix.file_descr * int) option;
   mutable metrics_thread : Thread.t option;
 }
@@ -296,6 +328,14 @@ let render_parts level v =
   (anomaly, rendered)
 
 let low_water capacity = Stdlib.max 1 (capacity / 4)
+
+(* Close reasons as journal payload words (mirrors the wire bytes). *)
+let reason_code = function
+  | Wire.R_requested -> 0
+  | Wire.R_idle -> 1
+  | Wire.R_shutdown -> 2
+  | Wire.R_protocol _ -> 3
+  | Wire.R_pinned -> 4
 
 (* Make the session's shard service it; a no-op if it is already queued
    (the shard re-checks the item queue before going idle). *)
@@ -410,7 +450,10 @@ let process_session t s =
       let send_ep frame =
         match ep with Some c -> send t c frame | None -> ()
       in
-      if resume then send_ep (Wire.Resume { sid = s.sid });
+      if resume then begin
+        Obs.Journal.emit Obs.Journal.Throttle_off ~a:s.sid ~b:0 ~c:0;
+        send_ep (Wire.Resume { sid = s.sid })
+      end;
       (if unpause then
          match ep with Some c -> post t (A_unpause (c, s)) | None -> ());
       if t.config.drain_delay > 0.0 then Unix.sleepf t.config.drain_delay;
@@ -432,6 +475,8 @@ let process_session t s =
           send_ep (Wire.Session_opened { sid = s.sid });
           loop ()
       | I_resume ->
+          Obs.Journal.emit Obs.Journal.Session_resume ~a:s.sid ~b:s.last_seq
+            ~c:0;
           send_ep
             (Wire.Session_resumed { sid = s.sid; last_seq = s.last_seq });
           loop ()
@@ -443,6 +488,7 @@ let process_session t s =
           else begin
             wal_append t s (Wal.R_feed { sid = s.sid; seq; txn });
             if seq > s.last_seq then s.last_seq <- seq;
+            s.feeds <- s.feeds + 1;
             let sh = s.shard in
             sh.feeds_since_snap <- sh.feeds_since_snap + 1;
             (if
@@ -475,8 +521,11 @@ let process_session t s =
                    reclaim to this feed *)
                 let note_gc () =
                   if Online.gc_runs online > g0 then begin
-                    Metrics.gc_run m ~ns:(Online.gc_last_ns online)
-                      ~reclaimed:(Online.gc_reclaimed_words online - r0);
+                    let pause = Online.gc_last_ns online in
+                    let reclaimed = Online.gc_reclaimed_words online - r0 in
+                    Metrics.gc_run m ~ns:pause ~reclaimed;
+                    Obs.Journal.emit Obs.Journal.Gc_compact ~a:s.sid ~b:pause
+                      ~c:reclaimed;
                     refresh_live t s online
                   end
                 in
@@ -497,6 +546,7 @@ let process_session t s =
                       render_parts s.meta.Snapshot_store.level v
                     in
                     s.checker <- S_poisoned { anomaly; rendered };
+                    Obs.Journal.emit Obs.Journal.Poison ~a:s.sid ~b:0 ~c:0;
                     drop_live t s;
                     Metrics.feed m
                       ~ns:(int_of_float ((now () -. t0) *. 1e9))
@@ -517,6 +567,9 @@ let process_session t s =
                     Mutex.unlock s.smu;
                     wal_close_record t s;
                     Metrics.protocol_error m;
+                    Obs.Journal.emit Obs.Journal.Session_close ~a:s.sid
+                      ~b:(reason_code (Wire.R_protocol msg))
+                      ~c:0;
                     send_ep
                       (Wire.Session_closed
                          { sid = s.sid; reason = Wire.R_protocol msg });
@@ -543,6 +596,8 @@ let process_session t s =
           loop ()
       | I_close reason ->
           wal_close_record t s;
+          Obs.Journal.emit Obs.Journal.Session_close ~a:s.sid
+            ~b:(reason_code reason) ~c:0;
           send_ep (Wire.Session_closed { sid = s.sid; reason });
           Metrics.session_closed m;
           finish t s
@@ -580,7 +635,10 @@ let do_checkpoint t sh =
       in
       Mutex.unlock t.rmu;
       (match Persist.checkpoint p ~shard:sh.ix ~next_sid entries with
-      | () -> Metrics.snapshot t.config.metrics
+      | () ->
+          Metrics.snapshot t.config.metrics;
+          Obs.Journal.emit Obs.Journal.Snapshot ~a:sh.ix
+            ~b:(List.length entries) ~c:0
       | exception (Unix.Unix_error _ | Sys_error _) ->
           if not (Atomic.exchange wal_warned true) then
             prerr_endline "mtc-serve: checkpoint failed; continuing");
@@ -808,6 +866,11 @@ let open_session t conn ~level ~num_keys ~skew ~ts ~gc =
       smu = Mutex.create ();
       last_activity = now ();
       lw_seen = 0;
+      opened_at = now ();
+      feeds = 0;
+      pin_frontier = 0;
+      pin_since = now ();
+      pinned = false;
     }
   in
   Mutex.lock t.rmu;
@@ -817,6 +880,7 @@ let open_session t conn ~level ~num_keys ~skew ~ts ~gc =
   Hashtbl.replace conn.sessions sid s;
   Mutex.unlock conn.cmu;
   Metrics.session_opened t.config.metrics;
+  Obs.Journal.emit Obs.Journal.Session_open ~a:sid ~b:s.shard_ix ~c:0;
   (* the shard WALs the open and then sends [Session_opened], so the sid
      the client learns is already durable *)
   force_enqueue s I_open
@@ -843,6 +907,7 @@ let enqueue_bounded t conn s item =
     (match announce with
     | Some queued ->
         Metrics.throttle t.config.metrics;
+        Obs.Journal.emit Obs.Journal.Throttle_on ~a:s.sid ~b:queued ~c:0;
         send t conn (Wire.Throttle { sid = s.sid; queued })
     | None -> ());
     `Full
@@ -878,6 +943,78 @@ let resume_session t conn sid =
       Hashtbl.replace conn.sessions sid s;
       Mutex.unlock conn.cmu;
       force_enqueue s I_resume
+
+(* ------------------------------------------------------------------ *)
+(* Per-session telemetry.  Reading a live checker's counters from here
+   (the evloop or metrics thread) races the owning shard: OCaml makes
+   the reads memory-safe, and every field consulted is a plain int, so
+   the worst case is a snapshot a feed stale — fine for telemetry,
+   never for verdicts. *)
+
+let session_stat s =
+  let nowf = now () in
+  Mutex.lock s.smu;
+  let queued = s.queued
+  and last_activity = s.last_activity
+  and pinned = s.pinned in
+  Mutex.unlock s.smu;
+  let poisoned, frontier, watermark =
+    match s.checker with
+    | S_poisoned _ -> (true, 0, -1)
+    | S_live online -> (false, Online.txns_seen online, Online.watermark_pos online)
+  in
+  {
+    Wire.ss_sid = s.sid;
+    ss_shard = s.shard_ix;
+    ss_level = s.meta.Snapshot_store.level;
+    ss_poisoned = poisoned;
+    ss_pinned = pinned;
+    ss_frontier = frontier;
+    ss_watermark = watermark;
+    ss_lag = (if watermark < 0 then 0 else frontier - watermark);
+    ss_live_words = Stdlib.max 0 s.lw_seen;
+    ss_queued = queued;
+    ss_last_seq = s.last_seq;
+    ss_feeds = s.feeds;
+    ss_age_ms = int_of_float ((nowf -. s.opened_at) *. 1e3);
+    ss_idle_ms = Stdlib.max 0 (int_of_float ((nowf -. last_activity) *. 1e3));
+  }
+
+let session_stats t =
+  Mutex.lock t.rmu;
+  let ss =
+    Hashtbl.fold
+      (fun _ s acc -> if s.finished then acc else s :: acc)
+      t.registry []
+  in
+  Mutex.unlock t.rmu;
+  List.map session_stat ss
+  |> List.sort (fun a b -> compare a.Wire.ss_sid b.Wire.ss_sid)
+
+(* The newest journal events, capped so a [Session_stats_reply] stays a
+   small frame even with full rings. *)
+let reply_events_cap = 256
+
+let journal_events_for_reply () =
+  let evs = Obs.Journal.events () in
+  let n = List.length evs in
+  let evs =
+    if n <= reply_events_cap then evs
+    else
+      List.filteri (fun i _ -> i >= n - reply_events_cap) evs
+  in
+  let now_ns = Obs.Clock.now_ns () in
+  List.map
+    (fun (e : Obs.Journal.event) ->
+      {
+        Wire.je_kind = e.Obs.Journal.j_kind;
+        je_age_ms = Stdlib.max 0 ((now_ns - e.Obs.Journal.j_t) / 1_000_000);
+        je_dom = e.Obs.Journal.j_dom;
+        je_a = e.Obs.Journal.j_a;
+        je_b = e.Obs.Journal.j_b;
+        je_c = e.Obs.Journal.j_c;
+      })
+    evs
 
 (* One frame in [C_ready].  [`Paused s] = queue full, frame unconsumed. *)
 let handle_ready t conn frame =
@@ -920,12 +1057,22 @@ let handle_ready t conn frame =
   | Wire.Stats_request ->
       send t conn (Wire.Stats_reply { json = Metrics.to_json m });
       `Consumed
+  | Wire.Session_stats_request ->
+      send t conn
+        (Wire.Session_stats_reply
+           {
+             sessions = session_stats t;
+             events = journal_events_for_reply ();
+             journal_dropped = Obs.Journal.dropped ();
+           });
+      `Consumed
   | Wire.Bye ->
       start_drain t conn ~reason:Wire.R_requested;
       `Consumed
   | Wire.Hello _ | Wire.Welcome _ | Wire.Session_opened _ | Wire.Verdict _
   | Wire.Throttle _ | Wire.Resume _ | Wire.Stats_reply _
-  | Wire.Session_closed _ | Wire.Error _ | Wire.Session_resumed _ ->
+  | Wire.Session_closed _ | Wire.Error _ | Wire.Session_resumed _
+  | Wire.Session_stats_reply _ ->
       Metrics.protocol_error m;
       send t conn
         (Wire.Error
@@ -1206,11 +1353,47 @@ let ev_loop t =
    only reads atomics and histogram snapshots, so it never blocks the
    checking shards. *)
 
-let metrics_body config =
+(* Labeled per-session series are emitted directly (the {!Obs.Metrics}
+   instruments are label-free), plus the observability substrate's own
+   overflow counters so ring drops are visible to a scraper. *)
+let session_series stats =
+  let b = Buffer.create 512 in
+  let family name help value =
+    Buffer.add_string b
+      (Printf.sprintf "# HELP %s %s\n# TYPE %s gauge\n" name help name);
+    List.iter
+      (fun (s : Wire.session_stat) ->
+        Buffer.add_string b
+          (Printf.sprintf "%s{sid=\"%d\"} %d\n" name s.Wire.ss_sid (value s)))
+      stats
+  in
+  family "mtc_session_lag" "Arrivals this session pins against GC"
+    (fun s -> s.Wire.ss_lag);
+  family "mtc_session_live_words" "Retained-memory estimate (words)"
+    (fun s -> s.Wire.ss_live_words);
+  family "mtc_session_queue" "Ingress queue depth" (fun s -> s.Wire.ss_queued);
+  family "mtc_session_feeds" "Feeds accepted over the session's lifetime"
+    (fun s -> s.Wire.ss_feeds);
+  family "mtc_session_pinned" "1 when flagged by the horizon-pin detector"
+    (fun s -> if s.Wire.ss_pinned then 1 else 0);
+  Buffer.contents b
+
+let metrics_body t =
+  let config = t.config in
   Printf.sprintf "# TYPE mtc_uptime_seconds gauge\nmtc_uptime_seconds %.3f\n"
     (Metrics.uptime_s config.metrics)
   ^ Obs.Export.prometheus (Metrics.registry config.metrics)
   ^ Obs.Export.prometheus Obs.Metrics.default
+  ^ Printf.sprintf
+      "# HELP mtc_trace_dropped_spans Spans lost to ring overwrite\n\
+       # TYPE mtc_trace_dropped_spans counter\n\
+       mtc_trace_dropped_spans %d\n\
+       # HELP mtc_journal_dropped_events Journal events lost to ring \
+       overwrite\n\
+       # TYPE mtc_journal_dropped_events counter\n\
+       mtc_journal_dropped_events %d\n"
+      (Obs.Trace.dropped ()) (Obs.Journal.dropped ())
+  ^ session_series (session_stats t)
 
 let http_response ~status ~content_type body =
   Printf.sprintf
@@ -1218,7 +1401,7 @@ let http_response ~status ~content_type body =
      close\r\n\r\n%s"
     status content_type (String.length body) body
 
-let serve_metrics_request config fd =
+let serve_metrics_request t fd =
   let buf = Bytes.create 1024 in
   let n = try Unix.read fd buf 0 1024 with Unix.Unix_error _ -> 0 in
   let req = Bytes.sub_string buf 0 (Stdlib.max n 0) in
@@ -1227,7 +1410,7 @@ let serve_metrics_request config fd =
     | "GET" :: path :: _ when path = "/metrics" || path = "/" ->
         http_response ~status:"200 OK"
           ~content_type:"text/plain; version=0.0.4; charset=utf-8"
-          (metrics_body config)
+          (metrics_body t)
     | "GET" :: _ ->
         http_response ~status:"404 Not Found" ~content_type:"text/plain"
           "not found (try /metrics)\n"
@@ -1258,7 +1441,7 @@ let metrics_loop t lsock =
               Fun.protect
                 ~finally:(fun () ->
                   try Unix.close fd with Unix.Unix_error _ -> ())
-                (fun () -> serve_metrics_request t.config fd)
+                (fun () -> serve_metrics_request t fd)
           | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _)
             -> ())
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
@@ -1293,37 +1476,141 @@ let bind_addr = function
       in
       (sock, A_tcp (host, bound_port))
 
+(* JSONL journal drain: monotonic event times are mapped to wall clock
+   with the offset captured at startup.  Called from the janitor tick
+   and once more from {!stop} after the janitor has been joined. *)
+let drain_journal t =
+  match t.journal_out with
+  | None -> ()
+  | Some oc ->
+      (match Obs.Journal.drain () with
+      | [] -> ()
+      | evs ->
+          List.iter
+            (fun (e : Obs.Journal.event) ->
+              Printf.fprintf oc
+                "{\"ts\":%.6f,\"kind\":%S,\"dom\":%d,\"a\":%d,\"b\":%d,\
+                 \"c\":%d}\n"
+                (t.journal_wall_off +. (float_of_int e.Obs.Journal.j_t /. 1e9))
+                (Obs.Journal.kind_name e.Obs.Journal.j_kind)
+                e.Obs.Journal.j_dom e.Obs.Journal.j_a e.Obs.Journal.j_b
+                e.Obs.Journal.j_c)
+            evs;
+          Stdlib.flush oc)
+
+(* The horizon-pin detector: a session whose feed frontier has not
+   advanced for [pin_warn_after] seconds while it still retains live
+   words is pinning memory the watermark GC can never reclaim (its own
+   retained prefix, and — for a stream with a stalled internal session —
+   an ever-growing window).  Flag it (journal event + gauge), and under
+   [Fence_close] force-close it so the memory is released and the
+   aggregate live-words bound holds again.  Poisoned sessions are exempt
+   (their state was already dropped to the rendered text). *)
+let pin_sweep t nowf =
+  let warn = t.config.pin_warn_after in
+  Mutex.lock t.rmu;
+  let ss = Hashtbl.fold (fun _ s acc -> s :: acc) t.registry [] in
+  Mutex.unlock t.rmu;
+  let pinned_count = ref 0 in
+  List.iter
+    (fun s ->
+      let fence =
+        Mutex.lock s.smu;
+        let f =
+          if not (session_alive s) then false
+          else begin
+            let progress = s.feeds in
+            if progress <> s.pin_frontier then begin
+              s.pin_frontier <- progress;
+              s.pin_since <- nowf;
+              s.pinned <- false;
+              false
+            end
+            else if
+              s.pinned
+              || (nowf -. s.pin_since > warn && s.lw_seen > 0)
+            then begin
+              let first = not s.pinned in
+              s.pinned <- true;
+              incr pinned_count;
+              if first then begin
+                let stalled_ns =
+                  int_of_float ((nowf -. s.pin_since) *. 1e9)
+                in
+                Obs.Journal.emit Obs.Journal.Pin_warn ~a:s.sid ~b:stalled_ns
+                  ~c:s.lw_seen;
+                if t.config.pin_fence = Fence_close then begin
+                  Obs.Journal.emit Obs.Journal.Pin_fence ~a:s.sid
+                    ~b:stalled_ns ~c:0;
+                  Metrics.pin_fence t.config.metrics
+                end
+              end;
+              first && t.config.pin_fence = Fence_close
+            end
+            else false
+          end
+        in
+        Mutex.unlock s.smu;
+        f
+      in
+      if fence then force_enqueue s (I_close Wire.R_pinned))
+    ss;
+  Metrics.pinned_sessions t.config.metrics !pinned_count
+
 let janitor_loop t =
   let idle = t.config.idle_timeout in
-  let tick = Stdlib.min 0.5 (Stdlib.max 0.01 (idle /. 4.0)) in
+  let warn = t.config.pin_warn_after in
+  (* tick at a quarter of the shortest enabled period (or a lazy 0.2 s
+     when only the journal sink needs service) *)
+  let period =
+    List.fold_left
+      (fun acc p -> if p > 0.0 then Stdlib.min acc p else acc)
+      0.8 [ idle; warn ]
+  in
+  let tick = Stdlib.min 0.5 (Stdlib.max 0.01 (period /. 4.0)) in
   let rec loop () =
     if not (stopping t) then begin
       Thread.delay tick;
-      let deadline = now () -. idle in
-      Mutex.lock t.rmu;
-      let ss = Hashtbl.fold (fun _ s acc -> s :: acc) t.registry [] in
-      Mutex.unlock t.rmu;
-      List.iter
-        (fun s ->
-          let expire =
-            Mutex.lock s.smu;
-            (* detached (restored, unresumed) sessions are exempt: their
-               whole point is surviving quiet periods *)
-            let e =
-              session_alive s && s.ep <> None && s.last_activity < deadline
-            in
-            Mutex.unlock s.smu;
-            e
-          in
-          if expire then force_enqueue s (I_close Wire.R_idle))
-        ss;
+      let nowf = now () in
+      (if idle > 0.0 then begin
+         let deadline = nowf -. idle in
+         Mutex.lock t.rmu;
+         let ss = Hashtbl.fold (fun _ s acc -> s :: acc) t.registry [] in
+         Mutex.unlock t.rmu;
+         List.iter
+           (fun s ->
+             let expire =
+               Mutex.lock s.smu;
+               (* detached (restored, unresumed) sessions are exempt:
+                  their whole point is surviving quiet periods *)
+               let e =
+                 session_alive s && s.ep <> None && s.last_activity < deadline
+               in
+               Mutex.unlock s.smu;
+               e
+             in
+             if expire then force_enqueue s (I_close Wire.R_idle))
+           ss
+       end);
+      if warn > 0.0 then pin_sweep t nowf;
+      drain_journal t;
       loop ()
     end
   in
   loop ()
 
+(* An fsync slower than this is journalled as a stall (a=0: the hook is
+   shared across shards, so the event is unattributed). *)
+let wal_stall_ns = 5_000_000
+
 let start config =
   if config.listen = [] then invalid_arg "Server.start: no listen addresses";
+  (* The journal is always on while a server runs: its events are rare
+     (throttle flips, compactions, opens/closes, pin warnings — never
+     per-feed), so the cost is nil and the history is there when an
+     operator asks for it.  The module-level default stays disabled so
+     library users keep the zero-cost path. *)
+  Obs.Journal.enable ();
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> () (* not on this platform *));
   let nshards =
@@ -1337,7 +1624,10 @@ let start config =
     | Some dir -> (
         match
           Persist.open_dir
-            ~on_fsync:(fun () -> Metrics.wal_fsync config.metrics)
+            ~on_fsync:(fun ns ->
+              Metrics.wal_fsync config.metrics;
+              if ns > wal_stall_ns then
+                Obs.Journal.emit Obs.Journal.Wal_fsync_stall ~a:0 ~b:ns ~c:0)
             ~dir ~nshards ~sync:config.wal_sync
             ~render:(fun ~level v -> render_parts level v)
             ()
@@ -1385,6 +1675,12 @@ let start config =
       shard_runner = None;
       ev_thread = None;
       janitor = None;
+      journal_out =
+        Option.map
+          (fun path -> open_out_gen [ Open_append; Open_creat ] 0o644 path)
+          config.journal;
+      journal_wall_off =
+        Unix.gettimeofday () -. (float_of_int (Obs.Clock.now_ns ()) /. 1e9);
       metrics_listener = None;
       metrics_thread = None;
     }
@@ -1417,6 +1713,11 @@ let start config =
           smu = Mutex.create ();
           last_activity = now ();
           lw_seen = 0;
+          opened_at = now ();
+          feeds = 0;
+          pin_frontier = 0;
+          pin_since = now ();
+          pinned = false;
         }
       in
       Hashtbl.replace t.registry s.sid s;
@@ -1455,8 +1756,10 @@ let start config =
       Evloop.add t.ev lfd ~token ~read:true ~write:false)
     listeners;
   t.ev_thread <- Some (Thread.create ev_loop t);
-  if config.idle_timeout > 0.0 then
-    t.janitor <- Some (Thread.create janitor_loop t);
+  if
+    config.idle_timeout > 0.0 || config.pin_warn_after > 0.0
+    || t.journal_out <> None
+  then t.janitor <- Some (Thread.create janitor_loop t);
   t
 
 (* Final checkpoint, after every domain has stopped: single-threaded, so
@@ -1500,6 +1803,10 @@ let stop t =
     Option.iter Thread.join t.shard_runner;
     Pool.shutdown t.pool;
     final_persist t;
+    (* One last drain so close events from the shutdown itself land in
+       the sink; safe — the janitor (the only other drainer) is joined. *)
+    drain_journal t;
+    Option.iter close_out t.journal_out;
     Evloop.close t.ev
   end
 

@@ -39,6 +39,12 @@
 
 type addr = A_unix of string | A_tcp of string * int
 
+type pin_fence =
+  | Fence_off  (** detect and report only *)
+  | Fence_close
+      (** force-close a pinned session ([R_pinned]) so its retained
+          memory is released and the live-words bound holds again *)
+
 val addr_of_string : string -> (addr, string) result
 (** ["unix:PATH"] or ["tcp:HOST:PORT"] ([tcp::PORT] binds 127.0.0.1;
     port 0 asks the kernel for an ephemeral port — read the result back
@@ -79,13 +85,23 @@ type config = {
       (** default watermark-GC policy for new sessions
           ([mtc serve --gc-watermark]); an [Open_session] frame may
           override it per session *)
+  pin_warn_after : float;
+      (** seconds a session may stall (no feed progress while retaining
+          live words) before the janitor flags it as pinning the GC
+          horizon; [<= 0] disables the detector *)
+  pin_fence : pin_fence;
+      (** what to do with a flagged session; see {!pin_fence} *)
+  journal : string option;
+      (** JSONL sink for the {!Obs.Journal} event stream (appended,
+          created if missing); [None] = in-memory ring only *)
 }
 
 val default_config : config
 (** No listeners (callers must fill [listen]), queue of 1024, no idle
     timeout, {!Metrics.global}, auto shard count, no metrics port, no
     durability ([wal_dir = None], [Batch] sync, no automatic
-    snapshots), watermark GC off. *)
+    snapshots), watermark GC off, pin detector off ([Fence_off]), no
+    journal sink. *)
 
 type t
 

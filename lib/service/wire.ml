@@ -22,9 +22,11 @@ let magic = "MTCS"
    path of {!Ts}).  v3: [Resume_session]/[Session_resumed] re-attach a
    session that survived a server restart (the durable-service crash
    story).  v4: [Open_session] grew a trailing watermark-GC policy
-   ([None] = the server's default).  Other versions are refused at the
-   handshake. *)
-let version = 4
+   ([None] = the server's default).  v5: [Session_stats_request]/
+   [Session_stats_reply] expose per-session telemetry and the service
+   event journal, and sessions fenced by the horizon-pin detector close
+   with [R_pinned].  Other versions are refused at the handshake. *)
+let version = 5
 
 (* Hard ceiling on a single frame — a malformed or hostile length prefix
    must not make the server allocate gigabytes. *)
@@ -39,6 +41,36 @@ type close_reason =
   | R_idle
   | R_shutdown
   | R_protocol of string
+  | R_pinned
+
+(* One live session's telemetry inside a [Session_stats_reply]. *)
+type session_stat = {
+  ss_sid : int;
+  ss_shard : int;
+  ss_level : Checker.level;
+  ss_poisoned : bool;
+  ss_pinned : bool;
+  ss_frontier : int;  (* transactions fed to the checker *)
+  ss_watermark : int;  (* current GC horizon position; -1 before any feed *)
+  ss_lag : int;  (* frontier - watermark: arrivals pinned against GC *)
+  ss_live_words : int;
+  ss_queued : int;  (* ingress queue depth *)
+  ss_last_seq : int;
+  ss_feeds : int;  (* feeds accepted over the session's lifetime *)
+  ss_age_ms : int;
+  ss_idle_ms : int;  (* since the last frame from the client *)
+}
+
+(* One journal event inside a [Session_stats_reply]; ages are relative
+   to the moment the reply was built (monotonic clocks don't travel). *)
+type journal_event = {
+  je_kind : Obs.Journal.kind;
+  je_age_ms : int;
+  je_dom : int;
+  je_a : int;
+  je_b : int;
+  je_c : int;
+}
 
 type frame =
   | Hello of { version : int }
@@ -64,6 +96,12 @@ type frame =
   | Bye
   | Resume_session of { sid : int }
   | Session_resumed of { sid : int; last_seq : int }
+  | Session_stats_request
+  | Session_stats_reply of {
+      sessions : session_stat list;
+      events : journal_event list;
+      journal_dropped : int;
+    }
 
 (* Error codes carried by [Error] frames. *)
 let err_bad_magic = 1
@@ -105,6 +143,8 @@ let frame_name = function
   | Bye -> "bye"
   | Resume_session _ -> "resume-session"
   | Session_resumed _ -> "session-resumed"
+  | Session_stats_request -> "session-stats-request"
+  | Session_stats_reply _ -> "session-stats-reply"
 
 (* ------------------------------------------------------------------ *)
 (* Encoding. *)
@@ -129,6 +169,31 @@ let add_reason buf = function
   | R_protocol msg ->
       Buffer.add_char buf '\003';
       Binio.add_string buf msg
+  | R_pinned -> Buffer.add_char buf '\004'
+
+let add_session_stat buf s =
+  Binio.add_uvarint buf s.ss_sid;
+  Binio.add_uvarint buf s.ss_shard;
+  Buffer.add_char buf (Char.chr (level_to_byte s.ss_level));
+  Buffer.add_char buf (if s.ss_poisoned then '\001' else '\000');
+  Buffer.add_char buf (if s.ss_pinned then '\001' else '\000');
+  Binio.add_uvarint buf s.ss_frontier;
+  Binio.add_varint buf s.ss_watermark;
+  Binio.add_uvarint buf s.ss_lag;
+  Binio.add_uvarint buf s.ss_live_words;
+  Binio.add_uvarint buf s.ss_queued;
+  Binio.add_uvarint buf s.ss_last_seq;
+  Binio.add_uvarint buf s.ss_feeds;
+  Binio.add_uvarint buf s.ss_age_ms;
+  Binio.add_uvarint buf s.ss_idle_ms
+
+let add_journal_event buf e =
+  Binio.add_uvarint buf (Obs.Journal.kind_code e.je_kind);
+  Binio.add_uvarint buf e.je_age_ms;
+  Binio.add_uvarint buf e.je_dom;
+  Binio.add_varint buf e.je_a;
+  Binio.add_varint buf e.je_b;
+  Binio.add_varint buf e.je_c
 
 let add_payload buf = function
   | Hello { version } ->
@@ -199,6 +264,14 @@ let add_payload buf = function
       Buffer.add_char buf '\017';
       Binio.add_uvarint buf sid;
       Binio.add_uvarint buf last_seq
+  | Session_stats_request -> Buffer.add_char buf '\018'
+  | Session_stats_reply { sessions; events; journal_dropped } ->
+      Buffer.add_char buf '\019';
+      Binio.add_uvarint buf (List.length sessions);
+      List.iter (add_session_stat buf) sessions;
+      Binio.add_uvarint buf (List.length events);
+      List.iter (add_journal_event buf) events;
+      Binio.add_uvarint buf journal_dropped
 
 (* [encode ~scratch out frame] appends the length-prefixed frame to
    [out].  The payload is first built in [scratch] (cleared here) so the
@@ -242,7 +315,59 @@ let read_reason r =
   | 1 -> R_idle
   | 2 -> R_shutdown
   | 3 -> R_protocol (Binio.read_string r)
+  | 4 -> R_pinned
   | b -> Binio.fail "bad close reason %d" b
+
+let read_bool r =
+  match Binio.read_byte r with
+  | 0 -> false
+  | 1 -> true
+  | b -> Binio.fail "bad bool byte %d" b
+
+let read_session_stat r =
+  let ss_sid = Binio.read_uvarint r in
+  let ss_shard = Binio.read_uvarint r in
+  let ss_level =
+    match level_of_byte (Binio.read_byte r) with
+    | Some l -> l
+    | None -> Binio.fail "unknown isolation level byte"
+  in
+  let ss_poisoned = read_bool r in
+  let ss_pinned = read_bool r in
+  let ss_frontier = Binio.read_uvarint r in
+  let ss_watermark = Binio.read_varint r in
+  let ss_lag = Binio.read_uvarint r in
+  let ss_live_words = Binio.read_uvarint r in
+  let ss_queued = Binio.read_uvarint r in
+  let ss_last_seq = Binio.read_uvarint r in
+  let ss_feeds = Binio.read_uvarint r in
+  let ss_age_ms = Binio.read_uvarint r in
+  let ss_idle_ms = Binio.read_uvarint r in
+  {
+    ss_sid; ss_shard; ss_level; ss_poisoned; ss_pinned; ss_frontier;
+    ss_watermark; ss_lag; ss_live_words; ss_queued; ss_last_seq;
+    ss_feeds; ss_age_ms; ss_idle_ms;
+  }
+
+let read_journal_event r =
+  let je_kind =
+    let c = Binio.read_uvarint r in
+    match Obs.Journal.kind_of_code c with
+    | Some k -> k
+    | None -> Binio.fail "unknown journal event kind %d" c
+  in
+  let je_age_ms = Binio.read_uvarint r in
+  let je_dom = Binio.read_uvarint r in
+  let je_a = Binio.read_varint r in
+  let je_b = Binio.read_varint r in
+  let je_c = Binio.read_varint r in
+  { je_kind; je_age_ms; je_dom; je_a; je_b; je_c }
+
+(* Read [n] items sequentially (a hostile count simply exhausts the
+   bounded payload and fails in the reader). *)
+let read_list r n read_item =
+  let rec go k acc = if k = 0 then List.rev acc else go (k - 1) (read_item r :: acc) in
+  go n []
 
 let decode_payload payload =
   let r = Binio.reader payload in
@@ -314,6 +439,12 @@ let decode_payload payload =
     | 17 ->
         let sid = Binio.read_uvarint r in
         Session_resumed { sid; last_seq = Binio.read_uvarint r }
+    | 18 -> Session_stats_request
+    | 19 ->
+        let sessions = read_list r (Binio.read_uvarint r) read_session_stat in
+        let events = read_list r (Binio.read_uvarint r) read_journal_event in
+        let journal_dropped = Binio.read_uvarint r in
+        Session_stats_reply { sessions; events; journal_dropped }
     | t -> Binio.fail "unknown frame tag %d" t
   in
   if not (Binio.at_end r) then

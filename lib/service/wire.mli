@@ -20,13 +20,15 @@
 val magic : string
 
 val version : int
-(** Protocol version 4: v2 gave [Open_session] a trailing timestamp-mode
+(** Protocol version 5: v2 gave [Open_session] a trailing timestamp-mode
     byte (0 = ignore, 1 = trust, 2 = verify — the Vbox fast path of
     {!Ts}); v3 added [Resume_session]/[Session_resumed] for re-attaching
     sessions that survived a server restart; v4 gives [Open_session] a
     trailing watermark-GC policy (byte 0 = server default, 1 = off,
-    2 = auto, 3 = word ceiling followed by its uvarint).  The handshake
-    refuses other versions. *)
+    2 = auto, 3 = word ceiling followed by its uvarint); v5 adds
+    [Session_stats_request]/[Session_stats_reply] (per-session telemetry
+    plus the service event journal) and the [R_pinned] close reason.
+    The handshake refuses other versions. *)
 
 val max_frame : int
 (** Upper bound on a payload length; longer prefixes are protocol
@@ -43,6 +45,44 @@ type close_reason =
   | R_idle  (** idle-session timeout *)
   | R_shutdown  (** server draining for shutdown *)
   | R_protocol of string  (** session-fatal protocol misuse *)
+  | R_pinned
+      (** fenced by the horizon-pin detector ([--pin-fence close]): the
+          session stalled while pinning the GC watermark *)
+
+type session_stat = {
+  ss_sid : int;
+  ss_shard : int;
+  ss_level : Checker.level;
+  ss_poisoned : bool;
+  ss_pinned : bool;  (** flagged by the horizon-pin detector *)
+  ss_frontier : int;  (** transactions fed to this session's checker *)
+  ss_watermark : int;
+      (** the checker's current GC horizon position; [-1] before any
+          feed *)
+  ss_lag : int;
+      (** [frontier - watermark]: arrivals the slowest internal stream
+          session pins against GC (0 when the watermark is vacuous) *)
+  ss_live_words : int;  (** retained-memory estimate *)
+  ss_queued : int;  (** ingress queue depth right now *)
+  ss_last_seq : int;  (** highest applied feed sequence number *)
+  ss_feeds : int;  (** feeds accepted over the session's lifetime *)
+  ss_age_ms : int;  (** since the session opened *)
+  ss_idle_ms : int;  (** since the last frame from its client *)
+}
+(** One live session's telemetry inside a [Session_stats_reply]. *)
+
+type journal_event = {
+  je_kind : Obs.Journal.kind;
+  je_age_ms : int;
+      (** ms before the reply was built (monotonic clocks don't
+          travel) *)
+  je_dom : int;
+  je_a : int;
+  je_b : int;
+  je_c : int;
+}
+(** One {!Obs.Journal} event inside a [Session_stats_reply]; the payload
+    words [a]/[b]/[c] are per-kind (see {!Obs.Journal.kind}). *)
 
 type frame =
   | Hello of { version : int }
@@ -76,6 +116,15 @@ type frame =
   | Session_resumed of { sid : int; last_seq : int }
       (** [last_seq] is the highest applied feed sequence number — the
           client skips transactions up to and including it *)
+  | Session_stats_request
+      (** per-session telemetry + buffered journal events; answered by
+          [Session_stats_reply] *)
+  | Session_stats_reply of {
+      sessions : session_stat list;
+      events : journal_event list;
+      journal_dropped : int;
+          (** journal events lost to ring overwrite since startup *)
+    }
 
 val err_bad_magic : int
 val err_version : int

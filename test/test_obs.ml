@@ -451,6 +451,54 @@ let test_prometheus_service_registry () =
        (String.split_on_char '\n' text))
 
 (* ------------------------------------------------------------------ *)
+(* Event journal. *)
+
+(* Concurrent appends from N domains: below the per-domain ring capacity
+   nothing is lost; above it, every overwritten event is accounted by
+   [dropped]. *)
+let prop_journal_concurrent_appends =
+  QCheck2.Test.make ~name:"journal: concurrent appends all accounted"
+    ~count:8
+    QCheck2.Gen.(pair (int_range 1 4) (int_range 1 (1 lsl 14)))
+    (fun (doms, per_dom) ->
+      Obs.Journal.clear ();
+      Obs.Journal.enable ();
+      Fun.protect ~finally:Obs.Journal.disable (fun () ->
+          let workers =
+            List.init doms (fun d ->
+                Domain.spawn (fun () ->
+                    for i = 1 to per_dom do
+                      Obs.Journal.emit Obs.Journal.Session_open ~a:d ~b:i
+                        ~c:0
+                    done))
+          in
+          List.iter Domain.join workers;
+          let cap = 1 lsl 13 in
+          let kept = List.length (Obs.Journal.events ()) in
+          let dropped = Obs.Journal.dropped () in
+          (* every emitted event is either retained or counted dropped *)
+          kept + dropped = doms * per_dom
+          && kept = doms * Stdlib.min per_dom cap))
+
+let test_journal_drain_consumes () =
+  Obs.Journal.clear ();
+  Obs.Journal.enable ();
+  Fun.protect ~finally:Obs.Journal.disable (fun () ->
+      Obs.Journal.emit Obs.Journal.Pin_warn ~a:7 ~b:1 ~c:2;
+      Obs.Journal.emit Obs.Journal.Pin_fence ~a:7 ~b:1 ~c:0;
+      (match Obs.Journal.drain () with
+      | [ e1; e2 ] ->
+          checkb "kinds in order" true
+            (e1.Obs.Journal.j_kind = Obs.Journal.Pin_warn
+            && e2.Obs.Journal.j_kind = Obs.Journal.Pin_fence);
+          checki "payload survives" 7 e1.Obs.Journal.j_a
+      | l -> Alcotest.failf "expected 2 drained events, got %d" (List.length l));
+      checki "drain consumed" 0 (List.length (Obs.Journal.drain ()));
+      (* the non-consuming view still has both *)
+      checki "events () non-consuming" 2
+        (List.length (Obs.Journal.events ())))
+
+(* ------------------------------------------------------------------ *)
 (* The zero-allocation guarantee of the disabled path. *)
 
 let test_disabled_path_allocates_nothing () =
@@ -481,6 +529,32 @@ let test_disabled_path_allocates_nothing () =
   if spans > baseline then
     Alcotest.failf "disabled span path allocated %.0f bytes over 10k spans"
       (spans -. baseline)
+
+(* Same guarantee for the event journal: a disabled [emit] is one atomic
+   load and a branch — no event record, no ring touch, no allocation. *)
+let test_disabled_journal_allocates_nothing () =
+  Obs.Journal.disable ();
+  let spin () =
+    for i = 1 to 10_000 do
+      Obs.Journal.emit Obs.Journal.Gc_compact ~a:i ~b:i ~c:i
+    done
+  in
+  let measure f =
+    f () (* warm-up *);
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let a0 = Gc.allocated_bytes () in
+      f ();
+      let d = Gc.allocated_bytes () -. a0 in
+      if d < !best then best := d
+    done;
+    !best
+  in
+  let baseline = measure (fun () -> ()) in
+  let emits = measure spin in
+  if emits > baseline then
+    Alcotest.failf "disabled journal path allocated %.0f bytes over 10k emits"
+      (emits -. baseline)
 
 let suite =
   [
@@ -514,6 +588,11 @@ let suite =
      test_prometheus_grammar_and_buckets);
     ("prometheus: service registry exposition", `Quick,
      test_prometheus_service_registry);
+    qtest prop_journal_concurrent_appends;
+    ("journal: drain consumes, events does not", `Quick,
+     test_journal_drain_consumes);
     ("disabled tracing allocates nothing", `Quick,
      test_disabled_path_allocates_nothing);
+    ("disabled journal allocates nothing", `Quick,
+     test_disabled_journal_allocates_nothing);
   ]

@@ -47,10 +47,64 @@ let reason_gen =
   QCheck2.Gen.(
     oneof
       [
-        oneofl [ Wire.R_requested; Wire.R_idle; Wire.R_shutdown ];
+        oneofl
+          [ Wire.R_requested; Wire.R_idle; Wire.R_shutdown; Wire.R_pinned ];
         (let* m = string_size (int_range 0 40) in
          return (Wire.R_protocol m));
       ])
+
+let session_stat_gen =
+  QCheck2.Gen.(
+    let* ss_sid = int_range 0 100_000 in
+    let* ss_shard = int_range 0 64 in
+    let* ss_level = oneofl [ Checker.SSER; Checker.SER; Checker.SI ] in
+    let* ss_poisoned = bool in
+    let* ss_pinned = bool in
+    let* ss_frontier = int_range 0 1_000_000 in
+    let* ss_watermark = int_range (-1) 1_000_000 in
+    let* ss_lag = int_range 0 1_000_000 in
+    let* ss_live_words = int_range 0 100_000_000 in
+    let* ss_queued = int_range 0 10_000 in
+    let* ss_last_seq = int_range 0 1_000_000 in
+    let* ss_feeds = int_range 0 1_000_000 in
+    let* ss_age_ms = int_range 0 100_000_000 in
+    let* ss_idle_ms = int_range 0 100_000_000 in
+    return
+      {
+        Wire.ss_sid;
+        ss_shard;
+        ss_level;
+        ss_poisoned;
+        ss_pinned;
+        ss_frontier;
+        ss_watermark;
+        ss_lag;
+        ss_live_words;
+        ss_queued;
+        ss_last_seq;
+        ss_feeds;
+        ss_age_ms;
+        ss_idle_ms;
+      })
+
+let journal_event_gen =
+  QCheck2.Gen.(
+    let* je_kind =
+      oneofl
+        [
+          Obs.Journal.Throttle_on; Obs.Journal.Throttle_off;
+          Obs.Journal.Gc_compact; Obs.Journal.Wal_fsync_stall;
+          Obs.Journal.Snapshot; Obs.Journal.Session_open;
+          Obs.Journal.Session_close; Obs.Journal.Session_resume;
+          Obs.Journal.Poison; Obs.Journal.Pin_warn; Obs.Journal.Pin_fence;
+        ]
+    in
+    let* je_age_ms = int_range 0 100_000_000 in
+    let* je_dom = int_range 0 128 in
+    let* je_a = int_range 0 100_000 in
+    let* je_b = int_range 0 1_000_000_000 in
+    let* je_c = int_range 0 1_000_000_000 in
+    return { Wire.je_kind; je_age_ms; je_dom; je_a; je_b; je_c })
 
 let frame_gen =
   QCheck2.Gen.(
@@ -102,6 +156,12 @@ let frame_gen =
         (let* code = int_range 0 100 in
          let* msg = string_size (int_range 0 60) in
          return (Wire.Error { code; msg }));
+        return Wire.Session_stats_request;
+        (let* sessions = list_size (int_range 0 5) session_stat_gen in
+         let* events = list_size (int_range 0 5) journal_event_gen in
+         let* journal_dropped = int_range 0 100_000 in
+         return
+           (Wire.Session_stats_reply { sessions; events; journal_dropped }));
         return Wire.Bye;
       ])
 
@@ -415,6 +475,107 @@ let test_service_idle_timeout () =
               checkb "idle close eventually seen" true
                 (Client.session_closed c ~sid = Some Wire.R_idle)))
 
+(* A session that feeds once and then stalls while retaining checker
+   memory pins the GC horizon: the janitor must flag it — gauge, wire
+   telemetry and journal event all naming the sid — without touching the
+   session itself under the default [Fence_off]. *)
+let test_service_pin_detector () =
+  Obs.Journal.clear ();
+  let metrics = Metrics.create () in
+  let config =
+    { Server.default_config with Server.metrics; pin_warn_after = 0.1 }
+  in
+  with_server ~config (fun _ addr ->
+      with_client addr (fun c ->
+          let sid =
+            match Client.open_session c ~level:Checker.SI ~num_keys:2 () with
+            | Ok sid -> sid
+            | Error e -> Alcotest.fail ("open: " ^ e)
+          in
+          (match
+             Client.feed c ~sid (Txn.make ~id:1 ~session:1 [ Op.Write (0, 1) ])
+           with
+          | Ok Client.Accepted -> ()
+          | Ok _ -> Alcotest.fail "unexpected verdict"
+          | Error e -> Alcotest.fail ("feed: " ^ e));
+          Thread.delay 0.5;
+          checki "pinned gauge trips" 1 (Metrics.pinned_sessions_now metrics);
+          (match Client.session_stats c with
+          | Error e -> Alcotest.fail ("session stats: " ^ e)
+          | Ok (ss, evs, _) ->
+              (match
+                 List.find_opt (fun s -> s.Wire.ss_sid = sid) ss
+               with
+              | None -> Alcotest.fail "stalled session missing from telemetry"
+              | Some s ->
+                  checkb "flagged as pinned" true s.Wire.ss_pinned;
+                  checki "its one feed is counted" 1 s.Wire.ss_feeds;
+                  checkb "retains live words" true (s.Wire.ss_live_words > 0));
+              checkb "pin-warn journal event names the sid" true
+                (List.exists
+                   (fun e ->
+                     e.Wire.je_kind = Obs.Journal.Pin_warn
+                     && e.Wire.je_a = sid)
+                   evs));
+          (* Fence_off: detection only — the session must still answer *)
+          match Client.sync c ~sid with
+          | Ok (Wire.V_ok 1) -> ()
+          | Ok _ -> Alcotest.fail "pinned session's verdict changed"
+          | Error e -> Alcotest.fail ("sync: " ^ e)))
+
+(* Under [Fence_close] the pinned session is force-closed with
+   [R_pinned] (releasing its retained memory), while a concurrently
+   active session on the same connection is untouched. *)
+let test_service_pin_fence_close () =
+  let metrics = Metrics.create () in
+  let config =
+    {
+      Server.default_config with
+      Server.metrics;
+      pin_warn_after = 0.1;
+      pin_fence = Server.Fence_close;
+    }
+  in
+  with_server ~config (fun _ addr ->
+      with_client addr (fun c ->
+          let open_si () =
+            match Client.open_session c ~level:Checker.SI ~num_keys:2 () with
+            | Ok sid -> sid
+            | Error e -> Alcotest.fail ("open: " ^ e)
+          in
+          let stalled = open_si () in
+          (match
+             Client.feed c ~sid:stalled
+               (Txn.make ~id:1 ~session:1 [ Op.Write (0, 1) ])
+           with
+          | Ok Client.Accepted -> ()
+          | Ok _ -> Alcotest.fail "unexpected verdict"
+          | Error e -> Alcotest.fail ("feed: " ^ e));
+          let active = open_si () in
+          (* keep the active session's frontier moving across the fence
+             window, so only the stalled one can trip the detector *)
+          for i = 1 to 25 do
+            (match
+               Client.feed c ~sid:active
+                 (Txn.make ~id:(i + 1) ~session:2 [ Op.Write (1, i) ])
+             with
+            | Ok Client.Accepted -> ()
+            | Ok _ -> Alcotest.fail "unexpected verdict"
+            | Error e -> Alcotest.fail ("feed: " ^ e));
+            Thread.delay 0.02
+          done;
+          (* the active verdict first: receiving it also drains the
+             stalled session's earlier [Session_closed] frame *)
+          (match Client.sync c ~sid:active with
+          | Ok (Wire.V_ok n) -> checki "active session unaffected" 25 n
+          | Ok _ -> Alcotest.fail "active session's verdict changed"
+          | Error e -> Alcotest.fail ("sync: " ^ e));
+          (match Client.session_closed c ~sid:stalled with
+          | Some Wire.R_pinned -> ()
+          | Some _ -> Alcotest.fail "stalled session closed for wrong reason"
+          | None -> Alcotest.fail "stalled session never fenced");
+          checkb "fence counter ticked" true (Metrics.pin_fences metrics >= 1)))
+
 (* Graceful shutdown drains what was already queued. *)
 let test_service_graceful_drain () =
   let metrics = Metrics.create () in
@@ -627,6 +788,10 @@ let suite =
     ("mid-frame disconnect isolated", `Quick, test_service_midframe_disconnect);
     ("backpressure throttles and recovers", `Quick, test_service_backpressure);
     ("idle sessions closed", `Quick, test_service_idle_timeout);
+    ("horizon-pin detector flags stalled sessions", `Quick,
+     test_service_pin_detector);
+    ("pin fence closes only the pinned session", `Quick,
+     test_service_pin_fence_close);
     ("graceful shutdown drains queues", `Quick, test_service_graceful_drain);
     ("tcp transport + stats frame", `Quick, test_service_tcp_and_stats);
     ("http /metrics endpoint", `Quick, test_service_http_metrics);
